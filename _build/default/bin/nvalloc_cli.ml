@@ -1,0 +1,72 @@
+(* Command-line driver: run individual paper experiments by id.
+
+   Examples:
+     nvalloc-cli list
+     nvalloc-cli run fig9 fig18
+     nvalloc-cli all *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments (one per paper table/figure)." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-8s %s\n" e.Harness.Registry.id e.Harness.Registry.title)
+      Harness.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run the experiments with the given ids." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids = List.iter Harness.Registry.run_one ids in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let all_cmd =
+  let doc = "Run every experiment (the full paper reproduction)." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const Harness.Registry.run_all $ const ())
+
+let trace_cmd =
+  (* Figure 2 as raw data: one CSV line per metadata flush, for external
+     plotting of the scatter the paper shows. *)
+  let doc =
+    "Dump the first 1000 metadata-flush addresses of a DBMStest run as CSV \
+     (seq,category,address) for the given allocator (default NVAlloc-LOG)."
+  in
+  let alloc =
+    Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
+  in
+  let run name =
+    let kind =
+      match
+        List.find_opt
+          (fun k -> String.lowercase_ascii (Harness.Factory.name k) = String.lowercase_ascii name)
+          Harness.Factory.
+            [ Pmdk; Nvm_malloc; Pallocator; Makalu; Ralloc; Nv_log; Nv_gc; Nv_ic ]
+      with
+      | Some k -> k
+      | None -> failwith ("unknown allocator " ^ name)
+    in
+    let inst = Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind in
+    let _ =
+      Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) ()
+    in
+    print_endline "seq,category,address";
+    List.iteri
+      (fun i (cat, addr) ->
+        let c =
+          match cat with
+          | Pmem.Stats.Meta -> "meta"
+          | Pmem.Stats.Wal -> "wal"
+          | Pmem.Stats.Log -> "log"
+          | Pmem.Stats.Data -> "data"
+        in
+        Printf.printf "%d,%s,%d\n" i c addr)
+      (Pmem.Stats.trace (Pmem.Device.stats inst.Alloc_api.Instance.dev))
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ alloc)
+
+let () =
+  let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
+  let info = Cmd.info "nvalloc-cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Config List Nvalloc Nvalloc_core Pmem Printf Sim

@@ -1,0 +1,1 @@
+examples/fragmentation.ml: Alloc_api Array List Nvalloc_core Printf Workloads

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Alloc_api Array Fptree_lib Nvalloc_core Printf Sim

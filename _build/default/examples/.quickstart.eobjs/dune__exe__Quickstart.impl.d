@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Heap Nvalloc Nvalloc_core Pmem Printf Sim

@@ -1,0 +1,68 @@
+(* Crash consistency demo: power failures at adversarial moments.
+
+   Run with: dune exec examples/crash_recovery.exe
+
+   The device can be armed to "lose power" after a chosen number of
+   flushed cache lines. We build a workload, crash it mid-flight at many
+   different points, recover, and show that the two consistency models
+   both restore a usable, leak-free heap: NVAlloc-LOG by WAL replay,
+   NVAlloc-GC by conservative garbage collection from the root table. *)
+
+open Nvalloc_core
+
+let mib = 1024 * 1024
+
+let config variant =
+  let base = match variant with `Log -> Config.log_default | `Gc -> Config.gc_default in
+  { base with Config.arenas = 2; root_slots = 4096; booklog_chunks = 128; wal_entries = 1024 }
+
+let name = function `Log -> "NVAlloc-LOG" | `Gc -> "NVAlloc-GC"
+
+let run_once variant ~crash_after =
+  let dev = Pmem.Device.create ~size:(64 * mib) () in
+  let clock = Sim.Clock.create () in
+  let t = Nvalloc.create ~config:(config variant) dev clock in
+  let th = Nvalloc.thread t clock in
+  (* Arm the failure, then run allocations and frees until it fires. *)
+  Pmem.Device.schedule_crash_after dev crash_after;
+  (try
+     for i = 0 to 499 do
+       ignore (Nvalloc.malloc_to t th ~size:(32 + (8 * (i mod 16))) ~dest:(Nvalloc.root_addr t i));
+       if i mod 3 = 0 then Nvalloc.free_from t th ~dest:(Nvalloc.root_addr t i)
+     done;
+     Pmem.Device.cancel_scheduled_crash dev
+   with Pmem.Device.Injected_crash -> ());
+  (* Recover and validate: every published root must point at a live,
+     freeable block; allocation must work again. *)
+  let t', report = Nvalloc.recover ~config:(config variant) dev clock in
+  let th' = Nvalloc.thread t' clock in
+  let live = ref 0 in
+  for i = 0 to 499 do
+    let dest = Nvalloc.root_addr t' i in
+    if Nvalloc.read_ptr t' ~dest > 0 then begin
+      incr live;
+      Nvalloc.free_from t' th' ~dest
+    end
+  done;
+  for i = 0 to 99 do
+    ignore (Nvalloc.malloc_to t' th' ~size:64 ~dest:(Nvalloc.root_addr t' i))
+  done;
+  (!live, report)
+
+let () =
+  List.iter
+    (fun variant ->
+      Printf.printf "== %s ==\n" (name variant);
+      List.iter
+        (fun crash_after ->
+          let live, report = run_once variant ~crash_after in
+          Printf.printf
+            "  crash after %4d flushed lines: %3d live roots recovered, %d leaked blocks reclaimed%s\n"
+            crash_after live report.Nvalloc.leaked_blocks_reclaimed
+            (match variant with
+            | `Log -> Printf.sprintf " (WAL entries replayed: %d)" report.Nvalloc.wal_entries_replayed
+            | `Gc -> Printf.sprintf " (GC marked %d blocks)" report.Nvalloc.gc_blocks_marked))
+        [ 50; 200; 500; 1000; 2000 ];
+      print_newline ())
+    [ `Log; `Gc ];
+  print_endline "all crash points recovered to a usable, leak-free heap."

@@ -1,0 +1,45 @@
+(* Slab morphing in action (paper section 5.2).
+
+   Run with: dune exec examples/fragmentation.exe
+
+   A server workload changes its allocation size over time (Fragbench's
+   W1: 100 B objects, then a 90% delete wave, then 130 B objects). With
+   static slab segregation the sparse 100 B slabs are stranded; with slab
+   morphing they transform into 130 B slabs and get refilled. *)
+
+let run ~morphing =
+  let config =
+    {
+      Nvalloc_core.Config.log_default with
+      Nvalloc_core.Config.slab_morphing = morphing;
+      arenas = 1;
+      root_slots = 1 lsl 18;
+    }
+  in
+  let inst =
+    Alloc_api.Instance.of_nvalloc
+      ~name:(if morphing then "with morphing" else "static segregation")
+      ~config ~threads:1 ~dev_size:(512 * 1024 * 1024) ()
+  in
+  let r = Workloads.Fragbench.run inst ~workload:Workloads.Fragbench.w1 () in
+  let hist =
+    match inst.Alloc_api.Instance.slab_histogram with
+    | Some hist -> hist [ 0.3; 0.7; 1.0 ]
+    | None -> [| 0; 0; 0 |]
+  in
+  (inst.Alloc_api.Instance.name, r, hist)
+
+let () =
+  Printf.printf "Fragbench W1 (live cap 12 MiB): Fixed 100 B -> delete 90%% -> Fixed 130 B\n\n";
+  List.iter
+    (fun morphing ->
+      let name, r, hist = run ~morphing in
+      Printf.printf "%-20s peak %5.1f MiB   slabs by occupancy: %d low / %d mid / %d high\n"
+        name
+        (float_of_int r.Workloads.Fragbench.peak_after /. 1024.0 /. 1024.0)
+        hist.(0) hist.(1) hist.(2))
+    [ false; true ];
+  print_newline ();
+  print_endline
+    "morphing converts the stranded low-occupancy 100 B slabs into 130 B slabs,\n\
+     cutting peak memory (paper: up to 41.9% / 57.8% less memory)."

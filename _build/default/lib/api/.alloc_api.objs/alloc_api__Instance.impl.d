@@ -1,0 +1,1 @@
+lib/api/instance.ml: Array Config Nvalloc Nvalloc_core Option Pmem Sim

@@ -1,0 +1,1 @@
+lib/api/instance.mli: Nvalloc_core Pmem Sim

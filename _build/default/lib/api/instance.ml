@@ -1,0 +1,69 @@
+open Nvalloc_core
+
+type t = {
+  name : string;
+  threads : int;
+  clocks : Sim.Clock.t array;
+  dev : Pmem.Device.t;
+  malloc : tid:int -> size:int -> dest:int -> int;
+  free : tid:int -> dest:int -> unit;
+  root : int -> int;
+  root_count : int;
+  mapped_bytes : unit -> int;
+  peak_bytes : unit -> int;
+  reset_peak : unit -> unit;
+  supports_large : bool;
+  slab_histogram : (float list -> int array) option;
+  shutdown : unit -> unit;
+  recover : unit -> float;
+}
+
+let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
+    () =
+  let lat = if eadr then Pmem.Latency.eadr else Pmem.Latency.default in
+  let dev = Pmem.Device.create ~lat ~size:dev_size () in
+  let clocks = Array.init threads (fun _ -> Sim.Clock.create ()) in
+  (* eADR disables the interleaved mapping, as the paper does via
+     pmem_has_auto_flush() (section 6.7). *)
+  let config =
+    if eadr && not eadr_keep_interleave then
+      {
+        config with
+        Config.bit_stripes = 1;
+        interleave_tcache = false;
+        interleave_wal = false;
+        interleave_log = false;
+      }
+    else config
+  in
+  let config = { config with Config.arenas = min config.Config.arenas (max 1 threads) } in
+  let t = Nvalloc.create ~config dev clocks.(0) in
+  let handles = Array.init threads (fun tid -> Nvalloc.thread t clocks.(tid)) in
+  let default_name =
+    match config.Config.consistency with
+    | Config.Log_based -> "NVAlloc-LOG"
+    | Config.Gc_based -> "NVAlloc-GC"
+    | Config.Internal_collection -> "NVAlloc-IC"
+  in
+  {
+    name = Option.value ~default:default_name name;
+    threads;
+    clocks;
+    dev;
+    malloc = (fun ~tid ~size ~dest -> Nvalloc.malloc_to t handles.(tid) ~size ~dest);
+    free = (fun ~tid ~dest -> Nvalloc.free_from t handles.(tid) ~dest);
+    root = (fun i -> Nvalloc.root_addr t i);
+    root_count = Nvalloc.root_slots t;
+    mapped_bytes = (fun () -> Nvalloc.mapped_bytes t);
+    peak_bytes = (fun () -> Nvalloc.peak_mapped_bytes t);
+    reset_peak = (fun () -> Nvalloc.reset_peak t);
+    supports_large = true;
+    slab_histogram = Some (fun buckets -> Nvalloc.slab_utilization_histogram t ~buckets);
+    shutdown = (fun () -> Nvalloc.exit_ t clocks.(0));
+    recover =
+      (fun () ->
+        Pmem.Device.crash dev;
+        let clock = Sim.Clock.create () in
+        let _t', _report = Nvalloc.recover ~config dev clock in
+        clock.Sim.Clock.now);
+  }

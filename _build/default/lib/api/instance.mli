@@ -1,0 +1,53 @@
+(** Uniform allocator interface.
+
+    Every allocator under evaluation — NVAlloc in both variants and all
+    behavioural baselines — is driven by the benchmarks through this one
+    record, mirroring the paper's methodology of running identical
+    workloads over different allocators. An instance owns its device, a
+    per-logical-thread clock, and a persistent root table.
+
+    Conventions:
+    - [tid] ranges over [0, threads);
+    - [malloc ~tid ~size ~dest] returns the allocated address and
+      persistently publishes it at [dest];
+    - [free ~tid ~dest] frees the object whose address is stored at
+      [dest] and clears [dest];
+    - all simulated latency lands on [clocks.(tid)]. *)
+
+type t = {
+  name : string;
+  threads : int;
+  clocks : Sim.Clock.t array;
+  dev : Pmem.Device.t;
+  malloc : tid:int -> size:int -> dest:int -> int;
+  free : tid:int -> dest:int -> unit;
+  root : int -> int;  (** root-table slot address *)
+  root_count : int;
+  mapped_bytes : unit -> int;
+  peak_bytes : unit -> int;
+  reset_peak : unit -> unit;
+  supports_large : bool;
+      (** Ralloc's open-source build mishandles large objects (paper
+          section 6.2); experiments exclude such allocators. *)
+  slab_histogram : (float list -> int array) option;
+      (** Occupancy-bucket counts over live slabs (Figure 15(b));
+          only NVAlloc exposes this. *)
+  shutdown : unit -> unit;  (** clean exit, charged to clock 0 *)
+  recover : unit -> float;
+      (** crash the device, run recovery on a fresh clock, return the
+          simulated recovery time in ns *)
+}
+
+val of_nvalloc :
+  ?name:string ->
+  config:Nvalloc_core.Config.t ->
+  threads:int ->
+  dev_size:int ->
+  ?eadr:bool ->
+  ?eadr_keep_interleave:bool ->
+  unit ->
+  t
+(** Build an NVAlloc instance (LOG or GC per the config). On eADR the
+    interleaved mapping is disabled, as NVAlloc does via
+    [pmem_has_auto_flush()] (section 6.7) — unless
+    [eadr_keep_interleave] is set (Figure 19 studies exactly that). *)

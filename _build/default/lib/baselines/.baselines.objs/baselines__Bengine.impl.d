@@ -1,0 +1,1 @@
+lib/baselines/bengine.ml: Alloc_api Array Blarge Int64 Knobs Lazy List Nvalloc_core Pmem Sim Support

@@ -1,0 +1,1 @@
+lib/baselines/bengine.mli: Alloc_api Knobs

@@ -1,0 +1,1 @@
+lib/baselines/blarge.ml: Float Hashtbl Int64 Pmem Sim Support

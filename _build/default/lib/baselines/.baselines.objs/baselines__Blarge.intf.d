@@ -1,0 +1,1 @@
+lib/baselines/blarge.mli: Pmem Sim

@@ -1,0 +1,32 @@
+(** Baseline allocator engine.
+
+    One slab/large-allocator engine interprets a {!Knobs.t} to reproduce
+    the metadata behaviour of each comparison allocator (PMDK,
+    nvm_malloc, PAllocator, Makalu, Ralloc, and the volatile
+    jemalloc/tcmalloc used in Figure 1(b)):
+
+    - [Bitmap_seq] tracking persists a sequentially mapped slab bitmap on
+      every allocation and free — the reflush source of section 3.1;
+    - [Embedded_list] tracking persists in-block link writes plus a
+      slab-header head-pointer update per operation — Makalu/Ralloc's
+      pattern;
+    - [Redo_commit] WALs flush an entry and then a commit mark into the
+      same line (PMDK); [Micro] WALs flush once (nvm_malloc/PAllocator);
+    - large objects go through {!Blarge}'s in-place region headers —
+      the random-write pattern of section 3.3;
+    - per-thread tcaches only save the arena lock and slab search:
+      persistence stays per-operation, unlike NVAlloc's batched refills.
+
+    Recovery is modelled by charging the scans each design performs
+    (section 6.6 / Figure 18): WAL-only (nvm_malloc), WAL + all metadata
+    (PMDK), headers + partial node scan (Ralloc), or a full conservative
+    trace of live data (Makalu). *)
+
+val instance :
+  knobs:Knobs.t ->
+  threads:int ->
+  dev_size:int ->
+  ?eadr:bool ->
+  ?root_slots:int ->
+  unit ->
+  Alloc_api.Instance.t

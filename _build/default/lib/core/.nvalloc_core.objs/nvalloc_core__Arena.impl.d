@@ -1,0 +1,1 @@
+lib/core/arena.ml: Array Bitmap Booklog Config Extent Hashtbl Header Heap List Option Pmem Sim Size_class Slab Support Tcache Wal

@@ -1,0 +1,1 @@
+lib/core/booklog.ml: Array Hashtbl Int64 List Option Pmem Support

@@ -1,0 +1,1 @@
+lib/core/booklog.mli: Pmem Sim

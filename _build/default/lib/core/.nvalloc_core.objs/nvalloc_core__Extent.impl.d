@@ -1,0 +1,1 @@
+lib/core/extent.ml: Booklog Config Float Hashtbl Heap List Pmem Sim Support

@@ -1,0 +1,1 @@
+lib/core/extent.mli: Booklog Heap Sim Support

@@ -1,0 +1,1 @@
+lib/core/heap.ml: Booklog Config Int64 Pmem Wal

@@ -1,0 +1,1 @@
+lib/core/nvalloc.ml: Arena Array Bitmap Booklog Config Extent Float Hashtbl Heap Int64 List Option Pmem Printf Queue Sim Size_class Slab Support Tcache Wal

@@ -1,0 +1,1 @@
+lib/core/nvalloc.mli: Arena Config Heap Pmem Sim Slab

@@ -1,0 +1,1 @@
+lib/core/slab.ml: Array Bitmap Hashtbl List Pmem Size_class Support

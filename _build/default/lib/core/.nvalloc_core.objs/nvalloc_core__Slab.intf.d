@@ -1,0 +1,1 @@
+lib/core/slab.mli: Bitmap Hashtbl Pmem Support

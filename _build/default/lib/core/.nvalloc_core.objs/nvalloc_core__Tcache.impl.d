@@ -1,0 +1,1 @@
+lib/core/tcache.ml: Array Bitmap List Slab

@@ -1,0 +1,1 @@
+lib/core/wal.mli: Pmem Sim

@@ -1,0 +1,521 @@
+type t = {
+  heap : Heap.t;
+  dev : Pmem.Device.t;
+  config : Config.t;
+  idx : int;
+  lock : Sim.Lock.t;
+  large : Extent.t;
+  wal : Wal.t;
+  freelists : Slab.t Support.Dlist.t array;
+  lru : Slab.t Support.Dlist.t;
+  slab_vehs : (int, Extent.veh) Hashtbl.t; (* slab base -> its extent *)
+  all_slabs : (int, Slab.t) Hashtbl.t; (* slab base -> vslab *)
+  mutable thread_tcaches : Tcache.t array list;
+  layouts : Slab.layout array; (* per class, under this config's mapping *)
+  mapping : Bitmap.mapping;
+  on_slab_created : Slab.t -> unit;
+  on_slab_destroyed : Slab.t -> unit;
+}
+
+let mapping_of_config (cfg : Config.t) =
+  if cfg.Config.bit_stripes <= 1 then Bitmap.Sequential
+  else Bitmap.Interleaved cfg.Config.bit_stripes
+
+let build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destroyed
+    ~on_extent_created ~on_extent_dropped =
+  let config = Heap.config heap in
+  let mapping = mapping_of_config config in
+  let mode =
+    match booklog with Some log -> Extent.Logged log | None -> Extent.In_place
+  in
+  let large =
+    Extent.create heap ~mode ~region_lock
+      ~on_new_extent:(fun v -> on_extent_created v index)
+      ~on_drop_extent:on_extent_dropped
+  in
+  {
+    heap;
+    dev = Heap.device heap;
+    config;
+    idx = index;
+    lock = Sim.Lock.create ();
+    large;
+    wal;
+    freelists = Array.init Size_class.count (fun _ -> Support.Dlist.create ());
+    lru = Support.Dlist.create ();
+    slab_vehs = Hashtbl.create 64;
+    all_slabs = Hashtbl.create 64;
+    thread_tcaches = [];
+    layouts = Array.init Size_class.count (fun c -> Slab.layout_of_class ~class_idx:c ~mapping);
+    mapping;
+    on_slab_created;
+    on_slab_destroyed;
+  }
+
+let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_extent_created
+    ~on_extent_dropped =
+  let config = Heap.config heap in
+  let booklog =
+    if config.Config.log_bookkeeping then
+      Some
+        (Booklog.create (Heap.device heap)
+           ~base:(Heap.booklog_base heap ~arena:index)
+           ~chunks:config.Config.booklog_chunks ~interleave:config.Config.interleave_log)
+    else None
+  in
+  let wal =
+    Wal.create (Heap.device heap)
+      ~base:(Heap.wal_base heap ~arena:index)
+      ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal
+  in
+  build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destroyed
+    ~on_extent_created ~on_extent_dropped
+
+let of_recovered heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destroyed
+    ~on_extent_created ~on_extent_dropped =
+  build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destroyed
+    ~on_extent_created ~on_extent_dropped
+
+let index t = t.idx
+let lock t = t.lock
+let wal t = t.wal
+let large t = t.large
+let heap t = t.heap
+let is_log t = t.config.Config.consistency = Config.Log_based
+let is_ic t = t.config.Config.consistency = Config.Internal_collection
+
+(* Whether small-allocator metadata (bits, index entries) is flushed:
+   LOG and IC persist it eagerly; GC rebuilds it post-crash. *)
+let flushes_small_meta t = t.config.Config.consistency <> Config.Gc_based
+let register_tcaches t tcaches = t.thread_tcaches <- tcaches :: t.thread_tcaches
+
+(* --- slab plumbing ------------------------------------------------------- *)
+
+let freelist_add t s =
+  assert (s.Slab.freelist_node = None);
+  s.Slab.freelist_node <-
+    Some (Support.Dlist.push_back t.freelists.(s.Slab.layout.Slab.class_idx) s)
+
+let freelist_remove t s =
+  match s.Slab.freelist_node with
+  | Some node ->
+      Support.Dlist.remove t.freelists.(s.Slab.layout.Slab.class_idx) node;
+      s.Slab.freelist_node <- None
+  | None -> ()
+
+let lru_touch t s =
+  (match s.Slab.lru_node with
+  | Some node -> Support.Dlist.remove t.lru node
+  | None -> ());
+  s.Slab.lru_node <- Some (Support.Dlist.push_back t.lru s)
+
+let lru_remove t s =
+  match s.Slab.lru_node with
+  | Some node ->
+      Support.Dlist.remove t.lru node;
+      s.Slab.lru_node <- None
+  | None -> ()
+
+let flush_meta t clock ~addr ~len =
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr ~len
+
+let new_slab t clock class_idx =
+  let veh = Extent.malloc t.large clock ~size:Slab.slab_bytes ~kind:Booklog.Slab_extent in
+  let layout = t.layouts.(class_idx) in
+  let s = Slab.format t.dev ~addr:veh.Extent.addr ~arena:t.idx ~mapping:t.mapping layout in
+  (* Persist the fresh header and (zeroed) bitmap in both variants:
+     recovery derives block sizes from slab headers. *)
+  flush_meta t clock ~addr:(Slab.header_addr s) ~len:Slab.slab_bytes
+    (* only dirty lines (header + bitmap) actually flush *);
+  Hashtbl.replace t.slab_vehs s.Slab.addr veh;
+  Hashtbl.replace t.all_slabs s.Slab.addr s;
+  freelist_add t s;
+  lru_touch t s;
+  t.on_slab_created s;
+  s
+
+let destroy_slab t clock s =
+  assert (s.Slab.free_count = s.Slab.layout.Slab.nblocks && s.Slab.morph = None);
+  s.Slab.dying <- true;
+  freelist_remove t s;
+  lru_remove t s;
+  t.on_slab_destroyed s;
+  let veh = Hashtbl.find t.slab_vehs s.Slab.addr in
+  Hashtbl.remove t.slab_vehs s.Slab.addr;
+  Hashtbl.remove t.all_slabs s.Slab.addr;
+  Extent.free t.large clock veh
+
+(* Destroy an empty slab unless it is the last one cached for its class. *)
+let maybe_destroy_empty t clock s =
+  if
+    (not s.Slab.dying)
+    && s.Slab.morph = None
+    && s.Slab.free_count = s.Slab.layout.Slab.nblocks
+    && Support.Dlist.length t.freelists.(s.Slab.layout.Slab.class_idx) > 1
+  then destroy_slab t clock s
+
+(* --- slab morphing (section 5.2) ----------------------------------------- *)
+
+let live_old_blocks t s =
+  let acc = ref [] in
+  Bitmap.iter_set t.dev s.Slab.bitmap (fun b -> acc := b :: !acc);
+  List.rev !acc
+
+let morph_candidate_ok t s ~target_layout =
+  let open Slab in
+  s.morph = None && (not s.dying)
+  && s.tcached = 0
+  && s.layout.class_idx <> target_layout.class_idx
+  && occupancy_ratio s < t.config.Config.morph_su_threshold
+  && s.layout.nblocks - s.free_count <= index_capacity
+  &&
+  (* No live old block may overlap the new header area, and every live
+     old block index must fit the 12-bit index-entry encoding. *)
+  List.for_all
+    (fun b ->
+      s.layout.data_off + (b * s.layout.block_size) >= target_layout.data_off && b < 4096)
+    (live_old_blocks t s)
+
+(* Three-step flag-guarded metadata transformation. Header flushes hit the
+   same line repeatedly: this is the morphing cost the paper quantifies at
+   ~4.5%. *)
+let transform_slab t clock s target_class =
+  let open Slab in
+  let dev = t.dev in
+  let addr = s.addr in
+  let old_layout = s.layout in
+  let new_layout = t.layouts.(target_class) in
+  let live = live_old_blocks t s in
+  let nlive = List.length live in
+  (* Step 1: preserve the old class identity. *)
+  Header.write_old_class dev addr old_layout.class_idx;
+  Header.write_old_data_off dev addr old_layout.data_off;
+  Header.write_flag dev addr 1;
+  flush_meta t clock ~addr ~len:16;
+  (* Step 2: record the live old blocks in the index table. *)
+  List.iteri
+    (fun slot b ->
+      Pmem.Device.write_u16 dev (index_entry_addr s slot) (pack_index_entry ~block:b ~allocated:true))
+    live;
+  if nlive > 0 then
+    flush_meta t clock ~addr:(index_entry_addr s 0) ~len:(2 * nlive);
+  Header.write_index_count dev addr nlive;
+  Header.write_flag dev addr 2;
+  flush_meta t clock ~addr ~len:16;
+  (* Step 3: install the new class: header fields and rebuilt bitmap. *)
+  Header.write_class dev addr target_class;
+  Header.write_data_off dev addr new_layout.data_off;
+  let new_bitmap = Bitmap.make ~base:(bitmap_addr s) ~nbits:new_layout.nblocks ~mapping:t.mapping in
+  Pmem.Device.fill dev (bitmap_addr s) (new_layout.bitmap_lines * Pmem.Cacheline.size) '\000';
+  let cnt_block = Array.make new_layout.nblocks 0 in
+  let old_live = Hashtbl.create 16 in
+  s.layout <- new_layout;
+  s.bitmap <- new_bitmap;
+  List.iteri
+    (fun slot b ->
+      Hashtbl.replace old_live b slot;
+      let m_stub =
+        { old_class = old_layout.class_idx; old_block_size = old_layout.block_size;
+          old_data_off = old_layout.data_off; cnt_slab = 0; cnt_block; old_live }
+      in
+      let lo, hi = overlapping_new_blocks s m_stub b in
+      for j = lo to hi do
+        if cnt_block.(j) = 0 then Bitmap.set dev new_bitmap j;
+        cnt_block.(j) <- cnt_block.(j) + 1
+      done)
+    live;
+  flush_meta t clock ~addr:(bitmap_addr s) ~len:(new_layout.bitmap_lines * Pmem.Cacheline.size);
+  Header.write_flag dev addr 0;
+  flush_meta t clock ~addr ~len:16;
+  (* Volatile state. *)
+  let morph =
+    {
+      old_class = old_layout.class_idx;
+      old_block_size = old_layout.block_size;
+      old_data_off = old_layout.data_off;
+      cnt_slab = nlive;
+      cnt_block;
+      old_live;
+    }
+  in
+  s.morph <- (if nlive > 0 then Some morph else None);
+  let rec free_blocks j acc =
+    if j < 0 then acc
+    else free_blocks (j - 1) (if cnt_block.(j) = 0 then j :: acc else acc)
+  in
+  s.free_stack <- free_blocks (new_layout.nblocks - 1) [];
+  s.free_count <- List.length s.free_stack;
+  ()
+
+let try_morph t clock target_class =
+  if not t.config.Config.slab_morphing then None
+  else begin
+    let target_layout = t.layouts.(target_class) in
+    (* LRU scan, head (coldest) first. *)
+    let found = ref None in
+    let scanned = ref 0 in
+    Support.Dlist.iter
+      (fun s ->
+        incr scanned;
+        if !found = None && morph_candidate_ok t s ~target_layout then found := Some s)
+      t.lru;
+    Pmem.Device.charge_work t.dev clock Pmem.Stats.Search
+      ~ns:(float_of_int (max 1 !scanned) *. 25.0);
+    match !found with
+    | None -> None
+    | Some s ->
+        freelist_remove t s;
+        lru_remove t s;
+        transform_slab t clock s target_class;
+        freelist_add t s;
+        (* A slab that finished morphing with no surviving old blocks is a
+           regular slab again and may morph later. *)
+        if s.Slab.morph = None then lru_touch t s;
+        Some s
+  end
+
+(* Return one block straight to its slab (tcache overflow, drains). In the
+   internal-collection variant tcache-resident blocks were never marked, so
+   there is no bit to clear. *)
+let return_block t clock s b =
+  if not (is_ic t) then begin
+    Bitmap.clear t.dev s.Slab.bitmap b;
+    if is_log t then flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
+  end;
+  if s.Slab.free_count = 0 then freelist_add t s;
+  s.Slab.free_count <- s.Slab.free_count + 1;
+  s.Slab.free_stack <- b :: s.Slab.free_stack;
+  maybe_destroy_empty t clock s
+
+(* Release of a block_before: resolved against the index table, bypassing
+   the tcache (section 5.2, "Block release"). *)
+let release_old_block t clock s (m : Slab.morph) old_b =
+  let slot = Hashtbl.find m.Slab.old_live old_b in
+  Pmem.Device.write_u16 t.dev (Slab.index_entry_addr s slot)
+    (Slab.pack_index_entry ~block:old_b ~allocated:false);
+  if flushes_small_meta t then
+    flush_meta t clock ~addr:(Slab.index_entry_addr s slot) ~len:2;
+  Hashtbl.remove m.Slab.old_live old_b;
+  m.Slab.cnt_slab <- m.Slab.cnt_slab - 1;
+  let lo, hi = Slab.overlapping_new_blocks s m old_b in
+  for j = lo to hi do
+    m.Slab.cnt_block.(j) <- m.Slab.cnt_block.(j) - 1;
+    if m.Slab.cnt_block.(j) = 0 then begin
+      Bitmap.clear t.dev s.Slab.bitmap j;
+      if flushes_small_meta t then
+        flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap j) ~len:1;
+      if s.Slab.free_count = 0 then freelist_add t s;
+      s.Slab.free_count <- s.Slab.free_count + 1;
+      s.Slab.free_stack <- j :: s.Slab.free_stack
+    end
+  done;
+  if m.Slab.cnt_slab = 0 then begin
+    (* slab_in becomes a regular slab_after and rejoins the LRU. *)
+    Slab.Header.write_old_class t.dev s.Slab.addr Slab.Header.no_class;
+    Slab.Header.write_index_count t.dev s.Slab.addr 0;
+    flush_meta t clock ~addr:s.Slab.addr ~len:16;
+    s.Slab.morph <- None;
+    lru_touch t s;
+    maybe_destroy_empty t clock s
+  end
+
+(* Return a tcache entry to its slab, resolving whether the address is an
+   old-class block of a morphing slab or a current-class block. *)
+let return_entry t clock s addr =
+  let off = addr - s.Slab.addr in
+  if is_ic t then s.Slab.tcached <- s.Slab.tcached - 1;
+  match s.Slab.morph with
+  | Some m -> (
+      match Slab.old_block_index m off with
+      | Some b -> release_old_block t clock s m b
+      | None -> return_block t clock s (Slab.block_index s addr))
+  | None -> return_block t clock s (Slab.block_index s addr)
+
+(* --- WAL ------------------------------------------------------------------ *)
+
+let drain_tcache t clock tc =
+  List.iter (fun e -> return_entry t clock e.Tcache.slab e.Tcache.addr) (Tcache.drain tc)
+
+let drain_all_tcaches t clock =
+  List.iter (fun tcs -> Array.iter (fun tc -> drain_tcache t clock tc) tcs) t.thread_tcaches
+
+let checkpoint_if_needed t clock =
+  if Wal.near_full t.wal then
+    Sim.Lock.with_lock t.lock clock (fun () ->
+        (* Re-check under the lock; another thread may have checkpointed. *)
+        if Wal.near_full t.wal then begin
+          drain_all_tcaches t clock;
+          Wal.checkpoint t.wal clock
+        end)
+
+(* Append a WAL entry; Large_* entries are logged in both variants
+   (Table 2), small-allocation entries only by NVAlloc-LOG. *)
+let log_op t clock kind ~addr ~dest =
+  let wanted =
+    match kind with
+    | Wal.Large_alloc | Wal.Large_free -> true
+    | Wal.Alloc | Wal.Free | Wal.Refill -> is_log t
+  in
+  if wanted then begin
+    checkpoint_if_needed t clock;
+    (* Slot reservation is a CAS, not a lock. *)
+    Pmem.Device.dram_op t.dev clock;
+    Wal.append t.wal clock kind ~addr ~dest
+  end
+
+(* --- small allocation ------------------------------------------------------ *)
+
+let take_slab_with_space t clock class_idx =
+  match Support.Dlist.peek_front t.freelists.(class_idx) with
+  | Some s -> s
+  | None -> (
+      match try_morph t clock class_idx with
+      | Some s -> s
+      | None -> new_slab t clock class_idx)
+
+let refill_tcache t clock tc class_idx =
+  while not (Tcache.is_full tc) do
+    let s = take_slab_with_space t clock class_idx in
+    lru_touch t s;
+    let continue_slab = ref true in
+    while (not (Tcache.is_full tc)) && !continue_slab do
+      match s.Slab.free_stack with
+      | [] ->
+          freelist_remove t s;
+          continue_slab := false
+      | b :: rest ->
+          s.Slab.free_stack <- rest;
+          s.Slab.free_count <- s.Slab.free_count - 1;
+          if is_ic t then
+            (* Internal collection: the bit is set only when the block is
+               handed to the user, so the bitmap enumerates exactly the
+               user's objects. *)
+            s.Slab.tcached <- s.Slab.tcached + 1
+          else begin
+            Bitmap.set t.dev s.Slab.bitmap b;
+            if is_log t then begin
+              flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1;
+              log_op t clock Wal.Refill ~addr:(Slab.block_addr s b) ~dest:0
+            end
+          end;
+          let pushed = Tcache.push tc { Tcache.slab = s; addr = Slab.block_addr s b } in
+          assert pushed
+    done;
+    if s.Slab.free_count = 0 then freelist_remove t s
+  done
+
+let ic_mark t clock (e : Tcache.entry) =
+  let s = e.Tcache.slab in
+  s.Slab.tcached <- s.Slab.tcached - 1;
+  let b = Slab.block_index s e.Tcache.addr in
+  Bitmap.set t.dev s.Slab.bitmap b;
+  flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
+
+let alloc_small t clock ~tcaches ~class_idx =
+  let tc = tcaches.(class_idx) in
+  let e =
+    match Tcache.pop tc with
+    | Some e ->
+        Pmem.Device.dram_op t.dev clock;
+        e
+    | None ->
+        Sim.Lock.with_lock t.lock clock (fun () -> refill_tcache t clock tc class_idx);
+        Option.get (Tcache.pop tc)
+  in
+  if is_ic t then ic_mark t clock e;
+  (e.Tcache.slab, e.Tcache.addr)
+
+let free_small t clock ~tcaches s ~addr ~dest =
+  let off = addr - s.Slab.addr in
+  let old_block =
+    match s.Slab.morph with
+    | Some m -> Option.map (fun b -> (m, b)) (Slab.old_block_index m off)
+    | None -> None
+  in
+  match old_block with
+  | Some (m, b) ->
+      Sim.Lock.with_lock t.lock clock (fun () -> release_old_block t clock s m b)
+  | None ->
+      let b = Slab.block_index s addr (* validates the grid *) in
+      log_op t clock Wal.Free ~addr ~dest;
+      if is_ic t then begin
+        (* Internal collection: unmark eagerly so the persistent bitmap
+           never claims a freed object. *)
+        Bitmap.clear t.dev s.Slab.bitmap b;
+        flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
+      end;
+      let tc = tcaches.(s.Slab.layout.Slab.class_idx) in
+      Pmem.Device.dram_op t.dev clock;
+      if Tcache.push tc { Tcache.slab = s; addr } then begin
+        if is_ic t then s.Slab.tcached <- s.Slab.tcached + 1
+      end
+      else
+        (* Full tcache: bypass it and return the block to its slab. *)
+        Sim.Lock.with_lock t.lock clock (fun () -> return_block t clock s b)
+
+(* --- large allocation ------------------------------------------------------ *)
+
+let malloc_large t clock ~size =
+  Sim.Lock.with_lock t.lock clock (fun () ->
+      Extent.malloc t.large clock ~size ~kind:Booklog.Extent)
+
+let free_large t clock veh =
+  Sim.Lock.with_lock t.lock clock (fun () -> Extent.free t.large clock veh)
+
+(* --- recovery / observability ----------------------------------------------- *)
+
+let adopt_slab_veh t veh = Hashtbl.replace t.slab_vehs veh.Extent.addr veh
+
+let restore_slab t s =
+  if not (Hashtbl.mem t.slab_vehs s.Slab.addr) then
+    invalid_arg "Arena.restore_slab: extent not restored first";
+  Hashtbl.replace t.all_slabs s.Slab.addr s;
+  if s.Slab.free_count > 0 then freelist_add t s;
+  if s.Slab.morph = None then lru_touch t s
+
+let iter_slabs t f = Hashtbl.iter (fun _ s -> f s) t.all_slabs
+
+let recover_return_block t clock s b = return_block t clock s b
+
+(* GC-variant recovery: the persisted bitmap is stale in both directions
+   (bits are never flushed at runtime), so rebuild it wholesale from the
+   conservative-GC mark set. Returns the number of stale-allocated blocks
+   released. *)
+let recover_rebuild_slab t clock s ~live =
+  let open Slab in
+  let layout = s.layout in
+  let stack = ref [] in
+  let count = ref 0 in
+  let released = ref 0 in
+  for b = layout.nblocks - 1 downto 0 do
+    let pinned = not (usable s b) in
+    let want = pinned || live b in
+    let had = Bitmap.get t.dev s.bitmap b in
+    if had && (not want) then incr released;
+    if had <> want then
+      if want then Bitmap.set t.dev s.bitmap b else Bitmap.clear t.dev s.bitmap b;
+    if not want then begin
+      stack := b :: !stack;
+      incr count
+    end
+  done;
+  s.free_stack <- !stack;
+  s.free_count <- !count;
+  flush_meta t clock ~addr:(bitmap_addr s)
+    ~len:(layout.bitmap_lines * Pmem.Cacheline.size);
+  (match s.freelist_node with
+  | Some _ when s.free_count = 0 -> freelist_remove t s
+  | None when s.free_count > 0 && not s.dying -> freelist_add t s
+  | Some _ | None -> ());
+  maybe_destroy_empty t clock s;
+  !released
+
+let recover_release_old_block t clock s b =
+  match s.Slab.morph with
+  | Some m -> release_old_block t clock s m b
+  | None -> invalid_arg "Arena.recover_release_old_block: slab not morphing"
+
+let live_small_blocks t =
+  Hashtbl.fold
+    (fun _ s acc -> acc + (s.Slab.layout.Slab.nblocks - s.Slab.free_count))
+    t.all_slabs 0

@@ -1,0 +1,119 @@
+(** Arena: the per-core allocation domain (section 4.2).
+
+    Each arena owns, under one lock:
+    - a slab freelist per size class (slabs with free blocks);
+    - the slab LRU list scanned head-to-tail for morphing candidates;
+    - a large allocator ({!Extent}) from which slabs and large extents
+      are carved;
+    - a WAL and (when log-structured bookkeeping is on) a bookkeeping log.
+
+    Thread-local tcaches sit above the arena: {!alloc_small} serves from
+    the calling thread's tcache and only takes the arena lock to refill;
+    {!free_small} pushes into the tcache and only locks to return blocks
+    to their slab on overflow. This mirrors the paper's design, including
+    its scalability limits (cross-thread frees serialize on the owning
+    arena, which is why PAllocator's per-thread allocators beat NVAlloc
+    at 64 threads on eADR, section 6.7).
+
+    The module implements the three metadata protocols:
+    - NVAlloc-LOG: every bitmap transition is WAL-logged and flushed
+      (entry kinds and the checkpoint rule are documented in {!Wal});
+    - NVAlloc-GC: no flushes for small-allocation metadata; the volatile
+      image is rebuilt by post-crash GC;
+    - slab morphing (section 5.2): a three-step, flag-guarded header
+      transformation allowing a mostly-empty slab to change size class
+      while its surviving old-class blocks are tracked in the index
+      table. *)
+
+type t
+
+val create :
+  Heap.t ->
+  index:int ->
+  region_lock:Sim.Lock.t ->
+  on_slab_created:(Slab.t -> unit) ->
+  on_slab_destroyed:(Slab.t -> unit) ->
+  on_extent_created:(Extent.veh -> int -> unit) ->
+  on_extent_dropped:(Extent.veh -> unit) ->
+  t
+(** The callbacks maintain the owner's global address index ([int] is the
+    arena index). *)
+
+val of_recovered :
+  Heap.t ->
+  index:int ->
+  region_lock:Sim.Lock.t ->
+  booklog:Booklog.t option ->
+  wal:Wal.t ->
+  on_slab_created:(Slab.t -> unit) ->
+  on_slab_destroyed:(Slab.t -> unit) ->
+  on_extent_created:(Extent.veh -> int -> unit) ->
+  on_extent_dropped:(Extent.veh -> unit) ->
+  t
+(** Build an arena around recovered persistent structures (recovery
+    constructs the booklog/WAL handles itself). *)
+
+val index : t -> int
+val lock : t -> Sim.Lock.t
+val wal : t -> Wal.t
+val large : t -> Extent.t
+val heap : t -> Heap.t
+
+val register_tcaches : t -> Tcache.t array -> unit
+(** Announce a thread's tcaches so WAL checkpoints can drain them. *)
+
+val alloc_small :
+  t -> Sim.Clock.t -> tcaches:Tcache.t array -> class_idx:int -> Slab.t * int
+(** Returns the block's slab and {e address}; the caller publishes the
+    user pointer and writes the WAL [Alloc] entry (it knows [dest]).
+    Addresses (not indices) are the stable currency because a slab can
+    morph while blocks sit in tcaches. *)
+
+val free_small :
+  t -> Sim.Clock.t -> tcaches:Tcache.t array -> Slab.t -> addr:int -> dest:int -> unit
+(** [addr] is the block's address inside [slab] (current or old class;
+    morphing is resolved here). [t] must be the slab's owning arena; the
+    tcache is the freeing thread's; [dest] is recorded in the WAL [Free]
+    entry so recovery can also clear a dangling user pointer. *)
+
+val log_op : t -> Sim.Clock.t -> Wal.kind -> addr:int -> dest:int -> unit
+(** Append a WAL entry (checkpointing first if the ring is full).
+    [Large_*] kinds are logged in both variants, small kinds only under
+    [Log_based] consistency. *)
+
+val malloc_large : t -> Sim.Clock.t -> size:int -> Extent.veh
+val free_large : t -> Sim.Clock.t -> Extent.veh -> unit
+
+val checkpoint_if_needed : t -> Sim.Clock.t -> unit
+(** Drain registered tcaches and reset the WAL when it is near full;
+    called internally before WAL appends, exposed for tests. *)
+
+val drain_all_tcaches : t -> Sim.Clock.t -> unit
+(** Return every tcache-resident block to its slab (shutdown path). *)
+
+val adopt_slab_veh : t -> Extent.veh -> unit
+(** Recovery hook: remember the extent backing a slab (before
+    {!restore_slab}). *)
+
+val restore_slab : t -> Slab.t -> unit
+(** Recovery hook: adopt a rebuilt vslab into freelists/LRU;
+    {!adopt_slab_veh} must have been called for its extent. *)
+
+val iter_slabs : t -> (Slab.t -> unit) -> unit
+(** All live slabs of this arena (for tests and recovery sweeps). *)
+
+val recover_return_block : t -> Sim.Clock.t -> Slab.t -> int -> unit
+(** Recovery hook: return a leaked current-class block to its slab
+    (bit cleared and persisted, freelist membership fixed). *)
+
+val recover_release_old_block : t -> Sim.Clock.t -> Slab.t -> int -> unit
+(** Recovery hook: release a leaked old-class block of a morphing slab. *)
+
+val recover_rebuild_slab : t -> Sim.Clock.t -> Slab.t -> live:(int -> bool) -> int
+(** GC-variant recovery: rebuild a slab's bitmap and free list wholesale
+    from the conservative-GC mark predicate (morph-pinned blocks stay
+    allocated). Returns how many stale-allocated blocks were released. *)
+
+val live_small_blocks : t -> int
+(** Allocated-block count over all slabs, tcache-resident blocks
+    excluded (test observability). *)

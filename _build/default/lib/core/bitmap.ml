@@ -1,0 +1,63 @@
+type mapping = Sequential | Interleaved of int
+
+type t = { base : int; nbits : int; lines : int; mapping : mapping }
+
+let bits_per_line = Pmem.Cacheline.size * 8
+
+let lines_for ~nbits ~mapping =
+  let minimum = (nbits + bits_per_line - 1) / bits_per_line in
+  let minimum = max 1 minimum in
+  match mapping with
+  | Sequential -> minimum
+  | Interleaved stripes ->
+      assert (stripes >= 1);
+      (* No point in more stripes than blocks. *)
+      max minimum (min stripes (max 1 nbits))
+
+let make ~base ~nbits ~mapping =
+  assert (base mod Pmem.Cacheline.size = 0);
+  assert (nbits > 0);
+  { base; nbits; lines = lines_for ~nbits ~mapping; mapping }
+
+let bytes t = t.lines * Pmem.Cacheline.size
+
+let bit_location t b =
+  assert (b >= 0 && b < t.nbits);
+  match t.mapping with
+  | Sequential -> (b / bits_per_line, b mod bits_per_line)
+  | Interleaved _ -> (b mod t.lines, b / t.lines)
+
+let line_addr t b =
+  let line, _ = bit_location t b in
+  t.base + (line * Pmem.Cacheline.size)
+
+let byte_and_mask t b =
+  let line, idx = bit_location t b in
+  let byte = t.base + (line * Pmem.Cacheline.size) + (idx / 8) in
+  (byte, 1 lsl (idx mod 8))
+
+let set dev t b =
+  let byte, mask = byte_and_mask t b in
+  Pmem.Device.write_u8 dev byte (Pmem.Device.read_u8 dev byte lor mask)
+
+let clear dev t b =
+  let byte, mask = byte_and_mask t b in
+  Pmem.Device.write_u8 dev byte (Pmem.Device.read_u8 dev byte land lnot mask)
+
+let get dev t b =
+  let byte, mask = byte_and_mask t b in
+  Pmem.Device.read_u8 dev byte land mask <> 0
+
+let clear_all dev t = Pmem.Device.fill dev t.base (bytes t) '\000'
+
+let popcount dev t =
+  let n = ref 0 in
+  for b = 0 to t.nbits - 1 do
+    if get dev t b then incr n
+  done;
+  !n
+
+let iter_set dev t f =
+  for b = 0 to t.nbits - 1 do
+    if get dev t b then f b
+  done

@@ -1,0 +1,63 @@
+type consistency = Log_based | Gc_based | Internal_collection
+
+type t = {
+  consistency : consistency;
+  bit_stripes : int;
+  interleave_tcache : bool;
+  interleave_wal : bool;
+  interleave_log : bool;
+  slab_morphing : bool;
+  morph_su_threshold : float;
+  log_bookkeeping : bool;
+  booklog_gc : bool;
+  booklog_chunks : int;
+  wal_entries : int;
+  booklog_slow_gc_threshold : float;
+  tcache_capacity : int;
+  arenas : int;
+  decay_interval_ns : float;
+  decay_window_ns : float;
+  root_slots : int;
+}
+
+let log_default =
+  {
+    consistency = Log_based;
+    bit_stripes = 6;
+    interleave_tcache = true;
+    interleave_wal = true;
+    interleave_log = true;
+    slab_morphing = true;
+    morph_su_threshold = 0.20;
+    log_bookkeeping = true;
+    booklog_gc = true;
+    booklog_chunks = 512;
+    wal_entries = 8192;
+    booklog_slow_gc_threshold = 0.8;
+    tcache_capacity = 32;
+    arenas = 40;
+    decay_interval_ns = 50_000_000.0;
+    decay_window_ns = 500_000_000.0;
+    root_slots = 1 lsl 20;
+  }
+
+let gc_default = { log_default with consistency = Gc_based }
+let ic_default = { log_default with consistency = Internal_collection }
+
+let base consistency =
+  {
+    log_default with
+    consistency;
+    bit_stripes = 1;
+    interleave_tcache = false;
+    interleave_wal = false;
+    interleave_log = false;
+    slab_morphing = false;
+    log_bookkeeping = false;
+  }
+
+(* "+Interleaved" (Figure 11): the interleaved tcache layout groups blocks
+   by the cache line of their bitmap bit, which only has an effect when the
+   bitmap itself is striped; the ablation therefore enables both. *)
+let with_interleaved_tcache t = { t with interleave_tcache = true; bit_stripes = 6 }
+let with_log_bookkeeping t = { t with log_bookkeeping = true; interleave_log = false }

@@ -1,0 +1,402 @@
+module Int_rb = Support.Rbtree.Make (struct
+  type t = int
+
+  let compare = compare
+end)
+
+module Size_rb = Support.Rbtree.Make (struct
+  type t = int * int (* size, addr *)
+
+  let compare = compare
+end)
+
+type mode = In_place | Logged of Booklog.t
+type state = Activated | Reclaimed | Retained
+
+type veh = {
+  mutable addr : int;
+  mutable size : int;
+  mutable state : state;
+  mutable kind : Booklog.kind;
+  mutable log_ref : int;
+  mutable node : veh Support.Dlist.node option;
+  mutable free_time : float;
+  region : int;
+}
+
+type region_info = { total : int; data_off : int; dedicated : bool }
+
+let region_bytes = 4 * 1024 * 1024
+let header_bytes = 16384 (* in-place region header area *)
+let huge_threshold = 2 * 1024 * 1024
+
+type t = {
+  heap : Heap.t;
+  dev : Pmem.Device.t;
+  mode : mode;
+  region_lock : Sim.Lock.t;
+  on_new_extent : veh -> unit;
+  on_drop_extent : veh -> unit;
+  addr_tree : veh Int_rb.t;
+  reclaimed_by_size : veh Size_rb.t;
+  retained_by_size : veh Size_rb.t;
+  activated : veh Support.Dlist.t;
+  reclaimed : veh Support.Dlist.t; (* FIFO: oldest at the front *)
+  retained : veh Support.Dlist.t;
+  regions : (int, region_info) Hashtbl.t;
+  ref_index : (int, veh) Hashtbl.t;
+  mutable activated_bytes : int;
+  mutable reclaimed_bytes : int;
+  mutable retained_bytes : int;
+  mutable reclaimed_peak : int;
+  mutable last_decay : float;
+  mutable tombs_since_fast_gc : int;
+}
+
+let round4k n = (n + 4095) land lnot 4095
+
+let create heap ~mode ~region_lock ~on_new_extent ~on_drop_extent =
+  {
+    heap;
+    dev = Heap.device heap;
+    mode;
+    region_lock;
+    on_new_extent;
+    on_drop_extent;
+    addr_tree = Int_rb.create ();
+    reclaimed_by_size = Size_rb.create ();
+    retained_by_size = Size_rb.create ();
+    activated = Support.Dlist.create ();
+    reclaimed = Support.Dlist.create ();
+    retained = Support.Dlist.create ();
+    regions = Hashtbl.create 16;
+    ref_index = Hashtbl.create 64;
+    activated_bytes = 0;
+    reclaimed_bytes = 0;
+    retained_bytes = 0;
+    reclaimed_peak = 0;
+    last_decay = 0.0;
+    tombs_since_fast_gc = 0;
+  }
+
+let booklog t = match t.mode with In_place -> None | Logged l -> Some l
+let activated_bytes t = t.activated_bytes
+let reclaimed_bytes t = t.reclaimed_bytes
+let retained_bytes t = t.retained_bytes
+let data_off t = match t.mode with In_place -> header_bytes | Logged _ -> 0
+
+(* Charge a DRAM tree search of [n] elements. *)
+let charge_search t clock n =
+  let steps = 1 + (if n <= 1 then 0 else int_of_float (Float.log2 (float_of_int n))) in
+  for _ = 1 to steps do
+    Pmem.Device.search_step t.dev clock
+  done
+
+(* --- persistent bookkeeping -------------------------------------------- *)
+
+(* In-place mode: one 8 B slot per possible extent start, in the region's
+   header area. Persisted on activation (state 1 + size) and on free
+   (cleared); recovery reads only state-1 slots. *)
+let slot_addr t v =
+  let off = v.addr - v.region - data_off t in
+  assert (off >= 0 && off mod 4096 = 0);
+  v.region + (off / 4096 * 8)
+
+let persist_activated t clock v =
+  match t.mode with
+  | Logged log ->
+      v.log_ref <- Booklog.append_normal log clock v.kind ~addr:v.addr ~size:v.size
+  | In_place ->
+      let slot = slot_addr t v in
+      Pmem.Device.write_u32 t.dev slot ((v.size / 4096) lor (1 lsl 24));
+      Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:slot ~len:4
+
+let run_booklog_gc t clock log =
+  t.tombs_since_fast_gc <- t.tombs_since_fast_gc + 1;
+  if t.tombs_since_fast_gc >= Booklog.entries_per_chunk then begin
+    t.tombs_since_fast_gc <- 0;
+    ignore (Booklog.fast_gc log clock)
+  end;
+  if
+    Booklog.needs_slow_gc log
+      ~threshold:(Heap.config t.heap).Config.booklog_slow_gc_threshold
+  then begin
+    let remap = Booklog.slow_gc log clock in
+    List.iter
+      (fun (old_ref, new_ref) ->
+        match Hashtbl.find_opt t.ref_index old_ref with
+        | Some v ->
+            Hashtbl.remove t.ref_index old_ref;
+            v.log_ref <- new_ref;
+            Hashtbl.replace t.ref_index new_ref v
+        | None -> ())
+      remap
+  end
+
+let persist_freed t clock v =
+  match t.mode with
+  | Logged log ->
+      assert (v.log_ref >= 0);
+      Booklog.append_tombstone log clock v.log_ref;
+      Hashtbl.remove t.ref_index v.log_ref;
+      v.log_ref <- -1;
+      if (Heap.config t.heap).Config.booklog_gc then run_booklog_gc t clock log
+  | In_place ->
+      let slot = slot_addr t v in
+      Pmem.Device.write_u32 t.dev slot 0;
+      Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:slot ~len:4
+
+(* --- list/tree plumbing -------------------------------------------------- *)
+
+let detach t v =
+  (match v.node with
+  | Some node ->
+      let list =
+        match v.state with
+        | Activated -> t.activated
+        | Reclaimed -> t.reclaimed
+        | Retained -> t.retained
+      in
+      Support.Dlist.remove list node;
+      v.node <- None
+  | None -> ());
+  match v.state with
+  | Activated -> t.activated_bytes <- t.activated_bytes - v.size
+  | Reclaimed ->
+      Size_rb.remove t.reclaimed_by_size (v.size, v.addr);
+      t.reclaimed_bytes <- t.reclaimed_bytes - v.size
+  | Retained ->
+      Size_rb.remove t.retained_by_size (v.size, v.addr);
+      t.retained_bytes <- t.retained_bytes - v.size
+
+let attach t v state =
+  v.state <- state;
+  (match state with
+  | Activated ->
+      v.node <- Some (Support.Dlist.push_back t.activated v);
+      t.activated_bytes <- t.activated_bytes + v.size
+  | Reclaimed ->
+      v.node <- Some (Support.Dlist.push_back t.reclaimed v);
+      Size_rb.insert t.reclaimed_by_size (v.size, v.addr) v;
+      t.reclaimed_bytes <- t.reclaimed_bytes + v.size;
+      if t.reclaimed_bytes > t.reclaimed_peak then t.reclaimed_peak <- t.reclaimed_bytes
+  | Retained ->
+      v.node <- Some (Support.Dlist.push_back t.retained v);
+      Size_rb.insert t.retained_by_size (v.size, v.addr) v;
+      t.retained_bytes <- t.retained_bytes + v.size);
+  Int_rb.insert t.addr_tree v.addr v
+
+let remove_everywhere t v =
+  detach t v;
+  Int_rb.remove t.addr_tree v.addr
+
+(* Merge adjacent free neighbours in state [state] (within one region)
+   into [v]; [v] must not be in any structure yet. *)
+let coalesce t v ~state =
+  let try_merge u =
+    if u != v && u.region = v.region && u.state = state then
+      if u.addr + u.size = v.addr then begin
+        remove_everywhere t u;
+        v.addr <- u.addr;
+        v.size <- v.size + u.size;
+        v.free_time <- Float.min v.free_time u.free_time;
+        true
+      end
+      else if v.addr + v.size = u.addr then begin
+        remove_everywhere t u;
+        v.size <- v.size + u.size;
+        v.free_time <- Float.min v.free_time u.free_time;
+        true
+      end
+      else false
+    else false
+  in
+  (match Int_rb.find_last_lt t.addr_tree v.addr with
+  | Some (_, u) -> ignore (try_merge u)
+  | None -> ());
+  match Int_rb.find_opt t.addr_tree (v.addr + v.size) with
+  | Some u -> ignore (try_merge u)
+  | None -> ()
+
+(* --- regions -------------------------------------------------------------- *)
+
+let map_region t clock ~total ~dedicated =
+  Sim.Lock.with_lock t.region_lock clock (fun () ->
+      let base = Pmem.Dax.mmap (Heap.dax t.heap) clock ~size:total in
+      Heap.register_region t.heap clock ~addr:base ~size:total;
+      Hashtbl.replace t.regions base { total; data_off = data_off t; dedicated };
+      base)
+
+let unmap_region t clock base =
+  Sim.Lock.with_lock t.region_lock clock (fun () ->
+      let info = Hashtbl.find t.regions base in
+      Heap.unregister_region t.heap clock ~addr:base;
+      Pmem.Dax.munmap (Heap.dax t.heap) clock ~addr:base ~size:info.total;
+      Hashtbl.remove t.regions base)
+
+let region_data_size t base =
+  let info = Hashtbl.find t.regions base in
+  info.total - info.data_off
+
+(* --- decay ---------------------------------------------------------------- *)
+
+let release_retained t clock v =
+  (* Only whole regions go back to the OS: partial unmaps would leave the
+     persistent region table ambiguous for recovery. *)
+  if v.size = region_data_size t v.region then begin
+    remove_everywhere t v;
+    unmap_region t clock v.region
+  end
+
+let decay_tick t clock =
+  let now = clock.Sim.Clock.now in
+  let cfg = Heap.config t.heap in
+  if now -. t.last_decay >= cfg.Config.decay_interval_ns then begin
+    t.last_decay <- now;
+    let window = cfg.Config.decay_window_ns in
+    (* Reclaimed -> retained, under the smootherstep cap. *)
+    let continue_ = ref true in
+    while !continue_ do
+      match Support.Dlist.peek_front t.reclaimed with
+      | None -> continue_ := false
+      | Some v ->
+          let frac = (now -. v.free_time) /. window in
+          let cap = Support.Smootherstep.limit ~total:t.reclaimed_peak ~elapsed_fraction:frac in
+          if t.reclaimed_bytes > cap && frac > 0.0 then begin
+            detach t v;
+            Int_rb.remove t.addr_tree v.addr;
+            Pmem.Dax.decommit (Heap.dax t.heap) clock ~addr:v.addr ~size:v.size;
+            coalesce t v ~state:Retained;
+            attach t v Retained
+          end
+          else continue_ := false
+    done;
+    (* Retained -> OS after a full window. *)
+    let victims = ref [] in
+    Support.Dlist.iter
+      (fun v -> if now -. v.free_time >= window then victims := v :: !victims)
+      t.retained;
+    List.iter (fun v -> release_retained t clock v) !victims
+  end
+
+(* --- allocation ------------------------------------------------------------ *)
+
+let fresh_veh ~addr ~size ~kind ~region ~now =
+  {
+    addr;
+    size;
+    state = Reclaimed;
+    kind;
+    log_ref = -1;
+    node = None;
+    free_time = now;
+    region;
+  }
+
+(* Split [need] bytes off the front of free extent [v] (not in any
+   structure); the remainder (if any) is re-attached in [v]'s state. *)
+let split_front t v ~need ~remainder_state =
+  assert (v.size >= need);
+  if v.size = need then None
+  else begin
+    let rest =
+      fresh_veh ~addr:(v.addr + need) ~size:(v.size - need) ~kind:Booklog.Extent
+        ~region:v.region ~now:v.free_time
+    in
+    v.size <- need;
+    attach t rest remainder_state;
+    Some rest
+  end
+
+let activate t clock v kind =
+  v.kind <- kind;
+  attach t v Activated;
+  persist_activated t clock v;
+  (match t.mode with Logged _ -> Hashtbl.replace t.ref_index v.log_ref v | In_place -> ());
+  t.on_new_extent v
+
+let alloc_huge t clock ~size ~kind =
+  let total = round4k (size + data_off t) in
+  let base = map_region t clock ~total ~dedicated:true in
+  let v =
+    fresh_veh ~addr:(base + data_off t) ~size:(total - data_off t) ~kind ~region:base
+      ~now:clock.Sim.Clock.now
+  in
+  activate t clock v kind;
+  v
+
+let take_best_fit t clock tree ~need =
+  charge_search t clock (Size_rb.cardinal tree);
+  match Size_rb.find_first_geq tree (need, 0) with
+  | None -> None
+  | Some (_, v) ->
+      detach t v;
+      Int_rb.remove t.addr_tree v.addr;
+      Some v
+
+let malloc t clock ~size ~kind =
+  decay_tick t clock;
+  let need = round4k size in
+  if need > huge_threshold then alloc_huge t clock ~size:need ~kind
+  else
+    match take_best_fit t clock t.reclaimed_by_size ~need with
+    | Some v ->
+        ignore (split_front t v ~need ~remainder_state:Reclaimed);
+        activate t clock v kind;
+        v
+    | None -> (
+        match take_best_fit t clock t.retained_by_size ~need with
+        | Some v ->
+            ignore (split_front t v ~need ~remainder_state:Retained);
+            Pmem.Dax.recommit (Heap.dax t.heap) clock ~addr:v.addr ~size:v.size;
+            activate t clock v kind;
+            v
+        | None ->
+            let base = map_region t clock ~total:region_bytes ~dedicated:false in
+            let v =
+              fresh_veh ~addr:(base + data_off t) ~size:(region_bytes - data_off t)
+                ~kind:Booklog.Extent ~region:base ~now:clock.Sim.Clock.now
+            in
+            ignore (split_front t v ~need ~remainder_state:Reclaimed);
+            activate t clock v kind;
+            v)
+
+let free t clock v =
+  assert (v.state = Activated);
+  charge_search t clock (Int_rb.cardinal t.addr_tree);
+  detach t v;
+  Int_rb.remove t.addr_tree v.addr;
+  persist_freed t clock v;
+  t.on_drop_extent v;
+  let info = Hashtbl.find t.regions v.region in
+  if info.dedicated then
+    (* Dedicated huge region: straight back to the OS. *)
+    unmap_region t clock v.region
+  else begin
+    v.free_time <- clock.Sim.Clock.now;
+    v.kind <- Booklog.Extent;
+    coalesce t v ~state:Reclaimed;
+    attach t v Reclaimed
+  end;
+  decay_tick t clock
+
+(* --- recovery hooks --------------------------------------------------------- *)
+
+let restore_region t ~base ~total =
+  (* A region whose size differs from the default granularity was mapped
+     for one huge object. *)
+  Hashtbl.replace t.regions base
+    { total; data_off = data_off t; dedicated = total <> region_bytes }
+
+let restore_extent t ~addr ~size ~kind ~state ~log_ref ~region =
+  (* Region totals are re-derived from the persistent region table by the
+     recovery driver before extents are restored. *)
+  assert (Hashtbl.mem t.regions region);
+  let v = fresh_veh ~addr ~size ~kind ~region ~now:0.0 in
+  v.log_ref <- log_ref;
+  attach t v state;
+  if state = Activated then begin
+    if log_ref >= 0 then Hashtbl.replace t.ref_index log_ref v;
+    t.on_new_extent v
+  end;
+  v

@@ -1,0 +1,80 @@
+(** Large allocator: extents and virtual extent headers (sections 2.2, 4.3).
+
+    One instance lives in every arena. Extents (4 KB-multiple byte ranges
+    carved out of 4 MB mapped regions) are described by volatile VEHs kept
+    on three lists:
+
+    - {e activated}: allocated extents;
+    - {e reclaimed}: free extents whose physical memory is still mapped;
+    - {e retained}: free extents whose physical pages were released
+      (decommitted) but whose address range is still reserved.
+
+    Allocation best-fits the reclaimed list, then the retained list
+    (faulting pages back in), then maps a new region. An address-ordered
+    red-black tree (the paper's "R-tree") supports splitting and
+    coalescing; a (size, addr)-ordered tree gives best-fit in O(log n).
+    A decay pass driven by the smootherstep curve (50 ms ticks) moves
+    idle reclaimed extents to retained and releases fully-retained
+    regions back to the OS.
+
+    Persistent bookkeeping is pluggable ({!mode}): {e in-place} header
+    slots at the head of each region (the design whose random small
+    writes Figure 2 exposes — used by the Base configuration and the
+    baseline allocators), or the {e log-structured} bookkeeping log of
+    section 5.3. Only activated extents are persisted; recovery rebuilds
+    free extents from the gaps (section 4.4). *)
+
+type mode = In_place | Logged of Booklog.t
+
+type state = Activated | Reclaimed | Retained
+
+type veh = {
+  mutable addr : int;
+  mutable size : int;
+  mutable state : state;
+  mutable kind : Booklog.kind;
+  mutable log_ref : int;  (** bookkeeping-log entry, -1 when none *)
+  mutable node : veh Support.Dlist.node option;  (** current list membership *)
+  mutable free_time : float;
+  region : int;  (** base address of the owning mapped region *)
+}
+
+type t
+
+val region_bytes : int
+(** Default mapped-region granularity (4 MB). *)
+
+val create :
+  Heap.t ->
+  mode:mode ->
+  region_lock:Sim.Lock.t ->
+  on_new_extent:(veh -> unit) ->
+  on_drop_extent:(veh -> unit) ->
+  t
+(** [on_new_extent]/[on_drop_extent] keep the owner's global address
+    index in sync (every activated extent announce/retract). *)
+
+val malloc : t -> Sim.Clock.t -> size:int -> kind:Booklog.kind -> veh
+(** Allocate [size] bytes (rounded up to 4 KB). Requests above 2 MB map a
+    dedicated region, as the paper's mmap path does. *)
+
+val free : t -> Sim.Clock.t -> veh -> unit
+(** Return an activated extent; coalesces with reclaimed neighbours and
+    runs the decay tick. *)
+
+val decay_tick : t -> Sim.Clock.t -> unit
+(** Run decay if the 50 ms interval elapsed (also called internally). *)
+
+val booklog : t -> Booklog.t option
+val activated_bytes : t -> int
+val reclaimed_bytes : t -> int
+val retained_bytes : t -> int
+
+val restore_region : t -> base:int -> total:int -> unit
+(** Recovery hook: re-register a mapped region read back from the
+    persistent region table (before restoring its extents). *)
+
+val restore_extent :
+  t -> addr:int -> size:int -> kind:Booklog.kind -> state:state -> log_ref:int -> region:int -> veh
+(** Recovery hook: insert a VEH rebuilt from persistent state without
+    touching persistent bookkeeping. *)

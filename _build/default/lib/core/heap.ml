@@ -1,0 +1,130 @@
+type state = Running | Shutdown | Recovering
+
+let magic = 0x4E564131 (* "NVA1" *)
+let region_slots = 4096
+let superblock_bytes = 4096
+let region_table_off = superblock_bytes
+let region_table_bytes = region_slots * 8
+let root_table_off = region_table_off + region_table_bytes
+
+type t = {
+  dev : Pmem.Device.t;
+  dax : Pmem.Dax.t;
+  config : Config.t;
+  wal_off : int;
+  wal_stride : int;
+  booklog_off : int;
+  booklog_stride : int;
+  heap_start : int;
+}
+
+let off_magic = 0
+let off_arenas = 4
+let off_state = 6
+
+let state_code = function Running -> 0 | Shutdown -> 1 | Recovering -> 2
+
+let state_of_code = function
+  | 0 -> Running
+  | 1 -> Shutdown
+  | 2 -> Recovering
+  | _ -> invalid_arg "Heap.state_of_code"
+
+let page_align n = (n + 4095) land lnot 4095
+
+let layout dev (config : Config.t) =
+  let wal_off = page_align (root_table_off + (config.root_slots * 8)) in
+  let wal_stride = page_align (Wal.region_bytes ~entries:config.wal_entries) in
+  let booklog_off = wal_off + (config.arenas * wal_stride) in
+  let booklog_stride = page_align (Booklog.region_bytes ~chunks:config.booklog_chunks) in
+  let heap_start = booklog_off + (config.arenas * booklog_stride) in
+  assert (heap_start < Pmem.Device.size dev);
+  (wal_off, wal_stride, booklog_off, booklog_stride, heap_start)
+
+let init dev config =
+  let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
+  Pmem.Device.write_u32 dev off_magic magic;
+  Pmem.Device.write_u16 dev off_arenas config.Config.arenas;
+  Pmem.Device.write_u8 dev off_state (state_code Running);
+  Pmem.Device.fill dev region_table_off region_table_bytes '\000';
+  let dax = Pmem.Dax.create ~start:heap_start dev in
+  { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start }
+
+let open_existing dev config =
+  assert (Pmem.Device.read_u32 dev off_magic = magic);
+  assert (Pmem.Device.read_u16 dev off_arenas = config.Config.arenas);
+  let found = state_of_code (Pmem.Device.read_u8 dev off_state) in
+  let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
+  let dax = Pmem.Dax.create ~start:heap_start dev in
+  let t = { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start } in
+  (found, t)
+
+let device t = t.dev
+let dax t = t.dax
+let config t = t.config
+
+let set_state t clock s =
+  Pmem.Device.write_u8 t.dev off_state (state_code s);
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:off_state ~len:1
+
+let root_addr t i =
+  assert (i >= 0 && i < t.config.Config.root_slots);
+  root_table_off + (i * 8)
+
+let root_slots t = t.config.Config.root_slots
+
+let wal_base t ~arena =
+  assert (arena >= 0 && arena < t.config.Config.arenas);
+  t.wal_off + (arena * t.wal_stride)
+
+let booklog_base t ~arena =
+  assert (arena >= 0 && arena < t.config.Config.arenas);
+  t.booklog_off + (arena * t.booklog_stride)
+
+let heap_start t = t.heap_start
+
+(* --- region table ------------------------------------------------------- *)
+
+(* Slot: low 20 bits size in 4 KB units, high bits base in 4 KB units;
+   0 = free slot. *)
+let encode_region ~addr ~size =
+  assert (addr mod 4096 = 0 && size mod 4096 = 0 && size > 0);
+  Int64.logor (Int64.of_int (size / 4096)) (Int64.shift_left (Int64.of_int (addr / 4096)) 20)
+
+let decode_region v =
+  let size = Int64.to_int (Int64.logand v 0xFFFFFL) * 4096 in
+  let addr = Int64.to_int (Int64.shift_right_logical v 20) * 4096 in
+  (addr, size)
+
+let slot_addr i = region_table_off + (i * 8)
+
+let register_region t clock ~addr ~size =
+  let rec find i =
+    if i >= region_slots then failwith "Heap.register_region: region table full"
+    else if Pmem.Device.read_int64 t.dev (slot_addr i) = 0L then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  Pmem.Device.write_int64 t.dev (slot_addr i) (encode_region ~addr ~size);
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:(slot_addr i) ~len:8
+
+let unregister_region t clock ~addr =
+  let rec find i =
+    if i >= region_slots then failwith "Heap.unregister_region: not found"
+    else
+      let v = Pmem.Device.read_int64 t.dev (slot_addr i) in
+      if v <> 0L && fst (decode_region v) = addr then i else find (i + 1)
+  in
+  let i = find 0 in
+  Pmem.Device.write_int64 t.dev (slot_addr i) 0L;
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:(slot_addr i) ~len:8
+
+let read_regions dev =
+  let acc = ref [] in
+  for i = region_slots - 1 downto 0 do
+    let v = Pmem.Device.read_int64 dev (slot_addr i) in
+    if v <> 0L then acc := decode_region v :: !acc
+  done;
+  !acc
+
+let regions t = read_regions t.dev

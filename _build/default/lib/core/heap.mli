@@ -1,0 +1,62 @@
+(** Persistent heap layout: superblock, region table, root table.
+
+    The heap occupies the whole device:
+
+    {v
+    0            superblock (magic, arena count, run-state flag)
+    4 KB         region table: 4096 slots * 8 B (base and size, 4 KB units)
+    36 KB        root table: root_slots * 8 B
+    ...          per-arena WAL regions
+    ...          per-arena bookkeeping-log regions
+    heap_start   extent space managed through Dax (the "heap files")
+    v}
+
+    The run-state flag implements section 4.4's per-heap state: [Running],
+    [Shutdown] (set by a clean [nvalloc_exit]) or [Recovering]; finding
+    [Running]/[Recovering] at open time means a failure happened and a
+    sanity pass (WAL replay or conservative GC) is required.
+
+    The region table persists which 4 MB regions are mapped, so recovery
+    can walk the heap without the volatile Dax state. *)
+
+type state = Running | Shutdown | Recovering
+
+type t
+
+val region_slots : int
+
+val init : Pmem.Device.t -> Config.t -> t
+(** Format a fresh heap (volatile image; the first fence persists). *)
+
+val open_existing : Pmem.Device.t -> Config.t -> state * t
+(** Rebuild the layout handle from a (post-crash or post-shutdown) image;
+    returns the persisted run state as found. [Config] must match the one
+    the heap was initialised with (checked against the superblock where
+    recorded). The caller ({!Recovery}) is responsible for moving the
+    state to [Recovering] and eventually back to [Running]. *)
+
+val device : t -> Pmem.Device.t
+val dax : t -> Pmem.Dax.t
+val config : t -> Config.t
+val set_state : t -> Sim.Clock.t -> state -> unit
+
+val root_addr : t -> int -> int
+(** Device address of root slot [i]. *)
+
+val root_slots : t -> int
+val wal_base : t -> arena:int -> int
+val booklog_base : t -> arena:int -> int
+val heap_start : t -> int
+
+(** {1 Region table} *)
+
+val register_region : t -> Sim.Clock.t -> addr:int -> size:int -> unit
+(** Record a mapped region (one small metadata flush). *)
+
+val unregister_region : t -> Sim.Clock.t -> addr:int -> unit
+
+val regions : t -> (int * int) list
+(** Mapped regions [(addr, size)], from the persistent table. *)
+
+val read_regions : Pmem.Device.t -> (int * int) list
+(** Static variant for recovery, before a handle exists. *)

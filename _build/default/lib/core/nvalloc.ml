@@ -1,0 +1,683 @@
+module Int_rb = Support.Rbtree.Make (struct
+  type t = int
+
+  let compare = compare
+end)
+
+type owner = Small_owner of Slab.t | Large_owner of Extent.veh * int
+
+type t = {
+  heap : Heap.t;
+  dev : Pmem.Device.t;
+  config : Config.t;
+  mutable arenas : Arena.t array;
+  owner_index : owner Int_rb.t;
+  owner_lock : Sim.Lock.t;
+  region_lock : Sim.Lock.t;
+  arena_threads : int array;
+  mutable next_thread : int;
+  mutable closed : bool;
+}
+
+type thread = { id : int; clock : Sim.Clock.t; arena : int; tcaches : Tcache.t array }
+
+type recovery_report = {
+  found_state : Heap.state;
+  wal_entries_replayed : int;
+  leaked_blocks_reclaimed : int;
+  leaked_extents_reclaimed : int;
+  gc_blocks_marked : int;
+  booklog_entries : int;
+}
+
+(* --- owner index --------------------------------------------------------- *)
+
+let owner_insert t addr owner = Int_rb.insert t.owner_index addr owner
+let owner_remove t addr = Int_rb.remove t.owner_index addr
+
+(* Find the slab or extent containing [addr]; charges a search. *)
+let owner_lookup t clock addr =
+  let n = Int_rb.cardinal t.owner_index in
+  let steps = 1 + (if n <= 1 then 0 else int_of_float (Float.log2 (float_of_int n))) in
+  Pmem.Device.charge_work t.dev clock Pmem.Stats.Search ~ns:(float_of_int steps *. 25.0);
+  match Int_rb.find_last_leq t.owner_index addr with
+  | None -> None
+  | Some (_, (Small_owner s as o)) ->
+      if addr < s.Slab.addr + Slab.slab_bytes then Some o else None
+  | Some (_, (Large_owner (v, _) as o)) ->
+      if addr < v.Extent.addr + v.Extent.size then Some o else None
+
+let callbacks t =
+  let on_slab_created s = owner_insert t s.Slab.addr (Small_owner s) in
+  let on_slab_destroyed s = owner_remove t s.Slab.addr in
+  let on_extent_created v arena =
+    match v.Extent.kind with
+    | Booklog.Extent -> owner_insert t v.Extent.addr (Large_owner (v, arena))
+    | Booklog.Slab_extent -> ()
+  in
+  let on_extent_dropped v =
+    match v.Extent.kind with
+    | Booklog.Extent -> owner_remove t v.Extent.addr
+    | Booklog.Slab_extent -> ()
+  in
+  (on_slab_created, on_slab_destroyed, on_extent_created, on_extent_dropped)
+
+(* --- construction ---------------------------------------------------------- *)
+
+let create ?(config = Config.log_default) dev clock =
+  let heap = Heap.init dev config in
+  let t =
+    {
+      heap;
+      dev;
+      config;
+      arenas = [||];
+      owner_index = Int_rb.create ();
+      owner_lock = Sim.Lock.create ();
+      region_lock = Sim.Lock.create ();
+      arena_threads = Array.make config.Config.arenas 0;
+      next_thread = 0;
+      closed = false;
+    }
+  in
+  let on_sc, on_sd, on_ec, on_ed = callbacks t in
+  t.arenas <-
+    Array.init config.Config.arenas (fun index ->
+        Arena.create heap ~index ~region_lock:t.region_lock ~on_slab_created:on_sc
+          ~on_slab_destroyed:on_sd ~on_extent_created:on_ec ~on_extent_dropped:on_ed);
+  (* Persist the freshly formatted metadata (superblock, WAL and
+     bookkeeping-log headers): initialisation must survive a crash that
+     happens before the first operation flushes anything nearby. *)
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  Heap.set_state heap clock Heap.Running;
+  t
+
+let config t = t.config
+let device t = t.dev
+let heap t = t.heap
+let root_addr t i = Heap.root_addr t.heap i
+let root_slots t = Heap.root_slots t.heap
+let arenas t = t.arenas
+
+let thread t clock =
+  (* Least-loaded arena, as in section 4.2. *)
+  let best = ref 0 in
+  Array.iteri (fun i n -> if n < t.arena_threads.(!best) then best := i) t.arena_threads;
+  let arena = !best in
+  t.arena_threads.(arena) <- t.arena_threads.(arena) + 1;
+  let nsub =
+    if t.config.Config.interleave_tcache then max 2 t.config.Config.bit_stripes else 1
+  in
+  let tcaches =
+    Array.init Size_class.count (fun class_idx ->
+        Tcache.create ~class_idx ~capacity:t.config.Config.tcache_capacity ~nsub)
+  in
+  Arena.register_tcaches t.arenas.(arena) tcaches;
+  let th = { id = t.next_thread; clock; arena; tcaches } in
+  t.next_thread <- t.next_thread + 1;
+  th
+
+let thread_clock th = th.clock
+let thread_arena th = th.arena
+
+(* --- allocation ------------------------------------------------------------- *)
+
+let publish t clock ~dest ~addr =
+  Pmem.Device.write_int64 t.dev dest (Int64.of_int addr);
+  Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
+
+let malloc_to t th ~size ~dest =
+  assert (not t.closed);
+  assert (size > 0);
+  let clock = th.clock in
+  let addr =
+    match Size_class.of_size size with
+    | Some class_idx ->
+        let arena = t.arenas.(th.arena) in
+        let _slab, addr = Arena.alloc_small arena clock ~tcaches:th.tcaches ~class_idx in
+        Arena.log_op arena clock Wal.Alloc ~addr ~dest;
+        addr
+    | None ->
+        let arena = t.arenas.(th.arena) in
+        let veh = Arena.malloc_large arena clock ~size in
+        Arena.log_op arena clock Wal.Large_alloc ~addr:veh.Extent.addr ~dest;
+        veh.Extent.addr
+  in
+  publish t clock ~dest ~addr;
+  addr
+
+let read_ptr t ~dest = Int64.to_int (Pmem.Device.read_int64 t.dev dest)
+
+let free_from t th ~dest =
+  assert (not t.closed);
+  let clock = th.clock in
+  let addr = read_ptr t ~dest in
+  assert (addr > 0);
+  (* Internal collection retracts the reference before unmarking the
+     block: a crash in between leaves an orphan the application resolves
+     via iter_allocated, never a published pointer to a freed block. The
+     logged variants keep the reverse order and let WAL replay clear the
+     dangling destination. *)
+  if t.config.Config.consistency = Config.Internal_collection then begin
+    Pmem.Device.write_int64 t.dev dest 0L;
+    Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
+  end;
+  (match owner_lookup t clock addr with
+  | Some (Small_owner slab) ->
+      Arena.free_small t.arenas.(slab.Slab.arena) clock ~tcaches:th.tcaches slab ~addr ~dest
+  | Some (Large_owner (veh, aidx)) ->
+      assert (veh.Extent.addr = addr);
+      let arena = t.arenas.(aidx) in
+      Arena.log_op arena clock Wal.Large_free ~addr ~dest;
+      Arena.free_large arena clock veh
+  | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator");
+  Pmem.Device.write_int64 t.dev dest 0L;
+  Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
+
+let exit_ t clock =
+  assert (not t.closed);
+  Array.iter
+    (fun arena ->
+      Sim.Lock.with_lock (Arena.lock arena) clock (fun () ->
+          Arena.drain_all_tcaches arena clock;
+          Wal.checkpoint (Arena.wal arena) clock))
+    t.arenas;
+  (* Persist every remaining volatile line (NVAlloc-GC's bitmaps, free
+     extent bookkeeping, ...). *)
+  Pmem.Device.flush_all t.dev clock Pmem.Stats.Meta;
+  Heap.set_state t.heap clock Heap.Shutdown;
+  t.closed <- true
+
+(* --- observability ------------------------------------------------------------ *)
+
+let mapped_bytes t = Pmem.Dax.mapped_bytes (Heap.dax t.heap)
+let peak_mapped_bytes t = Pmem.Dax.peak_mapped_bytes (Heap.dax t.heap)
+let reset_peak t = Pmem.Dax.reset_peak (Heap.dax t.heap)
+let stats t = Pmem.Device.stats t.dev
+
+type owner_info = { base : int; size : int; is_slab : bool }
+
+let info_of_owner = function
+  | Small_owner s -> { base = s.Slab.addr; size = Slab.slab_bytes; is_slab = true }
+  | Large_owner (v, _) -> { base = v.Extent.addr; size = v.Extent.size; is_slab = false }
+
+let owner_of_addr t addr =
+  match Int_rb.find_last_leq t.owner_index addr with
+  | None -> None
+  | Some (_, o) ->
+      let i = info_of_owner o in
+      if addr < i.base + i.size then Some i else None
+
+let check_owner_index t =
+  let prev = ref None in
+  let error = ref None in
+  Int_rb.iter
+    (fun key o ->
+      let i = info_of_owner o in
+      if key <> i.base then
+        error := Some (Printf.sprintf "key %d <> base %d" key i.base);
+      (match !prev with
+      | Some p when p.base + p.size > i.base && !error = None ->
+          error :=
+            Some
+              (Printf.sprintf "overlap: [%d,+%d,%s] and [%d,+%d,%s]" p.base p.size
+                 (if p.is_slab then "slab" else "ext")
+                 i.base i.size
+                 (if i.is_slab then "slab" else "ext"))
+      | _ -> ());
+      prev := Some i)
+    t.owner_index;
+  match !error with None -> Ok "disjoint" | Some e -> Error e
+
+let iter_slabs t f = Array.iter (fun a -> Arena.iter_slabs a f) t.arenas
+
+let iter_allocated t f =
+  (* Small objects: marked, non-pinned blocks; old-class blocks of a
+     morphing slab are enumerated from the index table. *)
+  iter_slabs t (fun s ->
+      Bitmap.iter_set t.dev s.Slab.bitmap (fun b ->
+          if Slab.usable s b then
+            f ~addr:(Slab.block_addr s b) ~size:s.Slab.layout.Slab.block_size);
+      match s.Slab.morph with
+      | Some m ->
+          Hashtbl.iter
+            (fun b _ ->
+              f
+                ~addr:(s.Slab.addr + m.Slab.old_data_off + (b * m.Slab.old_block_size))
+                ~size:m.Slab.old_block_size)
+            m.Slab.old_live
+      | None -> ());
+  (* Large objects. *)
+  Int_rb.iter
+    (fun _ o ->
+      match o with
+      | Large_owner (v, _) -> f ~addr:v.Extent.addr ~size:v.Extent.size
+      | Small_owner _ -> ())
+    t.owner_index
+
+let allocated_small_blocks t =
+  Array.fold_left (fun acc a -> acc + Arena.live_small_blocks a) 0 t.arenas
+
+let slab_utilization_histogram t ~buckets =
+  let bounds = Array.of_list buckets in
+  let counts = Array.make (Array.length bounds) 0 in
+  iter_slabs t (fun s ->
+      let r = Slab.occupancy_ratio s in
+      let rec place i =
+        if i >= Array.length bounds then ()
+        else if r <= bounds.(i) then counts.(i) <- counts.(i) + 1
+        else place (i + 1)
+      in
+      place 0);
+  counts
+
+(* --- recovery (section 4.4) ----------------------------------------------------- *)
+
+let charge_lines t clock n = Pmem.Device.charge_pm_read t.dev clock ~lines:n
+
+let recover ?(config = Config.log_default) dev clock =
+  let found_state, heap = Heap.open_existing dev config in
+  let t =
+    {
+      heap;
+      dev;
+      config;
+      arenas = [||];
+      owner_index = Int_rb.create ();
+      owner_lock = Sim.Lock.create ();
+      region_lock = Sim.Lock.create ();
+      arena_threads = Array.make config.Config.arenas 0;
+      next_thread = 0;
+      closed = false;
+    }
+  in
+  Heap.set_state heap clock Heap.Recovering;
+  let n_arenas = config.Config.arenas in
+  (* 1. Decode the WALs before their epochs are bumped. *)
+  let replays =
+    Array.init n_arenas (fun i ->
+        let base = Heap.wal_base heap ~arena:i in
+        charge_lines t clock (config.Config.wal_entries / 4);
+        Wal.replay dev ~base ~entries:config.Config.wal_entries)
+  in
+  (* 2. Reopen per-arena bookkeeping logs (with their recovery-time slow
+     GC) and WALs, then build the arenas around them. *)
+  let booklog_live = Array.make n_arenas [] in
+  let booklogs =
+    if config.Config.log_bookkeeping then
+      Array.init n_arenas (fun i ->
+          let base = Heap.booklog_base heap ~arena:i in
+          charge_lines t clock (Booklog.scanned_chunks dev ~base * 16);
+          let log, live =
+            Booklog.open_existing dev clock ~base ~chunks:config.Config.booklog_chunks
+              ~interleave:config.Config.interleave_log
+          in
+          booklog_live.(i) <- live;
+          Some log)
+    else Array.make n_arenas None
+  in
+  let wals =
+    Array.init n_arenas (fun i ->
+        Wal.reopen dev clock
+          ~base:(Heap.wal_base heap ~arena:i)
+          ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal)
+  in
+  let on_sc, on_sd, on_ec, on_ed = callbacks t in
+  t.arenas <-
+    Array.init n_arenas (fun index ->
+        Arena.of_recovered heap ~index ~region_lock:t.region_lock ~booklog:booklogs.(index)
+          ~wal:wals.(index) ~on_slab_created:on_sc ~on_slab_destroyed:on_sd
+          ~on_extent_created:on_ec ~on_extent_dropped:on_ed);
+  (* 3. Regions. *)
+  let regions = Heap.read_regions dev in
+  let region_of_addr addr =
+    List.find (fun (base, total) -> addr >= base && addr < base + total) regions
+  in
+  let mapping = if config.Config.bit_stripes <= 1 then Bitmap.Sequential
+    else Bitmap.Interleaved config.Config.bit_stripes
+  in
+  (* Collect activated extents per arena: from the bookkeeping logs, or by
+     scanning region headers in in-place mode (round-robin ownership). *)
+  let activated : (int * Booklog.scanned) list =
+    if config.Config.log_bookkeeping then
+      List.concat
+        (List.init n_arenas (fun i -> List.map (fun s -> (i, s)) booklog_live.(i)))
+    else begin
+      let acc = ref [] in
+      List.iteri
+        (fun ri (base, total) ->
+          let arena = ri mod n_arenas in
+          charge_lines t clock (Extent.region_bytes / 4096 / 8);
+          let off = ref 16384 in
+          while !off < total do
+            let slot = base + ((!off - 16384) / 4096 * 8) in
+            let v = Pmem.Device.read_u32 dev slot in
+            if v land (1 lsl 24) <> 0 then begin
+              let size = v land 0xFFFFFF * 4096 in
+              acc :=
+                (arena, { Booklog.ref_ = -1; kind = Booklog.Extent; addr = base + !off; size })
+                :: !acc;
+              off := !off + size
+            end
+            else off := !off + 4096
+          done)
+        regions;
+      !acc
+    end
+  in
+  (* Register regions with the arena that owns extents in them; regions
+     with no activated extents go to arena 0. *)
+  let region_arena = Hashtbl.create 16 in
+  List.iter
+    (fun (arena, (s : Booklog.scanned)) ->
+      let base, _ = region_of_addr s.Booklog.addr in
+      if not (Hashtbl.mem region_arena base) then Hashtbl.add region_arena base arena)
+    activated;
+  List.iter
+    (fun (base, total) ->
+      let arena = Option.value ~default:0 (Hashtbl.find_opt region_arena base) in
+      Extent.restore_region (Arena.large t.arenas.(arena)) ~base ~total)
+    regions;
+  (* 4. Restore activated extents; rebuild vslabs for slab extents. *)
+  let undone_morphs = ref 0 in
+  let torn_slabs : (Arena.t * Extent.veh) list ref = ref [] in
+  List.iter
+    (fun (arena_idx, (s : Booklog.scanned)) ->
+      let arena = t.arenas.(arena_idx) in
+      let base, _ = region_of_addr s.Booklog.addr in
+      let veh =
+        Extent.restore_extent (Arena.large arena) ~addr:s.Booklog.addr ~size:s.Booklog.size
+          ~kind:s.Booklog.kind ~state:Extent.Activated ~log_ref:s.Booklog.ref_ ~region:base
+      in
+      match s.Booklog.kind with
+      | Booklog.Slab_extent ->
+          if not (Slab.is_slab_header dev s.Booklog.addr) then
+            (* Torn slab creation: the bookkeeping entry persisted but the
+               header flush did not. The extent carries no live data (the
+               first refill happens only after the header is persistent):
+               reclaim it — after the gaps are rebuilt, so the address
+               ranges stay disjoint. *)
+            torn_slabs := (arena, veh) :: !torn_slabs
+          else begin
+            Arena.adopt_slab_veh arena veh;
+            charge_lines t clock (Slab.slab_bytes / Pmem.Cacheline.size / 8);
+            let vslab, undone =
+              Slab.recover dev ~addr:s.Booklog.addr ~arena:arena_idx ~mapping
+            in
+            if undone then begin
+              incr undone_morphs;
+              Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:s.Booklog.addr
+                ~len:Slab.slab_bytes
+            end;
+            owner_insert t vslab.Slab.addr (Small_owner vslab);
+            Arena.restore_slab arena vslab
+          end
+      | Booklog.Extent -> ())
+    activated;
+  (* In-place mode marks every activated extent kind Extent; detect slabs
+     by their magic. *)
+  if not config.Config.log_bookkeeping then
+    List.iter
+      (fun (arena_idx, (s : Booklog.scanned)) ->
+        if s.Booklog.size = Slab.slab_bytes && Slab.is_slab_header dev s.Booklog.addr then begin
+          let arena = t.arenas.(arena_idx) in
+          (match owner_lookup t clock s.Booklog.addr with
+          | Some (Large_owner (veh, _)) ->
+              owner_remove t veh.Extent.addr;
+              veh.Extent.kind <- Booklog.Slab_extent;
+              Arena.adopt_slab_veh arena veh
+          | _ -> ());
+          charge_lines t clock (Slab.slab_bytes / Pmem.Cacheline.size / 8);
+          let vslab, undone = Slab.recover dev ~addr:s.Booklog.addr ~arena:arena_idx ~mapping in
+          if undone then incr undone_morphs;
+          owner_insert t vslab.Slab.addr (Small_owner vslab);
+          Arena.restore_slab arena vslab
+        end)
+      activated;
+  (* 5. Gaps between activated extents become reclaimed free extents. *)
+  let by_region = Hashtbl.create 16 in
+  List.iter
+    (fun ((_ : int), (s : Booklog.scanned)) ->
+      let base, _ = region_of_addr s.Booklog.addr in
+      Hashtbl.replace by_region base
+        ((s.Booklog.addr, s.Booklog.size)
+        :: Option.value ~default:[] (Hashtbl.find_opt by_region base)))
+    activated;
+  let header_off = if config.Config.log_bookkeeping then 0 else 16384 in
+  List.iter
+    (fun (base, total) ->
+      let arena_idx = Option.value ~default:0 (Hashtbl.find_opt region_arena base) in
+      let large = Arena.large t.arenas.(arena_idx) in
+      let exts =
+        List.sort compare (Option.value ~default:[] (Hashtbl.find_opt by_region base))
+      in
+      let cursor = ref (base + header_off) in
+      let add_gap stop =
+        if stop > !cursor then
+          ignore
+            (Extent.restore_extent large ~addr:!cursor ~size:(stop - !cursor)
+               ~kind:Booklog.Extent ~state:Extent.Reclaimed ~log_ref:(-1) ~region:base)
+      in
+      List.iter
+        (fun (a, sz) ->
+          add_gap a;
+          cursor := a + sz)
+        exts;
+      add_gap (base + total))
+    regions;
+  (* Reclaim extents of torn slab creations now that ranges are settled. *)
+  List.iter (fun (arena, veh) -> Extent.free (Arena.large arena) clock veh) !torn_slabs;
+  (* 6. Sanity pass on unclean shutdown. *)
+  let leaked_blocks = ref 0 and leaked_extents = ref (List.length !torn_slabs) in
+  let marked = ref 0 in
+  let wal_total = Array.fold_left (fun acc l -> acc + List.length l) 0 replays in
+  let clear_dest dest addr =
+    if dest > 0 && read_ptr t ~dest = addr then begin
+      Pmem.Device.write_int64 dev dest 0L;
+      Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:dest ~len:8
+    end
+  in
+  let release_block arena_idx slab block =
+    Arena.recover_return_block t.arenas.(arena_idx) clock slab block;
+    incr leaked_blocks
+  in
+  if found_state <> Heap.Shutdown then begin
+    match config.Config.consistency with
+    | Config.Internal_collection ->
+        (* Internal collection (PMDK's model): the persistent bitmap marks
+           exactly the user's objects — unpublished in-flight allocations
+           are the application's to resolve via [iter_allocated], so the
+           allocator itself has no sanity pass to run. *)
+        ()
+    | Config.Log_based ->
+        (* WAL replay: decide the fate of every allocated-marked block from
+           its last log entry (protocol in wal.mli). *)
+        let last : (int, Wal.replayed) Hashtbl.t = Hashtbl.create 1024 in
+        Array.iter (List.iter (fun (e : Wal.replayed) -> Hashtbl.replace last e.addr e)) replays;
+        (* Collect first: releases can destroy now-empty slabs, which
+           would mutate the iteration set. *)
+        let slabs = ref [] in
+        iter_slabs t (fun s -> slabs := s :: !slabs);
+        List.iter
+          (fun s ->
+            let pinned b = not (Slab.usable s b) in
+            let victims = ref [] in
+            Bitmap.iter_set dev s.Slab.bitmap (fun b ->
+                if not (pinned b) then begin
+                  let addr = Slab.block_addr s b in
+                  match Hashtbl.find_opt last addr with
+                  | Some { kind = Wal.Refill; _ } -> victims := (b, 0) :: !victims
+                  | Some { kind = Wal.Free; dest; _ } ->
+                      victims := (b, dest) :: !victims
+                  | Some { kind = Wal.Alloc; dest; _ } ->
+                      if read_ptr t ~dest <> addr then victims := (b, 0) :: !victims
+                  | Some { kind = Wal.Large_alloc | Wal.Large_free; _ } | None -> ()
+                end);
+            List.iter
+              (fun (b, dest) ->
+                clear_dest dest (Slab.block_addr s b);
+                release_block s.Slab.arena s b)
+              !victims;
+            (* Old-class blocks of a morphing slab live in the index
+               table, not the bitmap: judge them by the same WAL rules. *)
+            match s.Slab.morph with
+            | Some m ->
+                let dead = ref [] in
+                Hashtbl.iter
+                  (fun b _ ->
+                    let addr = s.Slab.addr + m.Slab.old_data_off + (b * m.Slab.old_block_size) in
+                    match Hashtbl.find_opt last addr with
+                    | Some { kind = Wal.Refill; _ } -> dead := (b, 0) :: !dead
+                    | Some { kind = Wal.Free; dest; _ } -> dead := (b, dest) :: !dead
+                    | Some { kind = Wal.Alloc; dest; _ } ->
+                        if read_ptr t ~dest <> addr then dead := (b, 0) :: !dead
+                    | Some { kind = Wal.Large_alloc | Wal.Large_free; _ } | None -> ())
+                  m.Slab.old_live;
+                List.iter
+                  (fun (b, dest) ->
+                    clear_dest dest
+                      (s.Slab.addr + m.Slab.old_data_off + (b * m.Slab.old_block_size));
+                    Arena.recover_release_old_block t.arenas.(s.Slab.arena) clock s b;
+                    incr leaked_blocks)
+                  !dead
+            | None -> ())
+          !slabs;
+        (* Large objects: a Large_alloc whose destination was never
+           published is a leak; a Large_free that never reached the
+           bookkeeping log must be completed. *)
+        Hashtbl.iter
+          (fun addr (e : Wal.replayed) ->
+            match e.kind with
+            | Wal.Large_alloc | Wal.Large_free -> (
+                match owner_lookup t clock addr with
+                | Some (Large_owner (veh, aidx)) when veh.Extent.addr = addr ->
+                    let leak =
+                      match e.kind with
+                      | Wal.Large_alloc -> read_ptr t ~dest:e.dest <> addr
+                      | _ -> true (* Large_free: the free must be completed *)
+                    in
+                    if leak then begin
+                      clear_dest e.dest addr;
+                      Arena.free_large t.arenas.(aidx) clock veh;
+                      incr leaked_extents
+                    end
+                | _ -> ())
+            | Wal.Alloc | Wal.Free | Wal.Refill -> ())
+          last
+    | Config.Gc_based ->
+        (* Conservative GC from the root table, as in Makalu: mark every
+           object reachable from a root, treating any word that decodes to
+           an address inside a live object as a reference; then rebuild
+           the slab bitmaps from the marks and reclaim unmarked extents. *)
+        let heap_lo = Heap.heap_start heap and heap_hi = Pmem.Device.size dev in
+        let mark_small : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+        let mark_old : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+        let mark_large : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+        let queue = Queue.create () in
+        let enqueue addr = if addr >= heap_lo && addr < heap_hi then Queue.add addr queue in
+        (* Roots. *)
+        charge_lines t clock (Heap.root_slots heap / 8);
+        for i = 0 to Heap.root_slots heap - 1 do
+          let v = Int64.to_int (Pmem.Device.read_int64 dev (Heap.root_addr heap i)) in
+          if v > 0 then enqueue v
+        done;
+        let scan_range addr size =
+          charge_lines t clock ((size + Pmem.Cacheline.size - 1) / Pmem.Cacheline.size);
+          let words = size / 8 in
+          for w = 0 to words - 1 do
+            let v = Int64.to_int (Pmem.Device.read_int64 dev (addr + (w * 8))) in
+            if v > 0 then enqueue v
+          done
+        in
+        while not (Queue.is_empty queue) do
+          let addr = Queue.pop queue in
+          match owner_lookup t clock addr with
+          | Some (Small_owner s) ->
+              let off = addr - s.Slab.addr in
+              let old_hit =
+                match s.Slab.morph with
+                | Some m -> Slab.old_block_index m off
+                | None -> None
+              in
+              (match old_hit with
+              | Some _ ->
+                  if not (Hashtbl.mem mark_old addr) then begin
+                    Hashtbl.add mark_old addr ();
+                    incr marked;
+                    let m = Option.get s.Slab.morph in
+                    scan_range addr m.Slab.old_block_size
+                  end
+              | None ->
+                  let d = off - s.Slab.layout.Slab.data_off in
+                  if d >= 0 && d / s.Slab.layout.Slab.block_size < s.Slab.layout.Slab.nblocks
+                  then begin
+                    let b = d / s.Slab.layout.Slab.block_size in
+                    let base = Slab.block_addr s b in
+                    if not (Hashtbl.mem mark_small base) then begin
+                      Hashtbl.add mark_small base ();
+                      incr marked;
+                      scan_range base s.Slab.layout.Slab.block_size
+                    end
+                  end)
+          | Some (Large_owner (veh, _)) ->
+              if not (Hashtbl.mem mark_large veh.Extent.addr) then begin
+                Hashtbl.add mark_large veh.Extent.addr ();
+                incr marked;
+                scan_range veh.Extent.addr veh.Extent.size
+              end
+          | None -> ()
+        done;
+        (* Rebuild slab bitmaps wholesale from the marks: in the GC variant
+           the persisted bits are stale in both directions. Collect first:
+           rebuilds can destroy empty slabs, mutating the iteration set. *)
+        let slabs = ref [] in
+        iter_slabs t (fun s -> slabs := s :: !slabs);
+        List.iter
+          (fun s ->
+            (* Old-class blocks whose addresses are unmarked are leaks. *)
+            (match s.Slab.morph with
+            | Some m ->
+                let dead = ref [] in
+                Hashtbl.iter
+                  (fun b _ ->
+                    let addr = s.Slab.addr + m.Slab.old_data_off + (b * m.Slab.old_block_size) in
+                    if not (Hashtbl.mem mark_old addr) then dead := b :: !dead)
+                  m.Slab.old_live;
+                List.iter
+                  (fun b ->
+                    Arena.recover_release_old_block t.arenas.(s.Slab.arena) clock s b;
+                    incr leaked_blocks)
+                  !dead
+            | None -> ());
+            let released =
+              Arena.recover_rebuild_slab t.arenas.(s.Slab.arena) clock s ~live:(fun b ->
+                  Hashtbl.mem mark_small (Slab.block_addr s b))
+            in
+            leaked_blocks := !leaked_blocks + released)
+          !slabs;
+        (* Unmarked large extents are leaks. *)
+        let unmarked = ref [] in
+        Int_rb.iter
+          (fun _ o ->
+            match o with
+            | Large_owner (veh, aidx) ->
+                if not (Hashtbl.mem mark_large veh.Extent.addr) then
+                  unmarked := (veh, aidx) :: !unmarked
+            | Small_owner _ -> ())
+          t.owner_index;
+        List.iter
+          (fun (veh, aidx) ->
+            Arena.free_large t.arenas.(aidx) clock veh;
+            incr leaked_extents)
+          !unmarked
+  end;
+  Heap.set_state heap clock Heap.Running;
+  ( t,
+    {
+      found_state;
+      wal_entries_replayed = (if found_state <> Heap.Shutdown then wal_total else 0);
+      leaked_blocks_reclaimed = !leaked_blocks;
+      leaked_extents_reclaimed = !leaked_extents;
+      gc_blocks_marked = !marked;
+      booklog_entries = Array.fold_left (fun acc l -> acc + List.length l) 0 booklog_live;
+    } )

@@ -1,0 +1,107 @@
+(** NVAlloc: the public allocator API (section 4.1).
+
+    The programming model follows the paper: [create] ~ [nvalloc_init],
+    [exit_] ~ [nvalloc_exit], and the leak-free allocation pair
+    {!malloc_to}/{!free_from}, which atomically allocate an object and
+    publish its address at a caller-chosen persistent location ([dest]) —
+    typically a slot of the built-in root table, or a word inside another
+    persistent object (e.g. a linked-list next pointer). Addresses are
+    device offsets, which is exactly the offset-based pointer
+    representation the paper uses to survive remapping.
+
+    Consistency comes in the two variants of Table 2, selected by
+    {!Config.consistency}: NVAlloc-LOG (WAL on every small-allocator
+    metadata change) and NVAlloc-GC (no small-metadata flushes,
+    post-crash conservative GC).
+
+    Threads are logical simulation threads: {!thread} registers one,
+    assigning it to the arena with the fewest threads and building its
+    tcaches. All operations take the thread handle, whose clock absorbs
+    the simulated latency. *)
+
+type t
+type thread
+
+type recovery_report = {
+  found_state : Heap.state;  (** flag found at open: Shutdown = clean *)
+  wal_entries_replayed : int;
+  leaked_blocks_reclaimed : int;  (** small blocks freed by the sanity pass *)
+  leaked_extents_reclaimed : int;
+  gc_blocks_marked : int;  (** conservative-GC marks (GC variant only) *)
+  booklog_entries : int;  (** live bookkeeping entries recovered *)
+}
+
+val create : ?config:Config.t -> Pmem.Device.t -> Sim.Clock.t -> t
+(** Format a fresh heap on the device ([nvalloc_init]). Default config is
+    {!Config.log_default}. *)
+
+val recover : ?config:Config.t -> Pmem.Device.t -> Sim.Clock.t -> t * recovery_report
+(** Open an existing heap (section 4.4): rebuild vslabs and VEHs from the
+    bookkeeping log (or region headers), undo torn morphs, then — if the
+    shutdown was not clean — run the variant's sanity pass: WAL replay
+    (LOG) or conservative GC from the root table (GC). All scan and
+    repair latency is charged to the clock, which is how Figure 18's
+    recovery times are measured. *)
+
+val exit_ : t -> Sim.Clock.t -> unit
+(** Clean shutdown: drain tcaches, persist all volatile metadata, mark
+    the heap [Shutdown]. The handle must not be used afterwards. *)
+
+val config : t -> Config.t
+val device : t -> Pmem.Device.t
+val heap : t -> Heap.t
+
+val thread : t -> Sim.Clock.t -> thread
+val thread_clock : thread -> Sim.Clock.t
+val thread_arena : thread -> int
+
+val root_addr : t -> int -> int
+(** Address of root-table slot [i] (use as [dest]). *)
+
+val root_slots : t -> int
+
+val malloc_to : t -> thread -> size:int -> dest:int -> int
+(** Allocate [size] bytes, persistently publish the block's address at
+    [dest], return the address. Small requests (<= 16 KB) go through the
+    slab allocator; larger ones through the extent allocator. *)
+
+val free_from : t -> thread -> dest:int -> unit
+(** Read the address stored at [dest], free the object, and clear
+    [dest]. *)
+
+val read_ptr : t -> dest:int -> int
+(** The address stored at [dest] (0 = null). *)
+
+(** {1 Observability (tests, benchmarks)} *)
+
+val mapped_bytes : t -> int
+val peak_mapped_bytes : t -> int
+val reset_peak : t -> unit
+val stats : t -> Pmem.Stats.t
+val allocated_small_blocks : t -> int
+(** Blocks marked allocated across all slabs (tcache-resident included). *)
+
+type owner_info = { base : int; size : int; is_slab : bool }
+
+val owner_of_addr : t -> int -> owner_info option
+(** The slab or large extent containing the address, if any (test
+    observability; no latency charged). *)
+
+val check_owner_index : t -> (string, string) result
+(** Validate that owners in the index are disjoint (test invariant). *)
+
+val iter_slabs : t -> (Slab.t -> unit) -> unit
+
+val iter_allocated : t -> (addr:int -> size:int -> unit) -> unit
+(** Enumerate every allocated object (small blocks, morph-carried
+    old-class blocks, large extents). This is the PMDK
+    [POBJ_FIRST]/[POBJ_NEXT] idiom that the internal-collection variant
+    relies on: after a crash the application walks its objects and frees
+    the ones it no longer references. In the internal-collection variant
+    the enumeration is exact (tcache-resident blocks are unmarked); in
+    NVAlloc-LOG it may transiently include tcache-resident blocks. *)
+
+val arenas : t -> Arena.t array
+val slab_utilization_histogram : t -> buckets:float list -> int array
+(** Count slabs by occupancy ratio bucket; [buckets] are the upper bounds
+    (e.g. [[0.3; 0.7; 1.0]] for the Figure 15(b) breakdown). *)

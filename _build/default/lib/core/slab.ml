@@ -1,0 +1,257 @@
+let slab_bytes = 65536
+let index_capacity = 512
+let magic = 0x51AB
+let fixed_header = 64
+let no_class = 0xFFFF
+
+type layout = {
+  class_idx : int;
+  block_size : int;
+  nblocks : int;
+  bitmap_lines : int;
+  index_off : int;
+  data_off : int;
+}
+
+let align64 n = (n + 63) land lnot 63
+
+(* The index table sits at a fixed offset before the bitmap so that a
+   morph's step-2 index writes can never clobber the old bitmap, which the
+   crash-undo path may still need while the flag is 1. *)
+let index_off = fixed_header
+let bitmap_off = fixed_header + (index_capacity * 2)
+
+let layout_of_class ~class_idx ~mapping =
+  let block_size = Size_class.size_of class_idx in
+  let rec fix nblocks =
+    let lines = Bitmap.lines_for ~nbits:nblocks ~mapping in
+    let data_off = align64 (bitmap_off + (lines * Pmem.Cacheline.size)) in
+    let nblocks' = (slab_bytes - data_off) / block_size in
+    if nblocks' = nblocks then
+      { class_idx; block_size; nblocks; bitmap_lines = lines; index_off; data_off }
+    else fix nblocks'
+  in
+  let l = fix ((slab_bytes - bitmap_off) / block_size) in
+  assert (l.nblocks > 0);
+  l
+
+type t = {
+  addr : int;
+  arena : int;
+  mutable layout : layout;
+  mutable bitmap : Bitmap.t;
+  mutable free_count : int;
+  mutable free_stack : int list;
+  mutable tcached : int; (* blocks popped to tcaches while unmarked (IC variant) *)
+  mutable freelist_node : t Support.Dlist.node option;
+  mutable lru_node : t Support.Dlist.node option;
+  mutable morph : morph option;
+  mutable dying : bool;
+}
+
+and morph = {
+  old_class : int;
+  old_block_size : int;
+  old_data_off : int;
+  mutable cnt_slab : int;
+  cnt_block : int array;
+  old_live : (int, int) Hashtbl.t;
+}
+
+(* Header field offsets (see the .mli layout comment). *)
+let off_magic = 0
+let off_class = 2
+let off_data = 4
+let off_flag = 6
+let off_old_class = 8
+let off_old_data = 10
+let off_index_count = 12
+
+let header_addr t = t.addr
+let bitmap_addr t = t.addr + bitmap_off
+let index_entry_addr t i = t.addr + t.layout.index_off + (2 * i)
+
+let format dev ~addr ~arena ~mapping layout =
+  assert (addr mod 4096 = 0);
+  Pmem.Device.write_u16 dev (addr + off_magic) magic;
+  Pmem.Device.write_u16 dev (addr + off_class) layout.class_idx;
+  Pmem.Device.write_u16 dev (addr + off_data) layout.data_off;
+  Pmem.Device.write_u8 dev (addr + off_flag) 0;
+  Pmem.Device.write_u16 dev (addr + off_old_class) no_class;
+  Pmem.Device.write_u16 dev (addr + off_old_data) 0;
+  Pmem.Device.write_u16 dev (addr + off_index_count) 0;
+  Pmem.Device.fill dev (addr + bitmap_off) (layout.bitmap_lines * Pmem.Cacheline.size) '\000';
+  let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
+  assert (bitmap.Bitmap.lines = layout.bitmap_lines);
+  let rec stack i acc = if i < 0 then acc else stack (i - 1) (i :: acc) in
+  {
+    addr;
+    arena;
+    layout;
+    bitmap;
+    free_count = layout.nblocks;
+    free_stack = stack (layout.nblocks - 1) [];
+    tcached = 0;
+    freelist_node = None;
+    lru_node = None;
+    morph = None;
+    dying = false;
+  }
+
+let read_class dev addr = Pmem.Device.read_u16 dev (addr + off_class)
+let is_slab_header dev addr = Pmem.Device.read_u16 dev (addr + off_magic) = magic
+
+module Header = struct
+  let read_class = read_class
+  let write_class dev addr v = Pmem.Device.write_u16 dev (addr + off_class) v
+  let read_data_off dev addr = Pmem.Device.read_u16 dev (addr + off_data)
+  let write_data_off dev addr v = Pmem.Device.write_u16 dev (addr + off_data) v
+  let read_flag dev addr = Pmem.Device.read_u8 dev (addr + off_flag)
+  let write_flag dev addr v = Pmem.Device.write_u8 dev (addr + off_flag) v
+  let read_old_class dev addr = Pmem.Device.read_u16 dev (addr + off_old_class)
+  let write_old_class dev addr v = Pmem.Device.write_u16 dev (addr + off_old_class) v
+  let read_old_data_off dev addr = Pmem.Device.read_u16 dev (addr + off_old_data)
+  let write_old_data_off dev addr v = Pmem.Device.write_u16 dev (addr + off_old_data) v
+  let read_index_count dev addr = Pmem.Device.read_u16 dev (addr + off_index_count)
+  let write_index_count dev addr v = Pmem.Device.write_u16 dev (addr + off_index_count) v
+  let no_class = no_class
+end
+let block_addr t b = t.addr + t.layout.data_off + (b * t.layout.block_size)
+
+let block_index t addr =
+  let off = addr - t.addr - t.layout.data_off in
+  assert (off >= 0 && off mod t.layout.block_size = 0);
+  let b = off / t.layout.block_size in
+  assert (b < t.layout.nblocks);
+  b
+
+let contains_new_block t addr =
+  let off = addr - t.addr - t.layout.data_off in
+  off >= 0
+  && off mod t.layout.block_size = 0
+  && off / t.layout.block_size < t.layout.nblocks
+
+let usable t b =
+  match t.morph with
+  | None -> true
+  | Some m -> m.cnt_block.(b) = 0
+
+let occupancy_ratio t =
+  let total = t.layout.nblocks in
+  float_of_int (total - t.free_count) /. float_of_int total
+
+let pack_index_entry ~block ~allocated =
+  assert (block >= 0 && block < 4096);
+  block lor (if allocated then 0x8000 else 0)
+
+let unpack_index_entry e = (e land 0x0FFF, e land 0x8000 <> 0)
+
+let old_block_index m addr_off =
+  (* [addr_off] is the slab-relative offset of the freed address. *)
+  let off = addr_off - m.old_data_off in
+  if off < 0 || off mod m.old_block_size <> 0 then None
+  else
+    let b = off / m.old_block_size in
+    if Hashtbl.mem m.old_live b then Some b else None
+
+let overlapping_new_blocks t m old_b =
+  let start = m.old_data_off + (old_b * m.old_block_size) in
+  let stop = start + m.old_block_size in
+  let d = t.layout.data_off in
+  let bs = t.layout.block_size in
+  let lo = if start <= d then 0 else (start - d) / bs in
+  let hi = if stop <= d then -1 else (stop - 1 - d) / bs in
+  (max 0 lo, min (t.layout.nblocks - 1) hi)
+
+(* --- recovery -------------------------------------------------------------- *)
+
+let rebuild_vslab dev ~addr ~arena ~mapping =
+  let class_idx = Header.read_class dev addr in
+  let layout = layout_of_class ~class_idx ~mapping in
+  assert (layout.data_off = Header.read_data_off dev addr);
+  let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
+  let s =
+    {
+      addr;
+      arena;
+      layout;
+      bitmap;
+      free_count = 0;
+      free_stack = [];
+      tcached = 0;
+      freelist_node = None;
+      lru_node = None;
+      morph = None;
+      dying = false;
+    }
+  in
+  (* Morphing state survives in the index table while old-class blocks are
+     still live. *)
+  let old_class = Header.read_old_class dev addr in
+  let index_count = Header.read_index_count dev addr in
+  if old_class <> no_class && index_count > 0 then begin
+    let old_layout = layout_of_class ~class_idx:old_class ~mapping in
+    let old_live = Hashtbl.create 16 in
+    let cnt_block = Array.make layout.nblocks 0 in
+    let m =
+      {
+        old_class;
+        old_block_size = old_layout.block_size;
+        old_data_off = Header.read_old_data_off dev addr;
+        cnt_slab = 0;
+        cnt_block;
+        old_live;
+      }
+    in
+    for slot = 0 to index_count - 1 do
+      let b, allocated = unpack_index_entry (Pmem.Device.read_u16 dev (index_entry_addr s slot)) in
+      if allocated then begin
+        Hashtbl.replace old_live b slot;
+        m.cnt_slab <- m.cnt_slab + 1;
+        let lo, hi = overlapping_new_blocks s m b in
+        for j = lo to hi do
+          cnt_block.(j) <- cnt_block.(j) + 1
+        done
+      end
+    done;
+    if m.cnt_slab > 0 then s.morph <- Some m
+  end;
+  (* Free blocks: clear bit (morph-pinned blocks have their bits set). *)
+  let stack = ref [] in
+  for b = layout.nblocks - 1 downto 0 do
+    if not (Bitmap.get dev bitmap b) then stack := b :: !stack
+  done;
+  s.free_stack <- !stack;
+  s.free_count <- List.length !stack;
+  s
+
+let undo_morph dev ~addr ~mapping =
+  let flag = Header.read_flag dev addr in
+  assert (flag = 1 || flag = 2);
+  if flag = 2 then begin
+    (* The new class fields and bitmap may be partially written: restore
+       the old class and rebuild its bitmap from the index table. *)
+    let old_class = Header.read_old_class dev addr in
+    let old_layout = layout_of_class ~class_idx:old_class ~mapping in
+    Header.write_class dev addr old_class;
+    Header.write_data_off dev addr old_layout.data_off;
+    let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:old_layout.nblocks ~mapping in
+    Pmem.Device.fill dev (addr + bitmap_off) (Bitmap.bytes bitmap) '\000';
+    let index_count = Header.read_index_count dev addr in
+    for slot = 0 to index_count - 1 do
+      let b, allocated =
+        unpack_index_entry (Pmem.Device.read_u16 dev (addr + index_off + (2 * slot)))
+      in
+      if allocated then Bitmap.set dev bitmap b
+    done
+  end;
+  Header.write_old_class dev addr no_class;
+  Header.write_old_data_off dev addr 0;
+  Header.write_index_count dev addr 0;
+  Header.write_flag dev addr 0
+
+let recover dev ~addr ~arena ~mapping =
+  let flag = Header.read_flag dev addr in
+  let undone = flag = 1 || flag = 2 in
+  if undone then undo_morph dev ~addr ~mapping;
+  (rebuild_vslab dev ~addr ~arena ~mapping, undone)

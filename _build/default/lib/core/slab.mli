@@ -1,0 +1,165 @@
+(** Slabs: 64 KB containers of fixed-size blocks (sections 2.1, 4.2, 5.2).
+
+    Each slab has a {e persistent header} — everything needed to rebuild
+    state after a crash — and a {e volatile} descriptor ([t], the paper's
+    vslab) for fast free-block search. The persistent header holds:
+
+    - [size_class], [data_offset] and the block bitmap (one bit per block,
+      mapped sequentially or interleaved, see {!Bitmap});
+    - the morphing fields [flag], [old_size_class], [old_data_offset] and
+      the [index_table] recording the live blocks of the previous size
+      class while the slab hosts two classes at once (section 5.2).
+
+    Persistent layout of a slab (offsets from the slab base):
+    {v
+    0     magic:u16  size_class:u16  data_offset:u16  flag:u8  pad:u8
+    8     old_size_class:u16  old_data_offset:u16  index_count:u16  pad:u16
+    64    index_table   (512 entries * 2 B, fixed position)
+    1088  bitmap        (bitmap_lines * 64 B, cache-line aligned)
+    data_offset  blocks
+    v}
+
+    The index table sits at a fixed offset {e before} the bitmap so that a
+    morph's step-2 index writes can never clobber the old bitmap, which
+    the crash-undo path may still need while the flag is 1.
+
+    An index-table entry packs the old-class block index (low 12 bits) and
+    an allocated bit (bit 15). Mutators in this module only touch the
+    volatile image; callers flush the returned/selected lines, so that the
+    flush pattern (the thing the paper measures) is decided by the
+    allocator paths in {!Arena}. *)
+
+val slab_bytes : int
+(** 64 KB. *)
+
+val index_capacity : int
+(** Maximum index-table entries (bound on live old-class blocks a morph
+    candidate may carry); 512. *)
+
+val magic : int
+
+type layout = {
+  class_idx : int;
+  block_size : int;
+  nblocks : int;
+  bitmap_lines : int;
+  index_off : int;  (** slab-relative offset of the index table *)
+  data_off : int;  (** slab-relative offset of block 0 *)
+}
+
+val layout_of_class : class_idx:int -> mapping:Bitmap.mapping -> layout
+(** Computed to a fixpoint: enlarging the header shrinks the block count,
+    which can shrink the bitmap again. *)
+
+(** Volatile descriptor (the vslab). *)
+type t = {
+  addr : int;  (** slab base address in the device *)
+  arena : int;  (** owning arena index *)
+  mutable layout : layout;
+  mutable bitmap : Bitmap.t;
+  mutable free_count : int;
+  mutable free_stack : int list;  (** volatile cache of free block indices *)
+  mutable tcached : int;
+      (** blocks sitting in tcaches while unmarked in the bitmap
+          (internal-collection variant); such a slab must not morph *)
+  mutable freelist_node : t Support.Dlist.node option;
+      (** membership in the arena's per-class slab freelist *)
+  mutable lru_node : t Support.Dlist.node option;  (** membership in the LRU *)
+  mutable morph : morph option;
+  mutable dying : bool;  (** being returned to the large allocator *)
+}
+
+(** Volatile morphing state of a slab_in. *)
+and morph = {
+  old_class : int;
+  old_block_size : int;
+  old_data_off : int;
+  mutable cnt_slab : int;  (** live old-class blocks (paper's cnt_slab) *)
+  cnt_block : int array;  (** per new block: overlapping live old blocks *)
+  old_live : (int, int) Hashtbl.t;  (** old block index -> index-table slot *)
+}
+
+(** {1 Creation and header access} *)
+
+val format :
+  Pmem.Device.t -> addr:int -> arena:int -> mapping:Bitmap.mapping -> layout -> t
+(** Write a fresh persistent header (volatile image only; caller flushes
+    header and bitmap lines) and build its vslab. [layout] must have been
+    computed with the same [mapping]. *)
+
+val header_addr : t -> int
+(** Address of the first header line (fixed fields). *)
+
+val bitmap_addr : t -> int
+val index_entry_addr : t -> int -> int
+(** Address of index-table slot [i]. *)
+
+val read_class : Pmem.Device.t -> int -> int
+(** [read_class dev addr] reads the size class from a slab header. *)
+
+val is_slab_header : Pmem.Device.t -> int -> bool
+(** Magic check, used by recovery when scanning extents. *)
+
+(** Raw persistent-header field access by slab base address, for the
+    morphing state machine and recovery (which has no vslab yet). Writers
+    touch the volatile image only; callers flush. *)
+module Header : sig
+  val read_class : Pmem.Device.t -> int -> int
+  val write_class : Pmem.Device.t -> int -> int -> unit
+  val read_data_off : Pmem.Device.t -> int -> int
+  val write_data_off : Pmem.Device.t -> int -> int -> unit
+  val read_flag : Pmem.Device.t -> int -> int
+  val write_flag : Pmem.Device.t -> int -> int -> unit
+  val read_old_class : Pmem.Device.t -> int -> int
+  (** [no_class] when the slab is not (and was not) morphing. *)
+
+  val write_old_class : Pmem.Device.t -> int -> int -> unit
+  val read_old_data_off : Pmem.Device.t -> int -> int
+  val write_old_data_off : Pmem.Device.t -> int -> int -> unit
+  val read_index_count : Pmem.Device.t -> int -> int
+  val write_index_count : Pmem.Device.t -> int -> int -> unit
+  val no_class : int
+end
+
+(** {1 Blocks} *)
+
+val block_addr : t -> int -> int
+val block_index : t -> int -> int
+(** Inverse of {!block_addr}; asserts alignment to the block grid. *)
+
+val contains_new_block : t -> int -> bool
+(** Whether the address lies on the current-class block grid. *)
+
+val usable : t -> int -> bool
+(** Block [b] can be handed out: bit clear and (when morphing) not
+    overlapped by live old-class blocks. *)
+
+val occupancy_ratio : t -> float
+(** Allocated blocks / total blocks (the paper's Ratio_occupy). Counts
+    morph-pinned blocks as allocated. *)
+
+(** {1 Morphing support} *)
+
+val pack_index_entry : block:int -> allocated:bool -> int
+val unpack_index_entry : int -> int * bool
+val old_block_index : morph -> int -> int option
+(** [old_block_index m off] is the old-class block index for a
+    slab-relative byte offset [off], provided it lies on the old block
+    grid and that block is live. *)
+
+val overlapping_new_blocks : t -> morph -> int -> int * int
+(** [overlapping_new_blocks t m old_b] is the inclusive range of
+    current-class block indices overlapped by old-class block [old_b]
+    (clamped to valid blocks). *)
+
+(** {1 Recovery} *)
+
+val recover : Pmem.Device.t -> addr:int -> arena:int -> mapping:Bitmap.mapping -> t * bool
+(** Rebuild a vslab from its persistent header (section 4.4). If the
+    header's flag shows a morph was torn by a crash, the transformation is
+    undone first: flag 1 resets the copied old-class fields; flag 2
+    additionally restores the class fields and rebuilds the old bitmap
+    from the index table. Returns [(vslab, undone)]; when [undone] the
+    caller must flush the whole header+bitmap area. Morphing state
+    (old_live, cnt_slab, cnt_block) is reconstructed from the index
+    table for slabs still hosting two classes. *)

@@ -1,0 +1,106 @@
+type kind = Alloc | Free | Refill | Large_alloc | Large_free
+
+let entry_bytes = 16
+let entries_per_line = Pmem.Cacheline.size / entry_bytes (* 4 *)
+let frame_lines = 16
+let frame_entries = frame_lines * entries_per_line (* 64 *)
+
+type t = {
+  dev : Pmem.Device.t;
+  base : int;
+  nentries : int;
+  interleave : bool;
+  mutable epoch : int; (* 1..255, skipping 0 = never-written *)
+  mutable next : int; (* next logical slot *)
+  mutable seq : int;
+}
+
+let region_bytes ~entries =
+  assert (entries > 0 && entries mod frame_entries = 0);
+  Pmem.Cacheline.size + (entries * entry_bytes)
+
+let kind_code = function
+  | Alloc -> 1
+  | Free -> 2
+  | Refill -> 3
+  | Large_alloc -> 4
+  | Large_free -> 5
+
+let kind_of_code = function
+  | 1 -> Some Alloc
+  | 2 -> Some Free
+  | 3 -> Some Refill
+  | 4 -> Some Large_alloc
+  | 5 -> Some Large_free
+  | _ -> None
+
+(* Logical slot [n] -> byte offset of its entry (relative to the entry
+   area). Interleaving spreads the 64 entries of a frame across its 16
+   lines: consecutive appends land in consecutive lines. *)
+let slot_offset t n =
+  let phys =
+    if not t.interleave then n
+    else
+      let frame = n / frame_entries and k = n mod frame_entries in
+      let line = k mod frame_lines and pos = k / frame_lines in
+      (frame * frame_entries) + (line * entries_per_line) + pos
+  in
+  Pmem.Cacheline.size + (phys * entry_bytes)
+
+let create dev ~base ~entries ~interleave =
+  assert (entries mod frame_entries = 0);
+  Pmem.Device.write_u8 dev base 1;
+  (* Entry epochs are all 0 (the device zero-fills), hence invalid. *)
+  { dev; base; nentries = entries; interleave; epoch = 1; next = 0; seq = 0 }
+
+let entries t = t.nentries
+let used t = t.next
+let near_full t = t.next >= t.nentries
+
+let append t clock kind ~addr ~dest =
+  assert (not (near_full t));
+  let off = t.base + slot_offset t t.next in
+  Pmem.Device.write_u8 t.dev off (kind_code kind);
+  Pmem.Device.write_u8 t.dev (off + 1) t.epoch;
+  Pmem.Device.write_u32 t.dev (off + 4) t.seq;
+  Pmem.Device.write_u32 t.dev (off + 8) addr;
+  Pmem.Device.write_u32 t.dev (off + 12) dest;
+  Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:entry_bytes;
+  t.next <- t.next + 1;
+  t.seq <- t.seq + 1
+
+let checkpoint t clock =
+  t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
+  t.next <- 0;
+  Pmem.Device.write_u8 t.dev t.base t.epoch;
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:t.base ~len:1
+
+let reopen dev clock ~base ~entries ~interleave =
+  assert (entries mod frame_entries = 0);
+  let old_epoch = Pmem.Device.read_u8 dev base in
+  let epoch = if old_epoch >= 255 then 1 else old_epoch + 1 in
+  Pmem.Device.write_u8 dev base epoch;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:base ~len:1;
+  { dev; base; nentries = entries; interleave; epoch; next = 0; seq = 0 }
+
+type replayed = { kind : kind; seq : int; addr : int; dest : int }
+
+let replay dev ~base ~entries =
+  let epoch = Pmem.Device.read_u8 dev base in
+  let acc = ref [] in
+  for phys = 0 to entries - 1 do
+    let off = base + Pmem.Cacheline.size + (phys * entry_bytes) in
+    if Pmem.Device.read_u8 dev (off + 1) = epoch then
+      match kind_of_code (Pmem.Device.read_u8 dev off) with
+      | Some kind ->
+          acc :=
+            {
+              kind;
+              seq = Pmem.Device.read_u32 dev (off + 4);
+              addr = Pmem.Device.read_u32 dev (off + 8);
+              dest = Pmem.Device.read_u32 dev (off + 12);
+            }
+            :: !acc
+      | None -> ()
+  done;
+  List.sort (fun a b -> compare a.seq b.seq) !acc

@@ -1,0 +1,67 @@
+(** Per-arena write-ahead log.
+
+    NVAlloc-LOG records every small-allocator metadata change in a WAL and
+    flushes the entry before the change itself (section 4.1); replaying
+    the WAL after a failure resolves all memory leaks. The log is a ring
+    of 16 B entries validated by a per-entry epoch byte, so neither entry
+    invalidation nor ring zeroing needs extra flushes.
+
+    {b Entry/bitmap protocol} (see also {!Recovery}): a slab bitmap bit is
+    set iff its block is user-live {e or} sitting in some tcache. The WAL
+    disambiguates:
+
+    - [Refill addr] — block moved slab -> tcache (bit set, not user-live);
+    - [Alloc (addr, dest)] — block handed to the user, pointer at [dest];
+    - [Free addr] — block moved user -> tcache (bit still set);
+    - [Large_alloc]/[Large_free] — the same protocol for extents.
+
+    When the ring fills, the arena {e checkpoints}: it flushes all its
+    tcaches back to their slabs (clearing their bits) and bumps the epoch,
+    invalidating every entry at the cost of one header flush. Hence after
+    a crash, a set bit with no valid WAL entry is user-live (its alloc
+    entry can only have been dropped by a checkpoint, which emptied the
+    tcaches first), and replay of the valid window recovers the rest:
+    last-entry [Refill]/[Free] means "in a tcache, really free"; last-entry
+    [Alloc] is confirmed against [dest].
+
+    With interleaved mapping (section 5.1, applied to WALs per Table 2),
+    consecutive entries are placed in different cache lines of a 16-line
+    frame, eliminating the append reflushes that sequential WALs suffer. *)
+
+type t
+
+type kind = Alloc | Free | Refill | Large_alloc | Large_free
+
+val entry_bytes : int
+(** 16. *)
+
+val region_bytes : entries:int -> int
+(** Device bytes needed for a log of [entries] entries (header line
+    included). [entries] must be a positive multiple of 64. *)
+
+val create : Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+(** Format a fresh log (volatile image; first use flushes the header). *)
+
+val entries : t -> int
+val used : t -> int
+val near_full : t -> bool
+(** True when the next {!append} would not fit: the arena must checkpoint
+    first. *)
+
+val append : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> unit
+(** Write and flush one entry (category [Wal]). *)
+
+val checkpoint : t -> Sim.Clock.t -> unit
+(** Bump the epoch (invalidating all entries) and flush the header. The
+    caller must have emptied the arena's tcaches first. *)
+
+val reopen :
+  Pmem.Device.t -> Sim.Clock.t -> base:int -> entries:int -> interleave:bool -> t
+(** Recovery: adopt an existing log region and invalidate its entries by
+    bumping the epoch (one header flush). Call after {!replay}. *)
+
+type replayed = { kind : kind; seq : int; addr : int; dest : int }
+
+val replay : Pmem.Device.t -> base:int -> entries:int -> replayed list
+(** Decode the valid window from the (post-crash) image, sorted by
+    sequence number. Pure decoding: the caller charges read latency. *)

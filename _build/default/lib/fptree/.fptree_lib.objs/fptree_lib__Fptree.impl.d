@@ -1,0 +1,1 @@
+lib/fptree/fptree.ml: Alloc_api Array Hashtbl Int64 List Pmem Printf Sim Stack

@@ -1,0 +1,1 @@
+lib/fptree/fptree.mli: Alloc_api

@@ -1,0 +1,1 @@
+lib/fptree/fptree_bench.ml: Alloc_api Array Fptree Sim Workloads

@@ -1,0 +1,1 @@
+lib/fptree/fptree_bench.mli: Alloc_api Workloads

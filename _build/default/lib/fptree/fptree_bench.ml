@@ -1,0 +1,28 @@
+type params = { warmup : int; ops_per_thread : int; key_space : int; max_leaves : int }
+
+let default = { warmup = 20_000; ops_per_thread = 2_000; key_space = 60_000; max_leaves = 4_096 }
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 17) () =
+  let tree = Fptree.create inst ~max_leaves:params.max_leaves in
+  let rng = Sim.Rng.create seed in
+  (* Warmup on thread 0, as the paper warms with 50 M pairs before
+     measuring. Reset clocks afterwards so throughput covers the mixed
+     phase only. *)
+  for _ = 1 to params.warmup do
+    Fptree.insert tree ~tid:0 ~key:(1 + Sim.Rng.int rng params.key_space)
+  done;
+  Array.iter (fun c -> c.Sim.Clock.now <- 0.0) inst.Alloc_api.Instance.clocks;
+  let rngs = Array.init inst.Alloc_api.Instance.threads (fun tid -> Sim.Rng.create (seed + 1 + tid)) in
+  let remaining = Array.make inst.Alloc_api.Instance.threads params.ops_per_thread in
+  let step ~tid () =
+    if remaining.(tid) <= 0 then false
+    else begin
+      remaining.(tid) <- remaining.(tid) - 1;
+      let key = 1 + Sim.Rng.int rngs.(tid) params.key_space in
+      (* Delete if present, insert otherwise: a 50/50 mix in steady
+         state. *)
+      if not (Fptree.delete tree ~tid ~key) then Fptree.insert tree ~tid ~key;
+      true
+    end
+  in
+  Workloads.Driver.run inst ~ops_of:(fun ~tid:_ -> params.ops_per_thread) ~step_of:step

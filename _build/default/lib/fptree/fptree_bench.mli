@@ -1,0 +1,9 @@
+(** The paper's FPTree workload (section 6.3): warm the tree with
+    [warmup] keys, then run [ops] operations per thread of a 50% insert /
+    50% delete mix (8 B keys, 128 B key-value payloads). *)
+
+type params = { warmup : int; ops_per_thread : int; key_space : int; max_leaves : int }
+
+val default : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> Workloads.Driver.result

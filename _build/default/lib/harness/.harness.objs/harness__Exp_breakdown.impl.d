@@ -1,0 +1,1 @@
+lib/harness/exp_breakdown.ml: Alloc_api Array Char Factory Float List Output Pmem Printf Sim Sizes Workloads

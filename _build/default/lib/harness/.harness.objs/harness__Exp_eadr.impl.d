@@ -1,0 +1,1 @@
+lib/harness/exp_eadr.ml: Alloc_api Char Exp_large Exp_sensitivity Exp_small Factory List Output Printf Sizes Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_fptree.ml: Factory Fptree_lib List Output Sizes Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_frag.ml: Alloc_api Array Factory List Output Printf Workloads

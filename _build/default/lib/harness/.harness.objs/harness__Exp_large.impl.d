@@ -1,0 +1,1 @@
+lib/harness/exp_large.ml: Alloc_api Char Factory List Output Printf Sizes Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_motivation.ml: Alloc_api Exp_small Factory List Output Pmem Sizes Workloads

@@ -1,0 +1,1 @@
+lib/harness/exp_overhead.ml: Alloc_api Factory List Nvalloc_core Output Sizes Workloads

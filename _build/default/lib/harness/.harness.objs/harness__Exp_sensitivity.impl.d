@@ -1,0 +1,1 @@
+lib/harness/exp_sensitivity.ml: Alloc_api Array Factory List Output Printf Sizes Workloads

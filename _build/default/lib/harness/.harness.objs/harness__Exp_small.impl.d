@@ -1,0 +1,1 @@
+lib/harness/exp_small.ml: Alloc_api Char Factory List Output Printf Sizes Workloads

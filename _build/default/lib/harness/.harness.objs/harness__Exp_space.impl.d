@@ -1,0 +1,1 @@
+lib/harness/exp_space.ml: Factory List Output Sizes Workloads

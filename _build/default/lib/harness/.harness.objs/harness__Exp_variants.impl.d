@@ -1,0 +1,1 @@
+lib/harness/exp_variants.ml: Exp_small Factory List Output Workloads

@@ -1,0 +1,1 @@
+lib/harness/factory.ml: Alloc_api Baselines Config Nvalloc_core

@@ -1,0 +1,1 @@
+lib/harness/factory.mli: Alloc_api Nvalloc_core

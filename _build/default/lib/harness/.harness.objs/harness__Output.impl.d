@@ -1,0 +1,1 @@
+lib/harness/output.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Exp_breakdown Exp_eadr Exp_fptree Exp_frag Exp_large Exp_motivation Exp_overhead Exp_sensitivity Exp_small Exp_space Exp_variants List Output Printf

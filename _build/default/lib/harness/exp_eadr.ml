@@ -1,0 +1,54 @@
+(** Figures 19-21: the emulated eADR platform (section 6.7). Flushes are
+    free; NVAlloc disables interleaved mapping (except in Figure 19,
+    which demonstrates that it no longer matters). *)
+
+let fig19 () =
+  let threads = 4 in
+  let rows =
+    List.map
+      (fun stripes ->
+        let inst =
+          Alloc_api.Instance.of_nvalloc
+            ~name:(Printf.sprintf "stripes=%d" stripes)
+            ~config:(Factory.log_stripes stripes)
+            ~threads ~dev_size:(128 * 1024 * 1024) ~eadr:true ~eadr_keep_interleave:true ()
+        in
+        let r = Workloads.Threadtest.run inst ~params:(Sizes.threadtest threads) () in
+        [ string_of_int stripes; Output.ms r.Workloads.Driver.makespan_ns ])
+      Exp_sensitivity.stripe_counts
+  in
+  [
+    {
+      Output.id = "fig19";
+      title = "eADR: Threadtest time (ms) vs bit stripes, 4 threads";
+      header = [ "stripes"; "time ms" ];
+      rows;
+      notes = [ "with free flushes the stripe count no longer matters" ];
+    };
+  ]
+
+let fig20 () =
+  List.mapi
+    (fun i (bench_name, run) ->
+      let rows =
+        List.map
+          (fun threads ->
+            string_of_int threads
+            :: List.map
+                 (fun kind ->
+                   let inst = Factory.make ~eadr:true ~threads kind in
+                   let r = run inst ~threads in
+                   Output.mops r.Workloads.Driver.mops)
+                 Factory.strong)
+          Sizes.threads_sweep
+      in
+      {
+        Output.id = Printf.sprintf "fig20%c" (Char.chr (Char.code 'a' + i));
+        title = Printf.sprintf "%s throughput (Mops/s) vs threads [eADR]" bench_name;
+        header = "threads" :: List.map Factory.name Factory.strong;
+        rows;
+        notes = [];
+      })
+    Exp_small.benchmarks
+
+let fig21 () = Exp_large.sweep ~id_prefix:"fig21" ~eadr:true ()

@@ -1,0 +1,35 @@
+(** Figure 14: FPTree throughput over the allocators under test. *)
+
+let run_point ~threads kind =
+  let inst = Factory.make ~threads kind in
+  let params =
+    {
+      Fptree_lib.Fptree_bench.warmup = 10_000;
+      ops_per_thread = max 200 (12_000 / threads);
+      key_space = 30_000;
+      max_leaves = 4096;
+    }
+  in
+  let r = Fptree_lib.Fptree_bench.run inst ~params () in
+  Output.mops r.Workloads.Driver.mops
+
+let table ~id ~title ~kinds =
+  {
+    Output.id;
+    title;
+    header = "threads" :: List.map Factory.name kinds;
+    rows =
+      List.map
+        (fun threads ->
+          string_of_int threads :: List.map (fun kind -> run_point ~threads kind) kinds)
+        Sizes.threads_sweep;
+    notes = [];
+  }
+
+let fig14 () =
+  [
+    table ~id:"fig14a" ~title:"FPTree throughput (Mops/s), strongly consistent allocators"
+      ~kinds:Factory.strong;
+    table ~id:"fig14b" ~title:"FPTree throughput (Mops/s), weakly consistent allocators"
+      ~kinds:Factory.weak;
+  ]

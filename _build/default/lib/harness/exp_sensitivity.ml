@@ -1,0 +1,73 @@
+(** Figure 16: sensitivity to the bit-stripe count and the morphing
+    space-utilisation threshold SU. *)
+
+let stripe_counts = [ 1; 2; 3; 4; 5; 6; 7; 8; 12; 16; 24; 32 ]
+
+let fig16a () =
+  let thread_counts = [ 1; 2; 4; 8; 16; 32 ] in
+  let rows =
+    List.map
+      (fun stripes ->
+        string_of_int stripes
+        :: List.map
+             (fun threads ->
+               let inst =
+                 Factory.make ~threads
+                   (Factory.Nv_custom
+                      (Printf.sprintf "stripes=%d" stripes, Factory.log_stripes stripes))
+               in
+               let r = Workloads.Threadtest.run inst ~params:(Sizes.threadtest threads) () in
+               Output.ms r.Workloads.Driver.makespan_ns)
+             thread_counts)
+      stripe_counts
+  in
+  [
+    {
+      Output.id = "fig16a";
+      title = "Threadtest execution time (ms) vs bit stripes (NVAlloc-LOG)";
+      header = "stripes" :: List.map (fun t -> Printf.sprintf "%dT" t) thread_counts;
+      rows;
+      notes =
+        [
+          "time drops until the stripes clear the reflush window, then flattens;";
+          "large stripe counts at high thread counts pressure the XPBuffer";
+        ];
+    };
+  ]
+
+let fig16b () =
+  let sus = [ 0.10; 0.20; 0.30; 0.50 ] in
+  let rows =
+    List.map
+      (fun su ->
+        let inst =
+          Factory.make ~threads:1
+            (Factory.Nv_custom (Printf.sprintf "SU=%.0f%%" (su *. 100.0), Factory.log_su su))
+        in
+        let r = Workloads.Fragbench.run inst ~workload:Workloads.Fragbench.w4 () in
+        let slabs =
+          match inst.Alloc_api.Instance.slab_histogram with
+          | Some hist -> Array.fold_left ( + ) 0 (hist [ 1.0 ])
+          | None -> 0
+        in
+        [
+          Output.pct su;
+          Output.mib r.Workloads.Fragbench.peak_after;
+          string_of_int slabs;
+          Output.ms r.Workloads.Fragbench.result.Workloads.Driver.makespan_ns;
+        ])
+      sus
+  in
+  [
+    {
+      Output.id = "fig16b";
+      title = "Morphing threshold SU on Fragbench W4 (NVAlloc-LOG)";
+      header = [ "SU"; "peak MiB"; "live slabs"; "time ms" ];
+      rows;
+      notes =
+        [
+          "larger SU: more morphing, fewer slabs / less memory, slightly more time";
+          "the slab count resolves what the 4 MiB region granularity hides";
+        ];
+    };
+  ]

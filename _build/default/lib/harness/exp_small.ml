@@ -1,0 +1,55 @@
+(** Figures 9 and 10: small-allocation throughput vs thread count, for
+    the strongly and weakly consistent allocator sets; plus Table 2. *)
+
+let benchmarks :
+    (string * (Alloc_api.Instance.t -> threads:int -> Workloads.Driver.result)) list =
+  [
+    ("Threadtest", fun inst ~threads -> Workloads.Threadtest.run inst ~params:(Sizes.threadtest threads) ());
+    ("Prod-con", fun inst ~threads -> Workloads.Prodcon.run inst ~params:(Sizes.prodcon threads) ());
+    ("Shbench", fun inst ~threads -> Workloads.Shbench.run inst ~params:(Sizes.shbench threads) ());
+    ("Larson-small", fun inst ~threads -> Workloads.Larson.run inst ~params:(Sizes.larson_small threads) ());
+  ]
+
+let sweep ~id_prefix ~kinds () =
+  List.mapi
+    (fun i (bench_name, run) ->
+      let rows =
+        List.map
+          (fun threads ->
+            string_of_int threads
+            :: List.map
+                 (fun kind ->
+                   let inst = Factory.make ~threads kind in
+                   let r = run inst ~threads in
+                   Output.mops r.Workloads.Driver.mops)
+                 kinds)
+          Sizes.threads_sweep
+      in
+      {
+        Output.id = Printf.sprintf "%s%c" id_prefix (Char.chr (Char.code 'a' + i));
+        title = Printf.sprintf "%s throughput (Mops/s) vs threads" bench_name;
+        header = "threads" :: List.map Factory.name kinds;
+        rows;
+        notes = [];
+      })
+    benchmarks
+
+let fig9 () = sweep ~id_prefix:"fig9" ~kinds:Factory.strong ()
+let fig10 () = sweep ~id_prefix:"fig10" ~kinds:Factory.weak ()
+
+let tab2 () =
+  [
+    {
+      Output.id = "tab2";
+      title = "Techniques used in the two variants of NVAlloc";
+      header = [ "Allocator"; "Small allocation"; "Large allocation" ];
+      rows =
+        [
+          [ "NVAlloc-LOG"; "IM(WAL,bitmaps,tcache) + slab morphing";
+            "IM(WAL,bookkeeping log) + log-structured bookkeeping" ];
+          [ "NVAlloc-GC"; "slab morphing (no metadata flushes)";
+            "IM(WAL,bookkeeping log) + log-structured bookkeeping" ];
+        ];
+      notes = [ "IM = interleaved mapping; mirrors paper Table 2" ];
+    };
+  ]

@@ -1,0 +1,35 @@
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let print t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    all;
+  let line r =
+    String.concat "  " (List.mapi (fun i cell -> pad widths.(i) cell) r)
+  in
+  Printf.printf "\n== %s: %s ==\n" t.id t.title;
+  Printf.printf "%s\n" (line t.header);
+  Printf.printf "%s\n" (String.make (String.length (line t.header)) '-');
+  List.iter (fun r -> Printf.printf "%s\n" (line r)) t.rows;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) t.notes;
+  flush stdout
+
+let mops v = Printf.sprintf "%.3f" v
+let mib b = Printf.sprintf "%.1f" (float_of_int b /. 1024.0 /. 1024.0)
+let ms ns = Printf.sprintf "%.2f" (ns /. 1e6)
+let us ns = Printf.sprintf "%.1f" (ns /. 1e3)
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let ratio v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,22 @@
+(** Plain-text rendering of experiment results: one table per paper
+    figure/table, with the same rows/series the paper reports. *)
+
+type table = {
+  id : string;  (** e.g. "fig9a" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val print : table -> unit
+
+val mops : float -> string
+(** Throughput in Mops/s, 3 significant decimals. *)
+
+val mib : int -> string
+val ms : float -> string
+val us : float -> string
+val pct : float -> string
+val ratio : float -> string
+(** e.g. "3.42x". *)

@@ -1,0 +1,40 @@
+type experiment = { id : string; title : string; run : unit -> Output.table list }
+
+let all =
+  [
+    { id = "tab1"; title = "Table 1: Fragbench workload configuration"; run = Exp_frag.tab1 };
+    { id = "tab2"; title = "Table 2: techniques in the two NVAlloc variants"; run = Exp_small.tab2 };
+    { id = "fig1a"; title = "Figure 1(a): reflush ratios"; run = Exp_motivation.fig1a };
+    { id = "fig1b"; title = "Figure 1(b): Fragbench peak memory"; run = Exp_motivation.fig1b };
+    { id = "fig2"; title = "Figure 2: metadata flush-address dispersion"; run = Exp_motivation.fig2 };
+    { id = "fig9"; title = "Figure 9: small allocations, strong consistency"; run = Exp_small.fig9 };
+    { id = "fig10"; title = "Figure 10: small allocations, weak consistency"; run = Exp_small.fig10 };
+    { id = "fig11"; title = "Figure 11: time breakdown"; run = Exp_breakdown.fig11 };
+    { id = "fig12"; title = "Figure 12: large allocations"; run = Exp_large.fig12 };
+    { id = "fig13"; title = "Figure 13: space consumption"; run = Exp_space.fig13 };
+    { id = "fig14"; title = "Figure 14: FPTree"; run = Exp_fptree.fig14 };
+    { id = "fig15"; title = "Figure 15: Fragbench"; run = Exp_frag.fig15 };
+    { id = "fig16a"; title = "Figure 16(a): bit-stripe sensitivity"; run = Exp_sensitivity.fig16a };
+    { id = "fig16b"; title = "Figure 16(b): SU sensitivity"; run = Exp_sensitivity.fig16b };
+    { id = "fig17"; title = "Figure 17: bookkeeping GC overhead"; run = Exp_overhead.fig17 };
+    { id = "fig18"; title = "Figure 18: recovery time"; run = Exp_overhead.fig18 };
+    { id = "fig19"; title = "Figure 19: interleaved mapping on eADR"; run = Exp_eadr.fig19 };
+    { id = "fig20"; title = "Figure 20: small allocations on eADR"; run = Exp_eadr.fig20 };
+    { id = "fig21"; title = "Figure 21: large allocations on eADR"; run = Exp_eadr.fig21 };
+    {
+      id = "ext-variants";
+      title = "Extension: LOG vs GC vs internal-collection variants";
+      run = Exp_variants.ext_variants;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_one id =
+  match find id with
+  | Some e ->
+      Printf.printf "\n### %s — %s\n" e.id e.title;
+      List.iter Output.print (e.run ())
+  | None -> Printf.eprintf "unknown experiment %s\n" id
+
+let run_all () = List.iter (fun e -> run_one e.id) all

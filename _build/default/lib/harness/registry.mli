@@ -1,0 +1,14 @@
+(** Experiment registry: every table and figure of the paper's
+    evaluation, addressable by id (see DESIGN.md's per-experiment
+    index). *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : unit -> Output.table list;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val run_one : string -> unit
+val run_all : unit -> unit

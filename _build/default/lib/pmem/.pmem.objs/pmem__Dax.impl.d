@@ -1,0 +1,1 @@
+lib/pmem/dax.ml: Device List Stats

@@ -1,0 +1,1 @@
+lib/pmem/dax.mli: Device Sim

@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Array Bytes Cacheline Hashtbl Int64 Latency List Sim Stats Store Xpbuffer

@@ -1,0 +1,1 @@
+lib/pmem/device.mli: Latency Sim Stats

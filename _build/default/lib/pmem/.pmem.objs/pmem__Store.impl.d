@@ -1,0 +1,1 @@
+lib/pmem/store.ml: Array Bytes Cacheline Int32 Int64

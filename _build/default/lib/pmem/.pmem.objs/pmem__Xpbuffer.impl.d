@@ -1,0 +1,1 @@
+lib/pmem/xpbuffer.ml: Float Latency

@@ -1,0 +1,10 @@
+let size = 64
+let xpline_size = 256
+let index addr = addr lsr 6
+let base addr = addr land lnot 63
+
+let span addr len =
+  assert (len > 0);
+  (index addr, index (addr + len - 1))
+
+let xpline addr = addr lsr 8

@@ -1,0 +1,248 @@
+exception Injected_crash
+
+type t = {
+  lat : Latency.t;
+  volatile : Store.t;
+  persisted : Store.t;
+  dirty : (int, unit) Hashtbl.t;
+  stats : Stats.t;
+  wpq : Xpbuffer.t;
+  (* Per-thread flush-stream state, keyed by clock id: the reflush-
+     distance LRU (last [reflush_window] distinct lines flushed by that
+     thread, most recent first) and the last XPLine it wrote (for the
+     sequential-vs-random classification). Reflushes and sequentiality
+     are properties of one core's write stream; cross-thread bandwidth
+     effects are modelled by the shared XPBuffer instead. *)
+  streams : (int, stream) Hashtbl.t;
+  mutable crash_after : int option;
+}
+
+and stream = {
+  recent : int array;
+  mutable recent_len : int;
+  xplines : int array; (* recent XPLines the thread wrote, LRU *)
+  mutable xplines_len : int;
+}
+
+let create ?(lat = Latency.default) ?trace_limit ~size () =
+  assert (size > 0 && size mod Cacheline.size = 0);
+  {
+    lat;
+    volatile = Store.create ~size;
+    persisted = Store.create ~size;
+    dirty = Hashtbl.create 4096;
+    stats = Stats.create ?trace_limit ();
+    wpq = Xpbuffer.create lat;
+    streams = Hashtbl.create 64;
+    crash_after = None;
+  }
+
+let size t = Store.size t.volatile
+let stats t = t.stats
+let latency t = t.lat
+let is_eadr t = t.lat.Latency.reflush_step_ns = 0.0 && t.lat.Latency.seq_flush_ns = t.lat.Latency.reflush_base_ns
+
+(* --- data access ------------------------------------------------------ *)
+
+let mark_dirty t addr len =
+  let first, last = Cacheline.span addr len in
+  for line = first to last do
+    if not (Hashtbl.mem t.dirty line) then Hashtbl.add t.dirty line ()
+  done
+
+let read_u8 t addr = Store.get_u8 t.volatile addr
+
+let write_u8 t addr v =
+  Store.set_u8 t.volatile addr v;
+  mark_dirty t addr 1
+
+let read_u16 t addr = Store.get_u16 t.volatile addr
+
+let write_u16 t addr v =
+  Store.set_u16 t.volatile addr v;
+  mark_dirty t addr 2
+
+let read_u32 t addr = Store.get_u32 t.volatile addr
+
+let write_u32 t addr v =
+  assert (v >= 0 && v <= 0xFFFFFFFF);
+  Store.set_u32 t.volatile addr v;
+  mark_dirty t addr 4
+
+let read_int64 t addr = Store.get_i64 t.volatile addr
+
+let write_int64 t addr v =
+  Store.set_i64 t.volatile addr v;
+  mark_dirty t addr 8
+
+let read_int t addr =
+  let v = read_int64 t addr in
+  let i = Int64.to_int v in
+  assert (Int64.of_int i = v);
+  i
+
+let write_int t addr v = write_int64 t addr (Int64.of_int v)
+let read_bytes t addr len = Store.read_bytes t.volatile addr len
+
+let write_bytes t addr b =
+  Store.write_bytes t.volatile addr b;
+  mark_dirty t addr (Bytes.length b)
+
+let fill t addr len c =
+  Store.fill t.volatile addr len c;
+  mark_dirty t addr len
+
+(* --- persistence ------------------------------------------------------ *)
+
+let stream_of t clock =
+  match Hashtbl.find_opt t.streams clock.Sim.Clock.id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          recent = Array.make t.lat.Latency.reflush_window (-1);
+          recent_len = 0;
+          xplines = Array.make 4 min_int;
+          xplines_len = 0;
+        }
+      in
+      Hashtbl.replace t.streams clock.Sim.Clock.id s;
+      s
+
+(* Reflush distance of [line]: position in the thread's recent-distinct-
+   lines LRU, or None if absent. Updates the LRU. *)
+let reflush_distance st line =
+  let w = Array.length st.recent in
+  let pos = ref (-1) in
+  for i = 0 to st.recent_len - 1 do
+    if !pos = -1 && st.recent.(i) = line then pos := i
+  done;
+  let d = !pos in
+  (* Move [line] to the front. *)
+  if d = -1 then begin
+    let stop = min st.recent_len (w - 1) in
+    for i = stop downto 1 do
+      st.recent.(i) <- st.recent.(i - 1)
+    done;
+    st.recent.(0) <- line;
+    if st.recent_len < w then st.recent_len <- st.recent_len + 1;
+    None
+  end
+  else begin
+    for i = d downto 1 do
+      st.recent.(i) <- st.recent.(i - 1)
+    done;
+    st.recent.(0) <- line;
+    Some d
+  end
+
+let do_crash t =
+  let lines = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
+  List.iter
+    (fun line ->
+      if is_eadr t then Store.copy_line ~src:t.volatile ~dst:t.persisted line
+      else Store.copy_line ~src:t.persisted ~dst:t.volatile line)
+    lines;
+  Hashtbl.reset t.dirty;
+  Hashtbl.reset t.streams;
+  Xpbuffer.reset t.wpq;
+  t.crash_after <- None
+
+let crash t = do_crash t
+
+let tick_crash_countdown t =
+  match t.crash_after with
+  | None -> ()
+  | Some n ->
+      if n <= 1 then begin
+        do_crash t;
+        raise Injected_crash
+      end
+      else t.crash_after <- Some (n - 1)
+
+let flush_line t clock cat line =
+  let addr = line * Cacheline.size in
+  Store.copy_line ~src:t.volatile ~dst:t.persisted line;
+  Hashtbl.remove t.dirty line;
+  let st = stream_of t clock in
+  let distance = reflush_distance st line in
+  (* Sequentiality: the write lands in (or right after) an XPLine the
+     thread recently wrote — the WPQ write-combines per 256 B XPLine, so
+     a thread interleaving a few streams (bitmap stripes, WAL frame,
+     destinations) still gets combined sequential writes. *)
+  let xp = Cacheline.xpline addr in
+  let sequential =
+    let hit = ref false in
+    for i = 0 to st.xplines_len - 1 do
+      if st.xplines.(i) = xp || st.xplines.(i) + 1 = xp then hit := true
+    done;
+    !hit
+  in
+  (let w = Array.length st.xplines in
+   let pos = ref (-1) in
+   for i = 0 to st.xplines_len - 1 do
+     if !pos = -1 && st.xplines.(i) = xp then pos := i
+   done;
+   let d = if !pos = -1 then min st.xplines_len (w - 1) else !pos in
+   for i = d downto 1 do
+     st.xplines.(i) <- st.xplines.(i - 1)
+   done;
+   st.xplines.(0) <- xp;
+   if !pos = -1 && st.xplines_len < w then st.xplines_len <- st.xplines_len + 1);
+  let media_ns = Latency.flush_cost t.lat ~distance ~sequential in
+  let finish = Xpbuffer.admit t.wpq ~now:clock.Sim.Clock.now ~media_ns in
+  let reflush =
+    match distance with Some d -> d < t.lat.Latency.reflush_window | None -> false
+  in
+  Stats.record_flush t.stats cat ~addr ~reflush ~sequential ~ns:media_ns;
+  tick_crash_countdown t;
+  finish
+
+let flush t clock cat ~addr ~len =
+  if len > 0 then begin
+    let first, last = Cacheline.span addr len in
+    let finish = ref clock.Sim.Clock.now in
+    for line = first to last do
+      if Hashtbl.mem t.dirty line then begin
+        let f = flush_line t clock cat line in
+        if f > !finish then finish := f
+      end
+    done;
+    Sim.Clock.wait_until clock !finish;
+    Sim.Clock.charge clock t.lat.Latency.fence_ns;
+    Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+  end
+
+let flush_all t clock cat =
+  let lines = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
+  let lines = List.sort compare lines in
+  let finish = ref clock.Sim.Clock.now in
+  List.iter
+    (fun line ->
+      let f = flush_line t clock cat line in
+      if f > !finish then finish := f)
+    lines;
+  Sim.Clock.wait_until clock !finish;
+  Sim.Clock.charge clock t.lat.Latency.fence_ns;
+  Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+
+let fence t clock =
+  Sim.Clock.charge clock t.lat.Latency.fence_ns;
+  Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+
+let charge_pm_read t clock ~lines =
+  let ns = float_of_int lines *. t.lat.Latency.pm_read_line_ns in
+  Sim.Clock.charge clock ns;
+  Stats.record_read t.stats ~ns
+
+let charge_work t clock work ~ns =
+  Sim.Clock.charge clock ns;
+  Stats.charge_work t.stats work ~ns
+
+let dram_op t clock = charge_work t clock Stats.Other ~ns:t.lat.Latency.dram_ns
+let search_step t clock = charge_work t clock Stats.Search ~ns:t.lat.Latency.search_ns
+let schedule_crash_after t n = t.crash_after <- Some n
+let cancel_scheduled_crash t = t.crash_after <- None
+let dirty_lines t = Hashtbl.length t.dirty
+let persisted_int64 t addr = Store.get_i64 t.persisted addr
+let persisted_u8 t addr = Store.get_u8 t.persisted addr

@@ -1,0 +1,101 @@
+(** The simulated persistent-memory device.
+
+    The device keeps two images of memory:
+
+    - the {e volatile} image — what the CPU sees through its caches; all
+      reads and writes operate on it;
+    - the {e persisted} image — what survives a crash.
+
+    A write dirties the cache lines it touches. {!flush} writes dirty
+    lines back to the persisted image, charging the issuing thread the
+    media latency classified as sequential / random / reflush (see
+    {!Latency}), throttled by the shared {!Xpbuffer}. {!crash} discards
+    the volatile state of all dirty lines, which is exactly the failure
+    model of ADR platforms (CPU caches are lost, the DIMM's write-pending
+    queue is not — lines already admitted are persistent).
+
+    In eADR mode ({!Latency.eadr}) flushes cost nothing and a crash
+    preserves CPU caches, matching the paper's emulation in section 6.7.
+
+    Crash injection: {!schedule_crash_after} arms a countdown of flushed
+    lines after which the device crashes itself and raises
+    {!Injected_crash}; the crash-consistency tests sweep this countdown
+    over every flush of a scenario. *)
+
+type t
+
+exception Injected_crash
+
+val create : ?lat:Latency.t -> ?trace_limit:int -> size:int -> unit -> t
+(** [size] is the device capacity in bytes; it must be a multiple of the
+    cache-line size. *)
+
+val size : t -> int
+val stats : t -> Stats.t
+val latency : t -> Latency.t
+val is_eadr : t -> bool
+
+(** {1 Data access (volatile image)}
+
+    Accessors do not charge simulated time: loads and stores hitting the
+    CPU cache are negligible next to flush costs. Multi-byte accessors are
+    little-endian. *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_int64 : t -> int -> int64
+val write_int64 : t -> int -> int64 -> unit
+val read_int : t -> int -> int
+(** 63-bit int stored as int64; asserts the stored value fits. *)
+
+val write_int : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+val fill : t -> int -> int -> char -> unit
+
+(** {1 Persistence} *)
+
+val flush : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
+(** Write back every dirty cache line in [addr, addr+len); clean lines are
+    skipped for free, as [clwb] of a clean line is. Advances the thread's
+    clock to the completion of the slowest line (clwb...clwb; sfence). *)
+
+val fence : t -> Sim.Clock.t -> unit
+(** A bare store fence (used between dependent flushes). *)
+
+val flush_all : t -> Sim.Clock.t -> Stats.category -> unit
+(** Write back every dirty line (shutdown path: persist the whole
+    volatile state, e.g. NVAlloc-GC's never-flushed bitmaps). *)
+
+val charge_pm_read : t -> Sim.Clock.t -> lines:int -> unit
+(** Charge a recovery-style scan of [lines] cache lines from the media. *)
+
+val charge_work : t -> Sim.Clock.t -> Stats.work -> ns:float -> unit
+(** Charge CPU-side work (index search, list manipulation) to the clock
+    and to the breakdown accounting. *)
+
+val dram_op : t -> Sim.Clock.t -> unit
+(** Shorthand: one generic DRAM-side operation charged as [Other]. *)
+
+val search_step : t -> Sim.Clock.t -> unit
+(** Shorthand: one step of a DRAM index search charged as [Search]. *)
+
+(** {1 Crashes and recovery support} *)
+
+val crash : t -> unit
+(** Lose the CPU caches: revert all dirty lines to the persisted image
+    (eADR: persist them instead). Resets flush-history state. *)
+
+val schedule_crash_after : t -> int -> unit
+(** Arm crash injection after that many more flushed lines. *)
+
+val cancel_scheduled_crash : t -> unit
+val dirty_lines : t -> int
+val persisted_int64 : t -> int -> int64
+(** Read the persisted image directly (test observability only). *)
+
+val persisted_u8 : t -> int -> int

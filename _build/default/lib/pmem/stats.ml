@@ -1,0 +1,106 @@
+type category = Meta | Wal | Log | Data
+type work = Search | Other
+
+type t = {
+  trace_limit : int;
+  mutable flushes : int;
+  mutable reflushes : int;
+  mutable sequentials : int;
+  mutable randoms : int;
+  mutable t_meta : float;
+  mutable t_wal : float;
+  mutable t_log : float;
+  mutable t_data : float;
+  mutable t_fence : float;
+  mutable t_read : float;
+  mutable t_search : float;
+  mutable t_other : float;
+  mutable trace_rev : (category * int) list;
+  mutable traced : int;
+}
+
+let create ?(trace_limit = 1000) () =
+  {
+    trace_limit;
+    flushes = 0;
+    reflushes = 0;
+    sequentials = 0;
+    randoms = 0;
+    t_meta = 0.0;
+    t_wal = 0.0;
+    t_log = 0.0;
+    t_data = 0.0;
+    t_fence = 0.0;
+    t_read = 0.0;
+    t_search = 0.0;
+    t_other = 0.0;
+    trace_rev = [];
+    traced = 0;
+  }
+
+let reset t =
+  t.flushes <- 0;
+  t.reflushes <- 0;
+  t.sequentials <- 0;
+  t.randoms <- 0;
+  t.t_meta <- 0.0;
+  t.t_wal <- 0.0;
+  t.t_log <- 0.0;
+  t.t_data <- 0.0;
+  t.t_fence <- 0.0;
+  t.t_read <- 0.0;
+  t.t_search <- 0.0;
+  t.t_other <- 0.0;
+  t.trace_rev <- [];
+  t.traced <- 0
+
+let record_flush t cat ~addr ~reflush ~sequential ~ns =
+  t.flushes <- t.flushes + 1;
+  if reflush then t.reflushes <- t.reflushes + 1
+  else if sequential then t.sequentials <- t.sequentials + 1
+  else t.randoms <- t.randoms + 1;
+  (match cat with
+  | Meta -> t.t_meta <- t.t_meta +. ns
+  | Wal -> t.t_wal <- t.t_wal +. ns
+  | Log -> t.t_log <- t.t_log +. ns
+  | Data -> t.t_data <- t.t_data +. ns);
+  (match cat with
+  | Meta | Wal | Log ->
+      if t.traced < t.trace_limit then begin
+        t.trace_rev <- (cat, addr) :: t.trace_rev;
+        t.traced <- t.traced + 1
+      end
+  | Data -> ())
+
+let record_fence t ~ns = t.t_fence <- t.t_fence +. ns
+let record_read t ~ns = t.t_read <- t.t_read +. ns
+
+let charge_work t work ~ns =
+  match work with
+  | Search -> t.t_search <- t.t_search +. ns
+  | Other -> t.t_other <- t.t_other +. ns
+
+let flushes t = t.flushes
+let reflushes t = t.reflushes
+let sequential_flushes t = t.sequentials
+let random_flushes t = t.randoms
+
+let reflush_ratio t =
+  if t.flushes = 0 then 0.0 else float_of_int t.reflushes /. float_of_int t.flushes
+
+let flush_time t = function
+  | Meta -> t.t_meta
+  | Wal -> t.t_wal
+  | Log -> t.t_log
+  | Data -> t.t_data
+
+let work_time t = function Search -> t.t_search | Other -> t.t_other
+let total_flush_time t = t.t_meta +. t.t_wal +. t.t_log +. t.t_data
+let trace t = List.rev t.trace_rev
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "flushes=%d reflush=%d (%.1f%%) seq=%d rand=%d meta=%.0fns wal=%.0fns log=%.0fns data=%.0fns"
+    t.flushes t.reflushes
+    (100.0 *. reflush_ratio t)
+    t.sequentials t.randoms t.t_meta t.t_wal t.t_log t.t_data

@@ -1,0 +1,56 @@
+(** Counters and time accounting for one allocator instance.
+
+    The paper's evaluation needs three kinds of observability:
+    - flush classification counts (Figure 1a: reflush vs regular flush);
+    - a trace of the first flush addresses of metadata (Figure 2);
+    - execution-time breakdown by category (Figure 11: FlushMeta,
+      FlushWAL, Search, Other — we additionally separate the bookkeeping
+      log as FlushLog and user payload as FlushData). *)
+
+type category = Meta | Wal | Log | Data
+(** What a flush persists. [Meta] — slab bitmaps / headers / extent
+    headers; [Wal] — write-ahead-log entries; [Log] — the log-structured
+    bookkeeping log; [Data] — user payload (root pointers, object bodies). *)
+
+type work = Search | Other
+(** CPU-side time categories for the breakdown. *)
+
+type t
+
+val create : ?trace_limit:int -> unit -> t
+(** [trace_limit] bounds the recorded flush-address trace (default 1000,
+    matching Figure 2's "first 1000 flush operations"). *)
+
+val reset : t -> unit
+
+(* Recording (used by Device and by allocators). *)
+
+val record_flush :
+  t -> category -> addr:int -> reflush:bool -> sequential:bool -> ns:float -> unit
+
+val record_fence : t -> ns:float -> unit
+val record_read : t -> ns:float -> unit
+val charge_work : t -> work -> ns:float -> unit
+
+(* Reporting. *)
+
+val flushes : t -> int
+(** Total flush operations (reflushes included). *)
+
+val reflushes : t -> int
+val sequential_flushes : t -> int
+val random_flushes : t -> int
+
+val reflush_ratio : t -> float
+(** Fraction of flushes that were reflushes; 0 when no flushes occurred. *)
+
+val flush_time : t -> category -> float
+val work_time : t -> work -> float
+
+val total_flush_time : t -> float
+val trace : t -> (category * int) list
+(** Flush trace in issue order: category and byte address, truncated to
+    [trace_limit] metadata-class entries (Meta, Wal and Log; Figure 2
+    plots metadata flushes only). *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = {
+  lat : Latency.t;
+  mutable media_free : float; (* virtual time the media catches up with the queue *)
+  mutable stalls : float;
+}
+
+let create lat = { lat; media_free = 0.0; stalls = 0.0 }
+
+let reset t =
+  t.media_free <- 0.0;
+  t.stalls <- 0.0
+
+let admit t ~now ~media_ns =
+  let lat = t.lat in
+  (* The WPQ absorbs up to [capacity] entries of backlog; beyond that the
+     flush stalls until the media catches up. Each admitted line occupies
+     the shared media for its classified latency divided by the media
+     parallelism, which is what bounds aggregate flush bandwidth. *)
+  let window = float_of_int lat.Latency.wpq_capacity *. lat.Latency.wpq_drain_ns in
+  let backlog = Float.max 0.0 (t.media_free -. now) in
+  let stall = Float.max 0.0 (backlog -. window) in
+  t.stalls <- t.stalls +. stall;
+  let start = now +. stall in
+  t.media_free <-
+    Float.max t.media_free start +. (media_ns /. lat.Latency.media_parallelism);
+  start +. media_ns
+
+let stall_time t = t.stalls

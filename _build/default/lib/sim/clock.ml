@@ -1,0 +1,10 @@
+type t = { mutable now : float; id : int }
+
+let counter = ref 0
+
+let create () =
+  incr counter;
+  { now = 0.0; id = !counter }
+
+let charge t ns = t.now <- t.now +. ns
+let wait_until t time = if time > t.now then t.now <- time

@@ -1,0 +1,20 @@
+(** Per-thread simulated clock.
+
+    Every logical thread in the simulation owns one clock, measured in
+    nanoseconds since the start of the run. All latency charged by the
+    persistent-memory device, locks and CPU work advances the clock of the
+    thread performing the operation. *)
+
+type t = { mutable now : float; id : int }
+
+val create : unit -> t
+(** Each clock gets a unique [id]; the device uses it to keep per-thread
+    flush-stream state (reflush windows, sequentiality), since those are
+    properties of one core's write stream. *)
+
+val charge : t -> float -> unit
+(** [charge t ns] advances the clock by [ns] nanoseconds. *)
+
+val wait_until : t -> float -> unit
+(** [wait_until t time] advances the clock to [time] if it is in the
+    future; a no-op otherwise. *)

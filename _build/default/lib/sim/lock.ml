@@ -1,0 +1,27 @@
+type t = {
+  mutable free_at : float;
+  acquire_ns : float;
+  mutable contended : int;
+}
+
+let create ?(acquire_ns = 20.0) () = { free_at = 0.0; acquire_ns; contended = 0 }
+
+let acquire t clock =
+  if t.free_at > clock.Clock.now then begin
+    t.contended <- t.contended + 1;
+    Clock.wait_until clock t.free_at
+  end;
+  Clock.charge clock t.acquire_ns;
+  (* Reserve the lock up to the holder's current time; extended on
+     release. This keeps a second acquirer from slipping in between. *)
+  t.free_at <- clock.Clock.now
+
+let release t clock = t.free_at <- clock.Clock.now
+
+let with_lock t clock f =
+  acquire t clock;
+  let r = f () in
+  release t clock;
+  r
+
+let contention_count t = t.contended

@@ -1,0 +1,25 @@
+type thread = { clock : Clock.t; step : unit -> bool }
+
+let run threads =
+  let n = Array.length threads in
+  let alive = Array.make n true in
+  let alive_count = ref n in
+  while !alive_count > 0 do
+    (* Pick the runnable thread with the smallest clock. A linear scan is
+       fine: thread counts are at most 64 in every experiment. *)
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      if alive.(i) then
+        match !best with
+        | -1 -> best := i
+        | b -> if threads.(i).clock.Clock.now < threads.(b).clock.Clock.now then best := i
+    done;
+    let i = !best in
+    if not (threads.(i).step ()) then begin
+      alive.(i) <- false;
+      decr alive_count
+    end
+  done
+
+let makespan threads =
+  Array.fold_left (fun acc t -> Float.max acc t.clock.Clock.now) 0.0 threads

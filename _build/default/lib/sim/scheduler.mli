@@ -1,0 +1,23 @@
+(** Deterministic discrete-time thread scheduler.
+
+    Logical threads are step functions. The scheduler repeatedly runs one
+    step of the runnable thread with the smallest clock (ties broken by
+    thread index), so simulated time advances consistently across threads:
+    an operation that starts earlier is simulated earlier. One step should
+    correspond to one workload operation (e.g. one malloc/free pair); locks
+    and device queues then interleave the threads at operation granularity.
+
+    The simulation is single-OS-threaded and needs no Domain machinery:
+    determinism is the point, see DESIGN.md section 1. *)
+
+type thread = {
+  clock : Clock.t;
+  step : unit -> bool;  (** perform one operation; [false] when finished *)
+}
+
+val run : thread array -> unit
+(** Runs all threads to completion. *)
+
+val makespan : thread array -> float
+(** Largest clock value: the simulated wall-clock duration of the run.
+    Throughput = operations / makespan. *)

@@ -1,0 +1,1 @@
+lib/support/dlist.ml: List

@@ -1,0 +1,228 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type key = Ord.t
+  type color = Red | Black
+  type 'a node = Leaf | Node of color * 'a node * key * 'a * 'a node
+  type 'a t = { mutable root : 'a node; mutable size : int }
+
+  let create () = { root = Leaf; size = 0 }
+  let is_empty t = t.root = Leaf
+  let cardinal t = t.size
+
+  (* Kahrs' balance: repairs a red-red violation one level down, used by
+     both insertion and deletion rebalancing. *)
+  let balance left key value right =
+    match (left, key, value, right) with
+    | Node (Red, a, xk, xv, b), yk, yv, Node (Red, c, zk, zv, d) ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, Node (Black, c, zk, zv, d))
+    | Node (Red, Node (Red, a, xk, xv, b), yk, yv, c), zk, zv, d ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, Node (Black, c, zk, zv, d))
+    | Node (Red, a, xk, xv, Node (Red, b, yk, yv, c)), zk, zv, d ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, Node (Black, c, zk, zv, d))
+    | a, xk, xv, Node (Red, b, yk, yv, Node (Red, c, zk, zv, d)) ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, Node (Black, c, zk, zv, d))
+    | a, xk, xv, Node (Red, Node (Red, b, yk, yv, c), zk, zv, d) ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, Node (Black, c, zk, zv, d))
+    | a, xk, xv, b -> Node (Black, a, xk, xv, b)
+
+  let blacken = function
+    | Node (Red, l, k, v, r) -> Node (Black, l, k, v, r)
+    | n -> n
+
+  exception Unchanged
+  (* Raised by [del] when the key was absent: the wrapper then keeps both
+     the root and [size] untouched. *)
+
+  let rec mem_node key = function
+    | Leaf -> false
+    | Node (_, l, k, _, r) ->
+        let c = Ord.compare key k in
+        if c = 0 then true else if c < 0 then mem_node key l else mem_node key r
+
+  let insert t key value =
+    let existed = mem_node key t.root in
+    let rec ins = function
+      | Leaf -> Node (Red, Leaf, key, value, Leaf)
+      | Node (color, l, k, v, r) -> (
+          let c = Ord.compare key k in
+          if c = 0 then Node (color, l, key, value, r)
+          else if c < 0 then
+            match color with
+            | Black -> balance (ins l) k v r
+            | Red -> Node (Red, ins l, k, v, r)
+          else
+            match color with
+            | Black -> balance l k v (ins r)
+            | Red -> Node (Red, l, k, v, ins r))
+    in
+    t.root <- blacken (ins t.root);
+    if not existed then t.size <- t.size + 1
+
+  (* --- deletion (Kahrs) ------------------------------------------------ *)
+
+  let sub1 = function
+    | Node (Black, a, k, v, b) -> Node (Red, a, k, v, b)
+    | _ -> assert false
+
+  let rec bal_left l k v r =
+    match (l, k, v, r) with
+    | Node (Red, a, xk, xv, b), yk, yv, c ->
+        Node (Red, Node (Black, a, xk, xv, b), yk, yv, c)
+    | bl, xk, xv, Node (Black, a, yk, yv, b) ->
+        balance bl xk xv (Node (Red, a, yk, yv, b))
+    | bl, xk, xv, Node (Red, Node (Black, a, yk, yv, b), zk, zv, c) ->
+        Node (Red, Node (Black, bl, xk, xv, a), yk, yv, balance b zk zv (sub1 c))
+    | _ -> assert false
+
+  and bal_right l k v r =
+    match (l, k, v, r) with
+    | a, xk, xv, Node (Red, b, yk, yv, c) ->
+        Node (Red, a, xk, xv, Node (Black, b, yk, yv, c))
+    | Node (Black, a, xk, xv, b), yk, yv, bl ->
+        balance (Node (Red, a, xk, xv, b)) yk yv bl
+    | Node (Red, a, xk, xv, Node (Black, b, yk, yv, c)), zk, zv, bl ->
+        Node (Red, balance (sub1 a) xk xv b, yk, yv, Node (Black, c, zk, zv, bl))
+    | _ -> assert false
+
+  and fuse l r =
+    match (l, r) with
+    | Leaf, x -> x
+    | x, Leaf -> x
+    | Node (Red, a, xk, xv, b), Node (Red, c, yk, yv, d) -> (
+        match fuse b c with
+        | Node (Red, b', zk, zv, c') ->
+            Node (Red, Node (Red, a, xk, xv, b'), zk, zv, Node (Red, c', yk, yv, d))
+        | bc -> Node (Red, a, xk, xv, Node (Red, bc, yk, yv, d)))
+    | Node (Black, a, xk, xv, b), Node (Black, c, yk, yv, d) -> (
+        match fuse b c with
+        | Node (Red, b', zk, zv, c') ->
+            Node (Red, Node (Black, a, xk, xv, b'), zk, zv, Node (Black, c', yk, yv, d))
+        | bc -> bal_left a xk xv (Node (Black, bc, yk, yv, d)))
+    | a, Node (Red, b, xk, xv, c) -> Node (Red, fuse a b, xk, xv, c)
+    | Node (Red, a, xk, xv, b), c -> Node (Red, a, xk, xv, fuse b c)
+
+  let remove t key =
+    let rec del = function
+      | Leaf -> raise_notrace Unchanged
+      | Node (_, a, yk, yv, b) ->
+          let c = Ord.compare key yk in
+          if c < 0 then del_left a yk yv b
+          else if c > 0 then del_right a yk yv b
+          else fuse a b
+    and del_left a yk yv b =
+      match a with
+      | Node (Black, _, _, _, _) -> bal_left (del a) yk yv b
+      | _ -> Node (Red, del a, yk, yv, b)
+    and del_right a yk yv b =
+      match b with
+      | Node (Black, _, _, _, _) -> bal_right a yk yv (del b)
+      | _ -> Node (Red, a, yk, yv, del b)
+    in
+    match blacken (del t.root) with
+    | root ->
+        t.root <- root;
+        t.size <- t.size - 1
+    | exception Unchanged -> ()
+
+  (* --- queries --------------------------------------------------------- *)
+
+  let find_opt t key =
+    let rec go = function
+      | Leaf -> None
+      | Node (_, l, k, v, r) ->
+          let c = Ord.compare key k in
+          if c = 0 then Some v else if c < 0 then go l else go r
+    in
+    go t.root
+
+  let mem t key = mem_node key t.root
+
+  let min_binding_opt t =
+    let rec go = function
+      | Leaf -> None
+      | Node (_, Leaf, k, v, _) -> Some (k, v)
+      | Node (_, l, _, _, _) -> go l
+    in
+    go t.root
+
+  let max_binding_opt t =
+    let rec go = function
+      | Leaf -> None
+      | Node (_, _, k, v, Leaf) -> Some (k, v)
+      | Node (_, _, _, _, r) -> go r
+    in
+    go t.root
+
+  let find_first_geq t key =
+    let rec go best = function
+      | Leaf -> best
+      | Node (_, l, k, v, r) ->
+          let c = Ord.compare key k in
+          if c = 0 then Some (k, v)
+          else if c < 0 then go (Some (k, v)) l
+          else go best r
+    in
+    go None t.root
+
+  let find_last_leq t key =
+    let rec go best = function
+      | Leaf -> best
+      | Node (_, l, k, v, r) ->
+          let c = Ord.compare key k in
+          if c = 0 then Some (k, v)
+          else if c < 0 then go best l
+          else go (Some (k, v)) r
+    in
+    go None t.root
+
+  let find_last_lt t key =
+    let rec go best = function
+      | Leaf -> best
+      | Node (_, l, k, v, r) ->
+          let c = Ord.compare key k in
+          if c <= 0 then go best l else go (Some (k, v)) r
+    in
+    go None t.root
+
+  let iter f t =
+    let rec go = function
+      | Leaf -> ()
+      | Node (_, l, k, v, r) ->
+          go l;
+          f k v;
+          go r
+    in
+    go t.root
+
+  let fold f t init =
+    let rec go acc = function
+      | Leaf -> acc
+      | Node (_, l, k, v, r) -> go (f k v (go acc l)) r
+    in
+    go init t.root
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let invariants_ok t =
+    (* Returns the black height, raises on violation. *)
+    let rec check lo hi = function
+      | Leaf -> 1
+      | Node (color, l, k, _, r) ->
+          (match lo with Some lo -> assert (Ord.compare lo k < 0) | None -> ());
+          (match hi with Some hi -> assert (Ord.compare k hi < 0) | None -> ());
+          (if color = Red then
+             match (l, r) with
+             | Node (Red, _, _, _, _), _ | _, Node (Red, _, _, _, _) -> assert false
+             | _ -> ());
+          let bl = check lo (Some k) l in
+          let br = check (Some k) hi r in
+          assert (bl = br);
+          bl + (if color = Black then 1 else 0)
+    in
+    match check None None t.root with _ -> true | exception Assert_failure _ -> false
+end

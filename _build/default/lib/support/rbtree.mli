@@ -1,0 +1,59 @@
+(** Red-black tree (ordered map).
+
+    NVAlloc uses red-black trees in DRAM for three indexes: the address
+    index of extents (the paper calls it an R-tree: keys are extent
+    start/end addresses), the best-fit size index over free extents, and
+    the vchunk index of the bookkeeping log. The implementation is the
+    classic persistent red-black tree (Okasaki insertion, Kahrs deletion)
+    wrapped in a mutable handle, which gives us simple code with verified
+    invariants (see the property tests) at the modest cost of allocation —
+    irrelevant here since tree time is charged through the simulated
+    latency model, not measured on the host.
+
+    [find_first_geq]/[find_last_leq] provide the ceiling/floor searches
+    that best-fit allocation and neighbour coalescing need. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type key = Ord.t
+  type 'a t
+
+  val create : unit -> 'a t
+  val is_empty : 'a t -> bool
+  val cardinal : 'a t -> int
+
+  val insert : 'a t -> key -> 'a -> unit
+  (** Replaces any existing binding for the key. *)
+
+  val remove : 'a t -> key -> unit
+  (** No-op if the key is absent. *)
+
+  val find_opt : 'a t -> key -> 'a option
+  val mem : 'a t -> key -> bool
+  val min_binding_opt : 'a t -> (key * 'a) option
+  val max_binding_opt : 'a t -> (key * 'a) option
+
+  val find_first_geq : 'a t -> key -> (key * 'a) option
+  (** Smallest binding whose key is >= the argument. *)
+
+  val find_last_leq : 'a t -> key -> (key * 'a) option
+  (** Largest binding whose key is <= the argument. *)
+
+  val find_last_lt : 'a t -> key -> (key * 'a) option
+  (** Largest binding whose key is < the argument (left neighbour). *)
+
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  (** In increasing key order. *)
+
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  val to_list : 'a t -> (key * 'a) list
+
+  val invariants_ok : 'a t -> bool
+  (** Checks BST order, no red node with a red child, and equal black
+      height on all paths. Exposed for the property tests. *)
+end

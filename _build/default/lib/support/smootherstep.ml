@@ -1,0 +1,8 @@
+let curve x =
+  if x <= 0.0 then 0.0
+  else if x >= 1.0 then 1.0
+  else x *. x *. x *. ((x *. ((x *. 6.0) -. 15.0)) +. 10.0)
+
+let limit ~total ~elapsed_fraction =
+  let keep = 1.0 -. curve elapsed_fraction in
+  int_of_float (Float.round (float_of_int total *. keep))

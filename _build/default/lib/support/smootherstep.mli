@@ -1,0 +1,16 @@
+(** Smootherstep decay curve.
+
+    jemalloc — and NVAlloc, which reuses its parameters (section 2.2) —
+    shrinks the reclaimed/retained extent lists over time: at each decay
+    tick, a list may hold at most [limit total elapsed] bytes, where the
+    allowed fraction follows Perlin's smootherstep from 1 down to 0 over
+    the decay interval. *)
+
+val curve : float -> float
+(** [curve x] for [x] in [0, 1] is [6x^5 - 15x^4 + 10x^3]; clamped
+    outside the interval. Monotone from 0 to 1. *)
+
+val limit : total:int -> elapsed_fraction:float -> int
+(** Maximum bytes a list holding [total] bytes may keep when
+    [elapsed_fraction] of the decay interval has passed since the list
+    last grew: [total * (1 - curve elapsed_fraction)]. *)

@@ -1,0 +1,1 @@
+lib/workloads/dbmstest.ml: Alloc_api Array Driver List Sim Stack

@@ -1,0 +1,1 @@
+lib/workloads/dbmstest.mli: Alloc_api Driver

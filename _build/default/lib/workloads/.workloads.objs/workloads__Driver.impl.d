@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Alloc_api Array Sim

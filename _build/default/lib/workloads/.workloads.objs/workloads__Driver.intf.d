@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Alloc_api

@@ -1,0 +1,1 @@
+lib/workloads/fragbench.ml: Alloc_api Array Driver Sim Stack

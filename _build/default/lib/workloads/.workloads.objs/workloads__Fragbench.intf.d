@@ -1,0 +1,1 @@
+lib/workloads/fragbench.mli: Alloc_api Driver

@@ -1,0 +1,1 @@
+lib/workloads/larson.ml: Alloc_api Array Driver Sim

@@ -1,0 +1,1 @@
+lib/workloads/larson.mli: Alloc_api Driver

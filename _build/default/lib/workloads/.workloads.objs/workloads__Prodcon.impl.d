@@ -1,0 +1,1 @@
+lib/workloads/prodcon.ml: Alloc_api Array Driver Queue Stack

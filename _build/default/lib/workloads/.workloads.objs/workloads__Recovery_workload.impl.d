@@ -1,0 +1,1 @@
+lib/workloads/recovery_workload.ml: Alloc_api Driver Sim

@@ -1,0 +1,1 @@
+lib/workloads/shbench.ml: Alloc_api Array Driver Sim

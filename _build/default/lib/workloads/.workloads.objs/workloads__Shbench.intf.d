@@ -1,0 +1,1 @@
+lib/workloads/shbench.mli: Alloc_api Driver

@@ -1,0 +1,1 @@
+lib/workloads/threadtest.mli: Alloc_api Driver

@@ -1,0 +1,80 @@
+type params = {
+  objects : int;
+  iterations : int;
+  warmup : int;
+  min_size : int;
+  max_size : int;
+  delete_frac : float;
+}
+
+let default =
+  {
+    objects = 128;
+    iterations = 4;
+    warmup = 4;
+    min_size = 32 * 1024;
+    max_size = 512 * 1024;
+    delete_frac = 0.9;
+  }
+
+type phase = Alloc of int | Delete of int list
+
+type state = {
+  rng : Sim.Rng.t;
+  mutable iter : int;
+  mutable phase : phase;
+  free_slots : int Stack.t;
+  mutable live : int list;
+  mutable ops : int;
+}
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 23) () =
+  let open Alloc_api.Instance in
+  let capacity = params.objects * 3 in
+  assert (capacity <= Driver.slots_per_thread inst);
+  let total_iters = params.warmup + params.iterations in
+  let states =
+    Array.init inst.threads (fun tid ->
+        let free_slots = Stack.create () in
+        for i = capacity - 1 downto 0 do
+          Stack.push i free_slots
+        done;
+        { rng = Sim.Rng.create (seed + tid); iter = 0; phase = Alloc 0; free_slots;
+          live = []; ops = 0 })
+  in
+  let step ~tid () =
+    let st = states.(tid) in
+    if st.iter >= total_iters then false
+    else begin
+      (match st.phase with
+      | Alloc k ->
+          let i = Stack.pop st.free_slots in
+          let size = Sim.Rng.poisson_in st.rng params.min_size params.max_size in
+          ignore (inst.malloc ~tid ~size ~dest:(Driver.slot inst ~tid i));
+          st.live <- i :: st.live;
+          st.ops <- st.ops + 1;
+          if k + 1 < params.objects then st.phase <- Alloc (k + 1)
+          else begin
+            (* Choose the random victims for the delete phase. *)
+            let arr = Array.of_list st.live in
+            Sim.Rng.shuffle st.rng arr;
+            let nvictims =
+              int_of_float (float_of_int (Array.length arr) *. params.delete_frac)
+            in
+            let victims = Array.to_list (Array.sub arr 0 nvictims) in
+            st.live <-
+              List.filter (fun i -> not (List.mem i victims)) (Array.to_list arr);
+            st.phase <- Delete victims
+          end
+      | Delete [] ->
+          st.iter <- st.iter + 1;
+          st.phase <- Alloc 0
+      | Delete (i :: rest) ->
+          inst.free ~tid ~dest:(Driver.slot inst ~tid i);
+          Stack.push i st.free_slots;
+          st.ops <- st.ops + 1;
+          st.phase <- Delete rest);
+      true
+    end
+  in
+  Driver.run inst ~ops_of:(fun ~tid -> states.(tid).ops) ~step_of:step

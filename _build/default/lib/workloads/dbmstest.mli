@@ -1,0 +1,20 @@
+(** DBMStest (Durner et al., section 6.2): database-style large-object
+    churn. Per iteration each thread allocates [objects] extents with
+    sizes following a (discretised) Poisson distribution between
+    [min_size] and [max_size], then deletes [delete_frac] of them in
+    random order. The first [warmup] iterations are excluded from the
+    operation count but included in peak-memory tracking, as in the
+    paper's 50 warmup + 50 measured iterations. *)
+
+type params = {
+  objects : int;
+  iterations : int;
+  warmup : int;
+  min_size : int;
+  max_size : int;
+  delete_frac : float;
+}
+
+val default : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> Driver.result

@@ -1,0 +1,48 @@
+type result = {
+  allocator : string;
+  threads : int;
+  total_ops : int;
+  makespan_ns : float;
+  mops : float;
+  peak_bytes : int;
+}
+
+let run (inst : Alloc_api.Instance.t) ~ops_of ~step_of =
+  inst.Alloc_api.Instance.reset_peak ();
+  let threads =
+    Array.init inst.Alloc_api.Instance.threads (fun tid ->
+        { Sim.Scheduler.clock = inst.Alloc_api.Instance.clocks.(tid); step = step_of ~tid })
+  in
+  Sim.Scheduler.run threads;
+  let makespan = Sim.Scheduler.makespan threads in
+  let total_ops = ref 0 in
+  for tid = 0 to inst.Alloc_api.Instance.threads - 1 do
+    total_ops := !total_ops + ops_of ~tid
+  done;
+  {
+    allocator = inst.Alloc_api.Instance.name;
+    threads = inst.Alloc_api.Instance.threads;
+    total_ops = !total_ops;
+    makespan_ns = makespan;
+    mops = (if makespan > 0.0 then float_of_int !total_ops /. (makespan /. 1e9) /. 1e6 else 0.0);
+    peak_bytes = inst.Alloc_api.Instance.peak_bytes ();
+  }
+
+let idle (inst : Alloc_api.Instance.t) ~tid =
+  Sim.Clock.charge inst.Alloc_api.Instance.clocks.(tid) 100.0
+
+let slots_per_thread (inst : Alloc_api.Instance.t) =
+  inst.Alloc_api.Instance.root_count / inst.Alloc_api.Instance.threads
+
+let slot (inst : Alloc_api.Instance.t) ~tid i =
+  let per = slots_per_thread inst in
+  assert (i >= 0 && i < per);
+  (* Interleave consecutive logical slots across cache lines (8 slots of
+     8 B per line): benchmark harnesses pad their result arrays to avoid
+     false sharing, and without this every allocator pays identical
+     destination-line reflushes that mask the metadata effects under
+     study. *)
+  let phys =
+    if per mod 8 = 0 && per >= 64 then (i mod 8 * (per / 8)) + (i / 8) else i
+  in
+  inst.Alloc_api.Instance.root ((tid * per) + phys)

@@ -1,0 +1,29 @@
+(** Workload driver: runs per-thread step functions over an allocator
+    instance through the deterministic scheduler and gathers the metrics
+    every experiment reports. *)
+
+type result = {
+  allocator : string;
+  threads : int;
+  total_ops : int;  (** allocation + free operations performed *)
+  makespan_ns : float;  (** simulated wall-clock of the run *)
+  mops : float;  (** throughput, million operations / simulated second *)
+  peak_bytes : int;  (** peak mapped persistent memory during the run *)
+}
+
+val run :
+  Alloc_api.Instance.t -> ops_of:(tid:int -> int) -> step_of:(tid:int -> unit -> bool) -> result
+(** [step_of ~tid] builds thread [tid]'s step closure ([false] = done);
+    [ops_of ~tid] declares how many operations that thread will have
+    performed, for the throughput figure. Resets peak tracking before
+    starting. *)
+
+val idle : Alloc_api.Instance.t -> tid:int -> unit
+(** Charge a short idle spin (used when a consumer waits for its
+    producer). *)
+
+val slots_per_thread : Alloc_api.Instance.t -> int
+(** Root-table slots available to each thread (disjoint partitions). *)
+
+val slot : Alloc_api.Instance.t -> tid:int -> int -> int
+(** Address of thread [tid]'s [i]-th root slot. *)

@@ -1,0 +1,102 @@
+type dist = Fixed of int | Uniform of int * int
+
+type workload = { label : string; before : dist; delete_frac : float; after : dist }
+
+let w1 = { label = "W1"; before = Fixed 100; delete_frac = 0.9; after = Fixed 130 }
+let w2 = { label = "W2"; before = Uniform (100, 150); delete_frac = 0.0; after = Uniform (200, 250) }
+let w3 = { label = "W3"; before = Uniform (100, 150); delete_frac = 0.9; after = Uniform (200, 250) }
+let w4 = { label = "W4"; before = Uniform (100, 200); delete_frac = 0.5; after = Uniform (1000, 2000) }
+let all = [ w1; w2; w3; w4 ]
+
+type params = { live_cap : int; churn : int }
+
+let default = { live_cap = 12 * 1024 * 1024; churn = 60 * 1024 * 1024 }
+
+type frag_result = { result : Driver.result; peak_before : int; peak_after : int }
+
+let draw rng = function Fixed n -> n | Uniform (lo, hi) -> Sim.Rng.int_in rng lo hi
+
+(* Live-object table: slot index -> size. *)
+type state = {
+  rng : Sim.Rng.t;
+  mutable live : (int * int) array; (* (slot, size), dense prefix of [count] *)
+  mutable count : int;
+  free_slots : int Stack.t;
+  mutable live_bytes : int;
+  mutable churned : int;
+  mutable ops : int;
+}
+
+let delete_random inst st =
+  let open Alloc_api.Instance in
+  assert (st.count > 0);
+  let k = Sim.Rng.int st.rng st.count in
+  let slot, size = st.live.(k) in
+  st.live.(k) <- st.live.(st.count - 1);
+  st.count <- st.count - 1;
+  inst.free ~tid:0 ~dest:(Driver.slot inst ~tid:0 slot);
+  Stack.push slot st.free_slots;
+  st.live_bytes <- st.live_bytes - size;
+  st.ops <- st.ops + 1
+
+let churn_phase inst st ~(params : params) ~dist =
+  let open Alloc_api.Instance in
+  st.churned <- 0;
+  while st.churned < params.churn do
+    let size = draw st.rng dist in
+    while st.live_bytes + size > params.live_cap do
+      delete_random inst st
+    done;
+    let slot = Stack.pop st.free_slots in
+    ignore (inst.malloc ~tid:0 ~size ~dest:(Driver.slot inst ~tid:0 slot));
+    st.live.(st.count) <- (slot, size);
+    st.count <- st.count + 1;
+    st.live_bytes <- st.live_bytes + size;
+    st.churned <- st.churned + size;
+    st.ops <- st.ops + 1
+  done
+
+let run (inst : Alloc_api.Instance.t) ~workload ?(params = default) ?(seed = 31) () =
+  let open Alloc_api.Instance in
+  let max_live = (params.live_cap / 64) + 64 in
+  assert (max_live <= Driver.slots_per_thread inst);
+  let free_slots = Stack.create () in
+  for i = max_live - 1 downto 0 do
+    Stack.push i free_slots
+  done;
+  let st =
+    {
+      rng = Sim.Rng.create seed;
+      live = Array.make max_live (0, 0);
+      count = 0;
+      free_slots;
+      live_bytes = 0;
+      churned = 0;
+      ops = 0;
+    }
+  in
+  inst.reset_peak ();
+  let peak_before = ref 0 in
+  (* The phases run as one logical thread; Driver.run is bypassed because
+     phases need code between them. *)
+  churn_phase inst st ~params ~dist:workload.before;
+  peak_before := inst.peak_bytes ();
+  let victims = int_of_float (float_of_int st.count *. workload.delete_frac) in
+  for _ = 1 to victims do
+    delete_random inst st
+  done;
+  churn_phase inst st ~params ~dist:workload.after;
+  let makespan = inst.clocks.(0).Sim.Clock.now in
+  {
+    result =
+      {
+        Driver.allocator = inst.name;
+        threads = 1;
+        total_ops = st.ops;
+        makespan_ns = makespan;
+        mops = (if makespan > 0.0 then float_of_int st.ops /. (makespan /. 1e9) /. 1e6 else 0.0);
+        peak_bytes = inst.peak_bytes ();
+      };
+    peak_before = !peak_before;
+    peak_after = inst.peak_bytes ();
+  }

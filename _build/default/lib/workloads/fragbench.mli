@@ -1,0 +1,34 @@
+(** Fragbench (Rumble et al.'s fragmentation benchmark, sections 3.2 and
+    6.4): three phases — Before, Delete, After. The Before/After phases
+    keep allocating objects from a size distribution, randomly deleting
+    live objects whenever live data would exceed [live_cap], until
+    [churn] bytes have been allocated in total; the Delete phase removes
+    a fraction of the live objects at random. Changing the distribution
+    between Before and After is what exposes static slab segregation.
+
+    Workloads W1-W4 reproduce Table 1. The paper's 5 GB churn / 1 GB live
+    cap are scaled to 60 MB / 12 MB (same 5:1 ratio). *)
+
+type dist = Fixed of int | Uniform of int * int
+
+type workload = { label : string; before : dist; delete_frac : float; after : dist }
+
+val w1 : workload
+val w2 : workload
+val w3 : workload
+val w4 : workload
+val all : workload list
+
+type params = { live_cap : int; churn : int }
+
+val default : params
+
+type frag_result = {
+  result : Driver.result;
+  peak_before : int;  (** peak mapped bytes during the Before phase *)
+  peak_after : int;  (** peak over the whole run (the paper's metric) *)
+}
+
+val run :
+  Alloc_api.Instance.t -> workload:workload -> ?params:params -> ?seed:int -> unit -> frag_result
+(** Single-threaded, as fragmentation is a space property. *)

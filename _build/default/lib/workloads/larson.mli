@@ -1,0 +1,21 @@
+(** Larson (section 6.2): server-style churn where objects allocated by
+    one thread may be freed by another. Each thread owns a window of
+    slots; every operation picks a random slot — usually its own, with
+    probability [cross_frac] a neighbour thread's — and frees it if
+    occupied or (own slots only) allocates a random-size object into it.
+
+    Two parameterisations reproduce the paper's runs: [small] (64-256 B)
+    and [large] (32-512 KB). *)
+
+type params = {
+  slots : int;  (** live-object window per thread *)
+  ops : int;  (** operations per thread *)
+  min_size : int;
+  max_size : int;
+  cross_frac : float;  (** fraction of ops targeting a neighbour's window *)
+}
+
+val small : params
+val large : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> Driver.result

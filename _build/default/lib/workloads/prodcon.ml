@@ -1,0 +1,89 @@
+type params = { per_pair : int; size : int; queue_cap : int }
+
+let default = { per_pair = 10_000; size = 64; queue_cap = 64 }
+
+type pair = {
+  queue : int Queue.t; (* slot indices of allocated, not yet freed objects *)
+  pool : int Stack.t; (* producer's available slot indices *)
+  mutable produced : int;
+  mutable consumed : int;
+}
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) () =
+  let open Alloc_api.Instance in
+  (* One thread degenerates to a self-pair: it alternates producing and
+     consuming (the paper's Figure 9(b) effectively starts at 2 threads). *)
+  let solo = inst.threads = 1 in
+  let npairs = if solo then 1 else inst.threads / 2 in
+  let pairs =
+    Array.init npairs (fun _ ->
+        let pool = Stack.create () in
+        (* Enough slots to cover the in-flight window. *)
+        for i = params.queue_cap downto 0 do
+          Stack.push i pool
+        done;
+        { queue = Queue.create (); pool; produced = 0; consumed = 0 })
+  in
+  let solo_step () =
+    let p = pairs.(0) in
+    if p.produced < params.per_pair && Queue.length p.queue < params.queue_cap
+       && not (Stack.is_empty p.pool)
+    then begin
+      let i = Stack.pop p.pool in
+      ignore (inst.malloc ~tid:0 ~size:params.size ~dest:(Driver.slot inst ~tid:0 i));
+      Queue.add i p.queue;
+      p.produced <- p.produced + 1;
+      true
+    end
+    else if p.consumed < params.per_pair && not (Queue.is_empty p.queue) then begin
+      let i = Queue.pop p.queue in
+      inst.free ~tid:0 ~dest:(Driver.slot inst ~tid:0 i);
+      Stack.push i p.pool;
+      p.consumed <- p.consumed + 1;
+      true
+    end
+    else false
+  in
+  let step ~tid () =
+    if solo then solo_step ()
+    else if tid >= 2 * npairs then false
+    else begin
+      let p = pairs.(tid / 2) in
+      let producer_tid = tid / 2 * 2 in
+      if tid land 1 = 0 then
+        (* Producer: allocates into its own slot partition. *)
+        if p.produced >= params.per_pair then false
+        else if Queue.length p.queue >= params.queue_cap || Stack.is_empty p.pool then begin
+          Driver.idle inst ~tid;
+          true
+        end
+        else begin
+          let i = Stack.pop p.pool in
+          ignore (inst.malloc ~tid ~size:params.size ~dest:(Driver.slot inst ~tid:producer_tid i));
+          Queue.add i p.queue;
+          p.produced <- p.produced + 1;
+          true
+        end
+      else if
+        (* Consumer: frees from the producer's partition. *)
+        p.consumed >= params.per_pair
+      then false
+      else if Queue.is_empty p.queue then begin
+        Driver.idle inst ~tid;
+        true
+      end
+      else begin
+        let i = Queue.pop p.queue in
+        inst.free ~tid ~dest:(Driver.slot inst ~tid:producer_tid i);
+        Stack.push i p.pool;
+        p.consumed <- p.consumed + 1;
+        true
+      end
+    end
+  in
+  Driver.run inst
+    ~ops_of:(fun ~tid ->
+      if solo then 2 * params.per_pair
+      else if tid >= 2 * npairs then 0
+      else params.per_pair)
+    ~step_of:step

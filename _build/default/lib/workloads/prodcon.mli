@@ -1,0 +1,11 @@
+(** Prod-con (section 6.2): threads form producer/consumer pairs; the
+    producer allocates [per_pair] objects of [size] bytes, the consumer
+    frees them — every free is a cross-thread free, stressing remote
+    tcache/arena paths. *)
+
+type params = { per_pair : int; size : int; queue_cap : int }
+
+val default : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> unit -> Driver.result
+(** Requires an even thread count >= 2 (odd trailing threads idle). *)

@@ -1,0 +1,18 @@
+type params = { nodes : int; min_size : int; max_size : int }
+
+let default = { nodes = 20_000; min_size = 64; max_size = 128 }
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 5) () =
+  let open Alloc_api.Instance in
+  let rng = Sim.Rng.create seed in
+  (* Node layout: [next:int64][payload...]; the root slot anchors the
+     head, each node's first word anchors the next node, so the GC-based
+     recoveries must walk the whole chain. *)
+  let head_dest = Driver.slot inst ~tid:0 0 in
+  let size () = Sim.Rng.int_in rng params.min_size params.max_size in
+  let tail = ref (inst.malloc ~tid:0 ~size:(size ()) ~dest:head_dest) in
+  for _ = 2 to params.nodes do
+    let node = inst.malloc ~tid:0 ~size:(size ()) ~dest:!tail in
+    tail := node
+  done;
+  inst.recover ()

@@ -1,0 +1,11 @@
+(** Recovery workload (section 6.6 / Figure 18): build a single linked
+    list of [nodes] nodes with sizes uniform in [min_size, max_size]
+    (the paper uses 10 M nodes of 64-128 B; scaled to 20 k), then crash
+    and measure single-threaded recovery time. *)
+
+type params = { nodes : int; min_size : int; max_size : int }
+
+val default : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> float
+(** Returns the simulated recovery time in nanoseconds. *)

@@ -1,0 +1,38 @@
+type params = { iterations : int; window : int; min_size : int; max_size : int }
+
+let default = { iterations = 5000; window = 16; min_size = 64; max_size = 1000 }
+
+type state = { rng : Sim.Rng.t; mutable next : int; mutable filled : int; mutable done_ : int }
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 7) () =
+  let open Alloc_api.Instance in
+  let states =
+    Array.init inst.threads (fun tid ->
+        { rng = Sim.Rng.create (seed + tid); next = 0; filled = 0; done_ = 0 })
+  in
+  (* Cubing the uniform draw skews towards small sizes, matching
+     "smaller objects are allocated and freed more frequently". *)
+  let draw_size st =
+    let u = Sim.Rng.float st.rng 1.0 in
+    params.min_size
+    + int_of_float (float_of_int (params.max_size - params.min_size) *. (u *. u *. u))
+  in
+  let step ~tid () =
+    let st = states.(tid) in
+    if st.done_ >= params.iterations then false
+    else begin
+      (if st.filled >= params.window then begin
+         (* Free the oldest window entry before reusing its slot. *)
+         let victim = st.next mod params.window in
+         inst.free ~tid ~dest:(Driver.slot inst ~tid victim);
+         st.filled <- st.filled - 1
+       end);
+      let i = st.next mod params.window in
+      ignore (inst.malloc ~tid ~size:(draw_size st) ~dest:(Driver.slot inst ~tid i));
+      st.next <- st.next + 1;
+      st.filled <- st.filled + 1;
+      st.done_ <- st.done_ + 1;
+      true
+    end
+  in
+  Driver.run inst ~ops_of:(fun ~tid:_ -> 2 * params.iterations) ~step_of:step

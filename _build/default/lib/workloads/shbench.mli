@@ -1,0 +1,9 @@
+(** Shbench (MicroQuill, section 6.2): an allocator stress test mixing
+    object sizes from 64 B to 1000 B, smaller objects allocated and freed
+    more frequently; each thread keeps a sliding window of live objects. *)
+
+type params = { iterations : int; window : int; min_size : int; max_size : int }
+
+val default : params
+
+val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> Driver.result

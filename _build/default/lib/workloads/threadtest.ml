@@ -1,0 +1,33 @@
+type params = { iterations : int; objects : int; size : int }
+
+let default = { iterations = 10; objects = 1000; size = 64 }
+
+type phase = Alloc of int | Free of int
+
+type state = { mutable iter : int; mutable phase : phase }
+
+let run (inst : Alloc_api.Instance.t) ?(params = default) () =
+  let open Alloc_api.Instance in
+  assert (params.objects <= Driver.slots_per_thread inst);
+  let states = Array.init inst.threads (fun _ -> { iter = 0; phase = Alloc 0 }) in
+  let step ~tid () =
+    let st = states.(tid) in
+    if st.iter >= params.iterations then false
+    else begin
+      (match st.phase with
+      | Alloc i ->
+          ignore (inst.malloc ~tid ~size:params.size ~dest:(Driver.slot inst ~tid i));
+          st.phase <- (if i + 1 < params.objects then Alloc (i + 1) else Free 0)
+      | Free i ->
+          inst.free ~tid ~dest:(Driver.slot inst ~tid i);
+          if i + 1 < params.objects then st.phase <- Free (i + 1)
+          else begin
+            st.iter <- st.iter + 1;
+            st.phase <- Alloc 0
+          end);
+      true
+    end
+  in
+  Driver.run inst
+    ~ops_of:(fun ~tid:_ -> 2 * params.iterations * params.objects)
+    ~step_of:step

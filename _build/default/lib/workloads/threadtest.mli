@@ -1,0 +1,12 @@
+(** Threadtest (Berger et al., via the paper's section 6.2): every thread
+    runs [iterations] rounds, each allocating [objects] blocks of [size]
+    bytes and then freeing them all. Fixed-size allocation makes it the
+    worst case for sequential bitmap mappings (maximum reflushes). *)
+
+type params = { iterations : int; objects : int; size : int }
+
+val default : params
+(** Scaled down from the paper's i=10^4, n=10^5: 10 x 1000 x 64 B per
+    thread (see EXPERIMENTS.md on scaling). *)
+
+val run : Alloc_api.Instance.t -> ?params:params -> unit -> Driver.result

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Alloc_api Baselines Hashtbl List Pmem Printf

@@ -1,0 +1,1 @@
+test/test_bitmap.ml: Alcotest Array Bitmap Gen Hashtbl List Nvalloc_core Pmem Printf QCheck QCheck_alcotest Test

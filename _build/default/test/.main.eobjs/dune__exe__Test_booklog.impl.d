@@ -1,0 +1,1 @@
+test/test_booklog.ml: Alcotest Booklog Gen Hashtbl List Nvalloc_core Pmem QCheck QCheck_alcotest Sim Test

@@ -1,0 +1,1 @@
+test/test_crash_sweep.ml: Alcotest Config Heap List Nvalloc Nvalloc_core Pmem Printexc Printf Sim

@@ -1,0 +1,1 @@
+test/test_extent.ml: Alcotest Booklog Config Extent Gen Heap List Nvalloc_core Pmem QCheck QCheck_alcotest Sim Test

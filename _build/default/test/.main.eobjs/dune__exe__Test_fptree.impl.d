@@ -1,0 +1,1 @@
+test/test_fptree.ml: Alcotest Alloc_api Fptree_lib Gen Hashtbl List Nvalloc_core Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Booklog Config Gen Heap List Nvalloc_core Pmem QCheck QCheck_alcotest Sim Test Wal

@@ -1,0 +1,1 @@
+test/test_internal_collection.ml: Alcotest Config Hashtbl Int64 List Nvalloc Nvalloc_core Pmem Sim

@@ -1,0 +1,1 @@
+test/test_morph.ml: Alcotest Config Int64 List Nvalloc Nvalloc_core Pmem Printexc Printf Sim Slab

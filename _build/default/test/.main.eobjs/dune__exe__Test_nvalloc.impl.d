@@ -1,0 +1,1 @@
+test/test_nvalloc.ml: Alcotest Config Hashtbl Heap Int64 Nvalloc Nvalloc_core Pmem Printf Sim

@@ -1,0 +1,1 @@
+test/test_rbtree.ml: Alcotest Gen Int List Map Option QCheck QCheck_alcotest Support Test

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bytes Gen Int64 List Pmem QCheck QCheck_alcotest Sim Support Test

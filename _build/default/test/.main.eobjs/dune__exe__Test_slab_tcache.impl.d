@@ -1,0 +1,1 @@
+test/test_slab_tcache.ml: Alcotest Bitmap Gen List Nvalloc_core Option Pmem QCheck QCheck_alcotest Size_class Slab Tcache Test

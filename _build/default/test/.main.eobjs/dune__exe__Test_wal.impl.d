@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Gen List Nvalloc_core Pmem QCheck QCheck_alcotest Sim Test Wal

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Alloc_api Hashtbl Nvalloc_core Workloads

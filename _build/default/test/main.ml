@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "nvalloc"
+    [
+      ("sim", Test_sim.suite);
+      ("rbtree", Test_rbtree.suite);
+      ("support", Test_support.suite);
+      ("device", Test_device.suite);
+      ("bitmap", Test_bitmap.suite);
+      ("slab-tcache", Test_slab_tcache.suite);
+      ("heap", Test_heap.suite);
+      ("wal", Test_wal.suite);
+      ("extent", Test_extent.suite);
+      ("booklog", Test_booklog.suite);
+      ("nvalloc", Test_nvalloc.suite);
+      ("morph", Test_morph.suite);
+      ("crash-sweep", Test_crash_sweep.suite);
+      ("internal-collection", Test_internal_collection.suite);
+      ("fptree", Test_fptree.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,158 @@
+(* Log-structured bookkeeping: append/tombstone/scan, fast and slow GC,
+   crash safety of the alt-bit switch, recovery reopen. *)
+
+open Nvalloc_core
+
+let mk ?(chunks = 64) ?(interleave = true) () =
+  let dev = Pmem.Device.create ~size:(4 * 1024 * 1024) () in
+  let clock = Sim.Clock.create () in
+  let log = Booklog.create dev ~base:0 ~chunks ~interleave in
+  (dev, clock, log)
+
+let scan_addrs dev ~interleave =
+  List.map (fun s -> (s.Booklog.addr, s.Booklog.size)) (Booklog.scan dev ~base:0 ~interleave)
+
+let test_append_scan () =
+  let dev, clock, log = mk () in
+  let r1 = Booklog.append_normal log clock Booklog.Extent ~addr:(1 lsl 20) ~size:65536 in
+  let _r2 = Booklog.append_normal log clock Booklog.Slab_extent ~addr:(2 lsl 20) ~size:65536 in
+  Alcotest.(check (list (pair int int)))
+    "both live"
+    [ (1 lsl 20, 65536); (2 lsl 20, 65536) ]
+    (scan_addrs dev ~interleave:true);
+  Booklog.append_tombstone log clock r1;
+  Alcotest.(check (list (pair int int))) "first deleted" [ (2 lsl 20, 65536) ]
+    (scan_addrs dev ~interleave:true);
+  let kinds = List.map (fun s -> s.Booklog.kind) (Booklog.scan dev ~base:0 ~interleave:true) in
+  Alcotest.(check bool) "slab kind survives" true (kinds = [ Booklog.Slab_extent ])
+
+let test_scan_survives_crash () =
+  let dev, clock, log = mk () in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  let refs =
+    List.init 10 (fun i ->
+        Booklog.append_normal log clock Booklog.Extent ~addr:((i + 1) * 4096) ~size:4096)
+  in
+  Booklog.append_tombstone log clock (List.nth refs 3);
+  Pmem.Device.crash dev;
+  let live = scan_addrs dev ~interleave:true in
+  Alcotest.(check int) "nine live after crash" 9 (List.length live);
+  Alcotest.(check bool) "tombstoned absent" true
+    (not (List.mem_assoc (4 * 4096) live))
+
+let test_fast_gc_frees_dead_chunks () =
+  let dev, clock, log = mk ~chunks:8 () in
+  ignore dev;
+  (* Fill one chunk with entries, kill them all, fast GC should retire the
+     chunk (the tail chunk is never retired). *)
+  let refs =
+    List.init Booklog.entries_per_chunk (fun i ->
+        Booklog.append_normal log clock Booklog.Extent ~addr:((i + 1) * 4096) ~size:4096)
+  in
+  (* Force a new tail so the dead chunk is not the tail. *)
+  let keeper = Booklog.append_normal log clock Booklog.Extent ~addr:(1 lsl 21) ~size:4096 in
+  ignore keeper;
+  List.iter (fun r -> Booklog.append_tombstone log clock r) refs;
+  let used_before = Booklog.chunks_in_use log in
+  let freed = Booklog.fast_gc log clock in
+  Alcotest.(check bool) "freed at least one chunk" true (freed >= 1);
+  Alcotest.(check bool) "fewer in use" true (Booklog.chunks_in_use log < used_before);
+  (* The survivor entry is still there. *)
+  Alcotest.(check bool) "keeper survives" true
+    (List.mem_assoc (1 lsl 21) (scan_addrs dev ~interleave:true))
+
+let test_slow_gc_compacts_and_remaps () =
+  let dev, clock, log = mk ~chunks:16 () in
+  let refs =
+    List.init 200 (fun i ->
+        Booklog.append_normal log clock Booklog.Extent ~addr:((i + 1) * 4096) ~size:4096)
+  in
+  (* Kill the even entries. *)
+  List.iteri (fun i r -> if i mod 2 = 0 then Booklog.append_tombstone log clock r) refs;
+  let remap = Booklog.slow_gc log clock in
+  (* Remappings cover exactly the 100 surviving entries. *)
+  Alcotest.(check int) "remap count" 100 (List.length remap);
+  let live = scan_addrs dev ~interleave:true in
+  Alcotest.(check int) "live count after slow GC" 100 (List.length live);
+  Alcotest.(check bool) "only odd survivors" true
+    (List.for_all (fun (a, _) -> a / 4096 mod 2 = 0) live);
+  (* Old refs remap to valid new refs; the new log accepts tombstones for
+     them. *)
+  List.iter (fun (_, new_ref) -> Booklog.append_tombstone log clock new_ref) remap;
+  Alcotest.(check int) "all dead after tombstoning the remapped" 0
+    (List.length (scan_addrs dev ~interleave:true))
+
+let test_slow_gc_crash_before_flip_keeps_old () =
+  let dev, clock, log = mk ~chunks:16 () in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  let refs =
+    List.init 50 (fun i ->
+        Booklog.append_normal log clock Booklog.Extent ~addr:((i + 1) * 4096) ~size:4096)
+  in
+  List.iteri (fun i r -> if i < 10 then Booklog.append_tombstone log clock r) refs;
+  (* Crash at some point during the slow GC: whether the alt flip
+     persisted or not, the scan must return exactly the 40 live extents. *)
+  let snapshot_live = List.sort compare (scan_addrs dev ~interleave:true) in
+  (try
+     Pmem.Device.schedule_crash_after dev 20;
+     ignore (Booklog.slow_gc log clock)
+   with Pmem.Device.Injected_crash -> ());
+  Pmem.Device.cancel_scheduled_crash dev;
+  Pmem.Device.crash dev;
+  let live = List.sort compare (scan_addrs dev ~interleave:true) in
+  Alcotest.(check int) "40 live" 40 (List.length live);
+  Alcotest.(check bool) "same set as before the GC" true (live = snapshot_live)
+
+let test_open_existing_compacts () =
+  let dev, clock, log = mk ~chunks:16 () in
+  let refs =
+    List.init 100 (fun i ->
+        Booklog.append_normal log clock Booklog.Extent ~addr:((i + 1) * 4096) ~size:4096)
+  in
+  List.iteri (fun i r -> if i mod 4 <> 0 then Booklog.append_tombstone log clock r) refs;
+  Pmem.Device.crash dev;
+  let log', live = Booklog.open_existing dev clock ~base:0 ~chunks:16 ~interleave:true in
+  Alcotest.(check int) "survivors" 25 (List.length live);
+  (* The reopened log is tombstone-free and fully usable. *)
+  List.iter (fun s -> Booklog.append_tombstone log' clock s.Booklog.ref_) live;
+  Alcotest.(check int) "all tombstoned through new refs" 0
+    (List.length (scan_addrs dev ~interleave:true))
+
+let prop_scan_is_appends_minus_tombstones =
+  let open QCheck in
+  Test.make ~name:"scan = appends - tombstones" ~count:60
+    (make
+       Gen.(
+         pair bool
+           (list_size (int_range 1 150) (pair (int_range 1 500) bool))))
+    (fun (interleave, ops) ->
+      let dev = Pmem.Device.create ~size:(4 * 1024 * 1024) () in
+      let clock = Sim.Clock.create () in
+      let log = Booklog.create dev ~base:0 ~chunks:32 ~interleave in
+      let live = Hashtbl.create 64 in
+      List.iteri
+        (fun i (page, kill) ->
+          let addr = (page + (i * 512)) * 4096 in
+          let r = Booklog.append_normal log clock Booklog.Extent ~addr ~size:4096 in
+          Hashtbl.replace live r addr;
+          if kill then begin
+            (* Tombstone a random live entry (here: this one). *)
+            Booklog.append_tombstone log clock r;
+            Hashtbl.remove live r
+          end)
+        ops;
+      let got = List.sort compare (List.map fst (scan_addrs dev ~interleave)) in
+      let want = List.sort compare (Hashtbl.fold (fun _ a acc -> a :: acc) live []) in
+      got = want)
+
+let suite =
+  [
+    Alcotest.test_case "append/tombstone/scan" `Quick test_append_scan;
+    Alcotest.test_case "scan survives crash" `Quick test_scan_survives_crash;
+    Alcotest.test_case "fast GC frees dead chunks" `Quick test_fast_gc_frees_dead_chunks;
+    Alcotest.test_case "slow GC compacts and remaps" `Quick test_slow_gc_compacts_and_remaps;
+    Alcotest.test_case "crash during slow GC keeps old chain" `Quick
+      test_slow_gc_crash_before_flip_keeps_old;
+    Alcotest.test_case "open_existing compacts tombstones" `Quick test_open_existing_compacts;
+    QCheck_alcotest.to_alcotest prop_scan_is_appends_minus_tombstones;
+  ]

@@ -1,0 +1,162 @@
+(* The persistent-memory device: persistence semantics, crash behaviour,
+   flush classification (reflush / sequential / random), and the
+   latency model's shape. *)
+
+let mk ?(size = 1 lsl 20) () =
+  let dev = Pmem.Device.create ~size () in
+  (dev, Sim.Clock.create ())
+
+let test_write_read () =
+  let dev, _ = mk () in
+  Pmem.Device.write_int64 dev 128 0x1122334455667788L;
+  Alcotest.(check int64) "int64 roundtrip" 0x1122334455667788L (Pmem.Device.read_int64 dev 128);
+  Pmem.Device.write_u16 dev 200 0xBEEF;
+  Alcotest.(check int) "u16 roundtrip" 0xBEEF (Pmem.Device.read_u16 dev 200);
+  Pmem.Device.write_u32 dev 204 0xCAFEBABE;
+  Alcotest.(check int) "u32 roundtrip" 0xCAFEBABE (Pmem.Device.read_u32 dev 204)
+
+let test_crash_discards_unflushed () =
+  let dev, clock = mk () in
+  Pmem.Device.write_int64 dev 0 11L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:8;
+  Pmem.Device.write_int64 dev 64 22L;
+  (* not flushed *)
+  Pmem.Device.crash dev;
+  Alcotest.(check int64) "flushed survives" 11L (Pmem.Device.read_int64 dev 0);
+  Alcotest.(check int64) "unflushed lost" 0L (Pmem.Device.read_int64 dev 64)
+
+let test_crash_partial_line () =
+  (* Two writes to the same line: crash keeps both or neither. *)
+  let dev, clock = mk () in
+  Pmem.Device.write_int64 dev 0 1L;
+  Pmem.Device.write_int64 dev 8 2L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:16;
+  Pmem.Device.write_int64 dev 16 3L;
+  Pmem.Device.crash dev;
+  Alcotest.(check int64) "first" 1L (Pmem.Device.read_int64 dev 0);
+  Alcotest.(check int64) "second" 2L (Pmem.Device.read_int64 dev 8);
+  Alcotest.(check int64) "third lost" 0L (Pmem.Device.read_int64 dev 16)
+
+let test_eadr_crash_keeps_cache () =
+  let dev = Pmem.Device.create ~lat:Pmem.Latency.eadr ~size:(1 lsl 20) () in
+  Pmem.Device.write_int64 dev 64 77L;
+  Pmem.Device.crash dev;
+  Alcotest.(check int64) "eADR keeps unflushed writes" 77L (Pmem.Device.read_int64 dev 64)
+
+let test_reflush_classification () =
+  let dev, clock = mk () in
+  let stats = Pmem.Device.stats dev in
+  (* Flush the same line twice in a row: the second is a reflush. *)
+  Pmem.Device.write_u8 dev 0 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
+  Pmem.Device.write_u8 dev 1 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:1 ~len:1;
+  Alcotest.(check int) "two flushes" 2 (Pmem.Stats.flushes stats);
+  Alcotest.(check int) "one reflush" 1 (Pmem.Stats.reflushes stats)
+
+let test_reflush_window () =
+  let dev, clock = mk () in
+  let stats = Pmem.Device.stats dev in
+  let touch line =
+    Pmem.Device.write_u8 dev (line * 64) 1;
+    Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:(line * 64) ~len:1
+  in
+  (* A, B, C, D, E then A again: distance 4 >= window, not a reflush. *)
+  List.iter touch [ 0; 100; 200; 300; 400; 0 ];
+  Alcotest.(check int) "no reflush at distance >= 4" 0 (Pmem.Stats.reflushes stats);
+  (* A, B, A: distance 1, reflush. *)
+  List.iter touch [ 10; 20; 10 ];
+  Alcotest.(check int) "reflush at distance 1" 1 (Pmem.Stats.reflushes stats)
+
+let test_sequential_vs_random () =
+  let dev, clock = mk () in
+  let stats = Pmem.Device.stats dev in
+  let touch addr =
+    Pmem.Device.write_u8 dev addr 1;
+    Pmem.Device.flush dev clock Pmem.Stats.Data ~addr ~len:1
+  in
+  (* The very first flush has no predecessor: random. Then consecutive
+     XPLines are sequential; a far jump is random again. *)
+  touch 0;
+  touch 256;
+  touch 512;
+  touch 65536;
+  Alcotest.(check int) "sequential count" 2 (Pmem.Stats.sequential_flushes stats);
+  Alcotest.(check int) "random count" 2 (Pmem.Stats.random_flushes stats)
+
+let test_reflush_costs_more () =
+  let lat = Pmem.Latency.default in
+  let reflush0 = Pmem.Latency.flush_cost lat ~distance:(Some 0) ~sequential:false in
+  let reflush3 = Pmem.Latency.flush_cost lat ~distance:(Some 3) ~sequential:false in
+  let rand = Pmem.Latency.flush_cost lat ~distance:None ~sequential:false in
+  let seq = Pmem.Latency.flush_cost lat ~distance:None ~sequential:true in
+  Alcotest.(check (float 1e-9)) "800ns at distance 0" 800.0 reflush0;
+  Alcotest.(check (float 1e-9)) "500ns at distance 3" 500.0 reflush3;
+  Alcotest.(check bool) "reflush > random > sequential" true (reflush3 > rand && rand > seq)
+
+let test_clean_line_flush_free () =
+  let dev, clock = mk () in
+  Pmem.Device.write_u8 dev 0 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
+  let n = Pmem.Stats.flushes (Pmem.Device.stats dev) in
+  (* Flushing a clean line does nothing. *)
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
+  Alcotest.(check int) "clean flush skipped" n (Pmem.Stats.flushes (Pmem.Device.stats dev))
+
+let test_crash_injection () =
+  let dev, clock = mk () in
+  Pmem.Device.schedule_crash_after dev 2;
+  Pmem.Device.write_u8 dev 0 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
+  Pmem.Device.write_u8 dev 64 1;
+  Alcotest.check_raises "crash on second flushed line" Pmem.Device.Injected_crash (fun () ->
+      Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:64 ~len:1);
+  (* Both lines were admitted before the crash triggered after them. *)
+  Alcotest.(check int) "first line persisted" 1 (Pmem.Device.persisted_u8 dev 0)
+
+let test_clock_advances () =
+  let dev, clock = mk () in
+  Pmem.Device.write_u8 dev 0 1;
+  let before = clock.Sim.Clock.now in
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
+  Alcotest.(check bool) "flush costs time" true (clock.Sim.Clock.now > before)
+
+let test_dax_mmap () =
+  let dev, clock = mk () in
+  let dax = Pmem.Dax.create dev in
+  let a = Pmem.Dax.mmap dax clock ~size:8192 in
+  let b = Pmem.Dax.mmap dax clock ~size:4096 in
+  Alcotest.(check bool) "distinct regions" true (b >= a + 8192 || a >= b + 4096);
+  Alcotest.(check int) "mapped" 12288 (Pmem.Dax.mapped_bytes dax);
+  Pmem.Dax.munmap dax clock ~addr:a ~size:8192;
+  Alcotest.(check int) "after munmap" 4096 (Pmem.Dax.mapped_bytes dax);
+  Alcotest.(check int) "peak" 12288 (Pmem.Dax.peak_mapped_bytes dax);
+  (* Coalescing: the freed range is reusable. *)
+  let c = Pmem.Dax.mmap dax clock ~size:8192 in
+  Alcotest.(check int) "first fit reuses hole" a c
+
+let test_dax_decommit () =
+  let dev, clock = mk () in
+  let dax = Pmem.Dax.create dev in
+  let a = Pmem.Dax.mmap dax clock ~size:16384 in
+  Pmem.Dax.decommit dax clock ~addr:a ~size:16384;
+  Alcotest.(check int) "decommitted" 0 (Pmem.Dax.mapped_bytes dax);
+  Pmem.Dax.recommit dax clock ~addr:a ~size:16384;
+  Alcotest.(check int) "recommitted" 16384 (Pmem.Dax.mapped_bytes dax)
+
+let suite =
+  [
+    Alcotest.test_case "write/read roundtrips" `Quick test_write_read;
+    Alcotest.test_case "crash discards unflushed lines" `Quick test_crash_discards_unflushed;
+    Alcotest.test_case "crash is line-granular" `Quick test_crash_partial_line;
+    Alcotest.test_case "eADR crash keeps caches" `Quick test_eadr_crash_keeps_cache;
+    Alcotest.test_case "reflush classification" `Quick test_reflush_classification;
+    Alcotest.test_case "reflush window boundary" `Quick test_reflush_window;
+    Alcotest.test_case "sequential vs random" `Quick test_sequential_vs_random;
+    Alcotest.test_case "latency ordering" `Quick test_reflush_costs_more;
+    Alcotest.test_case "clean-line flush is free" `Quick test_clean_line_flush_free;
+    Alcotest.test_case "crash injection" `Quick test_crash_injection;
+    Alcotest.test_case "flush charges the clock" `Quick test_clock_advances;
+    Alcotest.test_case "dax mmap/munmap/coalesce" `Quick test_dax_mmap;
+    Alcotest.test_case "dax decommit/recommit" `Quick test_dax_decommit;
+  ]

@@ -1,0 +1,172 @@
+(* Large allocator: best-fit, split/coalesce, decay, huge path, both
+   bookkeeping modes. Exercised through a minimal heap. *)
+
+open Nvalloc_core
+
+let mib = 1024 * 1024
+
+let mk ?(log_bookkeeping = true) () =
+  let config =
+    {
+      Config.log_default with
+      Config.arenas = 1;
+      root_slots = 1024;
+      booklog_chunks = 256;
+      wal_entries = 1024;
+      log_bookkeeping;
+      (* Immediate decay windows would perturb the tests; keep them long. *)
+      decay_interval_ns = 1e12;
+      decay_window_ns = 1e13;
+    }
+  in
+  let dev = Pmem.Device.create ~size:(256 * mib) () in
+  let clock = Sim.Clock.create () in
+  let heap = Heap.init dev config in
+  Heap.set_state heap clock Heap.Running;
+  let large =
+    Extent.create heap ~mode:
+      (if log_bookkeeping then
+         Extent.Logged
+           (Booklog.create dev ~base:(Heap.booklog_base heap ~arena:0) ~chunks:256
+              ~interleave:true)
+       else Extent.In_place)
+      ~region_lock:(Sim.Lock.create ())
+      ~on_new_extent:(fun _ -> ())
+      ~on_drop_extent:(fun _ -> ())
+  in
+  (dev, clock, heap, large)
+
+let test_malloc_free_roundtrip () =
+  let _, clock, _, large = mk () in
+  let v = Extent.malloc large clock ~size:65536 ~kind:Booklog.Extent in
+  Alcotest.(check int) "rounded size" 65536 v.Extent.size;
+  Alcotest.(check bool) "activated" true (v.Extent.state = Extent.Activated);
+  Alcotest.(check int) "activated bytes" 65536 (Extent.activated_bytes large);
+  Extent.free large clock v;
+  Alcotest.(check int) "nothing activated" 0 (Extent.activated_bytes large);
+  Alcotest.(check bool) "reclaimed" true (Extent.reclaimed_bytes large > 0)
+
+let test_best_fit_reuse () =
+  let _, clock, _, large = mk () in
+  let a = Extent.malloc large clock ~size:(128 * 1024) ~kind:Booklog.Extent in
+  let b = Extent.malloc large clock ~size:(64 * 1024) ~kind:Booklog.Extent in
+  let addr_a = a.Extent.addr in
+  Extent.free large clock a;
+  (* A 100 KiB request best-fits the freed 128 KiB hole, not fresh space. *)
+  let c = Extent.malloc large clock ~size:(100 * 1024) ~kind:Booklog.Extent in
+  Alcotest.(check int) "reuses the hole" addr_a c.Extent.addr;
+  Extent.free large clock b;
+  Extent.free large clock c
+
+let test_split_and_coalesce () =
+  let _, clock, _, large = mk () in
+  let vs =
+    List.init 8 (fun _ -> Extent.malloc large clock ~size:(64 * 1024) ~kind:Booklog.Extent)
+  in
+  (* Contiguous carve-out from one region. *)
+  let sorted = List.sort compare (List.map (fun v -> v.Extent.addr) vs) in
+  let rec contiguous = function
+    | a :: (b :: _ as rest) -> a + (64 * 1024) = b && contiguous rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous split" true (contiguous sorted);
+  (* Free all: they coalesce back into one reclaimed extent covering the
+     whole region data area. *)
+  List.iter (fun v -> Extent.free large clock v) vs;
+  let v = Extent.malloc large clock ~size:(512 * 1024) ~kind:Booklog.Extent in
+  Alcotest.(check int) "coalesced space serves a big request" (List.hd sorted) v.Extent.addr
+
+let test_huge_path () =
+  let _, clock, heap, large = mk () in
+  let before = Pmem.Dax.mapped_bytes (Heap.dax heap) in
+  let v = Extent.malloc large clock ~size:(3 * mib) ~kind:Booklog.Extent in
+  Alcotest.(check bool) "dedicated region mapped" true
+    (Pmem.Dax.mapped_bytes (Heap.dax heap) >= before + (3 * mib));
+  Extent.free large clock v;
+  Alcotest.(check int) "returned to the OS" before (Pmem.Dax.mapped_bytes (Heap.dax heap))
+
+let test_decay_releases_memory () =
+  let config_decay = 1e6 (* 1 ms *) in
+  let dev = Pmem.Device.create ~size:(256 * mib) () in
+  let clock = Sim.Clock.create () in
+  let config =
+    {
+      Config.log_default with
+      Config.arenas = 1;
+      root_slots = 1024;
+      decay_interval_ns = config_decay;
+      decay_window_ns = 4.0 *. config_decay;
+    }
+  in
+  let heap = Heap.init dev config in
+  let large =
+    Extent.create heap
+      ~mode:
+        (Extent.Logged
+           (Booklog.create dev ~base:(Heap.booklog_base heap ~arena:0) ~chunks:256
+              ~interleave:true))
+      ~region_lock:(Sim.Lock.create ())
+      ~on_new_extent:(fun _ -> ())
+      ~on_drop_extent:(fun _ -> ())
+  in
+  let vs =
+    List.init 4 (fun _ -> Extent.malloc large clock ~size:(512 * 1024) ~kind:Booklog.Extent)
+  in
+  List.iter (fun v -> Extent.free large clock v) vs;
+  let mapped_full = Pmem.Dax.mapped_bytes (Heap.dax heap) in
+  Alcotest.(check bool) "reclaimed memory still mapped" true (mapped_full > 0);
+  (* Advance simulated time well past the decay window and tick. *)
+  Sim.Clock.charge clock (20.0 *. config_decay);
+  Extent.decay_tick large clock;
+  Sim.Clock.charge clock (20.0 *. config_decay);
+  Extent.decay_tick large clock;
+  Alcotest.(check bool) "memory decayed"
+    true
+    (Pmem.Dax.mapped_bytes (Heap.dax heap) < mapped_full
+    || Extent.retained_bytes large > 0)
+
+let prop_no_overlap_model =
+  (* Random alloc/free sequences never hand out overlapping live extents
+     and never lose bytes (model-based). *)
+  let open QCheck in
+  Test.make ~name:"extent allocations never overlap (model)" ~count:40
+    (make
+       Gen.(
+         pair bool
+           (list_size (int_range 1 120)
+              (pair (int_range 16 512) (int_range 0 1000)))))
+    (fun (log_bookkeeping, ops) ->
+      let _, clock, _, large = mk ~log_bookkeeping () in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (kib, sel) ->
+          if List.length !live > 20 && sel mod 2 = 0 then begin
+            let idx = sel mod List.length !live in
+            let v = List.nth !live idx in
+            live := List.filteri (fun i _ -> i <> idx) !live;
+            Extent.free large clock v
+          end
+          else begin
+            let v = Extent.malloc large clock ~size:(kib * 1024) ~kind:Booklog.Extent in
+            List.iter
+              (fun u ->
+                if
+                  v.Extent.addr < u.Extent.addr + u.Extent.size
+                  && u.Extent.addr < v.Extent.addr + v.Extent.size
+                then ok := false)
+              !live;
+            live := v :: !live
+          end)
+        ops;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "malloc/free roundtrip" `Quick test_malloc_free_roundtrip;
+    Alcotest.test_case "best-fit reuses holes" `Quick test_best_fit_reuse;
+    Alcotest.test_case "split and coalesce" `Quick test_split_and_coalesce;
+    Alcotest.test_case "huge allocations get own regions" `Quick test_huge_path;
+    Alcotest.test_case "decay releases idle memory" `Quick test_decay_releases_memory;
+    QCheck_alcotest.to_alcotest prop_no_overlap_model;
+  ]

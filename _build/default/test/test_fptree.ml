@@ -1,0 +1,94 @@
+(* FPTree: model-based correctness against a Hashtbl, structural growth,
+   and volatile/persistent consistency. *)
+
+let mk () =
+  Alloc_api.Instance.of_nvalloc
+    ~config:
+      {
+        Nvalloc_core.Config.log_default with
+        Nvalloc_core.Config.arenas = 1;
+        root_slots = 8192;
+      }
+    ~threads:2 ~dev_size:(128 * 1024 * 1024) ()
+
+let test_insert_mem_delete () =
+  let inst = mk () in
+  let tree = Fptree_lib.Fptree.create inst ~max_leaves:512 in
+  Fptree_lib.Fptree.insert tree ~tid:0 ~key:42;
+  Alcotest.(check bool) "mem" true (Fptree_lib.Fptree.mem tree ~tid:0 ~key:42);
+  Alcotest.(check bool) "absent" false (Fptree_lib.Fptree.mem tree ~tid:0 ~key:43);
+  Alcotest.(check bool) "delete" true (Fptree_lib.Fptree.delete tree ~tid:0 ~key:42);
+  Alcotest.(check bool) "gone" false (Fptree_lib.Fptree.mem tree ~tid:0 ~key:42);
+  Alcotest.(check bool) "delete absent" false (Fptree_lib.Fptree.delete tree ~tid:0 ~key:42);
+  Alcotest.(check int) "cardinal" 0 (Fptree_lib.Fptree.cardinal tree)
+
+let test_splits () =
+  let inst = mk () in
+  let tree = Fptree_lib.Fptree.create inst ~max_leaves:512 in
+  let n = 2000 in
+  for key = 1 to n do
+    Fptree_lib.Fptree.insert tree ~tid:0 ~key
+  done;
+  Alcotest.(check int) "cardinal" n (Fptree_lib.Fptree.cardinal tree);
+  Alcotest.(check bool) "many leaves" true (Fptree_lib.Fptree.leaf_count tree > 10);
+  for key = 1 to n do
+    Alcotest.(check bool) (Printf.sprintf "mem %d" key) true
+      (Fptree_lib.Fptree.mem tree ~tid:0 ~key)
+  done;
+  match Fptree_lib.Fptree.check_consistent tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let prop_model =
+  let open QCheck in
+  Test.make ~name:"fptree agrees with a Hashtbl model" ~count:25
+    (make Gen.(list_size (int_range 1 400) (pair (int_range 1 500) bool)))
+    (fun ops ->
+      let inst = mk () in
+      let tree = Fptree_lib.Fptree.create inst ~max_leaves:512 in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (key, insert) ->
+          if insert then begin
+            Fptree_lib.Fptree.insert tree ~tid:0 ~key;
+            Hashtbl.replace model key ()
+          end
+          else begin
+            let got = Fptree_lib.Fptree.delete tree ~tid:0 ~key in
+            let want = Hashtbl.mem model key in
+            Hashtbl.remove model key;
+            if got <> want then failwith "delete mismatch"
+          end)
+        ops;
+      Hashtbl.length model = Fptree_lib.Fptree.cardinal tree
+      && Hashtbl.fold
+           (fun key () acc -> acc && Fptree_lib.Fptree.mem tree ~tid:0 ~key)
+           model true
+      && Fptree_lib.Fptree.check_consistent tree = Ok ())
+
+let test_payloads_freed () =
+  (* Insert/delete churn must not grow the heap unboundedly. *)
+  let inst = mk () in
+  let tree = Fptree_lib.Fptree.create inst ~max_leaves:512 in
+  for key = 1 to 500 do
+    Fptree_lib.Fptree.insert tree ~tid:0 ~key
+  done;
+  let mapped = inst.Alloc_api.Instance.mapped_bytes () in
+  for _round = 1 to 10 do
+    for key = 1 to 500 do
+      ignore (Fptree_lib.Fptree.delete tree ~tid:0 ~key)
+    done;
+    for key = 1 to 500 do
+      Fptree_lib.Fptree.insert tree ~tid:0 ~key
+    done
+  done;
+  Alcotest.(check bool) "no unbounded growth" true
+    (inst.Alloc_api.Instance.mapped_bytes () <= mapped + (8 * 1024 * 1024))
+
+let suite =
+  [
+    Alcotest.test_case "insert/mem/delete" `Quick test_insert_mem_delete;
+    Alcotest.test_case "splits keep everything" `Quick test_splits;
+    QCheck_alcotest.to_alcotest prop_model;
+    Alcotest.test_case "payload churn is bounded" `Quick test_payloads_freed;
+  ]

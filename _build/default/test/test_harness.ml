@@ -1,0 +1,65 @@
+(* The experiment registry: ids are unique and findable, every paper
+   table/figure is present, and the cheap experiments produce well-formed
+   tables (the expensive ones are exercised by bench/main.exe). *)
+
+let test_ids_unique () =
+  let ids = List.map (fun e -> e.Harness.Registry.id) Harness.Registry.all in
+  Alcotest.(check int) "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_paper_coverage () =
+  (* Every table and figure of the paper's evaluation has an entry. *)
+  let required =
+    [ "tab1"; "tab2"; "fig1a"; "fig1b"; "fig2"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
+      "fig14"; "fig15"; "fig16a"; "fig16b"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21" ]
+  in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true (Harness.Registry.find id <> None))
+    required
+
+let test_find_unknown () =
+  Alcotest.(check bool) "unknown id" true (Harness.Registry.find "fig99" = None)
+
+let well_formed (t : Harness.Output.table) =
+  let cols = List.length t.Harness.Output.header in
+  t.Harness.Output.rows <> []
+  && List.for_all (fun r -> List.length r = cols) t.Harness.Output.rows
+
+let test_static_tables_well_formed () =
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | Some e ->
+          List.iter
+            (fun t ->
+              Alcotest.(check bool) (id ^ " well-formed") true (well_formed t))
+            (e.Harness.Registry.run ())
+      | None -> Alcotest.fail (id ^ " missing"))
+    [ "tab1"; "tab2" ]
+
+let test_factory_names_distinct () =
+  let kinds =
+    Harness.Factory.
+      [ Pmdk; Nvm_malloc; Pallocator; Makalu; Ralloc; Jemalloc; Tcmalloc; Nv_log; Nv_gc; Nv_ic ]
+  in
+  let names = List.map Harness.Factory.name kinds in
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_output_formatters () =
+  Alcotest.(check string) "mops" "1.234" (Harness.Output.mops 1.2341);
+  Alcotest.(check string) "mib" "2.0" (Harness.Output.mib (2 * 1024 * 1024));
+  Alcotest.(check string) "ms" "1.50" (Harness.Output.ms 1_500_000.0);
+  Alcotest.(check string) "pct" "12.5%" (Harness.Output.pct 0.125);
+  Alcotest.(check string) "ratio" "3.40x" (Harness.Output.ratio 3.4)
+
+let suite =
+  [
+    Alcotest.test_case "registry ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "all paper artifacts registered" `Quick test_paper_coverage;
+    Alcotest.test_case "unknown id" `Quick test_find_unknown;
+    Alcotest.test_case "static tables well-formed" `Quick test_static_tables_well_formed;
+    Alcotest.test_case "factory names distinct" `Quick test_factory_names_distinct;
+    Alcotest.test_case "output formatters" `Quick test_output_formatters;
+  ]

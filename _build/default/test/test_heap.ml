@@ -1,0 +1,98 @@
+(* Heap layout: superblock state machine, region table persistence,
+   per-arena region addressing. *)
+
+open Nvalloc_core
+
+let mib = 1024 * 1024
+
+let config =
+  { Config.log_default with Config.arenas = 4; root_slots = 1024; booklog_chunks = 64;
+    wal_entries = 256 }
+
+let mk () =
+  let dev = Pmem.Device.create ~size:(64 * mib) () in
+  let clock = Sim.Clock.create () in
+  (dev, clock, Heap.init dev config)
+
+let test_layout_disjoint () =
+  let _, _, heap = mk () in
+  (* WAL, booklog and root regions of all arenas are pairwise disjoint
+     and below the heap start. *)
+  let ranges =
+    List.concat_map
+      (fun arena ->
+        [
+          (Heap.wal_base heap ~arena, Wal.region_bytes ~entries:config.Config.wal_entries);
+          ( Heap.booklog_base heap ~arena,
+            Booklog.region_bytes ~chunks:config.Config.booklog_chunks );
+        ])
+      [ 0; 1; 2; 3 ]
+    @ [ (Heap.root_addr heap 0, config.Config.root_slots * 8) ]
+  in
+  let sorted = List.sort compare ranges in
+  let rec disjoint = function
+    | (a, la) :: ((b, _) :: _ as rest) -> a + la <= b && disjoint rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "regions disjoint" true (disjoint sorted);
+  Alcotest.(check bool) "below heap start" true
+    (List.for_all (fun (a, l) -> a + l <= Heap.heap_start heap) sorted)
+
+let test_state_machine () =
+  let dev, clock, heap = mk () in
+  Heap.set_state heap clock Heap.Running;
+  let found, _ = Heap.open_existing dev config in
+  Alcotest.(check bool) "running found" true (found = Heap.Running);
+  Heap.set_state heap clock Heap.Shutdown;
+  Pmem.Device.crash dev;
+  let found, _ = Heap.open_existing dev config in
+  Alcotest.(check bool) "shutdown survives crash" true (found = Heap.Shutdown)
+
+let test_region_table () =
+  let dev, clock, heap = mk () in
+  Heap.register_region heap clock ~addr:(8 * mib) ~size:(4 * mib);
+  Heap.register_region heap clock ~addr:(16 * mib) ~size:(8 * mib);
+  Alcotest.(check (list (pair int int)))
+    "both listed"
+    [ (8 * mib, 4 * mib); (16 * mib, 8 * mib) ]
+    (List.sort compare (Heap.regions heap));
+  Heap.unregister_region heap clock ~addr:(8 * mib);
+  Alcotest.(check (list (pair int int))) "one left" [ (16 * mib, 8 * mib) ] (Heap.regions heap);
+  (* The table is persistent: a crash keeps registered regions. *)
+  Pmem.Device.crash dev;
+  Alcotest.(check (list (pair int int)))
+    "survives crash"
+    [ (16 * mib, 8 * mib) ]
+    (Heap.read_regions dev)
+
+let test_slot_reuse () =
+  let dev, clock, heap = mk () in
+  for i = 0 to 99 do
+    Heap.register_region heap clock ~addr:((i + 2) * mib) ~size:mib;
+    Heap.unregister_region heap clock ~addr:((i + 2) * mib)
+  done;
+  Alcotest.(check (list (pair int int))) "empty at the end" [] (Heap.regions heap);
+  ignore dev
+
+let prop_region_roundtrip =
+  let open QCheck in
+  Test.make ~name:"region table roundtrips arbitrary page-aligned regions" ~count:100
+    (make Gen.(list_size (int_range 1 30) (pair (int_range 1 4000) (int_range 1 200))))
+    (fun specs ->
+      let dev, clock, heap = mk () in
+      ignore dev;
+      (* Make addresses unique by spacing them out. *)
+      let regions =
+        List.mapi (fun i (a, s) -> (((i * 5000) + a) * 4096, s * 4096)) specs
+      in
+      List.iter (fun (addr, size) -> Heap.register_region heap clock ~addr ~size) regions;
+      List.sort compare (Heap.regions heap) = List.sort compare regions)
+
+let suite =
+  [
+    Alcotest.test_case "metadata regions are disjoint" `Quick test_layout_disjoint;
+    Alcotest.test_case "run-state machine" `Quick test_state_machine;
+    Alcotest.test_case "region table register/unregister" `Quick test_region_table;
+    Alcotest.test_case "region slots are reused" `Quick test_slot_reuse;
+    QCheck_alcotest.to_alcotest prop_region_roundtrip;
+  ]

@@ -1,0 +1,159 @@
+(* Slab morphing, end to end through the public API: a slab of one size
+   class with low occupancy is transformed to serve another class, old
+   blocks stay live and freeable, crash-torn transformations undo. *)
+
+open Nvalloc_core
+
+let mib = 1024 * 1024
+
+let config =
+  {
+    Config.log_default with
+    Config.arenas = 1;
+    root_slots = 1 lsl 16;
+    booklog_chunks = 128;
+    wal_entries = 2048;
+    tcache_capacity = 8;
+  }
+
+let mk () =
+  let dev = Pmem.Device.create ~size:(128 * mib) () in
+  let clock = Sim.Clock.create () in
+  let t = Nvalloc.create ~config dev clock in
+  let th = Nvalloc.thread t clock in
+  (dev, clock, t, th)
+
+(* Fill slabs of [size_a], free most blocks so occupancy drops below SU,
+   then allocate [size_b] and observe reuse of the same slab memory. *)
+let build_sparse_slabs t th ~size_a ~n ~keep_every =
+  for i = 0 to n - 1 do
+    ignore (Nvalloc.malloc_to t th ~size:size_a ~dest:(Nvalloc.root_addr t i))
+  done;
+  for i = 0 to n - 1 do
+    if i mod keep_every <> 0 then Nvalloc.free_from t th ~dest:(Nvalloc.root_addr t i)
+  done
+
+let count_morphing t =
+  let n = ref 0 in
+  Nvalloc.iter_slabs t (fun s -> if s.Slab.morph <> None then incr n);
+  !n
+
+let slab_bytes_mapped t =
+  let n = ref 0 in
+  Nvalloc.iter_slabs t (fun _ -> incr n);
+  !n * Slab.slab_bytes
+
+let test_morph_triggers () =
+  let _, _, t, th = mk () in
+  (* ~3000 x 128 B fills several slabs; keep 1 in 16 -> ~6% occupancy. *)
+  build_sparse_slabs t th ~size_a:128 ~n:3000 ~keep_every:16;
+  let slabs_before = slab_bytes_mapped t in
+  (* Now demand a different class; morphing must transform the sparse
+     slabs instead of allocating fresh ones. *)
+  for i = 0 to 999 do
+    ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + i)))
+  done;
+  Alcotest.(check bool) "some slab is morphing" true (count_morphing t > 0);
+  Alcotest.(check bool) "no net slab growth" true (slab_bytes_mapped t <= slabs_before + Slab.slab_bytes)
+
+let test_old_blocks_survive_and_free () =
+  let dev, _, t, th = mk () in
+  build_sparse_slabs t th ~size_a:128 ~n:3000 ~keep_every:16;
+  (* Write payloads into the survivors. *)
+  let survivors = ref [] in
+  for i = 0 to 2999 do
+    if i mod 16 = 0 then begin
+      let addr = Nvalloc.read_ptr t ~dest:(Nvalloc.root_addr t i) in
+      Pmem.Device.write_int64 dev addr (Int64.of_int (i * 13));
+      survivors := (i, addr) :: !survivors
+    end
+  done;
+  for i = 0 to 1999 do
+    ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + i)))
+  done;
+  Alcotest.(check bool) "morphing happened" true (count_morphing t > 0);
+  (* Old-class payloads are intact (morphing never moves live data). *)
+  List.iter
+    (fun (i, addr) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "payload %d" i)
+        (Int64.of_int (i * 13))
+        (Pmem.Device.read_int64 dev addr))
+    !survivors;
+  (* Freeing every old block eventually turns the slab_in regular again. *)
+  List.iter (fun (i, _) -> Nvalloc.free_from t th ~dest:(Nvalloc.root_addr t i)) !survivors;
+  Alcotest.(check int) "no slab still morphing" 0 (count_morphing t)
+
+let test_new_blocks_dont_overlap_old () =
+  let _, _, t, th = mk () in
+  build_sparse_slabs t th ~size_a:128 ~n:3000 ~keep_every:16;
+  let old_live = ref [] in
+  for i = 0 to 2999 do
+    if i mod 16 = 0 then
+      old_live := Nvalloc.read_ptr t ~dest:(Nvalloc.root_addr t i) :: !old_live
+  done;
+  let news = ref [] in
+  for i = 0 to 1999 do
+    news := Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + i)) :: !news
+  done;
+  (* No 192 B block may intersect a live 128 B block. *)
+  let old_set = List.sort compare !old_live in
+  let overlaps a =
+    List.exists (fun o -> a < o + 128 && o < a + 192) old_set
+  in
+  Alcotest.(check bool) "no overlap with live old blocks" false (List.exists overlaps !news)
+
+let test_morph_crash_undo () =
+  (* Sweep crash points across the whole morph-triggering allocation; at
+     every point recovery must yield a consistent heap with all published
+     roots live. *)
+  let failures = ref [] in
+  List.iter
+    (fun crash_after ->
+      let dev = Pmem.Device.create ~size:(128 * mib) () in
+      let clock = Sim.Clock.create () in
+      let t = Nvalloc.create ~config dev clock in
+      let th = Nvalloc.thread t clock in
+      build_sparse_slabs t th ~size_a:128 ~n:3000 ~keep_every:16;
+      Pmem.Device.schedule_crash_after dev crash_after;
+      (try
+         for i = 0 to 999 do
+           ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + i)))
+         done;
+         Pmem.Device.cancel_scheduled_crash dev;
+         Pmem.Device.crash dev
+       with Pmem.Device.Injected_crash -> ());
+      let t', _report = Nvalloc.recover ~config dev clock in
+      (match Nvalloc.check_owner_index t' with
+      | Ok _ -> ()
+      | Error e -> failures := Printf.sprintf "crash@%d: %s" crash_after e :: !failures);
+      (* Every published root resolves to an owned address and can be
+         freed; fresh allocation works. *)
+      let th' = Nvalloc.thread t' clock in
+      (try
+         for i = 0 to 2999 do
+           let dest = Nvalloc.root_addr t' i in
+           if Nvalloc.read_ptr t' ~dest > 0 then Nvalloc.free_from t' th' ~dest
+         done;
+         for i = 0 to 10_999 do
+           let dest = Nvalloc.root_addr t' i in
+           if i >= 10_000 && Nvalloc.read_ptr t' ~dest > 0 then Nvalloc.free_from t' th' ~dest
+         done;
+         for i = 0 to 99 do
+           ignore (Nvalloc.malloc_to t' th' ~size:128 ~dest:(Nvalloc.root_addr t' i))
+         done
+       with e ->
+         failures :=
+           Printf.sprintf "crash@%d: post-recovery use failed: %s" crash_after
+             (Printexc.to_string e)
+           :: !failures))
+    [ 1; 3; 7; 15; 40; 80; 160; 400 ];
+  Alcotest.(check (list string)) "all crash points recover" [] !failures
+
+let suite =
+  [
+    Alcotest.test_case "low-occupancy slabs morph" `Quick test_morph_triggers;
+    Alcotest.test_case "old blocks survive and free" `Quick test_old_blocks_survive_and_free;
+    Alcotest.test_case "no old/new block overlap" `Quick test_new_blocks_dont_overlap_old;
+    Alcotest.test_case "crash-torn morphs undo" `Slow test_morph_crash_undo;
+  ]

@@ -1,0 +1,102 @@
+(* Red-black tree: unit cases plus model-based property tests against
+   Stdlib.Map, including the structural invariants after every op. *)
+
+module Rb = Support.Rbtree.Make (struct
+  type t = int
+
+  let compare = compare
+end)
+
+module M = Map.Make (Int)
+
+let check = Alcotest.(check (option int))
+
+let test_basic () =
+  let t = Rb.create () in
+  Alcotest.(check bool) "empty" true (Rb.is_empty t);
+  Rb.insert t 5 50;
+  Rb.insert t 3 30;
+  Rb.insert t 8 80;
+  Alcotest.(check int) "cardinal" 3 (Rb.cardinal t);
+  check "find 3" (Some 30) (Rb.find_opt t 3);
+  check "find 9" None (Rb.find_opt t 9);
+  Rb.insert t 3 31;
+  Alcotest.(check int) "cardinal after replace" 3 (Rb.cardinal t);
+  check "replaced" (Some 31) (Rb.find_opt t 3);
+  Rb.remove t 3;
+  check "removed" None (Rb.find_opt t 3);
+  Alcotest.(check int) "cardinal after remove" 2 (Rb.cardinal t);
+  Rb.remove t 99;
+  Alcotest.(check int) "remove missing is noop" 2 (Rb.cardinal t)
+
+let test_ordered_queries () =
+  let t = Rb.create () in
+  List.iter (fun k -> Rb.insert t k (k * 10)) [ 10; 20; 30; 40 ];
+  check "geq 15" (Some 200) (Option.map snd (Rb.find_first_geq t 15));
+  check "geq 20" (Some 200) (Option.map snd (Rb.find_first_geq t 20));
+  check "geq 41" None (Option.map snd (Rb.find_first_geq t 41));
+  check "leq 15" (Some 100) (Option.map snd (Rb.find_last_leq t 15));
+  check "leq 9" None (Option.map snd (Rb.find_last_leq t 9));
+  check "lt 20" (Some 100) (Option.map snd (Rb.find_last_lt t 20));
+  check "lt 10" None (Option.map snd (Rb.find_last_lt t 10));
+  Alcotest.(check (option (pair int int))) "min" (Some (10, 100)) (Rb.min_binding_opt t);
+  Alcotest.(check (option (pair int int))) "max" (Some (40, 400)) (Rb.max_binding_opt t)
+
+let test_iter_order () =
+  let t = Rb.create () in
+  List.iter (fun k -> Rb.insert t k k) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (List.map fst (Rb.to_list t))
+
+(* Property: random op sequences agree with Map and preserve invariants. *)
+let prop_model =
+  let open QCheck in
+  let op =
+    Gen.(
+      oneof
+        [
+          map (fun k -> `Insert k) (int_bound 200);
+          map (fun k -> `Remove k) (int_bound 200);
+        ])
+  in
+  Test.make ~name:"rbtree agrees with Map and keeps invariants" ~count:300
+    (make Gen.(list_size (int_bound 400) op))
+    (fun ops ->
+      let t = Rb.create () in
+      let m = ref M.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Insert k ->
+              Rb.insert t k (k * 2);
+              m := M.add k (k * 2) !m
+          | `Remove k ->
+              Rb.remove t k;
+              m := M.remove k !m);
+          Rb.invariants_ok t
+          && Rb.cardinal t = M.cardinal !m
+          && Rb.to_list t = M.bindings !m)
+        ops)
+
+let prop_ordered_queries =
+  let open QCheck in
+  Test.make ~name:"geq/leq/lt agree with a list model" ~count:300
+    (make Gen.(pair (list_size (int_bound 60) (int_bound 100)) (int_bound 100)))
+    (fun (keys, probe) ->
+      let t = Rb.create () in
+      List.iter (fun k -> Rb.insert t k k) keys;
+      let sorted = List.sort_uniq compare keys in
+      let geq = List.find_opt (fun k -> k >= probe) sorted in
+      let leq = List.fold_left (fun acc k -> if k <= probe then Some k else acc) None sorted in
+      let lt = List.fold_left (fun acc k -> if k < probe then Some k else acc) None sorted in
+      Option.map fst (Rb.find_first_geq t probe) = geq
+      && Option.map fst (Rb.find_last_leq t probe) = leq
+      && Option.map fst (Rb.find_last_lt t probe) = lt)
+
+let suite =
+  [
+    Alcotest.test_case "basic insert/find/remove" `Quick test_basic;
+    Alcotest.test_case "ordered queries" `Quick test_ordered_queries;
+    Alcotest.test_case "iteration order" `Quick test_iter_order;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_ordered_queries;
+  ]

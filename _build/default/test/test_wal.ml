@@ -1,0 +1,117 @@
+(* Write-ahead log: slot mapping, replay, epochs, crash survival. *)
+
+open Nvalloc_core
+
+let mk () = (Pmem.Device.create ~size:(4 * 1024 * 1024) (), Sim.Clock.create ())
+
+let test_append_replay () =
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:256 ~interleave:true in
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:64;
+  Wal.append wal clock Wal.Free ~addr:8192 ~dest:128;
+  Wal.append wal clock Wal.Refill ~addr:12288 ~dest:0;
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  let entries = Wal.replay dev ~base:0 ~entries:256 in
+  Alcotest.(check int) "three entries" 3 (List.length entries);
+  let kinds = List.map (fun e -> e.Wal.kind) entries in
+  Alcotest.(check bool) "ordered by seq" true (kinds = [ Wal.Alloc; Wal.Free; Wal.Refill ]);
+  let first = List.hd entries in
+  Alcotest.(check int) "addr" 4096 first.Wal.addr;
+  Alcotest.(check int) "dest" 64 first.Wal.dest
+
+let test_replay_survives_crash () =
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:256 ~interleave:false in
+  (* The header epoch must be persistent before entries matter. *)
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  for i = 1 to 10 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Pmem.Device.crash dev;
+  let entries = Wal.replay dev ~base:0 ~entries:256 in
+  (* Appends flush synchronously: all survive the crash. *)
+  Alcotest.(check int) "all appends survive" 10 (List.length entries)
+
+let test_checkpoint_invalidates () =
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:256 ~interleave:true in
+  for i = 1 to 5 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Wal.checkpoint wal clock;
+  Alcotest.(check int) "empty after checkpoint" 0 (List.length (Wal.replay dev ~base:0 ~entries:256));
+  Wal.append wal clock Wal.Free ~addr:4096 ~dest:9;
+  let entries = Wal.replay dev ~base:0 ~entries:256 in
+  Alcotest.(check int) "only the new entry" 1 (List.length entries);
+  Alcotest.(check bool) "right kind" true ((List.hd entries).Wal.kind = Wal.Free)
+
+let test_near_full () =
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:64 ~interleave:true in
+  for i = 1 to 64 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Alcotest.(check bool) "full" true (Wal.near_full wal);
+  Wal.checkpoint wal clock;
+  Alcotest.(check bool) "empty again" false (Wal.near_full wal)
+
+let test_reopen_bumps_epoch () =
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:256 ~interleave:true in
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:1;
+  let wal' = Wal.reopen dev clock ~base:0 ~entries:256 ~interleave:true in
+  Alcotest.(check int) "old entries invalidated" 0
+    (List.length (Wal.replay dev ~base:0 ~entries:256));
+  Wal.append wal' clock Wal.Alloc ~addr:8192 ~dest:2;
+  Alcotest.(check int) "new entry valid" 1 (List.length (Wal.replay dev ~base:0 ~entries:256))
+
+let prop_interleaved_appends_rotate_lines =
+  (* Consecutive interleaved appends never write the same cache line
+     within the reflush window. *)
+  let open QCheck in
+  Test.make ~name:"interleaved WAL appends avoid reflushes" ~count:50
+    (make Gen.(int_range 5 200))
+    (fun n ->
+      let dev, clock = mk () in
+      let wal = Wal.create dev ~base:0 ~entries:1024 ~interleave:true in
+      Pmem.Stats.reset (Pmem.Device.stats dev);
+      for i = 1 to n do
+        Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+      done;
+      Pmem.Stats.reflushes (Pmem.Device.stats dev) = 0)
+
+let prop_sequential_appends_reflush =
+  let open QCheck in
+  Test.make ~name:"sequential WAL appends do reflush" ~count:20
+    (make Gen.(int_range 16 200))
+    (fun n ->
+      let dev, clock = mk () in
+      let wal = Wal.create dev ~base:0 ~entries:1024 ~interleave:false in
+      Pmem.Stats.reset (Pmem.Device.stats dev);
+      for i = 1 to n do
+        Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+      done;
+      Pmem.Stats.reflushes (Pmem.Device.stats dev) > 0)
+
+let prop_replay_roundtrip =
+  let open QCheck in
+  Test.make ~name:"replay returns exactly what was appended" ~count:50
+    (make Gen.(pair bool (list_size (int_range 1 60) (pair (int_range 1 1000) (int_range 0 1000)))))
+    (fun (interleave, ops) ->
+      let dev, clock = mk () in
+      let wal = Wal.create dev ~base:0 ~entries:128 ~interleave in
+      List.iter (fun (a, d) -> Wal.append wal clock Wal.Alloc ~addr:(a * 8) ~dest:d) ops;
+      let entries = Wal.replay dev ~base:0 ~entries:128 in
+      List.map (fun e -> (e.Wal.addr / 8, e.Wal.dest)) entries = ops)
+
+let suite =
+  [
+    Alcotest.test_case "append then replay" `Quick test_append_replay;
+    Alcotest.test_case "replay survives a crash" `Quick test_replay_survives_crash;
+    Alcotest.test_case "checkpoint invalidates" `Quick test_checkpoint_invalidates;
+    Alcotest.test_case "near_full and reset" `Quick test_near_full;
+    Alcotest.test_case "reopen bumps the epoch" `Quick test_reopen_bumps_epoch;
+    QCheck_alcotest.to_alcotest prop_interleaved_appends_rotate_lines;
+    QCheck_alcotest.to_alcotest prop_sequential_appends_reflush;
+    QCheck_alcotest.to_alcotest prop_replay_roundtrip;
+  ]

@@ -1,0 +1,147 @@
+(* Workload generators: each runs to completion on a small instance,
+   reports sane metrics, and is deterministic for a fixed seed. *)
+
+let mk ?(threads = 4) () =
+  Alloc_api.Instance.of_nvalloc
+    ~config:
+      {
+        Nvalloc_core.Config.log_default with
+        Nvalloc_core.Config.arenas = 2;
+        root_slots = 1 lsl 16;
+      }
+    ~threads ~dev_size:(256 * 1024 * 1024) ()
+
+let check_result name (r : Workloads.Driver.result) =
+  Alcotest.(check bool) (name ^ " ops > 0") true (r.Workloads.Driver.total_ops > 0);
+  Alcotest.(check bool) (name ^ " time > 0") true (r.Workloads.Driver.makespan_ns > 0.0);
+  Alcotest.(check bool) (name ^ " throughput > 0") true (r.Workloads.Driver.mops > 0.0);
+  Alcotest.(check bool) (name ^ " peak > 0") true (r.Workloads.Driver.peak_bytes > 0)
+
+let test_threadtest () =
+  let r =
+    Workloads.Threadtest.run (mk ())
+      ~params:{ Workloads.Threadtest.iterations = 3; objects = 200; size = 64 }
+      ()
+  in
+  check_result "threadtest" r;
+  Alcotest.(check int) "exact op count" (4 * 2 * 3 * 200) r.Workloads.Driver.total_ops
+
+let test_prodcon () =
+  let r =
+    Workloads.Prodcon.run (mk ())
+      ~params:{ Workloads.Prodcon.per_pair = 500; size = 64; queue_cap = 16 }
+      ()
+  in
+  check_result "prodcon" r;
+  Alcotest.(check int) "per-pair ops" (4 * 500) r.Workloads.Driver.total_ops
+
+let test_prodcon_solo () =
+  let r =
+    Workloads.Prodcon.run
+      (mk ~threads:1 ())
+      ~params:{ Workloads.Prodcon.per_pair = 300; size = 64; queue_cap = 8 }
+      ()
+  in
+  Alcotest.(check int) "solo ops" 600 r.Workloads.Driver.total_ops
+
+let test_shbench () =
+  check_result "shbench"
+    (Workloads.Shbench.run (mk ())
+       ~params:{ Workloads.Shbench.iterations = 400; window = 8; min_size = 64; max_size = 1000 }
+       ())
+
+let test_larson () =
+  check_result "larson-small"
+    (Workloads.Larson.run (mk ())
+       ~params:
+         { Workloads.Larson.slots = 100; ops = 800; min_size = 64; max_size = 256; cross_frac = 0.3 }
+       ())
+
+let test_larson_large () =
+  check_result "larson-large"
+    (Workloads.Larson.run (mk ())
+       ~params:
+         {
+           Workloads.Larson.slots = 8;
+           ops = 100;
+           min_size = 32 * 1024;
+           max_size = 256 * 1024;
+           cross_frac = 0.2;
+         }
+       ())
+
+let test_dbmstest () =
+  check_result "dbmstest"
+    (Workloads.Dbmstest.run (mk ())
+       ~params:
+         {
+           Workloads.Dbmstest.objects = 16;
+           iterations = 2;
+           warmup = 1;
+           min_size = 32 * 1024;
+           max_size = 128 * 1024;
+           delete_frac = 0.9;
+         }
+       ())
+
+let test_fragbench () =
+  let r =
+    Workloads.Fragbench.run
+      (mk ~threads:1 ())
+      ~workload:Workloads.Fragbench.w1
+      ~params:{ Workloads.Fragbench.live_cap = 1 lsl 20; churn = 4 lsl 20 }
+      ()
+  in
+  check_result "fragbench" r.Workloads.Fragbench.result;
+  Alcotest.(check bool) "peak >= live cap" true
+    (r.Workloads.Fragbench.peak_after >= 1 lsl 20)
+
+let test_recovery_workload () =
+  let t =
+    Workloads.Recovery_workload.run
+      (mk ~threads:1 ())
+      ~params:{ Workloads.Recovery_workload.nodes = 500; min_size = 64; max_size = 128 }
+      ()
+  in
+  Alcotest.(check bool) "recovery time positive" true (t > 0.0)
+
+let test_determinism () =
+  let run () =
+    let r =
+      Workloads.Larson.run (mk ())
+        ~params:
+          { Workloads.Larson.slots = 64; ops = 500; min_size = 64; max_size = 256; cross_frac = 0.2 }
+        ~seed:7 ()
+    in
+    r.Workloads.Driver.makespan_ns
+  in
+  Alcotest.(check (float 1e-6)) "identical makespans" (run ()) (run ())
+
+let test_driver_slot_interleaving () =
+  let inst = mk ~threads:2 () in
+  (* Distinct logical slots map to distinct physical slots. *)
+  let seen = Hashtbl.create 64 in
+  let per = Workloads.Driver.slots_per_thread inst in
+  for i = 0 to min 511 (per - 1) do
+    let s = Workloads.Driver.slot inst ~tid:1 i in
+    Alcotest.(check bool) "unique slot" false (Hashtbl.mem seen s);
+    Hashtbl.add seen s ()
+  done;
+  (* Consecutive slots land in different cache lines. *)
+  let a = Workloads.Driver.slot inst ~tid:0 0 and b = Workloads.Driver.slot inst ~tid:0 1 in
+  Alcotest.(check bool) "different lines" true (a / 64 <> b / 64)
+
+let suite =
+  [
+    Alcotest.test_case "threadtest" `Quick test_threadtest;
+    Alcotest.test_case "prodcon" `Quick test_prodcon;
+    Alcotest.test_case "prodcon solo" `Quick test_prodcon_solo;
+    Alcotest.test_case "shbench" `Quick test_shbench;
+    Alcotest.test_case "larson small" `Quick test_larson;
+    Alcotest.test_case "larson large" `Quick test_larson_large;
+    Alcotest.test_case "dbmstest" `Quick test_dbmstest;
+    Alcotest.test_case "fragbench" `Quick test_fragbench;
+    Alcotest.test_case "recovery workload" `Quick test_recovery_workload;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "root-slot interleaving" `Quick test_driver_slot_interleaving;
+  ]
