@@ -1,0 +1,301 @@
+(* Host-time microbenchmarks of the substrate and allocator fast paths,
+   plus the persisted perf baseline (BENCH_micro.json).
+
+   Two kinds of numbers go into the baseline file:
+
+   - Bechamel ns/run estimates (host time): catch real-time performance
+     regressions of this implementation itself;
+   - simulated makespans of a few fixed workload probes: deterministic
+     to the bit, so any change is an intentional model/allocator change,
+     never noise.
+
+   `scripts/bench_check.sh` re-runs the microbenchmarks and fails if any
+   tracked one regresses more than [regression_threshold] versus the
+   committed baseline. *)
+
+open Bechamel
+open Toolkit
+
+let mib = 1024 * 1024
+
+let nvalloc_smallish_config =
+  {
+    Nvalloc_core.Config.log_default with
+    Nvalloc_core.Config.arenas = 1;
+    root_slots = 65536;
+    booklog_chunks = 256;
+    wal_entries = 4096;
+  }
+
+let bench_nvalloc_pair ~name ~size =
+  (* One allocate/free round trip through the public API. *)
+  let dev = Pmem.Device.create ~size:(256 * mib) () in
+  let clock = Sim.Clock.create () in
+  let t = Nvalloc_core.Nvalloc.create ~config:nvalloc_smallish_config dev clock in
+  let th = Nvalloc_core.Nvalloc.thread t clock in
+  let dest = Nvalloc_core.Nvalloc.root_addr t 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Nvalloc_core.Nvalloc.malloc_to t th ~size ~dest);
+         Nvalloc_core.Nvalloc.free_from t th ~dest))
+
+let bench_baseline_pair ~name ~knobs ~size =
+  let inst =
+    Baselines.Bengine.instance ~knobs ~threads:1 ~dev_size:(256 * mib) ~root_slots:65536 ()
+  in
+  let dest = inst.Alloc_api.Instance.root 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (inst.Alloc_api.Instance.malloc ~tid:0 ~size ~dest);
+         inst.Alloc_api.Instance.free ~tid:0 ~dest))
+
+let bench_rbtree =
+  let module Rb = Support.Rbtree.Make (Int) in
+  let t = Rb.create () in
+  let rng = Sim.Rng.create 1 in
+  for _ = 1 to 10_000 do
+    Rb.insert t (Sim.Rng.int rng 1_000_000) 0
+  done;
+  let i = ref 0 in
+  Test.make ~name:"rbtree insert+remove (10k live)"
+    (Staged.stage (fun () ->
+         incr i;
+         let k = 1_000_000 + (!i mod 4096) in
+         Rb.insert t k 0;
+         Rb.remove t k))
+
+let bench_booklog =
+  let dev = Pmem.Device.create ~size:(16 * mib) () in
+  let clock = Sim.Clock.create () in
+  let log = Nvalloc_core.Booklog.create dev ~base:0 ~chunks:1024 ~interleave:true in
+  Test.make ~name:"booklog append+tombstone"
+    (Staged.stage (fun () ->
+         let r =
+           Nvalloc_core.Booklog.append_normal log clock Nvalloc_core.Booklog.Extent
+             ~addr:(1 lsl 20) ~size:65536
+         in
+         Nvalloc_core.Booklog.append_tombstone log clock r))
+
+let bench_wal =
+  let dev = Pmem.Device.create ~size:(4 * mib) () in
+  let clock = Sim.Clock.create () in
+  let wal = Nvalloc_core.Wal.create dev ~base:0 ~entries:65536 ~interleave:true in
+  Test.make ~name:"wal append"
+    (Staged.stage (fun () ->
+         if Nvalloc_core.Wal.near_full wal then Nvalloc_core.Wal.checkpoint wal clock;
+         Nvalloc_core.Wal.append wal clock Nvalloc_core.Wal.Alloc ~addr:4096 ~dest:8192))
+
+let bench_device_flush =
+  let dev = Pmem.Device.create ~size:(16 * mib) () in
+  let clock = Sim.Clock.create () in
+  let i = ref 0 in
+  Test.make ~name:"device write+flush"
+    (Staged.stage (fun () ->
+         incr i;
+         let addr = !i * 64 mod (8 * mib) in
+         Pmem.Device.write_int64 dev addr 42L;
+         Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr ~len:8))
+
+let microbenches () =
+  Test.make_grouped ~name:"primitives"
+    [
+      bench_nvalloc_pair ~name:"NVAlloc-LOG small pair (64B)" ~size:64;
+      bench_nvalloc_pair ~name:"NVAlloc-LOG large pair (64KB)" ~size:65536;
+      bench_baseline_pair ~name:"PMDK small pair (64B)" ~knobs:Baselines.Knobs.pmdk ~size:64;
+      bench_baseline_pair ~name:"Makalu small pair (64B)" ~knobs:Baselines.Knobs.makalu
+        ~size:64;
+      bench_rbtree;
+      bench_booklog;
+      bench_wal;
+      bench_device_flush;
+    ]
+
+let estimates () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (microbenches ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.filter_map
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with Some [ est ] -> Some (name, est) | _ -> None)
+    (List.sort compare rows)
+
+let print_estimates ests =
+  List.iter (fun (name, est) -> Printf.printf "%-56s %10.1f ns/run\n" name est) ests;
+  flush stdout
+
+let run_print () =
+  print_endline "\n### Bechamel microbenchmarks (host time per run)";
+  let ests = estimates () in
+  print_estimates ests;
+  ests
+
+(* --- simulated makespan probes ------------------------------------------- *)
+
+(* Fixed, fast workload runs whose simulated makespans are recorded next
+   to the host-time numbers: they are deterministic, so the committed
+   baseline doubles as a regression oracle for the simulation itself. *)
+let makespan_probes () =
+  let probe name kind run =
+    let inst = Harness.Factory.make ~threads:4 kind in
+    (name, (run inst).Workloads.Driver.makespan_ns)
+  in
+  [
+    probe "Threadtest/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
+        Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest 4) ());
+    probe "Threadtest/PMDK/4t" Harness.Factory.Pmdk (fun inst ->
+        Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest 4) ());
+    probe "Larson-small/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
+        Workloads.Larson.run inst ~params:(Harness.Sizes.larson_small 4) ());
+    probe "DBMStest/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
+        Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) ());
+  ]
+
+(* --- JSON baseline -------------------------------------------------------- *)
+
+let schema = "nvalloc/bench-micro/v1"
+let regression_threshold = 0.25
+
+let json_escape s =
+  (* Bench names contain no quotes or control characters; keep the
+     writer honest anyway. *)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_section b name fmt entries =
+  Buffer.add_string b (Printf.sprintf "  \"%s\": {\n" name);
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape k) (Printf.sprintf fmt v)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string b "  }"
+
+let json_string ~micro ~makespans =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string b
+    "  \"note\": \"micro_ns_per_run is host time (noisy); simulated_makespan_ns is deterministic simulated time\",\n";
+  json_section b "micro_ns_per_run" "%.1f" micro;
+  Buffer.add_string b ",\n";
+  json_section b "simulated_makespan_ns" "%.3f" makespans;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write_json ~path ~estimates =
+  print_endline "running simulated makespan probes...";
+  let makespans = makespan_probes () in
+  let oc = open_out path in
+  output_string oc (json_string ~micro:estimates ~makespans);
+  close_out oc;
+  Printf.printf "wrote %s (%d microbenches, %d makespan probes)\n%!" path
+    (List.length estimates) (List.length makespans)
+
+(* --- minimal reader for our own baseline format --------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Extract the ["name": number] pairs of one [section] of a baseline
+   file. Not a general JSON parser — it reads exactly the line-oriented
+   format [json_string] emits, which is all it is ever pointed at. *)
+let parse_section text section =
+  let needle = "\"" ^ section ^ "\"" in
+  let rec find_from i =
+    if i + String.length needle > String.length text then None
+    else if String.sub text i (String.length needle) = needle then Some i
+    else find_from (i + 1)
+  in
+  match find_from 0 with
+  | None -> []
+  | Some start ->
+      let stop = try String.index_from text start '}' with Not_found -> String.length text in
+      let body = String.sub text start (stop - start) in
+      let lines = String.split_on_char '\n' body in
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          (* lines look like:  "name": 123.4,  *)
+          if String.length line < 4 || line.[0] <> '"' then None
+          else
+            match String.index_from_opt line 1 '"' with
+            | None -> None
+            | Some q ->
+                let name = String.sub line 1 (q - 1) in
+                let rest = String.sub line (q + 1) (String.length line - q - 1) in
+                let rest = String.trim rest in
+                if String.length rest < 2 || rest.[0] <> ':' then None
+                else
+                  let num = String.trim (String.sub rest 1 (String.length rest - 1)) in
+                  let num =
+                    if String.length num > 0 && num.[String.length num - 1] = ',' then
+                      String.sub num 0 (String.length num - 1)
+                    else num
+                  in
+                  float_of_string_opt num |> Option.map (fun v -> (name, v)))
+        lines
+
+let run_check ~baseline =
+  match read_file baseline with
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot read baseline: %s\n" msg;
+      2
+  | base ->
+  let base_micro = parse_section base "micro_ns_per_run" in
+  if base_micro = [] then begin
+    Printf.eprintf "no micro_ns_per_run entries in %s\n" baseline;
+    2
+  end
+  else begin
+    Printf.printf "checking microbenchmarks against %s (fail threshold: +%.0f%%)\n%!"
+      baseline (100.0 *. regression_threshold);
+    let fresh = estimates () in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, old_ns) ->
+        match List.assoc_opt name fresh with
+        | None ->
+            incr failures;
+            Printf.printf "MISSING  %-52s (baseline %.1f ns/run)\n" name old_ns
+        | Some now_ns ->
+            let delta = (now_ns -. old_ns) /. old_ns in
+            let verdict =
+              if delta > regression_threshold then begin
+                incr failures;
+                "REGRESSED"
+              end
+              else "ok"
+            in
+            Printf.printf "%-9s %-52s %10.1f -> %10.1f ns/run (%+.1f%%)\n" verdict name
+              old_ns now_ns (100.0 *. delta))
+      base_micro;
+    List.iter
+      (fun (name, now_ns) ->
+        if not (List.mem_assoc name base_micro) then
+          Printf.printf "NEW      %-52s %10.1f ns/run (not in baseline)\n" name now_ns)
+      fresh;
+    flush stdout;
+    if !failures > 0 then begin
+      Printf.printf "%d microbench(es) regressed beyond %.0f%%\n%!" !failures
+        (100.0 *. regression_threshold);
+      1
+    end
+    else begin
+      print_endline "all tracked microbenches within threshold";
+      0
+    end
+  end

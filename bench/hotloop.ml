@@ -1,0 +1,81 @@
+(* Manual hot-loop timer for the substrate fast path: breaks the
+   device write+flush path into phases so a regression in one layer is
+   attributable without a profiler (`dune exec bench/hotloop.exe`). *)
+
+let mib = 1024 * 1024
+
+let time name iters f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-44s %8.1f ns/iter %6.1f words/iter\n%!" name
+    ((t1 -. t0) *. 1e9 /. float_of_int iters)
+    ((w1 -. w0) /. float_of_int iters)
+
+let () =
+  let n = 5_000_000 in
+  let dev = Pmem.Device.create ~size:(16 * mib) () in
+  time "write_int64" n (fun () ->
+      for i = 0 to n - 1 do
+        Pmem.Device.write_int64 dev (i * 64 mod (8 * mib)) 42L
+      done);
+  let dm = Pmem.Dirtymap.create ~size:(16 * mib) in
+  time "dirtymap mark+test+clear" n (fun () ->
+      for i = 0 to n - 1 do
+        let line = i mod (8 * mib / 64) in
+        Pmem.Dirtymap.mark dm line;
+        ignore (Pmem.Dirtymap.test dm line);
+        Pmem.Dirtymap.clear dm line
+      done);
+  let ring = Pmem.Lru_ring.create 4 in
+  time "lru_ring touch (miss)" n (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Pmem.Lru_ring.touch ring i)
+      done);
+  let clock = Sim.Clock.create () in
+  time "clock charge" n (fun () ->
+      for _ = 0 to n - 1 do
+        Sim.Clock.charge clock 20.0
+      done);
+  let wpq = Pmem.Xpbuffer.create Pmem.Latency.default in
+  time "xpbuffer admit" n (fun () ->
+      for i = 0 to n - 1 do
+        ignore (Pmem.Xpbuffer.admit wpq ~now:(float_of_int i *. 400.0) ~media_ns:100.0)
+      done);
+  let stats = Pmem.Stats.create () in
+  time "stats record_flush" n (fun () ->
+      for i = 0 to n - 1 do
+        Pmem.Stats.record_flush stats Pmem.Stats.Meta ~addr:(i * 64) ~reflush:false
+          ~sequential:true ~ns:100.0
+      done);
+  let dev2 = Pmem.Device.create ~size:(16 * mib) () in
+  let clock2 = Sim.Clock.create () in
+  time "device write+flush (full path)" n (fun () ->
+      for i = 0 to n - 1 do
+        let addr = i * 64 mod (8 * mib) in
+        Pmem.Device.write_int64 dev2 addr 42L;
+        Pmem.Device.flush dev2 clock2 Pmem.Stats.Meta ~addr ~len:8
+      done);
+  (* Same loop, via an opaque closure, after growing the major heap the
+     way the grouped Bechamel run does — isolates harness effects. *)
+  let garbage = ref [] in
+  for _ = 1 to 6 do
+    garbage := Bytes.create (64 * mib) :: !garbage
+  done;
+  let dev3 = Pmem.Device.create ~size:(16 * mib) () in
+  let clock3 = Sim.Clock.create () in
+  let i = ref 0 in
+  let staged =
+    Sys.opaque_identity (fun () ->
+        incr i;
+        let addr = !i * 64 mod (8 * mib) in
+        Pmem.Device.write_int64 dev3 addr 42L;
+        Pmem.Device.flush dev3 clock3 Pmem.Stats.Meta ~addr ~len:8)
+  in
+  time "device write+flush (closure, big heap)" n (fun () ->
+      for _ = 0 to n - 1 do
+        staged ()
+      done);
+  ignore (Sys.opaque_identity !garbage)

@@ -12,127 +12,37 @@
    2. Bechamel microbenchmarks (one Test.make per core primitive,
       host-time): allocator fast paths and the substrate data structures,
       to catch real-time performance regressions of this implementation
-      itself. *)
+      itself (see Bench_micro).
 
-open Bechamel
-open Toolkit
-
-(* --- part 2: Bechamel microbenches ---------------------------------------- *)
-
-let mib = 1024 * 1024
-
-let nvalloc_smallish_config =
-  {
-    Nvalloc_core.Config.log_default with
-    Nvalloc_core.Config.arenas = 1;
-    root_slots = 65536;
-    booklog_chunks = 256;
-    wal_entries = 4096;
-  }
-
-let bench_nvalloc_pair ~name ~size =
-  (* One allocate/free round trip through the public API. *)
-  let dev = Pmem.Device.create ~size:(256 * mib) () in
-  let clock = Sim.Clock.create () in
-  let t = Nvalloc_core.Nvalloc.create ~config:nvalloc_smallish_config dev clock in
-  let th = Nvalloc_core.Nvalloc.thread t clock in
-  let dest = Nvalloc_core.Nvalloc.root_addr t 0 in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         ignore (Nvalloc_core.Nvalloc.malloc_to t th ~size ~dest);
-         Nvalloc_core.Nvalloc.free_from t th ~dest))
-
-let bench_baseline_pair ~name ~knobs ~size =
-  let inst =
-    Baselines.Bengine.instance ~knobs ~threads:1 ~dev_size:(256 * mib) ~root_slots:65536 ()
-  in
-  let dest = inst.Alloc_api.Instance.root 0 in
-  Test.make ~name
-    (Staged.stage (fun () ->
-         ignore (inst.Alloc_api.Instance.malloc ~tid:0 ~size ~dest);
-         inst.Alloc_api.Instance.free ~tid:0 ~dest))
-
-let bench_rbtree =
-  let module Rb = Support.Rbtree.Make (Int) in
-  let t = Rb.create () in
-  let rng = Sim.Rng.create 1 in
-  for _ = 1 to 10_000 do
-    Rb.insert t (Sim.Rng.int rng 1_000_000) 0
-  done;
-  let i = ref 0 in
-  Test.make ~name:"rbtree insert+remove (10k live)"
-    (Staged.stage (fun () ->
-         incr i;
-         let k = 1_000_000 + (!i mod 4096) in
-         Rb.insert t k 0;
-         Rb.remove t k))
-
-let bench_booklog =
-  let dev = Pmem.Device.create ~size:(16 * mib) () in
-  let clock = Sim.Clock.create () in
-  let log = Nvalloc_core.Booklog.create dev ~base:0 ~chunks:1024 ~interleave:true in
-  Test.make ~name:"booklog append+tombstone"
-    (Staged.stage (fun () ->
-         let r =
-           Nvalloc_core.Booklog.append_normal log clock Nvalloc_core.Booklog.Extent
-             ~addr:(1 lsl 20) ~size:65536
-         in
-         Nvalloc_core.Booklog.append_tombstone log clock r))
-
-let bench_wal =
-  let dev = Pmem.Device.create ~size:(4 * mib) () in
-  let clock = Sim.Clock.create () in
-  let wal = Nvalloc_core.Wal.create dev ~base:0 ~entries:65536 ~interleave:true in
-  Test.make ~name:"wal append"
-    (Staged.stage (fun () ->
-         if Nvalloc_core.Wal.near_full wal then Nvalloc_core.Wal.checkpoint wal clock;
-         Nvalloc_core.Wal.append wal clock Nvalloc_core.Wal.Alloc ~addr:4096 ~dest:8192))
-
-let bench_device_flush =
-  let dev = Pmem.Device.create ~size:(16 * mib) () in
-  let clock = Sim.Clock.create () in
-  let i = ref 0 in
-  Test.make ~name:"device write+flush"
-    (Staged.stage (fun () ->
-         incr i;
-         let addr = !i * 64 mod (8 * mib) in
-         Pmem.Device.write_int64 dev addr 42L;
-         Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr ~len:8))
-
-let microbenches () =
-  Test.make_grouped ~name:"primitives"
-    [
-      bench_nvalloc_pair ~name:"NVAlloc-LOG small pair (64B)" ~size:64;
-      bench_nvalloc_pair ~name:"NVAlloc-LOG large pair (64KB)" ~size:65536;
-      bench_baseline_pair ~name:"PMDK small pair (64B)" ~knobs:Baselines.Knobs.pmdk ~size:64;
-      bench_baseline_pair ~name:"Makalu small pair (64B)" ~knobs:Baselines.Knobs.makalu
-        ~size:64;
-      bench_rbtree;
-      bench_booklog;
-      bench_wal;
-      bench_device_flush;
-    ]
-
-let run_microbenches () =
-  print_endline "\n### Bechamel microbenchmarks (host time per run)";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (microbenches ()) in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  List.iter
-    (fun (name, r) ->
-      match Analyze.OLS.estimates r with
-      | Some [ est ] -> Printf.printf "%-56s %10.1f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-56s (no estimate)\n" name)
-    (List.sort compare rows);
-  flush stdout
-
-(* --- entry point ------------------------------------------------------------ *)
+   Usage:
+     bench/main.exe                    full paper run + microbenches
+     bench/main.exe micro              microbenches only
+     bench/main.exe micro --json [P]   also write the JSON baseline
+                                       (default BENCH_micro.json)
+     bench/main.exe micro --check [P]  compare against a committed
+                                       baseline; exit 1 on regression *)
 
 let () =
-  (* `bench/main.exe micro` runs only the host-time microbenchmarks. *)
-  let micro_only = Array.exists (( = ) "micro") Sys.argv in
-  print_endline "NVAlloc (ASPLOS'22) reproduction — full benchmark run";
-  if not micro_only then Harness.Registry.run_all ();
-  run_microbenches ()
+  let argv = Array.to_list Sys.argv in
+  let micro_only = List.mem "micro" argv in
+  (* [--flag] with an optional following path (not starting with '-'). *)
+  let opt_value flag default =
+    let rec go = function
+      | f :: rest when f = flag -> (
+          match rest with
+          | v :: _ when String.length v > 0 && v.[0] <> '-' -> Some v
+          | _ -> Some default)
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go argv
+  in
+  let json = opt_value "--json" "BENCH_micro.json" in
+  let check = opt_value "--check" "BENCH_micro.json" in
+  match check with
+  | Some baseline -> exit (Bench_micro.run_check ~baseline)
+  | None ->
+      print_endline "NVAlloc (ASPLOS'22) reproduction — full benchmark run";
+      if not micro_only then Harness.Registry.run_all ();
+      let ests = Bench_micro.run_print () in
+      Option.iter (fun path -> Bench_micro.write_json ~path ~estimates:ests) json

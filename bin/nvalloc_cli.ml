@@ -66,7 +66,37 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ alloc)
 
+let bench_cmd =
+  let doc =
+    "Run the host-time microbenchmarks (Bechamel ns/run per core primitive). \
+     With $(b,--json) also write the machine-readable baseline; with \
+     $(b,--check) compare against a committed baseline instead and exit \
+     non-zero if any benchmark regressed beyond the threshold."
+  in
+  let json =
+    let doc = "Write estimates and simulated makespans to $(docv)." in
+    Arg.(
+      value
+      & opt ~vopt:(Some "BENCH_micro.json") (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let check =
+    let doc = "Compare against the baseline JSON at $(docv); no benchmark output." in
+    Arg.(
+      value
+      & opt ~vopt:(Some "BENCH_micro.json") (some string) None
+      & info [ "check" ] ~docv:"PATH" ~doc)
+  in
+  let run json check =
+    match check with
+    | Some baseline -> exit (Bench_micro.run_check ~baseline)
+    | None ->
+        let ests = Bench_micro.run_print () in
+        Option.iter (fun path -> Bench_micro.write_json ~path ~estimates:ests) json
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ json $ check)
+
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
   let info = Cmd.info "nvalloc-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; bench_cmd ]))

@@ -33,14 +33,14 @@ let () =
   Printf.printf "1000 random lookups: %d hits\n" !hits;
 
   (* Mixed phase: the paper's 50%% insert / 50%% delete workload. *)
-  let before = inst.Alloc_api.Instance.clocks.(0).Sim.Clock.now in
+  let before = Sim.Clock.now inst.Alloc_api.Instance.clocks.(0) in
   let ops = 10_000 in
   for _ = 1 to ops do
     let key = 1 + Sim.Rng.int rng 1_000_000 in
     if not (Fptree_lib.Fptree.delete tree ~tid:0 ~key) then
       Fptree_lib.Fptree.insert tree ~tid:0 ~key
   done;
-  let elapsed = inst.Alloc_api.Instance.clocks.(0).Sim.Clock.now -. before in
+  let elapsed = Sim.Clock.now inst.Alloc_api.Instance.clocks.(0) -. before in
   Printf.printf "mixed phase: %d ops in %.2f simulated ms (%.2f us/op)\n" ops (elapsed /. 1e6)
     (elapsed /. float_of_int ops /. 1000.0);
 

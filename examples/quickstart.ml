@@ -35,7 +35,7 @@ let () =
 
   Printf.printf "heap usage: %d KiB mapped, %.1f us simulated\n"
     (Nvalloc.mapped_bytes t / 1024)
-    (clock.Sim.Clock.now /. 1000.0);
+    (Sim.Clock.now clock /. 1000.0);
 
   (* Clean shutdown, then reopen: both objects survive. *)
   Nvalloc.exit_ t clock;

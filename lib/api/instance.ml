@@ -65,5 +65,5 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
         Pmem.Device.crash dev;
         let clock = Sim.Clock.create () in
         let _t', _report = Nvalloc.recover ~config dev clock in
-        clock.Sim.Clock.now);
+        Sim.Clock.now clock);
   }

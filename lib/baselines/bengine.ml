@@ -266,7 +266,7 @@ let recovery_time t =
   | Knobs.Conservative_gc ->
       lines ((t.live_small_bytes + live_large) / 64);
       lines (t.slab_count * 16));
-  clock.Sim.Clock.now
+  Sim.Clock.now clock
 
 (* --- instance ------------------------------------------------------------------ *)
 

@@ -249,7 +249,7 @@ let release_retained t clock v =
   end
 
 let decay_tick t clock =
-  let now = clock.Sim.Clock.now in
+  let now = Sim.Clock.now clock in
   let cfg = Heap.config t.heap in
   if now -. t.last_decay >= cfg.Config.decay_interval_ns then begin
     t.last_decay <- now;
@@ -320,7 +320,7 @@ let alloc_huge t clock ~size ~kind =
   let base = map_region t clock ~total ~dedicated:true in
   let v =
     fresh_veh ~addr:(base + data_off t) ~size:(total - data_off t) ~kind ~region:base
-      ~now:clock.Sim.Clock.now
+      ~now:(Sim.Clock.now clock)
   in
   activate t clock v kind;
   v
@@ -355,7 +355,7 @@ let malloc t clock ~size ~kind =
             let base = map_region t clock ~total:region_bytes ~dedicated:false in
             let v =
               fresh_veh ~addr:(base + data_off t) ~size:(region_bytes - data_off t)
-                ~kind:Booklog.Extent ~region:base ~now:clock.Sim.Clock.now
+                ~kind:Booklog.Extent ~region:base ~now:(Sim.Clock.now clock)
             in
             ignore (split_front t v ~need ~remainder_state:Reclaimed);
             activate t clock v kind;
@@ -373,7 +373,7 @@ let free t clock v =
     (* Dedicated huge region: straight back to the OS. *)
     unmap_region t clock v.region
   else begin
-    v.free_time <- clock.Sim.Clock.now;
+    v.free_time <- Sim.Clock.now clock;
     v.kind <- Booklog.Extent;
     coalesce t v ~state:Reclaimed;
     attach t v Reclaimed

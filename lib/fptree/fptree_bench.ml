@@ -11,7 +11,7 @@ let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 17) () =
   for _ = 1 to params.warmup do
     Fptree.insert tree ~tid:0 ~key:(1 + Sim.Rng.int rng params.key_space)
   done;
-  Array.iter (fun c -> c.Sim.Clock.now <- 0.0) inst.Alloc_api.Instance.clocks;
+  Array.iter Sim.Clock.restart inst.Alloc_api.Instance.clocks;
   let rngs = Array.init inst.Alloc_api.Instance.threads (fun tid -> Sim.Rng.create (seed + 1 + tid)) in
   let remaining = Array.make inst.Alloc_api.Instance.threads params.ops_per_thread in
   let step ~tid () =

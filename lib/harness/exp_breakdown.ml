@@ -34,7 +34,7 @@ let fig11 () =
             let st = Pmem.Device.stats inst.Alloc_api.Instance.dev in
             let total =
               Array.fold_left
-                (fun acc c -> acc +. c.Sim.Clock.now)
+                (fun acc c -> acc +. Sim.Clock.now c)
                 0.0 inst.Alloc_api.Instance.clocks
             in
             let part v = Output.pct (if total > 0.0 then v /. total else 0.0) in

@@ -4,25 +4,24 @@ type t = {
   lat : Latency.t;
   volatile : Store.t;
   persisted : Store.t;
-  dirty : (int, unit) Hashtbl.t;
+  dirty : Dirtymap.t;
   stats : Stats.t;
   wpq : Xpbuffer.t;
   (* Per-thread flush-stream state, keyed by clock id: the reflush-
      distance LRU (last [reflush_window] distinct lines flushed by that
-     thread, most recent first) and the last XPLine it wrote (for the
+     thread, most recent first) and the last XPLines it wrote (for the
      sequential-vs-random classification). Reflushes and sequentiality
      are properties of one core's write stream; cross-thread bandwidth
-     effects are modelled by the shared XPBuffer instead. *)
+     effects are modelled by the shared XPBuffer instead. The last
+     resolved stream is memoised so the per-flush lookup is a single
+     integer compare on the common (same thread flushes again) path. *)
   streams : (int, stream) Hashtbl.t;
+  mutable cached_id : int;
+  mutable cached_stream : stream option;
   mutable crash_after : int option;
 }
 
-and stream = {
-  recent : int array;
-  mutable recent_len : int;
-  xplines : int array; (* recent XPLines the thread wrote, LRU *)
-  mutable xplines_len : int;
-}
+and stream = { recent : Lru_ring.t; xplines : Lru_ring.t }
 
 let create ?(lat = Latency.default) ?trace_limit ~size () =
   assert (size > 0 && size mod Cacheline.size = 0);
@@ -30,10 +29,12 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     lat;
     volatile = Store.create ~size;
     persisted = Store.create ~size;
-    dirty = Hashtbl.create 4096;
+    dirty = Dirtymap.create ~size;
     stats = Stats.create ?trace_limit ();
     wpq = Xpbuffer.create lat;
     streams = Hashtbl.create 64;
+    cached_id = -1;
+    cached_stream = None;
     crash_after = None;
   }
 
@@ -44,11 +45,12 @@ let is_eadr t = t.lat.Latency.reflush_step_ns = 0.0 && t.lat.Latency.seq_flush_n
 
 (* --- data access ------------------------------------------------------ *)
 
+(* Cacheline.span, open-coded: the tuple it returns would be an
+   allocation on every write. *)
 let mark_dirty t addr len =
-  let first, last = Cacheline.span addr len in
-  for line = first to last do
-    if not (Hashtbl.mem t.dirty line) then Hashtbl.add t.dirty line ()
-  done
+  let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+  if first = last then Dirtymap.mark t.dirty first
+  else Dirtymap.mark_range t.dirty ~first ~last
 
 let read_u8 t addr = Store.get_u8 t.volatile addr
 
@@ -95,56 +97,35 @@ let fill t addr len c =
 (* --- persistence ------------------------------------------------------ *)
 
 let stream_of t clock =
-  match Hashtbl.find_opt t.streams clock.Sim.Clock.id with
-  | Some s -> s
-  | None ->
+  let id = Sim.Clock.id clock in
+  match t.cached_stream with
+  | Some s when t.cached_id = id -> s
+  | _ ->
       let s =
-        {
-          recent = Array.make t.lat.Latency.reflush_window (-1);
-          recent_len = 0;
-          xplines = Array.make 4 min_int;
-          xplines_len = 0;
-        }
+        match Hashtbl.find_opt t.streams id with
+        | Some s -> s
+        | None ->
+            let s =
+              {
+                recent = Lru_ring.create t.lat.Latency.reflush_window;
+                xplines = Lru_ring.create 4;
+              }
+            in
+            Hashtbl.replace t.streams id s;
+            s
       in
-      Hashtbl.replace t.streams clock.Sim.Clock.id s;
+      t.cached_id <- id;
+      t.cached_stream <- Some s;
       s
 
-(* Reflush distance of [line]: position in the thread's recent-distinct-
-   lines LRU, or None if absent. Updates the LRU. *)
-let reflush_distance st line =
-  let w = Array.length st.recent in
-  let pos = ref (-1) in
-  for i = 0 to st.recent_len - 1 do
-    if !pos = -1 && st.recent.(i) = line then pos := i
-  done;
-  let d = !pos in
-  (* Move [line] to the front. *)
-  if d = -1 then begin
-    let stop = min st.recent_len (w - 1) in
-    for i = stop downto 1 do
-      st.recent.(i) <- st.recent.(i - 1)
-    done;
-    st.recent.(0) <- line;
-    if st.recent_len < w then st.recent_len <- st.recent_len + 1;
-    None
-  end
-  else begin
-    for i = d downto 1 do
-      st.recent.(i) <- st.recent.(i - 1)
-    done;
-    st.recent.(0) <- line;
-    Some d
-  end
-
 let do_crash t =
-  let lines = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
-  List.iter
-    (fun line ->
+  Dirtymap.iter t.dirty (fun line ->
       if is_eadr t then Store.copy_line ~src:t.volatile ~dst:t.persisted line
-      else Store.copy_line ~src:t.persisted ~dst:t.volatile line)
-    lines;
-  Hashtbl.reset t.dirty;
+      else Store.copy_line ~src:t.persisted ~dst:t.volatile line);
+  Dirtymap.reset t.dirty;
   Hashtbl.reset t.streams;
+  t.cached_id <- -1;
+  t.cached_stream <- None;
   Xpbuffer.reset t.wpq;
   t.crash_after <- None
 
@@ -160,68 +141,63 @@ let tick_crash_countdown t =
       end
       else t.crash_after <- Some (n - 1)
 
-let flush_line t clock cat line =
+(* [@inline]: the float result would otherwise be boxed at the return —
+   one of three such boxes on the per-flush fast path (with
+   [Latency.flush_cost] and [Xpbuffer.admit], also inlined). *)
+let[@inline] flush_line t clock cat line =
   let addr = line * Cacheline.size in
   Store.copy_line ~src:t.volatile ~dst:t.persisted line;
-  Hashtbl.remove t.dirty line;
+  Dirtymap.clear t.dirty line;
   let st = stream_of t clock in
-  let distance = reflush_distance st line in
+  (* Reflush distance of [line]: its position in the thread's recent-
+     distinct-lines window, or None if absent; the touch updates the
+     window either way. *)
+  let distance = Lru_ring.touch st.recent line in
   (* Sequentiality: the write lands in (or right after) an XPLine the
      thread recently wrote — the WPQ write-combines per 256 B XPLine, so
      a thread interleaving a few streams (bitmap stripes, WAL frame,
      destinations) still gets combined sequential writes. *)
   let xp = Cacheline.xpline addr in
-  let sequential =
-    let hit = ref false in
-    for i = 0 to st.xplines_len - 1 do
-      if st.xplines.(i) = xp || st.xplines.(i) + 1 = xp then hit := true
-    done;
-    !hit
-  in
-  (let w = Array.length st.xplines in
-   let pos = ref (-1) in
-   for i = 0 to st.xplines_len - 1 do
-     if !pos = -1 && st.xplines.(i) = xp then pos := i
-   done;
-   let d = if !pos = -1 then min st.xplines_len (w - 1) else !pos in
-   for i = d downto 1 do
-     st.xplines.(i) <- st.xplines.(i - 1)
-   done;
-   st.xplines.(0) <- xp;
-   if !pos = -1 && st.xplines_len < w then st.xplines_len <- st.xplines_len + 1);
+  let sequential = Lru_ring.touch_seq st.xplines xp in
   let media_ns = Latency.flush_cost t.lat ~distance ~sequential in
-  let finish = Xpbuffer.admit t.wpq ~now:clock.Sim.Clock.now ~media_ns in
-  let reflush =
-    match distance with Some d -> d < t.lat.Latency.reflush_window | None -> false
-  in
+  let finish = Xpbuffer.admit t.wpq ~now:(Sim.Clock.now clock) ~media_ns in
+  (* Any hit in the window is a reflush: the window has exactly
+     [reflush_window] slots, so a resolved distance is always below it. *)
+  let reflush = distance <> None in
   Stats.record_flush t.stats cat ~addr ~reflush ~sequential ~ns:media_ns;
   tick_crash_countdown t;
   finish
 
 let flush t clock cat ~addr ~len =
   if len > 0 then begin
-    let first, last = Cacheline.span addr len in
-    let finish = ref clock.Sim.Clock.now in
-    for line = first to last do
-      if Hashtbl.mem t.dirty line then begin
-        let f = flush_line t clock cat line in
-        if f > !finish then finish := f
-      end
-    done;
-    Sim.Clock.wait_until clock !finish;
+    let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+    (if first = last then begin
+       (* Single-line flush — the overwhelmingly common case: no float
+          ref for the running maximum, no loop. *)
+       if Dirtymap.test t.dirty first then
+         Sim.Clock.wait_until clock (flush_line t clock cat first)
+     end
+     else begin
+       let finish = ref (Sim.Clock.now clock) in
+       for line = first to last do
+         if Dirtymap.test t.dirty line then begin
+           let f = flush_line t clock cat line in
+           if f > !finish then finish := f
+         end
+       done;
+       Sim.Clock.wait_until clock !finish
+     end);
     Sim.Clock.charge clock t.lat.Latency.fence_ns;
     Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
   end
 
 let flush_all t clock cat =
-  let lines = Hashtbl.fold (fun line () acc -> line :: acc) t.dirty [] in
-  let lines = List.sort compare lines in
-  let finish = ref clock.Sim.Clock.now in
-  List.iter
-    (fun line ->
+  (* Dirtymap.iter yields ascending line order — the same order the old
+     sort-then-flush implementation used. *)
+  let finish = ref (Sim.Clock.now clock) in
+  Dirtymap.iter t.dirty (fun line ->
       let f = flush_line t clock cat line in
-      if f > !finish then finish := f)
-    lines;
+      if f > !finish then finish := f);
   Sim.Clock.wait_until clock !finish;
   Sim.Clock.charge clock t.lat.Latency.fence_ns;
   Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
@@ -243,6 +219,6 @@ let dram_op t clock = charge_work t clock Stats.Other ~ns:t.lat.Latency.dram_ns
 let search_step t clock = charge_work t clock Stats.Search ~ns:t.lat.Latency.search_ns
 let schedule_crash_after t n = t.crash_after <- Some n
 let cancel_scheduled_crash t = t.crash_after <- None
-let dirty_lines t = Hashtbl.length t.dirty
+let dirty_lines t = Dirtymap.count t.dirty
 let persisted_int64 t addr = Store.get_i64 t.persisted addr
 let persisted_u8 t addr = Store.get_u8 t.persisted addr

@@ -42,7 +42,7 @@ let eadr =
     fence_ns = 5.0;
   }
 
-let flush_cost t ~distance ~sequential =
+let[@inline] flush_cost t ~distance ~sequential =
   match distance with
   | Some d when d < t.reflush_window ->
       t.reflush_base_ns -. (t.reflush_step_ns *. float_of_int d)

@@ -1,0 +1,127 @@
+(* Fixed-capacity move-to-front LRU over a ring buffer.
+
+   The former implementation kept the LRU in a plain array and shifted
+   the whole window on every miss (the common case in reflush-light
+   streams). Here the front is a moving [head] index: a miss is O(scan)
+   with an O(1) insert that overwrites the victim in place; only a hit at
+   distance [d] pays an O(d) rotation to restore recency order. Slots
+   hold plain ints (cache-line or XPLine indices), so no allocation ever
+   happens after [create], except the [Some d] of a hit. *)
+
+type t = { cap : int; slots : int array; mutable head : int; mutable len : int }
+
+let create capacity =
+  assert (capacity >= 0);
+  { cap = capacity; slots = Array.make (max capacity 1) min_int; head = 0; len = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+
+(* Physical slot of logical position [i] (0 = most recent). *)
+let slot t i =
+  let p = t.head + i in
+  if p >= t.cap then p - t.cap else p
+
+(* Logical position of [v], or -1. Tail recursion over int arguments:
+   this is the per-flush hot path, and unlike a [ref]-based loop it
+   allocates nothing. *)
+let rec find_from t v i =
+  if i >= t.len then -1
+  else
+    let p = t.head + i in
+    let p = if p >= t.cap then p - t.cap else p in
+    if Array.unsafe_get t.slots p = v then i else find_from t v (i + 1)
+
+let find t v = find_from t v 0
+
+let touch t v =
+  let w = t.cap in
+  if w = 0 then None
+  else
+    match find t v with
+    | -1 ->
+        t.head <- (if t.head = 0 then w - 1 else t.head - 1);
+        Array.unsafe_set t.slots t.head v;
+        if t.len < w then t.len <- t.len + 1;
+        None
+    | d ->
+        for i = d downto 1 do
+          t.slots.(slot t i) <- t.slots.(slot t (i - 1))
+        done;
+        t.slots.(t.head) <- v;
+        Some d
+
+(* [touch] for streams that only need the hit/miss bit: same window
+   update, no [Some] allocation on hits. *)
+let touch_mem t v =
+  let w = t.cap in
+  if w = 0 then false
+  else
+    match find t v with
+    | -1 ->
+        t.head <- (if t.head = 0 then w - 1 else t.head - 1);
+        Array.unsafe_set t.slots t.head v;
+        if t.len < w then t.len <- t.len + 1;
+        false
+    | d ->
+        for i = d downto 1 do
+          t.slots.(slot t i) <- t.slots.(slot t (i - 1))
+        done;
+        t.slots.(t.head) <- v;
+        true
+
+(* Does the window contain [v] or [v - 1]? (The Device's XPLine
+   sequentiality test; specialised here to keep the hot path free of a
+   closure allocation per flush.) *)
+let rec mem_self_or_pred_from t v i =
+  if i >= t.len then false
+  else
+    let p = t.head + i in
+    let p = if p >= t.cap then p - t.cap else p in
+    let s = Array.unsafe_get t.slots p in
+    s = v || s + 1 = v || mem_self_or_pred_from t v (i + 1)
+
+let mem_self_or_pred t v = mem_self_or_pred_from t v 0
+
+(* Fusion of [mem_self_or_pred] (on the pre-touch window) and
+   [touch_mem]: one scan finds both the position of [v] and whether [v]
+   or [v - 1] is present, then applies the same move-to-front update.
+   One ring traversal per flush instead of two. *)
+let touch_seq t v =
+  let w = t.cap in
+  if w = 0 then false
+  else begin
+    let pos = ref (-1) in
+    let seq = ref false in
+    for i = 0 to t.len - 1 do
+      let p = t.head + i in
+      let p = if p >= w then p - w else p in
+      let s = Array.unsafe_get t.slots p in
+      if s = v then begin
+        seq := true;
+        if !pos < 0 then pos := i
+      end
+      else if s + 1 = v then seq := true
+    done;
+    (match !pos with
+    | -1 ->
+        t.head <- (if t.head = 0 then w - 1 else t.head - 1);
+        Array.unsafe_set t.slots t.head v;
+        if t.len < w then t.len <- t.len + 1
+    | d ->
+        for i = d downto 1 do
+          t.slots.(slot t i) <- t.slots.(slot t (i - 1))
+        done;
+        t.slots.(t.head) <- v);
+    !seq
+  end
+
+let exists t p =
+  let rec go i = i < t.len && (p t.slots.(slot t i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.init t.len (fun i -> t.slots.(slot t i))
+
+let reset t =
+  t.head <- 0;
+  t.len <- 0

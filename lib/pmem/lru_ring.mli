@@ -1,0 +1,42 @@
+(** Fixed-capacity move-to-front LRU of ints over a ring buffer.
+
+    Used by {!Device} for the per-thread reflush-distance window and the
+    recent-XPLine window. Observationally equivalent to an array-shift
+    LRU (same distances, same eviction order) but a miss — the common
+    case — inserts in O(1) by moving the head instead of shifting the
+    whole window. Allocation-free after {!create}. *)
+
+type t
+
+val create : int -> t
+(** [create capacity]. A capacity of 0 yields a ring on which {!touch}
+    always misses and records nothing. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val touch : t -> int -> int option
+(** [touch t v] returns the LRU distance of [v] before the touch
+    ([Some 0] = most recently touched, [None] = not in the window) and
+    moves [v] to the front, evicting the least-recent entry if the ring
+    is full. *)
+
+val touch_mem : t -> int -> bool
+(** [touch] returning only whether the value was already in the window;
+    avoids the [Some] allocation on hits. *)
+
+val mem_self_or_pred : t -> int -> bool
+(** Does the window contain [v] or [v - 1]? Closure-free specialisation
+    of the XPLine sequentiality test. *)
+
+val touch_seq : t -> int -> bool
+(** [mem_self_or_pred] on the pre-touch window fused with {!touch_mem}'s
+    update, in a single scan: the per-flush XPLine sequentiality check. *)
+
+val exists : t -> (int -> bool) -> bool
+(** Predicate over the current window, most recent first. *)
+
+val to_list : t -> int list
+(** Window contents, most recent first (tests/debugging). *)
+
+val reset : t -> unit

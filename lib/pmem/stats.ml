@@ -1,21 +1,27 @@
 type category = Meta | Wal | Log | Data
 type work = Search | Other
 
+(* Category tags index [cat_ns] and the trace's tag bytes. *)
+let cat_index = function Meta -> 0 | Wal -> 1 | Log -> 2 | Data -> 3
+let cat_of_index = function 0 -> Meta | 1 -> Wal | 2 -> Log | _ -> Data
+
 type t = {
   trace_limit : int;
   mutable flushes : int;
   mutable reflushes : int;
   mutable sequentials : int;
   mutable randoms : int;
-  mutable t_meta : float;
-  mutable t_wal : float;
-  mutable t_log : float;
-  mutable t_data : float;
+  cat_ns : float array; (* flush time by category; floats stay unboxed *)
   mutable t_fence : float;
   mutable t_read : float;
   mutable t_search : float;
   mutable t_other : float;
-  mutable trace_rev : (category * int) list;
+  (* First [trace_limit] metadata-class flushes, as two preallocated
+     parallel buffers (category tag byte + address). The former list
+     prepend allocated a cons + tuple per traced flush and needed a final
+     List.rev; this records with two stores and no allocation. *)
+  trace_cats : Bytes.t;
+  trace_addrs : int array;
   mutable traced : int;
 }
 
@@ -26,15 +32,13 @@ let create ?(trace_limit = 1000) () =
     reflushes = 0;
     sequentials = 0;
     randoms = 0;
-    t_meta = 0.0;
-    t_wal = 0.0;
-    t_log = 0.0;
-    t_data = 0.0;
+    cat_ns = Array.make 4 0.0;
     t_fence = 0.0;
     t_read = 0.0;
     t_search = 0.0;
     t_other = 0.0;
-    trace_rev = [];
+    trace_cats = Bytes.make (max trace_limit 1) '\000';
+    trace_addrs = Array.make (max trace_limit 1) 0;
     traced = 0;
   }
 
@@ -43,15 +47,11 @@ let reset t =
   t.reflushes <- 0;
   t.sequentials <- 0;
   t.randoms <- 0;
-  t.t_meta <- 0.0;
-  t.t_wal <- 0.0;
-  t.t_log <- 0.0;
-  t.t_data <- 0.0;
+  Array.fill t.cat_ns 0 4 0.0;
   t.t_fence <- 0.0;
   t.t_read <- 0.0;
   t.t_search <- 0.0;
   t.t_other <- 0.0;
-  t.trace_rev <- [];
   t.traced <- 0
 
 let record_flush t cat ~addr ~reflush ~sequential ~ns =
@@ -59,18 +59,15 @@ let record_flush t cat ~addr ~reflush ~sequential ~ns =
   if reflush then t.reflushes <- t.reflushes + 1
   else if sequential then t.sequentials <- t.sequentials + 1
   else t.randoms <- t.randoms + 1;
-  (match cat with
-  | Meta -> t.t_meta <- t.t_meta +. ns
-  | Wal -> t.t_wal <- t.t_wal +. ns
-  | Log -> t.t_log <- t.t_log +. ns
-  | Data -> t.t_data <- t.t_data +. ns);
-  (match cat with
-  | Meta | Wal | Log ->
-      if t.traced < t.trace_limit then begin
-        t.trace_rev <- (cat, addr) :: t.trace_rev;
-        t.traced <- t.traced + 1
-      end
-  | Data -> ())
+  let idx = cat_index cat in
+  t.cat_ns.(idx) <- t.cat_ns.(idx) +. ns;
+  (* Data flushes (idx 3) are not traced; once the trace is full the
+     whole branch is one compare on the common path. *)
+  if t.traced < t.trace_limit && idx < 3 then begin
+    Bytes.set t.trace_cats t.traced (Char.chr idx);
+    t.trace_addrs.(t.traced) <- addr;
+    t.traced <- t.traced + 1
+  end
 
 let record_fence t ~ns = t.t_fence <- t.t_fence +. ns
 let record_read t ~ns = t.t_read <- t.t_read +. ns
@@ -88,19 +85,17 @@ let random_flushes t = t.randoms
 let reflush_ratio t =
   if t.flushes = 0 then 0.0 else float_of_int t.reflushes /. float_of_int t.flushes
 
-let flush_time t = function
-  | Meta -> t.t_meta
-  | Wal -> t.t_wal
-  | Log -> t.t_log
-  | Data -> t.t_data
-
+let flush_time t cat = t.cat_ns.(cat_index cat)
 let work_time t = function Search -> t.t_search | Other -> t.t_other
-let total_flush_time t = t.t_meta +. t.t_wal +. t.t_log +. t.t_data
-let trace t = List.rev t.trace_rev
+let total_flush_time t = t.cat_ns.(0) +. t.cat_ns.(1) +. t.cat_ns.(2) +. t.cat_ns.(3)
+
+let trace t =
+  List.init t.traced (fun i ->
+      (cat_of_index (Char.code (Bytes.get t.trace_cats i)), t.trace_addrs.(i)))
 
 let pp_summary ppf t =
   Format.fprintf ppf
     "flushes=%d reflush=%d (%.1f%%) seq=%d rand=%d meta=%.0fns wal=%.0fns log=%.0fns data=%.0fns"
     t.flushes t.reflushes
     (100.0 *. reflush_ratio t)
-    t.sequentials t.randoms t.t_meta t.t_wal t.t_log t.t_data
+    t.sequentials t.randoms t.cat_ns.(0) t.cat_ns.(1) t.cat_ns.(2) t.cat_ns.(3)

@@ -107,7 +107,16 @@ let write_bytes t addr src =
 
 let fill t addr len ch =
   iter_ranges t addr len (fun ci off _abs n ->
-      if ch = '\000' && t.chunks.(ci) = None then () else Bytes.fill (chunk_of t ci) off n ch)
+      (* Zero-filling a chunk that was never written is a no-op for every
+         segment of the range — head, whole chunks and partial tail alike
+         — since absent chunks already read as zeros. Only materialise a
+         chunk when the fill byte is non-zero or the chunk exists. *)
+      match t.chunks.(ci) with
+      | None when ch = '\000' -> ()
+      | None | Some _ -> Bytes.fill (chunk_of t ci) off n ch)
+
+let allocated_chunks t =
+  Array.fold_left (fun acc c -> match c with None -> acc | Some _ -> acc + 1) 0 t.chunks
 
 let copy_line ~src ~dst line =
   let addr = line * Cacheline.size in

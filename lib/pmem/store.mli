@@ -28,3 +28,7 @@ val fill : t -> int -> int -> char -> unit
 
 val copy_line : src:t -> dst:t -> int -> unit
 (** [copy_line ~src ~dst line] copies one 64 B cache line. *)
+
+val allocated_chunks : t -> int
+(** Number of chunks materialised so far (observability: [fill] with
+    ['\000'] must never allocate one — see the regression test). *)

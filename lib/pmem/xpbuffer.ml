@@ -1,28 +1,37 @@
-type t = {
-  lat : Latency.t;
+(* The media state lives in an all-float record so the per-flush updates
+   store unboxed floats instead of allocating a box per assignment (a
+   mixed record would box its float fields). *)
+type state = {
   mutable media_free : float; (* virtual time the media catches up with the queue *)
   mutable stalls : float;
 }
 
-let create lat = { lat; media_free = 0.0; stalls = 0.0 }
+type t = { lat : Latency.t; st : state }
+
+let create lat = { lat; st = { media_free = 0.0; stalls = 0.0 } }
 
 let reset t =
-  t.media_free <- 0.0;
-  t.stalls <- 0.0
+  t.st.media_free <- 0.0;
+  t.st.stalls <- 0.0
 
-let admit t ~now ~media_ns =
-  let lat = t.lat in
+let[@inline] admit t ~now ~media_ns =
+  let lat = t.lat and st = t.st in
   (* The WPQ absorbs up to [capacity] entries of backlog; beyond that the
      flush stalls until the media catches up. Each admitted line occupies
      the shared media for its classified latency divided by the media
-     parallelism, which is what bounds aggregate flush bandwidth. *)
+     parallelism, which is what bounds aggregate flush bandwidth.
+     Comparisons are open-coded (no Float.max calls) so every
+     intermediate stays an unboxed local. *)
   let window = float_of_int lat.Latency.wpq_capacity *. lat.Latency.wpq_drain_ns in
-  let backlog = Float.max 0.0 (t.media_free -. now) in
-  let stall = Float.max 0.0 (backlog -. window) in
-  t.stalls <- t.stalls +. stall;
+  let backlog = st.media_free -. now in
+  let backlog = if backlog > 0.0 then backlog else 0.0 in
+  let stall = backlog -. window in
+  let stall = if stall > 0.0 then stall else 0.0 in
+  st.stalls <- st.stalls +. stall;
   let start = now +. stall in
-  t.media_free <-
-    Float.max t.media_free start +. (media_ns /. lat.Latency.media_parallelism);
+  let media_free = st.media_free in
+  let busy_from = if media_free > start then media_free else start in
+  st.media_free <- busy_from +. (media_ns /. lat.Latency.media_parallelism);
   start +. media_ns
 
-let stall_time t = t.stalls
+let stall_time t = t.st.stalls

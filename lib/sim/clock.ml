@@ -1,10 +1,21 @@
-type t = { mutable now : float; id : int }
+(* The time lives in a single-field all-float record: stores to [st.now]
+   write an unboxed float in place, where a float field in the mixed
+   (float + int) record this used to be would allocate a fresh box on
+   every [charge]/[wait_until] — once or twice per simulated flush. *)
+type state = { mutable now : float }
+type t = { st : state; id : int }
 
 let counter = ref 0
 
 let create () =
   incr counter;
-  { now = 0.0; id = !counter }
+  { st = { now = 0.0 }; id = !counter }
 
-let charge t ns = t.now <- t.now +. ns
-let wait_until t time = if time > t.now then t.now <- time
+let now t = t.st.now
+let id t = t.id
+let charge t ns = t.st.now <- t.st.now +. ns
+let wait_until t time = if time > t.st.now then t.st.now <- time
+
+(* Benchmark support: restart a thread's clock (e.g. FPTree re-runs the
+   same instance for several phases and times each from zero). *)
+let restart t = t.st.now <- 0.0

@@ -3,14 +3,21 @@
     Every logical thread in the simulation owns one clock, measured in
     nanoseconds since the start of the run. All latency charged by the
     persistent-memory device, locks and CPU work advances the clock of the
-    thread performing the operation. *)
+    thread performing the operation.
 
-type t = { mutable now : float; id : int }
+    The representation keeps the time in an all-float sub-record so that
+    advancing the clock stores an unboxed float instead of allocating —
+    read it through {!now}. *)
+
+type t
 
 val create : unit -> t
-(** Each clock gets a unique [id]; the device uses it to keep per-thread
+(** Each clock gets a unique {!id}; the device uses it to keep per-thread
     flush-stream state (reflush windows, sequentiality), since those are
     properties of one core's write stream. *)
+
+val now : t -> float
+val id : t -> int
 
 val charge : t -> float -> unit
 (** [charge t ns] advances the clock by [ns] nanoseconds. *)
@@ -18,3 +25,7 @@ val charge : t -> float -> unit
 val wait_until : t -> float -> unit
 (** [wait_until t time] advances the clock to [time] if it is in the
     future; a no-op otherwise. *)
+
+val restart : t -> unit
+(** Reset the clock to 0 (used by benchmarks that time phases of one
+    instance separately); the [id] is unchanged. *)

@@ -7,16 +7,16 @@ type t = {
 let create ?(acquire_ns = 20.0) () = { free_at = 0.0; acquire_ns; contended = 0 }
 
 let acquire t clock =
-  if t.free_at > clock.Clock.now then begin
+  if t.free_at > Clock.now clock then begin
     t.contended <- t.contended + 1;
     Clock.wait_until clock t.free_at
   end;
   Clock.charge clock t.acquire_ns;
   (* Reserve the lock up to the holder's current time; extended on
      release. This keeps a second acquirer from slipping in between. *)
-  t.free_at <- clock.Clock.now
+  t.free_at <- Clock.now clock
 
-let release t clock = t.free_at <- clock.Clock.now
+let release t clock = t.free_at <- Clock.now clock
 
 let with_lock t clock f =
   acquire t clock;

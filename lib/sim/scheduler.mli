@@ -2,7 +2,9 @@
 
     Logical threads are step functions. The scheduler repeatedly runs one
     step of the runnable thread with the smallest clock (ties broken by
-    thread index), so simulated time advances consistently across threads:
+    thread index), selected from a binary min-heap keyed on (clock,
+    index) — O(log n) per step, with the same visit order as a linear
+    min-scan — so simulated time advances consistently across threads:
     an operation that starts earlier is simulated earlier. One step should
     correspond to one workload operation (e.g. one malloc/free pair); locks
     and device queues then interleave the threads at operation granularity.

@@ -86,7 +86,7 @@ let run (inst : Alloc_api.Instance.t) ~workload ?(params = default) ?(seed = 31)
     delete_random inst st
   done;
   churn_phase inst st ~params ~dist:workload.after;
-  let makespan = inst.clocks.(0).Sim.Clock.now in
+  let makespan = Sim.Clock.now inst.clocks.(0) in
   {
     result =
       {

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Build the benchmark harness and compare the host-time microbenchmarks
+# against the committed baseline (BENCH_micro.json). Exits non-zero if
+# any tracked benchmark regressed more than the threshold (25%) —
+# see Bench_micro.run_check.
+#
+# Host timings are noisy: re-run before trusting a single failure, and
+# regenerate the baseline (`bench/main.exe micro --json`) only on a
+# quiet machine. Usage: scripts/bench_check.sh [baseline.json]
+set -eu
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_micro.json}"
+dune build bench/main.exe
+exec ./_build/default/bench/main.exe micro --check "$baseline"

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Formatting gate: `dune build @fmt` must be clean. The OCaml side needs
+# the ocamlformat binary; when it is absent (as in the minimal CI image)
+# only the dune-file formatting is checked, which dune handles itself.
+set -eu
+cd "$(dirname "$0")/.."
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ocamlformat not found; checking dune-file formatting only" >&2
+  for f in $(git ls-files '*dune' 'dune-project'); do
+    dune format-dune-file "$f" | diff -q "$f" - >/dev/null || {
+      echo "unformatted: $f (run: dune format-dune-file $f > tmp && mv tmp $f)" >&2
+      exit 1
+    }
+  done
+fi
+echo "fmt check OK"

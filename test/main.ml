@@ -5,6 +5,7 @@ let () =
       ("rbtree", Test_rbtree.suite);
       ("support", Test_support.suite);
       ("device", Test_device.suite);
+      ("substrate-perf", Test_substrate_perf.suite);
       ("bitmap", Test_bitmap.suite);
       ("slab-tcache", Test_slab_tcache.suite);
       ("heap", Test_heap.suite);

@@ -117,9 +117,9 @@ let test_crash_injection () =
 let test_clock_advances () =
   let dev, clock = mk () in
   Pmem.Device.write_u8 dev 0 1;
-  let before = clock.Sim.Clock.now in
+  let before = Sim.Clock.now clock in
   Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1;
-  Alcotest.(check bool) "flush costs time" true (clock.Sim.Clock.now > before)
+  Alcotest.(check bool) "flush costs time" true (Sim.Clock.now clock > before)
 
 let test_dax_mmap () =
   let dev, clock = mk () in

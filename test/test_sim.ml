@@ -37,7 +37,7 @@ let test_lock_serializes () =
   Sim.Lock.release lock a;
   (* b arrives earlier but must wait until a released. *)
   Sim.Lock.acquire lock b;
-  Alcotest.(check bool) "b waited for a" true (b.Sim.Clock.now >= 1000.0);
+  Alcotest.(check bool) "b waited for a" true (Sim.Clock.now b >= 1000.0);
   Alcotest.(check int) "contention counted" 1 (Sim.Lock.contention_count lock)
 
 let test_scheduler_min_clock () =

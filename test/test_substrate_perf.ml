@@ -1,0 +1,404 @@
+(* Observational equivalence of the fast-path substrate rewrites with
+   the straightforward implementations they replaced, plus regressions
+   for the Store.fill fast path and the Stats trace buffers.
+
+   - Dirtymap (per-chunk bitmaps) vs the former [(int, unit) Hashtbl.t]
+     dirty set;
+   - Lru_ring (move-to-front ring) vs the former array-shift LRU,
+     modelled here as a plain most-recent-first list;
+   - the whole Device flush pipeline vs a byte-for-byte model device
+     (same flush classifications, same dirty sets, same crash
+     survivors) over randomized write/flush/crash sequences;
+   - the heap-based Scheduler vs the former linear min-scan on
+     tie-heavy schedules. *)
+
+let mib = 1024 * 1024
+
+(* --- Dirtymap vs Hashtbl model ---------------------------------------- *)
+
+(* Three chunks' worth of lines so ops cross chunk boundaries:
+   16384 lines per 1 MiB chunk. *)
+let dm_size = 3 * mib
+let dm_lines = dm_size / 64
+
+type dm_op = Mark of int | MarkRange of int * int | Clear of int
+
+let dm_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun l -> Mark l) (int_bound (dm_lines - 1)));
+        ( 1,
+          map2
+            (fun a b -> MarkRange (min a b, max a b))
+            (int_bound (dm_lines - 1))
+            (int_bound (dm_lines - 1)) );
+        (3, map (fun l -> Clear l) (int_bound (dm_lines - 1)));
+      ])
+
+let dm_op_print = function
+  | Mark l -> Printf.sprintf "Mark %d" l
+  | MarkRange (a, b) -> Printf.sprintf "MarkRange (%d, %d)" a b
+  | Clear l -> Printf.sprintf "Clear %d" l
+
+let prop_dirtymap_model =
+  let open QCheck in
+  Test.make ~name:"dirtymap equals Hashtbl dirty-set model" ~count:200
+    (list_of_size Gen.(int_range 0 400) (make ~print:dm_op_print dm_op_gen))
+    (fun ops ->
+      let dm = Pmem.Dirtymap.create ~size:dm_size in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Mark l ->
+              Pmem.Dirtymap.mark dm l;
+              Hashtbl.replace model l ()
+          | MarkRange (a, b) ->
+              Pmem.Dirtymap.mark_range dm ~first:a ~last:b;
+              for l = a to b do
+                Hashtbl.replace model l ()
+              done
+          | Clear l ->
+              Pmem.Dirtymap.clear dm l;
+              Hashtbl.remove model l)
+        ops;
+      (* Same cardinality, same membership, same (sorted) iteration. *)
+      let count_ok = Pmem.Dirtymap.count dm = Hashtbl.length model in
+      let member_ok =
+        List.for_all
+          (fun op ->
+            let l = match op with Mark l | Clear l -> l | MarkRange (a, _) -> a in
+            Pmem.Dirtymap.test dm l = Hashtbl.mem model l)
+          ops
+      in
+      let visited = ref [] in
+      Pmem.Dirtymap.iter dm (fun l -> visited := l :: !visited);
+      let visited = List.rev !visited in
+      let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
+      count_ok && member_ok && visited = expected)
+
+(* --- Lru_ring vs array-shift (list) model ------------------------------ *)
+
+(* The former LRU shifted an array on every touch; a most-recent-first
+   list is the same structure. *)
+let model_touch cap lru v =
+  let rec index i = function
+    | [] -> -1
+    | x :: _ when x = v -> i
+    | _ :: tl -> index (i + 1) tl
+  in
+  let d = index 0 !lru in
+  let without = List.filter (fun x -> x <> v) !lru in
+  let trimmed =
+    if d = -1 && List.length without >= cap then
+      List.filteri (fun i _ -> i < cap - 1) without
+    else without
+  in
+  lru := v :: trimmed;
+  if cap = 0 then (
+    lru := [];
+    None)
+  else if d = -1 then None
+  else Some d
+
+let prop_lru_ring_model =
+  let open QCheck in
+  (* Values from a domain of 8 against capacity 4: plenty of hits at
+     every distance, plenty of evictions. *)
+  Test.make ~name:"lru_ring equals array-shift LRU model" ~count:500
+    (pair (int_range 0 6) (list_of_size Gen.(int_range 0 200) (int_range 0 7)))
+    (fun (cap, touches) ->
+      let ring = Pmem.Lru_ring.create cap in
+      let lru = ref [] in
+      List.for_all
+        (fun v ->
+          let expect = model_touch cap lru v in
+          let got = Pmem.Lru_ring.touch ring v in
+          got = expect && Pmem.Lru_ring.to_list ring = !lru)
+        touches)
+
+let prop_lru_touch_seq =
+  let open QCheck in
+  (* touch_seq = mem_self_or_pred on the pre-touch window + the same
+     window update as touch. *)
+  Test.make ~name:"lru_ring touch_seq fuses membership and touch" ~count:500
+    (pair (int_range 0 6) (list_of_size Gen.(int_range 0 200) (int_range 0 7)))
+    (fun (cap, touches) ->
+      let ring = Pmem.Lru_ring.create cap in
+      let lru = ref [] in
+      List.for_all
+        (fun v ->
+          let expect_seq = List.exists (fun s -> s = v || s + 1 = v) !lru in
+          let got_seq = Pmem.Lru_ring.touch_seq ring v in
+          ignore (model_touch cap lru v);
+          got_seq = (expect_seq && cap > 0) && Pmem.Lru_ring.to_list ring = !lru)
+        touches)
+
+(* --- Device flush pipeline vs model device ----------------------------- *)
+
+(* A model device: plain Bytes images, a Hashtbl dirty set, and
+   list-based per-thread LRU windows — the pre-rewrite implementation,
+   restated. Compared observables: flush classification counters, the
+   dirty-line set, and the byte images surviving a crash. *)
+
+let dev_size = 64 * 1024
+let dev_lines = dev_size / 64
+let reflush_window = Pmem.Latency.default.Pmem.Latency.reflush_window
+
+type model_dev = {
+  volatile : Bytes.t;
+  persisted : Bytes.t;
+  dirty : (int, unit) Hashtbl.t;
+  streams : (int, int list ref * int list ref) Hashtbl.t;
+  mutable m_flushes : int;
+  mutable m_reflushes : int;
+  mutable m_seq : int;
+  mutable m_rand : int;
+}
+
+let model_create () =
+  {
+    volatile = Bytes.make dev_size '\000';
+    persisted = Bytes.make dev_size '\000';
+    dirty = Hashtbl.create 64;
+    streams = Hashtbl.create 4;
+    m_flushes = 0;
+    m_reflushes = 0;
+    m_seq = 0;
+    m_rand = 0;
+  }
+
+let model_stream m id =
+  match Hashtbl.find_opt m.streams id with
+  | Some s -> s
+  | None ->
+      let s = (ref [], ref []) in
+      Hashtbl.replace m.streams id s;
+      s
+
+let model_flush_line m id line =
+  Bytes.blit m.volatile (line * 64) m.persisted (line * 64) 64;
+  Hashtbl.remove m.dirty line;
+  let recent, xplines = model_stream m id in
+  let distance = model_touch reflush_window recent line in
+  let xp = line * 64 / 256 in
+  let sequential = List.exists (fun s -> s = xp || s + 1 = xp) !xplines in
+  ignore (model_touch 4 xplines xp);
+  m.m_flushes <- m.m_flushes + 1;
+  if distance <> None then m.m_reflushes <- m.m_reflushes + 1
+  else if sequential then m.m_seq <- m.m_seq + 1
+  else m.m_rand <- m.m_rand + 1
+
+let model_flush m id ~addr ~len =
+  if len > 0 then
+    for line = addr / 64 to (addr + len - 1) / 64 do
+      if Hashtbl.mem m.dirty line then model_flush_line m id line
+    done
+
+let model_crash m =
+  Hashtbl.iter
+    (fun line () -> Bytes.blit m.persisted (line * 64) m.volatile (line * 64) 64)
+    m.dirty;
+  Hashtbl.reset m.dirty;
+  Hashtbl.reset m.streams
+
+type dev_op =
+  | Write of int * int * int (* thread, addr, byte *)
+  | Flush of int * int * int (* thread, addr, len *)
+  | FlushAll of int
+  | Crash
+
+let dev_op_gen =
+  QCheck.Gen.(
+    let thread = int_bound 1 in
+    frequency
+      [
+        ( 6,
+          map3
+            (fun th a b -> Write (th, a, b))
+            thread
+            (int_bound (dev_size - 1))
+            (int_bound 255) );
+        ( 5,
+          map3
+            (fun th a l -> Flush (th, a, l))
+            thread
+            (int_bound (dev_size - 1))
+            (int_range 1 256) );
+        (1, map (fun th -> FlushAll th) thread);
+        (1, return Crash);
+      ])
+
+let dev_op_print = function
+  | Write (t, a, b) -> Printf.sprintf "Write (%d, %d, %d)" t a b
+  | Flush (t, a, l) -> Printf.sprintf "Flush (%d, %d, %d)" t a l
+  | FlushAll t -> Printf.sprintf "FlushAll %d" t
+  | Crash -> "Crash"
+
+let prop_device_model =
+  let open QCheck in
+  Test.make ~name:"device flush pipeline equals model device" ~count:100
+    (list_of_size Gen.(int_range 0 300) (make ~print:dev_op_print dev_op_gen))
+    (fun ops ->
+      let dev = Pmem.Device.create ~size:dev_size () in
+      let clocks = [| Sim.Clock.create (); Sim.Clock.create () |] in
+      let ids = Array.map Sim.Clock.id clocks in
+      let m = model_create () in
+      List.iter
+        (function
+          | Write (th, addr, b) ->
+              (* The clock is irrelevant to a write; [th] only varies
+                 which flush stream later persists it. *)
+              ignore th;
+              let addr = min addr (dev_size - 1) in
+              Pmem.Device.write_u8 dev addr b;
+              Bytes.set m.volatile addr (Char.chr b);
+              Hashtbl.replace m.dirty (addr / 64) ()
+          | Flush (th, addr, len) ->
+              let len = min len (dev_size - addr) in
+              Pmem.Device.flush dev clocks.(th) Pmem.Stats.Meta ~addr ~len;
+              model_flush m ids.(th) ~addr ~len
+          | FlushAll th ->
+              Pmem.Device.flush_all dev clocks.(th) Pmem.Stats.Meta;
+              (* flush_all visits dirty lines in ascending order. *)
+              let lines =
+                List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) m.dirty [])
+              in
+              List.iter (model_flush_line m ids.(th)) lines
+          | Crash ->
+              Pmem.Device.crash dev;
+              model_crash m)
+        ops;
+      let stats = Pmem.Device.stats dev in
+      let counters_ok =
+        Pmem.Stats.flushes stats = m.m_flushes
+        && Pmem.Stats.reflushes stats = m.m_reflushes
+        && Pmem.Stats.sequential_flushes stats = m.m_seq
+        && Pmem.Stats.random_flushes stats = m.m_rand
+      in
+      let dirty_ok = Pmem.Device.dirty_lines dev = Hashtbl.length m.dirty in
+      (* Crash: surviving volatile state must match the model's. *)
+      Pmem.Device.crash dev;
+      model_crash m;
+      let bytes_ok = ref true in
+      for line = 0 to dev_lines - 1 do
+        (* One probe byte per line keeps the check O(lines). *)
+        let a = line * 64 in
+        if Pmem.Device.read_u8 dev a <> Char.code (Bytes.get m.volatile a) then
+          bytes_ok := false
+      done;
+      counters_ok && dirty_ok && !bytes_ok)
+
+(* --- Scheduler: heap visits = linear-scan visits ----------------------- *)
+
+(* Each thread runs a script of charges drawn from {0, 10, 20} ns — a
+   tie-heavy schedule — and records each visit. The reference order is
+   the former linear scan: smallest clock, lowest index on ties. *)
+let prop_scheduler_order =
+  let open QCheck in
+  Test.make ~name:"heap scheduler visits = linear-scan order" ~count:200
+    (list_of_size
+       Gen.(int_range 1 8)
+       (list_of_size Gen.(int_range 0 20) (int_range 0 2)))
+    (fun scripts ->
+      let scripts = List.map (List.map (fun c -> float_of_int (c * 10))) scripts in
+      let n = List.length scripts in
+      let arr = Array.of_list scripts in
+      (* Real scheduler. *)
+      let visits = ref [] in
+      let threads =
+        Array.init n (fun i ->
+            let clock = Sim.Clock.create () in
+            let remaining = ref arr.(i) in
+            let step () =
+              visits := i :: !visits;
+              match !remaining with
+              | [] -> false
+              | c :: tl ->
+                  Sim.Clock.charge clock c;
+                  remaining := tl;
+                  true
+            in
+            { Sim.Scheduler.clock; step })
+      in
+      Sim.Scheduler.run threads;
+      let visits = List.rev !visits in
+      (* Linear-scan reference. *)
+      let clocks = Array.make n 0.0 in
+      let remaining = Array.map (fun s -> ref s) arr in
+      let live = Array.make n true in
+      let expected = ref [] in
+      let rec loop () =
+        let best = ref (-1) in
+        for i = n - 1 downto 0 do
+          if live.(i) && (!best = -1 || clocks.(i) <= clocks.(!best)) then best := i
+        done;
+        if !best >= 0 then begin
+          let i = !best in
+          expected := i :: !expected;
+          (match !(remaining.(i)) with
+          | [] -> live.(i) <- false
+          | c :: tl ->
+              clocks.(i) <- clocks.(i) +. c;
+              remaining.(i) := tl);
+          loop ()
+        end
+      in
+      loop ();
+      visits = List.rev !expected)
+
+(* --- Store.fill fast path ---------------------------------------------- *)
+
+let test_fill_zero_no_chunks () =
+  (* Filling zeros into unwritten space is the status quo: no chunk may
+     materialise. 3 MiB spans three chunks, all untouched. *)
+  let s = Pmem.Store.create ~size:(8 * mib) in
+  Alcotest.(check int) "fresh store" 0 (Pmem.Store.allocated_chunks s);
+  Pmem.Store.fill s 0 (3 * mib) '\000';
+  Alcotest.(check int) "zero fill allocates nothing" 0 (Pmem.Store.allocated_chunks s);
+  (* A touched chunk still gets zeroed in place... *)
+  Pmem.Store.set_u8 s 10 0xAB;
+  Alcotest.(check int) "one chunk" 1 (Pmem.Store.allocated_chunks s);
+  Pmem.Store.fill s 0 (3 * mib) '\000';
+  Alcotest.(check int) "still one chunk" 1 (Pmem.Store.allocated_chunks s);
+  Alcotest.(check int) "byte zeroed" 0 (Pmem.Store.get_u8 s 10);
+  (* ...and a nonzero fill materialises exactly the chunks it covers. *)
+  Pmem.Store.fill s (4 * mib) mib '\xFF';
+  Alcotest.(check int) "nonzero fill allocates" 2 (Pmem.Store.allocated_chunks s);
+  Alcotest.(check int) "fill visible" 0xFF (Pmem.Store.get_u8 s ((4 * mib) + 123))
+
+(* --- Stats trace buffers ----------------------------------------------- *)
+
+let test_trace_truncation () =
+  let stats = Pmem.Stats.create ~trace_limit:5 () in
+  for i = 0 to 19 do
+    let cat = if i mod 2 = 0 then Pmem.Stats.Meta else Pmem.Stats.Wal in
+    Pmem.Stats.record_flush stats cat ~addr:(i * 64) ~reflush:false ~sequential:true
+      ~ns:10.0
+  done;
+  (* Data flushes never enter the trace. *)
+  Pmem.Stats.record_flush stats Pmem.Stats.Data ~addr:9999 ~reflush:false
+    ~sequential:true ~ns:10.0;
+  let trace = Pmem.Stats.trace stats in
+  Alcotest.(check int) "truncated to limit" 5 (List.length trace);
+  List.iteri
+    (fun i (cat, addr) ->
+      Alcotest.(check int) (Printf.sprintf "addr %d" i) (i * 64) addr;
+      Alcotest.(check bool)
+        (Printf.sprintf "cat %d" i)
+        true
+        (cat = if i mod 2 = 0 then Pmem.Stats.Meta else Pmem.Stats.Wal))
+    trace;
+  Alcotest.(check int) "all flushes counted" 21 (Pmem.Stats.flushes stats)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dirtymap_model;
+    QCheck_alcotest.to_alcotest prop_lru_ring_model;
+    QCheck_alcotest.to_alcotest prop_lru_touch_seq;
+    QCheck_alcotest.to_alcotest prop_device_model;
+    QCheck_alcotest.to_alcotest prop_scheduler_order;
+    Alcotest.test_case "store fill '\\000' materialises no chunks" `Quick
+      test_fill_zero_no_chunks;
+    Alcotest.test_case "stats trace truncates at limit" `Quick test_trace_truncation;
+  ]
