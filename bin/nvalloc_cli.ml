@@ -96,7 +96,69 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ json $ check)
 
+let fuzz_cmd =
+  let doc =
+    "Run the crash-plan fuzzer: sample (workload seed, crash point, torn mode, \
+     optional crash-during-recovery) plans, execute each against a fresh device \
+     and check the full post-crash invariant oracle. On failure the plan is \
+     shrunk and printed as a replayable one-liner (re-run it with $(b,--plan)). \
+     Exits non-zero on a counterexample."
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Plan-sampling RNG seed.")
+  in
+  let runs =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N" ~doc:"Number of plans to run.")
+  in
+  let variant =
+    let doc = "Pin the consistency variant ($(b,log), $(b,gc), $(b,ic), or $(b,any))." in
+    Arg.(value & opt string "any" & info [ "variant" ] ~docv:"VARIANT" ~doc)
+  in
+  let plan =
+    let doc = "Replay one plan (a line previously printed by the fuzzer) instead of sampling." in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let broken =
+    let doc =
+      "Demo mode: deliberately skip the WAL's append flush on the workload \
+       instance, to show a real ordering bug being caught and shrunk."
+    in
+    Arg.(value & flag & info [ "broken" ] ~doc)
+  in
+  let run seed runs variant plan broken =
+    let variant =
+      match variant with
+      | "any" -> None
+      | "log" -> Some Fault.Plan.Log
+      | "gc" -> Some Fault.Plan.Gc
+      | "ic" -> Some Fault.Plan.Ic
+      | v -> failwith ("unknown variant " ^ v ^ " (expected log|gc|ic|any)")
+    in
+    match plan with
+    | Some line -> (
+        match Fault.Plan.of_string line with
+        | Error e -> failwith ("bad --plan: " ^ e)
+        | Ok p -> (
+            match Fault.Fuzz.run_plan ~broken p with
+            | Ok report ->
+                Format.printf "ok: %s@.  %a@." (Fault.Plan.to_string p)
+                  Nvalloc_core.Nvalloc.pp_recovery_report report
+            | Error reason ->
+                Format.printf "FAIL: %s@.  %s@." (Fault.Plan.to_string p) reason;
+                exit 1))
+    | None -> (
+        match Fault.Fuzz.fuzz ~broken ?variant ~seed ~runs () with
+        | None -> Printf.printf "ok: %d plans, no counterexamples (seed %d)\n" runs seed
+        | Some cex ->
+            Format.printf "counterexample (shrunk): %s@.  reason: %s@.  original: %s@."
+              (Fault.Plan.to_string cex.Fault.Fuzz.shrunk)
+              cex.Fault.Fuzz.reason
+              (Fault.Plan.to_string cex.Fault.Fuzz.original);
+            exit 1)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed $ runs $ variant $ plan $ broken)
+
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
   let info = Cmd.info "nvalloc-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; bench_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; bench_cmd; fuzz_cmd ]))

@@ -291,12 +291,12 @@ let return_block t clock s b =
    the tcache (section 5.2, "Block release"). *)
 let release_old_block t clock s (m : Slab.morph) old_b =
   let slot = Hashtbl.find m.Slab.old_live old_b in
-  Pmem.Device.write_u16 t.dev (Slab.index_entry_addr s slot)
-    (Slab.pack_index_entry ~block:old_b ~allocated:false);
-  if flushes_small_meta t then
-    flush_meta t clock ~addr:(Slab.index_entry_addr s slot) ~len:2;
-  Hashtbl.remove m.Slab.old_live old_b;
-  m.Slab.cnt_slab <- m.Slab.cnt_slab - 1;
+  (* Derived state first, commit last: the overlap bits exist only to pin
+     new-grid blocks while this old block lives, and recovery rebuilds the
+     pins from the index table. Clearing the index entry first would let a
+     crash strand set bits that the rebuilt morph no longer pins — misread
+     by WAL replay as user-live new-class blocks (found by the crash-plan
+     fuzzer, crash-during-recovery case). *)
   let lo, hi = Slab.overlapping_new_blocks s m old_b in
   for j = lo to hi do
     m.Slab.cnt_block.(j) <- m.Slab.cnt_block.(j) - 1;
@@ -309,6 +309,12 @@ let release_old_block t clock s (m : Slab.morph) old_b =
       s.Slab.free_stack <- j :: s.Slab.free_stack
     end
   done;
+  Pmem.Device.write_u16 t.dev (Slab.index_entry_addr s slot)
+    (Slab.pack_index_entry ~block:old_b ~allocated:false);
+  if flushes_small_meta t then
+    flush_meta t clock ~addr:(Slab.index_entry_addr s slot) ~len:2;
+  Hashtbl.remove m.Slab.old_live old_b;
+  m.Slab.cnt_slab <- m.Slab.cnt_slab - 1;
   if m.Slab.cnt_slab = 0 then begin
     (* slab_in becomes a regular slab_after and rejoins the LRU. *)
     Slab.Header.write_old_class t.dev s.Slab.addr Slab.Header.no_class;
@@ -392,11 +398,16 @@ let refill_tcache t clock tc class_idx =
                user's objects. *)
             s.Slab.tcached <- s.Slab.tcached + 1
           else begin
+            (* WAL before effect: the Refill entry must be persistent
+               before the bit is. A crash in between leaves a valid entry
+               for a clear bit, which replay ignores; the reverse order
+               would leave a set bit with no entry — read as user-live by
+               recovery — leaking the block (found by the crash-plan
+               fuzzer). *)
+            if is_log t then log_op t clock Wal.Refill ~addr:(Slab.block_addr s b) ~dest:0;
             Bitmap.set t.dev s.Slab.bitmap b;
-            if is_log t then begin
-              flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1;
-              log_op t clock Wal.Refill ~addr:(Slab.block_addr s b) ~dest:0
-            end
+            if is_log t then
+              flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
           end;
           let pushed = Tcache.push tc { Tcache.slab = s; addr = Slab.block_addr s b } in
           assert pushed

@@ -42,6 +42,31 @@ let log_default =
   }
 
 let gc_default = { log_default with consistency = Gc_based }
+
+let validate t =
+  let reject fmt = Printf.ksprintf invalid_arg fmt in
+  if t.arenas < 1 then reject "Config.arenas: need at least one arena (got %d)" t.arenas;
+  if t.root_slots < 1 then
+    reject "Config.root_slots: need at least one root slot (got %d)" t.root_slots;
+  if t.wal_entries < 2 then
+    reject "Config.wal_entries: need at least 2 WAL entries (got %d)" t.wal_entries;
+  if t.wal_entries mod 64 <> 0 then
+    reject "Config.wal_entries: must be a multiple of 64, the WAL frame size (got %d)"
+      t.wal_entries;
+  if t.log_bookkeeping && t.booklog_chunks < 2 then
+    reject
+      "Config.booklog_chunks: log-structured bookkeeping needs at least 2 chunks (got %d)"
+      t.booklog_chunks;
+  if t.bit_stripes < 1 then
+    reject "Config.bit_stripes: need at least one bitmap stripe (got %d)" t.bit_stripes;
+  if t.tcache_capacity < 1 then
+    reject "Config.tcache_capacity: need at least one cached block (got %d)"
+      t.tcache_capacity;
+  if not (t.morph_su_threshold >= 0.0 && t.morph_su_threshold <= 1.0) then
+    reject "Config.morph_su_threshold: must be within [0, 1] (got %g)" t.morph_su_threshold;
+  if not (t.booklog_slow_gc_threshold > 0.0 && t.booklog_slow_gc_threshold <= 1.0) then
+    reject "Config.booklog_slow_gc_threshold: must be within (0, 1] (got %g)"
+      t.booklog_slow_gc_threshold
 let ic_default = { log_default with consistency = Internal_collection }
 
 let base consistency =

@@ -47,6 +47,12 @@ type t = {
   root_slots : int;  (** persistent root-table entries *)
 }
 
+val validate : t -> unit
+(** Reject nonsensical configurations (zero arenas, too-small WAL ring,
+    empty root table, ...) with a descriptive [Invalid_argument] naming
+    the offending field, instead of failing deep inside [Arena]/[Wal].
+    Called by [Nvalloc.create] and [Nvalloc.recover]. *)
+
 val log_default : t
 (** NVAlloc-LOG with every optimisation on (stripes = 6, SU = 20%). *)
 

@@ -24,11 +24,26 @@ type thread = { id : int; clock : Sim.Clock.t; arena : int; tcaches : Tcache.t a
 type recovery_report = {
   found_state : Heap.state;
   wal_entries_replayed : int;
+  torn_wal_skipped : int;
+  wal_entries_undone : int;
+  torn_slab_creations : int;
   leaked_blocks_reclaimed : int;
   leaked_extents_reclaimed : int;
   gc_blocks_marked : int;
   booklog_entries : int;
 }
+
+let pp_recovery_report ppf r =
+  Format.fprintf ppf
+    "state=%s wal_replayed=%d wal_torn_skipped=%d wal_undone=%d torn_slabs=%d \
+     leaked_blocks=%d leaked_extents=%d gc_marked=%d booklog_entries=%d"
+    (match r.found_state with
+    | Heap.Running -> "running"
+    | Heap.Shutdown -> "shutdown"
+    | Heap.Recovering -> "recovering")
+    r.wal_entries_replayed r.torn_wal_skipped r.wal_entries_undone r.torn_slab_creations
+    r.leaked_blocks_reclaimed r.leaked_extents_reclaimed r.gc_blocks_marked
+    r.booklog_entries
 
 (* --- owner index --------------------------------------------------------- *)
 
@@ -65,6 +80,7 @@ let callbacks t =
 (* --- construction ---------------------------------------------------------- *)
 
 let create ?(config = Config.log_default) dev clock =
+  Config.validate config;
   let heap = Heap.init dev config in
   let t =
     {
@@ -276,6 +292,7 @@ let slab_utilization_histogram t ~buckets =
 let charge_lines t clock n = Pmem.Device.charge_pm_read t.dev clock ~lines:n
 
 let recover ?(config = Config.log_default) dev clock =
+  Config.validate config;
   let found_state, heap = Heap.open_existing dev config in
   let t =
     {
@@ -293,12 +310,18 @@ let recover ?(config = Config.log_default) dev clock =
   in
   Heap.set_state heap clock Heap.Recovering;
   let n_arenas = config.Config.arenas in
-  (* 1. Decode the WALs before their epochs are bumped. *)
+  (* 1. Decode the WALs. The epochs are NOT bumped yet: they stay valid
+     until the sanity pass has finished (see the [Wal.seal] calls below),
+     so a crash during recovery leaves the logs replayable and recovery
+     idempotent. *)
+  let torn_wal = ref 0 in
   let replays =
     Array.init n_arenas (fun i ->
         let base = Heap.wal_base heap ~arena:i in
         charge_lines t clock (config.Config.wal_entries / 4);
-        Wal.replay dev ~base ~entries:config.Config.wal_entries)
+        let entries, torn = Wal.replay_torn dev ~base ~entries:config.Config.wal_entries in
+        torn_wal := !torn_wal + torn;
+        entries)
   in
   (* 2. Reopen per-arena bookkeeping logs (with their recovery-time slow
      GC) and WALs, then build the arenas around them. *)
@@ -318,7 +341,7 @@ let recover ?(config = Config.log_default) dev clock =
   in
   let wals =
     Array.init n_arenas (fun i ->
-        Wal.reopen dev clock
+        Wal.adopt dev
           ~base:(Heap.wal_base heap ~arena:i)
           ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal)
   in
@@ -469,7 +492,7 @@ let recover ?(config = Config.log_default) dev clock =
   List.iter (fun (arena, veh) -> Extent.free (Arena.large arena) clock veh) !torn_slabs;
   (* 6. Sanity pass on unclean shutdown. *)
   let leaked_blocks = ref 0 and leaked_extents = ref (List.length !torn_slabs) in
-  let marked = ref 0 in
+  let marked = ref 0 and wal_undone = ref 0 in
   let wal_total = Array.fold_left (fun acc l -> acc + List.length l) 0 replays in
   let clear_dest dest addr =
     if dest > 0 && read_ptr t ~dest = addr then begin
@@ -482,7 +505,7 @@ let recover ?(config = Config.log_default) dev clock =
     incr leaked_blocks
   in
   if found_state <> Heap.Shutdown then begin
-    match config.Config.consistency with
+    (match config.Config.consistency with
     | Config.Internal_collection ->
         (* Internal collection (PMDK's model): the persistent bitmap marks
            exactly the user's objects — unpublished in-flight allocations
@@ -516,7 +539,8 @@ let recover ?(config = Config.log_default) dev clock =
             List.iter
               (fun (b, dest) ->
                 clear_dest dest (Slab.block_addr s b);
-                release_block s.Slab.arena s b)
+                release_block s.Slab.arena s b;
+                incr wal_undone)
               !victims;
             (* Old-class blocks of a morphing slab live in the index
                table, not the bitmap: judge them by the same WAL rules. *)
@@ -538,7 +562,8 @@ let recover ?(config = Config.log_default) dev clock =
                     clear_dest dest
                       (s.Slab.addr + m.Slab.old_data_off + (b * m.Slab.old_block_size));
                     Arena.recover_release_old_block t.arenas.(s.Slab.arena) clock s b;
-                    incr leaked_blocks)
+                    incr leaked_blocks;
+                    incr wal_undone)
                   !dead
             | None -> ())
           !slabs;
@@ -559,7 +584,8 @@ let recover ?(config = Config.log_default) dev clock =
                     if leak then begin
                       clear_dest e.dest addr;
                       Arena.free_large t.arenas.(aidx) clock veh;
-                      incr leaked_extents
+                      incr leaked_extents;
+                      incr wal_undone
                     end
                 | _ -> ())
             | Wal.Alloc | Wal.Free | Wal.Refill -> ())
@@ -669,13 +695,54 @@ let recover ?(config = Config.log_default) dev clock =
           (fun (veh, aidx) ->
             Arena.free_large t.arenas.(aidx) clock veh;
             incr leaked_extents)
-          !unmarked
+          !unmarked);
+    (* [free_from]'s final step — zeroing the destination — can be the only
+       store the crash loses, after the free's metadata effect (bitmap bit,
+       morph index entry, or bookkeeping-log tombstone) already persisted.
+       The sanity passes above only judge objects still marked allocated,
+       so a fully-persisted free with a lost destination clear leaves a
+       dangling publication nothing else will touch.  The WAL entry still
+       names the (addr, dest) pair: if the object is no longer allocated
+       but the destination still points at it, complete the clear.  (Both
+       the large-extent and morph-old-block cases were found by the
+       crash-plan fuzzer.) *)
+    let still_allocated addr =
+      match owner_lookup t clock addr with
+      | Some (Small_owner s) -> (
+          let off = addr - s.Slab.addr in
+          match s.Slab.morph with
+          | Some m when Slab.old_block_index m off <> None -> true
+          | _ ->
+              Slab.contains_new_block s addr
+              && Bitmap.get dev s.Slab.bitmap (Slab.block_index s addr))
+      | Some (Large_owner (veh, _)) -> veh.Extent.addr = addr
+      | None -> false
+    in
+    Array.iter
+      (List.iter (fun (e : Wal.replayed) ->
+           if
+             e.Wal.dest > 0
+             && read_ptr t ~dest:e.Wal.dest = e.Wal.addr
+             && not (still_allocated e.Wal.addr)
+           then begin
+             clear_dest e.Wal.dest e.Wal.addr;
+             incr wal_undone
+           end))
+      replays
   end;
+  (* The sanity pass is done: only now invalidate the WAL windows. A
+     crash anywhere before this point re-runs the pass from the same
+     entries (all its releases are idempotent); a crash after it finds
+     the heap already sane, with nothing left to replay. *)
+  Array.iter (fun wal -> Wal.seal wal clock) wals;
   Heap.set_state heap clock Heap.Running;
   ( t,
     {
       found_state;
       wal_entries_replayed = (if found_state <> Heap.Shutdown then wal_total else 0);
+      torn_wal_skipped = !torn_wal;
+      wal_entries_undone = !wal_undone;
+      torn_slab_creations = List.length !torn_slabs;
       leaked_blocks_reclaimed = !leaked_blocks;
       leaked_extents_reclaimed = !leaked_extents;
       gc_blocks_marked = !marked;

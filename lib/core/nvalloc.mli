@@ -25,15 +25,28 @@ type thread
 type recovery_report = {
   found_state : Heap.state;  (** flag found at open: Shutdown = clean *)
   wal_entries_replayed : int;
+  torn_wal_skipped : int;
+      (** WAL entries of the current epoch rejected by their checksum —
+          records observed half-written by a torn in-flight store *)
+  wal_entries_undone : int;
+      (** blocks/extents whose leak was resolved by WAL replay (LOG) *)
+  torn_slab_creations : int;
+      (** slab extents whose bookkeeping entry persisted but whose header
+          flush did not; their extents are reclaimed *)
   leaked_blocks_reclaimed : int;  (** small blocks freed by the sanity pass *)
   leaked_extents_reclaimed : int;
   gc_blocks_marked : int;  (** conservative-GC marks (GC variant only) *)
   booklog_entries : int;  (** live bookkeeping entries recovered *)
 }
 
+val pp_recovery_report : Format.formatter -> recovery_report -> unit
+(** One-line diagnostic rendering, so oracle/fuzzer failures are
+    explainable. *)
+
 val create : ?config:Config.t -> Pmem.Device.t -> Sim.Clock.t -> t
 (** Format a fresh heap on the device ([nvalloc_init]). Default config is
-    {!Config.log_default}. *)
+    {!Config.log_default}. Raises [Invalid_argument] on a config rejected
+    by {!Config.validate}. *)
 
 val recover : ?config:Config.t -> Pmem.Device.t -> Sim.Clock.t -> t * recovery_report
 (** Open an existing heap (section 4.4): rebuild vslabs and VEHs from the
@@ -41,7 +54,13 @@ val recover : ?config:Config.t -> Pmem.Device.t -> Sim.Clock.t -> t * recovery_r
     shutdown was not clean — run the variant's sanity pass: WAL replay
     (LOG) or conservative GC from the root table (GC). All scan and
     repair latency is charged to the clock, which is how Figure 18's
-    recovery times are measured. *)
+    recovery times are measured.
+
+    Recovery is {e idempotent}: the WAL windows are invalidated only
+    after the sanity pass completes, every repair re-applies cleanly, and
+    the heap state flips to [Running] last — so a crash at any flush
+    point {e inside} recovery (including an injected one) leaves an image
+    from which a second [recover] reaches the same consistent state. *)
 
 val exit_ : t -> Sim.Clock.t -> unit
 (** Clean shutdown: drain tcaches, persist all volatile metadata, mark

@@ -216,10 +216,14 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
     done;
     if m.cnt_slab > 0 then s.morph <- Some m
   end;
-  (* Free blocks: clear bit (morph-pinned blocks have their bits set). *)
+  (* Free blocks: clear bit and not morph-pinned. A pinned block's bit is
+     normally set, but a crash inside an old-block release can leave it
+     already cleared (bits are cleared before the index-entry commit);
+     such a block must stay out of the free stack — the release will push
+     it when it re-runs and the pin drops. *)
   let stack = ref [] in
   for b = layout.nblocks - 1 downto 0 do
-    if not (Bitmap.get dev bitmap b) then stack := b :: !stack
+    if (not (Bitmap.get dev bitmap b)) && usable s b then stack := b :: !stack
   done;
   s.free_stack <- !stack;
   s.free_count <- List.length !stack;

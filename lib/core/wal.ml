@@ -13,6 +13,8 @@ type t = {
   mutable epoch : int; (* 1..255, skipping 0 = never-written *)
   mutable next : int; (* next logical slot *)
   mutable seq : int;
+  mutable ready : bool; (* false between [adopt] and [seal] *)
+  mutable skip_flush : bool; (* fault-injection hook, see [unsafe_set_skip_flush] *)
 }
 
 let region_bytes ~entries =
@@ -34,6 +36,27 @@ let kind_of_code = function
   | 5 -> Some Large_free
   | _ -> None
 
+(* 16-bit entry checksum over every payload field. The entry spans two
+   8-byte words of one cache line ([kind epoch ck seq | addr dest]); ADR
+   only guarantees 8-byte atomicity, so a crash mid-flush can persist one
+   word of a new entry next to the other word's stale content from a
+   previous life of the slot. The checksum lives in the first word and
+   covers the second, so any torn combination fails validation and replay
+   treats the entry as never written — exactly the "operation had not
+   completed" semantics the WAL protocol needs. *)
+let checksum ~kind ~epoch ~seq ~addr ~dest =
+  let h = ref 0x9E37 in
+  let mix v =
+    h := (!h lxor v) * 0x01000193 land 0x3FFFFFFF;
+    h := !h lxor (!h lsr 15)
+  in
+  mix kind;
+  mix epoch;
+  mix seq;
+  mix addr;
+  mix dest;
+  !h land 0xFFFF
+
 (* Logical slot [n] -> byte offset of its entry (relative to the entry
    area). Interleaving spreads the 64 entries of a frame across its 16
    lines: consecutive appends land in consecutive lines. *)
@@ -51,56 +74,96 @@ let create dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
   Pmem.Device.write_u8 dev base 1;
   (* Entry epochs are all 0 (the device zero-fills), hence invalid. *)
-  { dev; base; nentries = entries; interleave; epoch = 1; next = 0; seq = 0 }
+  {
+    dev;
+    base;
+    nentries = entries;
+    interleave;
+    epoch = 1;
+    next = 0;
+    seq = 0;
+    ready = true;
+    skip_flush = false;
+  }
 
 let entries t = t.nentries
 let used t = t.next
 let near_full t = t.next >= t.nentries
+let unsafe_set_skip_flush t v = t.skip_flush <- v
 
 let append t clock kind ~addr ~dest =
+  assert t.ready;
   assert (not (near_full t));
   let off = t.base + slot_offset t t.next in
-  Pmem.Device.write_u8 t.dev off (kind_code kind);
+  let code = kind_code kind in
+  Pmem.Device.write_u8 t.dev off code;
   Pmem.Device.write_u8 t.dev (off + 1) t.epoch;
+  Pmem.Device.write_u16 t.dev (off + 2)
+    (checksum ~kind:code ~epoch:t.epoch ~seq:t.seq ~addr ~dest);
   Pmem.Device.write_u32 t.dev (off + 4) t.seq;
   Pmem.Device.write_u32 t.dev (off + 8) addr;
   Pmem.Device.write_u32 t.dev (off + 12) dest;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:entry_bytes;
+  if not t.skip_flush then
+    Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:entry_bytes;
   t.next <- t.next + 1;
   t.seq <- t.seq + 1
 
 let checkpoint t clock =
+  assert t.ready;
   t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
   t.next <- 0;
   Pmem.Device.write_u8 t.dev t.base t.epoch;
   Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:t.base ~len:1
 
-let reopen dev clock ~base ~entries ~interleave =
+let adopt dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
-  let old_epoch = Pmem.Device.read_u8 dev base in
-  let epoch = if old_epoch >= 255 then 1 else old_epoch + 1 in
-  Pmem.Device.write_u8 dev base epoch;
-  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:base ~len:1;
-  { dev; base; nentries = entries; interleave; epoch; next = 0; seq = 0 }
+  {
+    dev;
+    base;
+    nentries = entries;
+    interleave;
+    epoch = Pmem.Device.read_u8 dev base;
+    next = 0;
+    seq = 0;
+    ready = false;
+    skip_flush = false;
+  }
+
+let seal t clock =
+  assert (not t.ready);
+  t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
+  t.next <- 0;
+  t.seq <- 0;
+  t.ready <- true;
+  Pmem.Device.write_u8 t.dev t.base t.epoch;
+  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:t.base ~len:1
+
+let reopen dev clock ~base ~entries ~interleave =
+  let t = adopt dev ~base ~entries ~interleave in
+  seal t clock;
+  t
 
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 
-let replay dev ~base ~entries =
+let replay_torn dev ~base ~entries =
   let epoch = Pmem.Device.read_u8 dev base in
   let acc = ref [] in
+  let torn = ref 0 in
   for phys = 0 to entries - 1 do
     let off = base + Pmem.Cacheline.size + (phys * entry_bytes) in
-    if Pmem.Device.read_u8 dev (off + 1) = epoch then
-      match kind_of_code (Pmem.Device.read_u8 dev off) with
+    if Pmem.Device.read_u8 dev (off + 1) = epoch then begin
+      let code = Pmem.Device.read_u8 dev off in
+      match kind_of_code code with
       | Some kind ->
-          acc :=
-            {
-              kind;
-              seq = Pmem.Device.read_u32 dev (off + 4);
-              addr = Pmem.Device.read_u32 dev (off + 8);
-              dest = Pmem.Device.read_u32 dev (off + 12);
-            }
-            :: !acc
+          let seq = Pmem.Device.read_u32 dev (off + 4) in
+          let addr = Pmem.Device.read_u32 dev (off + 8) in
+          let dest = Pmem.Device.read_u32 dev (off + 12) in
+          if Pmem.Device.read_u16 dev (off + 2) = checksum ~kind:code ~epoch ~seq ~addr ~dest
+          then acc := { kind; seq; addr; dest } :: !acc
+          else incr torn
       | None -> ()
+    end
   done;
-  List.sort (fun a b -> compare a.seq b.seq) !acc
+  (List.sort (fun a b -> compare a.seq b.seq) !acc, !torn)
+
+let replay dev ~base ~entries = fst (replay_torn dev ~base ~entries)

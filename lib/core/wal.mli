@@ -26,7 +26,15 @@
 
     With interleaved mapping (section 5.1, applied to WALs per Table 2),
     consecutive entries are placed in different cache lines of a 16-line
-    frame, eliminating the append reflushes that sequential WALs suffer. *)
+    frame, eliminating the append reflushes that sequential WALs suffer.
+
+    {b Torn stores}: an entry spans two 8-byte words of one cache line and
+    ADR only guarantees 8-byte store atomicity, so a crash during the
+    entry's flush can persist one word next to the other word's stale
+    content from a previous epoch. A 16-bit checksum in the first word
+    covers every payload field; replay skips (and counts) entries that
+    fail it, which restores the invariant that a valid entry implies a
+    fully persisted one. *)
 
 type t
 
@@ -58,10 +66,35 @@ val checkpoint : t -> Sim.Clock.t -> unit
 val reopen :
   Pmem.Device.t -> Sim.Clock.t -> base:int -> entries:int -> interleave:bool -> t
 (** Recovery: adopt an existing log region and invalidate its entries by
-    bumping the epoch (one header flush). Call after {!replay}. *)
+    bumping the epoch (one header flush). Call after {!replay}.
+    Equivalent to {!adopt} immediately followed by {!seal}. *)
+
+val adopt : Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+(** Adopt an existing log region {e without} invalidating its entries:
+    the persisted epoch (and hence the replay window) stays intact, so a
+    crash while recovery is still running leaves the log replayable and
+    recovery idempotent. {!append}/{!checkpoint} are forbidden (assert)
+    until {!seal}. *)
+
+val seal : t -> Sim.Clock.t -> unit
+(** Finish an {!adopt}: bump the epoch (invalidating the replayed window,
+    one header flush) and enable appends. Call once the recovery sanity
+    pass no longer needs the old entries. *)
+
+val unsafe_set_skip_flush : t -> bool -> unit
+(** Fault-injection hook (tests only): when set, {!append} writes the
+    entry but skips its flush — deliberately breaking the flush-before-
+    effect ordering so the fuzzer can demonstrate that the broken
+    protocol is caught and shrunk to a replayable plan. Never set this
+    outside a test harness. *)
 
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 
 val replay : Pmem.Device.t -> base:int -> entries:int -> replayed list
 (** Decode the valid window from the (post-crash) image, sorted by
     sequence number. Pure decoding: the caller charges read latency. *)
+
+val replay_torn : Pmem.Device.t -> base:int -> entries:int -> replayed list * int
+(** Like {!replay}, additionally returning how many entries of the
+    current epoch were skipped because their checksum failed (torn
+    stores observed half-written). *)

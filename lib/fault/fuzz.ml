@@ -1,0 +1,85 @@
+open Nvalloc_core
+
+type counterexample = { original : Plan.t; shrunk : Plan.t; reason : string }
+
+let sizes = [| 32; 48; 136; 1024; 40 * 1024 |]
+let workload_slots = 512
+
+(* Seeded op mix over the first [workload_slots] root slots: frees of
+   published slots interleaved with small and large allocations — enough
+   churn for refills, slab creation, morphing pressure and booklog
+   traffic, all deterministic from the plan's seed. *)
+let workload t th ~seed ~ops =
+  let rng = Sim.Rng.create seed in
+  for _ = 1 to ops do
+    let dest = Nvalloc.root_addr t (Sim.Rng.int rng workload_slots) in
+    if Nvalloc.read_ptr t ~dest > 0 then begin
+      if Sim.Rng.bool rng then Nvalloc.free_from t th ~dest
+    end
+    else ignore (Nvalloc.malloc_to t th ~size:sizes.(Sim.Rng.int rng (Array.length sizes)) ~dest)
+  done
+
+let run_plan ?(broken = false) (plan : Plan.t) =
+  let config = Plan.config plan.Plan.variant in
+  let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
+  let clock = Sim.Clock.create () in
+  let t = Nvalloc.create ~config dev clock in
+  if broken then
+    Array.iter (fun a -> Wal.unsafe_set_skip_flush (Arena.wal a) true) (Nvalloc.arenas t);
+  let th = Nvalloc.thread t clock in
+  Pmem.Device.schedule_crash_after ?torn:plan.Plan.torn ~torn_seed:plan.Plan.torn_seed dev
+    plan.Plan.crash_after;
+  (try
+     workload t th ~seed:plan.Plan.seed ~ops:plan.Plan.ops;
+     (* The countdown outlived the workload: crash at the natural end. *)
+     Pmem.Device.cancel_scheduled_crash dev;
+     Pmem.Device.crash dev
+   with Pmem.Device.Injected_crash -> ());
+  (match plan.Plan.recovery_crash with
+  | None -> ()
+  | Some n -> (
+      (* Second crash, armed across recovery itself: whether it fires
+         mid-recovery or recovery completes first, the oracle's own
+         recovery must still reach a consistent state. *)
+      Pmem.Device.schedule_crash_after dev n;
+      try
+        let _t, _report = Nvalloc.recover ~config dev clock in
+        Pmem.Device.cancel_scheduled_crash dev;
+        Pmem.Device.crash dev
+      with Pmem.Device.Injected_crash -> ()));
+  Oracle.check ~config dev clock
+
+let max_shrink_rounds = 64
+
+let shrink ?broken plan ~reason =
+  let fails p =
+    match run_plan ?broken p with Error e -> Some e | Ok _ -> None
+  in
+  let rec go plan reason rounds =
+    if rounds = 0 then (plan, reason)
+    else
+      match
+        List.find_map
+          (fun c -> Option.map (fun r -> (c, r)) (fails c))
+          (Plan.shrink_candidates plan)
+      with
+      | Some (smaller, reason') -> go smaller reason' (rounds - 1)
+      | None -> (plan, reason)
+  in
+  go plan reason max_shrink_rounds
+
+let fuzz ?broken ?variant ?(on_plan = fun _ _ -> ()) ~seed ~runs () =
+  let rng = Sim.Rng.create seed in
+  let rec loop i =
+    if i >= runs then None
+    else begin
+      let plan = Plan.sample ?variant rng in
+      on_plan i plan;
+      match run_plan ?broken plan with
+      | Ok _ -> loop (i + 1)
+      | Error reason ->
+          let shrunk, reason = shrink ?broken plan ~reason in
+          Some { original = plan; shrunk; reason }
+    end
+  in
+  loop 0

@@ -1,0 +1,37 @@
+(** The crash-plan fuzzer.
+
+    {!run_plan} executes one {!Plan.t}: seeded workload, first crash
+    (optionally torn), optional second crash armed inside recovery, then
+    the full {!Oracle}. {!fuzz} samples plans from a seeded {!Sim.Rng},
+    and when one fails, greedily shrinks it (fewer ops, earlier crash,
+    simpler fault) until no smaller plan still fails, returning a
+    replayable counterexample.
+
+    [?broken] deliberately breaks the WAL's flush-before-effect ordering
+    ({!Nvalloc_core.Wal.unsafe_set_skip_flush}) on the workload instance.
+    It exists to demonstrate the pipeline end to end: a real protocol
+    bug is caught by the oracle and shrunk to a one-line repro. *)
+
+type counterexample = {
+  original : Plan.t;  (** the sampled plan that first failed *)
+  shrunk : Plan.t;  (** the smallest still-failing plan found *)
+  reason : string;  (** the oracle's verdict on [shrunk] *)
+}
+
+val run_plan : ?broken:bool -> Plan.t -> (Nvalloc_core.Nvalloc.recovery_report, string) result
+(** Execute one plan against a fresh device and run the oracle. *)
+
+val shrink : ?broken:bool -> Plan.t -> reason:string -> Plan.t * string
+(** Greedy shrinking: recurse on the first {!Plan.shrink_candidates}
+    member that still fails (bounded number of rounds). *)
+
+val fuzz :
+  ?broken:bool ->
+  ?variant:Plan.variant ->
+  ?on_plan:(int -> Plan.t -> unit) ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  counterexample option
+(** Sample and run up to [runs] plans; [None] means every plan passed.
+    [on_plan] observes each plan before it runs (progress reporting). *)

@@ -1,0 +1,147 @@
+open Nvalloc_core
+
+type variant = Log | Gc | Ic
+
+type t = {
+  variant : variant;
+  seed : int;
+  ops : int;
+  crash_after : int;
+  torn : Pmem.Device.torn_mode option;
+  torn_seed : int;
+  recovery_crash : int option;
+}
+
+let config variant =
+  let base =
+    match variant with
+    | Log -> Config.log_default
+    | Gc -> Config.gc_default
+    | Ic -> Config.ic_default
+  in
+  {
+    base with
+    Config.arenas = 2;
+    root_slots = 1024;
+    booklog_chunks = 128;
+    wal_entries = 1024;
+    tcache_capacity = 8;
+  }
+
+let variant_name = function Log -> "log" | Gc -> "gc" | Ic -> "ic"
+
+let torn_name = function
+  | None -> "line"
+  | Some Pmem.Device.Torn_prefix -> "prefix"
+  | Some Pmem.Device.Torn_suffix -> "suffix"
+  | Some Pmem.Device.Torn_random -> "random"
+
+let to_string t =
+  Printf.sprintf "v=%s seed=%d ops=%d crash=%d torn=%s tseed=%d rcrash=%s"
+    (variant_name t.variant) t.seed t.ops t.crash_after (torn_name t.torn) t.torn_seed
+    (match t.recovery_crash with None -> "-" | Some n -> string_of_int n)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let fields = Hashtbl.create 8 in
+  let* () =
+    List.fold_left
+      (fun acc tok ->
+        let* () = acc in
+        if tok = "" then Ok ()
+        else
+          match String.index_opt tok '=' with
+          | Some i ->
+              Hashtbl.replace fields
+                (String.sub tok 0 i)
+                (String.sub tok (i + 1) (String.length tok - i - 1));
+              Ok ()
+          | None -> Error (Printf.sprintf "bad token %S (expected key=value)" tok))
+      (Ok ())
+      (String.split_on_char ' ' (String.trim s))
+  in
+  let get k =
+    match Hashtbl.find_opt fields k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let int_field k =
+    let* v = get k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %s: not an integer (%S)" k v)
+  in
+  let* variant =
+    let* v = get "v" in
+    match v with
+    | "log" -> Ok Log
+    | "gc" -> Ok Gc
+    | "ic" -> Ok Ic
+    | _ -> Error (Printf.sprintf "field v: unknown variant %S" v)
+  in
+  let* seed = int_field "seed" in
+  let* ops = int_field "ops" in
+  let* crash_after = int_field "crash" in
+  let* torn =
+    let* v = get "torn" in
+    match v with
+    | "line" -> Ok None
+    | "prefix" -> Ok (Some Pmem.Device.Torn_prefix)
+    | "suffix" -> Ok (Some Pmem.Device.Torn_suffix)
+    | "random" -> Ok (Some Pmem.Device.Torn_random)
+    | _ -> Error (Printf.sprintf "field torn: unknown mode %S" v)
+  in
+  let* torn_seed = int_field "tseed" in
+  let* recovery_crash =
+    let* v = get "rcrash" in
+    if v = "-" then Ok None
+    else
+      match int_of_string_opt v with
+      | Some n -> Ok (Some n)
+      | None -> Error (Printf.sprintf "field rcrash: expected - or an integer (%S)" v)
+  in
+  if ops < 1 then Error "ops must be >= 1"
+  else if crash_after < 1 then Error "crash must be >= 1"
+  else Ok { variant; seed; ops; crash_after; torn; torn_seed; recovery_crash }
+
+let sample ?variant rng =
+  let variant =
+    match variant with
+    | Some v -> v
+    | None -> ( match Sim.Rng.int rng 3 with 0 -> Log | 1 -> Gc | _ -> Ic)
+  in
+  let ops = Sim.Rng.int_in rng 40 700 in
+  (* ~4-6 flushed lines per op; sampling past the end just means the
+     crash lands at (or survives to) the natural end of the run. *)
+  let crash_after = Sim.Rng.int_in rng 1 (ops * 6) in
+  let torn =
+    match Sim.Rng.int rng 4 with
+    | 0 -> None
+    | 1 -> Some Pmem.Device.Torn_prefix
+    | 2 -> Some Pmem.Device.Torn_suffix
+    | _ -> Some Pmem.Device.Torn_random
+  in
+  let torn_seed = Sim.Rng.int rng 1_000_000 in
+  let recovery_crash = if Sim.Rng.bool rng then Some (Sim.Rng.int_in rng 1 200) else None in
+  { variant; seed = Sim.Rng.int rng 1_000_000; ops; crash_after; torn; torn_seed;
+    recovery_crash }
+
+let shrink_candidates t =
+  let dedup = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      let key = to_string c in
+      c <> t && not (Hashtbl.mem dedup key) && (Hashtbl.replace dedup key (); true))
+    [
+      { t with recovery_crash = None };
+      { t with torn = None };
+      { t with ops = max 1 (t.ops / 2) };
+      { t with ops = max 1 (t.ops - (t.ops / 4)) };
+      { t with ops = max 1 (t.ops - 1) };
+      { t with crash_after = max 1 (t.crash_after / 2) };
+      { t with crash_after = max 1 (t.crash_after - (t.crash_after / 4)) };
+      { t with crash_after = max 1 (t.crash_after - 1) };
+      (match t.recovery_crash with
+      | Some n when n > 1 -> { t with recovery_crash = Some (n / 2) }
+      | _ -> t);
+    ]

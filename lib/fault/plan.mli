@@ -1,0 +1,46 @@
+(** Crash plans: the unit of work of the fault-injection fuzzer.
+
+    A plan fully determines one fault scenario — which variant to run,
+    the seeded workload, where the first crash lands, whether the
+    in-flight line tears (and how), and optionally a second crash armed
+    {e inside} recovery. Everything is drawn from {!Sim.Rng}, so a plan
+    replays bit-for-bit: the one-line {!to_string} rendering is a
+    complete repro, accepted back by {!of_string} (and by
+    [nvalloc-cli fuzz --plan]). *)
+
+type variant = Log | Gc | Ic
+
+type t = {
+  variant : variant;
+  seed : int;  (** workload RNG seed (op mix, sizes, slots) *)
+  ops : int;  (** workload operations before the natural end *)
+  crash_after : int;
+      (** first crash: countdown in flushed lines ({!Pmem.Device.schedule_crash_after});
+          if the workload finishes first, the device crashes at the end
+          with the countdown still pending *)
+  torn : Pmem.Device.torn_mode option;
+      (** [None] = line-granular crash; [Some] tears the in-flight line *)
+  torn_seed : int;  (** seed of the torn word-subset mask *)
+  recovery_crash : int option;
+      (** optional second crash, armed across the first [Nvalloc.recover] *)
+}
+
+val config : variant -> Nvalloc_core.Config.t
+(** The small fixed configuration plans run under (2 arenas, 1 Ki root
+    slots, 1 Ki WAL entries, 8-deep tcaches) — small enough that crash
+    points cover all metadata phases within a few hundred ops. *)
+
+val to_string : t -> string
+(** One line, e.g. [v=log seed=42 ops=600 crash=55 torn=prefix tseed=7 rcrash=12]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] describes the first bad token. *)
+
+val sample : ?variant:variant -> Sim.Rng.t -> t
+(** Draw a plan; the variant too, unless pinned by [?variant]. *)
+
+val shrink_candidates : t -> t list
+(** Strictly simpler plans to try when [t] fails, most aggressive first:
+    drop the recovery crash, drop the torn mode, then fewer ops and an
+    earlier crash. The fuzzer greedily recurses on the first candidate
+    that still fails. *)

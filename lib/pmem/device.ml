@@ -1,5 +1,7 @@
 exception Injected_crash
 
+type torn_mode = Torn_prefix | Torn_suffix | Torn_random
+
 type t = {
   lat : Latency.t;
   volatile : Store.t;
@@ -19,6 +21,7 @@ type t = {
   mutable cached_id : int;
   mutable cached_stream : stream option;
   mutable crash_after : int option;
+  mutable torn : (torn_mode * int) option;
 }
 
 and stream = { recent : Lru_ring.t; xplines : Lru_ring.t }
@@ -36,6 +39,7 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     cached_id = -1;
     cached_stream = None;
     crash_after = None;
+    torn = None;
   }
 
 let size t = Store.size t.volatile
@@ -127,24 +131,58 @@ let do_crash t =
   t.cached_id <- -1;
   t.cached_stream <- None;
   Xpbuffer.reset t.wpq;
-  t.crash_after <- None
+  t.crash_after <- None;
+  t.torn <- None
 
 let crash t = do_crash t
 
-let tick_crash_countdown t =
-  match t.crash_after with
-  | None -> ()
-  | Some n ->
-      if n <= 1 then begin
-        do_crash t;
-        raise Injected_crash
-      end
-      else t.crash_after <- Some (n - 1)
+let words_per_line = Cacheline.size / 8
+
+(* Which 8-byte words of the in-flight line persist, as a bit mask over
+   the line's [words_per_line] words. Deterministic from (seed, line):
+   the same plan always tears the same way, which the fuzzer's shrinker
+   and the replayable repro lines rely on. *)
+let torn_mask mode seed line =
+  let rng = Sim.Rng.create ((seed * 1_000_003) lxor line) in
+  match mode with
+  | Torn_prefix -> (1 lsl Sim.Rng.int rng words_per_line) - 1
+  | Torn_suffix ->
+      let k = Sim.Rng.int rng words_per_line in
+      ((1 lsl k) - 1) lsl (words_per_line - k)
+  | Torn_random ->
+      (* Uniform over strict subsets: a full persist would be the plain
+         line-granular crash, not a torn store. *)
+      Sim.Rng.int rng ((1 lsl words_per_line) - 1)
+
+(* The crash point was reached while [line] was being written back. ADR
+   only guarantees 8-byte store atomicity: in a torn mode, persist only a
+   deterministic subset of the line's words; the rest keep their previous
+   persisted content. Without a torn mode the line persists whole (it was
+   already admitted to the WPQ). eADR keeps the CPU caches, so [do_crash]
+   persists every dirty line anyway. *)
+let crash_in_flight t line =
+  (if not (is_eadr t) then
+     match t.torn with
+     | None -> Store.copy_line ~src:t.volatile ~dst:t.persisted line
+     | Some (mode, seed) ->
+         let mask = torn_mask mode seed line in
+         let base = line * Cacheline.size in
+         for w = 0 to words_per_line - 1 do
+           if mask land (1 lsl w) <> 0 then
+             Store.set_i64 t.persisted (base + (w * 8))
+               (Store.get_i64 t.volatile (base + (w * 8)))
+         done);
+  do_crash t;
+  raise Injected_crash
 
 (* [@inline]: the float result would otherwise be boxed at the return —
    one of three such boxes on the per-flush fast path (with
    [Latency.flush_cost] and [Xpbuffer.admit], also inlined). *)
 let[@inline] flush_line t clock cat line =
+  (match t.crash_after with
+  | Some n when n <= 1 -> crash_in_flight t line
+  | Some n -> t.crash_after <- Some (n - 1)
+  | None -> ());
   let addr = line * Cacheline.size in
   Store.copy_line ~src:t.volatile ~dst:t.persisted line;
   Dirtymap.clear t.dirty line;
@@ -165,7 +203,6 @@ let[@inline] flush_line t clock cat line =
      [reflush_window] slots, so a resolved distance is always below it. *)
   let reflush = distance <> None in
   Stats.record_flush t.stats cat ~addr ~reflush ~sequential ~ns:media_ns;
-  tick_crash_countdown t;
   finish
 
 let flush t clock cat ~addr ~len =
@@ -217,8 +254,21 @@ let charge_work t clock work ~ns =
 
 let dram_op t clock = charge_work t clock Stats.Other ~ns:t.lat.Latency.dram_ns
 let search_step t clock = charge_work t clock Stats.Search ~ns:t.lat.Latency.search_ns
-let schedule_crash_after t n = t.crash_after <- Some n
-let cancel_scheduled_crash t = t.crash_after <- None
+let schedule_crash_after ?torn ?(torn_seed = 0) t n =
+  if n < 1 then
+    invalid_arg
+      (Printf.sprintf "Device.schedule_crash_after: countdown must be >= 1 (got %d)" n);
+  (* Re-arming replaces any pending countdown and torn spec wholesale. *)
+  t.crash_after <- Some n;
+  t.torn <- Option.map (fun mode -> (mode, torn_seed)) torn
+
+let cancel_scheduled_crash t =
+  (* Idempotent; also well-defined after the countdown already fired (the
+     crash reset the arming, so this is a no-op). *)
+  t.crash_after <- None;
+  t.torn <- None
+
+let crash_armed t = t.crash_after <> None
 let dirty_lines t = Dirtymap.count t.dirty
 let persisted_int64 t addr = Store.get_i64 t.persisted addr
 let persisted_u8 t addr = Store.get_u8 t.persisted addr

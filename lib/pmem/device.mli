@@ -20,11 +20,19 @@
     Crash injection: {!schedule_crash_after} arms a countdown of flushed
     lines after which the device crashes itself and raises
     {!Injected_crash}; the crash-consistency tests sweep this countdown
-    over every flush of a scenario. *)
+    over every flush of a scenario. A torn mode refines the crash point:
+    ADR platforms only guarantee 8-byte store atomicity, so the line
+    {e in flight} at the crash may persist only a subset of its 8-byte
+    words ({!torn_mode}), chosen deterministically from a seed. *)
 
 type t
 
 exception Injected_crash
+
+type torn_mode =
+  | Torn_prefix  (** the first k words (k drawn from the seed) persist *)
+  | Torn_suffix  (** the last k words persist *)
+  | Torn_random  (** a strict word subset drawn from the seed persists *)
 
 val create : ?lat:Latency.t -> ?trace_limit:int -> size:int -> unit -> t
 (** [size] is the device capacity in bytes; it must be a multiple of the
@@ -90,10 +98,22 @@ val crash : t -> unit
 (** Lose the CPU caches: revert all dirty lines to the persisted image
     (eADR: persist them instead). Resets flush-history state. *)
 
-val schedule_crash_after : t -> int -> unit
-(** Arm crash injection after that many more flushed lines. *)
+val schedule_crash_after : ?torn:torn_mode -> ?torn_seed:int -> t -> int -> unit
+(** Arm crash injection: the crash fires when the [n]-th next line flush
+    begins, raising {!Injected_crash}. Without [torn], the in-flight line
+    persists whole (it was admitted to the WPQ); with [torn], only the
+    word subset drawn from [(torn_seed, line)] persists — the remaining
+    words keep their previous persisted content. [n < 1] raises
+    [Invalid_argument]. Arming while already armed replaces the pending
+    countdown and torn spec. *)
 
 val cancel_scheduled_crash : t -> unit
+(** Disarm. Idempotent, and a no-op after the countdown already fired
+    (firing disarms the device). *)
+
+val crash_armed : t -> bool
+(** Whether a scheduled crash is still pending (test observability). *)
+
 val dirty_lines : t -> int
 val persisted_int64 : t -> int -> int64
 (** Read the persisted image directly (test observability only). *)

@@ -2,7 +2,7 @@ type params = { nodes : int; min_size : int; max_size : int }
 
 let default = { nodes = 20_000; min_size = 64; max_size = 128 }
 
-let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 5) () =
+let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 5) ?crash_after () =
   let open Alloc_api.Instance in
   let rng = Sim.Rng.create seed in
   (* Node layout: [next:int64][payload...]; the root slot anchors the
@@ -10,9 +10,18 @@ let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 5) () =
      recoveries must walk the whole chain. *)
   let head_dest = Driver.slot inst ~tid:0 0 in
   let size () = Sim.Rng.int_in rng params.min_size params.max_size in
-  let tail = ref (inst.malloc ~tid:0 ~size:(size ()) ~dest:head_dest) in
-  for _ = 2 to params.nodes do
-    let node = inst.malloc ~tid:0 ~size:(size ()) ~dest:!tail in
-    tail := node
-  done;
+  (match crash_after with
+  | None -> ()
+  | Some n -> Pmem.Device.schedule_crash_after inst.dev n);
+  (* With [crash_after] the build is cut short by the injected crash:
+     the measured recovery then runs over a heap with an operation in
+     flight, not one stopped at a quiescent point. *)
+  (try
+     let tail = ref (inst.malloc ~tid:0 ~size:(size ()) ~dest:head_dest) in
+     for _ = 2 to params.nodes do
+       let node = inst.malloc ~tid:0 ~size:(size ()) ~dest:!tail in
+       tail := node
+     done;
+     Pmem.Device.cancel_scheduled_crash inst.dev
+   with Pmem.Device.Injected_crash -> ());
   inst.recover ()

@@ -7,5 +7,10 @@ type params = { nodes : int; min_size : int; max_size : int }
 
 val default : params
 
-val run : Alloc_api.Instance.t -> ?params:params -> ?seed:int -> unit -> float
-(** Returns the simulated recovery time in nanoseconds. *)
+val run :
+  Alloc_api.Instance.t -> ?params:params -> ?seed:int -> ?crash_after:int -> unit -> float
+(** Returns the simulated recovery time in nanoseconds. [crash_after]
+    arms {!Pmem.Device.schedule_crash_after} before the build, so the
+    measured recovery starts from a mid-operation crash rather than the
+    quiescent end of the workload; without it the build runs to
+    completion and the crash is clean. *)

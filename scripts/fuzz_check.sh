@@ -1,0 +1,15 @@
+#!/bin/sh
+# Build the CLI and run the crash-plan fuzzer on its committed default
+# budget: 200 deterministic plans from seed 1, sweeping all three
+# consistency variants with random crash points, torn in-flight lines
+# and crashes armed inside recovery. Exits non-zero (printing the
+# shrunk one-line repro) if any plan violates the recovery invariants.
+#
+# Replay a failure with: nvalloc-cli fuzz --plan "<line>"
+# Usage: scripts/fuzz_check.sh [seed] [runs]
+set -eu
+cd "$(dirname "$0")/.."
+seed="${1:-1}"
+runs="${2:-200}"
+dune build bin/nvalloc_cli.exe
+exec ./_build/default/bin/nvalloc_cli.exe fuzz --seed "$seed" --runs "$runs"

@@ -16,6 +16,7 @@ let () =
       ("morph", Test_morph.suite);
       ("crash-sweep", Test_crash_sweep.suite);
       ("internal-collection", Test_internal_collection.suite);
+      ("fault", Test_fault.suite);
       ("fptree", Test_fptree.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);

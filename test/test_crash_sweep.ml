@@ -1,21 +1,27 @@
 (* The central crash-consistency property: run a mixed workload, crash
    the device after N flushed lines — for a sweep of N covering the whole
-   run — recover, and check global invariants for both consistency
-   models:
+   run — recover, and check the global invariants of {!Fault.Oracle}
+   (owner-index disjointness, root reachability, leak-freedom,
+   usability) for both consistency models.
 
-   - the owner index is disjoint (no double allocation);
-   - every root published before the crash resolves to an owned block
-     and can be freed;
-   - after freeing everything reachable, the heap reports no live small
-     blocks (no leaks: WAL replay / conservative GC reclaimed the rest);
-   - the allocator remains fully usable. *)
+   Refinements swept here on top of the plain countdown:
+
+   - torn crashes: the line in flight persists only a word subset
+     (prefix / suffix / random), the 8-byte atomicity model of ADR;
+   - crash during recovery: a second countdown armed across
+     [Nvalloc.recover] itself, then recovery re-run — recovery must be
+     idempotent at every one of its own flushes;
+   - eADR: crashes keep the CPU caches, so every crash point must be
+     invariant-clean with no replay work at all. *)
 
 open Nvalloc_core
 
 let mib = 1024 * 1024
 
 let config variant =
-  let base = match variant with `Log -> Config.log_default | `Gc -> Config.gc_default in
+  let base =
+    match variant with `Log -> Config.log_default | `Gc -> Config.gc_default
+  in
   {
     base with
     Config.arenas = 2;
@@ -44,50 +50,85 @@ let scenario t th n =
     end
   done
 
-let run_crash_point variant ~crash_after =
+let run_crash_point ?lat ?torn ?(torn_seed = 0) ?recovery_crash variant
+    ~crash_after =
   let cfg = config variant in
-  let dev = Pmem.Device.create ~size:(128 * mib) () in
+  let dev = Pmem.Device.create ?lat ~size:(128 * mib) () in
   let clock = Sim.Clock.create () in
   let t = Nvalloc.create ~config:cfg dev clock in
   let th = Nvalloc.thread t clock in
-  Pmem.Device.schedule_crash_after dev crash_after;
+  Pmem.Device.schedule_crash_after ?torn ~torn_seed dev crash_after;
   (try
      scenario t th 600;
      Pmem.Device.cancel_scheduled_crash dev;
      Pmem.Device.crash dev
    with Pmem.Device.Injected_crash -> ());
-  let t', _report = Nvalloc.recover ~config:cfg dev clock in
-  (match Nvalloc.check_owner_index t' with
+  (* Optionally crash a first recovery attempt partway through; the
+     oracle's own recovery then runs over the half-recovered image. *)
+  (match recovery_crash with
+  | None -> ()
+  | Some n -> (
+      Pmem.Device.schedule_crash_after dev n;
+      try
+        ignore (Nvalloc.recover ~config:cfg dev clock);
+        Pmem.Device.cancel_scheduled_crash dev;
+        Pmem.Device.crash dev
+      with Pmem.Device.Injected_crash -> ()));
+  match Fault.Oracle.check ~config:cfg dev clock with
   | Ok _ -> ()
-  | Error e -> failwith (Printf.sprintf "owner index broken: %s" e));
-  let th' = Nvalloc.thread t' clock in
-  (* Free everything still published. *)
-  for i = 0 to 511 do
-    let dest = Nvalloc.root_addr t' i in
-    if Nvalloc.read_ptr t' ~dest > 0 then Nvalloc.free_from t' th' ~dest
-  done;
-  (* No leaks: nothing outside the tcaches/roots may remain allocated.
-     Drain by exiting cleanly and re-checking. *)
-  Nvalloc.exit_ t' clock;
-  let t'', report2 = Nvalloc.recover ~config:cfg dev clock in
-  if report2.Nvalloc.found_state <> Heap.Shutdown then failwith "expected clean shutdown";
-  let live = Nvalloc.allocated_small_blocks t'' in
-  if live <> 0 then failwith (Printf.sprintf "%d small blocks leaked" live);
-  (* Usable again. *)
-  let th'' = Nvalloc.thread t'' clock in
-  for i = 0 to 63 do
-    ignore (Nvalloc.malloc_to t'' th'' ~size:64 ~dest:(Nvalloc.root_addr t'' i))
-  done
+  | Error e -> failwith e
+
+(* Dense at the start (metadata formation), then geometric. *)
+let points = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610; 987; 1600; 2600 ]
+let name_of = function `Log -> "LOG" | `Gc -> "GC"
 
 let sweep variant () =
-  (* Dense at the start (metadata formation), then geometric. *)
-  let points = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610; 987; 1600; 2600 ] in
   List.iter
     (fun n ->
       try run_crash_point variant ~crash_after:n
       with e ->
-        Alcotest.failf "crash point %d (%s): %s" n
-          (match variant with `Log -> "LOG" | `Gc -> "GC")
+        Alcotest.failf "crash point %d (%s): %s" n (name_of variant)
+          (Printexc.to_string e))
+    points
+
+let sweep_torn variant torn () =
+  List.iter
+    (fun n ->
+      try run_crash_point variant ~torn ~torn_seed:(n * 7919) ~crash_after:n
+      with e ->
+        Alcotest.failf "torn crash point %d (%s): %s" n (name_of variant)
+          (Printexc.to_string e))
+    points
+
+(* Crash the first recovery after [m] of its own flushes, for every
+   (workload crash, recovery crash) pair in a smaller grid: recovery must
+   be idempotent, i.e. a second recovery from the torn-down state finds
+   the same invariants. *)
+let sweep_recovery_crash variant () =
+  let crash_points = [ 13; 89; 377; 987 ] in
+  let recovery_points = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144 ] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun r ->
+          try run_crash_point variant ~recovery_crash:r ~crash_after:c
+          with e ->
+            Alcotest.failf "crash %d + recovery crash %d (%s): %s" c r
+              (name_of variant) (Printexc.to_string e))
+        recovery_points)
+    crash_points
+
+(* Under eADR a crash persists the cache contents, so every crash point
+   behaves like a clean (if abrupt) stop: the sweep must pass and the
+   in-flight line logic (torn stores) must never engage. *)
+let sweep_eadr variant () =
+  List.iter
+    (fun n ->
+      try
+        run_crash_point ~lat:Pmem.Latency.eadr ~torn:Pmem.Device.Torn_random
+          ~torn_seed:n variant ~crash_after:n
+      with e ->
+        Alcotest.failf "eADR crash point %d (%s): %s" n (name_of variant)
           (Printexc.to_string e))
     points
 
@@ -95,4 +136,12 @@ let suite =
   [
     Alcotest.test_case "crash sweep, NVAlloc-LOG" `Slow (sweep `Log);
     Alcotest.test_case "crash sweep, NVAlloc-GC" `Slow (sweep `Gc);
+    Alcotest.test_case "torn prefix sweep, LOG" `Slow (sweep_torn `Log Pmem.Device.Torn_prefix);
+    Alcotest.test_case "torn suffix sweep, LOG" `Slow (sweep_torn `Log Pmem.Device.Torn_suffix);
+    Alcotest.test_case "torn random sweep, LOG" `Slow (sweep_torn `Log Pmem.Device.Torn_random);
+    Alcotest.test_case "torn random sweep, GC" `Slow (sweep_torn `Gc Pmem.Device.Torn_random);
+    Alcotest.test_case "crash during recovery, LOG" `Slow (sweep_recovery_crash `Log);
+    Alcotest.test_case "crash during recovery, GC" `Slow (sweep_recovery_crash `Gc);
+    Alcotest.test_case "eADR crash sweep, LOG" `Slow (sweep_eadr `Log);
+    Alcotest.test_case "eADR crash sweep, GC" `Slow (sweep_eadr `Gc);
   ]

@@ -114,6 +114,90 @@ let test_crash_injection () =
   (* Both lines were admitted before the crash triggered after them. *)
   Alcotest.(check int) "first line persisted" 1 (Pmem.Device.persisted_u8 dev 0)
 
+let test_crash_rearm_and_cancel () =
+  let dev, clock = mk () in
+  Alcotest.check_raises "n < 1 rejected"
+    (Invalid_argument "Device.schedule_crash_after: countdown must be >= 1 (got 0)")
+    (fun () -> Pmem.Device.schedule_crash_after dev 0);
+  (* Re-arming replaces the pending countdown, it does not stack. *)
+  Pmem.Device.schedule_crash_after dev 100;
+  Pmem.Device.schedule_crash_after dev 1;
+  Alcotest.(check bool) "armed" true (Pmem.Device.crash_armed dev);
+  Pmem.Device.write_u8 dev 0 1;
+  Alcotest.check_raises "re-armed countdown fires" Pmem.Device.Injected_crash (fun () ->
+      Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:0 ~len:1);
+  (* Firing disarms; cancel afterwards is a no-op, twice too. *)
+  Alcotest.(check bool) "disarmed by firing" false (Pmem.Device.crash_armed dev);
+  Pmem.Device.cancel_scheduled_crash dev;
+  Pmem.Device.cancel_scheduled_crash dev;
+  Pmem.Device.write_u8 dev 64 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:64 ~len:1;
+  (* Cancelling a live countdown prevents it from ever firing. *)
+  Pmem.Device.schedule_crash_after dev 1;
+  Pmem.Device.cancel_scheduled_crash dev;
+  Alcotest.(check bool) "cancelled" false (Pmem.Device.crash_armed dev);
+  Pmem.Device.write_u8 dev 128 1;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:128 ~len:1;
+  Alcotest.(check int) "flush survived cancel" 1 (Pmem.Device.persisted_u8 dev 128)
+
+(* Tear one fully-written line and report, per 8-byte word, whether the
+   new value persisted. *)
+let tear ?(seed = 7) mode =
+  let dev, clock = mk () in
+  for w = 0 to 7 do
+    Pmem.Device.write_int64 dev (w * 8) (Int64.of_int (0x100 + w))
+  done;
+  Pmem.Device.schedule_crash_after ~torn:mode ~torn_seed:seed dev 1;
+  (try Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:64
+   with Pmem.Device.Injected_crash -> ());
+  Array.init 8 (fun w -> Pmem.Device.persisted_int64 dev (w * 8) = Int64.of_int (0x100 + w))
+
+let test_torn_modes () =
+  (* Prefix: once a word is missing, all later words are missing. *)
+  let monotone dir got =
+    let arr = if dir = `Suffix then Array.of_list (List.rev (Array.to_list got)) else got in
+    let ok = ref true and seen_gap = ref false in
+    Array.iter
+      (fun present ->
+        if not present then seen_gap := true else if !seen_gap then ok := false)
+      arr;
+    !ok
+  in
+  for seed = 1 to 32 do
+    let p = tear ~seed Pmem.Device.Torn_prefix in
+    Alcotest.(check bool) "prefix shape" true (monotone `Prefix p);
+    let s = tear ~seed Pmem.Device.Torn_suffix in
+    Alcotest.(check bool) "suffix shape" true (monotone `Suffix s);
+    (* Random tears a strict subset: never all eight words. *)
+    let r = tear ~seed Pmem.Device.Torn_random in
+    Alcotest.(check bool) "random is strict subset" true
+      (Array.exists (fun b -> not b) r)
+  done;
+  (* Deterministic in the seed: the same plan tears the same way. *)
+  Alcotest.(check (array bool)) "torn mask deterministic"
+    (tear ~seed:11 Pmem.Device.Torn_random)
+    (tear ~seed:11 Pmem.Device.Torn_random);
+  (* Words not persisted keep their previous persisted content, not the
+     volatile one. *)
+  let dev, clock = mk () in
+  Pmem.Device.write_int64 dev 0 1L;
+  Pmem.Device.write_int64 dev 56 1L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:64;
+  for w = 0 to 7 do
+    Pmem.Device.write_int64 dev (w * 8) 2L
+  done;
+  Pmem.Device.schedule_crash_after ~torn:Pmem.Device.Torn_prefix ~torn_seed:3 dev 1;
+  (try Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:64
+   with Pmem.Device.Injected_crash -> ());
+  for w = 0 to 7 do
+    let v = Pmem.Device.persisted_int64 dev (w * 8) in
+    let old = if w = 0 || w = 7 then 1L else 0L in
+    Alcotest.(check bool)
+      (Printf.sprintf "word %d is old or new" w)
+      true
+      (v = 2L || v = old)
+  done
+
 let test_clock_advances () =
   let dev, clock = mk () in
   Pmem.Device.write_u8 dev 0 1;
@@ -156,6 +240,8 @@ let suite =
     Alcotest.test_case "latency ordering" `Quick test_reflush_costs_more;
     Alcotest.test_case "clean-line flush is free" `Quick test_clean_line_flush_free;
     Alcotest.test_case "crash injection" `Quick test_crash_injection;
+    Alcotest.test_case "crash re-arm and cancel" `Quick test_crash_rearm_and_cancel;
+    Alcotest.test_case "torn-store modes" `Quick test_torn_modes;
     Alcotest.test_case "flush charges the clock" `Quick test_clock_advances;
     Alcotest.test_case "dax mmap/munmap/coalesce" `Quick test_dax_mmap;
     Alcotest.test_case "dax decommit/recommit" `Quick test_dax_decommit;

@@ -105,8 +105,8 @@ let test_new_blocks_dont_overlap_old () =
 
 let test_morph_crash_undo () =
   (* Sweep crash points across the whole morph-triggering allocation; at
-     every point recovery must yield a consistent heap with all published
-     roots live. *)
+     every point the full invariant oracle (owner-index disjointness,
+     root reachability, leak-freedom, usability) must hold. *)
   let failures = ref [] in
   List.iter
     (fun crash_after ->
@@ -123,30 +123,9 @@ let test_morph_crash_undo () =
          Pmem.Device.cancel_scheduled_crash dev;
          Pmem.Device.crash dev
        with Pmem.Device.Injected_crash -> ());
-      let t', _report = Nvalloc.recover ~config dev clock in
-      (match Nvalloc.check_owner_index t' with
+      match Fault.Oracle.check ~config dev clock with
       | Ok _ -> ()
-      | Error e -> failures := Printf.sprintf "crash@%d: %s" crash_after e :: !failures);
-      (* Every published root resolves to an owned address and can be
-         freed; fresh allocation works. *)
-      let th' = Nvalloc.thread t' clock in
-      (try
-         for i = 0 to 2999 do
-           let dest = Nvalloc.root_addr t' i in
-           if Nvalloc.read_ptr t' ~dest > 0 then Nvalloc.free_from t' th' ~dest
-         done;
-         for i = 0 to 10_999 do
-           let dest = Nvalloc.root_addr t' i in
-           if i >= 10_000 && Nvalloc.read_ptr t' ~dest > 0 then Nvalloc.free_from t' th' ~dest
-         done;
-         for i = 0 to 99 do
-           ignore (Nvalloc.malloc_to t' th' ~size:128 ~dest:(Nvalloc.root_addr t' i))
-         done
-       with e ->
-         failures :=
-           Printf.sprintf "crash@%d: post-recovery use failed: %s" crash_after
-             (Printexc.to_string e)
-           :: !failures))
+      | Error e -> failures := Printf.sprintf "crash@%d: %s" crash_after e :: !failures)
     [ 1; 3; 7; 15; 40; 80; 160; 400 ];
   Alcotest.(check (list string)) "all crash points recover" [] !failures
 

@@ -65,6 +65,32 @@ let test_reopen_bumps_epoch () =
   Wal.append wal' clock Wal.Alloc ~addr:8192 ~dest:2;
   Alcotest.(check int) "new entry valid" 1 (List.length (Wal.replay dev ~base:0 ~entries:256))
 
+let test_torn_entry_rejected () =
+  (* ADR persists 8-byte words atomically, but a WAL entry spans two
+     words: tearing either one must fail the checksum, and replay must
+     skip (and count) the entry without disturbing its neighbours. *)
+  let dev, clock = mk () in
+  let wal = Wal.create dev ~base:0 ~entries:256 ~interleave:false in
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:1;
+  Wal.append wal clock Wal.Free ~addr:8192 ~dest:2;
+  Wal.append wal clock Wal.Refill ~addr:12288 ~dest:0;
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  (* Entry 1 sits at 64 + 16 bytes (no interleave): smash its second
+     word (the addr field) as a torn store would. *)
+  Pmem.Device.write_u32 dev (64 + 16 + 8) 0xDEAD00;
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  let entries, torn = Wal.replay_torn dev ~base:0 ~entries:256 in
+  Alcotest.(check int) "one entry torn" 1 torn;
+  Alcotest.(check (list int)) "neighbours survive" [ 4096; 12288 ]
+    (List.map (fun e -> e.Wal.addr) entries);
+  (* Now tear the first word of entry 2 (its seq field). *)
+  Pmem.Device.write_u32 dev (64 + 32 + 4) 0xBEEF;
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  let entries, torn = Wal.replay_torn dev ~base:0 ~entries:256 in
+  Alcotest.(check int) "two entries torn" 2 torn;
+  Alcotest.(check (list int)) "only the intact entry remains" [ 4096 ]
+    (List.map (fun e -> e.Wal.addr) entries)
+
 let prop_interleaved_appends_rotate_lines =
   (* Consecutive interleaved appends never write the same cache line
      within the reflush window. *)
@@ -111,6 +137,7 @@ let suite =
     Alcotest.test_case "checkpoint invalidates" `Quick test_checkpoint_invalidates;
     Alcotest.test_case "near_full and reset" `Quick test_near_full;
     Alcotest.test_case "reopen bumps the epoch" `Quick test_reopen_bumps_epoch;
+    Alcotest.test_case "torn entries fail the checksum" `Quick test_torn_entry_rejected;
     QCheck_alcotest.to_alcotest prop_interleaved_appends_rotate_lines;
     QCheck_alcotest.to_alcotest prop_sequential_appends_reflush;
     QCheck_alcotest.to_alcotest prop_replay_roundtrip;

@@ -105,6 +105,23 @@ let test_recovery_workload () =
   in
   Alcotest.(check bool) "recovery time positive" true (t > 0.0)
 
+let test_recovery_workload_injected_crash () =
+  (* The Figure 18 harness must also survive a crash landed in the
+     middle of the list build, at a sweep of flush counts: recovery
+     still completes and reports a positive time. *)
+  List.iter
+    (fun crash_after ->
+      let t =
+        Workloads.Recovery_workload.run
+          (mk ~threads:1 ())
+          ~params:{ Workloads.Recovery_workload.nodes = 500; min_size = 64; max_size = 128 }
+          ~crash_after ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "recovery after mid-build crash @%d" crash_after)
+        true (t > 0.0))
+    [ 1; 7; 55; 377; 2600 ]
+
 let test_determinism () =
   let run () =
     let r =
@@ -142,6 +159,8 @@ let suite =
     Alcotest.test_case "dbmstest" `Quick test_dbmstest;
     Alcotest.test_case "fragbench" `Quick test_fragbench;
     Alcotest.test_case "recovery workload" `Quick test_recovery_workload;
+    Alcotest.test_case "recovery workload, mid-build crash" `Quick
+      test_recovery_workload_injected_crash;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "root-slot interleaving" `Quick test_driver_slot_interleaving;
   ]
