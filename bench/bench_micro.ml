@@ -263,7 +263,36 @@ let run_check ~baseline =
   else begin
     Printf.printf "checking microbenchmarks against %s (fail threshold: +%.0f%%)\n%!"
       baseline (100.0 *. regression_threshold);
-    let fresh = estimates () in
+    (* Interference only ever inflates a timing, so the minimum over
+       rounds is the robust estimate: re-measure (up to [max_rounds])
+       keeping per-bench minima, and stop as soon as nothing exceeds the
+       threshold. A regression that survives every round is real. *)
+    let max_rounds = 3 in
+    let regressed merged =
+      List.exists
+        (fun (name, old_ns) ->
+          match List.assoc_opt name merged with
+          | None -> true
+          | Some now_ns -> (now_ns -. old_ns) /. old_ns > regression_threshold)
+        base_micro
+    in
+    let merge a b =
+      List.map
+        (fun (name, v) ->
+          match List.assoc_opt name a with
+          | Some prev -> (name, Float.min prev v)
+          | None -> (name, v))
+        b
+    in
+    let rec measure round acc =
+      let merged = merge acc (estimates ()) in
+      if round < max_rounds && regressed merged then begin
+        Printf.printf "round %d/%d: over threshold, re-measuring...\n%!" round max_rounds;
+        measure (round + 1) merged
+      end
+      else merged
+    in
+    let fresh = measure 1 [] in
     let failures = ref 0 in
     List.iter
       (fun (name, old_ns) ->

@@ -26,6 +26,15 @@ let all_cmd =
   let doc = "Run every experiment (the full paper reproduction)." in
   Cmd.v (Cmd.info "all" ~doc) Term.(const Harness.Registry.run_all $ const ())
 
+let allocator_kind name =
+  match
+    List.find_opt
+      (fun k -> String.lowercase_ascii (Harness.Factory.name k) = String.lowercase_ascii name)
+      Harness.Factory.[ Pmdk; Nvm_malloc; Pallocator; Makalu; Ralloc; Nv_log; Nv_gc; Nv_ic ]
+  with
+  | Some k -> k
+  | None -> failwith ("unknown allocator " ^ name)
+
 let trace_cmd =
   (* Figure 2 as raw data: one CSV line per metadata flush, for external
      plotting of the scatter the paper shows. *)
@@ -37,16 +46,7 @@ let trace_cmd =
     Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
   in
   let run name =
-    let kind =
-      match
-        List.find_opt
-          (fun k -> String.lowercase_ascii (Harness.Factory.name k) = String.lowercase_ascii name)
-          Harness.Factory.
-            [ Pmdk; Nvm_malloc; Pallocator; Makalu; Ralloc; Nv_log; Nv_gc; Nv_ic ]
-      with
-      | Some k -> k
-      | None -> failwith ("unknown allocator " ^ name)
-    in
+    let kind = allocator_kind name in
     let inst = Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind in
     let _ =
       Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) ()
@@ -65,6 +65,33 @@ let trace_cmd =
       (Pmem.Stats.trace (Pmem.Device.stats inst.Alloc_api.Instance.dev))
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ alloc)
+
+let stats_cmd =
+  let doc =
+    "Run a DBMStest probe with the persist-ordering checker enabled and print \
+     the device's flush statistics alongside the checker's counters (commits \
+     checked, dependencies tracked, violations recorded)."
+  in
+  let alloc =
+    Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
+  in
+  let run name =
+    let kind = allocator_kind name in
+    let inst = Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind in
+    let dev = inst.Alloc_api.Instance.dev in
+    Pmem.Device.set_check_mode dev true;
+    let _ = Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) () in
+    Format.printf "%a@." Pmem.Stats.pp_summary (Pmem.Device.stats dev);
+    Printf.printf "persist-ordering checker:\n";
+    Printf.printf "  commits checked       %d\n" (Pmem.Device.ordering_commits_checked dev);
+    Printf.printf "  dependencies tracked  %d\n" (Pmem.Device.ordering_deps_tracked dev);
+    Printf.printf "  violations            %d\n" (Pmem.Device.ordering_violation_count dev);
+    List.iter
+      (fun v -> Format.printf "  %a@." Pmem.Device.pp_violation v)
+      (Pmem.Device.ordering_violations dev);
+    if Pmem.Device.ordering_violation_count dev > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ alloc)
 
 let bench_cmd =
   let doc =
@@ -125,7 +152,15 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "broken" ] ~doc)
   in
-  let run seed runs variant plan broken =
+  let check_order =
+    let doc =
+      "Run every plan with the device's persist-ordering checker enabled: \
+       commits that retire before a declared dependency persisted become \
+       oracle failures even when the crash misses the vulnerable window."
+    in
+    Arg.(value & opt bool true & info [ "check-order" ] ~docv:"BOOL" ~doc)
+  in
+  let run seed runs variant plan broken check_order =
     let variant =
       match variant with
       | "any" -> None
@@ -139,7 +174,7 @@ let fuzz_cmd =
         match Fault.Plan.of_string line with
         | Error e -> failwith ("bad --plan: " ^ e)
         | Ok p -> (
-            match Fault.Fuzz.run_plan ~broken p with
+            match Fault.Fuzz.run_plan ~broken ~check_order p with
             | Ok report ->
                 Format.printf "ok: %s@.  %a@." (Fault.Plan.to_string p)
                   Nvalloc_core.Nvalloc.pp_recovery_report report
@@ -147,7 +182,7 @@ let fuzz_cmd =
                 Format.printf "FAIL: %s@.  %s@." (Fault.Plan.to_string p) reason;
                 exit 1))
     | None -> (
-        match Fault.Fuzz.fuzz ~broken ?variant ~seed ~runs () with
+        match Fault.Fuzz.fuzz ~broken ~check_order ?variant ~seed ~runs () with
         | None -> Printf.printf "ok: %d plans, no counterexamples (seed %d)\n" runs seed
         | Some cex ->
             Format.printf "counterexample (shrunk): %s@.  reason: %s@.  original: %s@."
@@ -156,9 +191,13 @@ let fuzz_cmd =
               (Fault.Plan.to_string cex.Fault.Fuzz.original);
             exit 1)
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed $ runs $ variant $ plan $ broken)
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed $ runs $ variant $ plan $ broken $ check_order)
 
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
   let info = Cmd.info "nvalloc-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; bench_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; stats_cmd; bench_cmd; fuzz_cmd ]))

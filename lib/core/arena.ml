@@ -191,17 +191,22 @@ let transform_slab t clock s target_class =
   Header.write_old_class dev addr old_layout.class_idx;
   Header.write_old_data_off dev addr old_layout.data_off;
   Header.write_flag dev addr 1;
-  flush_meta t clock ~addr ~len:16;
+  Pstruct.commit dev clock Pmem.Stats.Meta (header_commit_span addr);
   (* Step 2: record the live old blocks in the index table. *)
   List.iteri
-    (fun slot b ->
-      Pmem.Device.write_u16 dev (index_entry_addr s slot) (pack_index_entry ~block:b ~allocated:true))
+    (fun slot b -> write_index_entry dev addr slot (pack_index_entry ~block:b ~allocated:true))
     live;
-  if nlive > 0 then
-    flush_meta t clock ~addr:(index_entry_addr s 0) ~len:(2 * nlive);
+  let index_span =
+    Pstruct.span_of ~addr:(index_entry_addr s 0) ~len:(2 * max 1 nlive)
+  in
+  if nlive > 0 then Pstruct.flush_span dev clock Pmem.Stats.Meta index_span;
   Header.write_index_count dev addr nlive;
   Header.write_flag dev addr 2;
-  flush_meta t clock ~addr ~len:16;
+  (* Flag 2 asserts the index table is complete: that is an ordering
+     dependency. *)
+  Pstruct.commit dev clock Pmem.Stats.Meta
+    ~deps:(if nlive > 0 then [ ("index:record", index_span) ] else [])
+    (header_commit_span addr);
   (* Step 3: install the new class: header fields and rebuilt bitmap. *)
   Header.write_class dev addr target_class;
   Header.write_data_off dev addr new_layout.data_off;
@@ -224,9 +229,16 @@ let transform_slab t clock s target_class =
         cnt_block.(j) <- cnt_block.(j) + 1
       done)
     live;
-  flush_meta t clock ~addr:(bitmap_addr s) ~len:(new_layout.bitmap_lines * Pmem.Cacheline.size);
+  let bitmap_span =
+    Pstruct.span_of ~addr:(bitmap_addr s)
+      ~len:(new_layout.bitmap_lines * Pmem.Cacheline.size)
+  in
+  Pstruct.flush_span dev clock Pmem.Stats.Meta bitmap_span;
   Header.write_flag dev addr 0;
-  flush_meta t clock ~addr ~len:16;
+  (* Flag 0 asserts the new class's bitmap is in place. *)
+  Pstruct.commit dev clock Pmem.Stats.Meta
+    ~deps:[ ("bitmap:rebuilt", bitmap_span) ]
+    (header_commit_span addr);
   (* Volatile state. *)
   let morph =
     {
@@ -298,28 +310,39 @@ let release_old_block t clock s (m : Slab.morph) old_b =
      by WAL replay as user-live new-class blocks (found by the crash-plan
      fuzzer, crash-during-recovery case). *)
   let lo, hi = Slab.overlapping_new_blocks s m old_b in
+  let cleared = ref [] in
   for j = lo to hi do
     m.Slab.cnt_block.(j) <- m.Slab.cnt_block.(j) - 1;
     if m.Slab.cnt_block.(j) = 0 then begin
       Bitmap.clear t.dev s.Slab.bitmap j;
-      if flushes_small_meta t then
-        flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap j) ~len:1;
+      if flushes_small_meta t then begin
+        let sp = Bitmap.bit_span s.Slab.bitmap j in
+        Pstruct.flush_span t.dev clock Pmem.Stats.Meta sp;
+        cleared := ("bitmap:unpin", sp) :: !cleared
+      end;
       if s.Slab.free_count = 0 then freelist_add t s;
       s.Slab.free_count <- s.Slab.free_count + 1;
       s.Slab.free_stack <- j :: s.Slab.free_stack
     end
   done;
-  Pmem.Device.write_u16 t.dev (Slab.index_entry_addr s slot)
+  Slab.write_index_entry t.dev s.Slab.addr slot
     (Slab.pack_index_entry ~block:old_b ~allocated:false);
   if flushes_small_meta t then
-    flush_meta t clock ~addr:(Slab.index_entry_addr s slot) ~len:2;
+    Pstruct.commit t.dev clock Pmem.Stats.Meta ~deps:!cleared
+      (Slab.index_entry_span s.Slab.addr slot);
   Hashtbl.remove m.Slab.old_live old_b;
   m.Slab.cnt_slab <- m.Slab.cnt_slab - 1;
   if m.Slab.cnt_slab = 0 then begin
     (* slab_in becomes a regular slab_after and rejoins the LRU. *)
     Slab.Header.write_old_class t.dev s.Slab.addr Slab.Header.no_class;
     Slab.Header.write_index_count t.dev s.Slab.addr 0;
-    flush_meta t clock ~addr:s.Slab.addr ~len:16;
+    let deps =
+      if flushes_small_meta t then
+        [ ("index:release", Slab.index_entry_span s.Slab.addr slot) ]
+      else []
+    in
+    Pstruct.commit t.dev clock Pmem.Stats.Meta ~deps
+      (Slab.header_commit_span s.Slab.addr);
     s.Slab.morph <- None;
     lru_touch t s;
     maybe_destroy_empty t clock s
@@ -355,7 +378,9 @@ let checkpoint_if_needed t clock =
         end)
 
 (* Append a WAL entry; Large_* entries are logged in both variants
-   (Table 2), small-allocation entries only by NVAlloc-LOG. *)
+   (Table 2), small-allocation entries only by NVAlloc-LOG. Returns the
+   entry's span (when one was appended) so the caller can declare it as a
+   dependency of the metadata commit it covers. *)
 let log_op t clock kind ~addr ~dest =
   let wanted =
     match kind with
@@ -366,8 +391,22 @@ let log_op t clock kind ~addr ~dest =
     checkpoint_if_needed t clock;
     (* Slot reservation is a CAS, not a lock. *)
     Pmem.Device.dram_op t.dev clock;
-    Wal.append t.wal clock kind ~addr ~dest
+    Some (Wal.append_span t.wal clock kind ~addr ~dest)
   end
+  else None
+
+let wal_dep kind = function
+  | Some span ->
+      let name =
+        match kind with
+        | Wal.Alloc -> "wal:Alloc"
+        | Wal.Free -> "wal:Free"
+        | Wal.Refill -> "wal:Refill"
+        | Wal.Large_alloc -> "wal:Large_alloc"
+        | Wal.Large_free -> "wal:Large_free"
+      in
+      [ (name, span) ]
+  | None -> []
 
 (* --- small allocation ------------------------------------------------------ *)
 
@@ -403,11 +442,17 @@ let refill_tcache t clock tc class_idx =
                for a clear bit, which replay ignores; the reverse order
                would leave a set bit with no entry — read as user-live by
                recovery — leaking the block (found by the crash-plan
-               fuzzer). *)
-            if is_log t then log_op t clock Wal.Refill ~addr:(Slab.block_addr s b) ~dest:0;
+               fuzzer). The bit flush is the commit point and declares the
+               entry as its dependency. *)
+            let wal_span =
+              if is_log t then log_op t clock Wal.Refill ~addr:(Slab.block_addr s b) ~dest:0
+              else None
+            in
             Bitmap.set t.dev s.Slab.bitmap b;
             if is_log t then
-              flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
+              Pstruct.commit t.dev clock Pmem.Stats.Meta
+                ~deps:(wal_dep Wal.Refill wal_span)
+                (Bitmap.bit_span s.Slab.bitmap b)
           end;
           let pushed = Tcache.push tc { Tcache.slab = s; addr = Slab.block_addr s b } in
           assert pushed
@@ -445,10 +490,11 @@ let free_small t clock ~tcaches s ~addr ~dest =
   in
   match old_block with
   | Some (m, b) ->
-      Sim.Lock.with_lock t.lock clock (fun () -> release_old_block t clock s m b)
+      Sim.Lock.with_lock t.lock clock (fun () -> release_old_block t clock s m b);
+      None
   | None ->
       let b = Slab.block_index s addr (* validates the grid *) in
-      log_op t clock Wal.Free ~addr ~dest;
+      let wal_span = log_op t clock Wal.Free ~addr ~dest in
       if is_ic t then begin
         (* Internal collection: unmark eagerly so the persistent bitmap
            never claims a freed object. *)
@@ -457,12 +503,13 @@ let free_small t clock ~tcaches s ~addr ~dest =
       end;
       let tc = tcaches.(s.Slab.layout.Slab.class_idx) in
       Pmem.Device.dram_op t.dev clock;
-      if Tcache.push tc { Tcache.slab = s; addr } then begin
-        if is_ic t then s.Slab.tcached <- s.Slab.tcached + 1
-      end
-      else
-        (* Full tcache: bypass it and return the block to its slab. *)
-        Sim.Lock.with_lock t.lock clock (fun () -> return_block t clock s b)
+      (if Tcache.push tc { Tcache.slab = s; addr } then begin
+         if is_ic t then s.Slab.tcached <- s.Slab.tcached + 1
+       end
+       else
+         (* Full tcache: bypass it and return the block to its slab. *)
+         Sim.Lock.with_lock t.lock clock (fun () -> return_block t clock s b));
+      wal_span
 
 (* --- large allocation ------------------------------------------------------ *)
 

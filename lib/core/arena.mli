@@ -70,16 +70,28 @@ val alloc_small :
     morph while blocks sit in tcaches. *)
 
 val free_small :
-  t -> Sim.Clock.t -> tcaches:Tcache.t array -> Slab.t -> addr:int -> dest:int -> unit
+  t ->
+  Sim.Clock.t ->
+  tcaches:Tcache.t array ->
+  Slab.t ->
+  addr:int ->
+  dest:int ->
+  Pstruct.span option
 (** [addr] is the block's address inside [slab] (current or old class;
     morphing is resolved here). [t] must be the slab's owning arena; the
     tcache is the freeing thread's; [dest] is recorded in the WAL [Free]
-    entry so recovery can also clear a dangling user pointer. *)
+    entry so recovery can also clear a dangling user pointer. Returns the
+    [Free] entry's span (when one was logged) so the caller's
+    destination-clear commit can declare it as a dependency. *)
 
-val log_op : t -> Sim.Clock.t -> Wal.kind -> addr:int -> dest:int -> unit
+val log_op : t -> Sim.Clock.t -> Wal.kind -> addr:int -> dest:int -> Pstruct.span option
 (** Append a WAL entry (checkpointing first if the ring is full).
     [Large_*] kinds are logged in both variants, small kinds only under
-    [Log_based] consistency. *)
+    [Log_based] consistency. Returns the entry's span when appended. *)
+
+val wal_dep : Wal.kind -> Pstruct.span option -> (string * Pstruct.span) list
+(** Dependency list for {!Pstruct.commit} naming a WAL entry span (empty
+    when no entry was appended). *)
 
 val malloc_large : t -> Sim.Clock.t -> size:int -> Extent.veh
 val free_large : t -> Sim.Clock.t -> Extent.veh -> unit

@@ -1,6 +1,12 @@
 type mapping = Sequential | Interleaved of int
 
-type t = { base : int; nbits : int; lines : int; mapping : mapping }
+type t = {
+  base : int;
+  nbits : int;
+  lines : int;
+  mapping : mapping;
+  bytes_a : int Pstruct.arr; (* the bitmap as a u8 array, base-relative *)
+}
 
 let bits_per_line = Pmem.Cacheline.size * 8
 
@@ -17,7 +23,11 @@ let lines_for ~nbits ~mapping =
 let make ~base ~nbits ~mapping =
   assert (base mod Pmem.Cacheline.size = 0);
   assert (nbits > 0);
-  { base; nbits; lines = lines_for ~nbits ~mapping; mapping }
+  let lines = lines_for ~nbits ~mapping in
+  let l = Pstruct.layout "bitmap" in
+  let bytes_a = Pstruct.array l "bits" ~off:0 ~count:(lines * Pmem.Cacheline.size) Pstruct.U8 in
+  Pstruct.seal l ~size:(lines * Pmem.Cacheline.size);
+  { base; nbits; lines; mapping; bytes_a }
 
 let bytes t = t.lines * Pmem.Cacheline.size
 
@@ -31,22 +41,27 @@ let line_addr t b =
   let line, _ = bit_location t b in
   t.base + (line * Pmem.Cacheline.size)
 
+let bit_span t b =
+  Pstruct.span_of ~addr:(line_addr t b) ~len:Pmem.Cacheline.size
+
 let byte_and_mask t b =
   let line, idx = bit_location t b in
-  let byte = t.base + (line * Pmem.Cacheline.size) + (idx / 8) in
+  let byte = (line * Pmem.Cacheline.size) + (idx / 8) in
   (byte, 1 lsl (idx mod 8))
 
 let set dev t b =
   let byte, mask = byte_and_mask t b in
-  Pmem.Device.write_u8 dev byte (Pmem.Device.read_u8 dev byte lor mask)
+  Pstruct.set_elt dev ~base:t.base t.bytes_a byte
+    (Pstruct.get_elt dev ~base:t.base t.bytes_a byte lor mask)
 
 let clear dev t b =
   let byte, mask = byte_and_mask t b in
-  Pmem.Device.write_u8 dev byte (Pmem.Device.read_u8 dev byte land lnot mask)
+  Pstruct.set_elt dev ~base:t.base t.bytes_a byte
+    (Pstruct.get_elt dev ~base:t.base t.bytes_a byte land lnot mask)
 
 let get dev t b =
   let byte, mask = byte_and_mask t b in
-  Pmem.Device.read_u8 dev byte land mask <> 0
+  Pstruct.get_elt dev ~base:t.base t.bytes_a byte land mask <> 0
 
 let clear_all dev t = Pmem.Device.fill dev t.base (bytes t) '\000'
 

@@ -19,6 +19,7 @@ type t = {
   nbits : int;  (** number of blocks *)
   lines : int;  (** cache lines occupied *)
   mapping : mapping;
+  bytes_a : int Pstruct.arr;  (** the bitmap bytes as a typed u8 array *)
 }
 
 val bits_per_line : int
@@ -39,6 +40,10 @@ val bit_location : t -> int -> int * int
 val line_addr : t -> int -> int
 (** Device address of the cache line holding block [b]'s bit (the flush
     target after {!set}/{!clear}). *)
+
+val bit_span : t -> int -> Pstruct.span
+(** The cache-line span holding block [b]'s bit, for flushing or for
+    declaring it as a commit dependency. *)
 
 val set : Pmem.Device.t -> t -> int -> unit
 val clear : Pmem.Device.t -> t -> int -> unit

@@ -45,22 +45,39 @@ type t = {
 let region_bytes ~chunks = Pmem.Cacheline.size + (chunks * chunk_bytes)
 let chunk_base t c = t.base + Pmem.Cacheline.size + (c * chunk_bytes)
 
-(* --- persistent header / chunk header accessors ------------------------ *)
+(* --- persistent header / chunk layouts --------------------------------- *)
 
-let hdr_alt_addr base = base
-let hdr_ptr_addr base which = base + 4 + (4 * which)
+(* Region header line: the alt bit selects which of the two list-head
+   pointers is current (pointers are chunk index + 1; 0 = empty list). *)
+module Hdr = struct
+  let l = Pstruct.layout "booklog.header"
+  let alt = Pstruct.u8 l "alt" ~off:0
+  let ptrs = Pstruct.array l "ptr" ~off:4 ~count:2 Pstruct.U32
+  let () = Pstruct.seal l ~size:Pmem.Cacheline.size
+end
+
+(* A chunk: header line (next pointer + active flag), then 15 lines of
+   packed 8 B entries. *)
+module Chunk = struct
+  let l = Pstruct.layout "booklog.chunk"
+  let next = Pstruct.u32 l "next" ~off:0
+  let active = Pstruct.u8 l "active" ~off:4
+
+  let entries =
+    Pstruct.array l "entries" ~off:Pmem.Cacheline.size ~count:entries_per_chunk Pstruct.I64
+
+  let () = Pstruct.seal l ~size:chunk_bytes
+end
 
 let write_list_head t clock head =
-  let dev = t.dev in
-  Pmem.Device.write_u32 dev (hdr_ptr_addr t.base t.alt) (head + 1);
-  Pmem.Device.flush dev clock Pmem.Stats.Log ~addr:t.base ~len:12
-
-let chunk_next_addr t c = chunk_base t c
-let chunk_active_addr t c = chunk_base t c + 4
+  Pstruct.set_elt t.dev ~base:t.base Hdr.ptrs t.alt (head + 1);
+  Pstruct.commit t.dev clock Pmem.Stats.Log
+    (Pstruct.union (Pstruct.span ~base:t.base Hdr.alt) (Pstruct.arr_span ~base:t.base Hdr.ptrs))
 
 let write_chunk_next t clock c next =
-  Pmem.Device.write_u32 t.dev (chunk_next_addr t c) (next + 1);
-  Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr:(chunk_next_addr t c) ~len:4
+  let base = chunk_base t c in
+  Pstruct.set t.dev ~base Chunk.next (next + 1);
+  Pstruct.commit t.dev clock Pmem.Stats.Log (Pstruct.span ~base Chunk.next)
 
 (* --- entry encoding ----------------------------------------------------- *)
 
@@ -93,14 +110,15 @@ let slot_offset ~interleave s =
   in
   (line * Pmem.Cacheline.size) + (pos * 8)
 
-let entry_addr t c s = chunk_base t c + slot_offset ~interleave:t.interleave s
+(* Physical entry index within the chunk's entry array. *)
+let slot_index ~interleave s = (slot_offset ~interleave s - Pmem.Cacheline.size) / 8
 
 (* --- construction ------------------------------------------------------- *)
 
 let create dev ~base ~chunks ~interleave =
-  Pmem.Device.write_u8 dev (hdr_alt_addr base) 0;
-  Pmem.Device.write_u32 dev (hdr_ptr_addr base 0) 0;
-  Pmem.Device.write_u32 dev (hdr_ptr_addr base 1) 0;
+  Pstruct.set dev ~base Hdr.alt 0;
+  Pstruct.set_elt dev ~base Hdr.ptrs 0 0;
+  Pstruct.set_elt dev ~base Hdr.ptrs 1 0;
   {
     dev;
     base;
@@ -150,11 +168,12 @@ let grab_chunk t clock =
     (* Stale entries from the previous life of the chunk must not be
        replayable: zero the whole chunk. Sequential writes, cheap. *)
     Pmem.Device.fill t.dev base chunk_bytes '\000';
-    Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr:base ~len:chunk_bytes
+    Pstruct.flush_span t.dev clock Pmem.Stats.Log (Pstruct.layout_span ~base Chunk.l)
   end;
-  Pmem.Device.write_u32 t.dev (chunk_next_addr t idx) 0;
-  Pmem.Device.write_u8 t.dev (chunk_active_addr t idx) 1;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr:base ~len:8;
+  Pstruct.set t.dev ~base Chunk.next 0;
+  Pstruct.set t.dev ~base Chunk.active 1;
+  Pstruct.flush_span t.dev clock Pmem.Stats.Log
+    (Pstruct.union (Pstruct.span ~base Chunk.next) (Pstruct.span ~base Chunk.active));
   let vc = { idx; valid = Array.make entries_per_chunk false; live = 0; tombs = 0; next_slot = 0 } in
   Int_rb.insert t.vchunks idx vc;
   vc
@@ -192,9 +211,10 @@ let append_raw t clock ~code ~size4k ~payload =
   let vc = tail_vchunk t clock in
   let s = vc.next_slot in
   vc.next_slot <- s + 1;
-  let addr = entry_addr t vc.idx s in
-  Pmem.Device.write_int64 t.dev addr (encode ~code ~size4k ~payload);
-  Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr ~len:8;
+  let base = chunk_base t vc.idx in
+  let phys = slot_index ~interleave:t.interleave s in
+  Pstruct.set_elt t.dev ~base Chunk.entries phys (encode ~code ~size4k ~payload);
+  Pstruct.flush_span t.dev clock Pmem.Stats.Log (Pstruct.elt_span ~base Chunk.entries phys);
   (vc, s)
 
 let append_normal t clock kind ~addr ~size =
@@ -287,7 +307,10 @@ let slow_gc t clock =
     | Some vc ->
         for s = 0 to vc.next_slot - 1 do
           if vc.valid.(s) then begin
-            let v = Pmem.Device.read_int64 t.dev (entry_addr t vc.idx s) in
+            let v =
+              Pstruct.get_elt t.dev ~base:(chunk_base t vc.idx) Chunk.entries
+                (slot_index ~interleave:t.interleave s)
+            in
             let code, size4k, payload = decode v in
             assert (code = code_extent || code = code_slab);
             live := ((vc.idx * ref_stride) + s, code, size4k, payload) :: !live
@@ -314,8 +337,8 @@ let slow_gc t clock =
       remap := (old_ref, (vc.idx * ref_stride) + s) :: !remap)
     live;
   (* Publish the new list by flipping the alt bit, then recycle. *)
-  Pmem.Device.write_u8 t.dev (hdr_alt_addr t.base) t.alt;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr:t.base ~len:1;
+  Pstruct.set t.dev ~base:t.base Hdr.alt t.alt;
+  Pstruct.commit t.dev clock Pmem.Stats.Log (Pstruct.span ~base:t.base Hdr.alt);
   t.free <- old_chunks @ t.free;
   Array.fill t.list_prev 0 t.nchunks none;
   Array.fill t.list_next 0 t.nchunks none;
@@ -325,7 +348,7 @@ let slow_gc t clock =
   let rec relink prev c =
     if c <> none then begin
       t.list_prev.(c) <- prev;
-      let next = Pmem.Device.read_u32 t.dev (chunk_next_addr t c) - 1 in
+      let next = Pstruct.get t.dev ~base:(chunk_base t c) Chunk.next - 1 in
       if prev <> none then t.list_next.(prev) <- c;
       relink c next
     end
@@ -336,15 +359,15 @@ let slow_gc t clock =
 (* --- recovery-time decoding --------------------------------------------- *)
 
 let scan dev ~base ~interleave =
-  let alt = Pmem.Device.read_u8 dev (hdr_alt_addr base) in
-  let head = Pmem.Device.read_u32 dev (hdr_ptr_addr base alt) - 1 in
+  let alt = Pstruct.get dev ~base Hdr.alt in
+  let head = Pstruct.get_elt dev ~base Hdr.ptrs alt - 1 in
   let normals : (entry_ref, scanned) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [] in
   let c = ref head in
   while !c <> none do
     let cb = base + Pmem.Cacheline.size + (!c * chunk_bytes) in
     for s = 0 to entries_per_chunk - 1 do
-      let v = Pmem.Device.read_int64 dev (cb + slot_offset ~interleave s) in
+      let v = Pstruct.get_elt dev ~base:cb Chunk.entries (slot_index ~interleave s) in
       if v <> 0L then begin
         let code, size4k, payload = decode v in
         let ref_ = (!c * ref_stride) + s in
@@ -358,33 +381,33 @@ let scan dev ~base ~interleave =
           | None -> ()
       end
     done;
-    c := Pmem.Device.read_u32 dev cb - 1
+    c := Pstruct.get dev ~base:cb Chunk.next - 1
   done;
   List.filter_map (Hashtbl.find_opt normals) (List.rev !order)
 
 let scanned_chunks dev ~base =
-  let alt = Pmem.Device.read_u8 dev (hdr_alt_addr base) in
-  let head = Pmem.Device.read_u32 dev (hdr_ptr_addr base alt) - 1 in
+  let alt = Pstruct.get dev ~base Hdr.alt in
+  let head = Pstruct.get_elt dev ~base Hdr.ptrs alt - 1 in
   let n = ref 0 in
   let c = ref head in
   while !c <> none do
     incr n;
     let cb = base + Pmem.Cacheline.size + (!c * chunk_bytes) in
-    c := Pmem.Device.read_u32 dev cb - 1
+    c := Pstruct.get dev ~base:cb Chunk.next - 1
   done;
   !n
 
 (* --- recovery reopen ------------------------------------------------------ *)
 
 let open_existing dev clock ~base ~chunks ~interleave =
-  let alt = Pmem.Device.read_u8 dev (hdr_alt_addr base) in
+  let alt = Pstruct.get dev ~base Hdr.alt in
   (* Chunks of the old chain: excluded from the fresh free pool so that a
      crash during compaction leaves the old chain fully replayable. *)
   let in_old = Array.make chunks false in
-  let c = ref (Pmem.Device.read_u32 dev (hdr_ptr_addr base alt) - 1) in
+  let c = ref (Pstruct.get_elt dev ~base Hdr.ptrs alt - 1) in
   while !c <> none do
     in_old.(!c) <- true;
-    c := Pmem.Device.read_u32 dev (base + Pmem.Cacheline.size + (!c * chunk_bytes)) - 1
+    c := Pstruct.get dev ~base:(base + Pmem.Cacheline.size + (!c * chunk_bytes)) Chunk.next - 1
   done;
   let live = scan dev ~base ~interleave in
   let t =
@@ -415,8 +438,8 @@ let open_existing dev clock ~base ~chunks ~interleave =
         { s with ref_ = new_ref })
       live
   in
-  Pmem.Device.write_u8 t.dev (hdr_alt_addr t.base) t.alt;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Log ~addr:t.base ~len:1;
+  Pstruct.set t.dev ~base:t.base Hdr.alt t.alt;
+  Pstruct.commit t.dev clock Pmem.Stats.Log (Pstruct.span ~base:t.base Hdr.alt);
   (* The old chain is now garbage: hand its chunks to the free pool. *)
   for i = 0 to chunks - 1 do
     if in_old.(i) then t.free <- i :: t.free

@@ -97,19 +97,28 @@ let charge_search t clock n =
 (* In-place mode: one 8 B slot per possible extent start, in the region's
    header area. Persisted on activation (state 1 + size) and on free
    (cleared); recovery reads only state-1 slots. *)
-let slot_addr t v =
+module Veh = struct
+  let nslots = header_bytes / 8
+  let l = Pstruct.layout "extent.veh_slots"
+  let slots = Pstruct.array l "slots" ~off:0 ~stride:8 ~count:nslots Pstruct.U32
+  let () = Pstruct.seal l ~size:header_bytes
+end
+
+let slot_index t v =
   let off = v.addr - v.region - data_off t in
   assert (off >= 0 && off mod 4096 = 0);
-  v.region + (off / 4096 * 8)
+  off / 4096
+
+let read_slot dev ~region i = Pstruct.get_elt dev ~base:region Veh.slots i
 
 let persist_activated t clock v =
   match t.mode with
   | Logged log ->
       v.log_ref <- Booklog.append_normal log clock v.kind ~addr:v.addr ~size:v.size
   | In_place ->
-      let slot = slot_addr t v in
-      Pmem.Device.write_u32 t.dev slot ((v.size / 4096) lor (1 lsl 24));
-      Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:slot ~len:4
+      let i = slot_index t v in
+      Pstruct.set_elt t.dev ~base:v.region Veh.slots i ((v.size / 4096) lor (1 lsl 24));
+      Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.elt_span ~base:v.region Veh.slots i)
 
 let run_booklog_gc t clock log =
   t.tombs_since_fast_gc <- t.tombs_since_fast_gc + 1;
@@ -142,9 +151,9 @@ let persist_freed t clock v =
       v.log_ref <- -1;
       if (Heap.config t.heap).Config.booklog_gc then run_booklog_gc t clock log
   | In_place ->
-      let slot = slot_addr t v in
-      Pmem.Device.write_u32 t.dev slot 0;
-      Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:slot ~len:4
+      let i = slot_index t v in
+      Pstruct.set_elt t.dev ~base:v.region Veh.slots i 0;
+      Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.elt_span ~base:v.region Veh.slots i)
 
 (* --- list/tree plumbing -------------------------------------------------- *)
 

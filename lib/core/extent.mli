@@ -44,6 +44,14 @@ type t
 val region_bytes : int
 (** Default mapped-region granularity (4 MB). *)
 
+val header_bytes : int
+(** In-place mode: bytes reserved at the head of each region for the VEH
+    slot table (one u32 slot on an 8 B stride per possible 4 KB extent
+    start). *)
+
+val read_slot : Pmem.Device.t -> region:int -> int -> int
+(** In-place VEH slot [i] of the region at [region] (recovery scans). *)
+
 val create :
   Heap.t ->
   mode:mode ->

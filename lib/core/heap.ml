@@ -18,9 +18,21 @@ type t = {
   heap_start : int;
 }
 
-let off_magic = 0
-let off_arenas = 4
-let off_state = 6
+(* Superblock layout, at device address 0. *)
+module Sb = struct
+  let l = Pstruct.layout "heap.superblock"
+  let magic = Pstruct.u32 l "magic" ~off:0
+  let arenas = Pstruct.u16 l "arenas" ~off:4
+  let state = Pstruct.u8 l "state" ~off:6
+  let () = Pstruct.seal l ~size:superblock_bytes
+end
+
+(* Region table: [region_slots] packed slots right after the superblock. *)
+module Rt = struct
+  let l = Pstruct.layout "heap.region_table"
+  let slots = Pstruct.array l "slots" ~off:0 ~count:region_slots Pstruct.I64
+  let () = Pstruct.seal l ~size:region_table_bytes
+end
 
 let state_code = function Running -> 0 | Shutdown -> 1 | Recovering -> 2
 
@@ -43,17 +55,17 @@ let layout dev (config : Config.t) =
 
 let init dev config =
   let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
-  Pmem.Device.write_u32 dev off_magic magic;
-  Pmem.Device.write_u16 dev off_arenas config.Config.arenas;
-  Pmem.Device.write_u8 dev off_state (state_code Running);
+  Pstruct.set dev ~base:0 Sb.magic magic;
+  Pstruct.set dev ~base:0 Sb.arenas config.Config.arenas;
+  Pstruct.set dev ~base:0 Sb.state (state_code Running);
   Pmem.Device.fill dev region_table_off region_table_bytes '\000';
   let dax = Pmem.Dax.create ~start:heap_start dev in
   { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start }
 
 let open_existing dev config =
-  assert (Pmem.Device.read_u32 dev off_magic = magic);
-  assert (Pmem.Device.read_u16 dev off_arenas = config.Config.arenas);
-  let found = state_of_code (Pmem.Device.read_u8 dev off_state) in
+  assert (Pstruct.get dev ~base:0 Sb.magic = magic);
+  assert (Pstruct.get dev ~base:0 Sb.arenas = config.Config.arenas);
+  let found = state_of_code (Pstruct.get dev ~base:0 Sb.state) in
   let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
   let dax = Pmem.Dax.create ~start:heap_start dev in
   let t = { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start } in
@@ -64,8 +76,8 @@ let dax t = t.dax
 let config t = t.config
 
 let set_state t clock s =
-  Pmem.Device.write_u8 t.dev off_state (state_code s);
-  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:off_state ~len:1
+  Pstruct.set t.dev ~base:0 Sb.state (state_code s);
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:0 Sb.state)
 
 let root_addr t i =
   assert (i >= 0 && i < t.config.Config.root_slots);
@@ -96,33 +108,34 @@ let decode_region v =
   let addr = Int64.to_int (Int64.shift_right_logical v 20) * 4096 in
   (addr, size)
 
-let slot_addr i = region_table_off + (i * 8)
+let read_slot dev i = Pstruct.get_elt dev ~base:region_table_off Rt.slots i
+
+let write_slot t clock i v =
+  Pstruct.set_elt t.dev ~base:region_table_off Rt.slots i v;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta
+    (Pstruct.elt_span ~base:region_table_off Rt.slots i)
 
 let register_region t clock ~addr ~size =
   let rec find i =
     if i >= region_slots then failwith "Heap.register_region: region table full"
-    else if Pmem.Device.read_int64 t.dev (slot_addr i) = 0L then i
+    else if read_slot t.dev i = 0L then i
     else find (i + 1)
   in
-  let i = find 0 in
-  Pmem.Device.write_int64 t.dev (slot_addr i) (encode_region ~addr ~size);
-  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:(slot_addr i) ~len:8
+  write_slot t clock (find 0) (encode_region ~addr ~size)
 
 let unregister_region t clock ~addr =
   let rec find i =
     if i >= region_slots then failwith "Heap.unregister_region: not found"
     else
-      let v = Pmem.Device.read_int64 t.dev (slot_addr i) in
+      let v = read_slot t.dev i in
       if v <> 0L && fst (decode_region v) = addr then i else find (i + 1)
   in
-  let i = find 0 in
-  Pmem.Device.write_int64 t.dev (slot_addr i) 0L;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:(slot_addr i) ~len:8
+  write_slot t clock (find 0) 0L
 
 let read_regions dev =
   let acc = ref [] in
   for i = region_slots - 1 downto 0 do
-    let v = Pmem.Device.read_int64 dev (slot_addr i) in
+    let v = read_slot dev i in
     if v <> 0L then acc := decode_region v :: !acc
   done;
   !acc

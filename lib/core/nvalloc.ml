@@ -138,31 +138,42 @@ let thread_arena th = th.arena
 
 (* --- allocation ------------------------------------------------------------- *)
 
-let publish t clock ~dest ~addr =
-  Pmem.Device.write_int64 t.dev dest (Int64.of_int addr);
-  Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
+(* A user-visible pointer slot (a root slot or a word inside an allocated
+   object): the only persistent word the allocator writes outside its own
+   metadata. *)
+module Ptr = struct
+  let l = Pstruct.layout "nvalloc.ptr"
+  let v = Pstruct.i64 l "ptr" ~off:0
+  let () = Pstruct.seal l ~size:8
+end
+
+(* Publishing (and retracting) a pointer is a commit point: the WAL entry
+   covering the operation must already be persistent. *)
+let publish ?(deps = []) t clock ~dest ~addr =
+  Pstruct.set t.dev ~base:dest Ptr.v (Int64.of_int addr);
+  Pstruct.commit ~deps t.dev clock Pmem.Stats.Data (Pstruct.span ~base:dest Ptr.v)
 
 let malloc_to t th ~size ~dest =
   assert (not t.closed);
   assert (size > 0);
   let clock = th.clock in
-  let addr =
+  let addr, deps =
     match Size_class.of_size size with
     | Some class_idx ->
         let arena = t.arenas.(th.arena) in
         let _slab, addr = Arena.alloc_small arena clock ~tcaches:th.tcaches ~class_idx in
-        Arena.log_op arena clock Wal.Alloc ~addr ~dest;
-        addr
+        let wal_span = Arena.log_op arena clock Wal.Alloc ~addr ~dest in
+        (addr, Arena.wal_dep Wal.Alloc wal_span)
     | None ->
         let arena = t.arenas.(th.arena) in
         let veh = Arena.malloc_large arena clock ~size in
-        Arena.log_op arena clock Wal.Large_alloc ~addr:veh.Extent.addr ~dest;
-        veh.Extent.addr
+        let wal_span = Arena.log_op arena clock Wal.Large_alloc ~addr:veh.Extent.addr ~dest in
+        (veh.Extent.addr, Arena.wal_dep Wal.Large_alloc wal_span)
   in
-  publish t clock ~dest ~addr;
+  publish ~deps t clock ~dest ~addr;
   addr
 
-let read_ptr t ~dest = Int64.to_int (Pmem.Device.read_int64 t.dev dest)
+let read_ptr t ~dest = Int64.to_int (Pstruct.get t.dev ~base:dest Ptr.v)
 
 let free_from t th ~dest =
   assert (not t.closed);
@@ -174,21 +185,25 @@ let free_from t th ~dest =
      via iter_allocated, never a published pointer to a freed block. The
      logged variants keep the reverse order and let WAL replay clear the
      dangling destination. *)
-  if t.config.Config.consistency = Config.Internal_collection then begin
-    Pmem.Device.write_int64 t.dev dest 0L;
-    Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
-  end;
-  (match owner_lookup t clock addr with
-  | Some (Small_owner slab) ->
-      Arena.free_small t.arenas.(slab.Slab.arena) clock ~tcaches:th.tcaches slab ~addr ~dest
-  | Some (Large_owner (veh, aidx)) ->
-      assert (veh.Extent.addr = addr);
-      let arena = t.arenas.(aidx) in
-      Arena.log_op arena clock Wal.Large_free ~addr ~dest;
-      Arena.free_large arena clock veh
-  | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator");
-  Pmem.Device.write_int64 t.dev dest 0L;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Data ~addr:dest ~len:8
+  if t.config.Config.consistency = Config.Internal_collection then
+    publish t clock ~dest ~addr:0;
+  let deps =
+    match owner_lookup t clock addr with
+    | Some (Small_owner slab) ->
+        let wal_span =
+          Arena.free_small t.arenas.(slab.Slab.arena) clock ~tcaches:th.tcaches slab ~addr
+            ~dest
+        in
+        Arena.wal_dep Wal.Free wal_span
+    | Some (Large_owner (veh, aidx)) ->
+        assert (veh.Extent.addr = addr);
+        let arena = t.arenas.(aidx) in
+        let wal_span = Arena.log_op arena clock Wal.Large_free ~addr ~dest in
+        Arena.free_large arena clock veh;
+        Arena.wal_dep Wal.Large_free wal_span
+    | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator"
+  in
+  publish ~deps t clock ~dest ~addr:0
 
 let exit_ t clock =
   assert (not t.closed);
@@ -373,8 +388,7 @@ let recover ?(config = Config.log_default) dev clock =
           charge_lines t clock (Extent.region_bytes / 4096 / 8);
           let off = ref 16384 in
           while !off < total do
-            let slot = base + ((!off - 16384) / 4096 * 8) in
-            let v = Pmem.Device.read_u32 dev slot in
+            let v = Extent.read_slot dev ~region:base ((!off - 16384) / 4096) in
             if v land (1 lsl 24) <> 0 then begin
               let size = v land 0xFFFFFF * 4096 in
               acc :=
@@ -495,10 +509,7 @@ let recover ?(config = Config.log_default) dev clock =
   let marked = ref 0 and wal_undone = ref 0 in
   let wal_total = Array.fold_left (fun acc l -> acc + List.length l) 0 replays in
   let clear_dest dest addr =
-    if dest > 0 && read_ptr t ~dest = addr then begin
-      Pmem.Device.write_int64 dev dest 0L;
-      Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:dest ~len:8
-    end
+    if dest > 0 && read_ptr t ~dest = addr then publish t clock ~dest ~addr:0
   in
   let release_block arena_idx slab block =
     Arena.recover_return_block t.arenas.(arena_idx) clock slab block;

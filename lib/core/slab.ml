@@ -58,28 +58,46 @@ and morph = {
   old_live : (int, int) Hashtbl.t;
 }
 
-(* Header field offsets (see the .mli layout comment). *)
-let off_magic = 0
-let off_class = 2
-let off_data = 4
-let off_flag = 6
-let off_old_class = 8
-let off_old_data = 10
-let off_index_count = 12
+(* Persistent header layout (see the .mli layout comment). *)
+module Hdr = struct
+  let l = Pstruct.layout "slab.header"
+  let magic = Pstruct.u16 l "magic" ~off:0
+  let class_ = Pstruct.u16 l "class" ~off:2
+  let data = Pstruct.u16 l "data_off" ~off:4
+  let flag = Pstruct.u8 l "flag" ~off:6
+  let old_class = Pstruct.u16 l "old_class" ~off:8
+  let old_data = Pstruct.u16 l "old_data_off" ~off:10
+  let index_count = Pstruct.u16 l "index_count" ~off:12
+  let () = Pstruct.seal l ~size:fixed_header
+end
+
+(* The index table: packed u16 entries at a fixed offset. *)
+module Index = struct
+  let l = Pstruct.layout "slab.index"
+  let entries = Pstruct.array l "entries" ~off:0 ~count:index_capacity Pstruct.U16
+  let () = Pstruct.seal l ~size:(index_capacity * 2)
+end
 
 let header_addr t = t.addr
 let bitmap_addr t = t.addr + bitmap_off
 let index_entry_addr t i = t.addr + t.layout.index_off + (2 * i)
+let read_index_entry dev addr i = Pstruct.get_elt dev ~base:(addr + index_off) Index.entries i
+let write_index_entry dev addr i v = Pstruct.set_elt dev ~base:(addr + index_off) Index.entries i v
+let index_entry_span addr i = Pstruct.elt_span ~base:(addr + index_off) Index.entries i
+
+(* The span the morph protocol commits when it flushes "the header": the
+   fixed fields' first line. *)
+let header_commit_span addr = Pstruct.span_of ~addr ~len:16
 
 let format dev ~addr ~arena ~mapping layout =
   assert (addr mod 4096 = 0);
-  Pmem.Device.write_u16 dev (addr + off_magic) magic;
-  Pmem.Device.write_u16 dev (addr + off_class) layout.class_idx;
-  Pmem.Device.write_u16 dev (addr + off_data) layout.data_off;
-  Pmem.Device.write_u8 dev (addr + off_flag) 0;
-  Pmem.Device.write_u16 dev (addr + off_old_class) no_class;
-  Pmem.Device.write_u16 dev (addr + off_old_data) 0;
-  Pmem.Device.write_u16 dev (addr + off_index_count) 0;
+  Pstruct.set dev ~base:addr Hdr.magic magic;
+  Pstruct.set dev ~base:addr Hdr.class_ layout.class_idx;
+  Pstruct.set dev ~base:addr Hdr.data layout.data_off;
+  Pstruct.set dev ~base:addr Hdr.flag 0;
+  Pstruct.set dev ~base:addr Hdr.old_class no_class;
+  Pstruct.set dev ~base:addr Hdr.old_data 0;
+  Pstruct.set dev ~base:addr Hdr.index_count 0;
   Pmem.Device.fill dev (addr + bitmap_off) (layout.bitmap_lines * Pmem.Cacheline.size) '\000';
   let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
   assert (bitmap.Bitmap.lines = layout.bitmap_lines);
@@ -98,22 +116,22 @@ let format dev ~addr ~arena ~mapping layout =
     dying = false;
   }
 
-let read_class dev addr = Pmem.Device.read_u16 dev (addr + off_class)
-let is_slab_header dev addr = Pmem.Device.read_u16 dev (addr + off_magic) = magic
+let read_class dev addr = Pstruct.get dev ~base:addr Hdr.class_
+let is_slab_header dev addr = Pstruct.get dev ~base:addr Hdr.magic = magic
 
 module Header = struct
   let read_class = read_class
-  let write_class dev addr v = Pmem.Device.write_u16 dev (addr + off_class) v
-  let read_data_off dev addr = Pmem.Device.read_u16 dev (addr + off_data)
-  let write_data_off dev addr v = Pmem.Device.write_u16 dev (addr + off_data) v
-  let read_flag dev addr = Pmem.Device.read_u8 dev (addr + off_flag)
-  let write_flag dev addr v = Pmem.Device.write_u8 dev (addr + off_flag) v
-  let read_old_class dev addr = Pmem.Device.read_u16 dev (addr + off_old_class)
-  let write_old_class dev addr v = Pmem.Device.write_u16 dev (addr + off_old_class) v
-  let read_old_data_off dev addr = Pmem.Device.read_u16 dev (addr + off_old_data)
-  let write_old_data_off dev addr v = Pmem.Device.write_u16 dev (addr + off_old_data) v
-  let read_index_count dev addr = Pmem.Device.read_u16 dev (addr + off_index_count)
-  let write_index_count dev addr v = Pmem.Device.write_u16 dev (addr + off_index_count) v
+  let write_class dev addr v = Pstruct.set dev ~base:addr Hdr.class_ v
+  let read_data_off dev addr = Pstruct.get dev ~base:addr Hdr.data
+  let write_data_off dev addr v = Pstruct.set dev ~base:addr Hdr.data v
+  let read_flag dev addr = Pstruct.get dev ~base:addr Hdr.flag
+  let write_flag dev addr v = Pstruct.set dev ~base:addr Hdr.flag v
+  let read_old_class dev addr = Pstruct.get dev ~base:addr Hdr.old_class
+  let write_old_class dev addr v = Pstruct.set dev ~base:addr Hdr.old_class v
+  let read_old_data_off dev addr = Pstruct.get dev ~base:addr Hdr.old_data
+  let write_old_data_off dev addr v = Pstruct.set dev ~base:addr Hdr.old_data v
+  let read_index_count dev addr = Pstruct.get dev ~base:addr Hdr.index_count
+  let write_index_count dev addr v = Pstruct.set dev ~base:addr Hdr.index_count v
   let no_class = no_class
 end
 let block_addr t b = t.addr + t.layout.data_off + (b * t.layout.block_size)
@@ -204,7 +222,7 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
       }
     in
     for slot = 0 to index_count - 1 do
-      let b, allocated = unpack_index_entry (Pmem.Device.read_u16 dev (index_entry_addr s slot)) in
+      let b, allocated = unpack_index_entry (read_index_entry dev addr slot) in
       if allocated then begin
         Hashtbl.replace old_live b slot;
         m.cnt_slab <- m.cnt_slab + 1;
@@ -243,9 +261,7 @@ let undo_morph dev ~addr ~mapping =
     Pmem.Device.fill dev (addr + bitmap_off) (Bitmap.bytes bitmap) '\000';
     let index_count = Header.read_index_count dev addr in
     for slot = 0 to index_count - 1 do
-      let b, allocated =
-        unpack_index_entry (Pmem.Device.read_u16 dev (addr + index_off + (2 * slot)))
-      in
+      let b, allocated = unpack_index_entry (read_index_entry dev addr slot) in
       if allocated then Bitmap.set dev bitmap b
     done
   end;

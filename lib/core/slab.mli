@@ -94,6 +94,19 @@ val bitmap_addr : t -> int
 val index_entry_addr : t -> int -> int
 (** Address of index-table slot [i]. *)
 
+val read_index_entry : Pmem.Device.t -> int -> int -> int
+val write_index_entry : Pmem.Device.t -> int -> int -> int -> unit
+(** Typed index-table access by slab base address (volatile image only;
+    callers flush/commit). *)
+
+val index_entry_span : int -> int -> Pstruct.span
+(** Span of index-table slot [i] of the slab based at the given address
+    (flush target / commit dependency). *)
+
+val header_commit_span : int -> Pstruct.span
+(** The fixed header fields the morph protocol commits as one unit (the
+    first 16 bytes of the slab). *)
+
 val read_class : Pmem.Device.t -> int -> int
 (** [read_class dev addr] reads the size class from a slab header. *)
 

@@ -60,6 +60,24 @@ let checksum ~kind ~epoch ~seq ~addr ~dest =
 (* Logical slot [n] -> byte offset of its entry (relative to the entry
    area). Interleaving spreads the 64 entries of a frame across its 16
    lines: consecutive appends land in consecutive lines. *)
+(* Header line (epoch byte) and packed entry layout. *)
+module Hdr = struct
+  let l = Pstruct.layout "wal.header"
+  let epoch = Pstruct.u8 l "epoch" ~off:0
+  let () = Pstruct.seal l ~size:Pmem.Cacheline.size
+end
+
+module Entry = struct
+  let l = Pstruct.layout "wal.entry"
+  let kind = Pstruct.u8 l "kind" ~off:0
+  let epoch = Pstruct.u8 l "epoch" ~off:1
+  let ck = Pstruct.u16 l "ck" ~off:2
+  let seq = Pstruct.u32 l "seq" ~off:4
+  let addr = Pstruct.u32 l "addr" ~off:8
+  let dest = Pstruct.u32 l "dest" ~off:12
+  let () = Pstruct.seal l ~size:entry_bytes
+end
+
 let slot_offset t n =
   let phys =
     if not t.interleave then n
@@ -72,7 +90,7 @@ let slot_offset t n =
 
 let create dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
-  Pmem.Device.write_u8 dev base 1;
+  Pstruct.set dev ~base Hdr.epoch 1;
   (* Entry epochs are all 0 (the device zero-fills), hence invalid. *)
   {
     dev;
@@ -91,29 +109,38 @@ let used t = t.next
 let near_full t = t.next >= t.nentries
 let unsafe_set_skip_flush t v = t.skip_flush <- v
 
-let append t clock kind ~addr ~dest =
+(* Returns the entry's base offset; allocation-free so the plain [append]
+   fast path stays allocation-free too. *)
+let append_off t clock kind ~addr ~dest =
   assert t.ready;
   assert (not (near_full t));
   let off = t.base + slot_offset t t.next in
   let code = kind_code kind in
-  Pmem.Device.write_u8 t.dev off code;
-  Pmem.Device.write_u8 t.dev (off + 1) t.epoch;
-  Pmem.Device.write_u16 t.dev (off + 2)
+  Pstruct.set t.dev ~base:off Entry.kind code;
+  Pstruct.set t.dev ~base:off Entry.epoch t.epoch;
+  Pstruct.set t.dev ~base:off Entry.ck
     (checksum ~kind:code ~epoch:t.epoch ~seq:t.seq ~addr ~dest);
-  Pmem.Device.write_u32 t.dev (off + 4) t.seq;
-  Pmem.Device.write_u32 t.dev (off + 8) addr;
-  Pmem.Device.write_u32 t.dev (off + 12) dest;
+  Pstruct.set t.dev ~base:off Entry.seq t.seq;
+  Pstruct.set t.dev ~base:off Entry.addr addr;
+  Pstruct.set t.dev ~base:off Entry.dest dest;
   if not t.skip_flush then
-    Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:entry_bytes;
+    Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:(Pstruct.size Entry.l);
   t.next <- t.next + 1;
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  off
+
+let append t clock kind ~addr ~dest = ignore (append_off t clock kind ~addr ~dest)
+
+let append_span t clock kind ~addr ~dest =
+  let off = append_off t clock kind ~addr ~dest in
+  Pstruct.layout_span ~base:off Entry.l
 
 let checkpoint t clock =
   assert t.ready;
   t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
   t.next <- 0;
-  Pmem.Device.write_u8 t.dev t.base t.epoch;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:t.base ~len:1
+  Pstruct.set t.dev ~base:t.base Hdr.epoch t.epoch;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:t.base Hdr.epoch)
 
 let adopt dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
@@ -122,7 +149,7 @@ let adopt dev ~base ~entries ~interleave =
     base;
     nentries = entries;
     interleave;
-    epoch = Pmem.Device.read_u8 dev base;
+    epoch = Pstruct.get dev ~base Hdr.epoch;
     next = 0;
     seq = 0;
     ready = false;
@@ -135,8 +162,8 @@ let seal t clock =
   t.next <- 0;
   t.seq <- 0;
   t.ready <- true;
-  Pmem.Device.write_u8 t.dev t.base t.epoch;
-  Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr:t.base ~len:1
+  Pstruct.set t.dev ~base:t.base Hdr.epoch t.epoch;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:t.base Hdr.epoch)
 
 let reopen dev clock ~base ~entries ~interleave =
   let t = adopt dev ~base ~entries ~interleave in
@@ -146,19 +173,19 @@ let reopen dev clock ~base ~entries ~interleave =
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 
 let replay_torn dev ~base ~entries =
-  let epoch = Pmem.Device.read_u8 dev base in
+  let epoch = Pstruct.get dev ~base Hdr.epoch in
   let acc = ref [] in
   let torn = ref 0 in
   for phys = 0 to entries - 1 do
     let off = base + Pmem.Cacheline.size + (phys * entry_bytes) in
-    if Pmem.Device.read_u8 dev (off + 1) = epoch then begin
-      let code = Pmem.Device.read_u8 dev off in
+    if Pstruct.get dev ~base:off Entry.epoch = epoch then begin
+      let code = Pstruct.get dev ~base:off Entry.kind in
       match kind_of_code code with
       | Some kind ->
-          let seq = Pmem.Device.read_u32 dev (off + 4) in
-          let addr = Pmem.Device.read_u32 dev (off + 8) in
-          let dest = Pmem.Device.read_u32 dev (off + 12) in
-          if Pmem.Device.read_u16 dev (off + 2) = checksum ~kind:code ~epoch ~seq ~addr ~dest
+          let seq = Pstruct.get dev ~base:off Entry.seq in
+          let addr = Pstruct.get dev ~base:off Entry.addr in
+          let dest = Pstruct.get dev ~base:off Entry.dest in
+          if Pstruct.get dev ~base:off Entry.ck = checksum ~kind:code ~epoch ~seq ~addr ~dest
           then acc := { kind; seq; addr; dest } :: !acc
           else incr torn
       | None -> ()

@@ -59,6 +59,12 @@ val near_full : t -> bool
 val append : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> unit
 (** Write and flush one entry (category [Wal]). *)
 
+val append_span : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> Pstruct.span
+(** Like {!append}, returning the entry's span so callers can declare it
+    as a persist-ordering dependency of the metadata commit the entry
+    covers. The span is returned even under {!unsafe_set_skip_flush} —
+    it denotes what {e should} have persisted. *)
+
 val checkpoint : t -> Sim.Clock.t -> unit
 (** Bump the epoch (invalidating all entries) and flush the header. The
     caller must have emptied the arena's tcaches first. *)

@@ -19,9 +19,10 @@ let workload t th ~seed ~ops =
     else ignore (Nvalloc.malloc_to t th ~size:sizes.(Sim.Rng.int rng (Array.length sizes)) ~dest)
   done
 
-let run_plan ?(broken = false) (plan : Plan.t) =
+let run_plan ?(broken = false) ?(check_order = true) (plan : Plan.t) =
   let config = Plan.config plan.Plan.variant in
   let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
+  Pmem.Device.set_check_mode dev check_order;
   let clock = Sim.Clock.create () in
   let t = Nvalloc.create ~config dev clock in
   if broken then
@@ -51,9 +52,9 @@ let run_plan ?(broken = false) (plan : Plan.t) =
 
 let max_shrink_rounds = 64
 
-let shrink ?broken plan ~reason =
+let shrink ?broken ?check_order plan ~reason =
   let fails p =
-    match run_plan ?broken p with Error e -> Some e | Ok _ -> None
+    match run_plan ?broken ?check_order p with Error e -> Some e | Ok _ -> None
   in
   let rec go plan reason rounds =
     if rounds = 0 then (plan, reason)
@@ -68,17 +69,17 @@ let shrink ?broken plan ~reason =
   in
   go plan reason max_shrink_rounds
 
-let fuzz ?broken ?variant ?(on_plan = fun _ _ -> ()) ~seed ~runs () =
+let fuzz ?broken ?check_order ?variant ?(on_plan = fun _ _ -> ()) ~seed ~runs () =
   let rng = Sim.Rng.create seed in
   let rec loop i =
     if i >= runs then None
     else begin
       let plan = Plan.sample ?variant rng in
       on_plan i plan;
-      match run_plan ?broken plan with
+      match run_plan ?broken ?check_order plan with
       | Ok _ -> loop (i + 1)
       | Error reason ->
-          let shrunk, reason = shrink ?broken plan ~reason in
+          let shrunk, reason = shrink ?broken ?check_order plan ~reason in
           Some { original = plan; shrunk; reason }
     end
   in

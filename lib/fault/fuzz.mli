@@ -10,7 +10,13 @@
     [?broken] deliberately breaks the WAL's flush-before-effect ordering
     ({!Nvalloc_core.Wal.unsafe_set_skip_flush}) on the workload instance.
     It exists to demonstrate the pipeline end to end: a real protocol
-    bug is caught by the oracle and shrunk to a one-line repro. *)
+    bug is caught by the oracle and shrunk to a one-line repro.
+
+    [?check_order] (default [true]) runs every plan with the device's
+    persist-ordering checker enabled ({!Pmem.Device.set_check_mode}):
+    commits whose declared dependencies are still dirty are recorded and
+    turned into oracle failures, catching ordering bugs {e without}
+    needing the crash to land in the vulnerable window. *)
 
 type counterexample = {
   original : Plan.t;  (** the sampled plan that first failed *)
@@ -18,15 +24,20 @@ type counterexample = {
   reason : string;  (** the oracle's verdict on [shrunk] *)
 }
 
-val run_plan : ?broken:bool -> Plan.t -> (Nvalloc_core.Nvalloc.recovery_report, string) result
+val run_plan :
+  ?broken:bool ->
+  ?check_order:bool ->
+  Plan.t ->
+  (Nvalloc_core.Nvalloc.recovery_report, string) result
 (** Execute one plan against a fresh device and run the oracle. *)
 
-val shrink : ?broken:bool -> Plan.t -> reason:string -> Plan.t * string
+val shrink : ?broken:bool -> ?check_order:bool -> Plan.t -> reason:string -> Plan.t * string
 (** Greedy shrinking: recurse on the first {!Plan.shrink_candidates}
     member that still fails (bounded number of rounds). *)
 
 val fuzz :
   ?broken:bool ->
+  ?check_order:bool ->
   ?variant:Plan.variant ->
   ?on_plan:(int -> Plan.t -> unit) ->
   seed:int ->

@@ -2,11 +2,32 @@ open Nvalloc_core
 
 let report_suffix report = Format.asprintf " [%a]" Nvalloc.pp_recovery_report report
 
+(* Persist-ordering verdict from the device checker (check mode only):
+   any commit that retired while a declared dependency was still dirty,
+   recorded during the run that led here or during the stage named by
+   [stage]. *)
+let ordering_failure dev ~stage =
+  if not (Pmem.Device.check_mode dev) then None
+  else
+    let n = Pmem.Device.ordering_violation_count dev in
+    if n = 0 then None
+    else
+      let first =
+        match Pmem.Device.ordering_violations dev with
+        | v :: _ -> Format.asprintf ": %a" Pmem.Device.pp_violation v
+        | [] -> ""
+      in
+      Some (Printf.sprintf "%d persist-ordering violation(s) %s%s" n stage first)
+
 let check ~config dev clock =
   let fail report fmt =
     Printf.ksprintf (fun msg -> failwith (msg ^ report_suffix report)) fmt
   in
   try
+    (* 0. Persist-ordering up to (and including) the crash. *)
+    (match ordering_failure dev ~stage:"before recovery" with
+    | Some msg -> failwith msg
+    | None -> ());
     let t, report = Nvalloc.recover ~config dev clock in
     (* 1. Owner-index disjointness. *)
     (match Nvalloc.check_owner_index t with
@@ -54,6 +75,10 @@ let check ~config dev clock =
     for i = 0 to 63 do
       Nvalloc.free_from t2 th2 ~dest:(Nvalloc.root_addr t2 i)
     done;
+    (* 5. Persist-ordering of recovery and the oracle's own traffic. *)
+    (match ordering_failure dev ~stage:"during recovery/oracle" with
+    | Some msg -> fail report "%s" msg
+    | None -> ());
     Ok report
   with
   | Failure msg -> Error msg

@@ -39,7 +39,8 @@ let mmap t clock ~size =
 
 let munmap t clock ~addr ~size =
   let size = round_up size in
-  assert (addr mod page_size = 0);
+  if addr mod page_size <> 0 then
+    invalid_arg (Printf.sprintf "Pmem.Dax.munmap: unaligned addr %d (page size %d)" addr page_size);
   Device.charge_work t.dev clock Stats.Other ~ns:munmap_ns;
   t.mapped <- t.mapped - size;
   (* Insert in address order and coalesce with neighbours. *)

@@ -34,7 +34,8 @@ val mmap : t -> Sim.Clock.t -> size:int -> int
     Raises [Out_of_memory] if the device is exhausted. *)
 
 val munmap : t -> Sim.Clock.t -> addr:int -> size:int -> unit
-(** Return a region. Adjacent free regions coalesce. *)
+(** Return a region. Adjacent free regions coalesce. An [addr] that is
+    not page-aligned raises [Invalid_argument]. *)
 
 val mapped_bytes : t -> int
 val peak_mapped_bytes : t -> int

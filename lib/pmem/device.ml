@@ -2,6 +2,32 @@ exception Injected_crash
 
 type torn_mode = Torn_prefix | Torn_suffix | Torn_random
 
+type violation = {
+  v_commit_addr : int;
+  v_commit_len : int;
+  v_dep_addr : int;
+  v_dep_len : int;
+  v_dep_note : string;
+  v_dirty_line : int;
+  v_dep_epochs : int; (* persists of the dirty line before the violation *)
+}
+
+(* Persist-ordering checker (check mode only). Dependencies are declared
+   per thread — ordering is a property of one thread's flush stream, like
+   the reflush/sequential classification above — and validated when that
+   thread's next commit-classified flush retires. *)
+type checker = {
+  mutable commits_checked : int;
+  mutable deps_tracked : int;
+  mutable nviol : int;
+  mutable violations : violation list; (* oldest first, capped *)
+  epochs : (int, int) Hashtbl.t; (* line -> times persisted *)
+  pending : (int, (int * int * string) list) Hashtbl.t;
+      (* clock id -> declared (addr, len, note) deps, most recent first *)
+}
+
+let kept_violations = 32
+
 type t = {
   lat : Latency.t;
   volatile : Store.t;
@@ -22,6 +48,7 @@ type t = {
   mutable cached_stream : stream option;
   mutable crash_after : int option;
   mutable torn : (torn_mode * int) option;
+  mutable check : checker option;
 }
 
 and stream = { recent : Lru_ring.t; xplines : Lru_ring.t }
@@ -40,6 +67,7 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     cached_stream = None;
     crash_after = None;
     torn = None;
+    check = None;
   }
 
 let size t = Store.size t.volatile
@@ -49,52 +77,84 @@ let is_eadr t = t.lat.Latency.reflush_step_ns = 0.0 && t.lat.Latency.seq_flush_n
 
 (* --- data access ------------------------------------------------------ *)
 
+(* One uniform out-of-bounds message for every accessor: callers (and
+   tests) can rely on its shape regardless of which accessor tripped. *)
+let[@inline never] bounds_fail op addr len size =
+  invalid_arg
+    (Printf.sprintf "Pmem.Device.%s: out of bounds (addr=%d, len=%d, device size=%d)" op
+       addr len size)
+
+let[@inline] check_bounds t op addr len =
+  if addr < 0 || len < 0 || addr + len > Store.size t.volatile then
+    bounds_fail op addr len (Store.size t.volatile)
+
 (* Cacheline.span, open-coded: the tuple it returns would be an
    allocation on every write. *)
-let mark_dirty t addr len =
+let[@inline] mark_dirty t addr len =
   let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
   if first = last then Dirtymap.mark t.dirty first
   else Dirtymap.mark_range t.dirty ~first ~last
 
-let read_u8 t addr = Store.get_u8 t.volatile addr
+let[@inline] read_u8 t addr =
+  check_bounds t "read_u8" addr 1;
+  Store.get_u8 t.volatile addr
 
-let write_u8 t addr v =
+let[@inline] write_u8 t addr v =
+  check_bounds t "write_u8" addr 1;
   Store.set_u8 t.volatile addr v;
   mark_dirty t addr 1
 
-let read_u16 t addr = Store.get_u16 t.volatile addr
+let[@inline] read_u16 t addr =
+  check_bounds t "read_u16" addr 2;
+  Store.get_u16 t.volatile addr
 
-let write_u16 t addr v =
+let[@inline] write_u16 t addr v =
+  check_bounds t "write_u16" addr 2;
   Store.set_u16 t.volatile addr v;
   mark_dirty t addr 2
 
-let read_u32 t addr = Store.get_u32 t.volatile addr
+let[@inline] read_u32 t addr =
+  check_bounds t "read_u32" addr 4;
+  Store.get_u32 t.volatile addr
 
-let write_u32 t addr v =
+let[@inline] write_u32 t addr v =
   assert (v >= 0 && v <= 0xFFFFFFFF);
+  check_bounds t "write_u32" addr 4;
   Store.set_u32 t.volatile addr v;
   mark_dirty t addr 4
 
-let read_int64 t addr = Store.get_i64 t.volatile addr
+let[@inline] read_int64 t addr =
+  check_bounds t "read_int64" addr 8;
+  Store.get_i64 t.volatile addr
 
-let write_int64 t addr v =
+let[@inline] write_int64 t addr v =
+  check_bounds t "write_int64" addr 8;
   Store.set_i64 t.volatile addr v;
   mark_dirty t addr 8
 
-let read_int t addr =
-  let v = read_int64 t addr in
+let[@inline] read_int t addr =
+  check_bounds t "read_int" addr 8;
+  let v = Store.get_i64 t.volatile addr in
   let i = Int64.to_int v in
   assert (Int64.of_int i = v);
   i
 
-let write_int t addr v = write_int64 t addr (Int64.of_int v)
-let read_bytes t addr len = Store.read_bytes t.volatile addr len
+let[@inline] write_int t addr v =
+  check_bounds t "write_int" addr 8;
+  Store.set_i64 t.volatile addr (Int64.of_int v);
+  mark_dirty t addr 8
+
+let read_bytes t addr len =
+  check_bounds t "read_bytes" addr len;
+  Store.read_bytes t.volatile addr len
 
 let write_bytes t addr b =
+  check_bounds t "write_bytes" addr (Bytes.length b);
   Store.write_bytes t.volatile addr b;
   mark_dirty t addr (Bytes.length b)
 
 let fill t addr len c =
+  check_bounds t "fill" addr len;
   Store.fill t.volatile addr len c;
   mark_dirty t addr len
 
@@ -132,7 +192,10 @@ let do_crash t =
   t.cached_stream <- None;
   Xpbuffer.reset t.wpq;
   t.crash_after <- None;
-  t.torn <- None
+  t.torn <- None;
+  (* A crash voids pending ordering obligations (the volatile writes they
+     covered are gone); recorded violations and counters survive. *)
+  match t.check with None -> () | Some c -> Hashtbl.reset c.pending
 
 let crash t = do_crash t
 
@@ -186,6 +249,11 @@ let[@inline] flush_line t clock cat line =
   let addr = line * Cacheline.size in
   Store.copy_line ~src:t.volatile ~dst:t.persisted line;
   Dirtymap.clear t.dirty line;
+  (match t.check with
+  | None -> ()
+  | Some c ->
+      Hashtbl.replace c.epochs line
+        (1 + Option.value ~default:0 (Hashtbl.find_opt c.epochs line)));
   let st = stream_of t clock in
   (* Reflush distance of [line]: its position in the thread's recent-
      distinct-lines window, or None if absent; the touch updates the
@@ -272,3 +340,108 @@ let crash_armed t = t.crash_after <> None
 let dirty_lines t = Dirtymap.count t.dirty
 let persisted_int64 t addr = Store.get_i64 t.persisted addr
 let persisted_u8 t addr = Store.get_u8 t.persisted addr
+
+(* --- persist-ordering checker ----------------------------------------- *)
+
+let set_check_mode t on =
+  if on then
+    t.check <-
+      Some
+        {
+          commits_checked = 0;
+          deps_tracked = 0;
+          nviol = 0;
+          violations = [];
+          epochs = Hashtbl.create 256;
+          pending = Hashtbl.create 8;
+        }
+  else t.check <- None
+
+let check_mode t = t.check <> None
+
+let depends_on ?(note = "") t clock ~addr ~len =
+  match t.check with
+  | None -> ()
+  | Some c ->
+      check_bounds t "depends_on" addr len;
+      if len > 0 then begin
+        c.deps_tracked <- c.deps_tracked + 1;
+        let id = Sim.Clock.id clock in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt c.pending id) in
+        Hashtbl.replace c.pending id ((addr, len, note) :: prev)
+      end
+
+(* A declared dependency is satisfied iff its bytes are durable when the
+   commit begins to retire: every covering line is clean, or — a dirty
+   line may owe its dirtiness to unrelated neighbours (a later WAL entry
+   sharing the line, say) — the dep's own bytes already match the
+   persisted image. *)
+let dep_violation t c ~commit_addr ~commit_len (dep_addr, dep_len, note) =
+  let first = Cacheline.index dep_addr
+  and last = Cacheline.index (dep_addr + dep_len - 1) in
+  let bad = ref None in
+  let line = ref first in
+  while !bad = None && !line <= last do
+    (if Dirtymap.test t.dirty !line then begin
+       let lo = max dep_addr (!line * Cacheline.size)
+       and hi = min (dep_addr + dep_len) ((!line + 1) * Cacheline.size) in
+       let differs = ref false in
+       for a = lo to hi - 1 do
+         if Store.get_u8 t.volatile a <> Store.get_u8 t.persisted a then differs := true
+       done;
+       if !differs then bad := Some !line
+     end);
+    incr line
+  done;
+  match !bad with
+  | None -> ()
+  | Some l ->
+      c.nviol <- c.nviol + 1;
+      if List.length c.violations < kept_violations then
+        c.violations <-
+          c.violations
+          @ [
+              {
+                v_commit_addr = commit_addr;
+                v_commit_len = commit_len;
+                v_dep_addr = dep_addr;
+                v_dep_len = dep_len;
+                v_dep_note = note;
+                v_dirty_line = l;
+                v_dep_epochs = Option.value ~default:0 (Hashtbl.find_opt c.epochs l);
+              };
+            ]
+
+let commit_flush t clock cat ~addr ~len =
+  (match t.check with
+  | None -> ()
+  | Some c -> (
+      c.commits_checked <- c.commits_checked + 1;
+      let id = Sim.Clock.id clock in
+      match Hashtbl.find_opt c.pending id with
+      | None -> ()
+      | Some deps ->
+          Hashtbl.remove c.pending id;
+          (* Deps are validated before the commit's own lines flush: a dep
+             sharing a line with the commit must have been persisted by an
+             earlier flush, not smuggled out by this one (clwb A; clwb B;
+             sfence orders neither before the other). *)
+          List.iter (dep_violation t c ~commit_addr:addr ~commit_len:len) (List.rev deps)));
+  flush t clock cat ~addr ~len
+
+let ordering_commits_checked t =
+  match t.check with None -> 0 | Some c -> c.commits_checked
+
+let ordering_deps_tracked t = match t.check with None -> 0 | Some c -> c.deps_tracked
+let ordering_violation_count t = match t.check with None -> 0 | Some c -> c.nviol
+let ordering_violations t = match t.check with None -> [] | Some c -> c.violations
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "commit [%d..%d) retired before dependency%s [%d..%d) persisted (line %d dirty, \
+     persisted %d time%s)"
+    v.v_commit_addr
+    (v.v_commit_addr + v.v_commit_len)
+    (if v.v_dep_note = "" then "" else " " ^ v.v_dep_note)
+    v.v_dep_addr (v.v_dep_addr + v.v_dep_len) v.v_dirty_line v.v_dep_epochs
+    (if v.v_dep_epochs = 1 then "" else "s")

@@ -47,7 +47,11 @@ val is_eadr : t -> bool
 
     Accessors do not charge simulated time: loads and stores hitting the
     CPU cache are negligible next to flush costs. Multi-byte accessors are
-    little-endian. *)
+    little-endian.
+
+    Every accessor bounds-checks its access against the device size and
+    raises [Invalid_argument] with the uniform message
+    ["Pmem.Device.<op>: out of bounds (addr=_, len=_, device size=_)"]. *)
 
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
@@ -119,3 +123,55 @@ val persisted_int64 : t -> int -> int64
 (** Read the persisted image directly (test observability only). *)
 
 val persisted_u8 : t -> int -> int
+
+(** {1 Persist-ordering checker}
+
+    In check mode the device validates declared persist-ordering
+    dependencies dynamically, FliT-style: a thread declares with
+    {!depends_on} the byte spans that must be durable before its next
+    commit point, and {!commit_flush} — a commit-classified flush —
+    validates them as it retires. A dependency is satisfied iff, when the
+    commit begins, every line it covers is clean or the dependency's own
+    bytes already match the persisted image (so unrelated writes sharing
+    a line cannot false-positive). Violations are recorded, not raised:
+    the protocol under test keeps running and {!Fault.Oracle} turns the
+    record into a failure.
+
+    The checker is per-thread (keyed by {!Sim.Clock.id}) and intended for
+    the deterministic single-threaded harnesses (unit tests, the crash
+    fuzzer); it is off by default and costs nothing when off. A crash
+    voids pending dependencies but keeps recorded violations. *)
+
+type violation = {
+  v_commit_addr : int;
+  v_commit_len : int;
+  v_dep_addr : int;
+  v_dep_len : int;
+  v_dep_note : string;  (** caller-supplied label, e.g. ["wal:Refill"] *)
+  v_dirty_line : int;  (** the dependency line still dirty at the commit *)
+  v_dep_epochs : int;  (** times that line had persisted before the violation *)
+}
+
+val set_check_mode : t -> bool -> unit
+(** [set_check_mode t true] starts a fresh checker (counters zeroed);
+    [set_check_mode t false] discards it. *)
+
+val check_mode : t -> bool
+
+val depends_on : ?note:string -> t -> Sim.Clock.t -> addr:int -> len:int -> unit
+(** Declare that [addr, addr+len) must be durable before this thread's
+    next {!commit_flush} retires. No-op when check mode is off;
+    zero-length dependencies are ignored. *)
+
+val commit_flush : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
+(** Exactly {!flush}, but classified as a commit point: in check mode it
+    first validates (and consumes) the thread's declared dependencies. *)
+
+val ordering_commits_checked : t -> int
+val ordering_deps_tracked : t -> int
+val ordering_violation_count : t -> int
+
+val ordering_violations : t -> violation list
+(** Oldest first; capped at the first 32 (the count keeps counting). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,25 @@
+#!/bin/sh
+# The full local gate, in dependency order: formatting, build, unit
+# tests, host-time benchmark check, crash-plan fuzzer. Each stage is the
+# corresponding single-purpose script (or dune target), so a failure
+# names the stage and can be re-run in isolation.
+#
+# Usage: scripts/check_all.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+stage() {
+  echo ""
+  echo "==> $1"
+  shift
+  "$@"
+}
+
+stage "fmt (scripts/fmt_check.sh)" sh scripts/fmt_check.sh
+stage "build (dune build)" dune build
+stage "unit tests (dune runtest)" dune runtest
+stage "bench regression (scripts/bench_check.sh)" sh scripts/bench_check.sh
+stage "crash fuzzer (scripts/fuzz_check.sh)" sh scripts/fuzz_check.sh
+
+echo ""
+echo "all checks OK"

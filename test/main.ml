@@ -5,6 +5,8 @@ let () =
       ("rbtree", Test_rbtree.suite);
       ("support", Test_support.suite);
       ("device", Test_device.suite);
+      ("dax", Test_dax.suite);
+      ("pstruct", Test_pstruct.suite);
       ("substrate-perf", Test_substrate_perf.suite);
       ("bitmap", Test_bitmap.suite);
       ("slab-tcache", Test_slab_tcache.suite);

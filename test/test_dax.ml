@@ -1,0 +1,83 @@
+(* The DAX file-space manager: region recycling, space accounting, and
+   argument validation. *)
+
+let mib = 1024 * 1024
+
+let mk ?(size = 64 * mib) () =
+  let dev = Pmem.Device.create ~size () in
+  (Pmem.Dax.create dev, Sim.Clock.create ())
+
+let test_unaligned_unmap_rejected () =
+  let dax, clock = mk () in
+  let base = Pmem.Dax.mmap dax clock ~size:(4 * mib) in
+  Alcotest.check_raises "unaligned addr"
+    (Invalid_argument
+       (Printf.sprintf "Pmem.Dax.munmap: unaligned addr %d (page size %d)" (base + 5)
+          Pmem.Dax.page_size))
+    (fun () -> Pmem.Dax.munmap dax clock ~addr:(base + 5) ~size:(4 * mib));
+  Pmem.Dax.munmap dax clock ~addr:base ~size:(4 * mib)
+
+(* Mapping n 4 MB regions, unmapping them all, and mapping again must
+   recycle the same address space: first-fit over a fully coalesced free
+   list hands back the original base, and the accounting returns to
+   zero in between. *)
+let prop_recycle =
+  QCheck.Test.make ~name:"mmap/munmap recycles 4 MB regions" ~count:50
+    QCheck.(pair (int_range 1 8) bool)
+    (fun (n, reverse) ->
+      let dax, clock = mk () in
+      let bases = List.init n (fun _ -> Pmem.Dax.mmap dax clock ~size:(4 * mib)) in
+      let distinct = List.sort_uniq compare bases in
+      if List.length distinct <> n then QCheck.Test.fail_report "overlapping regions";
+      if Pmem.Dax.mapped_bytes dax <> n * 4 * mib then
+        QCheck.Test.fail_report "mapped_bytes after mmaps";
+      List.iter
+        (fun addr -> Pmem.Dax.munmap dax clock ~addr ~size:(4 * mib))
+        (if reverse then List.rev bases else bases);
+      if Pmem.Dax.mapped_bytes dax <> 0 then
+        QCheck.Test.fail_report "mapped_bytes not zero after unmapping everything";
+      let again = Pmem.Dax.mmap dax clock ~size:(4 * mib) in
+      if again <> List.hd bases then
+        QCheck.Test.fail_report "freed space not recycled from the original base";
+      true)
+
+(* Random interleavings of mmap/munmap against a model map: the device
+   never hands out overlapping regions and mapped_bytes always equals
+   the model's total. *)
+let prop_accounting =
+  QCheck.Test.make ~name:"mmap/munmap accounting matches a model" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair bool (int_range 1 4)))
+    (fun ops ->
+      let dax, clock = mk () in
+      let live = ref [] in
+      List.iter
+        (fun (do_map, pages_ish) ->
+          if do_map || !live = [] then begin
+            let size = pages_ish * mib in
+            let addr = Pmem.Dax.mmap dax clock ~size in
+            List.iter
+              (fun (a, s) ->
+                if addr < a + s && a < addr + size then
+                  QCheck.Test.fail_report "handed out an overlapping region")
+              !live;
+            live := (addr, size) :: !live
+          end
+          else begin
+            match !live with
+            | (addr, size) :: rest ->
+                Pmem.Dax.munmap dax clock ~addr ~size;
+                live := rest
+            | [] -> ()
+          end;
+          let total = List.fold_left (fun acc (_, s) -> acc + s) 0 !live in
+          if Pmem.Dax.mapped_bytes dax <> total then
+            QCheck.Test.fail_report "mapped_bytes diverged from model")
+        ops;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "unaligned unmap rejected" `Quick test_unaligned_unmap_rejected;
+    QCheck_alcotest.to_alcotest prop_recycle;
+    QCheck_alcotest.to_alcotest prop_accounting;
+  ]

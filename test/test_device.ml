@@ -228,6 +228,103 @@ let test_dax_decommit () =
   Pmem.Dax.recommit dax clock ~addr:a ~size:16384;
   Alcotest.(check int) "recommitted" 16384 (Pmem.Dax.mapped_bytes dax)
 
+(* Every accessor reports out-of-bounds access with one uniform message
+   naming the accessor, the offending extent and the device size. *)
+let test_bounds_messages () =
+  let size = 1 lsl 20 in
+  let dev, _ = mk ~size () in
+  let expect op addr len f =
+    Alcotest.check_raises op
+      (Invalid_argument
+         (Printf.sprintf "Pmem.Device.%s: out of bounds (addr=%d, len=%d, device size=%d)"
+            op addr len size))
+      f
+  in
+  expect "read_u8" size 1 (fun () -> ignore (Pmem.Device.read_u8 dev size));
+  expect "write_u16" (size - 1) 2 (fun () -> Pmem.Device.write_u16 dev (size - 1) 7);
+  expect "read_u32" (-4) 4 (fun () -> ignore (Pmem.Device.read_u32 dev (-4)));
+  expect "write_int64" (size - 7) 8 (fun () -> Pmem.Device.write_int64 dev (size - 7) 1L);
+  expect "read_int" (size - 4) 8 (fun () -> ignore (Pmem.Device.read_int dev (size - 4)));
+  expect "read_bytes" 0 (size + 1) (fun () -> ignore (Pmem.Device.read_bytes dev 0 (size + 1)));
+  expect "write_bytes" (size - 2) 4 (fun () ->
+      Pmem.Device.write_bytes dev (size - 2) (Bytes.create 4));
+  expect "fill" 64 (-1) (fun () -> Pmem.Device.fill dev 64 (-1) 'x')
+
+(* --- persist-ordering checker ------------------------------------------- *)
+
+let test_checker_off_costs_nothing () =
+  let dev, clock = mk () in
+  Alcotest.(check bool) "off by default" false (Pmem.Device.check_mode dev);
+  (* No-ops when off: *)
+  Pmem.Device.depends_on dev clock ~addr:0 ~len:8;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:0 ~len:8;
+  Alcotest.(check int) "no commits counted" 0 (Pmem.Device.ordering_commits_checked dev)
+
+let test_checker_clean_commit () =
+  let dev, clock = mk () in
+  Pmem.Device.set_check_mode dev true;
+  Pmem.Device.write_int64 dev 0 1L;
+  Pmem.Device.flush dev clock Pmem.Stats.Wal ~addr:0 ~len:8;
+  Pmem.Device.depends_on ~note:"wal" dev clock ~addr:0 ~len:8;
+  Pmem.Device.write_u8 dev 4096 1;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  Alcotest.(check int) "commit counted" 1 (Pmem.Device.ordering_commits_checked dev);
+  Alcotest.(check int) "dep counted" 1 (Pmem.Device.ordering_deps_tracked dev);
+  Alcotest.(check int) "no violation" 0 (Pmem.Device.ordering_violation_count dev)
+
+let test_checker_dirty_dep_flagged () =
+  let dev, clock = mk () in
+  Pmem.Device.set_check_mode dev true;
+  Pmem.Device.write_int64 dev 128 1L;
+  (* not flushed *)
+  Pmem.Device.depends_on ~note:"wal" dev clock ~addr:128 ~len:8;
+  Pmem.Device.write_u8 dev 4096 1;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  Alcotest.(check int) "violation" 1 (Pmem.Device.ordering_violation_count dev);
+  (match Pmem.Device.ordering_violations dev with
+  | [ v ] ->
+      Alcotest.(check string) "note" "wal" v.Pmem.Device.v_dep_note;
+      Alcotest.(check int) "commit addr" 4096 v.Pmem.Device.v_commit_addr;
+      Alcotest.(check int) "dirty line" 2 v.Pmem.Device.v_dirty_line;
+      (* pp renders without raising and names the dependency *)
+      let rendered = Format.asprintf "%a" Pmem.Device.pp_violation v in
+      Alcotest.(check bool) "pp non-empty" true (String.length rendered > 0)
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  (* Deps are consumed: an immediate second commit is clean. *)
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  Alcotest.(check int) "deps consumed" 1 (Pmem.Device.ordering_violation_count dev)
+
+let test_checker_shared_line_no_false_positive () =
+  (* A dependency whose bytes already persisted does not trip the check
+     just because an unrelated write dirtied its cache line again. *)
+  let dev, clock = mk () in
+  Pmem.Device.set_check_mode dev true;
+  Pmem.Device.write_int64 dev 0 1L;
+  Pmem.Device.flush dev clock Pmem.Stats.Wal ~addr:0 ~len:8;
+  Pmem.Device.write_int64 dev 8 2L;
+  (* same line, not flushed: line dirty, dep bytes persisted *)
+  Pmem.Device.depends_on ~note:"wal" dev clock ~addr:0 ~len:8;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  Alcotest.(check int) "no false positive" 0 (Pmem.Device.ordering_violation_count dev)
+
+let test_checker_crash_voids_pending () =
+  let dev, clock = mk () in
+  Pmem.Device.set_check_mode dev true;
+  (* One real violation before the crash... *)
+  Pmem.Device.write_int64 dev 128 1L;
+  Pmem.Device.depends_on ~note:"pre" dev clock ~addr:128 ~len:8;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  (* ...and one dependency left pending across it. *)
+  Pmem.Device.write_int64 dev 256 1L;
+  Pmem.Device.depends_on ~note:"pending" dev clock ~addr:256 ~len:8;
+  Pmem.Device.crash dev;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:1;
+  Alcotest.(check int) "recorded violation survives, pending voided" 1
+    (Pmem.Device.ordering_violation_count dev);
+  match Pmem.Device.ordering_violations dev with
+  | [ v ] -> Alcotest.(check string) "the pre-crash one" "pre" v.Pmem.Device.v_dep_note
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
 let suite =
   [
     Alcotest.test_case "write/read roundtrips" `Quick test_write_read;
@@ -245,4 +342,12 @@ let suite =
     Alcotest.test_case "flush charges the clock" `Quick test_clock_advances;
     Alcotest.test_case "dax mmap/munmap/coalesce" `Quick test_dax_mmap;
     Alcotest.test_case "dax decommit/recommit" `Quick test_dax_decommit;
+    Alcotest.test_case "uniform bounds messages" `Quick test_bounds_messages;
+    Alcotest.test_case "checker off by default" `Quick test_checker_off_costs_nothing;
+    Alcotest.test_case "checker: clean commit" `Quick test_checker_clean_commit;
+    Alcotest.test_case "checker: dirty dependency flagged" `Quick test_checker_dirty_dep_flagged;
+    Alcotest.test_case "checker: shared line, persisted dep" `Quick
+      test_checker_shared_line_no_false_positive;
+    Alcotest.test_case "checker: crash voids pending deps" `Quick
+      test_checker_crash_voids_pending;
   ]
