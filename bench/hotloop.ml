@@ -1,20 +1,78 @@
 (* Manual hot-loop timer for the substrate fast path: breaks the
    device write+flush path into phases so a regression in one layer is
-   attributable without a profiler (`dune exec bench/hotloop.exe`). *)
+   attributable without a profiler (`dune exec bench/hotloop.exe`).
+
+   `--check` runs only the telemetry-disabled device write+flush loop
+   and compares it against the committed BENCH_micro.json envelope: the
+   guard that adding the telemetry layer kept the disabled path free. *)
 
 let mib = 1024 * 1024
 
-let time name iters f =
-  let w0 = Gc.minor_words () in
+let measure iters f =
   let t0 = Unix.gettimeofday () in
   f ();
   let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let time name iters f =
+  let w0 = Gc.minor_words () in
+  let ns = measure iters f in
   let w1 = Gc.minor_words () in
-  Printf.printf "%-44s %8.1f ns/iter %6.1f words/iter\n%!" name
-    ((t1 -. t0) *. 1e9 /. float_of_int iters)
+  Printf.printf "%-44s %8.1f ns/iter %6.1f words/iter\n%!" name ns
     ((w1 -. w0) /. float_of_int iters)
 
+(* The telemetry-off guard. The committed baseline is a Bechamel
+   estimate of the same write+flush path; the hot loop here has less
+   harness overhead but shares the machine's noise, so the envelope is
+   deliberately loose (4x): it catches a forgotten sink check making the
+   disabled path allocate or branch per event, not percent-level drift
+   (scripts/bench_check.sh owns that). Min over rounds, like
+   Bench_micro.run_check, so one noisy round cannot fail the gate. *)
+let check_envelope = 4.0
+
+let run_check () =
+  let baseline_path = "BENCH_micro.json" in
+  let base =
+    Bench_micro.parse_section (Bench_micro.read_file baseline_path) "micro_ns_per_run"
+  in
+  let base_ns =
+    match List.assoc_opt "primitives/device write+flush" base with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "no device write+flush entry in %s\n" baseline_path;
+        exit 2
+  in
+  let n = 2_000_000 in
+  let dev = Pmem.Device.create ~size:(16 * mib) () in
+  let clock = Sim.Clock.create () in
+  assert (Pmem.Device.telemetry dev = None);
+  let round () =
+    measure n (fun () ->
+        for i = 0 to n - 1 do
+          let addr = i * 64 mod (8 * mib) in
+          Pmem.Device.write_int64 dev addr 42L;
+          Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr ~len:8
+        done)
+  in
+  let best = ref (round ()) in
+  for _ = 2 to 3 do
+    let ns = round () in
+    if ns < !best then best := ns
+  done;
+  let limit = base_ns *. check_envelope in
+  Printf.printf "telemetry-off write+flush: %.1f ns/iter (baseline %.1f, limit %.1f)\n" !best
+    base_ns limit;
+  if !best > limit then begin
+    Printf.printf "FAIL: disabled-telemetry hot path exceeds the baseline envelope\n";
+    exit 1
+  end;
+  Printf.printf "hotloop check OK\n"
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--check" then begin
+    run_check ();
+    exit 0
+  end;
   let n = 5_000_000 in
   let dev = Pmem.Device.create ~size:(16 * mib) () in
   time "write_int64" n (fun () ->
@@ -57,6 +115,18 @@ let () =
         let addr = i * 64 mod (8 * mib) in
         Pmem.Device.write_int64 dev2 addr 42L;
         Pmem.Device.flush dev2 clock2 Pmem.Stats.Meta ~addr ~len:8
+      done);
+  (* Same path with a telemetry sink attached: the cost of recording a
+     span + histogram observation per flush, for attribution when the
+     enabled path gets slower. *)
+  let dev_t = Pmem.Device.create ~size:(16 * mib) () in
+  let clock_t = Sim.Clock.create () in
+  Pmem.Device.set_telemetry dev_t (Some (Telemetry.create ()));
+  time "device write+flush (telemetry attached)" n (fun () ->
+      for i = 0 to n - 1 do
+        let addr = i * 64 mod (8 * mib) in
+        Pmem.Device.write_int64 dev_t addr 42L;
+        Pmem.Device.flush dev_t clock_t Pmem.Stats.Meta ~addr ~len:8
       done);
   (* Same loop, via an opaque closure, after growing the major heap the
      way the grouped Bechamel run does — isolates harness effects. *)

@@ -16,15 +16,55 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+(* --- telemetry capture plumbing ------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let slug name =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '-') name
+
+(* Shared --telemetry flag: capture a timeline per allocator instance the
+   command builds, then export Chrome trace JSON + histogram CSV files. *)
+let telemetry_flag =
+  let doc =
+    "Capture a telemetry timeline for every allocator instance the command \
+     builds, and write trace_NN_<allocator>.json (Chrome trace-event format, \
+     openable in Perfetto) plus trace_NN_<allocator>.csv (latency-histogram \
+     percentiles) into the current directory."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let with_capture enabled f =
+  if not enabled then f ()
+  else begin
+    Telemetry.request_capture ();
+    Fun.protect ~finally:Telemetry.cancel_capture f;
+    let sinks = Telemetry.registered () in
+    Telemetry.reset_registered ();
+    List.iteri
+      (fun i (name, sink) ->
+        let base = Printf.sprintf "trace_%02d_%s" i (slug name) in
+        write_file (base ^ ".json") (Telemetry.chrome_json sink);
+        write_file (base ^ ".csv") (Telemetry.hist_csv sink);
+        Printf.eprintf "telemetry: %s.json %s.csv (%d events, %d dropped)\n" base base
+          (Telemetry.events_recorded sink)
+          (Telemetry.events_dropped sink))
+      sinks
+  end
+
 let run_cmd =
   let doc = "Run the experiments with the given ids." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run ids = List.iter Harness.Registry.run_one ids in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+  let run telemetry ids = with_capture telemetry (fun () -> List.iter Harness.Registry.run_one ids) in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ telemetry_flag $ ids)
 
 let all_cmd =
   let doc = "Run every experiment (the full paper reproduction)." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const Harness.Registry.run_all $ const ())
+  let run telemetry () = with_capture telemetry Harness.Registry.run_all in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ telemetry_flag $ const ())
 
 let allocator_kind name =
   match
@@ -35,7 +75,7 @@ let allocator_kind name =
   | Some k -> k
   | None -> failwith ("unknown allocator " ^ name)
 
-let trace_cmd =
+let flushes_cmd =
   (* Figure 2 as raw data: one CSV line per metadata flush, for external
      plotting of the scatter the paper shows. *)
   let doc =
@@ -54,17 +94,72 @@ let trace_cmd =
     print_endline "seq,category,address";
     List.iteri
       (fun i (cat, addr) ->
-        let c =
-          match cat with
-          | Pmem.Stats.Meta -> "meta"
-          | Pmem.Stats.Wal -> "wal"
-          | Pmem.Stats.Log -> "log"
-          | Pmem.Stats.Data -> "data"
-        in
-        Printf.printf "%d,%s,%d\n" i c addr)
+        Printf.printf "%d,%s,%d\n" i (Pmem.Stats.cat_name cat) addr)
       (Pmem.Stats.trace (Pmem.Device.stats inst.Alloc_api.Instance.dev))
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ alloc)
+  Cmd.v (Cmd.info "flushes" ~doc) Term.(const run $ alloc)
+
+let trace_cmd =
+  let doc =
+    "Run one workload with telemetry enabled and print its timeline as \
+     Chrome trace-event JSON (load it at https://ui.perfetto.dev). \
+     Timestamps are simulated nanoseconds; the trace is byte-identical \
+     across runs with the same seed. Workloads: threadtest, prodcon, \
+     shbench, larson (small objects), larson-large, dbmstest."
+  in
+  let workload = Arg.(value & pos 0 string "larson" & info [] ~docv:"WORKLOAD") in
+  let alloc =
+    let doc = "Allocator to trace (see $(b,flushes) for the list)." in
+    Arg.(value & opt string "NVAlloc-LOG" & info [ "allocator" ] ~docv:"ALLOCATOR" ~doc)
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed.")
+  in
+  let out =
+    let doc = "Write the trace JSON to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+  in
+  let hist =
+    let doc = "Also write latency-histogram percentiles as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "hist" ] ~docv:"PATH" ~doc)
+  in
+  let run workload alloc threads seed out hist =
+    let kind = allocator_kind alloc in
+    Telemetry.request_capture ();
+    let inst =
+      Fun.protect ~finally:Telemetry.cancel_capture (fun () ->
+          Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads kind)
+    in
+    let sink =
+      match Telemetry.registered () with
+      | [ (_, sink) ] -> sink
+      | _ -> failwith "expected exactly one captured telemetry sink"
+    in
+    Telemetry.reset_registered ();
+    let result =
+      match workload with
+      | "threadtest" -> Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest threads) ()
+      | "prodcon" -> Workloads.Prodcon.run inst ~params:(Harness.Sizes.prodcon threads) ()
+      | "shbench" -> Workloads.Shbench.run inst ~params:(Harness.Sizes.shbench threads) ~seed ()
+      | "larson" -> Workloads.Larson.run inst ~params:(Harness.Sizes.larson_small threads) ~seed ()
+      | "larson-large" ->
+          Workloads.Larson.run inst ~params:(Harness.Sizes.larson_large threads) ~seed ()
+      | "dbmstest" -> Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest threads) ~seed ()
+      | w -> failwith ("unknown workload " ^ w)
+    in
+    Printf.eprintf "%s on %s: %d ops, %.0f simulated ns, %.2f Mops/s (%d events, %d dropped)\n"
+      workload result.Workloads.Driver.allocator result.Workloads.Driver.total_ops
+      result.Workloads.Driver.makespan_ns result.Workloads.Driver.mops
+      (Telemetry.events_recorded sink)
+      (Telemetry.events_dropped sink);
+    let json = Telemetry.chrome_json sink in
+    (match out with Some path -> write_file path json | None -> print_string json);
+    Option.iter (fun path -> write_file path (Telemetry.hist_csv sink)) hist
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ workload $ alloc $ threads $ seed $ out $ hist)
 
 let stats_cmd =
   let doc =
@@ -75,23 +170,30 @@ let stats_cmd =
   let alloc =
     Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
   in
-  let run name =
+  let json =
+    let doc = "Print the device's flush statistics as JSON (schema nvalloc/stats/v1)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run name json =
     let kind = allocator_kind name in
     let inst = Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind in
     let dev = inst.Alloc_api.Instance.dev in
     Pmem.Device.set_check_mode dev true;
     let _ = Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) () in
-    Format.printf "%a@." Pmem.Stats.pp_summary (Pmem.Device.stats dev);
-    Printf.printf "persist-ordering checker:\n";
-    Printf.printf "  commits checked       %d\n" (Pmem.Device.ordering_commits_checked dev);
-    Printf.printf "  dependencies tracked  %d\n" (Pmem.Device.ordering_deps_tracked dev);
-    Printf.printf "  violations            %d\n" (Pmem.Device.ordering_violation_count dev);
-    List.iter
-      (fun v -> Format.printf "  %a@." Pmem.Device.pp_violation v)
-      (Pmem.Device.ordering_violations dev);
+    if json then print_endline (Pmem.Stats.to_json_string (Pmem.Device.stats dev))
+    else begin
+      Format.printf "%a@." Pmem.Stats.pp_summary (Pmem.Device.stats dev);
+      Printf.printf "persist-ordering checker:\n";
+      Printf.printf "  commits checked       %d\n" (Pmem.Device.ordering_commits_checked dev);
+      Printf.printf "  dependencies tracked  %d\n" (Pmem.Device.ordering_deps_tracked dev);
+      Printf.printf "  violations            %d\n" (Pmem.Device.ordering_violation_count dev);
+      List.iter
+        (fun v -> Format.printf "  %a@." Pmem.Device.pp_violation v)
+        (Pmem.Device.ordering_violations dev)
+    end;
     if Pmem.Device.ordering_violation_count dev > 0 then exit 1
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ alloc)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ alloc $ json)
 
 let bench_cmd =
   let doc =
@@ -160,7 +262,29 @@ let fuzz_cmd =
     in
     Arg.(value & opt bool true & info [ "check-order" ] ~docv:"BOOL" ~doc)
   in
-  let run seed runs variant plan broken check_order =
+  let tail =
+    let doc =
+      "On a failing plan, replay it with telemetry attached and dump the \
+       last $(docv) timeline events (flushes, WAL appends, recovery phases) \
+       leading up to the failure."
+    in
+    Arg.(value & opt int 32 & info [ "tail" ] ~docv:"N" ~doc)
+  in
+  (* Replay a failing plan with a telemetry sink attached and print the
+     last few events: the flushes/WAL appends/recovery phases right
+     before the oracle's verdict, alongside the one-line repro. *)
+  let dump_tail ~broken ~check_order ~tail plan =
+    if tail > 0 then begin
+      let sink = Telemetry.create () in
+      ignore (Fault.Fuzz.run_plan ~broken ~check_order ~telemetry:sink plan);
+      let events = Telemetry.tail_events sink ~n:tail in
+      if events <> [] then begin
+        Printf.printf "  last %d telemetry events before failure:\n" (List.length events);
+        List.iter (fun line -> Printf.printf "    %s\n" line) events
+      end
+    end
+  in
+  let run seed runs variant plan broken check_order tail =
     let variant =
       match variant with
       | "any" -> None
@@ -180,6 +304,7 @@ let fuzz_cmd =
                   Nvalloc_core.Nvalloc.pp_recovery_report report
             | Error reason ->
                 Format.printf "FAIL: %s@.  %s@." (Fault.Plan.to_string p) reason;
+                dump_tail ~broken ~check_order ~tail p;
                 exit 1))
     | None -> (
         match Fault.Fuzz.fuzz ~broken ~check_order ?variant ~seed ~runs () with
@@ -189,15 +314,17 @@ let fuzz_cmd =
               (Fault.Plan.to_string cex.Fault.Fuzz.shrunk)
               cex.Fault.Fuzz.reason
               (Fault.Plan.to_string cex.Fault.Fuzz.original);
+            dump_tail ~broken ~check_order ~tail cex.Fault.Fuzz.shrunk;
             exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed $ runs $ variant $ plan $ broken $ check_order)
+    Term.(const run $ seed $ runs $ variant $ plan $ broken $ check_order $ tail)
 
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
   let info = Cmd.info "nvalloc-cli" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; stats_cmd; bench_cmd; fuzz_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; trace_cmd; flushes_cmd; stats_cmd; bench_cmd; fuzz_cmd ]))

@@ -16,6 +16,7 @@ type t = {
   slab_histogram : (float list -> int array) option;
   shutdown : unit -> unit;
   recover : unit -> float;
+  snapshot : float -> unit;
 }
 
 let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
@@ -45,8 +46,16 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
     | Config.Gc_based -> "NVAlloc-GC"
     | Config.Internal_collection -> "NVAlloc-IC"
   in
+  let name = Option.value ~default:default_name name in
+  (* A CLI-level --telemetry request reaches instances built anywhere
+     (the experiment registry constructs its own) through the capture
+     registry. *)
+  ignore
+    (Telemetry.attach_if_capturing ~name
+       ~attach:(fun sink -> Nvalloc.set_telemetry t (Some sink))
+      : Telemetry.t option);
   {
-    name = Option.value ~default:default_name name;
+    name;
     threads;
     clocks;
     dev;
@@ -66,4 +75,9 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
         let clock = Sim.Clock.create () in
         let _t', _report = Nvalloc.recover ~config dev clock in
         Sim.Clock.now clock);
+    snapshot =
+      (fun ts ->
+        match Nvalloc.telemetry t with
+        | Some sink -> Nvalloc.telemetry_snapshot t sink ~ts
+        | None -> ());
   }

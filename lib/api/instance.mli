@@ -36,6 +36,10 @@ type t = {
   recover : unit -> float;
       (** crash the device, run recovery on a fresh clock, return the
           simulated recovery time in ns *)
+  snapshot : float -> unit;
+      (** emit a heap-introspection telemetry snapshot stamped at the
+          given simulated time; no-op when the allocator has no attached
+          sink or no introspection (baselines) *)
 }
 
 val of_nvalloc :

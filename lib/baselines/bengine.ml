@@ -358,6 +358,12 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
     Pmem.Device.write_int64 dev dest 0L;
     flush t clocks.(tid) Pmem.Stats.Data ~addr:dest ~len:8
   in
+  (* Baselines expose no heap introspection, but their device flush/fence
+     timeline is still worth capturing under --telemetry. *)
+  ignore
+    (Telemetry.attach_if_capturing ~name:knobs.Knobs.name
+       ~attach:(fun sink -> Pmem.Device.set_telemetry dev (Some sink))
+      : Telemetry.t option);
   {
     Alloc_api.Instance.name = knobs.Knobs.name;
     threads;
@@ -377,4 +383,5 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
       (fun () ->
         Pmem.Device.crash dev;
         recovery_time t);
+    snapshot = (fun _ts -> ());
   }

@@ -15,6 +15,25 @@ type t = {
   mapping : Bitmap.mapping;
   on_slab_created : Slab.t -> unit;
   on_slab_destroyed : Slab.t -> unit;
+  (* Telemetry emission state, pre-interned at attach; None (the default)
+     costs one compare per instrumented operation. Emission never charges
+     clocks. *)
+  mutable telem : atelem option;
+}
+
+and atelem = {
+  tsink : Telemetry.t;
+  tn_refill : int;
+  tn_morph : int;
+  tn_checkpoint : int;
+  tn_wal_append : int;
+  ta_class : int;
+  ta_old_class : int;
+  ta_live : int;
+  th_refill : Telemetry.Histogram.t;
+  th_morph : Telemetry.Histogram.t;
+  th_checkpoint : Telemetry.Histogram.t;
+  th_wal_append : Telemetry.Histogram.t;
 }
 
 let mapping_of_config (cfg : Config.t) =
@@ -50,7 +69,29 @@ let build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destr
     mapping;
     on_slab_created;
     on_slab_destroyed;
+    telem = None;
   }
+
+let set_telemetry t sink =
+  match sink with
+  | None -> t.telem <- None
+  | Some s ->
+      t.telem <-
+        Some
+          {
+            tsink = s;
+            tn_refill = Telemetry.intern s "refill";
+            tn_morph = Telemetry.intern s "morph";
+            tn_checkpoint = Telemetry.intern s "wal:checkpoint";
+            tn_wal_append = Telemetry.intern s "wal:append";
+            ta_class = Telemetry.intern s "class";
+            ta_old_class = Telemetry.intern s "old_class";
+            ta_live = Telemetry.intern s "live";
+            th_refill = Telemetry.histogram s "refill";
+            th_morph = Telemetry.histogram s "morph";
+            th_checkpoint = Telemetry.histogram s "wal:checkpoint";
+            th_wal_append = Telemetry.histogram s "wal:append";
+          }
 
 let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_extent_created
     ~on_extent_dropped =
@@ -180,6 +221,7 @@ let morph_candidate_ok t s ~target_layout =
    same line repeatedly: this is the morphing cost the paper quantifies at
    ~4.5%. *)
 let transform_slab t clock s target_class =
+  let t0 = Sim.Clock.now clock in
   let open Slab in
   let dev = t.dev in
   let addr = s.addr in
@@ -257,7 +299,15 @@ let transform_slab t clock s target_class =
   in
   s.free_stack <- free_blocks (new_layout.nblocks - 1) [];
   s.free_count <- List.length s.free_stack;
-  ()
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      let now = Sim.Clock.now clock in
+      Telemetry.span2 e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_morph ~ts:t0
+        ~dur:(now -. t0) ~k1:e.ta_old_class
+        ~v1:(float_of_int old_layout.class_idx)
+        ~k2:e.ta_live ~v2:(float_of_int nlive);
+      Telemetry.Histogram.observe e.th_morph (now -. t0)
 
 let try_morph t clock target_class =
   if not t.config.Config.slab_morphing then None
@@ -373,8 +423,16 @@ let checkpoint_if_needed t clock =
     Sim.Lock.with_lock t.lock clock (fun () ->
         (* Re-check under the lock; another thread may have checkpointed. *)
         if Wal.near_full t.wal then begin
+          let t0 = Sim.Clock.now clock in
           drain_all_tcaches t clock;
-          Wal.checkpoint t.wal clock
+          Wal.checkpoint t.wal clock;
+          match t.telem with
+          | None -> ()
+          | Some e ->
+              let now = Sim.Clock.now clock in
+              Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_checkpoint
+                ~ts:t0 ~dur:(now -. t0);
+              Telemetry.Histogram.observe e.th_checkpoint (now -. t0)
         end)
 
 (* Append a WAL entry; Large_* entries are logged in both variants
@@ -389,9 +447,18 @@ let log_op t clock kind ~addr ~dest =
   in
   if wanted then begin
     checkpoint_if_needed t clock;
+    let t0 = Sim.Clock.now clock in
     (* Slot reservation is a CAS, not a lock. *)
     Pmem.Device.dram_op t.dev clock;
-    Some (Wal.append_span t.wal clock kind ~addr ~dest)
+    let span = Wal.append_span t.wal clock kind ~addr ~dest in
+    (match t.telem with
+    | None -> ()
+    | Some e ->
+        let now = Sim.Clock.now clock in
+        Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_wal_append ~ts:t0
+          ~dur:(now -. t0);
+        Telemetry.Histogram.observe e.th_wal_append (now -. t0));
+    Some span
   end
   else None
 
@@ -419,7 +486,8 @@ let take_slab_with_space t clock class_idx =
       | None -> new_slab t clock class_idx)
 
 let refill_tcache t clock tc class_idx =
-  while not (Tcache.is_full tc) do
+  let t0 = Sim.Clock.now clock in
+  (while not (Tcache.is_full tc) do
     let s = take_slab_with_space t clock class_idx in
     lru_touch t s;
     let continue_slab = ref true in
@@ -458,7 +526,14 @@ let refill_tcache t clock tc class_idx =
           assert pushed
     done;
     if s.Slab.free_count = 0 then freelist_remove t s
-  done
+  done);
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      let now = Sim.Clock.now clock in
+      Telemetry.span2 e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_refill ~ts:t0
+        ~dur:(now -. t0) ~k1:e.ta_class ~v1:(float_of_int class_idx) ~k2:(-1) ~v2:0.0;
+      Telemetry.Histogram.observe e.th_refill (now -. t0)
 
 let ic_mark t clock (e : Tcache.entry) =
   let s = e.Tcache.slab in

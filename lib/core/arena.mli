@@ -54,6 +54,14 @@ val of_recovered :
     constructs the booklog/WAL handles itself). *)
 
 val index : t -> int
+
+val set_telemetry : t -> Telemetry.t option -> unit
+(** Attach/detach a telemetry sink: tcache refills, slab morphs, WAL
+    appends and WAL checkpoints become spans (["refill"], ["morph"],
+    ["wal:append"], ["wal:checkpoint"]) with matching latency histograms.
+    Emission never charges simulated time; detached costs one compare
+    per operation. *)
+
 val lock : t -> Sim.Lock.t
 val wal : t -> Wal.t
 val large : t -> Extent.t

@@ -17,6 +17,19 @@ type t = {
   arena_threads : int array;
   mutable next_thread : int;
   mutable closed : bool;
+  (* Telemetry emission state, pre-interned at attach; None (the default)
+     costs one compare per malloc/free. Emission never charges clocks. *)
+  mutable telem : ntelem option;
+}
+
+and ntelem = {
+  tsink : Telemetry.t;
+  tn_alloc : int;
+  tn_free : int;
+  ta_size : int;
+  ta_addr : int;
+  th_alloc : Telemetry.Histogram.t;
+  th_free : Telemetry.Histogram.t;
 }
 
 type thread = { id : int; clock : Sim.Clock.t; arena : int; tcaches : Tcache.t array }
@@ -94,6 +107,7 @@ let create ?(config = Config.log_default) dev clock =
       arena_threads = Array.make config.Config.arenas 0;
       next_thread = 0;
       closed = false;
+      telem = None;
     }
   in
   let on_sc, on_sd, on_ec, on_ed = callbacks t in
@@ -111,6 +125,29 @@ let create ?(config = Config.log_default) dev clock =
 let config t = t.config
 let device t = t.dev
 let heap t = t.heap
+
+let set_telemetry t sink =
+  (* One sink serves the whole stack: device flushes/fences, arena
+     refills/morphs/WAL traffic, and the malloc/free wrappers here all
+     emit into the same per-thread rings. *)
+  Pmem.Device.set_telemetry t.dev sink;
+  Array.iter (fun a -> Arena.set_telemetry a sink) t.arenas;
+  match sink with
+  | None -> t.telem <- None
+  | Some s ->
+      t.telem <-
+        Some
+          {
+            tsink = s;
+            tn_alloc = Telemetry.intern s "alloc";
+            tn_free = Telemetry.intern s "free";
+            ta_size = Telemetry.intern s "size";
+            ta_addr = Telemetry.intern s "addr";
+            th_alloc = Telemetry.histogram s "alloc";
+            th_free = Telemetry.histogram s "free";
+          }
+
+let telemetry t = Option.map (fun e -> e.tsink) t.telem
 let root_addr t i = Heap.root_addr t.heap i
 let root_slots t = Heap.root_slots t.heap
 let arenas t = t.arenas
@@ -157,6 +194,7 @@ let malloc_to t th ~size ~dest =
   assert (not t.closed);
   assert (size > 0);
   let clock = th.clock in
+  let t0 = Sim.Clock.now clock in
   let addr, deps =
     match Size_class.of_size size with
     | Some class_idx ->
@@ -171,6 +209,14 @@ let malloc_to t th ~size ~dest =
         (veh.Extent.addr, Arena.wal_dep Wal.Large_alloc wal_span)
   in
   publish ~deps t clock ~dest ~addr;
+  (match t.telem with
+  | None -> ()
+  | Some e ->
+      let now = Sim.Clock.now clock in
+      Telemetry.span2 e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_alloc ~ts:t0
+        ~dur:(now -. t0) ~k1:e.ta_size ~v1:(float_of_int size) ~k2:e.ta_addr
+        ~v2:(float_of_int addr);
+      Telemetry.Histogram.observe e.th_alloc (now -. t0));
   addr
 
 let read_ptr t ~dest = Int64.to_int (Pstruct.get t.dev ~base:dest Ptr.v)
@@ -178,6 +224,7 @@ let read_ptr t ~dest = Int64.to_int (Pstruct.get t.dev ~base:dest Ptr.v)
 let free_from t th ~dest =
   assert (not t.closed);
   let clock = th.clock in
+  let t0 = Sim.Clock.now clock in
   let addr = read_ptr t ~dest in
   assert (addr > 0);
   (* Internal collection retracts the reference before unmarking the
@@ -203,7 +250,14 @@ let free_from t th ~dest =
         Arena.wal_dep Wal.Large_free wal_span
     | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator"
   in
-  publish ~deps t clock ~dest ~addr:0
+  publish ~deps t clock ~dest ~addr:0;
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      let now = Sim.Clock.now clock in
+      Telemetry.span2 e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_free ~ts:t0
+        ~dur:(now -. t0) ~k1:e.ta_addr ~v1:(float_of_int addr) ~k2:(-1) ~v2:0.0;
+      Telemetry.Histogram.observe e.th_free (now -. t0)
 
 let exit_ t clock =
   assert (not t.closed);
@@ -302,12 +356,68 @@ let slab_utilization_histogram t ~buckets =
       place 0);
   counts
 
+(* Periodic heap introspection: counter events on the snapshot pseudo-
+   track — per-size-class slab counts and mean occupancy, free/full/
+   partial slab counts, extent byte totals and fragmentation, mapped
+   bytes. Read-only over volatile bookkeeping; charges nothing. *)
+let telemetry_snapshot t sink ~ts =
+  let tid = Telemetry.snapshot_tid in
+  let emit name value = Telemetry.counter_named sink ~tid ~name ~ts ~value in
+  let nclasses = Size_class.count in
+  let nslabs = Array.make nclasses 0 in
+  let occ = Array.make nclasses 0.0 in
+  let free = ref 0 and full = ref 0 and partial = ref 0 in
+  iter_slabs t (fun s ->
+      let c = s.Slab.layout.Slab.class_idx in
+      nslabs.(c) <- nslabs.(c) + 1;
+      occ.(c) <- occ.(c) +. Slab.occupancy_ratio s;
+      if s.Slab.free_count = 0 then incr full
+      else if s.Slab.free_count = s.Slab.layout.Slab.nblocks then incr free
+      else incr partial);
+  emit "slabs:free" (float_of_int !free);
+  emit "slabs:full" (float_of_int !full);
+  emit "slabs:partial" (float_of_int !partial);
+  for c = 0 to nclasses - 1 do
+    if nslabs.(c) > 0 then begin
+      emit (Printf.sprintf "slabs:c%d" c) (float_of_int nslabs.(c));
+      emit (Printf.sprintf "occupancy:c%d" c) (occ.(c) /. float_of_int nslabs.(c))
+    end
+  done;
+  let sum f = Array.fold_left (fun acc a -> acc + f (Arena.large a)) 0 t.arenas in
+  let activated = sum Extent.activated_bytes in
+  let reclaimed = sum Extent.reclaimed_bytes in
+  let retained = sum Extent.retained_bytes in
+  emit "extent:activated_bytes" (float_of_int activated);
+  emit "extent:reclaimed_bytes" (float_of_int reclaimed);
+  emit "extent:retained_bytes" (float_of_int retained);
+  (* Fragmentation: share of once-activated address space now sitting in
+     reclaimed (free but carved-up) extents. *)
+  let denom = activated + reclaimed in
+  emit "extent:fragmentation"
+    (if denom = 0 then 0.0 else float_of_int reclaimed /. float_of_int denom);
+  emit "mapped_bytes" (float_of_int (mapped_bytes t))
+
 (* --- recovery (section 4.4) ----------------------------------------------------- *)
 
 let charge_lines t clock n = Pmem.Device.charge_pm_read t.dev clock ~lines:n
 
 let recover ?(config = Config.log_default) dev clock =
   Config.validate config;
+  (* Recovery emits phase spans into a sink already attached to the
+     device (there is no allocator to attach to until recovery returns).
+     [phase] charges nothing; without a sink it is the identity. *)
+  let tsink = Pmem.Device.telemetry dev in
+  let t_start = Sim.Clock.now clock in
+  let phase name f =
+    match tsink with
+    | None -> f ()
+    | Some s ->
+        let t0 = Sim.Clock.now clock in
+        let r = f () in
+        Telemetry.span_named s ~tid:(Sim.Clock.id clock) ~name ~ts:t0
+          ~dur:(Sim.Clock.now clock -. t0);
+        r
+  in
   let found_state, heap = Heap.open_existing dev config in
   let t =
     {
@@ -321,6 +431,7 @@ let recover ?(config = Config.log_default) dev clock =
       arena_threads = Array.make config.Config.arenas 0;
       next_thread = 0;
       closed = false;
+      telem = None;
     }
   in
   Heap.set_state heap clock Heap.Recovering;
@@ -331,28 +442,32 @@ let recover ?(config = Config.log_default) dev clock =
      idempotent. *)
   let torn_wal = ref 0 in
   let replays =
-    Array.init n_arenas (fun i ->
-        let base = Heap.wal_base heap ~arena:i in
-        charge_lines t clock (config.Config.wal_entries / 4);
-        let entries, torn = Wal.replay_torn dev ~base ~entries:config.Config.wal_entries in
-        torn_wal := !torn_wal + torn;
-        entries)
+    phase "recovery:wal-decode" (fun () ->
+        Array.init n_arenas (fun i ->
+            let base = Heap.wal_base heap ~arena:i in
+            charge_lines t clock (config.Config.wal_entries / 4);
+            let entries, torn =
+              Wal.replay_torn dev ~base ~entries:config.Config.wal_entries
+            in
+            torn_wal := !torn_wal + torn;
+            entries))
   in
   (* 2. Reopen per-arena bookkeeping logs (with their recovery-time slow
      GC) and WALs, then build the arenas around them. *)
   let booklog_live = Array.make n_arenas [] in
   let booklogs =
-    if config.Config.log_bookkeeping then
-      Array.init n_arenas (fun i ->
-          let base = Heap.booklog_base heap ~arena:i in
-          charge_lines t clock (Booklog.scanned_chunks dev ~base * 16);
-          let log, live =
-            Booklog.open_existing dev clock ~base ~chunks:config.Config.booklog_chunks
-              ~interleave:config.Config.interleave_log
-          in
-          booklog_live.(i) <- live;
-          Some log)
-    else Array.make n_arenas None
+    phase "recovery:booklog" (fun () ->
+        if config.Config.log_bookkeeping then
+          Array.init n_arenas (fun i ->
+              let base = Heap.booklog_base heap ~arena:i in
+              charge_lines t clock (Booklog.scanned_chunks dev ~base * 16);
+              let log, live =
+                Booklog.open_existing dev clock ~base ~chunks:config.Config.booklog_chunks
+                  ~interleave:config.Config.interleave_log
+              in
+              booklog_live.(i) <- live;
+              Some log)
+        else Array.make n_arenas None)
   in
   let wals =
     Array.init n_arenas (fun i ->
@@ -418,6 +533,7 @@ let recover ?(config = Config.log_default) dev clock =
   (* 4. Restore activated extents; rebuild vslabs for slab extents. *)
   let undone_morphs = ref 0 in
   let torn_slabs : (Arena.t * Extent.veh) list ref = ref [] in
+  phase "recovery:restore-extents" (fun () ->
   List.iter
     (fun (arena_idx, (s : Booklog.scanned)) ->
       let arena = t.arenas.(arena_idx) in
@@ -450,7 +566,7 @@ let recover ?(config = Config.log_default) dev clock =
             Arena.restore_slab arena vslab
           end
       | Booklog.Extent -> ())
-    activated;
+    activated);
   (* In-place mode marks every activated extent kind Extent; detect slabs
      by their magic. *)
   if not config.Config.log_bookkeeping then
@@ -472,6 +588,7 @@ let recover ?(config = Config.log_default) dev clock =
         end)
       activated;
   (* 5. Gaps between activated extents become reclaimed free extents. *)
+  phase "recovery:gaps" (fun () ->
   let by_region = Hashtbl.create 16 in
   List.iter
     (fun ((_ : int), (s : Booklog.scanned)) ->
@@ -503,7 +620,7 @@ let recover ?(config = Config.log_default) dev clock =
       add_gap (base + total))
     regions;
   (* Reclaim extents of torn slab creations now that ranges are settled. *)
-  List.iter (fun (arena, veh) -> Extent.free (Arena.large arena) clock veh) !torn_slabs;
+  List.iter (fun (arena, veh) -> Extent.free (Arena.large arena) clock veh) !torn_slabs);
   (* 6. Sanity pass on unclean shutdown. *)
   let leaked_blocks = ref 0 and leaked_extents = ref (List.length !torn_slabs) in
   let marked = ref 0 and wal_undone = ref 0 in
@@ -515,6 +632,7 @@ let recover ?(config = Config.log_default) dev clock =
     Arena.recover_return_block t.arenas.(arena_idx) clock slab block;
     incr leaked_blocks
   in
+  phase "recovery:sanity" (fun () ->
   if found_state <> Heap.Shutdown then begin
     (match config.Config.consistency with
     | Config.Internal_collection ->
@@ -740,13 +858,18 @@ let recover ?(config = Config.log_default) dev clock =
              incr wal_undone
            end))
       replays
-  end;
+  end);
   (* The sanity pass is done: only now invalidate the WAL windows. A
      crash anywhere before this point re-runs the pass from the same
      entries (all its releases are idempotent); a crash after it finds
      the heap already sane, with nothing left to replay. *)
-  Array.iter (fun wal -> Wal.seal wal clock) wals;
+  phase "recovery:seal" (fun () -> Array.iter (fun wal -> Wal.seal wal clock) wals);
   Heap.set_state heap clock Heap.Running;
+  (match tsink with
+  | None -> ()
+  | Some s ->
+      Telemetry.span_named s ~tid:(Sim.Clock.id clock) ~name:"recovery" ~ts:t_start
+        ~dur:(Sim.Clock.now clock -. t_start));
   ( t,
     {
       found_state;

@@ -124,3 +124,20 @@ val arenas : t -> Arena.t array
 val slab_utilization_histogram : t -> buckets:float list -> int array
 (** Count slabs by occupancy ratio bucket; [buckets] are the upper bounds
     (e.g. [[0.3; 0.7; 1.0]] for the Figure 15(b) breakdown). *)
+
+(** {1 Telemetry} *)
+
+val set_telemetry : t -> Telemetry.t option -> unit
+(** Attach one sink to the whole stack: the device (flush/fence spans,
+    WPQ depth), every arena (refill/morph/WAL spans) and the allocator
+    itself (["alloc"]/["free"] spans with latency histograms). Emission
+    never charges simulated time; [None] detaches everywhere. *)
+
+val telemetry : t -> Telemetry.t option
+
+val telemetry_snapshot : t -> Telemetry.t -> ts:float -> unit
+(** Emit one heap-introspection snapshot at simulated time [ts] on the
+    {!Telemetry.snapshot_tid} track: per-size-class slab counts and mean
+    occupancy, free/full/partial slab counts, extent activated /
+    reclaimed / retained bytes and fragmentation ratio, mapped bytes.
+    Read-only; charges nothing. *)

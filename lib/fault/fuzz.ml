@@ -19,12 +19,18 @@ let workload t th ~seed ~ops =
     else ignore (Nvalloc.malloc_to t th ~size:sizes.(Sim.Rng.int rng (Array.length sizes)) ~dest)
   done
 
-let run_plan ?(broken = false) ?(check_order = true) (plan : Plan.t) =
+let run_plan ?(broken = false) ?(check_order = true) ?telemetry (plan : Plan.t) =
   let config = Plan.config plan.Plan.variant in
   let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
   Pmem.Device.set_check_mode dev check_order;
   let clock = Sim.Clock.create () in
   let t = Nvalloc.create ~config dev clock in
+  (* Attaching a sink records the full timeline — workload flushes, the
+     crash, recovery phases — without touching simulated behaviour; the
+     CLI replays a failing plan this way to dump the tail. *)
+  (match telemetry with
+  | Some sink -> Nvalloc.set_telemetry t (Some sink)
+  | None -> ());
   if broken then
     Array.iter (fun a -> Wal.unsafe_set_skip_flush (Arena.wal a) true) (Nvalloc.arenas t);
   let th = Nvalloc.thread t clock in

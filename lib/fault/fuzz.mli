@@ -27,9 +27,14 @@ type counterexample = {
 val run_plan :
   ?broken:bool ->
   ?check_order:bool ->
+  ?telemetry:Telemetry.t ->
   Plan.t ->
   (Nvalloc_core.Nvalloc.recovery_report, string) result
-(** Execute one plan against a fresh device and run the oracle. *)
+(** Execute one plan against a fresh device and run the oracle. With
+    [telemetry], the sink is attached to the plan's allocator stack
+    before the workload starts, so the whole timeline — workload,
+    crash(es), recovery — lands in it; simulated behaviour is unchanged
+    (the result is identical with or without a sink). *)
 
 val shrink : ?broken:bool -> ?check_order:bool -> Plan.t -> reason:string -> Plan.t * string
 (** Greedy shrinking: recurse on the first {!Plan.shrink_candidates}

@@ -49,9 +49,32 @@ type t = {
   mutable crash_after : int option;
   mutable torn : (torn_mode * int) option;
   mutable check : checker option;
+  (* Telemetry sink with everything the per-flush emission needs cached:
+     interned name/arg-key ids and histogram handles, so an enabled
+     emission is stores into preallocated arrays and the disabled path is
+     this one option check. *)
+  mutable telem : temit option;
 }
 
 and stream = { recent : Lru_ring.t; xplines : Lru_ring.t }
+
+and temit = {
+  tsink : Telemetry.t;
+  tn_flush : int array; (* span name ids, indexed by Stats.cat_index *)
+  tn_reflush : int array;
+  tn_fence : int;
+  tn_wpq : int;
+  ta_addr : int; (* arg-key ids *)
+  ta_dist : int;
+  th_flush : Telemetry.Histogram.t array; (* per-category flush latency *)
+  th_fence : Telemetry.Histogram.t;
+  th_wpq : Telemetry.Histogram.t;
+  mutable tflush_seq : int; (* flushes since attach, for WPQ sampling *)
+}
+
+(* WPQ occupancy is a queue-depth curve, not a per-event latency: sample
+   it once per this many flushes to keep counter tracks readable. *)
+let wpq_sample_period = 64
 
 let create ?(lat = Latency.default) ?trace_limit ~size () =
   assert (size > 0 && size mod Cacheline.size = 0);
@@ -68,10 +91,45 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     crash_after = None;
     torn = None;
     check = None;
+    telem = None;
   }
 
 let size t = Store.size t.volatile
 let stats t = t.stats
+
+let flush_span_names = [| "flush:meta"; "flush:wal"; "flush:log"; "flush:data" |]
+let reflush_span_names = [| "reflush:meta"; "reflush:wal"; "reflush:log"; "reflush:data" |]
+
+let set_telemetry t sink =
+  match sink with
+  | None -> t.telem <- None
+  | Some s ->
+      t.telem <-
+        Some
+          {
+            tsink = s;
+            tn_flush = Array.map (Telemetry.intern s) flush_span_names;
+            tn_reflush = Array.map (Telemetry.intern s) reflush_span_names;
+            tn_fence = Telemetry.intern s "fence";
+            tn_wpq = Telemetry.intern s "wpq_depth";
+            ta_addr = Telemetry.intern s "addr";
+            ta_dist = Telemetry.intern s "dist";
+            th_flush = Array.map (Telemetry.histogram s) flush_span_names;
+            th_fence = Telemetry.histogram s "fence";
+            th_wpq = Telemetry.histogram s "wpq_depth";
+            tflush_seq = 0;
+          }
+
+let telemetry t = Option.map (fun e -> e.tsink) t.telem
+
+let reset_stats t =
+  Stats.reset t.stats;
+  (* The reflush/sequentiality bookkeeping (per-thread LRU windows) is
+     part of what the stats classified: clear it too, so counting starts
+     from the same cold state as a fresh device. *)
+  Hashtbl.reset t.streams;
+  t.cached_id <- -1;
+  t.cached_stream <- None
 let latency t = t.lat
 let is_eadr t = t.lat.Latency.reflush_step_ns = 0.0 && t.lat.Latency.seq_flush_ns = t.lat.Latency.reflush_base_ns
 
@@ -266,12 +324,46 @@ let[@inline] flush_line t clock cat line =
   let xp = Cacheline.xpline addr in
   let sequential = Lru_ring.touch_seq st.xplines xp in
   let media_ns = Latency.flush_cost t.lat ~distance ~sequential in
-  let finish = Xpbuffer.admit t.wpq ~now:(Sim.Clock.now clock) ~media_ns in
+  let now = Sim.Clock.now clock in
+  let finish = Xpbuffer.admit t.wpq ~now ~media_ns in
   (* Any hit in the window is a reflush: the window has exactly
      [reflush_window] slots, so a resolved distance is always below it. *)
   let reflush = distance <> None in
   Stats.record_flush t.stats cat ~addr ~reflush ~sequential ~ns:media_ns;
+  (* Telemetry never charges clocks and the disabled path is this one
+     compare: enabling it cannot perturb simulated results. *)
+  (match t.telem with
+  | None -> ()
+  | Some e ->
+      let idx = Stats.cat_index cat in
+      let tid = Sim.Clock.id clock in
+      let name = if reflush then e.tn_reflush.(idx) else e.tn_flush.(idx) in
+      let k2, v2 =
+        match distance with
+        | Some d -> (e.ta_dist, float_of_int d)
+        | None -> (-1, 0.0)
+      in
+      Telemetry.span2 e.tsink ~tid ~name ~ts:now ~dur:(finish -. now) ~k1:e.ta_addr
+        ~v1:(float_of_int addr) ~k2 ~v2;
+      Telemetry.Histogram.observe e.th_flush.(idx) (finish -. now);
+      e.tflush_seq <- e.tflush_seq + 1;
+      if e.tflush_seq mod wpq_sample_period = 0 then begin
+        let depth = Xpbuffer.occupancy t.wpq ~now:finish in
+        Telemetry.counter e.tsink ~tid ~name:e.tn_wpq ~ts:finish ~value:depth;
+        Telemetry.Histogram.observe e.th_wpq depth
+      end);
   finish
+
+let[@inline] charge_fence t clock =
+  let fence_ns = t.lat.Latency.fence_ns in
+  Sim.Clock.charge clock fence_ns;
+  Stats.record_fence t.stats ~ns:fence_ns;
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_fence
+        ~ts:(Sim.Clock.now clock -. fence_ns) ~dur:fence_ns;
+      Telemetry.Histogram.observe e.th_fence fence_ns
 
 let flush t clock cat ~addr ~len =
   if len > 0 then begin
@@ -292,8 +384,7 @@ let flush t clock cat ~addr ~len =
        done;
        Sim.Clock.wait_until clock !finish
      end);
-    Sim.Clock.charge clock t.lat.Latency.fence_ns;
-    Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+    charge_fence t clock
   end
 
 let flush_all t clock cat =
@@ -304,12 +395,9 @@ let flush_all t clock cat =
       let f = flush_line t clock cat line in
       if f > !finish then finish := f);
   Sim.Clock.wait_until clock !finish;
-  Sim.Clock.charge clock t.lat.Latency.fence_ns;
-  Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+  charge_fence t clock
 
-let fence t clock =
-  Sim.Clock.charge clock t.lat.Latency.fence_ns;
-  Stats.record_fence t.stats ~ns:t.lat.Latency.fence_ns
+let fence t clock = charge_fence t clock
 
 let charge_pm_read t clock ~lines =
   let ns = float_of_int lines *. t.lat.Latency.pm_read_line_ns in

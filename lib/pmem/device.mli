@@ -43,6 +43,25 @@ val stats : t -> Stats.t
 val latency : t -> Latency.t
 val is_eadr : t -> bool
 
+(** {1 Telemetry}
+
+    With a sink attached the device emits, per line flush, a span named
+    [flush:<cat>] / [reflush:<cat>] (args: byte address, reflush
+    distance) plus a latency-histogram observation; per fence, a [fence]
+    span; and a [wpq_depth] counter sampled every 64 flushes. Emission
+    never charges simulated clocks — attaching telemetry cannot change
+    simulated results. Detached ([None], the default), the cost is one
+    field check per flush/fence. *)
+
+val set_telemetry : t -> Telemetry.t option -> unit
+val telemetry : t -> Telemetry.t option
+
+val reset_stats : t -> unit
+(** {!Stats.reset} plus the classification state behind the counters:
+    per-thread reflush windows and sequentiality rings restart cold, as
+    on a fresh device. (The WPQ and dirty lines are simulation state,
+    not stats, and are untouched.) *)
+
 (** {1 Data access (volatile image)}
 
     Accessors do not charge simulated time: loads and stores hitting the

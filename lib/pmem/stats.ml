@@ -26,6 +26,9 @@ type t = {
 }
 
 let create ?(trace_limit = 1000) () =
+  if trace_limit < 0 then
+    invalid_arg
+      (Printf.sprintf "Pmem.Stats.create: trace_limit must be >= 0 (got %d)" trace_limit);
   {
     trace_limit;
     flushes = 0;
@@ -52,6 +55,11 @@ let reset t =
   t.t_read <- 0.0;
   t.t_search <- 0.0;
   t.t_other <- 0.0;
+  (* Zero the trace buffers too, not just the cursor: a reset instance
+     must not leak the previous run's addresses through the raw buffers,
+     and must be indistinguishable from a fresh instance. *)
+  Bytes.fill t.trace_cats 0 (Bytes.length t.trace_cats) '\000';
+  Array.fill t.trace_addrs 0 (Array.length t.trace_addrs) 0;
   t.traced <- 0
 
 let record_flush t cat ~addr ~reflush ~sequential ~ns =
@@ -92,6 +100,123 @@ let total_flush_time t = t.cat_ns.(0) +. t.cat_ns.(1) +. t.cat_ns.(2) +. t.cat_n
 let trace t =
   List.init t.traced (fun i ->
       (cat_of_index (Char.code (Bytes.get t.trace_cats i)), t.trace_addrs.(i)))
+
+(* --- machine-readable dump --------------------------------------------- *)
+
+let cat_name = function Meta -> "meta" | Wal -> "wal" | Log -> "log" | Data -> "data"
+
+let cat_of_name = function
+  | "meta" -> Some Meta
+  | "wal" -> Some Wal
+  | "log" -> Some Log
+  | "data" -> Some Data
+  | _ -> None
+
+let json_schema = "nvalloc/stats/v1"
+
+let to_json t =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("schema", Str json_schema);
+      ("trace_limit", Num (float_of_int t.trace_limit));
+      ("flushes", Num (float_of_int t.flushes));
+      ("reflushes", Num (float_of_int t.reflushes));
+      ("sequential_flushes", Num (float_of_int t.sequentials));
+      ("random_flushes", Num (float_of_int t.randoms));
+      ("reflush_ratio", Num (reflush_ratio t));
+      ( "flush_ns",
+        Obj
+          [
+            ("meta", Num t.cat_ns.(0));
+            ("wal", Num t.cat_ns.(1));
+            ("log", Num t.cat_ns.(2));
+            ("data", Num t.cat_ns.(3));
+          ] );
+      ("fence_ns", Num t.t_fence);
+      ("read_ns", Num t.t_read);
+      ("search_ns", Num t.t_search);
+      ("other_ns", Num t.t_other);
+      ( "trace",
+        Arr
+          (List.init t.traced (fun i ->
+               Obj
+                 [
+                   ("cat", Str (cat_name (cat_of_index (Char.code (Bytes.get t.trace_cats i)))));
+                   ("addr", Num (float_of_int t.trace_addrs.(i)));
+                 ])) );
+    ]
+
+let of_json j =
+  let open Telemetry.Json in
+  let ( let* ) r f = Result.bind r f in
+  let field name conv j =
+    match Option.bind (member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Stats.of_json: missing or ill-typed field %S" name)
+  in
+  let* schema = field "schema" str j in
+  let* () =
+    if schema = json_schema then Ok ()
+    else Error (Printf.sprintf "Stats.of_json: unknown schema %S" schema)
+  in
+  let int_field name = field name (fun v -> Option.map int_of_float (num v)) j in
+  let num_field name = field name num j in
+  let* trace_limit = int_field "trace_limit" in
+  let* () =
+    if trace_limit >= 0 then Ok () else Error "Stats.of_json: negative trace_limit"
+  in
+  let* flushes = int_field "flushes" in
+  let* reflushes = int_field "reflushes" in
+  let* sequentials = int_field "sequential_flushes" in
+  let* randoms = int_field "random_flushes" in
+  let* by_cat = field "flush_ns" Option.some j in
+  let* meta_ns = field "meta" num by_cat in
+  let* wal_ns = field "wal" num by_cat in
+  let* log_ns = field "log" num by_cat in
+  let* data_ns = field "data" num by_cat in
+  let* fence_ns = num_field "fence_ns" in
+  let* read_ns = num_field "read_ns" in
+  let* search_ns = num_field "search_ns" in
+  let* other_ns = num_field "other_ns" in
+  let* trace = field "trace" arr j in
+  let* () =
+    if List.length trace <= trace_limit then Ok ()
+    else Error "Stats.of_json: trace longer than trace_limit"
+  in
+  let t = create ~trace_limit () in
+  t.flushes <- flushes;
+  t.reflushes <- reflushes;
+  t.sequentials <- sequentials;
+  t.randoms <- randoms;
+  t.cat_ns.(0) <- meta_ns;
+  t.cat_ns.(1) <- wal_ns;
+  t.cat_ns.(2) <- log_ns;
+  t.cat_ns.(3) <- data_ns;
+  t.t_fence <- fence_ns;
+  t.t_read <- read_ns;
+  t.t_search <- search_ns;
+  t.t_other <- other_ns;
+  let rec load = function
+    | [] -> Ok t
+    | entry :: rest ->
+        let* cat =
+          match Option.bind (Option.bind (member "cat" entry) str) cat_of_name with
+          | Some c -> Ok c
+          | None -> Error "Stats.of_json: bad trace entry category"
+        in
+        let* addr = field "addr" (fun v -> Option.map int_of_float (num v)) entry in
+        Bytes.set t.trace_cats t.traced (Char.chr (cat_index cat));
+        t.trace_addrs.(t.traced) <- addr;
+        t.traced <- t.traced + 1;
+        load rest
+  in
+  load trace
+
+let to_json_string t = Telemetry.Json.to_string (to_json t)
+
+let of_json_string s =
+  Result.bind (Telemetry.Json.parse s) (fun j -> of_json j)
 
 let pp_summary ppf t =
   Format.fprintf ppf

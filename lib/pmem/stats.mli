@@ -17,11 +17,21 @@ type work = Search | Other
 
 type t
 
+val cat_index : category -> int
+(** Stable index 0..3 ([Meta], [Wal], [Log], [Data]) — used by callers
+    that keep per-category arrays (telemetry handles, breakdowns). *)
+
+val cat_name : category -> string
+(** Lower-case label: ["meta"], ["wal"], ["log"], ["data"]. *)
+
 val create : ?trace_limit:int -> unit -> t
 (** [trace_limit] bounds the recorded flush-address trace (default 1000,
-    matching Figure 2's "first 1000 flush operations"). *)
+    matching Figure 2's "first 1000 flush operations"). [trace_limit:0]
+    disables tracing; negative raises [Invalid_argument]. *)
 
 val reset : t -> unit
+(** Zero every counter, time and the flush trace (buffers included) — a
+    reset instance is indistinguishable from a fresh one. *)
 
 (* Recording (used by Device and by allocators). *)
 
@@ -54,3 +64,16 @@ val trace : t -> (category * int) list
     plots metadata flushes only). *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Machine-readable dump} *)
+
+val to_json : t -> Telemetry.Json.t
+(** Every counter, time and the recorded flush trace, schema
+    ["nvalloc/stats/v1"]. *)
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t)] reconstructs an
+    observationally equal instance. *)
+
+val to_json_string : t -> string
+val of_json_string : string -> (t, string) result

@@ -35,3 +35,10 @@ let[@inline] admit t ~now ~media_ns =
   start +. media_ns
 
 let stall_time t = t.st.stalls
+
+let occupancy t ~now =
+  (* Entries still queued at [now]: the backlog the media has yet to
+     drain, in drain-slot units. Telemetry-only — never consulted on the
+     simulation path. *)
+  let backlog = t.st.media_free -. now in
+  if backlog <= 0.0 then 0.0 else backlog /. t.lat.Latency.wpq_drain_ns

@@ -24,3 +24,7 @@ val admit : t -> now:float -> media_ns:float -> float
 
 val stall_time : t -> float
 (** Total stall time injected so far (for diagnostics). *)
+
+val occupancy : t -> now:float -> float
+(** Queue depth at simulated time [now], in entries (may exceed the
+    nominal capacity while a stall drains). Telemetry/diagnostics only. *)

@@ -7,9 +7,16 @@ type thread = { clock : Clock.t; step : unit -> bool }
    unchanged; each step costs O(log n) instead of O(n). A step only
    advances its own thread's clock, so re-keying after a step is a
    single sift-down from the root. *)
-let run threads =
+let run ?telem threads =
   let n = Array.length threads in
   if n > 0 then begin
+    (* With a sink attached, each scheduled step becomes a "run" span:
+       [ts] = the thread's clock when picked, [dur] = how far the step
+       advanced it. Interned once; emission is outside the step, charges
+       nothing, and the [None] path costs one compare per step. *)
+    let step_name =
+      match telem with Some t -> Telemetry.intern t "run" | None -> -1
+    in
     let heap = Array.init n (fun i -> i) in
     let size = ref n in
     let lt i j =
@@ -33,7 +40,15 @@ let run threads =
     done;
     while !size > 0 do
       let i = heap.(0) in
-      if threads.(i).step () then sift_down 0
+      let clock = threads.(i).clock in
+      let before = Clock.now clock in
+      let live = threads.(i).step () in
+      (match telem with
+      | None -> ()
+      | Some t ->
+          Telemetry.span t ~tid:(Clock.id clock) ~name:step_name ~ts:before
+            ~dur:(Clock.now clock -. before));
+      if live then sift_down 0
       else begin
         decr size;
         heap.(0) <- heap.(!size);

@@ -17,8 +17,11 @@ type thread = {
   step : unit -> bool;  (** perform one operation; [false] when finished *)
 }
 
-val run : thread array -> unit
-(** Runs all threads to completion. *)
+val run : ?telem:Telemetry.t -> thread array -> unit
+(** Runs all threads to completion. With [telem], each scheduled step is
+    emitted as a "run" span on its thread's track ([ts] = clock when
+    picked, [dur] = clock advance); emission charges no simulated time,
+    so traced and untraced runs produce identical simulated results. *)
 
 val makespan : thread array -> float
 (** Largest clock value: the simulated wall-clock duration of the run.

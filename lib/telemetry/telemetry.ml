@@ -1,0 +1,628 @@
+(* Simulated-time telemetry: per-thread bounded event rings, log-bucketed
+   latency histograms, and exporters (Chrome trace-event JSON, histogram
+   CSV). The library is dependency-free so every layer of the stack —
+   sim, pmem, core, harness — can emit into it without cycles.
+
+   Cost model: a disabled sink is never consulted (emitters hold a
+   [Telemetry.t option] and test it with one load+compare on the hot
+   path); an enabled sink records an event with a handful of stores into
+   preallocated parallel arrays — no allocation per event, no clock
+   charge, so enabling telemetry never changes simulated results. *)
+
+(* --- minimal JSON ------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' | '\\' ->
+            Buffer.add_char b '\\';
+            Buffer.add_char b c
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  (* Numbers print as integers when exact, else with three decimals —
+     matching how the exporters format simulated nanoseconds, so a
+     parse/print round trip is stable. *)
+  let add_num b v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" v)
+    else Buffer.add_string b (Printf.sprintf "%.3f" v)
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num v -> add_num b v
+    | Str s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            write b x)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape b k;
+            Buffer.add_string b "\":";
+            write b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    write b v;
+    Buffer.contents b
+
+  exception Bad of string
+
+  (* Recursive-descent parser over the full string; enough JSON for our
+     own exporters' output and the stats dumps. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (if !pos >= n then fail "truncated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char b '"'
+                 | '\\' -> Buffer.add_char b '\\'
+                 | '/' -> Buffer.add_char b '/'
+                 | 'n' -> Buffer.add_char b '\n'
+                 | 't' -> Buffer.add_char b '\t'
+                 | 'r' -> Buffer.add_char b '\r'
+                 | 'b' -> Buffer.add_char b '\b'
+                 | 'f' -> Buffer.add_char b '\012'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                     (* Our own emitters only escape control bytes; decode
+                        the Latin-1 range and reject the rest. *)
+                     if code > 0xFF then fail "unsupported \\u escape"
+                     else Buffer.add_char b (Char.chr code);
+                     pos := !pos + 4
+                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              incr pos;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          expect '{';
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec members () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (k, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ()
+              | Some '}' -> incr pos
+              | _ -> fail "expected ',' or '}'"
+            in
+            members ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          expect '[';
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec elements () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements ()
+              | Some ']' -> incr pos
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements ();
+            Arr (List.rev !items)
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let num = function Num v -> Some v | _ -> None
+  let str = function Str s -> Some s | _ -> None
+  let arr = function Arr items -> Some items | _ -> None
+end
+
+(* --- log-bucketed histograms -------------------------------------------- *)
+
+module Histogram = struct
+  let nbuckets = 64
+
+  type t = {
+    name : string;
+    buckets : int array; (* bucket i: values in [2^(i-1), 2^i) ns; bucket 0: < 1 ns *)
+    mutable n : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create name =
+    {
+      name;
+      buckets = Array.make nbuckets 0;
+      n = 0;
+      sum = 0.0;
+      vmin = infinity;
+      vmax = neg_infinity;
+    }
+
+  let name t = t.name
+
+  let bucket_of v =
+    if v < 1.0 then 0
+    else
+      let i = int_of_float v in
+      (* Number of significant bits of [i]: values in [2^(b-1), 2^b). *)
+      let rec bits acc i = if i = 0 then acc else bits (acc + 1) (i lsr 1) in
+      min (nbuckets - 1) (bits 0 i)
+
+  let observe t v =
+    let v = if v < 0.0 then 0.0 else v in
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.n
+  let total t = t.sum
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let min_value t = if t.n = 0 then 0.0 else t.vmin
+  let max_value t = if t.n = 0 then 0.0 else t.vmax
+
+  (* Percentile from the log buckets: the upper bound of the bucket the
+     rank lands in, clamped to the observed range — exact at the tails,
+     within a factor of two elsewhere (that is the resolution the
+     buckets buy). *)
+  let percentile t p =
+    if t.n = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (p *. float_of_int t.n)) in
+      let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+      let acc = ref 0 and bucket = ref 0 in
+      (try
+         for i = 0 to nbuckets - 1 do
+           acc := !acc + t.buckets.(i);
+           if !acc >= rank then begin
+             bucket := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let hi = if !bucket = 0 then 1.0 else Float.of_int (1 lsl !bucket) in
+      Float.min (Float.max hi t.vmin) t.vmax
+    end
+end
+
+(* --- per-thread event rings ---------------------------------------------- *)
+
+(* One bounded ring per emitting thread (simulated clock id). Parallel
+   preallocated arrays, oldest entries overwritten on wrap: recording is
+   a bump + a few stores, and "the last N events" — what a failing fuzz
+   repro wants — is exactly what survives. *)
+type ring = {
+  r_tid : int;
+  r_cap : int;
+  mutable r_total : int; (* events ever recorded (>= kept) *)
+  mutable r_head : int; (* next write slot *)
+  e_ts : float array;
+  e_dur : float array;
+  e_name : int array;
+  e_phase : Bytes.t; (* 'X' span | 'i' instant | 'C' counter *)
+  e_k1 : int array; (* interned arg key, -1 = absent *)
+  e_v1 : float array;
+  e_k2 : int array;
+  e_v2 : float array;
+}
+
+type t = {
+  cap : int;
+  mutable names : string array; (* interned names, id = index *)
+  mutable nnames : int;
+  name_ids : (string, int) Hashtbl.t;
+  rings : (int, ring) Hashtbl.t;
+  mutable ring_tids : int list; (* creation order, for deterministic export *)
+  hists : (string, Histogram.t) Hashtbl.t;
+  mutable hist_names : string list;
+}
+
+let default_ring_capacity = 65536
+
+(* Counter/snapshot events that belong to no simulated thread (heap
+   snapshots) land on this pseudo-thread. *)
+let snapshot_tid = max_int
+
+let create ?(ring_capacity = default_ring_capacity) () =
+  if ring_capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Telemetry.create: ring_capacity must be positive (got %d)"
+         ring_capacity);
+  {
+    cap = ring_capacity;
+    names = Array.make 64 "";
+    nnames = 0;
+    name_ids = Hashtbl.create 64;
+    rings = Hashtbl.create 16;
+    ring_tids = [];
+    hists = Hashtbl.create 16;
+    hist_names = [];
+  }
+
+let ring_capacity t = t.cap
+
+let intern t name =
+  match Hashtbl.find_opt t.name_ids name with
+  | Some id -> id
+  | None ->
+      if t.nnames = Array.length t.names then begin
+        let bigger = Array.make (2 * t.nnames) "" in
+        Array.blit t.names 0 bigger 0 t.nnames;
+        t.names <- bigger
+      end;
+      let id = t.nnames in
+      t.names.(id) <- name;
+      t.nnames <- t.nnames + 1;
+      Hashtbl.replace t.name_ids name id;
+      id
+
+let name_of t id = t.names.(id)
+
+let ring_of t tid =
+  match Hashtbl.find_opt t.rings tid with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          r_tid = tid;
+          r_cap = t.cap;
+          r_total = 0;
+          r_head = 0;
+          e_ts = Array.make t.cap 0.0;
+          e_dur = Array.make t.cap 0.0;
+          e_name = Array.make t.cap 0;
+          e_phase = Bytes.make t.cap 'X';
+          e_k1 = Array.make t.cap (-1);
+          e_v1 = Array.make t.cap 0.0;
+          e_k2 = Array.make t.cap (-1);
+          e_v2 = Array.make t.cap 0.0;
+        }
+      in
+      Hashtbl.replace t.rings tid r;
+      t.ring_tids <- tid :: t.ring_tids;
+      r
+
+let[@inline] record t ~tid ~phase ~name ~ts ~dur ~k1 ~v1 ~k2 ~v2 =
+  let r = ring_of t tid in
+  let i = r.r_head in
+  r.e_ts.(i) <- ts;
+  r.e_dur.(i) <- dur;
+  r.e_name.(i) <- name;
+  Bytes.set r.e_phase i phase;
+  r.e_k1.(i) <- k1;
+  r.e_v1.(i) <- v1;
+  r.e_k2.(i) <- k2;
+  r.e_v2.(i) <- v2;
+  r.r_head <- (if i + 1 = r.r_cap then 0 else i + 1);
+  r.r_total <- r.r_total + 1
+
+let span t ~tid ~name ~ts ~dur =
+  record t ~tid ~phase:'X' ~name ~ts ~dur ~k1:(-1) ~v1:0.0 ~k2:(-1) ~v2:0.0
+
+let span2 t ~tid ~name ~ts ~dur ~k1 ~v1 ~k2 ~v2 =
+  record t ~tid ~phase:'X' ~name ~ts ~dur ~k1 ~v1 ~k2 ~v2
+
+let instant t ~tid ~name ~ts =
+  record t ~tid ~phase:'i' ~name ~ts ~dur:0.0 ~k1:(-1) ~v1:0.0 ~k2:(-1) ~v2:0.0
+
+let counter t ~tid ~name ~ts ~value =
+  record t ~tid ~phase:'C' ~name ~ts ~dur:0.0 ~k1:(-1) ~v1:value ~k2:(-1) ~v2:0.0
+
+let span_named t ~tid ~name ~ts ~dur = span t ~tid ~name:(intern t name) ~ts ~dur
+let instant_named t ~tid ~name ~ts = instant t ~tid ~name:(intern t name) ~ts
+
+let counter_named t ~tid ~name ~ts ~value =
+  counter t ~tid ~name:(intern t name) ~ts ~value
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create name in
+      Hashtbl.replace t.hists name h;
+      t.hist_names <- name :: t.hist_names;
+      h
+
+let observe t name v = Histogram.observe (histogram t name) v
+
+let events_recorded t =
+  Hashtbl.fold (fun _ r acc -> acc + r.r_total) t.rings 0
+
+let events_dropped t =
+  Hashtbl.fold (fun _ r acc -> acc + max 0 (r.r_total - r.r_cap)) t.rings 0
+
+(* Oldest-first iteration over the surviving events of one ring. *)
+let iter_ring r f =
+  let kept = min r.r_total r.r_cap in
+  let start = if r.r_total <= r.r_cap then 0 else r.r_head in
+  for k = 0 to kept - 1 do
+    let i = (start + k) mod r.r_cap in
+    f ~ts:r.e_ts.(i) ~dur:r.e_dur.(i) ~name:r.e_name.(i)
+      ~phase:(Bytes.get r.e_phase i) ~k1:r.e_k1.(i) ~v1:r.e_v1.(i) ~k2:r.e_k2.(i)
+      ~v2:r.e_v2.(i)
+  done
+
+(* Rings in ascending raw-tid order — clock ids are assigned in creation
+   order, so this is the deterministic "thread 0, thread 1, ..." order of
+   the run. The export NORMALISES tids to 0..n-1 on that order: raw clock
+   ids are process-global and would differ between two same-seed runs in
+   one process, breaking byte-identity. *)
+let sorted_rings t =
+  let tids = List.sort compare t.ring_tids in
+  List.map (fun tid -> Hashtbl.find t.rings tid) tids
+
+(* --- exporters ----------------------------------------------------------- *)
+
+let add_ns b v =
+  (* Timestamps/durations are simulated nanoseconds; three decimals is
+     exact for every latency constant in the model. *)
+  Buffer.add_string b (Printf.sprintf "%.3f" v)
+
+let chrome_event b t ~pid ~tid ~ts ~dur ~name ~phase ~k1 ~v1 ~k2 ~v2 =
+  Buffer.add_string b "{\"name\":\"";
+  Json.escape b (name_of t name);
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_char b phase;
+  Buffer.add_string b "\",\"ts\":";
+  add_ns b ts;
+  if phase = 'X' then begin
+    Buffer.add_string b ",\"dur\":";
+    add_ns b dur
+  end;
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+  (match phase with
+  | 'C' ->
+      Buffer.add_string b ",\"args\":{\"value\":";
+      add_ns b v1;
+      Buffer.add_string b "}"
+  | _ ->
+      if k1 >= 0 || k2 >= 0 then begin
+        Buffer.add_string b ",\"args\":{";
+        let first = ref true in
+        let arg k v =
+          if k >= 0 then begin
+            if not !first then Buffer.add_char b ',';
+            first := false;
+            Buffer.add_char b '"';
+            Json.escape b (name_of t k);
+            Buffer.add_string b "\":";
+            Json.add_num b v
+          end
+        in
+        arg k1 v1;
+        arg k2 v2;
+        Buffer.add_string b "}"
+      end);
+  Buffer.add_string b "}"
+
+let chrome_json t =
+  let b = Buffer.create 65536 in
+  let pid = 0 in
+  let rings = sorted_rings t in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n"
+  in
+  (* Thread-name metadata first, in normalized-tid order. *)
+  List.iteri
+    (fun norm r ->
+      sep ();
+      let label = if r.r_tid = snapshot_tid then "heap" else Printf.sprintf "thread-%d" norm in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           pid norm label))
+    rings;
+  List.iteri
+    (fun norm r ->
+      iter_ring r (fun ~ts ~dur ~name ~phase ~k1 ~v1 ~k2 ~v2 ->
+          sep ();
+          chrome_event b t ~pid ~tid:norm ~ts ~dur ~name ~phase ~k1 ~v1 ~k2 ~v2))
+    rings;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\",";
+  Buffer.add_string b
+    (Printf.sprintf "\"otherData\":{\"clock\":\"simulated-ns\",\"dropped_events\":%d}}"
+       (events_dropped t));
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let hist_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "histogram,count,min_ns,p50_ns,p90_ns,p99_ns,max_ns,mean_ns,total_ns\n";
+  let names = List.sort compare t.hist_names in
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find t.hists name in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n" name
+           (Histogram.count h) (Histogram.min_value h)
+           (Histogram.percentile h 0.50) (Histogram.percentile h 0.90)
+           (Histogram.percentile h 0.99) (Histogram.max_value h) (Histogram.mean h)
+           (Histogram.total h)))
+    names;
+  Buffer.contents b
+
+(* Last [n] events across every ring, merged by timestamp (ties: ring
+   order, then recording order) — the timeline a failing fuzz repro is
+   dumped with. *)
+let tail_events t ~n =
+  let acc = ref [] in
+  List.iteri
+    (fun norm r ->
+      let seq = ref 0 in
+      iter_ring r (fun ~ts ~dur ~name ~phase ~k1 ~v1 ~k2 ~v2 ->
+          acc := (ts, norm, !seq, (dur, name, phase, k1, v1, k2, v2)) :: !acc;
+          incr seq))
+    (sorted_rings t);
+  let all =
+    List.sort
+      (fun (ts1, t1, s1, _) (ts2, t2, s2, _) -> compare (ts1, t1, s1) (ts2, t2, s2))
+      !acc
+  in
+  let len = List.length all in
+  let tail = if len <= n then all else List.filteri (fun i _ -> i >= len - n) all in
+  List.map
+    (fun (ts, tid, _, (dur, name, phase, k1, v1, k2, v2)) ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "[t%d] %12.3f " tid ts);
+      (match phase with
+      | 'X' -> Buffer.add_string b (Printf.sprintf "+%-10.3f %s" dur (name_of t name))
+      | 'C' -> Buffer.add_string b (Printf.sprintf "%-11s %s=%g" "counter" (name_of t name) v1)
+      | _ -> Buffer.add_string b (Printf.sprintf "%-11s %s" "instant" (name_of t name)));
+      if phase <> 'C' then begin
+        if k1 >= 0 then Buffer.add_string b (Printf.sprintf " %s=%g" (name_of t k1) v1);
+        if k2 >= 0 then Buffer.add_string b (Printf.sprintf " %s=%g" (name_of t k2) v2)
+      end;
+      Buffer.contents b)
+    tail
+
+(* --- global capture (CLI --telemetry) ------------------------------------ *)
+
+(* When capture is requested, instance constructors attach a fresh sink
+   to every device they build and register it here, so a driver that
+   never sees the instances (the experiment registry) can still export
+   every timeline at the end of the run. *)
+let capture : int option ref = ref None
+let registry : (string * t) list ref = ref []
+
+let request_capture ?(ring_capacity = default_ring_capacity) () =
+  capture := Some ring_capacity
+
+let cancel_capture () = capture := None
+let capture_requested () = !capture <> None
+
+let attach_if_capturing ~name ~attach =
+  match !capture with
+  | None -> None
+  | Some ring_capacity ->
+      let t = create ~ring_capacity () in
+      attach t;
+      registry := (name, t) :: !registry;
+      Some t
+
+let registered () = List.rev !registry
+let reset_registered () = registry := []

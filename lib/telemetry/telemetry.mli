@@ -1,0 +1,156 @@
+(** Simulated-time telemetry: per-thread bounded event rings, log-bucketed
+    latency histograms, and exporters (Chrome trace-event JSON for
+    Perfetto/chrome://tracing, histogram CSV).
+
+    Dependency-free by design so sim, pmem, core and the harness can all
+    emit without layering cycles. Recording never allocates per event and
+    never charges simulated clocks: enabling telemetry cannot change
+    simulated results. Disabled cost is one [option] check at each
+    emission site (the sink is held as a [Telemetry.t option] by the
+    emitter; this module is never consulted when that is [None]). *)
+
+(** Minimal JSON value type, printer and parser — enough for the trace
+    and stats dumps; the repo deliberately has no JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact printer. Integral numbers print without a decimal point;
+      others with three decimals (simulated-ns resolution), so
+      print/parse round trips are stable. *)
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] on other constructors. *)
+
+  val num : t -> float option
+  val str : t -> string option
+  val arr : t -> t list option
+
+  val escape : Buffer.t -> string -> unit
+  (** Append [s] to [b] with JSON string escaping (no quotes added). *)
+
+  val add_num : Buffer.t -> float -> unit
+end
+
+(** Log-bucketed latency histogram: 64 power-of-two buckets over
+    nanoseconds; exact count/min/max/mean, percentiles within the
+    bucket's factor-of-two resolution (exact at the observed tails). *)
+module Histogram : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val observe : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] — upper bound of the bucket the rank lands in,
+      clamped to the observed min/max. 0 when empty. *)
+end
+
+type t
+(** A telemetry sink: interned names, one event ring per emitting thread
+    (keyed by simulated clock id), and named histograms. *)
+
+val create : ?ring_capacity:int -> unit -> t
+(** Per-thread ring capacity in events (default 65536). Oldest events
+    are overwritten on wrap. Raises [Invalid_argument] if
+    [ring_capacity <= 0]. *)
+
+val default_ring_capacity : int
+val ring_capacity : t -> int
+
+val snapshot_tid : int
+(** Pseudo thread id for events that belong to no simulated thread
+    (periodic heap snapshots). Exported as the last, "heap", track. *)
+
+val intern : t -> string -> int
+(** Intern a name (event or arg-key), returning a stable id. Hot
+    emitters intern once at attach time and use the [int] API below. *)
+
+val name_of : t -> int -> string
+
+(** {2 Recording} — interned-id variants are the hot path: a bump and a
+    few stores into preallocated arrays, no allocation. *)
+
+val span : t -> tid:int -> name:int -> ts:float -> dur:float -> unit
+(** Complete span ([ph:"X"]), simulated-ns start and duration. *)
+
+val span2 :
+  t ->
+  tid:int ->
+  name:int ->
+  ts:float ->
+  dur:float ->
+  k1:int ->
+  v1:float ->
+  k2:int ->
+  v2:float ->
+  unit
+(** Span with up to two numeric args (interned key ids; pass [-1] to
+    omit a slot). *)
+
+val instant : t -> tid:int -> name:int -> ts:float -> unit
+val counter : t -> tid:int -> name:int -> ts:float -> value:float -> unit
+
+val span_named : t -> tid:int -> name:string -> ts:float -> dur:float -> unit
+val instant_named : t -> tid:int -> name:string -> ts:float -> unit
+val counter_named : t -> tid:int -> name:string -> ts:float -> value:float -> unit
+
+val histogram : t -> string -> Histogram.t
+(** Find-or-create; emitters cache the handle. *)
+
+val observe : t -> string -> float -> unit
+
+val events_recorded : t -> int
+val events_dropped : t -> int
+
+(** {2 Exporters} *)
+
+val chrome_json : t -> string
+(** Chrome trace-event JSON ({!https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU}),
+    loadable in Perfetto and chrome://tracing. Timestamps are simulated
+    nanoseconds. Thread ids are NORMALISED to 0..n-1 in ascending
+    raw-clock-id (i.e. thread creation) order so two same-seed runs in
+    the same process export byte-identical JSON. *)
+
+val hist_csv : t -> string
+(** One row per histogram, sorted by name:
+    [histogram,count,min_ns,p50_ns,p90_ns,p99_ns,max_ns,mean_ns,total_ns]. *)
+
+val tail_events : t -> n:int -> string list
+(** Last [n] events across all rings merged by timestamp, rendered one
+    per line — the timeline dumped next to a failing fuzz repro. *)
+
+(** {2 Global capture}
+
+    [nvalloc-cli --telemetry] requests capture before constructing
+    instances; instance constructors then attach a fresh sink to every
+    device they build and register it here so the CLI can export all
+    timelines after the run, even for instances it never sees (the
+    experiment registry builds its own). *)
+
+val request_capture : ?ring_capacity:int -> unit -> unit
+val cancel_capture : unit -> unit
+val capture_requested : unit -> bool
+
+val attach_if_capturing : name:string -> attach:(t -> unit) -> t option
+(** If capture was requested: create a sink, call [attach], register it
+    under [name], and return it. Otherwise [None]. *)
+
+val registered : unit -> (string * t) list
+(** Registered sinks, oldest first. *)
+
+val reset_registered : unit -> unit

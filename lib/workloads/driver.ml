@@ -7,14 +7,36 @@ type result = {
   peak_bytes : int;
 }
 
+(* Heap-introspection snapshot cadence, in scheduler steps summed over
+   all threads. Scheduler order is deterministic, so snapshot times are
+   too. *)
+let snapshot_period = 1024
+
 let run (inst : Alloc_api.Instance.t) ~ops_of ~step_of =
   inst.Alloc_api.Instance.reset_peak ();
+  let telem = Pmem.Device.telemetry inst.Alloc_api.Instance.dev in
+  let steps = ref 0 in
+  let wrap ~tid =
+    let step = step_of ~tid in
+    match telem with
+    | None -> step
+    | Some _ ->
+        fun () ->
+          let live = step () in
+          incr steps;
+          if !steps mod snapshot_period = 0 then
+            inst.Alloc_api.Instance.snapshot
+              (Sim.Clock.now inst.Alloc_api.Instance.clocks.(tid));
+          live
+  in
   let threads =
     Array.init inst.Alloc_api.Instance.threads (fun tid ->
-        { Sim.Scheduler.clock = inst.Alloc_api.Instance.clocks.(tid); step = step_of ~tid })
+        { Sim.Scheduler.clock = inst.Alloc_api.Instance.clocks.(tid); step = wrap ~tid })
   in
-  Sim.Scheduler.run threads;
+  Sim.Scheduler.run ?telem threads;
   let makespan = Sim.Scheduler.makespan threads in
+  (* Close the track with a final snapshot at the makespan. *)
+  (match telem with Some _ -> inst.Alloc_api.Instance.snapshot makespan | None -> ());
   let total_ops = ref 0 in
   for tid = 0 to inst.Alloc_api.Instance.threads - 1 do
     total_ops := !total_ops + ops_of ~tid

@@ -16,7 +16,10 @@ val run :
 (** [step_of ~tid] builds thread [tid]'s step closure ([false] = done);
     [ops_of ~tid] declares how many operations that thread will have
     performed, for the throughput figure. Resets peak tracking before
-    starting. *)
+    starting. When the instance's device has a telemetry sink attached,
+    the scheduler emits per-step "run" spans into it and the instance's
+    heap snapshot is taken every 1024 scheduler steps and once at the
+    makespan. *)
 
 val idle : Alloc_api.Instance.t -> tid:int -> unit
 (** Charge a short idle spin (used when a consumer waits for its

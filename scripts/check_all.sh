@@ -19,6 +19,9 @@ stage "fmt (scripts/fmt_check.sh)" sh scripts/fmt_check.sh
 stage "build (dune build)" dune build
 stage "unit tests (dune runtest)" dune runtest
 stage "bench regression (scripts/bench_check.sh)" sh scripts/bench_check.sh
+stage "trace determinism (scripts/trace_check.sh)" sh scripts/trace_check.sh
+stage "telemetry-off hot path (bench/hotloop.exe --check)" \
+  dune exec --no-build bench/hotloop.exe -- --check
 stage "crash fuzzer (scripts/fuzz_check.sh)" sh scripts/fuzz_check.sh
 
 echo ""

@@ -22,5 +22,6 @@ let () =
       ("fptree", Test_fptree.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
+      ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
     ]

@@ -1,0 +1,283 @@
+(* Telemetry: JSON printer/parser, histograms, bounded rings, trace
+   determinism, zero perturbation of simulated results, and the Stats
+   JSON round trip. *)
+
+module J = Telemetry.Json
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd");
+        ("i", J.Num 42.0);
+        ("f", J.Num 1.5);
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("a", J.Arr [ J.Num 0.0; J.Str ""; J.Obj [] ]);
+      ]
+  in
+  let s = J.to_string v in
+  (match J.parse s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok v' -> Alcotest.(check string) "print/parse/print stable" s (J.to_string v'));
+  (* Integral floats print without a decimal point. *)
+  Alcotest.(check string) "integral" "42" (J.to_string (J.Num 42.0));
+  Alcotest.(check string) "fractional" "1.500" (J.to_string (J.Num 1.5))
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("parse accepted garbage: " ^ s))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "{\"a\":1}x" ]
+
+(* --- Histogram ----------------------------------------------------------- *)
+
+let test_histogram () =
+  let h = Telemetry.Histogram.create "h" in
+  Alcotest.(check int) "empty count" 0 (Telemetry.Histogram.count h);
+  List.iter (Telemetry.Histogram.observe h) [ 100.0; 200.0; 300.0; 400.0; 100000.0 ];
+  Alcotest.(check int) "count" 5 (Telemetry.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "min" 100.0 (Telemetry.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100000.0 (Telemetry.Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 20200.0 (Telemetry.Histogram.mean h);
+  let p50 = Telemetry.Histogram.percentile h 0.5 in
+  Alcotest.(check bool) "p50 within factor-2 bucket" true (p50 >= 200.0 && p50 <= 512.0);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 100000.0
+    (Telemetry.Histogram.percentile h 1.0);
+  let p0 = Telemetry.Histogram.percentile h 0.0 in
+  Alcotest.(check bool) "p0 within min's bucket" true (p0 >= 100.0 && p0 <= 128.0)
+
+(* --- Rings --------------------------------------------------------------- *)
+
+let test_ring_bounds () =
+  let t = Telemetry.create ~ring_capacity:4 () in
+  let name = Telemetry.intern t "ev" in
+  for i = 1 to 10 do
+    Telemetry.span t ~tid:0 ~name ~ts:(float_of_int i) ~dur:1.0
+  done;
+  Alcotest.(check int) "recorded" 10 (Telemetry.events_recorded t);
+  Alcotest.(check int) "dropped oldest" 6 (Telemetry.events_dropped t);
+  (* The tail holds the newest events, oldest first. *)
+  let tail = Telemetry.tail_events t ~n:10 in
+  Alcotest.(check int) "tail bounded by capacity" 4 (List.length tail);
+  Alcotest.(check bool) "newest survives" true
+    (List.exists (fun l -> String.length l > 0) tail)
+
+let test_ring_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Telemetry.create: ring_capacity must be positive (got 0)") (fun () ->
+      ignore (Telemetry.create ~ring_capacity:0 ()))
+
+let test_interning () =
+  let t = Telemetry.create () in
+  let a = Telemetry.intern t "alloc" and b = Telemetry.intern t "free" in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "stable" a (Telemetry.intern t "alloc");
+  Alcotest.(check string) "name_of" "free" (Telemetry.name_of t b)
+
+(* --- End-to-end: traced workload runs ------------------------------------ *)
+
+let larson_params =
+  { Workloads.Larson.slots = 64; ops = 500; min_size = 64; max_size = 256; cross_frac = 0.2 }
+
+let mk () =
+  Alloc_api.Instance.of_nvalloc
+    ~config:
+      {
+        Nvalloc_core.Config.log_default with
+        Nvalloc_core.Config.arenas = 2;
+        root_slots = 1 lsl 16;
+      }
+    ~threads:4 ~dev_size:(256 * 1024 * 1024) ()
+
+let traced_run ~seed =
+  Telemetry.reset_registered ();
+  Telemetry.request_capture ();
+  let inst = Fun.protect ~finally:Telemetry.cancel_capture (fun () -> mk ()) in
+  let sink =
+    match Telemetry.registered () with
+    | [ (_, s) ] -> s
+    | l -> Alcotest.fail (Printf.sprintf "expected 1 registered sink, got %d" (List.length l))
+  in
+  Telemetry.reset_registered ();
+  let r = Workloads.Larson.run inst ~params:larson_params ~seed () in
+  (sink, r)
+
+let test_trace_determinism () =
+  (* Satellite: two same-seed runs export byte-identical trace JSON,
+     even though raw clock ids differ between the runs (tids are
+     normalised at export). *)
+  let sink1, _ = traced_run ~seed:7 in
+  let sink2, _ = traced_run ~seed:7 in
+  let j1 = Telemetry.chrome_json sink1 and j2 = Telemetry.chrome_json sink2 in
+  Alcotest.(check int) "same length" (String.length j1) (String.length j2);
+  Alcotest.(check bool) "byte-identical JSON" true (String.equal j1 j2);
+  Alcotest.(check string) "identical histogram CSV" (Telemetry.hist_csv sink1)
+    (Telemetry.hist_csv sink2)
+
+let test_trace_validity () =
+  let sink, _ = traced_run ~seed:3 in
+  Alcotest.(check bool) "events recorded" true (Telemetry.events_recorded sink > 0);
+  let json =
+    match J.parse (Telemetry.chrome_json sink) with
+    | Error e -> Alcotest.fail ("trace JSON does not parse: " ^ e)
+    | Ok j -> j
+  in
+  let events =
+    match Option.bind (J.member "traceEvents" json) J.arr with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 100);
+  let phases = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let field name = Option.bind (J.member name ev) in
+      (match field "ph" J.str with
+      | Some ("X" | "i" | "C" | "M") as p -> Hashtbl.replace phases (Option.get p) ()
+      | Some ph -> Alcotest.fail ("unexpected ph " ^ ph)
+      | None -> Alcotest.fail "event without ph");
+      (match field "ts" J.num with
+      | Some ts -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+      | None -> Alcotest.fail "event without ts");
+      (match field "pid" J.num with
+      | Some 0.0 -> ()
+      | _ -> Alcotest.fail "event without pid 0");
+      match field "tid" J.num with
+      | Some tid -> Alcotest.(check bool) "tid normalised" true (tid >= 0.0 && tid < 16.0)
+      | None -> Alcotest.fail "event without tid")
+    events;
+  (* All four phase kinds appear: spans, snapshots (counters), thread
+     names (metadata). *)
+  Alcotest.(check bool) "has spans" true (Hashtbl.mem phases "X");
+  Alcotest.(check bool) "has counters" true (Hashtbl.mem phases "C");
+  Alcotest.(check bool) "has metadata" true (Hashtbl.mem phases "M");
+  (* Heap-introspection track exists and carries occupancy counters. *)
+  let csv = Telemetry.hist_csv sink in
+  Alcotest.(check bool) "alloc histogram present" true
+    (String.length csv > 0
+    && List.exists
+         (fun line -> String.length line >= 6 && String.sub line 0 6 = "alloc,")
+         (String.split_on_char '\n' csv))
+
+let test_zero_perturbation () =
+  (* Attaching a sink must not change simulated results: same makespan
+     with telemetry on and off. *)
+  let _, r_on = traced_run ~seed:11 in
+  let r_off = Workloads.Larson.run (mk ()) ~params:larson_params ~seed:11 () in
+  Alcotest.(check (float 1e-9)) "identical makespans"
+    r_off.Workloads.Driver.makespan_ns r_on.Workloads.Driver.makespan_ns;
+  Alcotest.(check int) "identical op counts" r_off.Workloads.Driver.total_ops
+    r_on.Workloads.Driver.total_ops
+
+let test_fuzz_plan_telemetry () =
+  (* A failing plan replayed with a sink yields a non-empty tail whose
+     capture does not change the verdict. *)
+  let plan =
+    match Fault.Plan.of_string "v=log seed=5 ops=40 crash=200 torn=line tseed=1 rcrash=-" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let bare = Fault.Fuzz.run_plan plan in
+  let sink = Telemetry.create () in
+  let traced = Fault.Fuzz.run_plan ~telemetry:sink plan in
+  Alcotest.(check bool) "same verdict" true
+    (match (bare, traced) with Ok _, Ok _ | Error _, Error _ -> true | _ -> false);
+  Alcotest.(check bool) "timeline captured" true (Telemetry.events_recorded sink > 0);
+  Alcotest.(check bool) "tail renders" true (Telemetry.tail_events sink ~n:8 <> [])
+
+(* --- Stats JSON + reset satellites --------------------------------------- *)
+
+let populated_stats () =
+  let st = Pmem.Stats.create ~trace_limit:8 () in
+  Pmem.Stats.record_flush st Pmem.Stats.Meta ~addr:64 ~reflush:false ~sequential:true ~ns:100.0;
+  Pmem.Stats.record_flush st Pmem.Stats.Wal ~addr:128 ~reflush:true ~sequential:false ~ns:200.0;
+  Pmem.Stats.record_flush st Pmem.Stats.Data ~addr:256 ~reflush:false ~sequential:true ~ns:300.0;
+  Pmem.Stats.record_fence st ~ns:20.0;
+  Pmem.Stats.record_read st ~ns:50.0;
+  Pmem.Stats.charge_work st Pmem.Stats.Search ~ns:75.0;
+  st
+
+let test_stats_json_roundtrip () =
+  let st = populated_stats () in
+  let s = Pmem.Stats.to_json_string st in
+  match Pmem.Stats.of_json_string s with
+  | Error e -> Alcotest.fail ("of_json failed: " ^ e)
+  | Ok st' ->
+      Alcotest.(check string) "round trip" s (Pmem.Stats.to_json_string st');
+      Alcotest.(check int) "flushes" (Pmem.Stats.flushes st) (Pmem.Stats.flushes st');
+      Alcotest.(check int) "reflushes" (Pmem.Stats.reflushes st) (Pmem.Stats.reflushes st');
+      Alcotest.(check bool) "trace" true (Pmem.Stats.trace st = Pmem.Stats.trace st')
+
+let test_stats_json_rejects () =
+  List.iter
+    (fun s ->
+      match Pmem.Stats.of_json_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("of_json accepted: " ^ s))
+    [ "{}"; "{\"schema\":\"nvalloc/stats/v2\"}"; "[1,2]"; "not json" ]
+
+let test_stats_reset_clears_trace () =
+  let st = populated_stats () in
+  Alcotest.(check bool) "trace non-empty before" true (Pmem.Stats.trace st <> []);
+  Pmem.Stats.reset st;
+  Alcotest.(check int) "flushes zero" 0 (Pmem.Stats.flushes st);
+  Alcotest.(check bool) "trace cleared" true (Pmem.Stats.trace st = []);
+  Alcotest.(check string) "reset = fresh" (Pmem.Stats.to_json_string (Pmem.Stats.create ~trace_limit:8 ()))
+    (Pmem.Stats.to_json_string st);
+  (* And the trace records again after the reset. *)
+  Pmem.Stats.record_flush st Pmem.Stats.Meta ~addr:64 ~reflush:false ~sequential:true ~ns:1.0;
+  Alcotest.(check int) "records after reset" 1 (List.length (Pmem.Stats.trace st))
+
+let test_stats_trace_limit_zero () =
+  let st = Pmem.Stats.create ~trace_limit:0 () in
+  Pmem.Stats.record_flush st Pmem.Stats.Meta ~addr:64 ~reflush:false ~sequential:true ~ns:1.0;
+  Alcotest.(check int) "counts still work" 1 (Pmem.Stats.flushes st);
+  Alcotest.(check bool) "no trace kept" true (Pmem.Stats.trace st = []);
+  Pmem.Stats.reset st;
+  Alcotest.(check int) "reset fine" 0 (Pmem.Stats.flushes st)
+
+let test_stats_trace_limit_negative () =
+  Alcotest.check_raises "negative trace_limit"
+    (Invalid_argument "Pmem.Stats.create: trace_limit must be >= 0 (got -1)") (fun () ->
+      ignore (Pmem.Stats.create ~trace_limit:(-1) ()))
+
+let test_device_reset_stats () =
+  (* Device.reset_stats clears the reflush bookkeeping too: the same
+     line flushed right after a reset is NOT counted as a reflush. *)
+  let dev = Pmem.Device.create ~size:(1 lsl 20) () in
+  let clock = Sim.Clock.create () in
+  Pmem.Device.write_int dev 64 0xdead;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:64 ~len:8;
+  Pmem.Device.write_int dev 64 0xbeef;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:64 ~len:8;
+  Alcotest.(check int) "reflush seen" 1 (Pmem.Stats.reflushes (Pmem.Device.stats dev));
+  Pmem.Device.reset_stats dev;
+  Alcotest.(check int) "counters cleared" 0 (Pmem.Stats.flushes (Pmem.Device.stats dev));
+  Pmem.Device.write_int dev 64 0xf00d;
+  Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr:64 ~len:8;
+  Alcotest.(check int) "no stale reflush" 0 (Pmem.Stats.reflushes (Pmem.Device.stats dev))
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_errors;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "ring bounds + drop-oldest" `Quick test_ring_bounds;
+    Alcotest.test_case "ring capacity validation" `Quick test_ring_capacity_validation;
+    Alcotest.test_case "name interning" `Quick test_interning;
+    Alcotest.test_case "same-seed trace is byte-identical" `Quick test_trace_determinism;
+    Alcotest.test_case "trace JSON is well-formed" `Quick test_trace_validity;
+    Alcotest.test_case "telemetry does not perturb simulation" `Quick test_zero_perturbation;
+    Alcotest.test_case "fuzz plan replay with sink" `Quick test_fuzz_plan_telemetry;
+    Alcotest.test_case "stats: json round trip" `Quick test_stats_json_roundtrip;
+    Alcotest.test_case "stats: json rejects bad input" `Quick test_stats_json_rejects;
+    Alcotest.test_case "stats: reset clears trace" `Quick test_stats_reset_clears_trace;
+    Alcotest.test_case "stats: trace_limit 0" `Quick test_stats_trace_limit_zero;
+    Alcotest.test_case "stats: negative trace_limit" `Quick test_stats_trace_limit_negative;
+    Alcotest.test_case "device: reset_stats clears reflush state" `Quick test_device_reset_stats;
+  ]
