@@ -321,10 +321,115 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed $ runs $ variant $ plan $ broken $ check_order $ tail)
 
+let check_cmd =
+  let doc =
+    "Run the model checker: generate seed-deterministic concurrent \
+     allocation histories and execute them differentially against a volatile \
+     reference heap model, checking per-step invariants (no overlapping live \
+     blocks, alignment, destination publication) plus NVAlloc's deep \
+     heap-integrity walk, persist-ordering cleanliness, and — with \
+     $(b,--crash) — the full post-crash oracle. On failure the scenario is \
+     shrunk and printed as a replayable one-liner (re-run it with \
+     $(b,--scenario)). Exits non-zero on a counterexample."
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"History-generation RNG seed.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"N" ~doc:"Scenarios per allocator (seeds SEED..SEED+N-1).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 2000
+      & info [ "ops" ] ~docv:"N" ~doc:"Total operations per scenario, across all threads.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Simulated threads.")
+  in
+  let crash =
+    let doc =
+      "Also arm a crash after $(docv) flushed lines and run the post-crash \
+       oracle (NVAlloc variants only; baselines ignore the crash point)."
+    in
+    Arg.(value & opt (some int) None & info [ "crash" ] ~docv:"N" ~doc)
+  in
+  let allocators =
+    let doc =
+      "Comma-separated allocator names to check, or $(b,all). See \
+       $(b,nvalloc-cli list) / the NVAlloc variants NVAlloc-LOG, NVAlloc-GC, \
+       NVAlloc-IC."
+    in
+    Arg.(value & opt string "all" & info [ "allocators" ] ~docv:"NAMES" ~doc)
+  in
+  let broken =
+    let doc =
+      "Demo mode: re-introduce the refill WAL-before-bitmap ordering bug on \
+       the NVAlloc instances, to show the checker catching a real protocol \
+       violation."
+    in
+    Arg.(value & flag & info [ "broken" ] ~doc)
+  in
+  let scenario =
+    let doc =
+      "Replay one scenario (a line previously printed by the checker) instead \
+       of generating fresh ones; overrides the other selection flags."
+    in
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"LINE" ~doc)
+  in
+  let run seed runs ops threads crash allocators broken scenario =
+    match scenario with
+    | Some line -> (
+        match Check.History.of_string line with
+        | Error e -> failwith ("bad --scenario: " ^ e)
+        | Ok sc -> (
+            match Check.Runner.run ~broken sc with
+            | Ok () -> Printf.printf "ok: %s\n" (Check.History.to_string sc)
+            | Error reason ->
+                Printf.printf "FAIL: %s\n  reason: %s\n" (Check.History.to_string sc) reason;
+                exit 1))
+    | None ->
+        let names =
+          if allocators = "all" then Check.Runner.allocator_names
+          else String.split_on_char ',' allocators |> List.map String.trim
+        in
+        let failed = ref false in
+        List.iter
+          (fun alloc ->
+            match Check.Runner.check ~broken ~alloc ~seed ~runs ~ops ~threads ?crash () with
+            | None ->
+                Printf.printf "ok: %-12s %d scenario(s), ops=%d threads=%d seed=%d%s\n" alloc
+                  runs ops threads seed
+                  (match crash with None -> "" | Some n -> Printf.sprintf " crash=%d" n)
+            | Some cex ->
+                failed := true;
+                Printf.printf
+                  "counterexample (shrunk): %s\n  reason: %s\n  original: %s\n"
+                  (Check.History.to_string cex.Check.Runner.shrunk)
+                  cex.Check.Runner.reason
+                  (Check.History.to_string cex.Check.Runner.original))
+          names;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run $ seed $ runs $ ops $ threads $ crash $ allocators $ broken $ scenario)
+
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
   let info = Cmd.info "nvalloc-cli" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; trace_cmd; flushes_cmd; stats_cmd; bench_cmd; fuzz_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            trace_cmd;
+            flushes_cmd;
+            stats_cmd;
+            bench_cmd;
+            fuzz_cmd;
+            check_cmd;
+          ]))

@@ -17,10 +17,12 @@ type t = {
   shutdown : unit -> unit;
   recover : unit -> float;
   snapshot : float -> unit;
+  iter_live : ((addr:int -> size:int -> unit) -> unit) option;
+  integrity : (unit -> (string, string) result) option;
 }
 
 let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
-    () =
+    ?(broken_wal = false) () =
   let lat = if eadr then Pmem.Latency.eadr else Pmem.Latency.default in
   let dev = Pmem.Device.create ~lat ~size:dev_size () in
   let clocks = Array.init threads (fun _ -> Sim.Clock.create ()) in
@@ -39,6 +41,11 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
   in
   let config = { config with Config.arenas = min config.Config.arenas (max 1 threads) } in
   let t = Nvalloc.create ~config dev clocks.(0) in
+  (* Mutation-test knob: deliberately break the WAL append flush so the
+     checker/oracle can demonstrate the bug is caught (never set outside
+     a test harness). *)
+  if broken_wal then
+    Array.iter (fun a -> Wal.unsafe_set_skip_flush (Arena.wal a) true) (Nvalloc.arenas t);
   let handles = Array.init threads (fun tid -> Nvalloc.thread t clocks.(tid)) in
   let default_name =
     match config.Config.consistency with
@@ -80,4 +87,6 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
         match Nvalloc.telemetry t with
         | Some sink -> Nvalloc.telemetry_snapshot t sink ~ts
         | None -> ());
+    iter_live = Some (fun f -> Nvalloc.iter_allocated t f);
+    integrity = Some (fun () -> Nvalloc.integrity_walk t clocks.(0));
   }

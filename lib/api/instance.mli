@@ -11,7 +11,10 @@
     - [malloc ~tid ~size ~dest] returns the allocated address and
       persistently publishes it at [dest];
     - [free ~tid ~dest] frees the object whose address is stored at
-      [dest] and clears [dest];
+      [dest] and clears [dest]; freeing a slot that holds no published
+      address raises [Invalid_argument] with the uniform message
+      [Nvalloc_core.Nvalloc.err_free_unpublished] on {e every} allocator
+      (NVAlloc and all baselines alike);
     - all simulated latency lands on [clocks.(tid)]. *)
 
 type t = {
@@ -40,6 +43,15 @@ type t = {
       (** emit a heap-introspection telemetry snapshot stamped at the
           given simulated time; no-op when the allocator has no attached
           sink or no introspection (baselines) *)
+  iter_live : ((addr:int -> size:int -> unit) -> unit) option;
+      (** enumerate every object the allocator considers allocated
+          (NVAlloc: [Nvalloc.iter_allocated] — may transiently include
+          tcache-resident blocks under LOG); [None] for baselines *)
+  integrity : (unit -> (string, string) result) option;
+      (** deep heap-integrity walk ([Nvalloc.integrity_walk], charged to
+          clock 0): structural invariants, then a quiescing tcache-drain +
+          WAL-checkpoint pass. Mutates the heap (empties tcaches) — call
+          after the workload. [None] for baselines *)
 }
 
 val of_nvalloc :
@@ -49,9 +61,16 @@ val of_nvalloc :
   dev_size:int ->
   ?eadr:bool ->
   ?eadr_keep_interleave:bool ->
+  ?broken_wal:bool ->
   unit ->
   t
 (** Build an NVAlloc instance (LOG or GC per the config). On eADR the
     interleaved mapping is disabled, as NVAlloc does via
     [pmem_has_auto_flush()] (section 6.7) — unless
-    [eadr_keep_interleave] is set (Figure 19 studies exactly that). *)
+    [eadr_keep_interleave] is set (Figure 19 studies exactly that).
+
+    [broken_wal] is a fault-injection knob for checker/fuzzer mutation
+    tests {e only}: it re-introduces the PR 2 refill ordering bug by
+    skipping the WAL append flush ([Wal.unsafe_set_skip_flush]) on every
+    arena, so the persist-ordering checker and crash oracle can prove
+    they still catch it. Never set it outside a test harness. *)

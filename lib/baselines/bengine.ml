@@ -348,7 +348,9 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
     let clock = clocks.(tid) in
     overhead clock;
     let addr = Int64.to_int (Pmem.Device.read_int64 dev dest) in
-    assert (addr > 0);
+    (* Same message as Nvalloc.free_from: freeing an unpublished slot is
+       a uniform error across every allocator (Alloc_api.Instance.free). *)
+    if addr <= 0 then invalid_arg Nvalloc_core.Nvalloc.err_free_unpublished;
     (match Int_rb.find_last_leq t.owner_index addr with
     | Some (_, Slab_o s) when addr < s.addr + slab_bytes -> free_small t clock ~tid s addr
     | Some (_, Large_o arena) ->
@@ -384,4 +386,6 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
         Pmem.Device.crash dev;
         recovery_time t);
     snapshot = (fun _ts -> ());
+    iter_live = None;
+    integrity = None;
   }

@@ -1,0 +1,66 @@
+module Addr_map = Map.Make (Int)
+
+type alloc = { addr : int; size : int; tid : int }
+
+type t = {
+  mutable live : alloc Addr_map.t; (* keyed by base address *)
+  dests : (int, alloc) Hashtbl.t; (* destination slot -> its allocation *)
+  mutable live_bytes : int;
+  mutable total_bytes : int;
+}
+
+let create () =
+  { live = Addr_map.empty; dests = Hashtbl.create 1024; live_bytes = 0; total_bytes = 0 }
+
+let at_dest t ~dest = Hashtbl.find_opt t.dests dest
+
+(* Slab-served sizes land on the 16 B block grid (every size class is a
+   multiple of 16 and data offsets are cache-line aligned); large objects
+   only promise word alignment. *)
+let required_alignment size = if size <= Nvalloc_core.Size_class.max_small then 16 else 8
+
+let on_alloc t ~tid ~dest ~size ~addr =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if addr <= 0 then err "malloc returned non-positive address %d" addr
+  else if addr mod required_alignment size <> 0 then
+    err "malloc(%d) returned %#x, not %d-byte aligned" size addr (required_alignment size)
+  else if Hashtbl.mem t.dests dest then err "dest %#x already publishes an allocation" dest
+  else begin
+    let overlap =
+      (* Predecessor (greatest base <= addr) and successor bracket the
+         only candidates for an interval collision. *)
+      let pred = Addr_map.find_last_opt (fun a -> a <= addr) t.live in
+      let succ = Addr_map.find_first_opt (fun a -> a > addr) t.live in
+      let clash = function
+        | None -> None
+        | Some (_, a) ->
+            if a.addr < addr + size && addr < a.addr + a.size then Some a else None
+      in
+      match clash pred with Some a -> Some a | None -> clash succ
+    in
+    match overlap with
+    | Some a ->
+        err "new block [%#x,+%d) overlaps live block [%#x,+%d) of tid %d" addr size a.addr
+          a.size a.tid
+    | None ->
+        let a = { addr; size; tid } in
+        t.live <- Addr_map.add addr a t.live;
+        Hashtbl.replace t.dests dest a;
+        t.live_bytes <- t.live_bytes + size;
+        t.total_bytes <- t.total_bytes + size;
+        Ok ()
+  end
+
+let on_free t ~dest =
+  match Hashtbl.find_opt t.dests dest with
+  | None -> Error (Printf.sprintf "free of dest %#x which publishes nothing" dest)
+  | Some a ->
+      Hashtbl.remove t.dests dest;
+      t.live <- Addr_map.remove a.addr t.live;
+      t.live_bytes <- t.live_bytes - a.size;
+      Ok a
+
+let live_count t = Addr_map.cardinal t.live
+let live_bytes t = t.live_bytes
+let total_bytes t = t.total_bytes
+let iter t f = Hashtbl.iter (fun dest a -> f ~dest a) t.dests

@@ -1,0 +1,48 @@
+(** Volatile reference heap model for the differential checker.
+
+    The model consumes the same operation stream as a real allocator
+    instance and tracks what a correct allocator {e must} agree on: the
+    set of live allocations (address interval, requested size, owning
+    tid) and the root-table contents (which destination slot published
+    which allocation). It is deliberately allocator-agnostic — no size
+    classes, no slabs — so every instance behind {!Alloc_api.Instance.t}
+    can be held against it.
+
+    Checked on the way in ({!on_alloc}):
+    - the returned address is positive and aligned (16 B for slab-served
+      sizes, 8 B for large objects);
+    - the new interval [addr, addr+size) overlaps no live allocation;
+    - the destination slot was empty and no other slot published the
+      same address.
+
+    {!on_free} checks the slot was published. Byte accounting
+    ({!live_bytes}, {!total_bytes}) feeds the runner's mapped/peak-bytes
+    bound checks. *)
+
+type alloc = { addr : int; size : int; tid : int }
+
+type t
+
+val create : unit -> t
+
+val at_dest : t -> dest:int -> alloc option
+(** What the model believes the slot at device address [dest] publishes. *)
+
+val on_alloc : t -> tid:int -> dest:int -> size:int -> addr:int -> (unit, string) result
+(** Record a malloc the instance just performed; [Error] describes the
+    violated invariant (overlap, misalignment, occupied slot, ...). *)
+
+val on_free : t -> dest:int -> (alloc, string) result
+(** Record a free; returns the allocation the model had at [dest]. *)
+
+val live_count : t -> int
+val live_bytes : t -> int
+(** Sum of requested sizes over live allocations. *)
+
+val total_bytes : t -> int
+(** Cumulative requested bytes over every allocation ever recorded
+    (upper-bound input for mapped-bytes checks: freed extents may stay
+    mapped under decay). *)
+
+val iter : t -> (dest:int -> alloc -> unit) -> unit
+(** Every live allocation with its publishing slot. *)

@@ -1,0 +1,52 @@
+(** Differential runner: one {!History} scenario, executed over a real
+    allocator instance and the {!Model} reference heap in lockstep.
+
+    Per executed operation the runner checks the model invariants
+    (interval disjointness, alignment, destination publication: malloc
+    leaves [dest] holding the returned address, free clears it) and
+    periodically the byte bounds (mapped >= model-live, peak >= mapped,
+    mapped within a generous multiple of everything ever requested).
+    Operations the model marks as no-ops — an alloc on an occupied slot,
+    a free of an empty slot (both arise naturally from cross-thread
+    frees) — are charged as idle steps, so model and allocator never
+    diverge on which operations execute.
+
+    After a crash-free run on NVAlloc the runner additionally requires
+    zero persist-ordering violations, cross-checks every model-live block
+    against the allocator's own enumeration ([iter_live]), and runs the
+    deep {!Nvalloc.integrity_walk} ([integrity]). A scenario with a crash
+    point arms the device countdown and hands the crashed image to
+    {!Fault.Oracle.check} (NVAlloc only; the baselines' recovery is a
+    cost model, so their crash points are ignored).
+
+    Failures shrink greedily ({!History.shrink_candidates}) to a one-line
+    repro, mirroring the crash-plan fuzzer. *)
+
+val allocator_names : string list
+(** Every allocator the checker can drive: the NVAlloc variants first,
+    then the baselines. *)
+
+val run : ?broken:bool -> History.t -> (unit, string) result
+(** Execute one scenario; [Error reason] names the first violated
+    invariant. [broken] re-introduces the PR 2 WAL ordering bug on
+    NVAlloc instances (mutation smoke; no-op for baselines). Raises
+    [Invalid_argument] on an unknown allocator name. *)
+
+type counterexample = { original : History.t; shrunk : History.t; reason : string }
+
+val shrink : ?broken:bool -> History.t -> reason:string -> History.t * string
+(** Greedy bounded-round minimisation of a failing scenario. *)
+
+val check :
+  ?broken:bool ->
+  alloc:string ->
+  seed:int ->
+  runs:int ->
+  ops:int ->
+  threads:int ->
+  ?crash:int ->
+  unit ->
+  counterexample option
+(** Run [runs] scenarios with seeds [seed], [seed+1], ... against one
+    allocator; on the first failure, shrink and return the
+    counterexample. [None] = all passed. *)

@@ -11,6 +11,12 @@ type t = {
   slab_vehs : (int, Extent.veh) Hashtbl.t; (* slab base -> its extent *)
   all_slabs : (int, Slab.t) Hashtbl.t; (* slab base -> vslab *)
   mutable thread_tcaches : Tcache.t array list;
+  (* All arenas of the owning heap (self included), indexed by arena
+     index. Tcache entries can hold foreign-arena blocks (a cross-arena
+     free pushes into the freeing thread's tcache), and a drain must
+     return each block through the slab's owning arena — its freelists,
+     LRU and extent allocator — not the draining one. *)
+  mutable peers : t array;
   layouts : Slab.layout array; (* per class, under this config's mapping *)
   mapping : Bitmap.mapping;
   on_slab_created : Slab.t -> unit;
@@ -65,6 +71,7 @@ let build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destr
     slab_vehs = Hashtbl.create 64;
     all_slabs = Hashtbl.create 64;
     thread_tcaches = [];
+    peers = [||];
     layouts = Array.init Size_class.count (fun c -> Slab.layout_of_class ~class_idx:c ~mapping);
     mapping;
     on_slab_created;
@@ -252,6 +259,10 @@ let transform_slab t clock s target_class =
   (* Step 3: install the new class: header fields and rebuilt bitmap. *)
   Header.write_class dev addr target_class;
   Header.write_data_off dev addr new_layout.data_off;
+  (* With no surviving old blocks the morph completes right here, so
+     retire the old-class identity the way release_old_block would at
+     cnt_slab = 0 (same header commit line; index_count is already 0). *)
+  if nlive = 0 then Header.write_old_class dev addr Header.no_class;
   let new_bitmap = Bitmap.make ~base:(bitmap_addr s) ~nbits:new_layout.nblocks ~mapping:t.mapping in
   Pmem.Device.fill dev (bitmap_addr s) (new_layout.bitmap_lines * Pmem.Cacheline.size) '\000';
   let cnt_block = Array.make new_layout.nblocks 0 in
@@ -412,8 +423,21 @@ let return_entry t clock s addr =
 
 (* --- WAL ------------------------------------------------------------------ *)
 
+let set_peers t arenas = t.peers <- arenas
+
 let drain_tcache t clock tc =
-  List.iter (fun e -> return_entry t clock e.Tcache.slab e.Tcache.addr) (Tcache.drain tc)
+  List.iter
+    (fun e ->
+      let s = e.Tcache.slab in
+      if s.Slab.arena = t.idx || Array.length t.peers = 0 then
+        return_entry t clock s e.Tcache.addr
+      else
+        (* Foreign-arena block: return it under its home arena's lock so
+           freelist membership and empty-slab destruction act on the arena
+           that actually owns the slab's extent. *)
+        let home = t.peers.(s.Slab.arena) in
+        Sim.Lock.with_lock home.lock clock (fun () -> return_entry home clock s e.Tcache.addr))
+    (Tcache.drain tc)
 
 let drain_all_tcaches t clock =
   List.iter (fun tcs -> Array.iter (fun tc -> drain_tcache t clock tc) tcs) t.thread_tcaches

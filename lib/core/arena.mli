@@ -70,6 +70,15 @@ val heap : t -> Heap.t
 val register_tcaches : t -> Tcache.t array -> unit
 (** Announce a thread's tcaches so WAL checkpoints can drain them. *)
 
+val set_peers : t -> t array -> unit
+(** Give this arena the heap's full arena array (self included, indexed
+    by arena index). Tcache entries can hold foreign-arena blocks — a
+    cross-arena free parks the block in the freeing thread's tcache — and
+    a drain returns each block through the slab's owning arena (under its
+    lock), so empty-slab destruction releases the extent into the right
+    arena's allocator. Without peers a drain falls back to the draining
+    arena, which is only correct for single-arena heaps. *)
+
 val alloc_small :
   t -> Sim.Clock.t -> tcaches:Tcache.t array -> class_idx:int -> Slab.t * int
 (** Returns the block's slab and {e address}; the caller publishes the

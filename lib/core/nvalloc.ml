@@ -115,6 +115,7 @@ let create ?(config = Config.log_default) dev clock =
     Array.init config.Config.arenas (fun index ->
         Arena.create heap ~index ~region_lock:t.region_lock ~on_slab_created:on_sc
           ~on_slab_destroyed:on_sd ~on_extent_created:on_ec ~on_extent_dropped:on_ed);
+  Array.iter (fun a -> Arena.set_peers a t.arenas) t.arenas;
   (* Persist the freshly formatted metadata (superblock, WAL and
      bookkeeping-log headers): initialisation must survive a crash that
      happens before the first operation flushes anything nearby. *)
@@ -221,12 +222,17 @@ let malloc_to t th ~size ~dest =
 
 let read_ptr t ~dest = Int64.to_int (Pstruct.get t.dev ~base:dest Ptr.v)
 
+(* The exact wording is part of the API: the baselines raise the same
+   message, so harnesses can treat "free of an unpublished slot" uniformly
+   across every allocator (see Alloc_api.Instance.free). *)
+let err_free_unpublished = "free: destination slot holds no published address"
+
 let free_from t th ~dest =
   assert (not t.closed);
   let clock = th.clock in
   let t0 = Sim.Clock.now clock in
   let addr = read_ptr t ~dest in
-  assert (addr > 0);
+  if addr <= 0 then invalid_arg err_free_unpublished;
   (* Internal collection retracts the reference before unmarking the
      block: a crash in between leaves an orphan the application resolves
      via iter_allocated, never a published pointer to a freed block. The
@@ -356,6 +362,170 @@ let slab_utilization_histogram t ~buckets =
       place 0);
   counts
 
+(* --- heap-integrity walker ---------------------------------------------------
+
+   Deep consistency check of the persistent image against the volatile
+   bookkeeping, for the model-based checker (lib/check) and tests. Two
+   passes: structural checks with tcaches live, then a quiescing pass
+   (drain every tcache, checkpoint every WAL) after which the WAL must be
+   empty and the same structural checks must still hold.
+
+   A cross-arena free parks a foreign block in the freeing thread's
+   tcache, but drains route every entry back through the slab's owning
+   arena (Arena.set_peers), so slab registration stays with the arena
+   named in the slab header — and the walker checks that affinity. *)
+
+exception Integrity of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Integrity m)) fmt
+
+let walk_slab t ~quiesced s =
+  let l = s.Slab.layout in
+  let sid = s.Slab.addr in
+  let ic = t.config.Config.consistency = Config.Internal_collection in
+  if s.Slab.dying then failf "slab %#x: dying slab still enumerated" sid;
+  if s.Slab.free_count < 0 || s.Slab.free_count > l.Slab.nblocks then
+    failf "slab %#x: free_count %d outside [0, %d]" sid s.Slab.free_count l.Slab.nblocks;
+  if List.length s.Slab.free_stack <> s.Slab.free_count then
+    failf "slab %#x: free-stack length %d <> free_count %d" sid
+      (List.length s.Slab.free_stack)
+      s.Slab.free_count;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      if b < 0 || b >= l.Slab.nblocks then failf "slab %#x: free-stack block %d out of range" sid b;
+      if Hashtbl.mem seen b then failf "slab %#x: block %d twice in the free stack" sid b;
+      Hashtbl.add seen b ();
+      if Bitmap.get t.dev s.Slab.bitmap b then
+        failf "slab %#x: free block %d has its bitmap bit set" sid b;
+      if not (Slab.usable s b) then failf "slab %#x: free-stack block %d is not usable" sid b)
+    s.Slab.free_stack;
+  (* Persistent header vs. volatile layout. *)
+  if Slab.Header.read_class t.dev sid <> l.Slab.class_idx then
+    failf "slab %#x: persisted class %d <> volatile class %d" sid
+      (Slab.Header.read_class t.dev sid)
+      l.Slab.class_idx;
+  if Slab.Header.read_data_off t.dev sid <> l.Slab.data_off then
+    failf "slab %#x: persisted data_off %d <> volatile %d" sid
+      (Slab.Header.read_data_off t.dev sid)
+      l.Slab.data_off;
+  let flag = Slab.Header.read_flag t.dev sid in
+  if flag <> 0 then failf "slab %#x: morph flag %d left nonzero at rest" sid flag;
+  (* Tcache accounting: only the internal-collection variant tracks
+     bit-unmarked tcache residents per slab. *)
+  if s.Slab.tcached < 0 then failf "slab %#x: negative tcached %d" sid s.Slab.tcached;
+  if (not ic) && s.Slab.tcached <> 0 then
+    failf "slab %#x: tcached %d under a non-IC variant" sid s.Slab.tcached;
+  if quiesced && s.Slab.tcached <> 0 then
+    failf "slab %#x: tcached %d after the quiescing drain" sid s.Slab.tcached;
+  (* Bitmap accounting: bit set iff the block is allocated (user-live,
+     tcache-resident under LOG/GC, or morph-pinned). *)
+  let pop = Bitmap.popcount t.dev s.Slab.bitmap in
+  let expect = l.Slab.nblocks - s.Slab.free_count - (if ic then s.Slab.tcached else 0) in
+  if pop <> expect then
+    failf "slab %#x: bitmap popcount %d <> expected %d (nblocks %d, free %d, tcached %d)" sid
+      pop expect l.Slab.nblocks s.Slab.free_count s.Slab.tcached;
+  (* Morph state vs. the persistent index table (section 5.2). *)
+  match s.Slab.morph with
+  | None ->
+      if Slab.Header.read_old_class t.dev sid <> Slab.Header.no_class then
+        failf "slab %#x: not morphing but persisted old_class is %d" sid
+          (Slab.Header.read_old_class t.dev sid)
+  | Some m ->
+      if m.Slab.cnt_slab = 0 then failf "slab %#x: morph state with cnt_slab 0" sid;
+      if Hashtbl.length m.Slab.old_live <> m.Slab.cnt_slab then
+        failf "slab %#x: cnt_slab %d <> %d live old blocks" sid m.Slab.cnt_slab
+          (Hashtbl.length m.Slab.old_live);
+      if Slab.Header.read_old_class t.dev sid <> m.Slab.old_class then
+        failf "slab %#x: persisted old_class %d <> volatile %d" sid
+          (Slab.Header.read_old_class t.dev sid)
+          m.Slab.old_class;
+      if Slab.Header.read_old_data_off t.dev sid <> m.Slab.old_data_off then
+        failf "slab %#x: persisted old_data_off %d <> volatile %d" sid
+          (Slab.Header.read_old_data_off t.dev sid)
+          m.Slab.old_data_off;
+      let icount = Slab.Header.read_index_count t.dev sid in
+      let by_slot = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun b slot ->
+          if slot < 0 || slot >= icount then
+            failf "slab %#x: old block %d in index slot %d, persisted count %d" sid b slot
+              icount;
+          if Hashtbl.mem by_slot slot then failf "slab %#x: index slot %d claimed twice" sid slot;
+          Hashtbl.add by_slot slot b;
+          let e = Slab.read_index_entry t.dev sid slot in
+          if e <> Slab.pack_index_entry ~block:b ~allocated:true then
+            failf "slab %#x: index slot %d reads %#x, expected live old block %d" sid slot e b)
+        m.Slab.old_live;
+      for slot = 0 to icount - 1 do
+        let b, allocated = Slab.unpack_index_entry (Slab.read_index_entry t.dev sid slot) in
+        if allocated then
+          match Hashtbl.find_opt by_slot slot with
+          | Some b' when b' = b -> ()
+          | _ ->
+              failf "slab %#x: index slot %d marks old block %d allocated, volatile state does not"
+                sid slot b
+      done;
+      (* Recompute the per-new-block pin counts from the live old blocks
+         and hold them against cnt_block and the bitmap pins. *)
+      let cnt = Array.make (Array.length m.Slab.cnt_block) 0 in
+      Hashtbl.iter
+        (fun b _ ->
+          let lo, hi = Slab.overlapping_new_blocks s m b in
+          for j = lo to hi do
+            cnt.(j) <- cnt.(j) + 1
+          done)
+        m.Slab.old_live;
+      Array.iteri
+        (fun j c ->
+          if c <> m.Slab.cnt_block.(j) then
+            failf "slab %#x: cnt_block[%d] = %d, recomputed %d" sid j m.Slab.cnt_block.(j) c;
+          if c > 0 then begin
+            if not (Bitmap.get t.dev s.Slab.bitmap j) then
+              failf "slab %#x: morph-pinned block %d has a clear bit" sid j;
+            if Slab.usable s j then failf "slab %#x: morph-pinned block %d usable" sid j
+          end)
+        cnt
+
+let structural_walk t ~quiesced =
+  (match check_owner_index t with Ok _ -> () | Error e -> failf "owner index: %s" e);
+  let slabs = ref 0 in
+  Array.iter
+    (fun a ->
+      Arena.iter_slabs a (fun s ->
+          incr slabs;
+          if s.Slab.arena <> Arena.index a then
+            failf "slab %#x: belongs to arena %d, registered with arena %d" s.Slab.addr
+              s.Slab.arena (Arena.index a);
+          walk_slab t ~quiesced s))
+    t.arenas;
+  !slabs
+
+let integrity_walk t clock =
+  try
+    if t.closed then failf "integrity walk on a closed handle";
+    let _ = structural_walk t ~quiesced:false in
+    (* Quiesce exactly as a clean shutdown would, but keep the heap
+       running: every tcache drained, every WAL checkpointed. *)
+    Array.iter
+      (fun arena ->
+        Sim.Lock.with_lock (Arena.lock arena) clock (fun () ->
+            Arena.drain_all_tcaches arena clock;
+            Wal.checkpoint (Arena.wal arena) clock))
+      t.arenas;
+    Array.iter
+      (fun arena ->
+        let used = Wal.used (Arena.wal arena) in
+        if used <> 0 then
+          failf "arena %d: WAL holds %d entries after the quiescing checkpoint"
+            (Arena.index arena) used)
+      t.arenas;
+    let slabs = structural_walk t ~quiesced:true in
+    Ok
+      (Printf.sprintf "%d slabs, %d small blocks allocated, owner index disjoint" slabs
+         (allocated_small_blocks t))
+  with Integrity m -> Error m
+
 (* Periodic heap introspection: counter events on the snapshot pseudo-
    track — per-size-class slab counts and mean occupancy, free/full/
    partial slab counts, extent byte totals and fragmentation, mapped
@@ -481,6 +651,7 @@ let recover ?(config = Config.log_default) dev clock =
         Arena.of_recovered heap ~index ~region_lock:t.region_lock ~booklog:booklogs.(index)
           ~wal:wals.(index) ~on_slab_created:on_sc ~on_slab_destroyed:on_sd
           ~on_extent_created:on_ec ~on_extent_dropped:on_ed);
+  Array.iter (fun a -> Arena.set_peers a t.arenas) t.arenas;
   (* 3. Regions. *)
   let regions = Heap.read_regions dev in
   let region_of_addr addr =

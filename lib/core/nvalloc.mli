@@ -86,7 +86,14 @@ val malloc_to : t -> thread -> size:int -> dest:int -> int
 
 val free_from : t -> thread -> dest:int -> unit
 (** Read the address stored at [dest], free the object, and clear
-    [dest]. *)
+    [dest]. Raises [Invalid_argument err_free_unpublished] when [dest]
+    holds no published address (never-published or already-freed slot);
+    the baselines raise the identical message, so the error is uniform
+    across every allocator. *)
+
+val err_free_unpublished : string
+(** The exact [Invalid_argument] message raised by a free of an
+    unpublished destination slot, shared with the baseline engines. *)
 
 val read_ptr : t -> dest:int -> int
 (** The address stored at [dest] (0 = null). *)
@@ -121,6 +128,22 @@ val iter_allocated : t -> (addr:int -> size:int -> unit) -> unit
     NVAlloc-LOG it may transiently include tcache-resident blocks. *)
 
 val arenas : t -> Arena.t array
+
+val integrity_walk : t -> Sim.Clock.t -> (string, string) result
+(** Deep heap-integrity walk over the persistent image and the volatile
+    bookkeeping, for the model checker (lib/check) and tests. Two passes:
+    structural invariants with tcaches live (owner-index disjointness;
+    per-slab free-stack/bitmap agreement, persisted header fields matching
+    the volatile layout, morph flag at rest; morph index-table entries
+    matching the volatile old-block set, recomputed pin counts and pinned
+    bits), then a {e quiescing} pass — every tcache drained and every WAL
+    checkpointed under the arena lock, charging the clock like a shutdown
+    would — after which each WAL must be empty and the structural
+    invariants must still hold with zero tcache residents. [Ok summary]
+    on success, [Error diagnostic] naming the first violated invariant.
+    The drain mutates the heap (tcaches empty afterwards); run it after
+    the workload, not concurrently with one. *)
+
 val slab_utilization_histogram : t -> buckets:float list -> int array
 (** Count slabs by occupancy ratio bucket; [buckets] are the upper bounds
     (e.g. [[0.3; 0.7; 1.0]] for the Figure 15(b) breakdown). *)

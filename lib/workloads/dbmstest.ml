@@ -31,7 +31,7 @@ type state = {
 let run (inst : Alloc_api.Instance.t) ?(params = default) ?(seed = 23) () =
   let open Alloc_api.Instance in
   let capacity = params.objects * 3 in
-  assert (capacity <= Driver.slots_per_thread inst);
+  Driver.require_slots inst capacity;
   let total_iters = params.warmup + params.iterations in
   let states =
     Array.init inst.threads (fun tid ->

@@ -12,7 +12,17 @@ type result = {
    too. *)
 let snapshot_period = 1024
 
+(* An instance with no threads has nothing to schedule and makes the
+   per-thread root-slot partition a division by zero: reject it loudly
+   instead of failing deep inside a workload. *)
+let require_threads (inst : Alloc_api.Instance.t) =
+  if inst.Alloc_api.Instance.threads <= 0 then
+    invalid_arg
+      (Printf.sprintf "Driver: instance %S has %d threads (need >= 1)"
+         inst.Alloc_api.Instance.name inst.Alloc_api.Instance.threads)
+
 let run (inst : Alloc_api.Instance.t) ~ops_of ~step_of =
+  require_threads inst;
   inst.Alloc_api.Instance.reset_peak ();
   let telem = Pmem.Device.telemetry inst.Alloc_api.Instance.dev in
   let steps = ref 0 in
@@ -54,11 +64,23 @@ let idle (inst : Alloc_api.Instance.t) ~tid =
   Sim.Clock.charge inst.Alloc_api.Instance.clocks.(tid) 100.0
 
 let slots_per_thread (inst : Alloc_api.Instance.t) =
+  require_threads inst;
   inst.Alloc_api.Instance.root_count / inst.Alloc_api.Instance.threads
+
+let require_slots (inst : Alloc_api.Instance.t) n =
+  let per = slots_per_thread inst in
+  if n > per then
+    invalid_arg
+      (Printf.sprintf
+         "Driver: workload needs %d root slots per thread, instance %S provides %d (%d slots \
+          / %d threads)"
+         n inst.Alloc_api.Instance.name per inst.Alloc_api.Instance.root_count
+         inst.Alloc_api.Instance.threads)
 
 let slot (inst : Alloc_api.Instance.t) ~tid i =
   let per = slots_per_thread inst in
-  assert (i >= 0 && i < per);
+  if i < 0 || i >= per then
+    invalid_arg (Printf.sprintf "Driver.slot: index %d outside the %d-slot partition" i per);
   (* Interleave consecutive logical slots across cache lines (8 slots of
      8 B per line): benchmark harnesses pad their result arrays to avoid
      false sharing, and without this every allocator pays identical

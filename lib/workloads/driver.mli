@@ -19,14 +19,22 @@ val run :
     starting. When the instance's device has a telemetry sink attached,
     the scheduler emits per-step "run" spans into it and the instance's
     heap snapshot is taken every 1024 scheduler steps and once at the
-    makespan. *)
+    makespan. Raises [Invalid_argument] on an instance with
+    [threads <= 0]. *)
+
+val require_slots : Alloc_api.Instance.t -> int -> unit
+(** Assert that each thread's root-slot partition holds at least [n]
+    slots, raising a descriptive [Invalid_argument] otherwise — the
+    uniform guard workloads use against op counts that overflow the
+    per-thread partitioning. Also rejects [threads <= 0]. *)
 
 val idle : Alloc_api.Instance.t -> tid:int -> unit
 (** Charge a short idle spin (used when a consumer waits for its
     producer). *)
 
 val slots_per_thread : Alloc_api.Instance.t -> int
-(** Root-table slots available to each thread (disjoint partitions). *)
+(** Root-table slots available to each thread (disjoint partitions).
+    Raises [Invalid_argument] on [threads <= 0]. *)
 
 val slot : Alloc_api.Instance.t -> tid:int -> int -> int
 (** Address of thread [tid]'s [i]-th root slot. *)

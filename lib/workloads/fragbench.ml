@@ -59,7 +59,7 @@ let churn_phase inst st ~(params : params) ~dist =
 let run (inst : Alloc_api.Instance.t) ~workload ?(params = default) ?(seed = 31) () =
   let open Alloc_api.Instance in
   let max_live = (params.live_cap / 64) + 64 in
-  assert (max_live <= Driver.slots_per_thread inst);
+  Driver.require_slots inst max_live;
   let free_slots = Stack.create () in
   for i = max_live - 1 downto 0 do
     Stack.push i free_slots

@@ -13,7 +13,7 @@ let large =
 
 let run (inst : Alloc_api.Instance.t) ?(params = small) ?(seed = 11) () =
   let open Alloc_api.Instance in
-  assert (params.slots <= Driver.slots_per_thread inst);
+  Driver.require_slots inst params.slots;
   let occupied = Array.make (inst.threads * params.slots) false in
   let rngs = Array.init inst.threads (fun tid -> Sim.Rng.create (seed + tid)) in
   let remaining = Array.make inst.threads params.ops in

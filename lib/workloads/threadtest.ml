@@ -8,7 +8,7 @@ type state = { mutable iter : int; mutable phase : phase }
 
 let run (inst : Alloc_api.Instance.t) ?(params = default) () =
   let open Alloc_api.Instance in
-  assert (params.objects <= Driver.slots_per_thread inst);
+  Driver.require_slots inst params.objects;
   let states = Array.init inst.threads (fun _ -> { iter = 0; phase = Alloc 0 }) in
   let step ~tid () =
     let st = states.(tid) in

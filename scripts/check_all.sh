@@ -23,6 +23,7 @@ stage "trace determinism (scripts/trace_check.sh)" sh scripts/trace_check.sh
 stage "telemetry-off hot path (bench/hotloop.exe --check)" \
   dune exec --no-build bench/hotloop.exe -- --check
 stage "crash fuzzer (scripts/fuzz_check.sh)" sh scripts/fuzz_check.sh
+stage "model checker (scripts/model_check.sh)" sh scripts/model_check.sh
 
 echo ""
 echo "all checks OK"

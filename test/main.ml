@@ -22,6 +22,7 @@ let () =
       ("fptree", Test_fptree.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
+      ("check", Test_check.suite);
       ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
     ]

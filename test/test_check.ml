@@ -1,0 +1,226 @@
+(* The model-based checker (lib/check): reference-model unit tests,
+   scenario round-trips, differential runs over every allocator, crash
+   scenarios, mutation teeth (a seeded WAL ordering bug must be caught),
+   determinism, and the uniform-error satellites. *)
+
+let mib = 1024 * 1024
+
+(* --- reference model ------------------------------------------------------- *)
+
+let ok_exn name = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" name e
+
+let test_model_basics () =
+  let m = Check.Model.create () in
+  ok_exn "alloc" (Check.Model.on_alloc m ~tid:0 ~dest:64 ~size:32 ~addr:4096);
+  Alcotest.(check int) "live count" 1 (Check.Model.live_count m);
+  Alcotest.(check int) "live bytes" 32 (Check.Model.live_bytes m);
+  (* Same dest twice is a model error. *)
+  (match Check.Model.on_alloc m ~tid:0 ~dest:64 ~size:16 ~addr:8192 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "occupied dest accepted");
+  (* Overlap with the live [4096, 4128) block, from both sides. *)
+  (match Check.Model.on_alloc m ~tid:1 ~dest:128 ~size:16 ~addr:4112 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "inner overlap accepted");
+  (match Check.Model.on_alloc m ~tid:1 ~dest:128 ~size:4000 ~addr:2048 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "spanning overlap accepted");
+  (* Misaligned small allocation. *)
+  (match Check.Model.on_alloc m ~tid:1 ~dest:128 ~size:32 ~addr:4248 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "misaligned address accepted");
+  (* Adjacent block is fine. *)
+  ok_exn "adjacent" (Check.Model.on_alloc m ~tid:1 ~dest:128 ~size:16 ~addr:4128);
+  let a = ok_exn "free" (Check.Model.on_free m ~dest:64) in
+  Alcotest.(check int) "freed addr" 4096 a.Check.Model.addr;
+  (match Check.Model.on_free m ~dest:64 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double free accepted");
+  Alcotest.(check int) "one left" 1 (Check.Model.live_count m);
+  Alcotest.(check int) "total is cumulative" 48 (Check.Model.total_bytes m)
+
+(* --- scenario round-trip --------------------------------------------------- *)
+
+let test_scenario_roundtrip () =
+  List.iter
+    (fun sc ->
+      match Check.History.of_string (Check.History.to_string sc) with
+      | Ok sc' ->
+          Alcotest.(check string)
+            "round trip" (Check.History.to_string sc) (Check.History.to_string sc')
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    [
+      { Check.History.alloc = "NVAlloc-LOG"; seed = 7; ops = 4000; threads = 4; crash = None };
+      { Check.History.alloc = "PMDK"; seed = 1; ops = 1; threads = 1; crash = Some 13 };
+    ];
+  List.iter
+    (fun line ->
+      match Check.History.of_string line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad scenario %S" line)
+    [
+      "alloc=X seed=1 ops=0 threads=1 crash=-";
+      "alloc=X seed=1 ops=10 threads=0 crash=-";
+      "alloc=X seed=1 ops=10 threads=1 crash=0";
+      "alloc=X seed=nope ops=10 threads=1 crash=-";
+      "alloc=X ops=10 threads=1 crash=-";
+      "garbage";
+    ]
+
+let test_generator_deterministic () =
+  let sc =
+    { Check.History.alloc = "NVAlloc-LOG"; seed = 3; ops = 1000; threads = 3; crash = None }
+  in
+  let a = Check.History.generate sc ~large_ok:true in
+  let b = Check.History.generate sc ~large_ok:true in
+  Alcotest.(check bool) "identical streams" true (a = b);
+  let total = Array.fold_left (fun acc ops -> acc + Array.length ops) 0 a in
+  Alcotest.(check int) "exact op budget" 1000 total;
+  (* large_ok:false keeps every size within the small classes. *)
+  Array.iter
+    (Array.iter (function
+      | Check.History.Alloc { size; _ } ->
+          Alcotest.(check bool) "small only" true (size <= Nvalloc_core.Size_class.max_small)
+      | Check.History.Free _ -> ()))
+    (Check.History.generate sc ~large_ok:false)
+
+(* --- differential runner --------------------------------------------------- *)
+
+let test_runner_all_allocators () =
+  List.iter
+    (fun alloc ->
+      let sc = { Check.History.alloc; seed = 5; ops = 300; threads = 2; crash = None } in
+      match Check.Runner.run sc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Check.History.to_string sc) e)
+    Check.Runner.allocator_names
+
+let test_runner_crash () =
+  List.iter
+    (fun alloc ->
+      List.iter
+        (fun crash ->
+          let sc = { Check.History.alloc; seed = 2; ops = 300; threads = 2; crash = Some crash } in
+          match Check.Runner.run sc with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" (Check.History.to_string sc) e)
+        [ 3; 40; 300 ])
+    [ "NVAlloc-LOG"; "NVAlloc-GC"; "NVAlloc-IC" ]
+
+(* Mutation teeth: with the PR 2 refill ordering bug re-introduced the
+   checker must find a counterexample within a few seeds — and the very
+   same scenarios must pass with the bug disabled. *)
+let test_mutation_teeth () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let failing =
+    List.filter
+      (fun seed ->
+        let sc =
+          { Check.History.alloc = "NVAlloc-LOG"; seed; ops = 1000; threads = 2; crash = None }
+        in
+        match Check.Runner.run ~broken:true sc with Error _ -> true | Ok () -> false)
+      seeds
+  in
+  Alcotest.(check bool) "broken WAL caught within 8 seeds" true (failing <> []);
+  List.iter
+    (fun seed ->
+      let sc =
+        { Check.History.alloc = "NVAlloc-LOG"; seed; ops = 1000; threads = 2; crash = None }
+      in
+      match Check.Runner.run sc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "clean run failed (seed %d): %s" seed e)
+    seeds
+
+let test_checker_deterministic () =
+  (* Same seed: identical verdict, and an identical shrunk repro line. *)
+  let go () =
+    Check.Runner.check ~broken:true ~alloc:"NVAlloc-LOG" ~seed:1 ~runs:8 ~ops:1000
+      ~threads:2 ()
+  in
+  match (go (), go ()) with
+  | Some a, Some b ->
+      Alcotest.(check string)
+        "identical shrunk repro"
+        (Check.History.to_string a.Check.Runner.shrunk)
+        (Check.History.to_string b.Check.Runner.shrunk);
+      Alcotest.(check string) "identical reason" a.Check.Runner.reason b.Check.Runner.reason
+  | None, None -> Alcotest.fail "mutation not caught (expected a counterexample)"
+  | _ -> Alcotest.fail "verdict differs between identical runs"
+
+(* --- uniform unpublished-free error (satellite: Instance.free) ------------- *)
+
+let test_uniform_free_error () =
+  let check_raises name (inst : Alloc_api.Instance.t) =
+    let dest = Workloads.Driver.slot inst ~tid:0 0 in
+    match inst.Alloc_api.Instance.free ~tid:0 ~dest with
+    | () -> Alcotest.failf "%s: free of an unpublished slot succeeded" name
+    | exception Invalid_argument m ->
+        Alcotest.(check string)
+          (name ^ ": uniform message") Nvalloc_core.Nvalloc.err_free_unpublished m
+  in
+  List.iter
+    (fun alloc ->
+      let inst =
+        match alloc with
+        | "NVAlloc-LOG" ->
+            Alloc_api.Instance.of_nvalloc ~config:Nvalloc_core.Config.log_default ~threads:1
+              ~dev_size:(64 * mib) ()
+        | name ->
+            let knobs =
+              List.find
+                (fun k -> k.Baselines.Knobs.name = name)
+                Baselines.Knobs.
+                  [ pmdk; nvm_malloc; pallocator; makalu; ralloc; jemalloc; tcmalloc ]
+            in
+            Baselines.Bengine.instance ~knobs ~threads:1 ~dev_size:(64 * mib) ()
+      in
+      check_raises alloc inst)
+    [ "NVAlloc-LOG"; "PMDK"; "nvm_malloc"; "PAllocator"; "Makalu"; "Ralloc"; "jemalloc";
+      "tcmalloc" ]
+
+(* --- driver argument validation (satellite: Driver) ------------------------ *)
+
+let test_driver_validation () =
+  let inst =
+    Alloc_api.Instance.of_nvalloc ~config:Nvalloc_core.Config.log_default ~threads:2
+      ~dev_size:(64 * mib) ()
+  in
+  (* Thread count <= 0 is rejected up front, not an array error later. *)
+  let zero = { inst with Alloc_api.Instance.threads = 0 } in
+  (match Workloads.Driver.slots_per_thread zero with
+  | _ -> Alcotest.fail "threads=0 accepted by slots_per_thread"
+  | exception Invalid_argument _ -> ());
+  (match
+     Workloads.Driver.run zero ~ops_of:(fun ~tid:_ -> 1) ~step_of:(fun ~tid:_ () -> false)
+   with
+  | _ -> Alcotest.fail "threads=0 accepted by run"
+  | exception Invalid_argument _ -> ());
+  (* Oversized per-thread slot demands raise a descriptive error. *)
+  let per = Workloads.Driver.slots_per_thread inst in
+  (match Workloads.Driver.require_slots inst (per + 1) with
+  | () -> Alcotest.fail "oversized slot demand accepted"
+  | exception Invalid_argument _ -> ());
+  Workloads.Driver.require_slots inst per;
+  (* A workload whose parameters overflow the partition reports the same
+     clear error instead of an assert failure. *)
+  match
+    Workloads.Threadtest.run inst
+      ~params:{ Workloads.Threadtest.iterations = 1; objects = per + 1; size = 64 }
+      ()
+  with
+  | _ -> Alcotest.fail "oversized workload accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "model: basics" `Quick test_model_basics;
+    Alcotest.test_case "scenario: round trip" `Quick test_scenario_roundtrip;
+    Alcotest.test_case "generator: deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "runner: all allocators" `Slow test_runner_all_allocators;
+    Alcotest.test_case "runner: crash scenarios" `Slow test_runner_crash;
+    Alcotest.test_case "mutation teeth" `Slow test_mutation_teeth;
+    Alcotest.test_case "checker determinism" `Slow test_checker_deterministic;
+    Alcotest.test_case "uniform unpublished-free error" `Quick test_uniform_free_error;
+    Alcotest.test_case "driver validation" `Quick test_driver_validation;
+  ]

@@ -132,6 +132,25 @@ let sweep_eadr variant () =
           (Printexc.to_string e))
     points
 
+(* Generator-driven sweep: the model checker's history generator (morph
+   churn, tcache-overflow bursts, cross-thread frees, boundary sizes)
+   replaces the hand-written scenario above; {!Check.Runner} arms the
+   crash countdown and hands the crashed image to the same oracle. *)
+let sweep_generated variant () =
+  let alloc = match variant with `Log -> "NVAlloc-LOG" | `Gc -> "NVAlloc-GC" in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun crash ->
+          let sc =
+            { Check.History.alloc; seed; ops = 400; threads = 2; crash = Some crash }
+          in
+          match Check.Runner.run sc with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" (Check.History.to_string sc) e)
+        [ 5; 50; 500 ])
+    [ 1; 2; 3; 4 ]
+
 let suite =
   [
     Alcotest.test_case "crash sweep, NVAlloc-LOG" `Slow (sweep `Log);
@@ -144,4 +163,6 @@ let suite =
     Alcotest.test_case "crash during recovery, GC" `Slow (sweep_recovery_crash `Gc);
     Alcotest.test_case "eADR crash sweep, LOG" `Slow (sweep_eadr `Log);
     Alcotest.test_case "eADR crash sweep, GC" `Slow (sweep_eadr `Gc);
+    Alcotest.test_case "generated crash sweep, LOG" `Slow (sweep_generated `Log);
+    Alcotest.test_case "generated crash sweep, GC" `Slow (sweep_generated `Gc);
   ]

@@ -103,6 +103,97 @@ let test_new_blocks_dont_overlap_old () =
   in
   Alcotest.(check bool) "no overlap with live old blocks" false (List.exists overlaps !news)
 
+(* Morph with survivors at the slab boundaries: keep exactly the lowest-
+   and highest-address block of each slab (the blocks most likely to
+   collide with the new header area or the slab end under the new grid),
+   morph, and hold the image against the deep integrity walker. *)
+let test_boundary_survivors () =
+  let dev, clock, t, th = mk () in
+  let n = 3000 in
+  for i = 0 to n - 1 do
+    ignore (Nvalloc.malloc_to t th ~size:128 ~dest:(Nvalloc.root_addr t i))
+  done;
+  (* Group by owning slab; remember each slab's min/max-address block. *)
+  let extremes = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let addr = Nvalloc.read_ptr t ~dest:(Nvalloc.root_addr t i) in
+    match Nvalloc.owner_of_addr t addr with
+    | Some o when o.Nvalloc.is_slab -> (
+        match Hashtbl.find_opt extremes o.Nvalloc.base with
+        | None -> Hashtbl.replace extremes o.Nvalloc.base ((i, addr), (i, addr))
+        | Some ((_, lo_a) as lo, ((_, hi_a) as hi)) ->
+            let lo = if addr < lo_a then (i, addr) else lo in
+            let hi = if addr > hi_a then (i, addr) else hi in
+            Hashtbl.replace extremes o.Nvalloc.base (lo, hi))
+    | _ -> Alcotest.fail "allocation not owned by a slab"
+  done;
+  let keep = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ ((i_lo, a_lo), (i_hi, a_hi)) ->
+      Hashtbl.replace keep i_lo a_lo;
+      Hashtbl.replace keep i_hi a_hi)
+    extremes;
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem keep i) then Nvalloc.free_from t th ~dest:(Nvalloc.root_addr t i)
+  done;
+  Hashtbl.iter (fun i addr -> Pmem.Device.write_int64 dev addr (Int64.of_int (i * 31))) keep;
+  (* Demand a different class; the sparse slabs must morph around the
+     boundary survivors. *)
+  for i = 0 to 999 do
+    ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + i)))
+  done;
+  Alcotest.(check bool) "some slab is morphing" true (count_morphing t > 0);
+  Hashtbl.iter
+    (fun i addr ->
+      Alcotest.(check int64)
+        (Printf.sprintf "boundary payload %d" i)
+        (Int64.of_int (i * 31))
+        (Pmem.Device.read_int64 dev addr))
+    keep;
+  (match Nvalloc.integrity_walk t clock with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "integrity walk (morphing): %s" e);
+  (* Releasing every boundary survivor completes all morphs. *)
+  Hashtbl.iter (fun i _ -> Nvalloc.free_from t th ~dest:(Nvalloc.root_addr t i)) keep;
+  Alcotest.(check int) "no slab still morphing" 0 (count_morphing t);
+  match Nvalloc.integrity_walk t clock with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "integrity walk (after release): %s" e
+
+(* Morph immediately followed by a crash: drive the heap into a morphing
+   state, crash on the very next flushes, and require the full post-crash
+   oracle to pass — under both consistency models. *)
+let test_morph_then_crash variant () =
+  let base = match variant with `Log -> Config.log_default | `Gc -> Config.gc_default in
+  let cfg = { config with Config.consistency = base.Config.consistency } in
+  List.iter
+    (fun extra_flushes ->
+      let dev = Pmem.Device.create ~size:(128 * mib) () in
+      let clock = Sim.Clock.create () in
+      let t = Nvalloc.create ~config:cfg dev clock in
+      let th = Nvalloc.thread t clock in
+      build_sparse_slabs t th ~size_a:128 ~n:3000 ~keep_every:16;
+      (* Allocate until a morph is in flight, then arm a short fuse. *)
+      let i = ref 0 in
+      while count_morphing t = 0 && !i < 2000 do
+        ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + !i)));
+        incr i
+      done;
+      Alcotest.(check bool) "reached a morphing state" true (count_morphing t > 0);
+      Pmem.Device.schedule_crash_after dev extra_flushes;
+      (try
+         while !i < 3000 do
+           ignore (Nvalloc.malloc_to t th ~size:192 ~dest:(Nvalloc.root_addr t (10_000 + !i)));
+           incr i
+         done;
+         Pmem.Device.cancel_scheduled_crash dev;
+         Pmem.Device.crash dev
+       with Pmem.Device.Injected_crash -> ());
+      match Fault.Oracle.check ~config:cfg dev clock with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "morph+crash (+%d flushes): %s" extra_flushes e)
+    [ 1; 2; 3; 5; 8; 13; 21 ]
+
 let test_morph_crash_undo () =
   (* Sweep crash points across the whole morph-triggering allocation; at
      every point the full invariant oracle (owner-index disjointness,
@@ -134,5 +225,8 @@ let suite =
     Alcotest.test_case "low-occupancy slabs morph" `Quick test_morph_triggers;
     Alcotest.test_case "old blocks survive and free" `Quick test_old_blocks_survive_and_free;
     Alcotest.test_case "no old/new block overlap" `Quick test_new_blocks_dont_overlap_old;
+    Alcotest.test_case "boundary survivors morph + integrity" `Quick test_boundary_survivors;
+    Alcotest.test_case "morph then crash, LOG" `Slow (test_morph_then_crash `Log);
+    Alcotest.test_case "morph then crash, GC" `Slow (test_morph_then_crash `Gc);
     Alcotest.test_case "crash-torn morphs undo" `Slow test_morph_crash_undo;
   ]

@@ -134,6 +134,76 @@ let test_determinism () =
   in
   Alcotest.(check (float 1e-6)) "identical makespans" (run ()) (run ())
 
+(* Same seed, fresh instance: identical makespan AND byte-identical
+   device-stats JSON (flush/fence/WAL/search counters) for every
+   workload generator. The stats JSON is the stronger check — any
+   nondeterminism in the simulated execution shows up in a counter. *)
+let test_determinism_all () =
+  let runners =
+    [
+      ( "larson",
+        fun inst ->
+          Workloads.Larson.run inst
+            ~params:
+              {
+                Workloads.Larson.slots = 64;
+                ops = 400;
+                min_size = 64;
+                max_size = 256;
+                cross_frac = 0.2;
+              }
+            ~seed:11 () );
+      ( "shbench",
+        fun inst ->
+          Workloads.Shbench.run inst
+            ~params:
+              { Workloads.Shbench.iterations = 300; window = 8; min_size = 64; max_size = 1000 }
+            ~seed:11 () );
+      ( "threadtest",
+        fun inst ->
+          Workloads.Threadtest.run inst
+            ~params:{ Workloads.Threadtest.iterations = 2; objects = 150; size = 64 }
+            () );
+      ( "prodcon",
+        fun inst ->
+          Workloads.Prodcon.run inst
+            ~params:{ Workloads.Prodcon.per_pair = 300; size = 64; queue_cap = 16 }
+            () );
+      ( "dbmstest",
+        fun inst ->
+          Workloads.Dbmstest.run inst
+            ~params:
+              {
+                Workloads.Dbmstest.objects = 12;
+                iterations = 2;
+                warmup = 1;
+                min_size = 32 * 1024;
+                max_size = 128 * 1024;
+                delete_frac = 0.9;
+              }
+            ~seed:11 () );
+      ( "fragbench",
+        fun inst ->
+          (Workloads.Fragbench.run inst ~workload:Workloads.Fragbench.w1
+             ~params:{ Workloads.Fragbench.live_cap = 1 lsl 19; churn = 2 lsl 20 }
+             ~seed:11 ())
+            .Workloads.Fragbench.result );
+    ]
+  in
+  List.iter
+    (fun (name, run_once) ->
+      let observe () =
+        let inst = mk () in
+        let r = run_once inst in
+        ( r.Workloads.Driver.makespan_ns,
+          Pmem.Stats.to_json_string (Pmem.Device.stats inst.Alloc_api.Instance.dev) )
+      in
+      let m1, s1 = observe () in
+      let m2, s2 = observe () in
+      Alcotest.(check (float 1e-9)) (name ^ ": identical makespans") m1 m2;
+      Alcotest.(check string) (name ^ ": identical stats json") s1 s2)
+    runners
+
 let test_driver_slot_interleaving () =
   let inst = mk ~threads:2 () in
   (* Distinct logical slots map to distinct physical slots. *)
@@ -162,5 +232,6 @@ let suite =
     Alcotest.test_case "recovery workload, mid-build crash" `Quick
       test_recovery_workload_injected_crash;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "determinism, all workloads + stats" `Quick test_determinism_all;
     Alcotest.test_case "root-slot interleaving" `Quick test_driver_slot_interleaving;
   ]
