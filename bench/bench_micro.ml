@@ -85,6 +85,21 @@ let bench_wal =
          if Nvalloc_core.Wal.near_full wal then Nvalloc_core.Wal.checkpoint wal clock;
          Nvalloc_core.Wal.append wal clock Nvalloc_core.Wal.Alloc ~addr:4096 ~dest:8192))
 
+(* The fence-heavy path the batched pipeline exists for: grouped appends
+   defer their entry flushes, and every 8th append pays the three-fence
+   group close instead of 8 synchronous entry fences. *)
+let bench_wal_grouped =
+  let dev = Pmem.Device.create ~size:(4 * mib) () in
+  Pmem.Device.set_batching dev true;
+  let clock = Sim.Clock.create () in
+  let wal = Nvalloc_core.Wal.create ~group:8 dev ~base:0 ~entries:65536 ~interleave:true in
+  Test.make ~name:"wal append (group commit x8)"
+    (Staged.stage (fun () ->
+         if Nvalloc_core.Wal.near_full wal then Nvalloc_core.Wal.checkpoint wal clock;
+         Nvalloc_core.Wal.append wal clock Nvalloc_core.Wal.Alloc ~addr:4096 ~dest:8192;
+         if Nvalloc_core.Wal.open_group wal >= 8 then
+           Nvalloc_core.Wal.flush_group wal clock))
+
 let bench_device_flush =
   let dev = Pmem.Device.create ~size:(16 * mib) () in
   let clock = Sim.Clock.create () in
@@ -107,6 +122,7 @@ let microbenches () =
       bench_rbtree;
       bench_booklog;
       bench_wal;
+      bench_wal_grouped;
       bench_device_flush;
     ]
 
@@ -131,6 +147,18 @@ let run_print () =
   print_estimates ests;
   ests
 
+(* Per-bench median over [rounds] independent measurement passes: the
+   recorded baseline should not inherit one pass's scheduling noise. *)
+let median_estimates ~rounds () =
+  let runs = List.init rounds (fun _ -> estimates ()) in
+  let names = List.map fst (List.hd runs) in
+  List.filter_map
+    (fun name ->
+      match List.sort compare (List.filter_map (List.assoc_opt name) runs) with
+      | [] -> None
+      | samples -> Some (name, List.nth samples (List.length samples / 2)))
+    names
+
 (* --- simulated makespan probes ------------------------------------------- *)
 
 (* Fixed, fast workload runs whose simulated makespans are recorded next
@@ -141,12 +169,23 @@ let makespan_probes () =
     let inst = Harness.Factory.make ~threads:4 kind in
     (name, (run inst).Workloads.Driver.makespan_ns)
   in
+  (* NVAlloc-LOG runs the batched persistence pipeline by default; the
+     -sync probes pin the synchronous configuration so the baseline
+     records the batched-vs-sync makespan contrast. *)
+  let sync_log =
+    Harness.Factory.Nv_custom
+      ("NVAlloc-LOG-sync", Nvalloc_core.Config.sync Nvalloc_core.Config.log_default)
+  in
   [
     probe "Threadtest/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
+        Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest 4) ());
+    probe "Threadtest/NVAlloc-LOG-sync/4t" sync_log (fun inst ->
         Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest 4) ());
     probe "Threadtest/PMDK/4t" Harness.Factory.Pmdk (fun inst ->
         Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest 4) ());
     probe "Larson-small/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
+        Workloads.Larson.run inst ~params:(Harness.Sizes.larson_small 4) ());
+    probe "Larson-small/NVAlloc-LOG-sync/4t" sync_log (fun inst ->
         Workloads.Larson.run inst ~params:(Harness.Sizes.larson_small 4) ());
     probe "DBMStest/NVAlloc-LOG/4t" Harness.Factory.Nv_log (fun inst ->
         Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) ());

@@ -44,5 +44,12 @@ let () =
   | None ->
       print_endline "NVAlloc (ASPLOS'22) reproduction — full benchmark run";
       if not micro_only then Harness.Registry.run_all ();
-      let ests = Bench_micro.run_print () in
-      Option.iter (fun path -> Bench_micro.write_json ~path ~estimates:ests) json
+      (match json with
+      | None -> ignore (Bench_micro.run_print () : (string * float) list)
+      | Some path ->
+          (* Recorded baselines use the per-bench median of 5 passes so
+             one pass's scheduling noise does not become the yardstick. *)
+          ignore (Bench_micro.run_print () : (string * float) list);
+          print_endline "re-measuring for the baseline (median of 5 passes)...";
+          let ests = Bench_micro.median_estimates ~rounds:5 () in
+          Bench_micro.write_json ~path ~estimates:ests)

@@ -55,16 +55,42 @@ let with_capture enabled f =
       sinks
   end
 
+(* Shared --batch/--no-batch pair: whether NVAlloc instances keep the
+   batched persistence pipeline (flush coalescing, WAL group commit,
+   async checkpointing) or run fully synchronous for comparison. *)
+let batch_flag =
+  let batch =
+    Arg.info [ "batch" ]
+      ~doc:"Keep the batched persistence pipeline on NVAlloc instances (default)."
+  in
+  let no_batch =
+    Arg.info [ "no-batch" ]
+      ~doc:
+        "Force the synchronous persistence pipeline on NVAlloc instances: \
+         no flush coalescing, no WAL group commit, no async checkpointing \
+         (Config.sync). Baselines are unaffected."
+  in
+  Arg.(value & vflag true [ (true, batch); (false, no_batch) ])
+
+let with_batching batch f =
+  Harness.Factory.force_sync := not batch;
+  Fun.protect ~finally:(fun () -> Harness.Factory.force_sync := false) f
+
 let run_cmd =
   let doc = "Run the experiments with the given ids." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run telemetry ids = with_capture telemetry (fun () -> List.iter Harness.Registry.run_one ids) in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ telemetry_flag $ ids)
+  let run telemetry batch ids =
+    with_batching batch (fun () ->
+        with_capture telemetry (fun () -> List.iter Harness.Registry.run_one ids))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ telemetry_flag $ batch_flag $ ids)
 
 let all_cmd =
   let doc = "Run every experiment (the full paper reproduction)." in
-  let run telemetry () = with_capture telemetry Harness.Registry.run_all in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ telemetry_flag $ const ())
+  let run telemetry batch () =
+    with_batching batch (fun () -> with_capture telemetry Harness.Registry.run_all)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ telemetry_flag $ batch_flag $ const ())
 
 let allocator_kind name =
   match
@@ -171,12 +197,20 @@ let stats_cmd =
     Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
   in
   let json =
-    let doc = "Print the device's flush statistics as JSON (schema nvalloc/stats/v1)." in
+    let doc =
+      "Print the device's flush statistics as JSON (schema nvalloc/stats/v2: \
+       v1 plus the batching counters fences_saved, flushes_coalesced, \
+       group_commits, group_commit_entries; v1 documents still parse, the \
+       counters default to 0)."
+    in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run name json =
+  let run name batch json =
     let kind = allocator_kind name in
-    let inst = Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind in
+    let inst =
+      with_batching batch (fun () ->
+          Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads:4 kind)
+    in
     let dev = inst.Alloc_api.Instance.dev in
     Pmem.Device.set_check_mode dev true;
     let _ = Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) () in
@@ -193,7 +227,7 @@ let stats_cmd =
     end;
     if Pmem.Device.ordering_violation_count dev > 0 then exit 1
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ alloc $ json)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ alloc $ batch_flag $ json)
 
 let bench_cmd =
   let doc =
@@ -254,6 +288,14 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "broken" ] ~doc)
   in
+  let broken_record =
+    let doc =
+      "Demo mode: make every WAL group commit \"forget\" its commit record \
+       (effects persist, the group's entries never do), to show the \
+       batched-pipeline mutation being caught and shrunk."
+    in
+    Arg.(value & flag & info [ "broken-record" ] ~doc)
+  in
   let check_order =
     let doc =
       "Run every plan with the device's persist-ordering checker enabled: \
@@ -273,10 +315,10 @@ let fuzz_cmd =
   (* Replay a failing plan with a telemetry sink attached and print the
      last few events: the flushes/WAL appends/recovery phases right
      before the oracle's verdict, alongside the one-line repro. *)
-  let dump_tail ~broken ~check_order ~tail plan =
+  let dump_tail ~batch ~broken ~broken_record ~check_order ~tail plan =
     if tail > 0 then begin
       let sink = Telemetry.create () in
-      ignore (Fault.Fuzz.run_plan ~broken ~check_order ~telemetry:sink plan);
+      ignore (Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~check_order ~telemetry:sink plan);
       let events = Telemetry.tail_events sink ~n:tail in
       if events <> [] then begin
         Printf.printf "  last %d telemetry events before failure:\n" (List.length events);
@@ -284,7 +326,7 @@ let fuzz_cmd =
       end
     end
   in
-  let run seed runs variant plan broken check_order tail =
+  let run seed runs variant plan batch broken broken_record check_order tail =
     let variant =
       match variant with
       | "any" -> None
@@ -298,28 +340,30 @@ let fuzz_cmd =
         match Fault.Plan.of_string line with
         | Error e -> failwith ("bad --plan: " ^ e)
         | Ok p -> (
-            match Fault.Fuzz.run_plan ~broken ~check_order p with
+            match Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~check_order p with
             | Ok report ->
                 Format.printf "ok: %s@.  %a@." (Fault.Plan.to_string p)
                   Nvalloc_core.Nvalloc.pp_recovery_report report
             | Error reason ->
                 Format.printf "FAIL: %s@.  %s@." (Fault.Plan.to_string p) reason;
-                dump_tail ~broken ~check_order ~tail p;
+                dump_tail ~batch ~broken ~broken_record ~check_order ~tail p;
                 exit 1))
     | None -> (
-        match Fault.Fuzz.fuzz ~broken ~check_order ?variant ~seed ~runs () with
+        match Fault.Fuzz.fuzz ~batch ~broken ~broken_record ~check_order ?variant ~seed ~runs () with
         | None -> Printf.printf "ok: %d plans, no counterexamples (seed %d)\n" runs seed
         | Some cex ->
             Format.printf "counterexample (shrunk): %s@.  reason: %s@.  original: %s@."
               (Fault.Plan.to_string cex.Fault.Fuzz.shrunk)
               cex.Fault.Fuzz.reason
               (Fault.Plan.to_string cex.Fault.Fuzz.original);
-            dump_tail ~broken ~check_order ~tail cex.Fault.Fuzz.shrunk;
+            dump_tail ~batch ~broken ~broken_record ~check_order ~tail cex.Fault.Fuzz.shrunk;
             exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed $ runs $ variant $ plan $ broken $ check_order $ tail)
+    Term.(
+      const run $ seed $ runs $ variant $ plan $ batch_flag $ broken $ broken_record
+      $ check_order $ tail)
 
 let check_cmd =
   let doc =
@@ -371,6 +415,15 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "broken" ] ~doc)
   in
+  let broken_record =
+    let doc =
+      "Demo mode: make every WAL group commit on the NVAlloc instances \
+       \"forget\" its commit record (effects persist without their log \
+       entries), to show the checker catching the batched-pipeline \
+       mutation. Meaningful with $(b,--crash)."
+    in
+    Arg.(value & flag & info [ "broken-record" ] ~doc)
+  in
   let scenario =
     let doc =
       "Replay one scenario (a line previously printed by the checker) instead \
@@ -378,13 +431,13 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"LINE" ~doc)
   in
-  let run seed runs ops threads crash allocators broken scenario =
+  let run seed runs ops threads crash allocators batch broken broken_record scenario =
     match scenario with
     | Some line -> (
         match Check.History.of_string line with
         | Error e -> failwith ("bad --scenario: " ^ e)
         | Ok sc -> (
-            match Check.Runner.run ~broken sc with
+            match Check.Runner.run ~batch ~broken ~broken_record sc with
             | Ok () -> Printf.printf "ok: %s\n" (Check.History.to_string sc)
             | Error reason ->
                 Printf.printf "FAIL: %s\n  reason: %s\n" (Check.History.to_string sc) reason;
@@ -397,7 +450,10 @@ let check_cmd =
         let failed = ref false in
         List.iter
           (fun alloc ->
-            match Check.Runner.check ~broken ~alloc ~seed ~runs ~ops ~threads ?crash () with
+            match
+              Check.Runner.check ~batch ~broken ~broken_record ~alloc ~seed ~runs ~ops ~threads
+                ?crash ()
+            with
             | None ->
                 Printf.printf "ok: %-12s %d scenario(s), ops=%d threads=%d seed=%d%s\n" alloc
                   runs ops threads seed
@@ -414,7 +470,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const run $ seed $ runs $ ops $ threads $ crash $ allocators $ broken $ scenario)
+    Term.(
+      const run $ seed $ runs $ ops $ threads $ crash $ allocators $ batch_flag $ broken
+      $ broken_record $ scenario)
 
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in

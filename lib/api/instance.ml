@@ -19,10 +19,11 @@ type t = {
   snapshot : float -> unit;
   iter_live : ((addr:int -> size:int -> unit) -> unit) option;
   integrity : (unit -> (string, string) result) option;
+  maintenance : (Sim.Clock.t -> bool) option;
 }
 
 let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
-    ?(broken_wal = false) () =
+    ?(broken_wal = false) ?(broken_record = false) () =
   let lat = if eadr then Pmem.Latency.eadr else Pmem.Latency.default in
   let dev = Pmem.Device.create ~lat ~size:dev_size () in
   let clocks = Array.init threads (fun _ -> Sim.Clock.create ()) in
@@ -46,6 +47,10 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
      a test harness). *)
   if broken_wal then
     Array.iter (fun a -> Wal.unsafe_set_skip_flush (Arena.wal a) true) (Nvalloc.arenas t);
+  if broken_record then
+    Array.iter
+      (fun a -> Wal.unsafe_set_skip_commit_record (Arena.wal a) true)
+      (Nvalloc.arenas t);
   let handles = Array.init threads (fun tid -> Nvalloc.thread t clocks.(tid)) in
   let default_name =
     match config.Config.consistency with
@@ -89,4 +94,12 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
         | None -> ());
     iter_live = Some (fun f -> Nvalloc.iter_allocated t f);
     integrity = Some (fun () -> Nvalloc.integrity_walk t clocks.(0));
+    maintenance =
+      (if config.Config.async_checkpoint > 0.0 then
+         Some
+           (fun clock ->
+             Array.fold_left
+               (fun ran a -> Arena.async_checkpoint_tick a clock || ran)
+               false (Nvalloc.arenas t))
+       else None);
   }

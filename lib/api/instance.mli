@@ -52,6 +52,12 @@ type t = {
           clock 0): structural invariants, then a quiescing tcache-drain +
           WAL-checkpoint pass. Mutates the heap (empties tcaches) — call
           after the workload. [None] for baselines *)
+  maintenance : (Sim.Clock.t -> bool) option;
+      (** background-maintenance poll for the workload driver's daemon
+          thread (NVAlloc: async WAL checkpoints over all arenas,
+          [Arena.async_checkpoint_tick]); returns whether any work ran.
+          Latency lands on the daemon's clock, off the worker critical
+          path. [None] when the allocator has none configured *)
 }
 
 val of_nvalloc :
@@ -62,6 +68,7 @@ val of_nvalloc :
   ?eadr:bool ->
   ?eadr_keep_interleave:bool ->
   ?broken_wal:bool ->
+  ?broken_record:bool ->
   unit ->
   t
 (** Build an NVAlloc instance (LOG or GC per the config). On eADR the
@@ -73,4 +80,9 @@ val of_nvalloc :
     tests {e only}: it re-introduces the PR 2 refill ordering bug by
     skipping the WAL append flush ([Wal.unsafe_set_skip_flush]) on every
     arena, so the persist-ordering checker and crash oracle can prove
-    they still catch it. Never set it outside a test harness. *)
+    they still catch it. Never set it outside a test harness.
+
+    [broken_record] is the group-commit analogue: every arena WAL
+    "forgets" its group commit record ([Wal.unsafe_set_skip_commit_record])
+    — deferred effects persist while replay discards the group — for
+    mutation tests of the model-based checker. *)

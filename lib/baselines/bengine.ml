@@ -388,4 +388,5 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
     snapshot = (fun _ts -> ());
     iter_live = None;
     integrity = None;
+    maintenance = None;
   }

@@ -30,13 +30,14 @@ let nv_config base ~threads =
     tcache_capacity = 8;
   }
 
-let build ~broken (sc : History.t) =
+let build ~batch ~broken ~broken_record (sc : History.t) =
   match nv_base sc.History.alloc with
   | Some base ->
       let config = nv_config base ~threads:sc.History.threads in
+      let config = if batch then config else Config.sync config in
       let inst =
         Alloc_api.Instance.of_nvalloc ~config ~threads:sc.History.threads ~dev_size
-          ~broken_wal:broken ()
+          ~broken_wal:broken ~broken_record ()
       in
       (* The persist-ordering checker turns protocol bugs into verdicts
          even on crash-free runs (a crash point is not required to catch
@@ -55,10 +56,10 @@ let build ~broken (sc : History.t) =
 
 let mib = 1024 * 1024
 
-let run ?(broken = false) (sc : History.t) =
+let run ?(batch = true) ?(broken = false) ?(broken_record = false) (sc : History.t) =
   if sc.History.ops < 1 then invalid_arg "Check.Runner.run: ops must be >= 1";
   if sc.History.threads < 1 then invalid_arg "Check.Runner.run: threads must be >= 1";
-  let inst, nvcfg = build ~broken sc in
+  let inst, nvcfg = build ~batch ~broken ~broken_record sc in
   let dev = inst.Alloc_api.Instance.dev in
   Workloads.Driver.require_slots inst History.slots_per_thread;
   let streams = History.generate sc ~large_ok:inst.Alloc_api.Instance.supports_large in
@@ -202,8 +203,10 @@ type counterexample = { original : History.t; shrunk : History.t; reason : strin
 
 let max_shrink_rounds = 64
 
-let shrink ?broken sc ~reason =
-  let fails c = match run ?broken c with Error e -> Some e | Ok () -> None in
+let shrink ?batch ?broken ?broken_record sc ~reason =
+  let fails c =
+    match run ?batch ?broken ?broken_record c with Error e -> Some e | Ok () -> None
+  in
   let rec go sc reason rounds =
     if rounds = 0 then (sc, reason)
     else
@@ -217,15 +220,15 @@ let shrink ?broken sc ~reason =
   in
   go sc reason max_shrink_rounds
 
-let check ?broken ~alloc ~seed ~runs ~ops ~threads ?crash () =
+let check ?batch ?broken ?broken_record ~alloc ~seed ~runs ~ops ~threads ?crash () =
   let rec loop i =
     if i >= runs then None
     else
       let sc = { History.alloc; seed = seed + i; ops; threads; crash } in
-      match run ?broken sc with
+      match run ?batch ?broken ?broken_record sc with
       | Ok () -> loop (i + 1)
       | Error reason ->
-          let shrunk, reason = shrink ?broken sc ~reason in
+          let shrunk, reason = shrink ?batch ?broken ?broken_record sc ~reason in
           Some { original = sc; shrunk; reason }
   in
   loop 0

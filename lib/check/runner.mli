@@ -26,19 +26,27 @@ val allocator_names : string list
 (** Every allocator the checker can drive: the NVAlloc variants first,
     then the baselines. *)
 
-val run : ?broken:bool -> History.t -> (unit, string) result
+val run :
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> History.t -> (unit, string) result
 (** Execute one scenario; [Error reason] names the first violated
-    invariant. [broken] re-introduces the PR 2 WAL ordering bug on
-    NVAlloc instances (mutation smoke; no-op for baselines). Raises
+    invariant. [batch] (default true) keeps the config's batched
+    persistence pipeline; [false] forces the synchronous pipeline
+    ([Config.sync]). [broken] re-introduces the PR 2 WAL ordering bug on
+    NVAlloc instances, [broken_record] makes WAL group commits "forget"
+    their commit record (mutation smokes; no-ops for baselines). Raises
     [Invalid_argument] on an unknown allocator name. *)
 
 type counterexample = { original : History.t; shrunk : History.t; reason : string }
 
-val shrink : ?broken:bool -> History.t -> reason:string -> History.t * string
+val shrink :
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool ->
+  History.t -> reason:string -> History.t * string
 (** Greedy bounded-round minimisation of a failing scenario. *)
 
 val check :
+  ?batch:bool ->
   ?broken:bool ->
+  ?broken_record:bool ->
   alloc:string ->
   seed:int ->
   runs:int ->

@@ -112,7 +112,14 @@ let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_exte
     else None
   in
   let wal =
-    Wal.create (Heap.device heap)
+    (* Only the log-based variant groups small-op appends; GC/IC write so
+       few WAL entries (Large_* only) that grouping would just delay
+       extent commits for nothing. *)
+    let group =
+      if config.Config.consistency = Config.Log_based then config.Config.wal_group_commit
+      else 0
+    in
+    Wal.create (Heap.device heap) ~group
       ~base:(Heap.wal_base heap ~arena:index)
       ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal
   in
@@ -184,6 +191,11 @@ let new_slab t clock class_idx =
 
 let destroy_slab t clock s =
   assert (s.Slab.free_count = s.Slab.layout.Slab.nblocks && s.Slab.morph = None);
+  (* The frees that emptied this slab may still be provisional (open WAL
+     group). The extent-free tombstone below commits synchronously, so
+     close the group first: a crash must never roll back those frees —
+     leaving their blocks user-live — after the backing extent is gone. *)
+  Wal.flush_group t.wal clock;
   s.Slab.dying <- true;
   freelist_remove t s;
   lru_remove t s;
@@ -228,6 +240,11 @@ let morph_candidate_ok t s ~target_layout =
    same line repeatedly: this is the morphing cost the paper quantifies at
    ~4.5%. *)
 let transform_slab t clock s target_class =
+  (* The survivor snapshot below reads the volatile bitmap, which may
+     reflect frees whose WAL entries still sit in the open group. The
+     morph record commits synchronously; close the group first so a crash
+     cannot roll those frees back after a record that presumed them. *)
+  Wal.flush_group t.wal clock;
   let t0 = Sim.Clock.now clock in
   let open Slab in
   let dev = t.dev in
@@ -353,7 +370,17 @@ let try_morph t clock target_class =
 let return_block t clock s b =
   if not (is_ic t) then begin
     Bitmap.clear t.dev s.Slab.bitmap b;
-    if is_log t then flush_meta t clock ~addr:(Bitmap.line_addr s.Slab.bitmap b) ~len:1
+    if is_log t then begin
+      (* The bit-clear must not persist before the Free/Refill entry that
+         moved this block into the tcache — under group commit that entry
+         may still sit in the open group, and any commit point would drain
+         a plain (pending) flush past it. Ride the group's close instead;
+         a crash then rolls back entry and bit-clear together. *)
+      let addr = Bitmap.line_addr s.Slab.bitmap b in
+      if Wal.group_commit t.wal > 0 && Wal.is_ready t.wal then
+        Wal.defer_commit t.wal clock Pmem.Stats.Meta (Pstruct.span_of ~addr ~len:1)
+      else flush_meta t clock ~addr ~len:1
+    end
   end;
   if s.Slab.free_count = 0 then freelist_add t s;
   s.Slab.free_count <- s.Slab.free_count + 1;
@@ -442,22 +469,44 @@ let drain_tcache t clock tc =
 let drain_all_tcaches t clock =
   List.iter (fun tcs -> Array.iter (fun tc -> drain_tcache t clock tc) tcs) t.thread_tcaches
 
+(* Caller holds [t.lock]. *)
+let checkpoint_locked t clock =
+  let t0 = Sim.Clock.now clock in
+  drain_all_tcaches t clock;
+  Wal.checkpoint t.wal clock;
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      let now = Sim.Clock.now clock in
+      Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_checkpoint ~ts:t0
+        ~dur:(now -. t0);
+      Telemetry.Histogram.observe e.th_checkpoint (now -. t0)
+
 let checkpoint_if_needed t clock =
   if Wal.near_full t.wal then
     Sim.Lock.with_lock t.lock clock (fun () ->
         (* Re-check under the lock; another thread may have checkpointed. *)
-        if Wal.near_full t.wal then begin
-          let t0 = Sim.Clock.now clock in
-          drain_all_tcaches t clock;
-          Wal.checkpoint t.wal clock;
-          match t.telem with
-          | None -> ()
-          | Some e ->
-              let now = Sim.Clock.now clock in
-              Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_checkpoint
-                ~ts:t0 ~dur:(now -. t0);
-              Telemetry.Histogram.observe e.th_checkpoint (now -. t0)
-        end)
+        if Wal.near_full t.wal then checkpoint_locked t clock)
+
+(* One background-maintenance poll: checkpoint once the ring passes the
+   configured fraction, taking the drain + epoch bump off the allocating
+   threads' hot path (the near-full inline checkpoint above remains as the
+   hard backstop). Returns whether a checkpoint ran. *)
+let async_checkpoint_tick t clock =
+  let frac = t.config.Config.async_checkpoint in
+  let over () =
+    float_of_int (Wal.used t.wal) >= frac *. float_of_int (Wal.entries t.wal)
+  in
+  if frac > 0.0 && Wal.is_ready t.wal && Wal.used t.wal > 0 && over () then begin
+    let ran = ref false in
+    Sim.Lock.with_lock t.lock clock (fun () ->
+        if over () then begin
+          checkpoint_locked t clock;
+          ran := true
+        end);
+    !ran
+  end
+  else false
 
 (* Append a WAL entry; Large_* entries are logged in both variants
    (Table 2), small-allocation entries only by NVAlloc-LOG. Returns the
@@ -475,6 +524,12 @@ let log_op t clock kind ~addr ~dest =
     (* Slot reservation is a CAS, not a lock. *)
     Pmem.Device.dram_op t.dev clock;
     let span = Wal.append_span t.wal clock kind ~addr ~dest in
+    (* Extent metadata commits follow a Large_* entry synchronously and
+       depend on it: close the open group now so the entry (and any small
+       ops sharing the group) is durable before they retire. *)
+    (match kind with
+    | Wal.Large_alloc | Wal.Large_free -> Wal.flush_group t.wal clock
+    | Wal.Alloc | Wal.Free | Wal.Refill -> ());
     (match t.telem with
     | None -> ()
     | Some e ->
@@ -542,7 +597,10 @@ let refill_tcache t clock tc class_idx =
             in
             Bitmap.set t.dev s.Slab.bitmap b;
             if is_log t then
-              Pstruct.commit t.dev clock Pmem.Stats.Meta
+              (* With group commit the bit's persist rides the group's
+                 phase C — after the Refill entry and its commit record —
+                 instead of paying its own fence here. *)
+              Wal.defer_commit t.wal clock Pmem.Stats.Meta
                 ~deps:(wal_dep Wal.Refill wal_span)
                 (Bitmap.bit_span s.Slab.bitmap b)
           end;

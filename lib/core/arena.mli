@@ -117,6 +117,13 @@ val checkpoint_if_needed : t -> Sim.Clock.t -> unit
 (** Drain registered tcaches and reset the WAL when it is near full;
     called internally before WAL appends, exposed for tests. *)
 
+val async_checkpoint_tick : t -> Sim.Clock.t -> bool
+(** Background-checkpoint poll: when [Config.async_checkpoint] is a
+    positive fraction and this arena's WAL occupancy has reached it,
+    take the arena lock and checkpoint. Returns whether a checkpoint
+    ran. Driven off the critical path by the workload driver's daemon
+    thread so foreground appends rarely hit a full ring. *)
+
 val drain_all_tcaches : t -> Sim.Clock.t -> unit
 (** Return every tcache-resident block to its slab (shutdown path). *)
 

@@ -18,6 +18,9 @@ type t = {
   decay_interval_ns : float;
   decay_window_ns : float;
   root_slots : int;
+  flush_batch : bool;
+  wal_group_commit : int;
+  async_checkpoint : float;
 }
 
 let log_default =
@@ -39,6 +42,9 @@ let log_default =
     decay_interval_ns = 50_000_000.0;
     decay_window_ns = 500_000_000.0;
     root_slots = 1 lsl 20;
+    flush_batch = true;
+    wal_group_commit = 8;
+    async_checkpoint = 0.5;
   }
 
 let gc_default = { log_default with consistency = Gc_based }
@@ -66,8 +72,25 @@ let validate t =
     reject "Config.morph_su_threshold: must be within [0, 1] (got %g)" t.morph_su_threshold;
   if not (t.booklog_slow_gc_threshold > 0.0 && t.booklog_slow_gc_threshold <= 1.0) then
     reject "Config.booklog_slow_gc_threshold: must be within (0, 1] (got %g)"
-      t.booklog_slow_gc_threshold
+      t.booklog_slow_gc_threshold;
+  if t.wal_group_commit < 0 then
+    reject "Config.wal_group_commit: group size cannot be negative (got %d)"
+      t.wal_group_commit;
+  if t.wal_group_commit > t.wal_entries / 2 then
+    reject
+      "Config.wal_group_commit: an open group must fit well inside the ring (got %d for \
+       %d entries)"
+      t.wal_group_commit t.wal_entries;
+  if not (t.async_checkpoint >= 0.0 && t.async_checkpoint <= 1.0) then
+    reject "Config.async_checkpoint: must be a ring fraction within [0, 1] (got %g)"
+      t.async_checkpoint
+
 let ic_default = { log_default with consistency = Internal_collection }
+
+(* Everything synchronous: one flush + fence per commit site, no group
+   commit, no background checkpointing — the pre-batching behaviour,
+   selectable for A/B runs via the CLI's --no-batch. *)
+let sync t = { t with flush_batch = false; wal_group_commit = 0; async_checkpoint = 0.0 }
 
 let base consistency =
   {

@@ -45,6 +45,22 @@ type t = {
   decay_interval_ns : float;  (** decay tick, 50 ms as in jemalloc *)
   decay_window_ns : float;  (** full smootherstep decay horizon *)
   root_slots : int;  (** persistent root-table entries *)
+  flush_batch : bool;
+      (** Per-thread flush coalescing: [Device.flush] calls are absorbed
+          into a pending buffer, deduplicated per cache line, and drained
+          (in one burst, under a single fence) at the next ordering point.
+          Default on. *)
+  wal_group_commit : int;
+      (** WAL group commit: batch up to this many small-op log appends
+          behind one commit record and one fence triple, instead of a
+          flush + fence per append. [0] disables grouping (every append
+          commits synchronously). Only the log-based variant groups. *)
+  async_checkpoint : float;
+      (** Background WAL checkpointing threshold, as a fraction of the
+          ring: when a workload driver runs a maintenance thread, it
+          checkpoints any arena whose WAL is fuller than this fraction
+          off the hot path. [0.0] disables the daemon (the inline
+          near-full checkpoint still guards the ring). Default 0.5. *)
 }
 
 val validate : t -> unit
@@ -71,3 +87,8 @@ val with_interleaved_tcache : t -> t
 
 val with_log_bookkeeping : t -> t
 (** Base + log-structured bookkeeping only ("+Log"). *)
+
+val sync : t -> t
+(** The same configuration with the whole batched-persistence pipeline
+    off: no flush coalescing, no WAL group commit, no async
+    checkpointing. The CLI's [--no-batch] A/B switch. *)

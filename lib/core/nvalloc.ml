@@ -92,8 +92,19 @@ let callbacks t =
 
 (* --- construction ---------------------------------------------------------- *)
 
+(* eADR makes the batched pipeline meaningless and the group-commit
+   watermark wrong: flushes are free, and a crash preserves the CPU
+   caches — so an open group's effects always persist, while the stale
+   watermark would discard its entries on replay. Force the synchronous
+   pipeline, like NVAlloc's pmem_has_auto_flush() path disables the
+   interleaved mapping (section 6.7). *)
+let effective_config config dev =
+  if Pmem.Device.is_eadr dev then Config.sync config else config
+
 let create ?(config = Config.log_default) dev clock =
   Config.validate config;
+  let config = effective_config config dev in
+  Pmem.Device.set_batching dev config.Config.flush_batch;
   let heap = Heap.init dev config in
   let t =
     {
@@ -186,30 +197,42 @@ module Ptr = struct
 end
 
 (* Publishing (and retracting) a pointer is a commit point: the WAL entry
-   covering the operation must already be persistent. *)
-let publish ?(deps = []) t clock ~dest ~addr =
+   covering the operation must already be persistent. When the entry sits
+   in an open commit group ([via] the arena's WAL), the publish rides the
+   group's close instead of retiring inline — the watermark then commits
+   entry and pointer together, so a crash mid-group loses the whole
+   operation rather than publishing a pointer whose entry replay
+   discards. *)
+let publish ?(deps = []) ?via t clock ~dest ~addr =
   Pstruct.set t.dev ~base:dest Ptr.v (Int64.of_int addr);
-  Pstruct.commit ~deps t.dev clock Pmem.Stats.Data (Pstruct.span ~base:dest Ptr.v)
+  let span = Pstruct.span ~base:dest Ptr.v in
+  match via with
+  | Some wal -> Wal.defer_commit ~deps wal clock Pmem.Stats.Data span
+  | None -> Pstruct.commit ~deps t.dev clock Pmem.Stats.Data span
 
 let malloc_to t th ~size ~dest =
   assert (not t.closed);
   assert (size > 0);
   let clock = th.clock in
   let t0 = Sim.Clock.now clock in
-  let addr, deps =
+  let addr, deps, via =
     match Size_class.of_size size with
     | Some class_idx ->
         let arena = t.arenas.(th.arena) in
         let _slab, addr = Arena.alloc_small arena clock ~tcaches:th.tcaches ~class_idx in
         let wal_span = Arena.log_op arena clock Wal.Alloc ~addr ~dest in
-        (addr, Arena.wal_dep Wal.Alloc wal_span)
+        (* Grouped only when an entry covers the op: the publish must
+           never outlive its entry's commit record. *)
+        let via = if wal_span = None then None else Some (Arena.wal arena) in
+        (addr, Arena.wal_dep Wal.Alloc wal_span, via)
     | None ->
         let arena = t.arenas.(th.arena) in
         let veh = Arena.malloc_large arena clock ~size in
         let wal_span = Arena.log_op arena clock Wal.Large_alloc ~addr:veh.Extent.addr ~dest in
-        (veh.Extent.addr, Arena.wal_dep Wal.Large_alloc wal_span)
+        (* [log_op] closed the group behind a Large_* entry: commit inline. *)
+        (veh.Extent.addr, Arena.wal_dep Wal.Large_alloc wal_span, None)
   in
-  publish ~deps t clock ~dest ~addr;
+  publish ~deps ?via t clock ~dest ~addr;
   (match t.telem with
   | None -> ()
   | Some e ->
@@ -240,23 +263,26 @@ let free_from t th ~dest =
      dangling destination. *)
   if t.config.Config.consistency = Config.Internal_collection then
     publish t clock ~dest ~addr:0;
-  let deps =
+  let deps, via =
     match owner_lookup t clock addr with
     | Some (Small_owner slab) ->
-        let wal_span =
-          Arena.free_small t.arenas.(slab.Slab.arena) clock ~tcaches:th.tcaches slab ~addr
-            ~dest
-        in
-        Arena.wal_dep Wal.Free wal_span
+        let arena = t.arenas.(slab.Slab.arena) in
+        let wal_span = Arena.free_small arena clock ~tcaches:th.tcaches slab ~addr ~dest in
+        (* The morph-release path logs no entry (wal_span = None): its
+           metadata committed inline above, so the retraction must too —
+           deferring it with no covering entry would leave the published
+           pointer dangling at a freed block across the group window. *)
+        let via = if wal_span = None then None else Some (Arena.wal arena) in
+        (Arena.wal_dep Wal.Free wal_span, via)
     | Some (Large_owner (veh, aidx)) ->
         assert (veh.Extent.addr = addr);
         let arena = t.arenas.(aidx) in
         let wal_span = Arena.log_op arena clock Wal.Large_free ~addr ~dest in
         Arena.free_large arena clock veh;
-        Arena.wal_dep Wal.Large_free wal_span
+        (Arena.wal_dep Wal.Large_free wal_span, None)
     | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator"
   in
-  publish ~deps t clock ~dest ~addr:0;
+  publish ~deps ?via t clock ~dest ~addr:0;
   match t.telem with
   | None -> ()
   | Some e ->
@@ -573,6 +599,8 @@ let charge_lines t clock n = Pmem.Device.charge_pm_read t.dev clock ~lines:n
 
 let recover ?(config = Config.log_default) dev clock =
   Config.validate config;
+  let config = effective_config config dev in
+  Pmem.Device.set_batching dev config.Config.flush_batch;
   (* Recovery emits phase spans into a sink already attached to the
      device (there is no allocator to attach to until recovery returns).
      [phase] charges nothing; without a sink it is the identity. *)
@@ -611,17 +639,23 @@ let recover ?(config = Config.log_default) dev clock =
      so a crash during recovery leaves the logs replayable and recovery
      idempotent. *)
   let torn_wal = ref 0 in
-  let replays =
+  let decoded =
     phase "recovery:wal-decode" (fun () ->
         Array.init n_arenas (fun i ->
             let base = Heap.wal_base heap ~arena:i in
             charge_lines t clock (config.Config.wal_entries / 4);
-            let entries, torn =
-              Wal.replay_torn dev ~base ~entries:config.Config.wal_entries
+            let committed, discarded, torn =
+              Wal.replay_full dev ~base ~entries:config.Config.wal_entries
             in
             torn_wal := !torn_wal + torn;
-            entries))
+            (committed, discarded)))
   in
+  let replays = Array.map fst decoded in
+  (* The committed window plus the crash's open group, in seq order: what
+     the sanity pass judges block fates by. A discarded entry's op never
+     happened, but its effects can have leaked through shared-line
+     flushes — so "no entry" must mean "checkpointed", never "dropped". *)
+  let windows = Array.map (fun (c, d) -> c @ d) decoded in
   (* 2. Reopen per-arena bookkeeping logs (with their recovery-time slow
      GC) and WALs, then build the arenas around them. *)
   let booklog_live = Array.make n_arenas [] in
@@ -640,8 +674,12 @@ let recover ?(config = Config.log_default) dev clock =
         else Array.make n_arenas None)
   in
   let wals =
+    let group =
+      if config.Config.consistency = Config.Log_based then config.Config.wal_group_commit
+      else 0
+    in
     Array.init n_arenas (fun i ->
-        Wal.adopt dev
+        Wal.adopt dev ~group
           ~base:(Heap.wal_base heap ~arena:i)
           ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal)
   in
@@ -816,7 +854,7 @@ let recover ?(config = Config.log_default) dev clock =
         (* WAL replay: decide the fate of every allocated-marked block from
            its last log entry (protocol in wal.mli). *)
         let last : (int, Wal.replayed) Hashtbl.t = Hashtbl.create 1024 in
-        Array.iter (List.iter (fun (e : Wal.replayed) -> Hashtbl.replace last e.addr e)) replays;
+        Array.iter (List.iter (fun (e : Wal.replayed) -> Hashtbl.replace last e.addr e)) windows;
         (* Collect first: releases can destroy now-empty slabs, which
            would mutate the iteration set. *)
         let slabs = ref [] in
@@ -1018,17 +1056,45 @@ let recover ?(config = Config.log_default) dev clock =
       | Some (Large_owner (veh, _)) -> veh.Extent.addr = addr
       | None -> false
     in
+    (* With group commit, a freed block can be handed out again inside the
+       same open group, so the replay window may hold Free (addr, dest)
+       followed by Alloc (addr, dest'): after a crash in the group's
+       effect phase the block is allocated again (at dest') while [dest]
+       still points at it. [still_allocated] alone would keep that stale
+       pointer, so an entry is also undone when a {e later} entry for the
+       same address supersedes it — unless that later entry is an Alloc
+       re-publishing the very same destination, in which case the pointer
+       is current. Small-object entries for one address always live in
+       that block's home-arena WAL (and large publishes commit inline), so
+       comparing sequence numbers per WAL is sound. *)
     Array.iter
-      (List.iter (fun (e : Wal.replayed) ->
-           if
-             e.Wal.dest > 0
-             && read_ptr t ~dest:e.Wal.dest = e.Wal.addr
-             && not (still_allocated e.Wal.addr)
-           then begin
-             clear_dest e.Wal.dest e.Wal.addr;
-             incr wal_undone
-           end))
-      replays
+      (fun (entries : Wal.replayed list) ->
+        let last = Hashtbl.create 64 in
+        List.iter
+          (fun (e : Wal.replayed) ->
+            match Hashtbl.find_opt last e.Wal.addr with
+            | Some (l : Wal.replayed) when l.Wal.seq >= e.Wal.seq -> ()
+            | _ -> Hashtbl.replace last e.Wal.addr e)
+          entries;
+        List.iter
+          (fun (e : Wal.replayed) ->
+            let superseded =
+              match Hashtbl.find_opt last e.Wal.addr with
+              | Some (l : Wal.replayed) ->
+                  l.Wal.seq > e.Wal.seq
+                  && not (l.Wal.kind = Wal.Alloc && l.Wal.dest = e.Wal.dest)
+              | None -> false
+            in
+            if
+              e.Wal.dest > 0
+              && read_ptr t ~dest:e.Wal.dest = e.Wal.addr
+              && (superseded || not (still_allocated e.Wal.addr))
+            then begin
+              clear_dest e.Wal.dest e.Wal.addr;
+              incr wal_undone
+            end)
+          entries)
+      windows
   end);
   (* The sanity pass is done: only now invalidate the WAL windows. A
      crash anywhere before this point re-runs the pass from the same

@@ -5,6 +5,15 @@ let entries_per_line = Pmem.Cacheline.size / entry_bytes (* 4 *)
 let frame_lines = 16
 let frame_entries = frame_lines * entries_per_line (* 64 *)
 
+(* A metadata commit deferred until its WAL group closes: the effect's
+   span flushes in the group's phase C, after the entries (phase A) and
+   the commit record (phase B) are durable. *)
+type deferred = {
+  d_cat : Pmem.Stats.category;
+  d_span : Pstruct.span;
+  d_deps : (string * Pstruct.span) list;
+}
+
 type t = {
   dev : Pmem.Device.t;
   base : int;
@@ -15,6 +24,14 @@ type t = {
   mutable seq : int;
   mutable ready : bool; (* false between [adopt] and [seal] *)
   mutable skip_flush : bool; (* fault-injection hook, see [unsafe_set_skip_flush] *)
+  (* Group commit: up to [group_n] appends share one commit record (the
+     epoch-tagged watermark in the header) and one fence triple. 0 =
+     synchronous (every append flushes and every commit retires inline). *)
+  group_n : int;
+  mutable gcount : int; (* appends in the open group *)
+  mutable gspans : Pstruct.span list; (* their entry spans, newest first *)
+  mutable geffects : deferred list; (* deferred commits, newest first *)
+  mutable skip_record : bool; (* fault hook, see [unsafe_set_skip_commit_record] *)
 }
 
 let region_bytes ~entries =
@@ -60,12 +77,29 @@ let checksum ~kind ~epoch ~seq ~addr ~dest =
 (* Logical slot [n] -> byte offset of its entry (relative to the entry
    area). Interleaving spreads the 64 entries of a frame across its 16
    lines: consecutive appends land in consecutive lines. *)
-(* Header line (epoch byte) and packed entry layout. *)
+(* Header line and packed entry layout. The epoch byte and the group-
+   commit record (watermark) share the header's first 8-byte word, so one
+   ADR-atomic persist always carries a mutually consistent (epoch,
+   watermark) pair — neither can tear away from the other. [gc_epoch] = 0
+   marks a synchronous log (no grouping; replay accepts the whole valid
+   window); nonzero, the watermark [gc_seq] bounds the committed prefix:
+   replay accepts an entry iff its seq is below the watermark of the
+   current epoch. *)
 module Hdr = struct
   let l = Pstruct.layout "wal.header"
   let epoch = Pstruct.u8 l "epoch" ~off:0
+  let gc_epoch = Pstruct.u8 l "gc_epoch" ~off:1
+  let gc_ck = Pstruct.u16 l "gc_ck" ~off:2
+  let gc_seq = Pstruct.u32 l "gc_seq" ~off:4
   let () = Pstruct.seal l ~size:Pmem.Cacheline.size
 end
+
+(* The watermark word is 8-byte-atomic under ADR, so this checksum guards
+   nothing in the simulated failure model — it is defence in depth against
+   a stale word from a previous format of the region. *)
+let gc_checksum ~epoch ~seq = checksum ~kind:0x6C ~epoch ~seq ~addr:0 ~dest:0
+
+let hdr_word_span base = Pstruct.span_of ~addr:base ~len:8
 
 module Entry = struct
   let l = Pstruct.layout "wal.entry"
@@ -88,29 +122,62 @@ let slot_offset t n =
   in
   Pmem.Cacheline.size + (phys * entry_bytes)
 
-let create dev ~base ~entries ~interleave =
+(* Every header write goes through here: a log that is (or has become)
+   synchronous must zero the group-commit record, or a stale watermark
+   from a grouped life of the region would discard the sync entries of
+   this one. In grouped mode the watermark rides along with the epoch —
+   set to the current seq, so entries of the (new) epoch stay uncommitted
+   until their group closes. *)
+let write_header t =
+  Pstruct.set t.dev ~base:t.base Hdr.epoch t.epoch;
+  if t.group_n > 0 then begin
+    Pstruct.set t.dev ~base:t.base Hdr.gc_epoch t.epoch;
+    Pstruct.set t.dev ~base:t.base Hdr.gc_ck (gc_checksum ~epoch:t.epoch ~seq:t.seq);
+    Pstruct.set t.dev ~base:t.base Hdr.gc_seq t.seq
+  end
+  else begin
+    Pstruct.set t.dev ~base:t.base Hdr.gc_epoch 0;
+    Pstruct.set t.dev ~base:t.base Hdr.gc_ck 0;
+    Pstruct.set t.dev ~base:t.base Hdr.gc_seq 0
+  end
+
+let create ?(group = 0) dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
-  Pstruct.set dev ~base Hdr.epoch 1;
+  assert (group >= 0);
+  let t =
+    {
+      dev;
+      base;
+      nentries = entries;
+      interleave;
+      epoch = 1;
+      next = 0;
+      seq = 0;
+      ready = true;
+      skip_flush = false;
+      group_n = group;
+      gcount = 0;
+      gspans = [];
+      geffects = [];
+      skip_record = false;
+    }
+  in
   (* Entry epochs are all 0 (the device zero-fills), hence invalid. *)
-  {
-    dev;
-    base;
-    nentries = entries;
-    interleave;
-    epoch = 1;
-    next = 0;
-    seq = 0;
-    ready = true;
-    skip_flush = false;
-  }
+  write_header t;
+  t
 
 let entries t = t.nentries
 let used t = t.next
 let near_full t = t.next >= t.nentries
+let is_ready t = t.ready
+let group_commit t = t.group_n
+let open_group t = t.gcount
 let unsafe_set_skip_flush t v = t.skip_flush <- v
+let unsafe_set_skip_commit_record t v = t.skip_record <- v
 
 (* Returns the entry's base offset; allocation-free so the plain [append]
-   fast path stays allocation-free too. *)
+   fast path stays allocation-free too (grouped appends allocate a span
+   for the group's phase A — three conses per op, off the flush path). *)
 let append_off t clock kind ~addr ~dest =
   assert t.ready;
   assert (not (near_full t));
@@ -123,8 +190,32 @@ let append_off t clock kind ~addr ~dest =
   Pstruct.set t.dev ~base:off Entry.seq t.seq;
   Pstruct.set t.dev ~base:off Entry.addr addr;
   Pstruct.set t.dev ~base:off Entry.dest dest;
-  if not t.skip_flush then
-    Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:(Pstruct.size Entry.l);
+  let elen = Pstruct.size Entry.l in
+  if t.group_n = 0 then begin
+    if not t.skip_flush then Pmem.Device.flush t.dev clock Pmem.Stats.Wal ~addr:off ~len:elen
+    else
+      (* The broken-protocol hook must compose with coalescing: a skipped
+         flush must also leave the thread's pending buffer, or the next
+         fence would quietly persist it and the fuzz scenario would lose
+         its teeth. (Dropping the line may drop pending sibling entries
+         too — strictly more broken, which is the point of the hook.) *)
+      Pmem.Device.unpend t.dev clock ~addr:off ~len:elen
+  end
+  else begin
+    t.gcount <- t.gcount + 1;
+    if not t.skip_flush then begin
+      Pmem.Device.flush_weak t.dev clock Pmem.Stats.Wal ~addr:off ~len:elen;
+      t.gspans <- Pstruct.span_of ~addr:off ~len:elen :: t.gspans
+    end
+    else begin
+      Pmem.Device.unpend t.dev clock ~addr:off ~len:elen;
+      (* Drop same-line spans from the open group so phase A does not
+         re-persist the line the hook just suppressed. *)
+      let line = Pmem.Cacheline.index off in
+      t.gspans <-
+        List.filter (fun (s : Pstruct.span) -> Pmem.Cacheline.index s.addr <> line) t.gspans
+    end
+  end;
   t.next <- t.next + 1;
   t.seq <- t.seq + 1;
   off
@@ -135,14 +226,85 @@ let append_span t clock kind ~addr ~dest =
   let off = append_off t clock kind ~addr ~dest in
   Pstruct.layout_span ~base:off Entry.l
 
+(* Close the open group. Three fences cover what would have been 2N:
+   phase A persists the group's entries; phase B persists the commit
+   record (the watermark — one atomic header-word write that marks every
+   entry below it committed); phase C retires the deferred metadata
+   commits those entries order (validating their declared deps, which
+   phase A made durable). A crash before B loses the whole group (replay
+   stops at the old watermark: the allocator never published the ops'
+   effects, so no pointer dangles); a crash after B replays it. *)
+let flush_group t clock =
+  if t.group_n > 0 && (t.gcount > 0 || t.geffects <> []) then begin
+    if t.skip_record then
+      (* Broken-protocol hook: the commit record forgets its contract.
+         Phase A is dropped — the group's entries leave the pending
+         buffer unflushed — while the watermark still advances and phase
+         C still retires the effects. A crash now finds effects durable
+         under a commit record with no entries behind it: no undo
+         evidence, which the recovery sanity pass cannot heal. This is
+         the observable endpoint of writing the record before the
+         entries are durable — the ordering the three-phase close
+         exists to enforce. *)
+      List.iter
+        (fun (s : Pstruct.span) -> Pmem.Device.unpend t.dev clock ~addr:s.addr ~len:s.len)
+        t.gspans
+    else
+      List.iter
+        (fun (s : Pstruct.span) ->
+          Pmem.Device.flush_weak t.dev clock Pmem.Stats.Wal ~addr:s.addr ~len:s.len)
+        t.gspans;
+    Pmem.Device.fence t.dev clock;
+    if t.gcount > 0 then begin
+      Pstruct.set t.dev ~base:t.base Hdr.gc_epoch t.epoch;
+      Pstruct.set t.dev ~base:t.base Hdr.gc_ck (gc_checksum ~epoch:t.epoch ~seq:t.seq);
+      Pstruct.set t.dev ~base:t.base Hdr.gc_seq t.seq;
+      let w = hdr_word_span t.base in
+      Pmem.Device.flush_weak t.dev clock Pmem.Stats.Wal ~addr:w.Pstruct.addr ~len:w.Pstruct.len;
+      Pmem.Device.fence t.dev clock;
+      Pmem.Device.note_group_commit t.dev clock ~entries:t.gcount
+    end;
+    (match t.geffects with
+    | [] -> ()
+    | effects ->
+        List.iter
+          (fun d ->
+            List.iter
+              (fun (note, (s : Pstruct.span)) ->
+                Pmem.Device.depends_on ~note t.dev clock ~addr:s.addr ~len:s.len)
+              d.d_deps;
+            Pmem.Device.commit_flush_weak t.dev clock d.d_cat ~addr:d.d_span.Pstruct.addr
+              ~len:d.d_span.Pstruct.len)
+          (List.rev effects);
+        Pmem.Device.fence t.dev clock);
+    t.gcount <- 0;
+    t.gspans <- [];
+    t.geffects <- []
+  end
+
+(* A metadata commit ordered after a grouped entry: queue it for the
+   group's phase C instead of retiring it inline. With grouping off (or
+   before [seal] re-enables the log — recovery replays effects through
+   the same code paths) this is exactly [Pstruct.commit]. *)
+let defer_commit ?(deps = []) t clock cat span =
+  if t.group_n = 0 || not t.ready then Pstruct.commit ~deps t.dev clock cat span
+  else begin
+    t.geffects <- { d_cat = cat; d_span = span; d_deps = deps } :: t.geffects;
+    if t.gcount >= t.group_n then flush_group t clock
+  end
+
 let checkpoint t clock =
   assert t.ready;
+  (* The open group belongs to the dying epoch: close it first, so ops
+     already acknowledged to callers stay recoverable right up to the
+     epoch bump that obsoletes them. *)
+  flush_group t clock;
   t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
   t.next <- 0;
-  Pstruct.set t.dev ~base:t.base Hdr.epoch t.epoch;
-  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:t.base Hdr.epoch)
+  write_header t;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base)
 
-let adopt dev ~base ~entries ~interleave =
+let adopt ?(group = 0) dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
   {
     dev;
@@ -154,6 +316,11 @@ let adopt dev ~base ~entries ~interleave =
     seq = 0;
     ready = false;
     skip_flush = false;
+    group_n = group;
+    gcount = 0;
+    gspans = [];
+    geffects = [];
+    skip_record = false;
   }
 
 let seal t clock =
@@ -162,19 +329,40 @@ let seal t clock =
   t.next <- 0;
   t.seq <- 0;
   t.ready <- true;
-  Pstruct.set t.dev ~base:t.base Hdr.epoch t.epoch;
-  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:t.base Hdr.epoch)
+  write_header t;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base)
 
-let reopen dev clock ~base ~entries ~interleave =
-  let t = adopt dev ~base ~entries ~interleave in
+let reopen ?group dev clock ~base ~entries ~interleave =
+  let t = adopt ?group dev ~base ~entries ~interleave in
   seal t clock;
   t
 
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 
-let replay_torn dev ~base ~entries =
+let replay_full dev ~base ~entries =
   let epoch = Pstruct.get dev ~base Hdr.epoch in
+  (* Group-commit watermark: [gc_epoch] = 0 marks a synchronous log —
+     every entry was durable before its effects, accept the whole valid
+     window. Nonzero, only entries the commit record covers (seq below
+     the current epoch's watermark) are committed; a watermark from
+     another epoch, or one failing its checksum, covers nothing. Valid
+     entries at or beyond the watermark belonged to the open group at the
+     crash: their ops never committed, but their metadata effects may
+     have leaked to the media through shared-line flushes, so recovery
+     needs them as undo evidence — they come back separately. *)
+  let limit =
+    let gc_epoch = Pstruct.get dev ~base Hdr.gc_epoch in
+    if gc_epoch = 0 then max_int
+    else
+      let gc_seq = Pstruct.get dev ~base Hdr.gc_seq in
+      if
+        gc_epoch = epoch
+        && Pstruct.get dev ~base Hdr.gc_ck = gc_checksum ~epoch:gc_epoch ~seq:gc_seq
+      then gc_seq
+      else 0
+  in
   let acc = ref [] in
+  let dropped = ref [] in
   let torn = ref 0 in
   for phys = 0 to entries - 1 do
     let off = base + Pmem.Cacheline.size + (phys * entry_bytes) in
@@ -186,11 +374,19 @@ let replay_torn dev ~base ~entries =
           let addr = Pstruct.get dev ~base:off Entry.addr in
           let dest = Pstruct.get dev ~base:off Entry.dest in
           if Pstruct.get dev ~base:off Entry.ck = checksum ~kind:code ~epoch ~seq ~addr ~dest
-          then acc := { kind; seq; addr; dest } :: !acc
+          then begin
+            if seq < limit then acc := { kind; seq; addr; dest } :: !acc
+            else dropped := { kind; seq; addr; dest } :: !dropped
+          end
           else incr torn
       | None -> ()
     end
   done;
-  (List.sort (fun a b -> compare a.seq b.seq) !acc, !torn)
+  let by_seq = List.sort (fun a b -> compare a.seq b.seq) in
+  (by_seq !acc, by_seq !dropped, !torn)
+
+let replay_torn dev ~base ~entries =
+  let committed, _, torn = replay_full dev ~base ~entries in
+  (committed, torn)
 
 let replay dev ~base ~entries = fst (replay_torn dev ~base ~entries)

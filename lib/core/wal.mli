@@ -47,8 +47,16 @@ val region_bytes : entries:int -> int
 (** Device bytes needed for a log of [entries] entries (header line
     included). [entries] must be a positive multiple of 64. *)
 
-val create : Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
-(** Format a fresh log (volatile image; first use flushes the header). *)
+val create : ?group:int -> Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+(** Format a fresh log (volatile image; first use flushes the header).
+
+    [group] (default 0) enables group commit: up to [group] appends share
+    one commit record — an epoch-tagged watermark packed into the
+    header's first 8-byte word, so one ADR-atomic persist commits the
+    whole batch — and their metadata effects are deferred to the group's
+    close ({!defer_commit}/{!flush_group}). Replay then only accepts
+    entries below the watermark: a crash mid-group loses the open group
+    wholesale, never a suffix-less prefix of its effects. *)
 
 val entries : t -> int
 val used : t -> int
@@ -56,8 +64,19 @@ val near_full : t -> bool
 (** True when the next {!append} would not fit: the arena must checkpoint
     first. *)
 
+val is_ready : t -> bool
+(** False between {!adopt} and {!seal} (recovery in progress). *)
+
+val group_commit : t -> int
+(** The [group] this log was created/adopted with; 0 = synchronous. *)
+
+val open_group : t -> int
+(** Appends in the currently open group (0 when grouping is off or the
+    group just closed). Test observability. *)
+
 val append : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> unit
-(** Write and flush one entry (category [Wal]). *)
+(** Write and flush one entry (category [Wal]). With group commit on,
+    the entry's flush is deferred into the open group instead. *)
 
 val append_span : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> Pstruct.span
 (** Like {!append}, returning the entry's span so callers can declare it
@@ -65,17 +84,35 @@ val append_span : t -> Sim.Clock.t -> kind -> addr:int -> dest:int -> Pstruct.sp
     covers. The span is returned even under {!unsafe_set_skip_flush} —
     it denotes what {e should} have persisted. *)
 
+val defer_commit :
+  ?deps:(string * Pstruct.span) list -> t -> Sim.Clock.t -> Pmem.Stats.category ->
+  Pstruct.span -> unit
+(** A metadata commit ordered after this log's latest entry. With group
+    commit on (and the log ready), the commit is queued and retires in
+    the open group's close — after the group's entries and its commit
+    record are durable — closing the group if it just reached [group]
+    appends. Otherwise exactly [Pstruct.commit]. *)
+
+val flush_group : t -> Sim.Clock.t -> unit
+(** Close the open group now (no-op when empty or grouping is off):
+    persist its entries (one fence), persist the commit record (one
+    fence), then retire the deferred commits (one fence). Called by
+    {!checkpoint} and by the arena around operations that must not stay
+    provisional (large allocs, quiesce points). *)
+
 val checkpoint : t -> Sim.Clock.t -> unit
-(** Bump the epoch (invalidating all entries) and flush the header. The
-    caller must have emptied the arena's tcaches first. *)
+(** Close the open group, then bump the epoch (invalidating all entries)
+    and flush the header. The caller must have emptied the arena's
+    tcaches first. *)
 
 val reopen :
+  ?group:int ->
   Pmem.Device.t -> Sim.Clock.t -> base:int -> entries:int -> interleave:bool -> t
 (** Recovery: adopt an existing log region and invalidate its entries by
     bumping the epoch (one header flush). Call after {!replay}.
     Equivalent to {!adopt} immediately followed by {!seal}. *)
 
-val adopt : Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+val adopt : ?group:int -> Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
 (** Adopt an existing log region {e without} invalidating its entries:
     the persisted epoch (and hence the replay window) stays intact, so a
     crash while recovery is still running leaves the log replayable and
@@ -91,8 +128,23 @@ val unsafe_set_skip_flush : t -> bool -> unit
 (** Fault-injection hook (tests only): when set, {!append} writes the
     entry but skips its flush — deliberately breaking the flush-before-
     effect ordering so the fuzzer can demonstrate that the broken
-    protocol is caught and shrunk to a replayable plan. Never set this
-    outside a test harness. *)
+    protocol is caught and shrunk to a replayable plan. Composes with
+    flush coalescing: the skipped entry's line is also dropped from the
+    thread's pending buffer (and from the open group's phase A), so no
+    later fence quietly persists it. Never set this outside a test
+    harness. *)
+
+val unsafe_set_skip_commit_record : t -> bool -> unit
+(** Fault-injection hook (tests only): when set, {!flush_group}'s commit
+    record forgets its contract — the watermark advances and the
+    deferred effects retire while phase A is dropped (the group's
+    entries leave the pending buffer unflushed). A crash then finds
+    effects durable under a commit record with no entries behind it:
+    no undo evidence for the recovery sanity pass, the observable
+    endpoint of writing the record before the entries are durable.
+    The model checker must catch the resulting leak/dangling state
+    (and, in check mode, the dirty entry-span dependencies). Never set
+    this outside a test harness. *)
 
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 
@@ -104,3 +156,15 @@ val replay_torn : Pmem.Device.t -> base:int -> entries:int -> replayed list * in
 (** Like {!replay}, additionally returning how many entries of the
     current epoch were skipped because their checksum failed (torn
     stores observed half-written). *)
+
+val replay_full :
+  Pmem.Device.t -> base:int -> entries:int -> replayed list * replayed list * int
+(** [(committed, discarded, torn)]. [committed] and [torn] are exactly
+    {!replay_torn}'s results. [discarded] are structurally valid entries
+    of the current epoch at or beyond the group-commit watermark: the
+    open group at the crash. Their ops never committed — but their
+    metadata effects (bitmap bits, root publications) may have leaked to
+    the media through flushes of shared cache lines, so recovery's
+    sanity pass must treat them as undo evidence rather than assume
+    "no entry in the window" means "checkpointed, hence fully durable".
+    Empty for synchronous logs. Sorted by sequence number. *)

@@ -19,8 +19,10 @@ let workload t th ~seed ~ops =
     else ignore (Nvalloc.malloc_to t th ~size:sizes.(Sim.Rng.int rng (Array.length sizes)) ~dest)
   done
 
-let run_plan ?(broken = false) ?(check_order = true) ?telemetry (plan : Plan.t) =
+let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false) ?(check_order = true)
+    ?telemetry (plan : Plan.t) =
   let config = Plan.config plan.Plan.variant in
+  let config = if batch then config else Config.sync config in
   let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
   Pmem.Device.set_check_mode dev check_order;
   let clock = Sim.Clock.create () in
@@ -33,6 +35,10 @@ let run_plan ?(broken = false) ?(check_order = true) ?telemetry (plan : Plan.t) 
   | None -> ());
   if broken then
     Array.iter (fun a -> Wal.unsafe_set_skip_flush (Arena.wal a) true) (Nvalloc.arenas t);
+  if broken_record then
+    Array.iter
+      (fun a -> Wal.unsafe_set_skip_commit_record (Arena.wal a) true)
+      (Nvalloc.arenas t);
   let th = Nvalloc.thread t clock in
   Pmem.Device.schedule_crash_after ?torn:plan.Plan.torn ~torn_seed:plan.Plan.torn_seed dev
     plan.Plan.crash_after;
@@ -58,9 +64,11 @@ let run_plan ?(broken = false) ?(check_order = true) ?telemetry (plan : Plan.t) 
 
 let max_shrink_rounds = 64
 
-let shrink ?broken ?check_order plan ~reason =
+let shrink ?batch ?broken ?broken_record ?check_order plan ~reason =
   let fails p =
-    match run_plan ?broken ?check_order p with Error e -> Some e | Ok _ -> None
+    match run_plan ?batch ?broken ?broken_record ?check_order p with
+    | Error e -> Some e
+    | Ok _ -> None
   in
   let rec go plan reason rounds =
     if rounds = 0 then (plan, reason)
@@ -75,17 +83,18 @@ let shrink ?broken ?check_order plan ~reason =
   in
   go plan reason max_shrink_rounds
 
-let fuzz ?broken ?check_order ?variant ?(on_plan = fun _ _ -> ()) ~seed ~runs () =
+let fuzz ?batch ?broken ?broken_record ?check_order ?variant ?(on_plan = fun _ _ -> ())
+    ~seed ~runs () =
   let rng = Sim.Rng.create seed in
   let rec loop i =
     if i >= runs then None
     else begin
       let plan = Plan.sample ?variant rng in
       on_plan i plan;
-      match run_plan ?broken ?check_order plan with
+      match run_plan ?batch ?broken ?broken_record ?check_order plan with
       | Ok _ -> loop (i + 1)
       | Error reason ->
-          let shrunk, reason = shrink ?broken ?check_order plan ~reason in
+          let shrunk, reason = shrink ?batch ?broken ?broken_record ?check_order plan ~reason in
           Some { original = plan; shrunk; reason }
     end
   in

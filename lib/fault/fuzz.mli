@@ -16,7 +16,18 @@
     persist-ordering checker enabled ({!Pmem.Device.set_check_mode}):
     commits whose declared dependencies are still dirty are recorded and
     turned into oracle failures, catching ordering bugs {e without}
-    needing the crash to land in the vulnerable window. *)
+    needing the crash to land in the vulnerable window.
+
+    [?batch] (default [true]) keeps the variant config's batched
+    persistence pipeline — flush coalescing, WAL group commit, async
+    checkpoint threshold — so every sampled crash point also exercises
+    the deferred paths; [~batch:false] forces the synchronous pipeline
+    ({!Nvalloc_core.Config.sync}).
+
+    [?broken_record] makes every WAL group commit "forget" its commit
+    record ({!Nvalloc_core.Wal.unsafe_set_skip_commit_record}): deferred
+    effects persist while replay discards the group — the mutation the
+    model-based checker must catch. *)
 
 type counterexample = {
   original : Plan.t;  (** the sampled plan that first failed *)
@@ -25,7 +36,9 @@ type counterexample = {
 }
 
 val run_plan :
+  ?batch:bool ->
   ?broken:bool ->
+  ?broken_record:bool ->
   ?check_order:bool ->
   ?telemetry:Telemetry.t ->
   Plan.t ->
@@ -36,12 +49,16 @@ val run_plan :
     crash(es), recovery — lands in it; simulated behaviour is unchanged
     (the result is identical with or without a sink). *)
 
-val shrink : ?broken:bool -> ?check_order:bool -> Plan.t -> reason:string -> Plan.t * string
+val shrink :
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?check_order:bool ->
+  Plan.t -> reason:string -> Plan.t * string
 (** Greedy shrinking: recurse on the first {!Plan.shrink_candidates}
     member that still fails (bounded number of rounds). *)
 
 val fuzz :
+  ?batch:bool ->
   ?broken:bool ->
+  ?broken_record:bool ->
   ?check_order:bool ->
   ?variant:Plan.variant ->
   ?on_plan:(int -> Plan.t -> unit) ->

@@ -26,11 +26,14 @@ let name = function
   | Nv_ic -> "NVAlloc-IC"
   | Nv_custom (n, _) -> n
 
+let force_sync = ref false
+
 let make ?(eadr = false) ?(dev_size = 512 * 1024 * 1024) ?(root_slots = 1 lsl 18) ~threads kind =
   let baseline knobs =
     Baselines.Bengine.instance ~knobs ~threads ~dev_size ~eadr ~root_slots ()
   in
   let nvalloc ?name config =
+    let config = if !force_sync then Config.sync config else config in
     Alloc_api.Instance.of_nvalloc ?name
       ~config:{ config with Config.root_slots }
       ~threads ~dev_size ~eadr ()

@@ -15,6 +15,14 @@ type kind =
 
 val name : kind -> string
 
+val force_sync : bool ref
+(** When set, every NVAlloc config {!make} builds is passed through
+    {!Nvalloc_core.Config.sync} — flush coalescing, WAL group commit and
+    the async checkpoint threshold all off. Lets the CLI's
+    [--no-batch] flag compare the synchronous pipeline across whole
+    experiment runs without threading a parameter through the registry.
+    Baselines are unaffected. Default [false]. *)
+
 val make :
   ?eadr:bool ->
   ?dev_size:int ->

@@ -49,6 +49,11 @@ type t = {
   mutable crash_after : int option;
   mutable torn : (torn_mode * int) option;
   mutable check : checker option;
+  (* FliT-style flush coalescing: with batching on, plain [flush] calls
+     only enqueue their dirty lines into the calling thread's pending set;
+     the next ordering point (fence / commit / quiesce) drains the set —
+     deduplicated per line — under its single fence. *)
+  mutable batching : bool;
   (* Telemetry sink with everything the per-flush emission needs cached:
      interned name/arg-key ids and histogram handles, so an enabled
      emission is stores into preallocated arrays and the disabled path is
@@ -56,7 +61,15 @@ type t = {
   mutable telem : temit option;
 }
 
-and stream = { recent : Lru_ring.t; xplines : Lru_ring.t }
+and stream = {
+  recent : Lru_ring.t;
+  xplines : Lru_ring.t;
+  (* Deferred flushes: line -> category of the first deferring call, plus
+     how many [flush] calls were absorbed since the last drain (each
+     would have paid its own fence synchronously). *)
+  pending : (int, Stats.category) Hashtbl.t;
+  mutable pending_calls : int;
+}
 
 and temit = {
   tsink : Telemetry.t;
@@ -64,11 +77,13 @@ and temit = {
   tn_reflush : int array;
   tn_fence : int;
   tn_wpq : int;
+  tn_group : int;
   ta_addr : int; (* arg-key ids *)
   ta_dist : int;
   th_flush : Telemetry.Histogram.t array; (* per-category flush latency *)
   th_fence : Telemetry.Histogram.t;
   th_wpq : Telemetry.Histogram.t;
+  th_group : Telemetry.Histogram.t; (* entries per closed WAL group *)
   mutable tflush_seq : int; (* flushes since attach, for WPQ sampling *)
 }
 
@@ -91,8 +106,12 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     crash_after = None;
     torn = None;
     check = None;
+    batching = false;
     telem = None;
   }
+
+let set_batching t on = t.batching <- on
+let batching t = t.batching
 
 let size t = Store.size t.volatile
 let stats t = t.stats
@@ -112,11 +131,13 @@ let set_telemetry t sink =
             tn_reflush = Array.map (Telemetry.intern s) reflush_span_names;
             tn_fence = Telemetry.intern s "fence";
             tn_wpq = Telemetry.intern s "wpq_depth";
+            tn_group = Telemetry.intern s "group_commit";
             ta_addr = Telemetry.intern s "addr";
             ta_dist = Telemetry.intern s "dist";
             th_flush = Array.map (Telemetry.histogram s) flush_span_names;
             th_fence = Telemetry.histogram s "fence";
             th_wpq = Telemetry.histogram s "wpq_depth";
+            th_group = Telemetry.histogram s "group_commit";
             tflush_seq = 0;
           }
 
@@ -126,10 +147,30 @@ let reset_stats t =
   Stats.reset t.stats;
   (* The reflush/sequentiality bookkeeping (per-thread LRU windows) is
      part of what the stats classified: clear it too, so counting starts
-     from the same cold state as a fresh device. *)
+     from the same cold state as a fresh device. Deferred flushes are
+     simulation state, not stats — they must survive the reset, or a
+     mid-protocol reset would silently drop durability. *)
+  let kept =
+    Hashtbl.fold
+      (fun id st acc ->
+        if Hashtbl.length st.pending > 0 || st.pending_calls > 0 then
+          (id, st.pending, st.pending_calls) :: acc
+        else acc)
+      t.streams []
+  in
   Hashtbl.reset t.streams;
   t.cached_id <- -1;
-  t.cached_stream <- None
+  t.cached_stream <- None;
+  List.iter
+    (fun (id, pending, pending_calls) ->
+      Hashtbl.replace t.streams id
+        {
+          recent = Lru_ring.create t.lat.Latency.reflush_window;
+          xplines = Lru_ring.create 4;
+          pending;
+          pending_calls;
+        })
+    kept
 let latency t = t.lat
 let is_eadr t = t.lat.Latency.reflush_step_ns = 0.0 && t.lat.Latency.seq_flush_ns = t.lat.Latency.reflush_base_ns
 
@@ -231,6 +272,8 @@ let stream_of t clock =
               {
                 recent = Lru_ring.create t.lat.Latency.reflush_window;
                 xplines = Lru_ring.create 4;
+                pending = Hashtbl.create 16;
+                pending_calls = 0;
               }
             in
             Hashtbl.replace t.streams id s;
@@ -365,7 +408,7 @@ let[@inline] charge_fence t clock =
         ~ts:(Sim.Clock.now clock -. fence_ns) ~dur:fence_ns;
       Telemetry.Histogram.observe e.th_fence fence_ns
 
-let flush t clock cat ~addr ~len =
+let sync_flush t clock cat ~addr ~len =
   if len > 0 then begin
     let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
     (if first = last then begin
@@ -387,7 +430,70 @@ let flush t clock cat ~addr ~len =
     charge_fence t clock
   end
 
+(* Defer: enqueue the span's dirty lines into the calling thread's
+   pending set (a clwb with no sfence — free until the drain). A line
+   already pending, or clean by drain time, is a coalesced flush. *)
+let flush_weak t clock cat ~addr ~len =
+  if len > 0 then begin
+    let st = stream_of t clock in
+    st.pending_calls <- st.pending_calls + 1;
+    let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+    for line = first to last do
+      if Dirtymap.test t.dirty line then
+        if Hashtbl.mem st.pending line then Stats.record_flush_coalesced t.stats
+        else Hashtbl.replace st.pending line cat
+    done
+  end
+
+(* Drain the thread's pending set in ascending line order, without
+   charging a fence — the ordering point that triggered the drain charges
+   its own. Every absorbed call but one would have paid a fence
+   synchronously. The pending table is cleared before any line flushes so
+   an injected crash mid-drain leaves consistent state (do_crash resets
+   the streams anyway). *)
+let drain_pending t clock st =
+  if Hashtbl.length st.pending > 0 || st.pending_calls > 0 then begin
+    let lines = Hashtbl.fold (fun line cat acc -> (line, cat) :: acc) st.pending [] in
+    let lines = List.sort (fun (a, _) (b, _) -> compare a b) lines in
+    Hashtbl.reset st.pending;
+    Stats.record_fences_saved t.stats (st.pending_calls - 1);
+    st.pending_calls <- 0;
+    let finish = ref (Sim.Clock.now clock) in
+    List.iter
+      (fun (line, cat) ->
+        if Dirtymap.test t.dirty line then begin
+          let f = flush_line t clock cat line in
+          if f > !finish then finish := f
+        end
+        else Stats.record_flush_coalesced t.stats)
+      lines;
+    Sim.Clock.wait_until clock !finish
+  end
+
+let flush t clock cat ~addr ~len =
+  if t.batching then flush_weak t clock cat ~addr ~len
+  else sync_flush t clock cat ~addr ~len
+
+let unpend t clock ~addr ~len =
+  if len > 0 then begin
+    let st = stream_of t clock in
+    let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+    for line = first to last do
+      Hashtbl.remove st.pending line
+    done
+  end
+
 let flush_all t clock cat =
+  (* Pending sets of every thread are subsumed: each deferred line is
+     either still dirty (flushed below) or already persisted. *)
+  Hashtbl.iter
+    (fun _ st ->
+      if Hashtbl.length st.pending > 0 || st.pending_calls > 0 then begin
+        Stats.record_fences_saved t.stats (st.pending_calls - 1);
+        Hashtbl.reset st.pending;
+        st.pending_calls <- 0
+      end)
+    t.streams;
   (* Dirtymap.iter yields ascending line order — the same order the old
      sort-then-flush implementation used. *)
   let finish = ref (Sim.Clock.now clock) in
@@ -397,7 +503,19 @@ let flush_all t clock cat =
   Sim.Clock.wait_until clock !finish;
   charge_fence t clock
 
-let fence t clock = charge_fence t clock
+let fence t clock =
+  drain_pending t clock (stream_of t clock);
+  charge_fence t clock
+
+let note_group_commit t clock ~entries =
+  Stats.record_group_commit t.stats ~entries;
+  match t.telem with
+  | None -> ()
+  | Some e ->
+      let v = float_of_int entries in
+      Telemetry.counter e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_group
+        ~ts:(Sim.Clock.now clock) ~value:v;
+      Telemetry.Histogram.observe e.th_group v
 
 let charge_pm_read t clock ~lines =
   let ns = float_of_int lines *. t.lat.Latency.pm_read_line_ns in
@@ -426,6 +544,7 @@ let cancel_scheduled_crash t =
 
 let crash_armed t = t.crash_after <> None
 let dirty_lines t = Dirtymap.count t.dirty
+let pending_flushes t clock = Hashtbl.length (stream_of t clock).pending
 let persisted_int64 t addr = Store.get_i64 t.persisted addr
 let persisted_u8 t addr = Store.get_u8 t.persisted addr
 
@@ -500,8 +619,8 @@ let dep_violation t c ~commit_addr ~commit_len (dep_addr, dep_len, note) =
               };
             ]
 
-let commit_flush t clock cat ~addr ~len =
-  (match t.check with
+let validate_deps t clock ~addr ~len =
+  match t.check with
   | None -> ()
   | Some c -> (
       c.commits_checked <- c.commits_checked + 1;
@@ -514,8 +633,32 @@ let commit_flush t clock cat ~addr ~len =
              sharing a line with the commit must have been persisted by an
              earlier flush, not smuggled out by this one (clwb A; clwb B;
              sfence orders neither before the other). *)
-          List.iter (dep_violation t c ~commit_addr:addr ~commit_len:len) (List.rev deps)));
-  flush t clock cat ~addr ~len
+          List.iter (dep_violation t c ~commit_addr:addr ~commit_len:len) (List.rev deps))
+
+let commit_flush t clock cat ~addr ~len =
+  (* With batching on, the commit's dependencies may still sit in the
+     thread's pending set: drain them under their own fence first, so the
+     checker (and the crash model) sees them durable strictly before the
+     commit's own lines retire. The two fences must not merge — the drain
+     orders deps before the commit, the commit's flush orders the commit
+     record before whatever follows. *)
+  if t.batching then begin
+    let st = stream_of t clock in
+    if Hashtbl.length st.pending > 0 then begin
+      drain_pending t clock st;
+      charge_fence t clock
+    end
+    else if st.pending_calls > 0 then begin
+      Stats.record_fences_saved t.stats (st.pending_calls - 1);
+      st.pending_calls <- 0
+    end
+  end;
+  validate_deps t clock ~addr ~len;
+  sync_flush t clock cat ~addr ~len
+
+let commit_flush_weak t clock cat ~addr ~len =
+  validate_deps t clock ~addr ~len;
+  flush_weak t clock cat ~addr ~len
 
 let ordering_commits_checked t =
   match t.check with None -> 0 | Some c -> c.commits_checked

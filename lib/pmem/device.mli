@@ -90,13 +90,39 @@ val fill : t -> int -> int -> char -> unit
 
 (** {1 Persistence} *)
 
+val set_batching : t -> bool -> unit
+(** Enable per-thread flush coalescing (FliT-style, off by default): with
+    batching on, {!flush} only enqueues its dirty lines into the calling
+    thread's pending set — deduplicated per cache line — and the next
+    ordering point ({!fence}, {!commit_flush}, {!flush_all}) drains the
+    set under its single fence. A crash discards pending (undrained)
+    flushes, exactly as ADR discards unflushed cache lines. *)
+
+val batching : t -> bool
+
 val flush : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
 (** Write back every dirty cache line in [addr, addr+len); clean lines are
     skipped for free, as [clwb] of a clean line is. Advances the thread's
-    clock to the completion of the slowest line (clwb...clwb; sfence). *)
+    clock to the completion of the slowest line (clwb...clwb; sfence).
+    With batching on ({!set_batching}) this defers instead: the lines
+    persist at the thread's next ordering point. *)
+
+val flush_weak : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
+(** Always-deferring {!flush} (regardless of the batching mode): enqueue
+    the span's dirty lines into the calling thread's pending set. *)
+
+val unpend : t -> Sim.Clock.t -> addr:int -> len:int -> unit
+(** Remove the span's lines from the calling thread's pending set — the
+    deferred analogue of "never flushed it": a later fence will not
+    persist them. Fault-injection hooks ([Wal.unsafe_set_skip_flush])
+    need this to keep their teeth under batching. *)
+
+val pending_flushes : t -> Sim.Clock.t -> int
+(** Lines currently deferred by this thread (test observability). *)
 
 val fence : t -> Sim.Clock.t -> unit
-(** A bare store fence (used between dependent flushes). *)
+(** Drain the calling thread's pending deferred flushes (if any), then
+    charge a store fence. *)
 
 val flush_all : t -> Sim.Clock.t -> Stats.category -> unit
 (** Write back every dirty line (shutdown path: persist the whole
@@ -183,8 +209,21 @@ val depends_on : ?note:string -> t -> Sim.Clock.t -> addr:int -> len:int -> unit
     zero-length dependencies are ignored. *)
 
 val commit_flush : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
-(** Exactly {!flush}, but classified as a commit point: in check mode it
-    first validates (and consumes) the thread's declared dependencies. *)
+(** A commit point: in check mode it first validates (and consumes) the
+    thread's declared dependencies, then flushes synchronously. With
+    batching on, the thread's pending deferred flushes drain (under their
+    own fence) {e before} validation — dependencies deferred by earlier
+    {!flush} calls are durable strictly before the commit retires. *)
+
+val commit_flush_weak : t -> Sim.Clock.t -> Stats.category -> addr:int -> len:int -> unit
+(** Validate (and consume) dependencies like {!commit_flush}, but defer
+    the flush itself into the pending set. For callers that batch several
+    commits behind one ordering point (WAL group commit) and have already
+    made the dependencies durable. *)
+
+val note_group_commit : t -> Sim.Clock.t -> entries:int -> unit
+(** Record one closed WAL group of [entries] appends (stats counter plus
+    a [group_commit] telemetry counter/histogram when a sink is attached). *)
 
 val ordering_commits_checked : t -> int
 val ordering_deps_tracked : t -> int

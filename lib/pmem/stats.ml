@@ -16,6 +16,12 @@ type t = {
   mutable t_read : float;
   mutable t_search : float;
   mutable t_other : float;
+  (* Batched-persistence pipeline: how much synchronous persist traffic
+     the coalescing buffers and WAL group commit absorbed. *)
+  mutable fences_saved : int;
+  mutable flushes_coalesced : int;
+  mutable group_commits : int;
+  mutable group_commit_entries : int;
   (* First [trace_limit] metadata-class flushes, as two preallocated
      parallel buffers (category tag byte + address). The former list
      prepend allocated a cons + tuple per traced flush and needed a final
@@ -40,6 +46,10 @@ let create ?(trace_limit = 1000) () =
     t_read = 0.0;
     t_search = 0.0;
     t_other = 0.0;
+    fences_saved = 0;
+    flushes_coalesced = 0;
+    group_commits = 0;
+    group_commit_entries = 0;
     trace_cats = Bytes.make (max trace_limit 1) '\000';
     trace_addrs = Array.make (max trace_limit 1) 0;
     traced = 0;
@@ -55,6 +65,10 @@ let reset t =
   t.t_read <- 0.0;
   t.t_search <- 0.0;
   t.t_other <- 0.0;
+  t.fences_saved <- 0;
+  t.flushes_coalesced <- 0;
+  t.group_commits <- 0;
+  t.group_commit_entries <- 0;
   (* Zero the trace buffers too, not just the cursor: a reset instance
      must not leak the previous run's addresses through the raw buffers,
      and must be indistinguishable from a fresh instance. *)
@@ -79,6 +93,12 @@ let record_flush t cat ~addr ~reflush ~sequential ~ns =
 
 let record_fence t ~ns = t.t_fence <- t.t_fence +. ns
 let record_read t ~ns = t.t_read <- t.t_read +. ns
+let record_fences_saved t n = if n > 0 then t.fences_saved <- t.fences_saved + n
+let record_flush_coalesced t = t.flushes_coalesced <- t.flushes_coalesced + 1
+
+let record_group_commit t ~entries =
+  t.group_commits <- t.group_commits + 1;
+  t.group_commit_entries <- t.group_commit_entries + entries
 
 let charge_work t work ~ns =
   match work with
@@ -86,6 +106,15 @@ let charge_work t work ~ns =
   | Other -> t.t_other <- t.t_other +. ns
 
 let flushes t = t.flushes
+let fences_saved t = t.fences_saved
+let flushes_coalesced t = t.flushes_coalesced
+let group_commits t = t.group_commits
+let group_commit_entries t = t.group_commit_entries
+
+let group_commit_size t =
+  if t.group_commits = 0 then 0.0
+  else float_of_int t.group_commit_entries /. float_of_int t.group_commits
+
 let reflushes t = t.reflushes
 let sequential_flushes t = t.sequentials
 let random_flushes t = t.randoms
@@ -112,7 +141,8 @@ let cat_of_name = function
   | "data" -> Some Data
   | _ -> None
 
-let json_schema = "nvalloc/stats/v1"
+let json_schema = "nvalloc/stats/v2"
+let json_schema_v1 = "nvalloc/stats/v1"
 
 let to_json t =
   let open Telemetry.Json in
@@ -137,6 +167,11 @@ let to_json t =
       ("read_ns", Num t.t_read);
       ("search_ns", Num t.t_search);
       ("other_ns", Num t.t_other);
+      ("fences_saved", Num (float_of_int t.fences_saved));
+      ("flushes_coalesced", Num (float_of_int t.flushes_coalesced));
+      ("group_commits", Num (float_of_int t.group_commits));
+      ("group_commit_entries", Num (float_of_int t.group_commit_entries));
+      ("group_commit_size", Num (group_commit_size t));
       ( "trace",
         Arr
           (List.init t.traced (fun i ->
@@ -157,10 +192,17 @@ let of_json j =
   in
   let* schema = field "schema" str j in
   let* () =
-    if schema = json_schema then Ok ()
+    if schema = json_schema || schema = json_schema_v1 then Ok ()
     else Error (Printf.sprintf "Stats.of_json: unknown schema %S" schema)
   in
   let int_field name = field name (fun v -> Option.map int_of_float (num v)) j in
+  (* Counters introduced by v2: a v1 document predates the batching
+     pipeline, so they read back as zero. *)
+  let opt_int_field name =
+    match member name j with
+    | None when schema = json_schema_v1 -> Ok 0
+    | _ -> int_field name
+  in
   let num_field name = field name num j in
   let* trace_limit = int_field "trace_limit" in
   let* () =
@@ -179,6 +221,10 @@ let of_json j =
   let* read_ns = num_field "read_ns" in
   let* search_ns = num_field "search_ns" in
   let* other_ns = num_field "other_ns" in
+  let* fences_saved = opt_int_field "fences_saved" in
+  let* flushes_coalesced = opt_int_field "flushes_coalesced" in
+  let* group_commits = opt_int_field "group_commits" in
+  let* group_commit_entries = opt_int_field "group_commit_entries" in
   let* trace = field "trace" arr j in
   let* () =
     if List.length trace <= trace_limit then Ok ()
@@ -197,6 +243,10 @@ let of_json j =
   t.t_read <- read_ns;
   t.t_search <- search_ns;
   t.t_other <- other_ns;
+  t.fences_saved <- fences_saved;
+  t.flushes_coalesced <- flushes_coalesced;
+  t.group_commits <- group_commits;
+  t.group_commit_entries <- group_commit_entries;
   let rec load = function
     | [] -> Ok t
     | entry :: rest ->
@@ -220,7 +270,9 @@ let of_json_string s =
 
 let pp_summary ppf t =
   Format.fprintf ppf
-    "flushes=%d reflush=%d (%.1f%%) seq=%d rand=%d meta=%.0fns wal=%.0fns log=%.0fns data=%.0fns"
+    "flushes=%d reflush=%d (%.1f%%) seq=%d rand=%d meta=%.0fns wal=%.0fns log=%.0fns \
+     data=%.0fns saved_fences=%d coalesced=%d group_commits=%d (avg %.1f)"
     t.flushes t.reflushes
     (100.0 *. reflush_ratio t)
     t.sequentials t.randoms t.cat_ns.(0) t.cat_ns.(1) t.cat_ns.(2) t.cat_ns.(3)
+    t.fences_saved t.flushes_coalesced t.group_commits (group_commit_size t)

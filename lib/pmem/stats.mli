@@ -42,6 +42,17 @@ val record_fence : t -> ns:float -> unit
 val record_read : t -> ns:float -> unit
 val charge_work : t -> work -> ns:float -> unit
 
+val record_fences_saved : t -> int -> unit
+(** [n] fence charges avoided because a single drain persisted what [n+1]
+    synchronous commit sites would each have fenced for. No-op for n<=0. *)
+
+val record_flush_coalesced : t -> unit
+(** A deferred flush deduplicated against a line already pending (or
+    already persisted by the time its batch drained). *)
+
+val record_group_commit : t -> entries:int -> unit
+(** One WAL group closed, covering [entries] appends. *)
+
 (* Reporting. *)
 
 val flushes : t -> int
@@ -50,6 +61,13 @@ val flushes : t -> int
 val reflushes : t -> int
 val sequential_flushes : t -> int
 val random_flushes : t -> int
+val fences_saved : t -> int
+val flushes_coalesced : t -> int
+val group_commits : t -> int
+val group_commit_entries : t -> int
+
+val group_commit_size : t -> float
+(** Mean appends per closed WAL group; 0 when no group ever closed. *)
 
 val reflush_ratio : t -> float
 (** Fraction of flushes that were reflushes; 0 when no flushes occurred. *)
@@ -69,11 +87,13 @@ val pp_summary : Format.formatter -> t -> unit
 
 val to_json : t -> Telemetry.Json.t
 (** Every counter, time and the recorded flush trace, schema
-    ["nvalloc/stats/v1"]. *)
+    ["nvalloc/stats/v2"]. *)
 
 val of_json : Telemetry.Json.t -> (t, string) result
 (** Inverse of {!to_json}: [of_json (to_json t)] reconstructs an
-    observationally equal instance. *)
+    observationally equal instance. Documents with the pre-batching
+    schema ["nvalloc/stats/v1"] still load; their batching counters read
+    back as zero. *)
 
 val to_json_string : t -> string
 val of_json_string : string -> (t, string) result

@@ -12,6 +12,12 @@ type result = {
    too. *)
 let snapshot_period = 1024
 
+(* Idle-poll charge for the background-maintenance daemon. The scheduler
+   picks the smallest clock, so the daemon interleaves with the workers
+   every [poll] of simulated time; checkpoint work it performs charges
+   its own clock on top. *)
+let maintenance_poll_ns = 2000.0
+
 (* An instance with no threads has nothing to schedule and makes the
    per-thread root-slot partition a division by zero: reject it loudly
    instead of failing deep inside a workload. *)
@@ -43,7 +49,46 @@ let run (inst : Alloc_api.Instance.t) ~ops_of ~step_of =
     Array.init inst.Alloc_api.Instance.threads (fun tid ->
         { Sim.Scheduler.clock = inst.Alloc_api.Instance.clocks.(tid); step = wrap ~tid })
   in
-  Sim.Scheduler.run ?telem threads;
+  (* The maintenance daemon (async WAL checkpoints) runs as one extra
+     scheduler thread on its own clock: it polls while any worker is
+     live and retires with the last of them. Its clock is deliberately
+     excluded from the makespan — trailing idle polls are not workload
+     time; the contention its checkpoints cause lands on worker clocks
+     through the arena locks. *)
+  let scheduled =
+    match inst.Alloc_api.Instance.maintenance with
+    | None -> threads
+    | Some tick ->
+        let live_workers = ref (Array.length threads) in
+        let workers =
+          Array.map
+            (fun th ->
+              {
+                th with
+                Sim.Scheduler.step =
+                  (fun () ->
+                    let live = th.Sim.Scheduler.step () in
+                    if not live then decr live_workers;
+                    live);
+              })
+            threads
+        in
+        let dclock = Sim.Clock.create () in
+        let daemon =
+          {
+            Sim.Scheduler.clock = dclock;
+            step =
+              (fun () ->
+                if !live_workers = 0 then false
+                else begin
+                  if not (tick dclock) then Sim.Clock.charge dclock maintenance_poll_ns;
+                  true
+                end);
+          }
+        in
+        Array.append workers [| daemon |]
+  in
+  Sim.Scheduler.run ?telem scheduled;
   let makespan = Sim.Scheduler.makespan threads in
   (* Close the track with a final snapshot at the makespan. *)
   (match telem with Some _ -> inst.Alloc_api.Instance.snapshot makespan | None -> ());

@@ -1,8 +1,11 @@
 #!/bin/sh
 # The full local gate, in dependency order: formatting, build, unit
-# tests, host-time benchmark check, crash-plan fuzzer. Each stage is the
-# corresponding single-purpose script (or dune target), so a failure
-# names the stage and can be re-run in isolation.
+# tests, host-time benchmark check, crash-plan fuzzer, model checker.
+# Each stage is the corresponding single-purpose script (or dune
+# target), so a failure names the stage and can be re-run in isolation.
+# The fuzzer and model-checker stages sweep both persistence pipelines:
+# batched (flush coalescing + WAL group commit + async checkpointing,
+# the default config) and synchronous (--no-batch).
 #
 # Usage: scripts/check_all.sh
 set -eu

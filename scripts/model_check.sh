@@ -1,18 +1,24 @@
 #!/bin/sh
 # Build the CLI and run the model-based differential checker on its
-# committed default budget, then the mutation smoke test.
+# committed default budget, then the mutation smoke tests.
 #
-# 1. Clean gate: seed-deterministic histories over every allocator
-#    (NVAlloc-LOG/GC/IC + the six baselines), checked per step against
-#    the reference heap model and post-run against NVAlloc's deep
-#    heap-integrity walker; plus a crash scenario per NVAlloc variant
-#    through the post-crash oracle. Any violation exits non-zero with a
-#    shrunk one-line repro.
-# 2. Mutation smoke: the same budget with the PR 2 refill
-#    WAL-before-bitmap ordering bug re-introduced (--broken) must FAIL —
-#    if the seeded bug survives the checker, this script exits non-zero.
+# 1. Clean gate, batched pipeline (the default config):
+#    seed-deterministic histories over every allocator (NVAlloc-LOG/GC/IC
+#    + the six baselines), checked per step against the reference heap
+#    model and post-run against NVAlloc's deep heap-integrity walker
+#    with zero persist-ordering violations; plus a crash scenario per
+#    NVAlloc variant through the post-crash oracle.
+# 2. Clean gate, synchronous pipeline (--no-batch): the same scenarios
+#    with flush coalescing / group commit / async checkpointing forced
+#    off, so both pipelines stay independently green.
+# 3. Mutation smoke: the budget with the PR 2 refill WAL-before-bitmap
+#    ordering bug re-introduced (--broken) must FAIL, and the batched
+#    pipeline's "forgotten commit record" mutation (--broken-record:
+#    group effects persist while the group's entries never do) must
+#    FAIL — if either seeded bug survives the checker, this script
+#    exits non-zero.
 #
-# Replay a failure with: nvalloc-cli check --scenario "<line>"
+# Replay a failure with: nvalloc-cli check [--no-batch] --scenario "<line>"
 # Usage: scripts/model_check.sh [seed] [runs]
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,17 +27,33 @@ runs="${2:-2}"
 cli=./_build/default/bin/nvalloc_cli.exe
 dune build bin/nvalloc_cli.exe
 
-echo "model check: clean gate (all allocators)"
+echo "model check: clean gate, batched pipeline (all allocators)"
 "$cli" check --seed "$seed" --runs "$runs" --ops 2000 --threads 4
 
-echo "model check: crash scenarios (NVAlloc variants)"
+echo "model check: crash scenarios, batched pipeline (NVAlloc variants)"
 "$cli" check --seed "$seed" --runs "$runs" --ops 800 --threads 2 --crash 100 \
+  --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
+
+echo "model check: clean gate, synchronous pipeline (NVAlloc variants)"
+"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops 2000 --threads 4 \
+  --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
+
+echo "model check: crash scenarios, synchronous pipeline (NVAlloc variants)"
+"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops 800 --threads 2 --crash 100 \
   --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
 
 echo "model check: mutation smoke (--broken must be caught)"
 if "$cli" check --seed "$seed" --runs 8 --ops 1000 --threads 2 \
   --broken --allocators NVAlloc-LOG >/dev/null 2>&1; then
   echo "FAIL: the seeded WAL ordering bug was NOT caught" >&2
+  exit 1
+fi
+echo "mutation caught, as it must be"
+
+echo "model check: mutation smoke (--broken-record must be caught)"
+if "$cli" check --seed "$seed" --runs 8 --ops 1000 --threads 2 --crash 200 \
+  --broken-record --allocators NVAlloc-LOG >/dev/null 2>&1; then
+  echo "FAIL: the forgotten-commit-record mutation was NOT caught" >&2
   exit 1
 fi
 echo "mutation caught, as it must be"

@@ -132,6 +132,39 @@ let test_mutation_teeth () =
       | Error e -> Alcotest.failf "clean run failed (seed %d): %s" seed e)
     seeds
 
+(* Second mutation: group commit "forgets" its commit record, so a crash
+   discards entries whose effects already persisted. Only crashes can
+   expose it, so every scenario arms a countdown. *)
+let test_mutation_group_commit () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let scenario seed crash =
+    { Check.History.alloc = "NVAlloc-LOG"; seed; ops = 1000; threads = 2;
+      crash = Some crash }
+  in
+  let failing =
+    List.filter
+      (fun seed ->
+        List.exists
+          (fun crash ->
+            match Check.Runner.run ~broken_record:true (scenario seed crash) with
+            | Error _ -> true
+            | Ok () -> false)
+          [ 50; 200; 600 ])
+      seeds
+  in
+  Alcotest.(check bool) "forgotten commit record caught within 8 seeds" true
+    (failing <> []);
+  (* The same crash scenarios are clean without the mutation. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun crash ->
+          match Check.Runner.run (scenario seed crash) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "clean run failed (seed %d): %s" seed e)
+        [ 50; 200; 600 ])
+    seeds
+
 let test_checker_deterministic () =
   (* Same seed: identical verdict, and an identical shrunk repro line. *)
   let go () =
@@ -220,6 +253,8 @@ let suite =
     Alcotest.test_case "runner: all allocators" `Slow test_runner_all_allocators;
     Alcotest.test_case "runner: crash scenarios" `Slow test_runner_crash;
     Alcotest.test_case "mutation teeth" `Slow test_mutation_teeth;
+    Alcotest.test_case "mutation teeth: forgotten commit record" `Slow
+      test_mutation_group_commit;
     Alcotest.test_case "checker determinism" `Slow test_checker_deterministic;
     Alcotest.test_case "uniform unpublished-free error" `Quick test_uniform_free_error;
     Alcotest.test_case "driver validation" `Quick test_driver_validation;

@@ -33,7 +33,7 @@ let config variant =
 
 (* The scenario mixes small sizes, a large object, frees, and enough
    churn to trigger refills, slab creation and booklog traffic. *)
-let scenario t th n =
+let scenario ?(every = fun _ -> ()) t th n =
   for i = 0 to n - 1 do
     let dest = Nvalloc.root_addr t (i mod 512) in
     if Nvalloc.read_ptr t ~dest > 0 then Nvalloc.free_from t th ~dest
@@ -47,19 +47,32 @@ let scenario t th n =
         | _ -> 40 * 1024 (* large *)
       in
       ignore (Nvalloc.malloc_to t th ~size ~dest)
-    end
+    end;
+    every i
   done
 
-let run_crash_point ?lat ?torn ?(torn_seed = 0) ?recovery_crash variant
-    ~crash_after =
+let run_crash_point ?lat ?torn ?(torn_seed = 0) ?recovery_crash ?(sync = false)
+    ?(async_tick = false) variant ~crash_after =
   let cfg = config variant in
+  let cfg = if sync then Config.sync cfg else cfg in
+  (* A low ring-fraction threshold so the explicit ticks below actually
+     fire checkpoints mid-workload, putting crash points inside them. *)
+  let cfg = if async_tick then { cfg with Config.async_checkpoint = 0.05 } else cfg in
   let dev = Pmem.Device.create ?lat ~size:(128 * mib) () in
   let clock = Sim.Clock.create () in
   let t = Nvalloc.create ~config:cfg dev clock in
   let th = Nvalloc.thread t clock in
+  let every =
+    if async_tick then (fun i ->
+      if i mod 50 = 49 then
+        Array.iter
+          (fun a -> ignore (Arena.async_checkpoint_tick a clock))
+          (Nvalloc.arenas t))
+    else fun _ -> ()
+  in
   Pmem.Device.schedule_crash_after ?torn ~torn_seed dev crash_after;
   (try
-     scenario t th 600;
+     scenario ~every t th 600;
      Pmem.Device.cancel_scheduled_crash dev;
      Pmem.Device.crash dev
    with Pmem.Device.Injected_crash -> ());
@@ -132,6 +145,89 @@ let sweep_eadr variant () =
           (Printexc.to_string e))
     points
 
+(* The defaults above run the batched pipeline (flush coalescing + WAL
+   group commit); this sweep pins the synchronous configuration so both
+   persistence modes stay under the oracle. *)
+let sweep_sync variant () =
+  List.iter
+    (fun n ->
+      try run_crash_point ~sync:true variant ~crash_after:n
+      with e ->
+        Alcotest.failf "sync crash point %d (%s): %s" n (name_of variant)
+          (Printexc.to_string e))
+    points
+
+(* Crashes landing inside background-checkpoint work: the workload is
+   interleaved with explicit [Arena.async_checkpoint_tick] polls (what
+   the driver's daemon thread does) under a low occupancy threshold, so
+   many of the countdown points fall within a checkpoint's own flushes. *)
+let sweep_async_checkpoint variant () =
+  List.iter
+    (fun n ->
+      try run_crash_point ~async_tick:true variant ~crash_after:n
+      with e ->
+        Alcotest.failf "async-checkpoint crash point %d (%s): %s" n (name_of variant)
+          (Printexc.to_string e))
+    points
+
+(* The perf claim behind the pipeline, asserted at sweep scale: the same
+   workload issues measurably fewer fences and media flushes when
+   batched, and finishes earlier on the simulated clock. *)
+let test_batching_saves_fences () =
+  let run sync =
+    let cfg = config `Log in
+    let cfg = if sync then Config.sync cfg else cfg in
+    let dev = Pmem.Device.create ~size:(128 * mib) () in
+    let clock = Sim.Clock.create () in
+    let t = Nvalloc.create ~config:cfg dev clock in
+    let th = Nvalloc.thread t clock in
+    scenario t th 600;
+    Nvalloc.exit_ t clock;
+    (Pmem.Stats.flushes (Pmem.Device.stats dev), Sim.Clock.now clock, dev)
+  in
+  let sync_flushes, sync_ns, _ = run true in
+  let batch_flushes, batch_ns, bdev = run false in
+  let st = Pmem.Device.stats bdev in
+  Alcotest.(check bool) "fences saved" true (Pmem.Stats.fences_saved st > 0);
+  Alcotest.(check bool) "flushes coalesced" true (Pmem.Stats.flushes_coalesced st > 0);
+  Alcotest.(check bool) "group commits ran" true (Pmem.Stats.group_commits st > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer media flushes batched (%d vs %d sync)" batch_flushes
+       sync_flushes)
+    true
+    (batch_flushes < sync_flushes);
+  Alcotest.(check bool)
+    (Printf.sprintf "lower simulated time batched (%.0fns vs %.0fns sync)" batch_ns
+       sync_ns)
+    true (batch_ns < sync_ns)
+
+(* Batching must not cost determinism: the coalescing buffers drain in a
+   canonical (ascending-line) order, so two identical runs agree on every
+   counter and on the simulated clock. *)
+let test_batched_determinism () =
+  let run () =
+    let cfg = config `Log in
+    let dev = Pmem.Device.create ~size:(128 * mib) () in
+    let clock = Sim.Clock.create () in
+    let t = Nvalloc.create ~config:cfg dev clock in
+    let th = Nvalloc.thread t clock in
+    scenario t th 600;
+    Nvalloc.exit_ t clock;
+    let st = Pmem.Device.stats dev in
+    ( Sim.Clock.now clock,
+      Pmem.Stats.flushes st,
+      Pmem.Stats.fences_saved st,
+      Pmem.Stats.flushes_coalesced st,
+      Pmem.Stats.group_commits st )
+  in
+  let t1, f1, s1, c1, g1 = run () in
+  let t2, f2, s2, c2, g2 = run () in
+  Alcotest.(check (float 0.0)) "same simulated time" t1 t2;
+  Alcotest.(check int) "same media flushes" f1 f2;
+  Alcotest.(check int) "same fences saved" s1 s2;
+  Alcotest.(check int) "same coalesced count" c1 c2;
+  Alcotest.(check int) "same group commits" g1 g2
+
 (* Generator-driven sweep: the model checker's history generator (morph
    churn, tcache-overflow bursts, cross-thread frees, boundary sizes)
    replaces the hand-written scenario above; {!Check.Runner} arms the
@@ -165,4 +261,12 @@ let suite =
     Alcotest.test_case "eADR crash sweep, GC" `Slow (sweep_eadr `Gc);
     Alcotest.test_case "generated crash sweep, LOG" `Slow (sweep_generated `Log);
     Alcotest.test_case "generated crash sweep, GC" `Slow (sweep_generated `Gc);
+    Alcotest.test_case "sync crash sweep, LOG" `Slow (sweep_sync `Log);
+    Alcotest.test_case "sync crash sweep, GC" `Slow (sweep_sync `Gc);
+    Alcotest.test_case "async-checkpoint crash sweep, LOG" `Slow
+      (sweep_async_checkpoint `Log);
+    Alcotest.test_case "async-checkpoint crash sweep, GC" `Slow
+      (sweep_async_checkpoint `Gc);
+    Alcotest.test_case "batching saves fences" `Quick test_batching_saves_fences;
+    Alcotest.test_case "batched run is deterministic" `Quick test_batched_determinism;
   ]

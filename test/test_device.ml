@@ -325,6 +325,93 @@ let test_checker_crash_voids_pending () =
   | [ v ] -> Alcotest.(check string) "the pre-crash one" "pre" v.Pmem.Device.v_dep_note
   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
 
+(* --- flush coalescing ------------------------------------------------- *)
+
+let test_batching_defers_until_fence () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  Pmem.Device.write_int64 dev 0 11L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:8;
+  (* Deferred: the persisted image is untouched until an ordering point. *)
+  Alcotest.(check int64) "not yet persistent" 0L (Pmem.Device.persisted_int64 dev 0);
+  Alcotest.(check int) "one line pending" 1 (Pmem.Device.pending_flushes dev clock);
+  Pmem.Device.fence dev clock;
+  Alcotest.(check int64) "persistent after fence" 11L (Pmem.Device.persisted_int64 dev 0);
+  Alcotest.(check int) "drained" 0 (Pmem.Device.pending_flushes dev clock)
+
+let test_batching_coalesces_same_line () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  let stats = Pmem.Device.stats dev in
+  (* Three flushes of the same line collapse to one media write-back and
+     one fence: two fences saved, two calls coalesced. *)
+  for i = 0 to 2 do
+    Pmem.Device.write_int64 dev (i * 8) (Int64.of_int (i + 1));
+    Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:(i * 8) ~len:8
+  done;
+  Pmem.Device.fence dev clock;
+  Alcotest.(check int) "one media flush" 1 (Pmem.Stats.flushes stats);
+  Alcotest.(check int) "two coalesced" 2 (Pmem.Stats.flushes_coalesced stats);
+  Alcotest.(check int) "two fences saved" 2 (Pmem.Stats.fences_saved stats)
+
+let test_batching_crash_discards_pending () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  Pmem.Device.write_int64 dev 0 42L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:8;
+  Pmem.Device.crash dev;
+  (* A deferred flush is exactly an unflushed cache line at crash time. *)
+  Alcotest.(check int64) "pending flush lost" 0L (Pmem.Device.read_int64 dev 0);
+  Pmem.Device.write_int64 dev 64 7L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:64 ~len:8;
+  Pmem.Device.fence dev clock;
+  Alcotest.(check int64) "post-crash stream works" 7L (Pmem.Device.persisted_int64 dev 64)
+
+let test_batching_commit_drains_first () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  Pmem.Device.set_check_mode dev true;
+  (* Dependency deferred by an earlier flush: commit_flush must drain the
+     pending set before validating, so no violation is recorded. *)
+  Pmem.Device.write_int64 dev 0 1L;
+  Pmem.Device.flush dev clock Pmem.Stats.Wal ~addr:0 ~len:8;
+  Pmem.Device.depends_on ~note:"deferred-dep" dev clock ~addr:0 ~len:8;
+  Pmem.Device.write_int64 dev 4096 2L;
+  Pmem.Device.commit_flush dev clock Pmem.Stats.Meta ~addr:4096 ~len:8;
+  Alcotest.(check int) "drain precedes validation" 0
+    (Pmem.Device.ordering_violation_count dev);
+  Alcotest.(check int64) "dep persisted" 1L (Pmem.Device.persisted_int64 dev 0);
+  Alcotest.(check int64) "commit persisted" 2L (Pmem.Device.persisted_int64 dev 4096)
+
+let test_unpend_drops_line () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  Pmem.Device.write_int64 dev 0 5L;
+  Pmem.Device.write_int64 dev 64 6L;
+  Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:0 ~len:72;
+  Pmem.Device.unpend dev clock ~addr:0 ~len:8;
+  Pmem.Device.fence dev clock;
+  Alcotest.(check int64) "unpended line not persisted" 0L (Pmem.Device.persisted_int64 dev 0);
+  Alcotest.(check int64) "other line persisted" 6L (Pmem.Device.persisted_int64 dev 64)
+
+let test_batching_same_seed_deterministic () =
+  (* The batched pipeline must not perturb determinism: identical op
+     sequences give identical clocks and stats. *)
+  let run () =
+    let dev, clock = mk () in
+    Pmem.Device.set_batching dev true;
+    for i = 0 to 199 do
+      Pmem.Device.write_int64 dev (i * 24 mod 4096) (Int64.of_int i);
+      Pmem.Device.flush dev clock Pmem.Stats.Data ~addr:(i * 24 mod 4096) ~len:8;
+      if i mod 7 = 0 then Pmem.Device.fence dev clock
+    done;
+    Pmem.Device.fence dev clock;
+    let s = Pmem.Device.stats dev in
+    (Sim.Clock.now clock, Pmem.Stats.flushes s, Pmem.Stats.fences_saved s)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same clock and counters" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "write/read roundtrips" `Quick test_write_read;
@@ -350,4 +437,12 @@ let suite =
       test_checker_shared_line_no_false_positive;
     Alcotest.test_case "checker: crash voids pending deps" `Quick
       test_checker_crash_voids_pending;
+    Alcotest.test_case "batching: deferred until fence" `Quick test_batching_defers_until_fence;
+    Alcotest.test_case "batching: same-line coalescing" `Quick test_batching_coalesces_same_line;
+    Alcotest.test_case "batching: crash discards pending" `Quick
+      test_batching_crash_discards_pending;
+    Alcotest.test_case "batching: commit drains before validating" `Quick
+      test_batching_commit_drains_first;
+    Alcotest.test_case "batching: unpend drops a line" `Quick test_unpend_drops_line;
+    Alcotest.test_case "batching: deterministic" `Quick test_batching_same_seed_deterministic;
   ]

@@ -200,6 +200,9 @@ let populated_stats () =
   Pmem.Stats.record_fence st ~ns:20.0;
   Pmem.Stats.record_read st ~ns:50.0;
   Pmem.Stats.charge_work st Pmem.Stats.Search ~ns:75.0;
+  Pmem.Stats.record_fences_saved st 3;
+  Pmem.Stats.record_flush_coalesced st;
+  Pmem.Stats.record_group_commit st ~entries:5;
   st
 
 let test_stats_json_roundtrip () =
@@ -211,7 +214,44 @@ let test_stats_json_roundtrip () =
       Alcotest.(check string) "round trip" s (Pmem.Stats.to_json_string st');
       Alcotest.(check int) "flushes" (Pmem.Stats.flushes st) (Pmem.Stats.flushes st');
       Alcotest.(check int) "reflushes" (Pmem.Stats.reflushes st) (Pmem.Stats.reflushes st');
+      Alcotest.(check int) "fences_saved" 3 (Pmem.Stats.fences_saved st');
+      Alcotest.(check int) "flushes_coalesced" 1 (Pmem.Stats.flushes_coalesced st');
+      Alcotest.(check int) "group_commits" 1 (Pmem.Stats.group_commits st');
+      Alcotest.(check int) "group_commit_entries" 5 (Pmem.Stats.group_commit_entries st');
       Alcotest.(check bool) "trace" true (Pmem.Stats.trace st = Pmem.Stats.trace st')
+
+(* A v1 document (recorded before the batching pipeline) still parses:
+   the batching counters default to zero. A v2 document missing them is
+   rejected, not defaulted. *)
+let test_stats_json_v1_compat () =
+  let doc schema extra =
+    Printf.sprintf
+      {|{"schema":"%s","trace_limit":8,"flushes":7,"reflushes":1,
+         "sequential_flushes":4,"random_flushes":3,"reflush_ratio":0.14,
+         "flush_ns":{"meta":100,"wal":200,"log":0,"data":300},
+         "fence_ns":20,"read_ns":50,"search_ns":75,"other_ns":0%s,
+         "trace":[]}|}
+      schema extra
+  in
+  (match Pmem.Stats.of_json_string (doc "nvalloc/stats/v1" "") with
+  | Error e -> Alcotest.fail ("v1 document rejected: " ^ e)
+  | Ok st' ->
+      Alcotest.(check int) "flushes survive" 7 (Pmem.Stats.flushes st');
+      Alcotest.(check int) "fences_saved defaults to 0" 0 (Pmem.Stats.fences_saved st');
+      Alcotest.(check int) "group_commits defaults to 0" 0 (Pmem.Stats.group_commits st'));
+  (* The same fields under the v2 schema are a truncated document: the
+     batching counters are required, not defaulted. *)
+  (match Pmem.Stats.of_json_string (doc "nvalloc/stats/v2" "") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v2 document without batching counters accepted");
+  match
+    Pmem.Stats.of_json_string
+      (doc "nvalloc/stats/v2"
+         {|,"fences_saved":3,"flushes_coalesced":1,"group_commits":1,
+           "group_commit_entries":5,"group_commit_size":5|})
+  with
+  | Error e -> Alcotest.fail ("complete v2 document rejected: " ^ e)
+  | Ok st' -> Alcotest.(check int) "v2 counters load" 3 (Pmem.Stats.fences_saved st')
 
 let test_stats_json_rejects () =
   List.iter
@@ -276,6 +316,7 @@ let suite =
     Alcotest.test_case "fuzz plan replay with sink" `Quick test_fuzz_plan_telemetry;
     Alcotest.test_case "stats: json round trip" `Quick test_stats_json_roundtrip;
     Alcotest.test_case "stats: json rejects bad input" `Quick test_stats_json_rejects;
+    Alcotest.test_case "stats: v1 back-compat" `Quick test_stats_json_v1_compat;
     Alcotest.test_case "stats: reset clears trace" `Quick test_stats_reset_clears_trace;
     Alcotest.test_case "stats: trace_limit 0" `Quick test_stats_trace_limit_zero;
     Alcotest.test_case "stats: negative trace_limit" `Quick test_stats_trace_limit_negative;

@@ -130,6 +130,130 @@ let prop_replay_roundtrip =
       let entries = Wal.replay dev ~base:0 ~entries:128 in
       List.map (fun e -> (e.Wal.addr / 8, e.Wal.dest)) entries = ops)
 
+(* --- group commit ------------------------------------------------------ *)
+
+let test_group_open_discarded_on_crash () =
+  let dev, clock = mk () in
+  let wal = Wal.create ~group:4 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  for i = 1 to 3 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Alcotest.(check int) "group open" 3 (Wal.open_group wal);
+  (* Even if the entry lines reach the media, the watermark has not
+     advanced: replay must discard the whole open group. *)
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  Pmem.Device.crash dev;
+  Alcotest.(check int) "open group lost wholesale" 0
+    (List.length (Wal.replay dev ~base:0 ~entries:256))
+
+let test_group_close_commits_batch () =
+  let dev, clock = mk () in
+  let wal = Wal.create ~group:4 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  for i = 1 to 4 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Wal.flush_group wal clock;
+  Alcotest.(check int) "group closed" 0 (Wal.open_group wal);
+  for i = 5 to 6 do
+    Wal.append wal clock Wal.Free ~addr:(i * 4096) ~dest:i
+  done;
+  Pmem.Device.crash dev;
+  (* The closed group survives; the reopened one does not. *)
+  let entries = Wal.replay dev ~base:0 ~entries:256 in
+  Alcotest.(check (list int)) "exactly the closed batch" [ 4096; 8192; 12288; 16384 ]
+    (List.map (fun e -> e.Wal.addr) entries)
+
+let test_group_deferred_effects_ride_close () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  let wal = Wal.create ~group:8 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:1;
+  (* A metadata effect deferred into the group: volatile at once,
+     persistent only at the close. *)
+  Pmem.Device.write_int64 dev 8192 99L;
+  Wal.defer_commit wal clock Pmem.Stats.Meta (Pstruct.span_of ~addr:8192 ~len:8);
+  Alcotest.(check int64) "effect volatile before close" 0L
+    (Pmem.Device.persisted_int64 dev 8192);
+  Wal.flush_group wal clock;
+  Alcotest.(check int64) "effect persistent after close" 99L
+    (Pmem.Device.persisted_int64 dev 8192);
+  Alcotest.(check int) "entry committed" 1 (List.length (Wal.replay dev ~base:0 ~entries:256))
+
+let test_group_auto_close_at_capacity () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  let wal = Wal.create ~group:2 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  for i = 1 to 2 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i;
+    Pmem.Device.write_int64 dev (16384 + (i * 64)) (Int64.of_int i);
+    Wal.defer_commit wal clock Pmem.Stats.Meta
+      (Pstruct.span_of ~addr:(16384 + (i * 64)) ~len:8)
+  done;
+  (* The second defer_commit reached the group size: closed without an
+     explicit flush_group. *)
+  Alcotest.(check int) "auto-closed" 0 (Wal.open_group wal);
+  Pmem.Device.crash dev;
+  Alcotest.(check int) "both entries durable" 2
+    (List.length (Wal.replay dev ~base:0 ~entries:256));
+  Alcotest.(check int64) "effects durable" 2L (Pmem.Device.persisted_int64 dev (16384 + 128))
+
+let test_group_checkpoint_closes_first () =
+  let dev, clock = mk () in
+  let wal = Wal.create ~group:8 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  for i = 1 to 3 do
+    Wal.append wal clock Wal.Alloc ~addr:(i * 4096) ~dest:i
+  done;
+  Wal.checkpoint wal clock;
+  Alcotest.(check int) "nothing open" 0 (Wal.open_group wal);
+  Alcotest.(check int) "ring invalidated" 0
+    (List.length (Wal.replay dev ~base:0 ~entries:256));
+  (* Fresh epoch: grouping still works after the checkpoint. *)
+  Wal.append wal clock Wal.Free ~addr:4096 ~dest:9;
+  Wal.flush_group wal clock;
+  Pmem.Device.crash dev;
+  Alcotest.(check int) "post-checkpoint group commits" 1
+    (List.length (Wal.replay dev ~base:0 ~entries:256))
+
+let test_group_sync_mode_accepts_all () =
+  (* A log written with grouping, then reopened synchronous: the sync
+     header zeroes the watermark fields, so replay falls back to
+     accept-all and sync appends are never filtered. *)
+  let dev, clock = mk () in
+  let wal = Wal.create ~group:4 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:1;
+  Wal.flush_group wal clock;
+  let wal' = Wal.reopen dev clock ~base:0 ~entries:256 ~interleave:true in
+  for i = 1 to 3 do
+    Wal.append wal' clock Wal.Alloc ~addr:(i * 8192) ~dest:i
+  done;
+  Pmem.Device.crash dev;
+  Alcotest.(check int) "sync appends all accepted" 3
+    (List.length (Wal.replay dev ~base:0 ~entries:256))
+
+let test_group_forgotten_commit_record () =
+  let dev, clock = mk () in
+  Pmem.Device.set_batching dev true;
+  let wal = Wal.create ~group:4 dev ~base:0 ~entries:256 ~interleave:true in
+  Pmem.Device.flush_all dev clock Pmem.Stats.Meta;
+  Wal.append wal clock Wal.Alloc ~addr:4096 ~dest:1;
+  Pmem.Device.write_int64 dev 8192 55L;
+  Wal.defer_commit wal clock Pmem.Stats.Meta (Pstruct.span_of ~addr:8192 ~len:8);
+  Wal.unsafe_set_skip_commit_record wal true;
+  Wal.flush_group wal clock;
+  Pmem.Device.crash dev;
+  (* The broken close persisted the watermark and the effect but dropped
+     the entry: replay finds nothing behind the commit record while the
+     effect survives — the evidence-free inconsistency the model checker
+     must catch at the allocator level. *)
+  Alcotest.(check int) "entry lost" 0 (List.length (Wal.replay dev ~base:0 ~entries:256));
+  Alcotest.(check int64) "effect leaked" 55L (Pmem.Device.persisted_int64 dev 8192)
+
 let suite =
   [
     Alcotest.test_case "append then replay" `Quick test_append_replay;
@@ -138,6 +262,16 @@ let suite =
     Alcotest.test_case "near_full and reset" `Quick test_near_full;
     Alcotest.test_case "reopen bumps the epoch" `Quick test_reopen_bumps_epoch;
     Alcotest.test_case "torn entries fail the checksum" `Quick test_torn_entry_rejected;
+    Alcotest.test_case "group: open group lost on crash" `Quick
+      test_group_open_discarded_on_crash;
+    Alcotest.test_case "group: close commits the batch" `Quick test_group_close_commits_batch;
+    Alcotest.test_case "group: deferred effects ride the close" `Quick
+      test_group_deferred_effects_ride_close;
+    Alcotest.test_case "group: auto-close at capacity" `Quick test_group_auto_close_at_capacity;
+    Alcotest.test_case "group: checkpoint closes first" `Quick test_group_checkpoint_closes_first;
+    Alcotest.test_case "group: sync reopen accepts all" `Quick test_group_sync_mode_accepts_all;
+    Alcotest.test_case "group: forgotten commit record" `Quick
+      test_group_forgotten_commit_record;
     QCheck_alcotest.to_alcotest prop_interleaved_appends_rotate_lines;
     QCheck_alcotest.to_alcotest prop_sequential_appends_reflush;
     QCheck_alcotest.to_alcotest prop_replay_roundtrip;
