@@ -198,10 +198,10 @@ let stats_cmd =
   in
   let json =
     let doc =
-      "Print the device's flush statistics as JSON (schema nvalloc/stats/v2: \
-       v1 plus the batching counters fences_saved, flushes_coalesced, \
-       group_commits, group_commit_entries; v1 documents still parse, the \
-       counters default to 0)."
+      "Print the device's flush statistics as JSON (schema nvalloc/stats/v3: \
+       v2 plus the media-fault counters poison_hits, media_repairs, \
+       media_quarantines, bitrot_flips, scrub_passes; v1 and v2 documents \
+       still parse, counters their schema predates default to 0)."
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
@@ -304,29 +304,76 @@ let fuzz_cmd =
     in
     Arg.(value & opt bool true & info [ "check-order" ] ~docv:"BOOL" ~doc)
   in
+  let broken_scrub =
+    let doc =
+      "Demo mode: make every media scrub pass \"bless\" a damaged primary \
+       (recompute its checksum over the corrupt bytes) instead of repairing \
+       it from the replica, to show the media mutation being caught on plans \
+       with a scrub step."
+    in
+    Arg.(value & flag & info [ "broken-scrub" ] ~doc)
+  in
+  let media =
+    let doc =
+      "Sample media-fault plans: each draws poisoned-line, bit-rot and/or \
+       inject-then-scrub steps, runs with media replication on, and pins \
+       the LOG variant."
+    in
+    Arg.(value & flag & info [ "media" ] ~doc)
+  in
+  let poison_n =
+    let doc = "Pin $(docv) poisoned metadata lines on every plan (implies media sampling)." in
+    Arg.(value & opt int 0 & info [ "poison" ] ~docv:"N" ~doc)
+  in
+  let bitrot_n =
+    let doc = "Pin $(docv) at-rest bit flips on every plan (implies media sampling)." in
+    Arg.(value & opt int 0 & info [ "bitrot" ] ~docv:"N" ~doc)
+  in
+  let scrub =
+    let doc =
+      "Pin the inject-then-scrub step on every plan (implies media sampling); \
+       the step poisons a live slab header and immediately runs a scrub pass."
+    in
+    Arg.(value & flag & info [ "scrub" ] ~doc)
+  in
   let tail =
     let doc =
       "On a failing plan, replay it with telemetry attached and dump the \
        last $(docv) timeline events (flushes, WAL appends, recovery phases) \
-       leading up to the failure."
+       leading up to the failure, plus the device's media counters."
     in
     Arg.(value & opt int 32 & info [ "tail" ] ~docv:"N" ~doc)
   in
   (* Replay a failing plan with a telemetry sink attached and print the
      last few events: the flushes/WAL appends/recovery phases right
-     before the oracle's verdict, alongside the one-line repro. *)
-  let dump_tail ~batch ~broken ~broken_record ~check_order ~tail plan =
+     before the oracle's verdict, alongside the one-line repro and the
+     device's media-fault counters. *)
+  let dump_tail ~batch ~broken ~broken_record ~broken_scrub ~check_order ~tail plan =
     if tail > 0 then begin
       let sink = Telemetry.create () in
-      ignore (Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~check_order ~telemetry:sink plan);
+      let media_line = ref "" in
+      let on_device dev =
+        let s = Pmem.Device.stats dev in
+        media_line :=
+          Printf.sprintf
+            "poison_hits=%d media_repairs=%d quarantines=%d bitrot_flips=%d scrub_passes=%d"
+            (Pmem.Stats.poison_hits s) (Pmem.Stats.media_repairs s)
+            (Pmem.Stats.media_quarantines s) (Pmem.Stats.bitrot_flips s)
+            (Pmem.Stats.scrub_passes s)
+      in
+      ignore
+        (Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~broken_scrub ~check_order
+           ~telemetry:sink ~on_device plan);
       let events = Telemetry.tail_events sink ~n:tail in
       if events <> [] then begin
         Printf.printf "  last %d telemetry events before failure:\n" (List.length events);
         List.iter (fun line -> Printf.printf "    %s\n" line) events
-      end
+      end;
+      Printf.printf "  device media counters: %s\n" !media_line
     end
   in
-  let run seed runs variant plan batch broken broken_record check_order tail =
+  let run seed runs variant plan batch broken broken_record broken_scrub media poison_n
+      bitrot_n scrub check_order tail =
     let variant =
       match variant with
       | "any" -> None
@@ -335,35 +382,58 @@ let fuzz_cmd =
       | "ic" -> Some Fault.Plan.Ic
       | v -> failwith ("unknown variant " ^ v ^ " (expected log|gc|ic|any)")
     in
+    let media = media || poison_n > 0 || bitrot_n > 0 || scrub in
+    (* Pin the flag-selected media fields over whatever was sampled or
+       parsed; seeds fall back to the plan's workload seed so pinned
+       plans stay fully determined by their one-line rendering. *)
+    let adjust (p : Fault.Plan.t) =
+      if poison_n = 0 && bitrot_n = 0 && not scrub then p
+      else
+        {
+          p with
+          Fault.Plan.poison = (if poison_n > 0 then poison_n else p.Fault.Plan.poison);
+          pseed = (if p.Fault.Plan.pseed = 0 then p.Fault.Plan.seed else p.Fault.Plan.pseed);
+          rot = (if bitrot_n > 0 then bitrot_n else p.Fault.Plan.rot);
+          rseed = (if p.Fault.Plan.rseed = 0 then p.Fault.Plan.seed else p.Fault.Plan.rseed);
+          scrub = (scrub || p.Fault.Plan.scrub);
+        }
+    in
     match plan with
     | Some line -> (
         match Fault.Plan.of_string line with
         | Error e -> failwith ("bad --plan: " ^ e)
         | Ok p -> (
-            match Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~check_order p with
+            let p = adjust p in
+            match
+              Fault.Fuzz.run_plan ~batch ~broken ~broken_record ~broken_scrub ~check_order p
+            with
             | Ok report ->
                 Format.printf "ok: %s@.  %a@." (Fault.Plan.to_string p)
                   Nvalloc_core.Nvalloc.pp_recovery_report report
             | Error reason ->
                 Format.printf "FAIL: %s@.  %s@." (Fault.Plan.to_string p) reason;
-                dump_tail ~batch ~broken ~broken_record ~check_order ~tail p;
+                dump_tail ~batch ~broken ~broken_record ~broken_scrub ~check_order ~tail p;
                 exit 1))
     | None -> (
-        match Fault.Fuzz.fuzz ~batch ~broken ~broken_record ~check_order ?variant ~seed ~runs () with
+        match
+          Fault.Fuzz.fuzz ~batch ~broken ~broken_record ~broken_scrub ~check_order ?variant
+            ~media ~adjust ~seed ~runs ()
+        with
         | None -> Printf.printf "ok: %d plans, no counterexamples (seed %d)\n" runs seed
         | Some cex ->
             Format.printf "counterexample (shrunk): %s@.  reason: %s@.  original: %s@."
               (Fault.Plan.to_string cex.Fault.Fuzz.shrunk)
               cex.Fault.Fuzz.reason
               (Fault.Plan.to_string cex.Fault.Fuzz.original);
-            dump_tail ~batch ~broken ~broken_record ~check_order ~tail cex.Fault.Fuzz.shrunk;
+            dump_tail ~batch ~broken ~broken_record ~broken_scrub ~check_order ~tail
+              cex.Fault.Fuzz.shrunk;
             exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seed $ runs $ variant $ plan $ batch_flag $ broken $ broken_record
-      $ check_order $ tail)
+      $ broken_scrub $ media $ poison_n $ bitrot_n $ scrub $ check_order $ tail)
 
 let check_cmd =
   let doc =

@@ -23,7 +23,7 @@ type t = {
 }
 
 let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
-    ?(broken_wal = false) ?(broken_record = false) () =
+    ?(broken_wal = false) ?(broken_record = false) ?(broken_scrub = false) () =
   let lat = if eadr then Pmem.Latency.eadr else Pmem.Latency.default in
   let dev = Pmem.Device.create ~lat ~size:dev_size () in
   let clocks = Array.init threads (fun _ -> Sim.Clock.create ()) in
@@ -51,6 +51,7 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
     Array.iter
       (fun a -> Wal.unsafe_set_skip_commit_record (Arena.wal a) true)
       (Nvalloc.arenas t);
+  if broken_scrub then Nvalloc.unsafe_set_broken_scrub t true;
   let handles = Array.init threads (fun tid -> Nvalloc.thread t clocks.(tid)) in
   let default_name =
     match config.Config.consistency with
@@ -95,11 +96,20 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
     iter_live = Some (fun f -> Nvalloc.iter_allocated t f);
     integrity = Some (fun () -> Nvalloc.integrity_walk t clocks.(0));
     maintenance =
-      (if config.Config.async_checkpoint > 0.0 then
+      (let checkpointing = config.Config.async_checkpoint > 0.0 in
+       let scrubbing = config.Config.media_scrub in
+       if checkpointing || scrubbing then
          Some
            (fun clock ->
-             Array.fold_left
-               (fun ran a -> Arena.async_checkpoint_tick a clock || ran)
-               false (Nvalloc.arenas t))
+             let ran =
+               checkpointing
+               && Array.fold_left
+                    (fun ran a -> Arena.async_checkpoint_tick a clock || ran)
+                    false (Nvalloc.arenas t)
+             in
+             (* Background scrub rides the same idle slots as the
+                checkpoint daemon (tentpole (c)). *)
+             let scrubbed = scrubbing && Nvalloc.scrub_tick t clock in
+             ran || scrubbed)
        else None);
   }

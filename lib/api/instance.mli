@@ -55,9 +55,11 @@ type t = {
   maintenance : (Sim.Clock.t -> bool) option;
       (** background-maintenance poll for the workload driver's daemon
           thread (NVAlloc: async WAL checkpoints over all arenas,
-          [Arena.async_checkpoint_tick]); returns whether any work ran.
-          Latency lands on the daemon's clock, off the worker critical
-          path. [None] when the allocator has none configured *)
+          [Arena.async_checkpoint_tick], plus the media scrub pass
+          [Nvalloc.scrub_tick] when [Config.media_scrub] is on); returns
+          whether any work ran. Latency lands on the daemon's clock, off
+          the worker critical path. [None] when the allocator has none
+          configured *)
 }
 
 val of_nvalloc :
@@ -69,6 +71,7 @@ val of_nvalloc :
   ?eadr_keep_interleave:bool ->
   ?broken_wal:bool ->
   ?broken_record:bool ->
+  ?broken_scrub:bool ->
   unit ->
   t
 (** Build an NVAlloc instance (LOG or GC per the config). On eADR the
@@ -85,4 +88,9 @@ val of_nvalloc :
     [broken_record] is the group-commit analogue: every arena WAL
     "forgets" its group commit record ([Wal.unsafe_set_skip_commit_record])
     — deferred effects persist while replay discards the group — for
-    mutation tests of the model-based checker. *)
+    mutation tests of the model-based checker.
+
+    [broken_scrub] seeds the media-scrub mutation
+    ([Nvalloc.unsafe_set_broken_scrub]): scrub passes bless damaged
+    primaries instead of repairing them from replicas, for mutation
+    tests of the crash/media oracle. *)

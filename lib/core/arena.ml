@@ -17,6 +17,8 @@ type t = {
      return each block through the slab's owning arena — its freelists,
      LRU and extent allocator — not the draining one. *)
   mutable peers : t array;
+  mutable dropped_frees : int;
+      (* frees into quarantined slabs, swallowed (graceful degradation) *)
   layouts : Slab.layout array; (* per class, under this config's mapping *)
   mapping : Bitmap.mapping;
   on_slab_created : Slab.t -> unit;
@@ -72,6 +74,7 @@ let build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destr
     all_slabs = Hashtbl.create 64;
     thread_tcaches = [];
     peers = [||];
+    dropped_frees = 0;
     layouts = Array.init Size_class.count (fun c -> Slab.layout_of_class ~class_idx:c ~mapping);
     mapping;
     on_slab_created;
@@ -107,6 +110,7 @@ let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_exte
     if config.Config.log_bookkeeping then
       Some
         (Booklog.create (Heap.device heap)
+           ~replicate:config.Config.media_replication
            ~base:(Heap.booklog_base heap ~arena:index)
            ~chunks:config.Config.booklog_chunks ~interleave:config.Config.interleave_log)
     else None
@@ -119,7 +123,7 @@ let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_exte
       if config.Config.consistency = Config.Log_based then config.Config.wal_group_commit
       else 0
     in
-    Wal.create (Heap.device heap) ~group
+    Wal.create (Heap.device heap) ~group ~replicate:config.Config.media_replication
       ~base:(Heap.wal_base heap ~arena:index)
       ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal
   in
@@ -174,10 +178,28 @@ let lru_remove t s =
 let flush_meta t clock ~addr ~len =
   Pmem.Device.flush t.dev clock Pmem.Stats.Meta ~addr ~len
 
+let replicate_meta t = t.config.Config.media_replication
+
+(* Commit a slab's fixed header fields: refresh the guard checksum (same
+   line — free), commit, then mirror into the slab's guard-replica line
+   when replication is on. Every header-mutating protocol step funnels
+   through here so a poisoned or rotten header line stays repairable. *)
+let commit_slab_header ?deps t clock addr =
+  let r = Slab.guard_record addr in
+  Guard.refresh t.dev r;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta ?deps (Slab.header_commit_span addr);
+  if replicate_meta t then Guard.write_replica t.dev clock r
+
 let new_slab t clock class_idx =
   let veh = Extent.malloc t.large clock ~size:Slab.slab_bytes ~kind:Booklog.Slab_extent in
   let layout = t.layouts.(class_idx) in
   let s = Slab.format t.dev ~addr:veh.Extent.addr ~arena:t.idx ~mapping:t.mapping layout in
+  if replicate_meta t then begin
+    (* Birth the replica valid; its dirty line persists with the header
+       flush below. *)
+    let r = Slab.guard_record s.Slab.addr in
+    Pmem.Device.blit t.dev ~src:r.Guard.primary ~dst:r.Guard.replica ~len:(r.Guard.len + 2)
+  end;
   (* Persist the fresh header and (zeroed) bitmap in both variants:
      recovery derives block sizes from slab headers. *)
   flush_meta t clock ~addr:(Slab.header_addr s) ~len:Slab.slab_bytes
@@ -257,7 +279,7 @@ let transform_slab t clock s target_class =
   Header.write_old_class dev addr old_layout.class_idx;
   Header.write_old_data_off dev addr old_layout.data_off;
   Header.write_flag dev addr 1;
-  Pstruct.commit dev clock Pmem.Stats.Meta (header_commit_span addr);
+  commit_slab_header t clock addr;
   (* Step 2: record the live old blocks in the index table. *)
   List.iteri
     (fun slot b -> write_index_entry dev addr slot (pack_index_entry ~block:b ~allocated:true))
@@ -270,9 +292,8 @@ let transform_slab t clock s target_class =
   Header.write_flag dev addr 2;
   (* Flag 2 asserts the index table is complete: that is an ordering
      dependency. *)
-  Pstruct.commit dev clock Pmem.Stats.Meta
-    ~deps:(if nlive > 0 then [ ("index:record", index_span) ] else [])
-    (header_commit_span addr);
+  commit_slab_header t clock addr
+    ~deps:(if nlive > 0 then [ ("index:record", index_span) ] else []);
   (* Step 3: install the new class: header fields and rebuilt bitmap. *)
   Header.write_class dev addr target_class;
   Header.write_data_off dev addr new_layout.data_off;
@@ -306,9 +327,7 @@ let transform_slab t clock s target_class =
   Pstruct.flush_span dev clock Pmem.Stats.Meta bitmap_span;
   Header.write_flag dev addr 0;
   (* Flag 0 asserts the new class's bitmap is in place. *)
-  Pstruct.commit dev clock Pmem.Stats.Meta
-    ~deps:[ ("bitmap:rebuilt", bitmap_span) ]
-    (header_commit_span addr);
+  commit_slab_header t clock addr ~deps:[ ("bitmap:rebuilt", bitmap_span) ];
   (* Volatile state. *)
   let morph =
     {
@@ -429,8 +448,7 @@ let release_old_block t clock s (m : Slab.morph) old_b =
         [ ("index:release", Slab.index_entry_span s.Slab.addr slot) ]
       else []
     in
-    Pstruct.commit t.dev clock Pmem.Stats.Meta ~deps
-      (Slab.header_commit_span s.Slab.addr);
+    commit_slab_header t clock s.Slab.addr ~deps;
     s.Slab.morph <- None;
     lru_touch t s;
     maybe_destroy_empty t clock s
@@ -439,6 +457,14 @@ let release_old_block t clock s (m : Slab.morph) old_b =
 (* Return a tcache entry to its slab, resolving whether the address is an
    old-class block of a morphing slab or a current-class block. *)
 let return_entry t clock s addr =
+  if s.Slab.quarantined then begin
+    (* Graceful degradation: the slab's header is unrepairable and its
+       capacity written off — swallow the free (the block's line may be
+       damaged too) and count it. *)
+    t.dropped_frees <- t.dropped_frees + 1;
+    Pmem.Device.dram_op t.dev clock
+  end
+  else begin
   let off = addr - s.Slab.addr in
   if is_ic t then s.Slab.tcached <- s.Slab.tcached - 1;
   match s.Slab.morph with
@@ -447,6 +473,7 @@ let return_entry t clock s addr =
       | Some b -> release_old_block t clock s m b
       | None -> return_block t clock s (Slab.block_index s addr))
   | None -> return_block t clock s (Slab.block_index s addr)
+  end
 
 (* --- WAL ------------------------------------------------------------------ *)
 
@@ -734,3 +761,21 @@ let live_small_blocks t =
   Hashtbl.fold
     (fun _ s acc -> acc + (s.Slab.layout.Slab.nblocks - s.Slab.free_count))
     t.all_slabs 0
+
+(* --- media quarantine ------------------------------------------------------ *)
+
+(* Withdraw a slab whose header is unrepairable: capacity leaves the
+   freelists and the LRU (no future allocations or morphs), the vslab
+   leaves [all_slabs] (walks and recovery sweeps skip it), but the
+   backing extent stays activated so the address range is never reissued
+   while damaged. Frees targeting it are swallowed in [return_entry]. *)
+let quarantine_slab t s =
+  assert (not s.Slab.dying);
+  s.Slab.quarantined <- true;
+  freelist_remove t s;
+  lru_remove t s;
+  Hashtbl.remove t.all_slabs s.Slab.addr;
+  Pmem.Device.note_quarantine t.dev
+
+let dropped_frees t = t.dropped_frees
+let find_slab t addr = Hashtbl.find_opt t.all_slabs addr

@@ -153,3 +153,16 @@ val recover_rebuild_slab : t -> Sim.Clock.t -> Slab.t -> live:(int -> bool) -> i
 val live_small_blocks : t -> int
 (** Allocated-block count over all slabs, tcache-resident blocks
     excluded (test observability). *)
+
+(** {1 Media quarantine} *)
+
+val quarantine_slab : t -> Slab.t -> unit
+(** Withdraw a slab with an unrepairable header: out of the freelists,
+    the LRU and the slab table, backing extent kept (the range is never
+    reissued), future frees into it swallowed and counted. *)
+
+val dropped_frees : t -> int
+(** Frees swallowed because their slab was quarantined. *)
+
+val find_slab : t -> int -> Slab.t option
+(** Look up a live (non-quarantined) vslab by base address. *)

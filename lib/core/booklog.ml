@@ -40,9 +40,11 @@ type t = {
   mutable alt : int;
   mutable fast_runs : int;
   mutable slow_runs : int;
+  replicate : bool; (* maintain the header's guard replica (media model) *)
 }
 
-let region_bytes ~chunks = Pmem.Cacheline.size + (chunks * chunk_bytes)
+(* Header line, chunk array, one trailing guard-replica line. *)
+let region_bytes ~chunks = Pmem.Cacheline.size + (chunks * chunk_bytes) + Pmem.Cacheline.size
 let chunk_base t c = t.base + Pmem.Cacheline.size + (c * chunk_bytes)
 
 (* --- persistent header / chunk layouts --------------------------------- *)
@@ -53,8 +55,28 @@ module Hdr = struct
   let l = Pstruct.layout "booklog.header"
   let alt = Pstruct.u8 l "alt" ~off:0
   let ptrs = Pstruct.array l "ptr" ~off:4 ~count:2 Pstruct.U32
+  let cksum = Pstruct.u16 l "cksum" ~off:12
   let () = Pstruct.seal l ~size:Pmem.Cacheline.size
 end
+
+let _ = Hdr.cksum
+
+(* Media guard over the header's guarded bytes (alt bit + both list-head
+   pointers, bytes 0..11): checksum at offset 12 on the same line
+   (refreshed inside every header commit for free), replica on the
+   region's trailing line. A replica lagging by one header commit rolls
+   the alt flip or a list-head update back to its pre-commit state —
+   exactly a crash-before-commit image, which the scan/compaction path
+   already handles (the old chain stays intact until the flip). *)
+let guard_record ~base ~chunks =
+  {
+    Guard.primary = base;
+    len = 12;
+    p_ck = base + 12;
+    replica = base + Pmem.Cacheline.size + (chunks * chunk_bytes);
+    r_ck = base + Pmem.Cacheline.size + (chunks * chunk_bytes) + 12;
+    cat = Pmem.Stats.Log;
+  }
 
 (* A chunk: header line (next pointer + active flag), then 15 lines of
    packed 8 B entries. *)
@@ -69,9 +91,16 @@ module Chunk = struct
   let () = Pstruct.seal l ~size:chunk_bytes
 end
 
+let guard t = guard_record ~base:t.base ~chunks:t.nchunks
+
+let commit_header t clock span =
+  Guard.refresh t.dev (guard t);
+  Pstruct.commit t.dev clock Pmem.Stats.Log span;
+  if t.replicate then Guard.write_replica t.dev clock (guard t)
+
 let write_list_head t clock head =
   Pstruct.set_elt t.dev ~base:t.base Hdr.ptrs t.alt (head + 1);
-  Pstruct.commit t.dev clock Pmem.Stats.Log
+  commit_header t clock
     (Pstruct.union (Pstruct.span ~base:t.base Hdr.alt) (Pstruct.arr_span ~base:t.base Hdr.ptrs))
 
 let write_chunk_next t clock c next =
@@ -115,10 +144,16 @@ let slot_index ~interleave s = (slot_offset ~interleave s - Pmem.Cacheline.size)
 
 (* --- construction ------------------------------------------------------- *)
 
-let create dev ~base ~chunks ~interleave =
+let create ?(replicate = false) dev ~base ~chunks ~interleave =
   Pstruct.set dev ~base Hdr.alt 0;
   Pstruct.set_elt dev ~base Hdr.ptrs 0 0;
   Pstruct.set_elt dev ~base Hdr.ptrs 1 0;
+  Guard.refresh dev (guard_record ~base ~chunks);
+  if replicate then begin
+    let r = guard_record ~base ~chunks in
+    (* Volatile-only here; the caller persists the whole init image. *)
+    Pmem.Device.blit dev ~src:r.Guard.primary ~dst:r.Guard.replica ~len:(r.Guard.len + 2)
+  end;
   {
     dev;
     base;
@@ -135,6 +170,7 @@ let create dev ~base ~chunks ~interleave =
     alt = 0;
     fast_runs = 0;
     slow_runs = 0;
+    replicate;
   }
 
 let chunks_in_use t = Int_rb.cardinal t.vchunks
@@ -338,7 +374,7 @@ let slow_gc t clock =
     live;
   (* Publish the new list by flipping the alt bit, then recycle. *)
   Pstruct.set t.dev ~base:t.base Hdr.alt t.alt;
-  Pstruct.commit t.dev clock Pmem.Stats.Log (Pstruct.span ~base:t.base Hdr.alt);
+  commit_header t clock (Pstruct.span ~base:t.base Hdr.alt);
   t.free <- old_chunks @ t.free;
   Array.fill t.list_prev 0 t.nchunks none;
   Array.fill t.list_next 0 t.nchunks none;
@@ -399,7 +435,7 @@ let scanned_chunks dev ~base =
 
 (* --- recovery reopen ------------------------------------------------------ *)
 
-let open_existing dev clock ~base ~chunks ~interleave =
+let open_existing ?(replicate = false) dev clock ~base ~chunks ~interleave =
   let alt = Pstruct.get dev ~base Hdr.alt in
   (* Chunks of the old chain: excluded from the fresh free pool so that a
      crash during compaction leaves the old chain fully replayable. *)
@@ -427,6 +463,7 @@ let open_existing dev clock ~base ~chunks ~interleave =
       alt = 1 - alt;
       fast_runs = 0;
       slow_runs = 0;
+      replicate;
     }
   in
   (* Compact the live entries into the new chain (section 4.4's slow GC on
@@ -439,9 +476,12 @@ let open_existing dev clock ~base ~chunks ~interleave =
       live
   in
   Pstruct.set t.dev ~base:t.base Hdr.alt t.alt;
-  Pstruct.commit t.dev clock Pmem.Stats.Log (Pstruct.span ~base:t.base Hdr.alt);
+  commit_header t clock (Pstruct.span ~base:t.base Hdr.alt);
   (* The old chain is now garbage: hand its chunks to the free pool. *)
   for i = 0 to chunks - 1 do
     if in_old.(i) then t.free <- i :: t.free
   done;
   (t, live')
+
+let verify_guard dev clock ~base ~chunks =
+  Guard.verify_repair dev clock (guard_record ~base ~chunks)

@@ -41,11 +41,16 @@ val chunk_bytes : int
 (** 1024. *)
 
 val region_bytes : chunks:int -> int
+(** Header line, chunk array, trailing guard-replica line. *)
 
-val create : Pmem.Device.t -> base:int -> chunks:int -> interleave:bool -> t
-(** Format a fresh log. *)
+val create : ?replicate:bool -> Pmem.Device.t -> base:int -> chunks:int -> interleave:bool -> t
+(** Format a fresh log. [replicate] (default false) mirrors the header's
+    guarded bytes (alt bit + list heads, checksummed at offset 12) into
+    the trailing guard line after every header commit, enabling
+    {!verify_guard} repair. *)
 
 val open_existing :
+  ?replicate:bool ->
   Pmem.Device.t ->
   Sim.Clock.t ->
   base:int ->
@@ -91,3 +96,11 @@ val scan : Pmem.Device.t -> base:int -> interleave:bool -> scanned list
 
 val scanned_chunks : Pmem.Device.t -> base:int -> int
 (** Length of the active chunk list (for charging recovery reads). *)
+
+val guard_record : base:int -> chunks:int -> Guard.record
+
+val verify_guard : Pmem.Device.t -> Sim.Clock.t -> base:int -> chunks:int -> Guard.status
+(** Verify/repair the header record. Recovery runs this before {!scan}/
+    {!open_existing}, which read header fields and would raise
+    [Media_error] on a poisoned line. Only meaningful for logs created
+    with [replicate]. *)

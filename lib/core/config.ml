@@ -21,6 +21,10 @@ type t = {
   flush_batch : bool;
   wal_group_commit : int;
   async_checkpoint : float;
+  media_replication : bool;
+  media_scrub : bool;
+  media_scrub_interval_ns : float;
+  media_max_repair : int;
 }
 
 let log_default =
@@ -45,11 +49,25 @@ let log_default =
     flush_batch = true;
     wal_group_commit = 8;
     async_checkpoint = 0.5;
+    media_replication = false;
+    media_scrub = false;
+    media_scrub_interval_ns = 1_000_000.0;
+    media_max_repair = 3;
   }
 
 let gc_default = { log_default with consistency = Gc_based }
 
-let validate t =
+(* Conservative lower bound on the device bytes the metadata (replicas
+   included) needs: superblock page, region table + mirror + checksum
+   array, root table, per-arena WAL and bookkeeping log with their replica
+   lines, and one slab of headroom. Mirrors Heap.layout's structure
+   without depending on it. *)
+let media_floor t =
+  let wal = 64 + (t.wal_entries * 16) + 64 in
+  let booklog = if t.log_bookkeeping then 64 + (t.booklog_chunks * 1024) + 64 else 0 in
+  4096 + 32768 + 32768 + 1024 + (t.root_slots * 8) + (t.arenas * (wal + booklog)) + 65536
+
+let validate ?dev_size t =
   let reject fmt = Printf.ksprintf invalid_arg fmt in
   if t.arenas < 1 then reject "Config.arenas: need at least one arena (got %d)" t.arenas;
   if t.root_slots < 1 then
@@ -83,7 +101,28 @@ let validate t =
       t.wal_group_commit t.wal_entries;
   if not (t.async_checkpoint >= 0.0 && t.async_checkpoint <= 1.0) then
     reject "Config.async_checkpoint: must be a ring fraction within [0, 1] (got %g)"
-      t.async_checkpoint
+      t.async_checkpoint;
+  if t.media_max_repair < 1 then
+    reject
+      "Config.media_max_repair: need at least one repair attempt before quarantine (got \
+       %d)"
+      t.media_max_repair;
+  if t.media_scrub && not (t.media_scrub_interval_ns > 0.0) then
+    reject "Config.media_scrub_interval_ns: scrubbing needs a positive interval (got %g)"
+      t.media_scrub_interval_ns;
+  if t.media_scrub && not t.media_replication then
+    reject "Config.media_scrub: scrubbing repairs from replicas, enable media_replication";
+  if t.media_replication && not t.log_bookkeeping then
+    reject
+      "Config.media_replication: slab-header verification needs the bookkeeping log's \
+       authoritative extent kinds, enable log_bookkeeping";
+  match dev_size with
+  | Some size when t.media_replication && size < media_floor t ->
+      reject
+        "Config.media_replication: device too small to hold metadata replicas (need >= \
+         %d bytes, got %d)"
+        (media_floor t) size
+  | _ -> ()
 
 let ic_default = { log_default with consistency = Internal_collection }
 

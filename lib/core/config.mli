@@ -61,13 +61,35 @@ type t = {
           checkpoints any arena whose WAL is fuller than this fraction
           off the hot path. [0.0] disables the daemon (the inline
           near-full checkpoint still guards the ring). Default 0.5. *)
+  media_replication : bool;
+      (** Maintain a mirrored replica (plus content checksum) of each
+          critical metadata record — slab headers, region-table lines,
+          WAL/booklog headers, the superblock — on a distinct cache line,
+          and repair damaged primaries from it on [Media_error] or
+          checksum mismatch. Requires [log_bookkeeping] (slab-header
+          verification needs the log's authoritative extent kinds).
+          Default off: the checksums are still written (they ride inside
+          already-committed lines for free) but nothing verifies or
+          replicates. *)
+  media_scrub : bool;
+      (** Background scrub: [Instance.maintenance] idle slots walk the
+          metadata records verifying checksums and pre-emptively
+          repairing rot. Requires [media_replication]. Default off. *)
+  media_scrub_interval_ns : float;
+      (** Minimum simulated time between scrub passes. Default 1 ms. *)
+  media_max_repair : int;
+      (** Bounded-retry policy: repair attempts per damaged record before
+          it is quarantined (capacity withdrawn, allocation continues
+          degraded). Default 3. *)
 }
 
-val validate : t -> unit
+val validate : ?dev_size:int -> t -> unit
 (** Reject nonsensical configurations (zero arenas, too-small WAL ring,
-    empty root table, ...) with a descriptive [Invalid_argument] naming
-    the offending field, instead of failing deep inside [Arena]/[Wal].
-    Called by [Nvalloc.create] and [Nvalloc.recover]. *)
+    empty root table, scrubbing without replication, ...) with a
+    descriptive [Invalid_argument] naming the offending field, instead of
+    failing deep inside [Arena]/[Wal]. [dev_size], when given, also
+    rejects [media_replication] on a device too small to hold the
+    replicas. Called by [Nvalloc.create] and [Nvalloc.recover]. *)
 
 val log_default : t
 (** NVAlloc-LOG with every optimisation on (stripes = 6, SU = 20%). *)

@@ -5,12 +5,23 @@ let region_slots = 4096
 let superblock_bytes = 4096
 let region_table_off = superblock_bytes
 let region_table_bytes = region_slots * 8
-let root_table_off = region_table_off + region_table_bytes
+
+(* Guard areas for the region table: a full mirror (the "extent records"
+   replica) plus one u16 content checksum per region-table cache line,
+   shared by primary and mirror. Space is always reserved (the layout
+   must not depend on the config), maintenance is gated on
+   [Config.media_replication]. *)
+let region_lines = region_table_bytes / Pmem.Cacheline.size
+let region_mirror_off = region_table_off + region_table_bytes
+let region_ck_off = region_mirror_off + region_table_bytes
+let region_ck_bytes = region_lines * 2
+let root_table_off = (region_ck_off + region_ck_bytes + 4095) land lnot 4095
 
 type t = {
   dev : Pmem.Device.t;
   dax : Pmem.Dax.t;
   config : Config.t;
+  replicate : bool;
   wal_off : int;
   wal_stride : int;
   booklog_off : int;
@@ -18,14 +29,40 @@ type t = {
   heap_start : int;
 }
 
-(* Superblock layout, at device address 0. *)
+(* Superblock layout, at device address 0. Bytes 0..7 (magic, arenas,
+   state, one pad byte) are guarded by the checksum at offset 8; the
+   replica lives on the superblock page's second cache line. *)
 module Sb = struct
   let l = Pstruct.layout "heap.superblock"
   let magic = Pstruct.u32 l "magic" ~off:0
   let arenas = Pstruct.u16 l "arenas" ~off:4
   let state = Pstruct.u8 l "state" ~off:6
+  let cksum = Pstruct.u16 l "cksum" ~off:8
   let () = Pstruct.seal l ~size:superblock_bytes
 end
+
+let _ = Sb.cksum
+
+let sb_guard =
+  {
+    Guard.primary = 0;
+    len = 8;
+    p_ck = 8;
+    replica = Pmem.Cacheline.size;
+    r_ck = Pmem.Cacheline.size + 8;
+    cat = Pmem.Stats.Meta;
+  }
+
+let region_guard line =
+  assert (line >= 0 && line < region_lines);
+  {
+    Guard.primary = region_table_off + (line * Pmem.Cacheline.size);
+    len = Pmem.Cacheline.size;
+    p_ck = region_ck_off + (line * 2);
+    replica = region_mirror_off + (line * Pmem.Cacheline.size);
+    r_ck = region_ck_off + (line * 2);
+    cat = Pmem.Stats.Meta;
+  }
 
 (* Region table: [region_slots] packed slots right after the superblock. *)
 module Rt = struct
@@ -55,20 +92,48 @@ let layout dev (config : Config.t) =
 
 let init dev config =
   let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
+  let replicate = config.Config.media_replication in
   Pstruct.set dev ~base:0 Sb.magic magic;
   Pstruct.set dev ~base:0 Sb.arenas config.Config.arenas;
   Pstruct.set dev ~base:0 Sb.state (state_code Running);
+  Guard.refresh dev sb_guard;
   Pmem.Device.fill dev region_table_off region_table_bytes '\000';
+  if replicate then begin
+    (* Birth the guard areas valid: mirror = primary = zeros, and every
+       per-line checksum holds the zero-line sum, so scrub and recovery
+       verify untouched lines uniformly (no "never written" special
+       case). The superblock replica is synced by the first commit's
+       caller ([Nvalloc.create] persists the whole init image). *)
+    Pmem.Device.fill dev region_mirror_off region_table_bytes '\000';
+    let zero_sum = Pmem.Device.sum16 dev ~addr:region_table_off ~len:Pmem.Cacheline.size in
+    for line = 0 to region_lines - 1 do
+      Pmem.Device.write_u16 dev (region_ck_off + (line * 2)) zero_sum
+    done;
+    Pmem.Device.blit dev ~src:sb_guard.Guard.primary ~dst:sb_guard.Guard.replica
+      ~len:(sb_guard.Guard.len + 2)
+  end;
   let dax = Pmem.Dax.create ~start:heap_start dev in
-  { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start }
+  { dev; dax; config; replicate; wal_off; wal_stride; booklog_off; booklog_stride; heap_start }
 
 let open_existing dev config =
-  assert (Pstruct.get dev ~base:0 Sb.magic = magic);
-  assert (Pstruct.get dev ~base:0 Sb.arenas = config.Config.arenas);
+  (* A failed magic check on a checksum-"valid" superblock is media
+     corruption that slipped past the guard (e.g. a blessed line): name
+     it, don't assert — the fuzzer's oracle reports this message. *)
+  if Pstruct.get dev ~base:0 Sb.magic <> magic then
+    failwith
+      (Printf.sprintf "Heap.open_existing: bad superblock magic 0x%x (corrupt image)"
+         (Pstruct.get dev ~base:0 Sb.magic));
+  if Pstruct.get dev ~base:0 Sb.arenas <> config.Config.arenas then
+    failwith
+      (Printf.sprintf "Heap.open_existing: superblock records %d arenas, config has %d"
+         (Pstruct.get dev ~base:0 Sb.arenas) config.Config.arenas);
   let found = state_of_code (Pstruct.get dev ~base:0 Sb.state) in
   let wal_off, wal_stride, booklog_off, booklog_stride, heap_start = layout dev config in
+  let replicate = config.Config.media_replication in
   let dax = Pmem.Dax.create ~start:heap_start dev in
-  let t = { dev; dax; config; wal_off; wal_stride; booklog_off; booklog_stride; heap_start } in
+  let t =
+    { dev; dax; config; replicate; wal_off; wal_stride; booklog_off; booklog_stride; heap_start }
+  in
   (found, t)
 
 let device t = t.dev
@@ -77,7 +142,11 @@ let config t = t.config
 
 let set_state t clock s =
   Pstruct.set t.dev ~base:0 Sb.state (state_code s);
-  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:0 Sb.state)
+  (* The checksum shares the superblock's first line: refreshing it rides
+     the state commit for free. *)
+  Guard.refresh t.dev sb_guard;
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (Pstruct.span ~base:0 Sb.state);
+  if t.replicate then Guard.write_replica t.dev clock sb_guard
 
 let root_addr t i =
   assert (i >= 0 && i < t.config.Config.root_slots);
@@ -112,6 +181,17 @@ let read_slot dev i = Pstruct.get_elt dev ~base:region_table_off Rt.slots i
 
 let write_slot t clock i v =
   Pstruct.set_elt t.dev ~base:region_table_off Rt.slots i v;
+  (* Replica-first ordering: the new line content is staged into the
+     mirror and checksum and persisted (deferred under batching — the
+     commit below drains it first) strictly before the primary slot
+     commits. A crash between the two leaves either (old, old) or a
+     checksum that matches only the mirror, so the repair path rolls the
+     slot write forward atomically — never a torn region record. *)
+  if t.replicate then begin
+    let r = region_guard (i * 8 / Pmem.Cacheline.size) in
+    Guard.refresh t.dev r;
+    Guard.write_replica t.dev clock r
+  end;
   Pstruct.commit t.dev clock Pmem.Stats.Meta
     (Pstruct.elt_span ~base:region_table_off Rt.slots i)
 
@@ -141,3 +221,18 @@ let read_regions dev =
   !acc
 
 let regions t = read_regions t.dev
+
+(* --- media verification ------------------------------------------------ *)
+
+let replicated t = t.replicate
+let verify_superblock dev clock = Guard.verify_repair dev clock sb_guard
+
+let verify_regions dev clock =
+  let repaired = ref 0 and lost = ref 0 in
+  for line = 0 to region_lines - 1 do
+    match Guard.verify_repair dev clock (region_guard line) with
+    | Guard.Clean -> ()
+    | Guard.Repaired -> incr repaired
+    | Guard.Lost -> incr lost
+  done;
+  (!repaired, !lost)

@@ -17,6 +17,22 @@ type t = {
   arena_threads : int array;
   mutable next_thread : int;
   mutable closed : bool;
+  (* Media-fault state: address ranges written off at recovery time
+     (no vslab exists for them), runtime-quarantined vslabs (withdrawn
+     from their arena but still owning their range), frees swallowed
+     into recovery-quarantined ranges, scrub pacing, and the fuzzer's
+     broken-scrub mutation switch. *)
+  mutable quarantined_ranges : (int * int) list;
+  mutable quarantined_vslabs : Slab.t list;
+  mutable media_dropped_frees : int;
+  mutable next_scrub : float;
+  mutable broken_scrub : bool;
+  (* Lines whose persisted copy was rotted by [inject_bitrot]: the
+     injectors consult this so poison never lands on the partner of a
+     rotted copy (and vice versa) — a rot+poison double fault on a
+     non-slab record would make recovery fatal, which is a test-harness
+     artefact, not an allocator property. *)
+  mutable rotted_lines : int list;
   (* Telemetry emission state, pre-interned at attach; None (the default)
      costs one compare per malloc/free. Emission never charges clocks. *)
   mutable telem : ntelem option;
@@ -44,19 +60,23 @@ type recovery_report = {
   leaked_extents_reclaimed : int;
   gc_blocks_marked : int;
   booklog_entries : int;
+  media_repairs : int;
+  quarantined_slabs : int;
+  quarantined_bytes : int;
 }
 
 let pp_recovery_report ppf r =
   Format.fprintf ppf
     "state=%s wal_replayed=%d wal_torn_skipped=%d wal_undone=%d torn_slabs=%d \
-     leaked_blocks=%d leaked_extents=%d gc_marked=%d booklog_entries=%d"
+     leaked_blocks=%d leaked_extents=%d gc_marked=%d booklog_entries=%d media_repaired=%d \
+     quarantined=%d quarantined_bytes=%d"
     (match r.found_state with
     | Heap.Running -> "running"
     | Heap.Shutdown -> "shutdown"
     | Heap.Recovering -> "recovering")
     r.wal_entries_replayed r.torn_wal_skipped r.wal_entries_undone r.torn_slab_creations
     r.leaked_blocks_reclaimed r.leaked_extents_reclaimed r.gc_blocks_marked
-    r.booklog_entries
+    r.booklog_entries r.media_repairs r.quarantined_slabs r.quarantined_bytes
 
 (* --- owner index --------------------------------------------------------- *)
 
@@ -102,7 +122,7 @@ let effective_config config dev =
   if Pmem.Device.is_eadr dev then Config.sync config else config
 
 let create ?(config = Config.log_default) dev clock =
-  Config.validate config;
+  Config.validate ~dev_size:(Pmem.Device.size dev) config;
   let config = effective_config config dev in
   Pmem.Device.set_batching dev config.Config.flush_batch;
   let heap = Heap.init dev config in
@@ -118,6 +138,12 @@ let create ?(config = Config.log_default) dev clock =
       arena_threads = Array.make config.Config.arenas 0;
       next_thread = 0;
       closed = false;
+      quarantined_ranges = [];
+      quarantined_vslabs = [];
+      media_dropped_frees = 0;
+      next_scrub = 0.0;
+      broken_scrub = false;
+      rotted_lines = [];
       telem = None;
     }
   in
@@ -185,6 +211,119 @@ let thread t clock =
 let thread_clock th = th.clock
 let thread_arena th = th.arena
 
+(* --- media faults: demand repair and quarantine ------------------------------
+
+   The device models two media failure modes: poisoned lines (reads
+   raise [Media_error]; content scrambled in both images) and at-rest
+   bit-rot (persisted image only — surfaces at crash promotion or under
+   a scrub). Every critical metadata record carries a {!Guard} checksum
+   plus replica, so damage is repaired in place; a slab whose header
+   loses both copies is quarantined: capacity withdrawn, live blocks
+   written off, allocation continues degraded. *)
+
+let cl = Pmem.Cacheline.size
+let media_on t = t.config.Config.media_replication
+
+let in_quarantine t addr =
+  List.exists (fun (base, len) -> addr >= base && addr < base + len) t.quarantined_ranges
+  || List.exists
+       (fun s -> addr >= s.Slab.addr && addr < s.Slab.addr + Slab.slab_bytes)
+       t.quarantined_vslabs
+
+let quarantined_slabs t =
+  List.length t.quarantined_ranges + List.length t.quarantined_vslabs
+
+let quarantined_bytes t =
+  List.fold_left (fun acc (_, len) -> acc + len) 0 t.quarantined_ranges
+  + (List.length t.quarantined_vslabs * Slab.slab_bytes)
+
+(* Repair-path telemetry interns per emission: these paths run a handful
+   of times per workload, not per operation. *)
+let media_span t clock name t0 =
+  match Pmem.Device.telemetry t.dev with
+  | None -> ()
+  | Some s ->
+      Telemetry.span_named s ~tid:(Sim.Clock.id clock) ~name ~ts:t0
+        ~dur:(Sim.Clock.now clock -. t0)
+
+let quarantine_runtime t clock s =
+  let t0 = Sim.Clock.now clock in
+  Arena.quarantine_slab t.arenas.(s.Slab.arena) s;
+  (* The owner-index entry stays: the range is still the allocator's,
+     and frees into it must be swallowed, never rejected. *)
+  t.quarantined_vslabs <- s :: t.quarantined_vslabs;
+  media_span t clock "media:quarantine" t0
+
+let record_covers_line (r : Guard.record) line =
+  let within addr len = len > 0 && line >= addr / cl && line <= (addr + len - 1) / cl in
+  within r.Guard.primary r.Guard.len
+  || within r.Guard.replica r.Guard.len
+  || within r.Guard.p_ck 2 || within r.Guard.r_ck 2
+
+(* Map a damaged line to the guard record covering it: fixed metadata
+   first (superblock, region table, per-arena WAL and bookkeeping-log
+   headers), then slab headers through the owner index. [None] means the
+   line holds block data or unguarded bulk (WAL entries, log chunks,
+   bitmaps): nothing to repair from, the caller keeps the error. *)
+let guard_of_line t line =
+  let found = ref None in
+  let try_r ?slab r =
+    if !found = None && record_covers_line r line then found := Some (r, slab)
+  in
+  try_r Heap.sb_guard;
+  for l = 0 to Heap.region_lines - 1 do
+    if !found = None then try_r (Heap.region_guard l)
+  done;
+  for i = 0 to Array.length t.arenas - 1 do
+    try_r
+      (Wal.guard_record ~base:(Heap.wal_base t.heap ~arena:i)
+         ~entries:t.config.Config.wal_entries);
+    if t.config.Config.log_bookkeeping then
+      try_r
+        (Booklog.guard_record
+           ~base:(Heap.booklog_base t.heap ~arena:i)
+           ~chunks:t.config.Config.booklog_chunks)
+  done;
+  (if !found = None then
+     let addr = line * cl in
+     match Int_rb.find_last_leq t.owner_index addr with
+     | Some (_, Small_owner s) when addr < s.Slab.addr + Slab.slab_bytes ->
+         try_r ~slab:s (Slab.guard_record s.Slab.addr)
+     | _ -> ());
+  !found
+
+(* Demand repair, run before an operation touches the heap: map every
+   poisoned line to its guard record and heal it from the replica —
+   bounded attempts per record ([Config.media_max_repair]), quarantine
+   when a slab header loses both copies. Lines in already-quarantined
+   ranges stay poisoned: nothing will read them again. *)
+let handle_poison t clock =
+  List.iter
+    (fun line ->
+      if Pmem.Device.is_poisoned t.dev ~line && not (in_quarantine t (line * cl)) then
+        match guard_of_line t line with
+        | None -> ()
+        | Some (r, slab) ->
+            let t0 = Sim.Clock.now clock in
+            let status = ref Guard.Lost in
+            let attempts = ref 0 in
+            while !attempts < t.config.Config.media_max_repair && !status = Guard.Lost do
+              incr attempts;
+              status := Guard.verify_repair t.dev clock r
+            done;
+            (match !status with
+            | Guard.Clean | Guard.Repaired -> media_span t clock "media:repair" t0
+            | Guard.Lost -> (
+                match slab with
+                | Some s when not s.Slab.quarantined -> quarantine_runtime t clock s
+                | _ -> ())))
+    (Pmem.Device.poisoned_lines t.dev)
+
+(* The per-operation gate: one integer compare when the device is
+   healthy. *)
+let media_gate t clock =
+  if media_on t && Pmem.Device.poisoned_count t.dev > 0 then handle_poison t clock
+
 (* --- allocation ------------------------------------------------------------- *)
 
 (* A user-visible pointer slot (a root slot or a word inside an allocated
@@ -214,6 +353,7 @@ let malloc_to t th ~size ~dest =
   assert (not t.closed);
   assert (size > 0);
   let clock = th.clock in
+  media_gate t clock;
   let t0 = Sim.Clock.now clock in
   let addr, deps, via =
     match Size_class.of_size size with
@@ -253,36 +393,46 @@ let err_free_unpublished = "free: destination slot holds no published address"
 let free_from t th ~dest =
   assert (not t.closed);
   let clock = th.clock in
+  media_gate t clock;
   let t0 = Sim.Clock.now clock in
   let addr = read_ptr t ~dest in
   if addr <= 0 then invalid_arg err_free_unpublished;
-  (* Internal collection retracts the reference before unmarking the
-     block: a crash in between leaves an orphan the application resolves
-     via iter_allocated, never a published pointer to a freed block. The
-     logged variants keep the reverse order and let WAL replay clear the
-     dangling destination. *)
-  if t.config.Config.consistency = Config.Internal_collection then
-    publish t clock ~dest ~addr:0;
-  let deps, via =
-    match owner_lookup t clock addr with
-    | Some (Small_owner slab) ->
-        let arena = t.arenas.(slab.Slab.arena) in
-        let wal_span = Arena.free_small arena clock ~tcaches:th.tcaches slab ~addr ~dest in
-        (* The morph-release path logs no entry (wal_span = None): its
-           metadata committed inline above, so the retraction must too —
-           deferring it with no covering entry would leave the published
-           pointer dangling at a freed block across the group window. *)
-        let via = if wal_span = None then None else Some (Arena.wal arena) in
-        (Arena.wal_dep Wal.Free wal_span, via)
-    | Some (Large_owner (veh, aidx)) ->
-        assert (veh.Extent.addr = addr);
-        let arena = t.arenas.(aidx) in
-        let wal_span = Arena.log_op arena clock Wal.Large_free ~addr ~dest in
-        Arena.free_large arena clock veh;
-        (Arena.wal_dep Wal.Large_free wal_span, None)
-    | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator"
-  in
-  publish ~deps ?via t clock ~dest ~addr:0;
+  if media_on t && in_quarantine t addr then begin
+    (* Graceful degradation: the block's home metadata is written off —
+       its capacity already left the heap, so the free is swallowed and
+       only the publication retracted, keeping the image consistent. *)
+    t.media_dropped_frees <- t.media_dropped_frees + 1;
+    publish t clock ~dest ~addr:0
+  end
+  else begin
+    (* Internal collection retracts the reference before unmarking the
+       block: a crash in between leaves an orphan the application resolves
+       via iter_allocated, never a published pointer to a freed block. The
+       logged variants keep the reverse order and let WAL replay clear the
+       dangling destination. *)
+    if t.config.Config.consistency = Config.Internal_collection then
+      publish t clock ~dest ~addr:0;
+    let deps, via =
+      match owner_lookup t clock addr with
+      | Some (Small_owner slab) ->
+          let arena = t.arenas.(slab.Slab.arena) in
+          let wal_span = Arena.free_small arena clock ~tcaches:th.tcaches slab ~addr ~dest in
+          (* The morph-release path logs no entry (wal_span = None): its
+             metadata committed inline above, so the retraction must too —
+             deferring it with no covering entry would leave the published
+             pointer dangling at a freed block across the group window. *)
+          let via = if wal_span = None then None else Some (Arena.wal arena) in
+          (Arena.wal_dep Wal.Free wal_span, via)
+      | Some (Large_owner (veh, aidx)) ->
+          assert (veh.Extent.addr = addr);
+          let arena = t.arenas.(aidx) in
+          let wal_span = Arena.log_op arena clock Wal.Large_free ~addr ~dest in
+          Arena.free_large arena clock veh;
+          (Arena.wal_dep Wal.Large_free wal_span, None)
+      | None -> invalid_arg "Nvalloc.free_from: address not owned by the allocator"
+    in
+    publish ~deps ?via t clock ~dest ~addr:0
+  end;
   match t.telem with
   | None -> ()
   | Some e ->
@@ -320,10 +470,17 @@ let info_of_owner = function
 
 let owner_of_addr t addr =
   match Int_rb.find_last_leq t.owner_index addr with
-  | None -> None
-  | Some (_, o) ->
-      let i = info_of_owner o in
-      if addr < i.base + i.size then Some i else None
+  | Some (_, o) when addr < (info_of_owner o).base + (info_of_owner o).size ->
+      Some (info_of_owner o)
+  | _ ->
+      (* Recovery-quarantined ranges have no index entry (no vslab was
+         built) but remain the allocator's: queries must keep reporting
+         them so callers free (and get swallowed) instead of erroring. *)
+      List.find_map
+        (fun (base, size) ->
+          if addr >= base && addr < base + size then Some { base; size; is_slab = true }
+          else None)
+        t.quarantined_ranges
 
 let check_owner_index t =
   let prev = ref None in
@@ -530,6 +687,22 @@ let structural_walk t ~quiesced =
 let integrity_walk t clock =
   try
     if t.closed then failf "integrity walk on a closed handle";
+    (* Heal outstanding media damage first: the walker reads persisted
+       headers, and surviving poison on a repairable record is a repair
+       debt, not an integrity failure. *)
+    media_gate t clock;
+    List.iter
+      (fun s ->
+        if not s.Slab.quarantined then
+          failf "slab %#x: in the quarantine list but not flagged" s.Slab.addr;
+        if Arena.find_slab t.arenas.(s.Slab.arena) s.Slab.addr <> None then
+          failf "slab %#x: quarantined but still registered with its arena" s.Slab.addr)
+      t.quarantined_vslabs;
+    List.iter
+      (fun (base, size) ->
+        if size <> Slab.slab_bytes then
+          failf "quarantined range %#x: size %d is not one slab" base size)
+      t.quarantined_ranges;
     let _ = structural_walk t ~quiesced:false in
     (* Quiesce exactly as a clean shutdown would, but keep the heap
        running: every tcache drained, every WAL checkpointed. *)
@@ -550,7 +723,10 @@ let integrity_walk t clock =
     Ok
       (Printf.sprintf "%d slabs, %d small blocks allocated, owner index disjoint" slabs
          (allocated_small_blocks t))
-  with Integrity m -> Error m
+  with
+  | Integrity m -> Error m
+  | Pmem.Device.Media_error { op; addr; line; _ } ->
+      Error (Printf.sprintf "media error during walk: %s at %#x (line %d)" op addr line)
 
 (* Periodic heap introspection: counter events on the snapshot pseudo-
    track — per-size-class slab counts and mean occupancy, free/full/
@@ -593,12 +769,196 @@ let telemetry_snapshot t sink ~ts =
     (if denom = 0 then 0.0 else float_of_int reclaimed /. float_of_int denom);
   emit "mapped_bytes" (float_of_int (mapped_bytes t))
 
+(* --- media scrub and fault injection ------------------------------------ *)
+
+(* One scrub pass over every guarded record: rewrite at-rest rot from
+   the verified cached image, then verify/repair each checksum pair. A
+   slab whose record lost both copies is quarantined; losing any other
+   record here is only counted — the next recovery decides whether it is
+   fatal. Returns [(repaired, lost)], rot rewrites included. *)
+let scrub t clock =
+  assert (media_on t);
+  let t0 = Sim.Clock.now clock in
+  let repaired = ref 0 and lost = ref 0 in
+  let handle ?slab (r : Guard.record) =
+    (* Cost model: the scrubber reads both copies and their checksums. *)
+    Pmem.Device.charge_pm_read t.dev clock ~lines:2;
+    let n = Pmem.Device.scrub_lines t.dev ~addr:r.Guard.primary ~len:r.Guard.len in
+    let n = n + Pmem.Device.scrub_lines t.dev ~addr:r.Guard.p_ck ~len:2 in
+    let n = n + Pmem.Device.scrub_lines t.dev ~addr:r.Guard.replica ~len:r.Guard.len in
+    let n = n + Pmem.Device.scrub_lines t.dev ~addr:r.Guard.r_ck ~len:2 in
+    repaired := !repaired + n;
+    for _ = 1 to n do
+      Pmem.Device.note_media_repair t.dev
+    done;
+    if t.broken_scrub then begin
+      (* The seeded mutation (--broken-scrub): bless whatever a damaged
+         primary contains instead of repairing it from the replica. The
+         differential oracle must catch the downstream corruption. *)
+      if not (Guard.primary_ok t.dev r) then Guard.bless t.dev clock r
+    end
+    else
+      match Guard.verify_repair t.dev clock r with
+      | Guard.Clean -> ()
+      | Guard.Repaired -> incr repaired
+      | Guard.Lost -> (
+          match slab with
+          | Some s when not s.Slab.quarantined ->
+              quarantine_runtime t clock s;
+              incr lost
+          | Some _ -> ()
+          | None -> incr lost)
+  in
+  handle Heap.sb_guard;
+  for line = 0 to Heap.region_lines - 1 do
+    handle (Heap.region_guard line)
+  done;
+  for i = 0 to Array.length t.arenas - 1 do
+    handle
+      (Wal.guard_record ~base:(Heap.wal_base t.heap ~arena:i)
+         ~entries:t.config.Config.wal_entries);
+    if t.config.Config.log_bookkeeping then
+      handle
+        (Booklog.guard_record
+           ~base:(Heap.booklog_base t.heap ~arena:i)
+           ~chunks:t.config.Config.booklog_chunks)
+  done;
+  (* Collect first: a quarantine mutates the arena's slab table. *)
+  let slabs = ref [] in
+  iter_slabs t (fun s -> slabs := s :: !slabs);
+  List.iter (fun s -> handle ~slab:s (Slab.guard_record s.Slab.addr)) !slabs;
+  Pmem.Device.note_scrub_pass t.dev;
+  media_span t clock "scrub" t0;
+  (!repaired, !lost)
+
+(* Idle-slot hook for [Instance.maintenance]: at most one pass per
+   [Config.media_scrub_interval_ns] of simulated time. *)
+let scrub_tick t clock =
+  if
+    media_on t && t.config.Config.media_scrub && (not t.closed)
+    && Sim.Clock.now clock >= t.next_scrub
+  then begin
+    t.next_scrub <- Sim.Clock.now clock +. t.config.Config.media_scrub_interval_ns;
+    ignore (scrub t clock);
+    true
+  end
+  else false
+
+let unsafe_set_broken_scrub t v = t.broken_scrub <- v
+
+let dropped_frees t =
+  t.media_dropped_frees
+  + Array.fold_left (fun acc a -> acc + Arena.dropped_frees a) 0 t.arenas
+
+(* Injection candidates: the primary and replica lines of every guarded
+   record, each paired with its partner. Sampling never takes both
+   halves of one record, so a seeded fault is always repairable — the
+   acceptance bound: no block whose data lines are intact may be lost.
+   Region-table lines are excluded (their checksums share cache lines
+   across 32 records); double faults are exercised directly in tests via
+   [Device.poison]. *)
+let poison_candidates t =
+  let cands = ref [] in
+  let pair (r : Guard.record) =
+    let pl = r.Guard.primary / cl and rl = r.Guard.replica / cl in
+    cands := (pl, rl) :: (rl, pl) :: !cands
+  in
+  pair Heap.sb_guard;
+  for i = 0 to Array.length t.arenas - 1 do
+    pair
+      (Wal.guard_record ~base:(Heap.wal_base t.heap ~arena:i)
+         ~entries:t.config.Config.wal_entries);
+    if t.config.Config.log_bookkeeping then
+      pair
+        (Booklog.guard_record
+           ~base:(Heap.booklog_base t.heap ~arena:i)
+           ~chunks:t.config.Config.booklog_chunks)
+  done;
+  iter_slabs t (fun s -> pair (Slab.guard_record s.Slab.addr));
+  Array.of_list !cands
+
+let seed_poison t ~seed ~count =
+  assert (media_on t);
+  let cands = poison_candidates t in
+  let n = Array.length cands in
+  let rng = Sim.Rng.create (0x50150 lxor seed) in
+  for i = n - 1 downto 1 do
+    let j = Sim.Rng.int rng (i + 1) in
+    let tmp = cands.(i) in
+    cands.(i) <- cands.(j);
+    cands.(j) <- tmp
+  done;
+  let taken = Hashtbl.create 16 in
+  let injected = ref 0 in
+  Array.iter
+    (fun (line, partner) ->
+      if
+        !injected < count
+        && (not (Hashtbl.mem taken line))
+        && (not (Hashtbl.mem taken partner))
+        && (not (List.mem partner t.rotted_lines))
+        && not (Pmem.Device.is_poisoned t.dev ~line)
+      then begin
+        Hashtbl.replace taken line ();
+        Pmem.Device.poison t.dev ~line;
+        incr injected
+      end)
+    cands;
+  !injected
+
+(* At-rest rot over the guarded byte spans, one copy per record (the
+   partner rule again): repairable at the next crash promotion from the
+   surviving copy, or rewritten earlier by a scrub pass. *)
+let inject_bitrot t ~seed ~flips =
+  assert (media_on t);
+  let spans = ref [] in
+  let add (r : Guard.record) =
+    spans :=
+      (r.Guard.primary, r.Guard.len, r.Guard.replica)
+      :: (r.Guard.replica, r.Guard.len, r.Guard.primary)
+      :: !spans
+  in
+  add Heap.sb_guard;
+  for i = 0 to Array.length t.arenas - 1 do
+    add
+      (Wal.guard_record ~base:(Heap.wal_base t.heap ~arena:i)
+         ~entries:t.config.Config.wal_entries);
+    if t.config.Config.log_bookkeeping then
+      add
+        (Booklog.guard_record
+           ~base:(Heap.booklog_base t.heap ~arena:i)
+           ~chunks:t.config.Config.booklog_chunks)
+  done;
+  iter_slabs t (fun s -> add (Slab.guard_record s.Slab.addr));
+  let spans = Array.of_list !spans in
+  let rng = Sim.Rng.create (0xB17 lxor seed) in
+  let taken = Hashtbl.create 8 in
+  let applied = ref 0 in
+  let budget = ref (8 * flips) in
+  while !applied < flips && !budget > 0 do
+    decr budget;
+    let base, len, partner = spans.(Sim.Rng.int rng (Array.length spans)) in
+    if
+      (not (Hashtbl.mem taken partner))
+      && not (Pmem.Device.poisoned_within t.dev ~addr:partner ~len)
+    then begin
+      Hashtbl.replace taken base ();
+      let a = base + Sim.Rng.int rng len in
+      if not (Pmem.Device.is_poisoned t.dev ~line:(a / cl)) then begin
+        Pmem.Device.corrupt_bit t.dev ~addr:a ~bit:(Sim.Rng.int rng 8);
+        t.rotted_lines <- (a / cl) :: t.rotted_lines;
+        incr applied
+      end
+    end
+  done;
+  !applied
+
 (* --- recovery (section 4.4) ----------------------------------------------------- *)
 
 let charge_lines t clock n = Pmem.Device.charge_pm_read t.dev clock ~lines:n
 
 let recover ?(config = Config.log_default) dev clock =
-  Config.validate config;
+  Config.validate ~dev_size:(Pmem.Device.size dev) config;
   let config = effective_config config dev in
   Pmem.Device.set_batching dev config.Config.flush_batch;
   (* Recovery emits phase spans into a sink already attached to the
@@ -616,6 +976,26 @@ let recover ?(config = Config.log_default) dev clock =
           ~dur:(Sim.Clock.now clock -. t0);
         r
   in
+  (* 0. Media pass, before anything reads a (possibly damaged) header:
+     verify and repair the superblock and region table from their
+     replicas. Losing either is fatal — there is nothing to rebuild the
+     heap from. Per-arena log headers are verified below, once the heap
+     handle provides their bases; slab headers during extent restore. *)
+  let media = config.Config.media_replication in
+  let media_repaired = ref 0 in
+  let quarantined : (int * int) list ref = ref [] in
+  let bump = function
+    | Guard.Repaired -> incr media_repaired
+    | Guard.Clean | Guard.Lost -> ()
+  in
+  if media then
+    phase "recovery:media" (fun () ->
+        (match Heap.verify_superblock dev clock with
+        | Guard.Lost -> failwith "Nvalloc.recover: superblock unrepairable (both copies damaged)"
+        | s -> bump s);
+        let r, l = Heap.verify_regions dev clock in
+        media_repaired := !media_repaired + r;
+        if l > 0 then failwith "Nvalloc.recover: region table unrepairable");
   let found_state, heap = Heap.open_existing dev config in
   let t =
     {
@@ -629,11 +1009,41 @@ let recover ?(config = Config.log_default) dev clock =
       arena_threads = Array.make config.Config.arenas 0;
       next_thread = 0;
       closed = false;
+      quarantined_ranges = [];
+      quarantined_vslabs = [];
+      media_dropped_frees = 0;
+      next_scrub = 0.0;
+      broken_scrub = false;
+      rotted_lines = [];
       telem = None;
     }
   in
   Heap.set_state heap clock Heap.Recovering;
   let n_arenas = config.Config.arenas in
+  (* Verify/repair the per-arena log headers before the decode below
+     reads them: a poisoned header would raise, a rotten one (promoted
+     by the crash) would decode garbage. A repair from a replica that
+     trailed by one un-fenced window restores exactly a
+     crash-before-commit image, which the crash model already covers. *)
+  if media then
+    phase "recovery:media" (fun () ->
+        for i = 0 to n_arenas - 1 do
+          (match
+             Wal.verify_guard dev clock
+               ~base:(Heap.wal_base heap ~arena:i)
+               ~entries:config.Config.wal_entries
+           with
+          | Guard.Lost -> failwith "Nvalloc.recover: WAL header unrepairable"
+          | s -> bump s);
+          if config.Config.log_bookkeeping then
+            match
+              Booklog.verify_guard dev clock
+                ~base:(Heap.booklog_base heap ~arena:i)
+                ~chunks:config.Config.booklog_chunks
+            with
+            | Guard.Lost -> failwith "Nvalloc.recover: bookkeeping-log header unrepairable"
+            | s -> bump s
+        done);
   (* 1. Decode the WALs. The epochs are NOT bumped yet: they stay valid
      until the sanity pass has finished (see the [Wal.seal] calls below),
      so a crash during recovery leaves the logs replayable and recovery
@@ -666,7 +1076,8 @@ let recover ?(config = Config.log_default) dev clock =
               let base = Heap.booklog_base heap ~arena:i in
               charge_lines t clock (Booklog.scanned_chunks dev ~base * 16);
               let log, live =
-                Booklog.open_existing dev clock ~base ~chunks:config.Config.booklog_chunks
+                Booklog.open_existing dev clock ~replicate:media ~base
+                  ~chunks:config.Config.booklog_chunks
                   ~interleave:config.Config.interleave_log
               in
               booklog_live.(i) <- live;
@@ -679,7 +1090,7 @@ let recover ?(config = Config.log_default) dev clock =
       else 0
     in
     Array.init n_arenas (fun i ->
-        Wal.adopt dev ~group
+        Wal.adopt dev ~group ~replicate:media
           ~base:(Heap.wal_base heap ~arena:i)
           ~entries:config.Config.wal_entries ~interleave:config.Config.interleave_wal)
   in
@@ -753,7 +1164,25 @@ let recover ?(config = Config.log_default) dev clock =
       in
       match s.Booklog.kind with
       | Booklog.Slab_extent ->
-          if not (Slab.is_slab_header dev s.Booklog.addr) then
+          let header_lost =
+            media
+            && (match Guard.verify_repair dev clock (Slab.guard_record s.Booklog.addr) with
+               | Guard.Lost -> true
+               | Guard.Repaired ->
+                   incr media_repaired;
+                   false
+               | Guard.Clean -> false)
+          in
+          if header_lost then
+            (* Unrepairable header (both copies damaged): write the slab
+               off. No vslab is built, but the extent stays activated and
+               the range is quarantined — the address space is never
+               reissued while damaged, owner queries keep answering for
+               it, and frees into it are swallowed. Poison persists
+               across crashes, so a re-recovery reaches the same verdict
+               and recovery stays idempotent. *)
+            quarantined := (s.Booklog.addr, s.Booklog.size) :: !quarantined
+          else if not (Slab.is_slab_header dev s.Booklog.addr) then
             (* Torn slab creation: the bookkeeping entry persisted but the
                header flush did not. The extent carries no live data (the
                first refill happens only after the header is persistent):
@@ -776,6 +1205,7 @@ let recover ?(config = Config.log_default) dev clock =
           end
       | Booklog.Extent -> ())
     activated);
+  t.quarantined_ranges <- !quarantined;
   (* In-place mode marks every activated extent kind Extent; detect slabs
      by their magic. *)
   if not config.Config.log_bookkeeping then
@@ -1045,6 +1475,11 @@ let recover ?(config = Config.log_default) dev clock =
        the large-extent and morph-old-block cases were found by the
        crash-plan fuzzer.) *)
     let still_allocated addr =
+      (* A quarantined range's blocks are conservatively live: their
+         bitmap is unreadable, so no publication into it may be
+         cleared. *)
+      in_quarantine t addr
+      ||
       match owner_lookup t clock addr with
       | Some (Small_owner s) -> (
           let off = addr - s.Slab.addr in
@@ -1118,4 +1553,7 @@ let recover ?(config = Config.log_default) dev clock =
       leaked_extents_reclaimed = !leaked_extents;
       gc_blocks_marked = !marked;
       booklog_entries = Array.fold_left (fun acc l -> acc + List.length l) 0 booklog_live;
+      media_repairs = !media_repaired;
+      quarantined_slabs = List.length !quarantined;
+      quarantined_bytes = List.fold_left (fun acc (_, len) -> acc + len) 0 !quarantined;
     } )

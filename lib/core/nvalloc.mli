@@ -37,6 +37,13 @@ type recovery_report = {
   leaked_extents_reclaimed : int;
   gc_blocks_marked : int;  (** conservative-GC marks (GC variant only) *)
   booklog_entries : int;  (** live bookkeeping entries recovered *)
+  media_repairs : int;
+      (** guarded records healed from their replica during this recovery
+          (superblock, region-table lines, log headers, slab headers) *)
+  quarantined_slabs : int;
+      (** slabs whose header lost both copies: no vslab is built, the
+          range is withdrawn and owner queries keep answering for it *)
+  quarantined_bytes : int;
 }
 
 val pp_recovery_report : Format.formatter -> recovery_report -> unit
@@ -89,7 +96,9 @@ val free_from : t -> thread -> dest:int -> unit
     [dest]. Raises [Invalid_argument err_free_unpublished] when [dest]
     holds no published address (never-published or already-freed slot);
     the baselines raise the identical message, so the error is uniform
-    across every allocator. *)
+    across every allocator. A free into a quarantined range is swallowed
+    (counted in {!dropped_frees}) and only the publication retracted —
+    graceful degradation, never an error. *)
 
 val err_free_unpublished : string
 (** The exact [Invalid_argument] message raised by a free of an
@@ -111,7 +120,8 @@ type owner_info = { base : int; size : int; is_slab : bool }
 
 val owner_of_addr : t -> int -> owner_info option
 (** The slab or large extent containing the address, if any (test
-    observability; no latency charged). *)
+    observability; no latency charged). Quarantined ranges report as
+    slabs: the allocator still owns them. *)
 
 val check_owner_index : t -> (string, string) result
 (** Validate that owners in the index are disjoint (test invariant). *)
@@ -147,6 +157,50 @@ val integrity_walk : t -> Sim.Clock.t -> (string, string) result
 val slab_utilization_histogram : t -> buckets:float list -> int array
 (** Count slabs by occupancy ratio bucket; [buckets] are the upper bounds
     (e.g. [[0.3; 0.7; 1.0]] for the Figure 15(b) breakdown). *)
+
+(** {1 Media faults (robustness layer)}
+
+    Only meaningful under [Config.media_replication]. Every critical
+    metadata record (superblock, region-table lines, WAL/booklog
+    headers, slab headers) carries a {!Guard} checksum-plus-replica
+    pair; poisoned or rotten copies are healed on demand (a one-integer
+    gate on every [malloc_to]/[free_from] maps outstanding poisoned
+    lines to their records and repairs them, bounded by
+    [Config.media_max_repair]), pre-emptively by {!scrub}, and at
+    {!recover} time before any header is decoded. A slab header that
+    loses {e both} copies is quarantined: its capacity is withdrawn,
+    live blocks are written off, frees into the range are swallowed, and
+    allocation continues degraded. *)
+
+val scrub : t -> Sim.Clock.t -> int * int
+(** One scrub pass over every guarded record: rewrite at-rest bit-rot
+    from the verified cached image, verify/repair each checksum pair,
+    quarantine slabs that lost both copies. [(repaired, lost)]. *)
+
+val scrub_tick : t -> Sim.Clock.t -> bool
+(** Idle-slot hook ([Instance.maintenance]): run {!scrub} if
+    [Config.media_scrub] is on and [Config.media_scrub_interval_ns] has
+    elapsed since the last pass. Returns whether a pass ran. *)
+
+val quarantined_slabs : t -> int
+val quarantined_bytes : t -> int
+
+val dropped_frees : t -> int
+(** Frees swallowed into quarantined slabs/ranges since creation. *)
+
+val seed_poison : t -> seed:int -> count:int -> int
+(** Deterministically poison up to [count] guarded metadata lines —
+    never both copies of one record, so every seeded fault is
+    repairable. Returns the number of lines poisoned. *)
+
+val inject_bitrot : t -> seed:int -> flips:int -> int
+(** Deterministic at-rest bit flips over guarded byte spans (one copy
+    per record), in the persisted image only. Returns flips applied. *)
+
+val unsafe_set_broken_scrub : t -> bool -> unit
+(** Seeded mutation for the differential oracle: make {!scrub} bless a
+    damaged primary (recompute its checksum over the corrupt bytes)
+    instead of repairing it from the replica. *)
 
 (** {1 Telemetry} *)
 

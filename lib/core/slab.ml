@@ -17,9 +17,14 @@ let align64 n = (n + 63) land lnot 63
 
 (* The index table sits at a fixed offset before the bitmap so that a
    morph's step-2 index writes can never clobber the old bitmap, which the
-   crash-undo path may still need while the flag is 1. *)
+   crash-undo path may still need while the flag is 1. The header's guard
+   replica (a mirrored copy of the fixed fields plus checksum, see
+   {!Guard}) gets its own cache line between the index table and the
+   bitmap: damage to the header line and to its replica are independent
+   faults. *)
 let index_off = fixed_header
-let bitmap_off = fixed_header + (index_capacity * 2)
+let replica_off = fixed_header + (index_capacity * 2)
+let bitmap_off = replica_off + Pmem.Cacheline.size
 
 let layout_of_class ~class_idx ~mapping =
   let block_size = Size_class.size_of class_idx in
@@ -47,6 +52,7 @@ type t = {
   mutable lru_node : t Support.Dlist.node option;
   mutable morph : morph option;
   mutable dying : bool;
+  mutable quarantined : bool;
 }
 
 and morph = {
@@ -68,8 +74,23 @@ module Hdr = struct
   let old_class = Pstruct.u16 l "old_class" ~off:8
   let old_data = Pstruct.u16 l "old_data_off" ~off:10
   let index_count = Pstruct.u16 l "index_count" ~off:12
+  let cksum = Pstruct.u16 l "cksum" ~off:14
   let () = Pstruct.seal l ~size:fixed_header
 end
+
+(* Guarded bytes: every fixed field above, checksum excluded. *)
+let guarded_len = 14
+let _ = Hdr.cksum
+
+let guard_record addr =
+  {
+    Guard.primary = addr;
+    len = guarded_len;
+    p_ck = addr + guarded_len;
+    replica = addr + replica_off;
+    r_ck = addr + replica_off + guarded_len;
+    cat = Pmem.Stats.Meta;
+  }
 
 (* The index table: packed u16 entries at a fixed offset. *)
 module Index = struct
@@ -98,6 +119,7 @@ let format dev ~addr ~arena ~mapping layout =
   Pstruct.set dev ~base:addr Hdr.old_class no_class;
   Pstruct.set dev ~base:addr Hdr.old_data 0;
   Pstruct.set dev ~base:addr Hdr.index_count 0;
+  Guard.refresh dev (guard_record addr);
   Pmem.Device.fill dev (addr + bitmap_off) (layout.bitmap_lines * Pmem.Cacheline.size) '\000';
   let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
   assert (bitmap.Bitmap.lines = layout.bitmap_lines);
@@ -114,6 +136,7 @@ let format dev ~addr ~arena ~mapping layout =
     lru_node = None;
     morph = None;
     dying = false;
+    quarantined = false;
   }
 
 let read_class dev addr = Pstruct.get dev ~base:addr Hdr.class_
@@ -201,6 +224,7 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
       lru_node = None;
       morph = None;
       dying = false;
+      quarantined = false;
     }
   in
   (* Morphing state survives in the index table while old-class blocks are
@@ -268,7 +292,8 @@ let undo_morph dev ~addr ~mapping =
   Header.write_old_class dev addr no_class;
   Header.write_old_data_off dev addr 0;
   Header.write_index_count dev addr 0;
-  Header.write_flag dev addr 0
+  Header.write_flag dev addr 0;
+  Guard.refresh dev (guard_record addr)
 
 let recover dev ~addr ~arena ~mapping =
   let flag = Header.read_flag dev addr in

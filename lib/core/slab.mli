@@ -13,11 +13,18 @@
     Persistent layout of a slab (offsets from the slab base):
     {v
     0     magic:u16  size_class:u16  data_offset:u16  flag:u8  pad:u8
-    8     old_size_class:u16  old_data_offset:u16  index_count:u16  pad:u16
-    64    index_table   (512 entries * 2 B, fixed position)
-    1088  bitmap        (bitmap_lines * 64 B, cache-line aligned)
+    8     old_size_class:u16  old_data_offset:u16  index_count:u16  cksum:u16
+    64    index_table     (512 entries * 2 B, fixed position)
+    1088  guard replica   (mirrored copy of bytes 0..15, one cache line)
+    1152  bitmap          (bitmap_lines * 64 B, cache-line aligned)
     data_offset  blocks
     v}
+
+    [cksum] guards bytes 0..13 of the header ({!Guard}): it is refreshed
+    inside every header commit (same cache line, so it persists for
+    free), and — when [Config.media_replication] is on — mirrored
+    together with the fields into the guard-replica line so a poisoned
+    or rotten header can be repaired instead of losing the slab.
 
     The index table sits at a fixed offset {e before} the bitmap so that a
     morph's step-2 index writes can never clobber the old bitmap, which
@@ -67,6 +74,9 @@ type t = {
   mutable lru_node : t Support.Dlist.node option;  (** membership in the LRU *)
   mutable morph : morph option;
   mutable dying : bool;  (** being returned to the large allocator *)
+  mutable quarantined : bool;
+      (** header unrepairable: withdrawn from freelists and the LRU,
+          blocks written off, frees dropped (see [Nvalloc]) *)
 }
 
 (** Volatile morphing state of a slab_in. *)
@@ -106,6 +116,12 @@ val index_entry_span : int -> int -> Pstruct.span
 val header_commit_span : int -> Pstruct.span
 (** The fixed header fields the morph protocol commits as one unit (the
     first 16 bytes of the slab). *)
+
+val guard_record : int -> Guard.record
+(** The header's guard record (checksum at offset 14, replica line at
+    offset 1088) for the slab based at the given address. Every header
+    write site refreshes the checksum before committing; replication and
+    repair are driven by [Arena]/[Nvalloc]. *)
 
 val read_class : Pmem.Device.t -> int -> int
 (** [read_class dev addr] reads the size class from a slab header. *)

@@ -32,11 +32,14 @@ type t = {
   mutable gspans : Pstruct.span list; (* their entry spans, newest first *)
   mutable geffects : deferred list; (* deferred commits, newest first *)
   mutable skip_record : bool; (* fault hook, see [unsafe_set_skip_commit_record] *)
+  replicate : bool; (* maintain the header's guard replica (media model) *)
 }
 
+(* One leading header line, the entry area, one trailing guard-replica
+   line (a mirrored copy of the guarded header bytes, see {!Guard}). *)
 let region_bytes ~entries =
   assert (entries > 0 && entries mod frame_entries = 0);
-  Pmem.Cacheline.size + (entries * entry_bytes)
+  Pmem.Cacheline.size + (entries * entry_bytes) + Pmem.Cacheline.size
 
 let kind_code = function
   | Alloc -> 1
@@ -91,8 +94,28 @@ module Hdr = struct
   let gc_epoch = Pstruct.u8 l "gc_epoch" ~off:1
   let gc_ck = Pstruct.u16 l "gc_ck" ~off:2
   let gc_seq = Pstruct.u32 l "gc_seq" ~off:4
+  let cksum = Pstruct.u16 l "cksum" ~off:8
   let () = Pstruct.seal l ~size:Pmem.Cacheline.size
 end
+
+let _ = Hdr.cksum
+
+(* Media guard over the header's first word (epoch + watermark): content
+   checksum at offset 8 (same line — refreshed inside every header
+   commit for free), replica on the region's trailing line. Repairing a
+   torn or poisoned header from a replica that trails by one update
+   re-creates a state the crash model already covers: the watermark (or
+   epoch) rolls back to just before the damaged commit, whose entries
+   replay as the open-group / pre-checkpoint window. *)
+let guard_record ~base ~entries =
+  {
+    Guard.primary = base;
+    len = 8;
+    p_ck = base + 8;
+    replica = base + Pmem.Cacheline.size + (entries * entry_bytes);
+    r_ck = base + Pmem.Cacheline.size + (entries * entry_bytes) + 8;
+    cat = Pmem.Stats.Wal;
+  }
 
 (* The watermark word is 8-byte-atomic under ADR, so this checksum guards
    nothing in the simulated failure model — it is defence in depth against
@@ -139,9 +162,14 @@ let write_header t =
     Pstruct.set t.dev ~base:t.base Hdr.gc_epoch 0;
     Pstruct.set t.dev ~base:t.base Hdr.gc_ck 0;
     Pstruct.set t.dev ~base:t.base Hdr.gc_seq 0
-  end
+  end;
+  Guard.refresh t.dev (guard_record ~base:t.base ~entries:t.nentries)
 
-let create ?(group = 0) dev ~base ~entries ~interleave =
+let write_replica t clock =
+  if t.replicate then
+    Guard.write_replica t.dev clock (guard_record ~base:t.base ~entries:t.nentries)
+
+let create ?(group = 0) ?(replicate = false) dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
   assert (group >= 0);
   let t =
@@ -160,10 +188,16 @@ let create ?(group = 0) dev ~base ~entries ~interleave =
       gspans = [];
       geffects = [];
       skip_record = false;
+      replicate;
     }
   in
   (* Entry epochs are all 0 (the device zero-fills), hence invalid. *)
   write_header t;
+  if replicate then
+    (* Volatile-only here; the caller persists the whole init image. *)
+    let r = guard_record ~base ~entries in
+    Pmem.Device.blit dev ~src:r.Guard.primary ~dst:r.Guard.replica ~len:(r.Guard.len + 2)
+  else ();
   t
 
 let entries t = t.nentries
@@ -259,8 +293,10 @@ let flush_group t clock =
       Pstruct.set t.dev ~base:t.base Hdr.gc_epoch t.epoch;
       Pstruct.set t.dev ~base:t.base Hdr.gc_ck (gc_checksum ~epoch:t.epoch ~seq:t.seq);
       Pstruct.set t.dev ~base:t.base Hdr.gc_seq t.seq;
+      Guard.refresh t.dev (guard_record ~base:t.base ~entries:t.nentries);
       let w = hdr_word_span t.base in
       Pmem.Device.flush_weak t.dev clock Pmem.Stats.Wal ~addr:w.Pstruct.addr ~len:w.Pstruct.len;
+      write_replica t clock;
       Pmem.Device.fence t.dev clock;
       Pmem.Device.note_group_commit t.dev clock ~entries:t.gcount
     end;
@@ -302,9 +338,10 @@ let checkpoint t clock =
   t.epoch <- (if t.epoch >= 255 then 1 else t.epoch + 1);
   t.next <- 0;
   write_header t;
-  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base)
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base);
+  write_replica t clock
 
-let adopt ?(group = 0) dev ~base ~entries ~interleave =
+let adopt ?(group = 0) ?(replicate = false) dev ~base ~entries ~interleave =
   assert (entries mod frame_entries = 0);
   {
     dev;
@@ -321,6 +358,7 @@ let adopt ?(group = 0) dev ~base ~entries ~interleave =
     gspans = [];
     geffects = [];
     skip_record = false;
+    replicate;
   }
 
 let seal t clock =
@@ -330,12 +368,16 @@ let seal t clock =
   t.seq <- 0;
   t.ready <- true;
   write_header t;
-  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base)
+  Pstruct.commit t.dev clock Pmem.Stats.Meta (hdr_word_span t.base);
+  write_replica t clock
 
-let reopen ?group dev clock ~base ~entries ~interleave =
-  let t = adopt ?group dev ~base ~entries ~interleave in
+let reopen ?group ?replicate dev clock ~base ~entries ~interleave =
+  let t = adopt ?group ?replicate dev ~base ~entries ~interleave in
   seal t clock;
   t
+
+let verify_guard dev clock ~base ~entries =
+  Guard.verify_repair dev clock (guard_record ~base ~entries)
 
 type replayed = { kind : kind; seq : int; addr : int; dest : int }
 

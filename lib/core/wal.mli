@@ -44,10 +44,14 @@ val entry_bytes : int
 (** 16. *)
 
 val region_bytes : entries:int -> int
-(** Device bytes needed for a log of [entries] entries (header line
-    included). [entries] must be a positive multiple of 64. *)
+(** Device bytes needed for a log of [entries] entries (header line and
+    trailing guard-replica line included). [entries] must be a positive
+    multiple of 64. *)
 
-val create : ?group:int -> Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+val create :
+  ?group:int ->
+  ?replicate:bool ->
+  Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
 (** Format a fresh log (volatile image; first use flushes the header).
 
     [group] (default 0) enables group commit: up to [group] appends share
@@ -56,7 +60,12 @@ val create : ?group:int -> Pmem.Device.t -> base:int -> entries:int -> interleav
     whole batch — and their metadata effects are deferred to the group's
     close ({!defer_commit}/{!flush_group}). Replay then only accepts
     entries below the watermark: a crash mid-group loses the open group
-    wholesale, never a suffix-less prefix of its effects. *)
+    wholesale, never a suffix-less prefix of its effects.
+
+    [replicate] (default false) mirrors the guarded header bytes into
+    the region's trailing guard line after every header commit, enabling
+    {!verify_guard} repair. The header checksum itself is maintained
+    unconditionally (it rides inside the header's own line). *)
 
 val entries : t -> int
 val used : t -> int
@@ -107,12 +116,16 @@ val checkpoint : t -> Sim.Clock.t -> unit
 
 val reopen :
   ?group:int ->
+  ?replicate:bool ->
   Pmem.Device.t -> Sim.Clock.t -> base:int -> entries:int -> interleave:bool -> t
 (** Recovery: adopt an existing log region and invalidate its entries by
     bumping the epoch (one header flush). Call after {!replay}.
     Equivalent to {!adopt} immediately followed by {!seal}. *)
 
-val adopt : ?group:int -> Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
+val adopt :
+  ?group:int ->
+  ?replicate:bool ->
+  Pmem.Device.t -> base:int -> entries:int -> interleave:bool -> t
 (** Adopt an existing log region {e without} invalidating its entries:
     the persisted epoch (and hence the replay window) stays intact, so a
     crash while recovery is still running leaves the log replayable and
@@ -156,6 +169,16 @@ val replay_torn : Pmem.Device.t -> base:int -> entries:int -> replayed list * in
 (** Like {!replay}, additionally returning how many entries of the
     current epoch were skipped because their checksum failed (torn
     stores observed half-written). *)
+
+val guard_record : base:int -> entries:int -> Guard.record
+(** The header's guard record: checksum at [base+8] (same line as the
+    commit word), replica on the region's trailing line. *)
+
+val verify_guard : Pmem.Device.t -> Sim.Clock.t -> base:int -> entries:int -> Guard.status
+(** Verify/repair the header record. Recovery runs this before
+    {!replay}/{!adopt}, which read header fields and would raise
+    [Media_error] on a poisoned line. Only meaningful for logs created
+    with [replicate]. *)
 
 val replay_full :
   Pmem.Device.t -> base:int -> entries:int -> replayed list * replayed list * int

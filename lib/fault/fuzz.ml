@@ -8,10 +8,12 @@ let workload_slots = 512
 (* Seeded op mix over the first [workload_slots] root slots: frees of
    published slots interleaved with small and large allocations — enough
    churn for refills, slab creation, morphing pressure and booklog
-   traffic, all deterministic from the plan's seed. *)
-let workload t th ~seed ~ops =
+   traffic, all deterministic from the plan's seed. [inject] runs before
+   each op (1-based); the media hooks hang off it. *)
+let workload t th ~seed ~ops ~inject =
   let rng = Sim.Rng.create seed in
-  for _ = 1 to ops do
+  for op = 1 to ops do
+    inject op;
     let dest = Nvalloc.root_addr t (Sim.Rng.int rng workload_slots) in
     if Nvalloc.read_ptr t ~dest > 0 then begin
       if Sim.Rng.bool rng then Nvalloc.free_from t th ~dest
@@ -19,9 +21,39 @@ let workload t th ~seed ~ops =
     else ignore (Nvalloc.malloc_to t th ~size:sizes.(Sim.Rng.int rng (Array.length sizes)) ~dest)
   done
 
-let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false) ?(check_order = true)
-    ?telemetry (plan : Plan.t) =
+(* The scrub hook poisons the superblock line plus a live slab header
+   and runs the pass in the same step: demand repair never sees the
+   damage, so what happens next is entirely the scrubber's doing. A
+   clean scrub repairs both from their replicas; [--broken-scrub]
+   blesses the garbage instead, and recovery then chokes on the
+   checksum-"valid" superblock magic (and reclaims the "torn" slab out
+   from under its published roots) — the corruption the oracle must
+   report. The superblock target makes the catch deterministic: nothing
+   rewrites that line between the blessing and the crash, whereas a
+   blessed slab's dangling roots can be masked when every affected
+   (addr, dest) pair is still in the WAL replay window. *)
+let poison_and_scrub t dev clock =
+  let rec find i =
+    if i >= workload_slots then None
+    else
+      let addr = Nvalloc.read_ptr t ~dest:(Nvalloc.root_addr t i) in
+      if addr > 0 then
+        match Nvalloc.owner_of_addr t addr with
+        | Some { Nvalloc.base; is_slab = true; _ } -> Some base
+        | _ -> find (i + 1)
+      else find (i + 1)
+  in
+  (match find 0 with
+  | Some base -> Pmem.Device.poison dev ~line:(base / Pmem.Cacheline.size)
+  | None -> ());
+  Pmem.Device.poison dev ~line:(Heap.sb_guard.Guard.primary / Pmem.Cacheline.size);
+  ignore (Nvalloc.scrub t clock : int * int)
+
+let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false)
+    ?(broken_scrub = false) ?(check_order = true) ?telemetry ?on_device (plan : Plan.t) =
+  let media = Plan.media_active plan in
   let config = Plan.config plan.Plan.variant in
+  let config = if media then { config with Config.media_replication = true } else config in
   let config = if batch then config else Config.sync config in
   let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
   Pmem.Device.set_check_mode dev check_order;
@@ -39,11 +71,29 @@ let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false) ?(check_
     Array.iter
       (fun a -> Wal.unsafe_set_skip_commit_record (Arena.wal a) true)
       (Nvalloc.arenas t);
+  if broken_scrub then Nvalloc.unsafe_set_broken_scrub t true;
+  let inject =
+    if not media then fun _ -> ()
+    else begin
+      (* Rot before poison before scrub: the injectors partner-exclude
+         against faults already present, so this order keeps every
+         seeded fault repairable (the zero-loss bound). *)
+      let rot_at = max 1 (plan.Plan.ops / 3) in
+      let poison_at = max 1 (plan.Plan.ops / 2) in
+      let scrub_at = max 1 (3 * plan.Plan.ops / 4) in
+      fun op ->
+        if op = rot_at && plan.Plan.rot > 0 then
+          ignore (Nvalloc.inject_bitrot t ~seed:plan.Plan.rseed ~flips:plan.Plan.rot : int);
+        if op = poison_at && plan.Plan.poison > 0 then
+          ignore (Nvalloc.seed_poison t ~seed:plan.Plan.pseed ~count:plan.Plan.poison : int);
+        if op = scrub_at && plan.Plan.scrub then poison_and_scrub t dev clock
+    end
+  in
   let th = Nvalloc.thread t clock in
   Pmem.Device.schedule_crash_after ?torn:plan.Plan.torn ~torn_seed:plan.Plan.torn_seed dev
     plan.Plan.crash_after;
   (try
-     workload t th ~seed:plan.Plan.seed ~ops:plan.Plan.ops;
+     workload t th ~seed:plan.Plan.seed ~ops:plan.Plan.ops ~inject;
      (* The countdown outlived the workload: crash at the natural end. *)
      Pmem.Device.cancel_scheduled_crash dev;
      Pmem.Device.crash dev
@@ -60,13 +110,15 @@ let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false) ?(check_
         Pmem.Device.cancel_scheduled_crash dev;
         Pmem.Device.crash dev
       with Pmem.Device.Injected_crash -> ()));
-  Oracle.check ~config dev clock
+  let verdict = Oracle.check ~config dev clock in
+  (match on_device with Some f -> f dev | None -> ());
+  verdict
 
 let max_shrink_rounds = 64
 
-let shrink ?batch ?broken ?broken_record ?check_order plan ~reason =
+let shrink ?batch ?broken ?broken_record ?broken_scrub ?check_order plan ~reason =
   let fails p =
-    match run_plan ?batch ?broken ?broken_record ?check_order p with
+    match run_plan ?batch ?broken ?broken_record ?broken_scrub ?check_order p with
     | Error e -> Some e
     | Ok _ -> None
   in
@@ -83,18 +135,20 @@ let shrink ?batch ?broken ?broken_record ?check_order plan ~reason =
   in
   go plan reason max_shrink_rounds
 
-let fuzz ?batch ?broken ?broken_record ?check_order ?variant ?(on_plan = fun _ _ -> ())
-    ~seed ~runs () =
+let fuzz ?batch ?broken ?broken_record ?broken_scrub ?check_order ?variant ?media
+    ?(adjust = fun p -> p) ?(on_plan = fun _ _ -> ()) ~seed ~runs () =
   let rng = Sim.Rng.create seed in
   let rec loop i =
     if i >= runs then None
     else begin
-      let plan = Plan.sample ?variant rng in
+      let plan = adjust (Plan.sample ?variant ?media rng) in
       on_plan i plan;
-      match run_plan ?batch ?broken ?broken_record ?check_order plan with
+      match run_plan ?batch ?broken ?broken_record ?broken_scrub ?check_order plan with
       | Ok _ -> loop (i + 1)
       | Error reason ->
-          let shrunk, reason = shrink ?batch ?broken ?broken_record ?check_order plan ~reason in
+          let shrunk, reason =
+            shrink ?batch ?broken ?broken_record ?broken_scrub ?check_order plan ~reason
+          in
           Some { original = plan; shrunk; reason }
     end
   in

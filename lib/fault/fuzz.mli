@@ -27,7 +27,19 @@
     [?broken_record] makes every WAL group commit "forget" its commit
     record ({!Nvalloc_core.Wal.unsafe_set_skip_commit_record}): deferred
     effects persist while replay discards the group — the mutation the
-    model-based checker must catch. *)
+    model-based checker must catch.
+
+    [?broken_scrub] makes every scrub pass bless a damaged primary
+    instead of repairing it from the replica
+    ({!Nvalloc_core.Nvalloc.unsafe_set_broken_scrub}) — the media
+    mutation the crash oracle must catch on plans with [scrub] set.
+
+    Media plans ({!Plan.media_active}) run with
+    [Config.media_replication] forced on and fire three deterministic
+    hooks inside the workload: bit-rot at op [ops/3], poison at
+    [ops/2], and at [3*ops/4] (when [plan.scrub]) a poison-then-scrub
+    step against a live slab header — the only window in which the
+    scrubber, not demand repair, meets the damage. *)
 
 type counterexample = {
   original : Plan.t;  (** the sampled plan that first failed *)
@@ -39,19 +51,23 @@ val run_plan :
   ?batch:bool ->
   ?broken:bool ->
   ?broken_record:bool ->
+  ?broken_scrub:bool ->
   ?check_order:bool ->
   ?telemetry:Telemetry.t ->
+  ?on_device:(Pmem.Device.t -> unit) ->
   Plan.t ->
   (Nvalloc_core.Nvalloc.recovery_report, string) result
 (** Execute one plan against a fresh device and run the oracle. With
     [telemetry], the sink is attached to the plan's allocator stack
     before the workload starts, so the whole timeline — workload,
     crash(es), recovery — lands in it; simulated behaviour is unchanged
-    (the result is identical with or without a sink). *)
+    (the result is identical with or without a sink). [on_device] runs
+    after the oracle against the plan's device (the CLI dumps its media
+    counters from it). *)
 
 val shrink :
-  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?check_order:bool ->
-  Plan.t -> reason:string -> Plan.t * string
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_scrub:bool ->
+  ?check_order:bool -> Plan.t -> reason:string -> Plan.t * string
 (** Greedy shrinking: recurse on the first {!Plan.shrink_candidates}
     member that still fails (bounded number of rounds). *)
 
@@ -59,12 +75,20 @@ val fuzz :
   ?batch:bool ->
   ?broken:bool ->
   ?broken_record:bool ->
+  ?broken_scrub:bool ->
   ?check_order:bool ->
   ?variant:Plan.variant ->
+  ?media:bool ->
+  ?adjust:(Plan.t -> Plan.t) ->
   ?on_plan:(int -> Plan.t -> unit) ->
   seed:int ->
   runs:int ->
   unit ->
   counterexample option
 (** Sample and run up to [runs] plans; [None] means every plan passed.
-    [on_plan] observes each plan before it runs (progress reporting). *)
+    [on_plan] observes each plan before it runs (progress reporting).
+    [?media] passes through to {!Plan.sample}: sampled plans draw
+    poison/bit-rot/scrub faults and pin the LOG variant. [?adjust]
+    rewrites each sampled plan before it runs (the CLI uses it to pin
+    media fields from flags); the printed counterexample is the
+    adjusted plan, so one-line repros stay exact. *)

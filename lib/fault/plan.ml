@@ -10,7 +10,14 @@ type t = {
   torn : Pmem.Device.torn_mode option;
   torn_seed : int;
   recovery_crash : int option;
+  poison : int;
+  pseed : int;
+  rot : int;
+  rseed : int;
+  scrub : bool;
 }
+
+let media_active t = t.poison > 0 || t.rot > 0 || t.scrub
 
 let config variant =
   let base =
@@ -37,9 +44,19 @@ let torn_name = function
   | Some Pmem.Device.Torn_random -> "random"
 
 let to_string t =
-  Printf.sprintf "v=%s seed=%d ops=%d crash=%d torn=%s tseed=%d rcrash=%s"
-    (variant_name t.variant) t.seed t.ops t.crash_after (torn_name t.torn) t.torn_seed
-    (match t.recovery_crash with None -> "-" | Some n -> string_of_int n)
+  let base =
+    Printf.sprintf "v=%s seed=%d ops=%d crash=%d torn=%s tseed=%d rcrash=%s"
+      (variant_name t.variant) t.seed t.ops t.crash_after (torn_name t.torn) t.torn_seed
+      (match t.recovery_crash with None -> "-" | Some n -> string_of_int n)
+  in
+  (* Media fields are appended only when active, so legacy plans keep
+     their exact historical rendering (round-trip and golden stability). *)
+  if media_active t then
+    base
+    ^ Printf.sprintf " poison=%d pseed=%d rot=%d rseed=%d scrub=%d" t.poison t.pseed t.rot
+        t.rseed
+        (if t.scrub then 1 else 0)
+  else base
 
 let of_string s =
   let ( let* ) = Result.bind in
@@ -91,6 +108,14 @@ let of_string s =
     | "random" -> Ok (Some Pmem.Device.Torn_random)
     | _ -> Error (Printf.sprintf "field torn: unknown mode %S" v)
   in
+  let opt_int_field k =
+    match Hashtbl.find_opt fields k with
+    | None -> Ok 0
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "field %s: not an integer (%S)" k v))
+  in
   let* torn_seed = int_field "tseed" in
   let* recovery_crash =
     let* v = get "rcrash" in
@@ -100,14 +125,34 @@ let of_string s =
       | Some n -> Ok (Some n)
       | None -> Error (Printf.sprintf "field rcrash: expected - or an integer (%S)" v)
   in
+  let* poison = opt_int_field "poison" in
+  let* pseed = opt_int_field "pseed" in
+  let* rot = opt_int_field "rot" in
+  let* rseed = opt_int_field "rseed" in
+  let* scrub =
+    let* n = opt_int_field "scrub" in
+    match n with
+    | 0 -> Ok false
+    | 1 -> Ok true
+    | _ -> Error (Printf.sprintf "field scrub: expected 0 or 1 (got %d)" n)
+  in
   if ops < 1 then Error "ops must be >= 1"
   else if crash_after < 1 then Error "crash must be >= 1"
-  else Ok { variant; seed; ops; crash_after; torn; torn_seed; recovery_crash }
+  else if poison < 0 || rot < 0 then Error "poison/rot must be >= 0"
+  else
+    Ok
+      { variant; seed; ops; crash_after; torn; torn_seed; recovery_crash; poison; pseed; rot;
+        rseed; scrub }
 
-let sample ?variant rng =
+let sample ?variant ?(media = false) rng =
   let variant =
     match variant with
     | Some v -> v
+    (* Media plans pin the LOG variant: guard replication rides the
+       bookkeeping log ([Config.media_replication] requires
+       [log_bookkeeping]), and poisoned metadata under the GC variant's
+       conservative scan has no demand-repair window. *)
+    | None when media -> Log
     | None -> ( match Sim.Rng.int rng 3 with 0 -> Log | 1 -> Gc | _ -> Ic)
   in
   let ops = Sim.Rng.int_in rng 40 700 in
@@ -123,8 +168,19 @@ let sample ?variant rng =
   in
   let torn_seed = Sim.Rng.int rng 1_000_000 in
   let recovery_crash = if Sim.Rng.bool rng then Some (Sim.Rng.int_in rng 1 200) else None in
+  let poison, pseed, rot, rseed, scrub =
+    if not media then (0, 0, 0, 0, false)
+    else
+      (* Always at least one fault source: a media plan with all three
+         knobs at zero would silently degenerate to a legacy plan. *)
+      let poison = Sim.Rng.int rng 5 in
+      let rot = Sim.Rng.int rng 5 in
+      let scrub = Sim.Rng.int rng 3 = 0 in
+      let poison = if poison = 0 && rot = 0 && not scrub then 1 else poison in
+      (poison, Sim.Rng.int rng 1_000_000, rot, Sim.Rng.int rng 1_000_000, scrub)
+  in
   { variant; seed = Sim.Rng.int rng 1_000_000; ops; crash_after; torn; torn_seed;
-    recovery_crash }
+    recovery_crash; poison; pseed; rot; rseed; scrub }
 
 let shrink_candidates t =
   let dedup = Hashtbl.create 8 in
@@ -144,4 +200,10 @@ let shrink_candidates t =
       (match t.recovery_crash with
       | Some n when n > 1 -> { t with recovery_crash = Some (n / 2) }
       | _ -> t);
+      { t with poison = 0; rot = 0; scrub = false };
+      { t with scrub = false };
+      { t with rot = 0 };
+      { t with poison = 0 };
+      { t with poison = t.poison / 2 };
+      { t with rot = t.rot / 2 };
     ]

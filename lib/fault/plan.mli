@@ -23,7 +23,23 @@ type t = {
   torn_seed : int;  (** seed of the torn word-subset mask *)
   recovery_crash : int option;
       (** optional second crash, armed across the first [Nvalloc.recover] *)
+  poison : int;
+      (** guarded metadata lines to poison mid-workload (at op [ops/2],
+          via {!Nvalloc_core.Nvalloc.seed_poison}); 0 = none *)
+  pseed : int;  (** seed of the poison line selection *)
+  rot : int;
+      (** at-rest bit flips to inject at op [ops/3]
+          ({!Nvalloc_core.Nvalloc.inject_bitrot}); 0 = none *)
+  rseed : int;  (** seed of the bit-flip placement *)
+  scrub : bool;
+      (** at op [3*ops/4], poison a live slab header and immediately run
+          a {!Nvalloc_core.Nvalloc.scrub} pass — the window in which a
+          broken scrub ([--broken-scrub]) blesses the damage *)
 }
+
+val media_active : t -> bool
+(** Whether the plan injects any media fault ([poison], [rot] or
+    [scrub]); such plans run with [Config.media_replication] on. *)
 
 val config : variant -> Nvalloc_core.Config.t
 (** The small fixed configuration plans run under (2 arenas, 1 Ki root
@@ -31,13 +47,22 @@ val config : variant -> Nvalloc_core.Config.t
     points cover all metadata phases within a few hundred ops. *)
 
 val to_string : t -> string
-(** One line, e.g. [v=log seed=42 ops=600 crash=55 torn=prefix tseed=7 rcrash=12]. *)
+(** One line, e.g. [v=log seed=42 ops=600 crash=55 torn=prefix tseed=7 rcrash=12].
+    The media fields ([poison=… pseed=… rot=… rseed=… scrub=…]) are
+    appended only when {!media_active}, so legacy plans render exactly
+    as before. *)
 
 val of_string : string -> (t, string) result
-(** Inverse of {!to_string}; [Error] describes the first bad token. *)
+(** Inverse of {!to_string}; [Error] describes the first bad token.
+    Absent media fields default to zero/off, so historical one-line
+    repros still parse. *)
 
-val sample : ?variant:variant -> Sim.Rng.t -> t
-(** Draw a plan; the variant too, unless pinned by [?variant]. *)
+val sample : ?variant:variant -> ?media:bool -> Sim.Rng.t -> t
+(** Draw a plan; the variant too, unless pinned by [?variant]. With
+    [~media:true] (default false) the plan also draws media faults —
+    poison count, bit-rot flips and/or an inject-then-scrub step, at
+    least one of them active — and pins the LOG variant (guard
+    replication requires the bookkeeping log). *)
 
 val shrink_candidates : t -> t list
 (** Strictly simpler plans to try when [t] fails, most aggressive first:

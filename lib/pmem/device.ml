@@ -1,4 +1,5 @@
 exception Injected_crash
+exception Media_error of { op : string; addr : int; len : int; line : int }
 
 type torn_mode = Torn_prefix | Torn_suffix | Torn_random
 
@@ -49,6 +50,16 @@ type t = {
   mutable crash_after : int option;
   mutable torn : (torn_mode * int) option;
   mutable check : checker option;
+  (* Media-fault model: lines whose media is uncorrectably damaged.
+     Reads through the normal accessors raise [Media_error]; writes are
+     allowed (a repair path rewrites the line before clearing it). The
+     table survives crashes — media damage is not volatile state. *)
+  poisoned : (int, unit) Hashtbl.t;
+  (* Lines holding at-rest rot ([corrupt_bit]): persisted differs from
+     the cached copy. A crash promotes the rotten media image into the
+     fresh cache for lines no writeback absorbed first — restart reads
+     come from media, in eADR too. *)
+  rotted : (int, unit) Hashtbl.t;
   (* FliT-style flush coalescing: with batching on, plain [flush] calls
      only enqueue their dirty lines into the calling thread's pending set;
      the next ordering point (fence / commit / quiesce) drains the set —
@@ -106,6 +117,8 @@ let create ?(lat = Latency.default) ?trace_limit ~size () =
     crash_after = None;
     torn = None;
     check = None;
+    poisoned = Hashtbl.create 8;
+    rotted = Hashtbl.create 8;
     batching = false;
     telem = None;
   }
@@ -187,6 +200,23 @@ let[@inline] check_bounds t op addr len =
   if addr < 0 || len < 0 || addr + len > Store.size t.volatile then
     bounds_fail op addr len (Store.size t.volatile)
 
+(* Poisoned-line check on the read path. The common case (no poison
+   anywhere) is one O(1) length load; only a device with live damage pays
+   the per-line probe. Writes skip the check — the repair path rewrites a
+   poisoned line in place before clearing it. *)
+let[@inline never] poison_fail t op addr len line =
+  Stats.record_poison_hit t.stats;
+  raise (Media_error { op; addr; len; line })
+
+let[@inline never] check_poison_slow t op addr len =
+  let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+  for line = first to last do
+    if Hashtbl.mem t.poisoned line then poison_fail t op addr len line
+  done
+
+let[@inline] check_poison t op addr len =
+  if Hashtbl.length t.poisoned > 0 && len > 0 then check_poison_slow t op addr len
+
 (* Cacheline.span, open-coded: the tuple it returns would be an
    allocation on every write. *)
 let[@inline] mark_dirty t addr len =
@@ -196,6 +226,7 @@ let[@inline] mark_dirty t addr len =
 
 let[@inline] read_u8 t addr =
   check_bounds t "read_u8" addr 1;
+  check_poison t "read_u8" addr 1;
   Store.get_u8 t.volatile addr
 
 let[@inline] write_u8 t addr v =
@@ -205,6 +236,7 @@ let[@inline] write_u8 t addr v =
 
 let[@inline] read_u16 t addr =
   check_bounds t "read_u16" addr 2;
+  check_poison t "read_u16" addr 2;
   Store.get_u16 t.volatile addr
 
 let[@inline] write_u16 t addr v =
@@ -214,6 +246,7 @@ let[@inline] write_u16 t addr v =
 
 let[@inline] read_u32 t addr =
   check_bounds t "read_u32" addr 4;
+  check_poison t "read_u32" addr 4;
   Store.get_u32 t.volatile addr
 
 let[@inline] write_u32 t addr v =
@@ -224,6 +257,7 @@ let[@inline] write_u32 t addr v =
 
 let[@inline] read_int64 t addr =
   check_bounds t "read_int64" addr 8;
+  check_poison t "read_int64" addr 8;
   Store.get_i64 t.volatile addr
 
 let[@inline] write_int64 t addr v =
@@ -233,6 +267,7 @@ let[@inline] write_int64 t addr v =
 
 let[@inline] read_int t addr =
   check_bounds t "read_int" addr 8;
+  check_poison t "read_int" addr 8;
   let v = Store.get_i64 t.volatile addr in
   let i = Int64.to_int v in
   assert (Int64.of_int i = v);
@@ -245,6 +280,7 @@ let[@inline] write_int t addr v =
 
 let read_bytes t addr len =
   check_bounds t "read_bytes" addr len;
+  check_poison t "read_bytes" addr len;
   Store.read_bytes t.volatile addr len
 
 let write_bytes t addr b =
@@ -287,6 +323,17 @@ let do_crash t =
   Dirtymap.iter t.dirty (fun line ->
       if is_eadr t then Store.copy_line ~src:t.volatile ~dst:t.persisted line
       else Store.copy_line ~src:t.persisted ~dst:t.volatile line);
+  (* Rot promotion: a clean rotted line kept serving the intact cached
+     copy, but restart re-reads from media (eADR preserves dirty-line
+     writeback above, not the cache itself) — the flips become visible
+     now. Dirty rotted lines were just absorbed or overwritten either
+     way, so only clean ones promote. *)
+  Hashtbl.iter
+    (fun line () ->
+      if not (Dirtymap.test t.dirty line) then
+        Store.copy_line ~src:t.persisted ~dst:t.volatile line)
+    t.rotted;
+  Hashtbl.reset t.rotted;
   Dirtymap.reset t.dirty;
   Hashtbl.reset t.streams;
   t.cached_id <- -1;
@@ -547,6 +594,177 @@ let dirty_lines t = Dirtymap.count t.dirty
 let pending_flushes t clock = Hashtbl.length (stream_of t clock).pending
 let persisted_int64 t addr = Store.get_i64 t.persisted addr
 let persisted_u8 t addr = Store.get_u8 t.persisted addr
+
+(* --- media faults ------------------------------------------------------ *)
+
+let[@inline] check_line t op line =
+  if line < 0 || (line + 1) * Cacheline.size > Store.size t.volatile then
+    bounds_fail op (line * Cacheline.size) Cacheline.size (Store.size t.volatile)
+
+(* Poisoning scrambles the line's content in BOTH images, deterministically
+   from the line number: an uncorrectable error returns garbage, not stale
+   data, so a repair path must genuinely restore the bytes (and a "repair"
+   that merely clears the flag is observably broken). *)
+let poison t ~line =
+  check_line t "poison" line;
+  if not (Hashtbl.mem t.poisoned line) then begin
+    let rng = Sim.Rng.create (0x9015 lxor (line * 0x2545F)) in
+    let base = line * Cacheline.size in
+    for i = 0 to Cacheline.size - 1 do
+      let b = Sim.Rng.int rng 256 in
+      Store.set_u8 t.volatile (base + i) b;
+      Store.set_u8 t.persisted (base + i) b
+    done;
+    Hashtbl.replace t.poisoned line ()
+  end
+
+let clear_poison t ~line =
+  check_line t "clear_poison" line;
+  Hashtbl.remove t.poisoned line
+
+let is_poisoned t ~line =
+  check_line t "is_poisoned" line;
+  Hashtbl.mem t.poisoned line
+
+let poisoned_lines t =
+  List.sort compare (Hashtbl.fold (fun line () acc -> line :: acc) t.poisoned [])
+
+let poisoned_count t = Hashtbl.length t.poisoned
+
+let poisoned_within t ~addr ~len =
+  check_bounds t "poisoned_within" addr len;
+  len > 0
+  && Hashtbl.length t.poisoned > 0
+  &&
+  let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+  let hit = ref false in
+  for line = first to last do
+    if Hashtbl.mem t.poisoned line then hit := true
+  done;
+  !hit
+
+let clear_poison_within t ~addr ~len =
+  check_bounds t "clear_poison_within" addr len;
+  if len > 0 then begin
+    let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+    for line = first to last do
+      Hashtbl.remove t.poisoned line
+    done
+  end
+
+(* Seed [count] poisoned lines, sampled without replacement from [lines].
+   Deterministic from [seed]: the fuzzer's one-line repros replay the same
+   damage. Returns the lines actually poisoned (in poisoning order). *)
+let seed_poison t ~seed ~count lines =
+  let pool = Array.of_list lines in
+  let n = Array.length pool in
+  let rng = Sim.Rng.create (0x50150 lxor seed) in
+  let picked = ref [] in
+  let avail = ref n in
+  for _ = 1 to min count n do
+    let i = Sim.Rng.int rng !avail in
+    let line = pool.(i) in
+    pool.(i) <- pool.(!avail - 1);
+    decr avail;
+    poison t ~line;
+    picked := line :: !picked
+  done;
+  List.rev !picked
+
+(* At-rest rot flips the media image only: the runtime's cached copy
+   (the volatile image) stays intact, so reads are unaffected and the
+   next writeback of the line silently absorbs the flip. The damage
+   surfaces when [do_crash] promotes the rotten media image of clean
+   lines into the restarted cache — or when a scrub pass compares the
+   two first ([scrub_lines]). *)
+let corrupt_bit t ~addr ~bit =
+  check_bounds t "corrupt_bit" addr 1;
+  if bit < 0 || bit > 7 then
+    invalid_arg (Printf.sprintf "Pmem.Device.corrupt_bit: bit must be 0..7 (got %d)" bit);
+  Store.set_u8 t.persisted addr (Store.get_u8 t.persisted addr lxor (1 lsl bit));
+  Hashtbl.replace t.rotted (Cacheline.index addr) ();
+  Stats.record_bitrot t.stats 1
+
+(* At-rest bit-rot: [flips] random single-bit flips over [addr, addr+len),
+   deterministic from [seed]. Poisoned lines are skipped (their content is
+   already garbage). Returns the number of flips applied. *)
+let inject_bitrot t ~seed ~flips ~addr ~len =
+  check_bounds t "inject_bitrot" addr len;
+  if len = 0 || flips <= 0 then 0
+  else begin
+    let rng = Sim.Rng.create (0xB17 lxor seed) in
+    let applied = ref 0 in
+    for _ = 1 to flips do
+      let a = addr + Sim.Rng.int rng len in
+      let bit = Sim.Rng.int rng 8 in
+      if not (Hashtbl.mem t.poisoned (Cacheline.index a)) then begin
+        corrupt_bit t ~addr:a ~bit;
+        incr applied
+      end
+    done;
+    !applied
+  end
+
+(* Media scrub over [addr, addr+len): rewrite any clean line whose
+   persisted bytes have drifted from the cached (volatile) copy — the
+   at-rest rot case, since clean lines otherwise satisfy persisted =
+   volatile by construction. Dirty and poisoned lines are skipped: a
+   dirty line's next writeback overwrites the media content anyway, and
+   poison is the repair path's job, not the scrubber's. Returns the
+   number of lines rewritten. *)
+let scrub_lines t ~addr ~len =
+  check_bounds t "scrub_lines" addr len;
+  if len = 0 then 0
+  else begin
+    let first = Cacheline.index addr and last = Cacheline.index (addr + len - 1) in
+    let rewritten = ref 0 in
+    for line = first to last do
+      if (not (Dirtymap.test t.dirty line)) && not (Hashtbl.mem t.poisoned line) then begin
+        let off = line * Cacheline.size in
+        let differs = ref false in
+        for i = 0 to Cacheline.size - 1 do
+          if Store.get_u8 t.persisted (off + i) <> Store.get_u8 t.volatile (off + i) then
+            differs := true
+        done;
+        if !differs then begin
+          for i = 0 to Cacheline.size - 1 do
+            Store.set_u8 t.persisted (off + i) (Store.get_u8 t.volatile (off + i))
+          done;
+          Hashtbl.remove t.rotted line;
+          incr rewritten
+        end
+      end
+    done;
+    !rewritten
+  end
+
+(* Guard-path primitives: checksum and copy that bypass the poison check.
+   A repair path must be able to hash and move bytes on lines it already
+   knows are damaged; normal readers keep raising [Media_error]. *)
+let sum16 t ~addr ~len =
+  check_bounds t "sum16" addr len;
+  let h = ref 0x9E37 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Store.get_u8 t.volatile (addr + i)) * 0x01000193 land 0x3FFFFFFF;
+    h := !h lxor (!h lsr 15)
+  done;
+  !h land 0xFFFF
+
+let blit t ~src ~dst ~len =
+  check_bounds t "blit" src len;
+  check_bounds t "blit" dst len;
+  if len > 0 then begin
+    for i = 0 to len - 1 do
+      Store.set_u8 t.volatile (dst + i) (Store.get_u8 t.volatile (src + i))
+    done;
+    mark_dirty t dst len
+  end
+
+(* Stat hooks for the allocator's repair machinery — the counters live on
+   the device so a one-line repro dump can print them without plumbing. *)
+let note_media_repair t = Stats.record_media_repair t.stats
+let note_quarantine t = Stats.record_quarantine t.stats
+let note_scrub_pass t = Stats.record_scrub_pass t.stats
 
 (* --- persist-ordering checker ----------------------------------------- *)
 

@@ -29,6 +29,11 @@ type t
 
 exception Injected_crash
 
+exception Media_error of { op : string; addr : int; len : int; line : int }
+(** An uncorrectable media error: the read at [addr, addr+len) touched
+    poisoned cache line [line]. Raised by the data accessors; see
+    {!poison}. *)
+
 type torn_mode =
   | Torn_prefix  (** the first k words (k drawn from the seed) persist *)
   | Torn_suffix  (** the last k words persist *)
@@ -168,6 +173,77 @@ val persisted_int64 : t -> int -> int64
 (** Read the persisted image directly (test observability only). *)
 
 val persisted_u8 : t -> int -> int
+
+(** {1 Media faults}
+
+    Real PM media fails at rest, not only at power loss: uncorrectable
+    errors surface as {e poisoned} cache lines whose reads fault, and
+    long-lived heaps accumulate {e bit-rot}. The model here is
+    deterministic (seeded), so fuzz plans carrying media faults replay
+    from a one-line repro.
+
+    Poisoning a line scrambles its content in both images — an
+    uncorrectable error returns garbage, not stale data — and makes every
+    normal read of the line raise {!Media_error} (and count a poison
+    hit). Writes remain allowed: a repair path rewrites the line in place
+    and then clears the poison. Poison survives {!crash} — media damage
+    is not volatile state. *)
+
+val poison : t -> line:int -> unit
+(** Mark [line] poisoned and scramble its content (idempotent). *)
+
+val clear_poison : t -> line:int -> unit
+(** Unmark [line] (the content stays whatever it is — repair first). *)
+
+val is_poisoned : t -> line:int -> bool
+val poisoned_lines : t -> int list  (** ascending *)
+
+val poisoned_count : t -> int
+
+val poisoned_within : t -> addr:int -> len:int -> bool
+(** Whether any line covering [addr, addr+len) is poisoned. *)
+
+val clear_poison_within : t -> addr:int -> len:int -> unit
+
+val seed_poison : t -> seed:int -> count:int -> int list -> int list
+(** [seed_poison t ~seed ~count lines] poisons [count] lines sampled
+    without replacement from [lines], deterministically from [seed].
+    Returns the lines poisoned (fewer than [count] when the pool is
+    smaller). *)
+
+val corrupt_bit : t -> addr:int -> bit:int -> unit
+(** Flip bit [bit] (0..7) of the {e persisted} byte at [addr] — at-rest
+    rot in the media image. The cached (volatile) copy stays intact, so
+    runtime reads are unaffected and the line's next writeback silently
+    absorbs the flip; otherwise the damage surfaces when a crash
+    promotes the persisted image (or a {!scrub_lines} pass catches it
+    first). *)
+
+val inject_bitrot : t -> seed:int -> flips:int -> addr:int -> len:int -> int
+(** At-rest bit-rot: [flips] random single-bit flips over
+    [addr, addr+len), deterministic from [seed], skipping poisoned lines.
+    Returns the number of flips applied. *)
+
+val scrub_lines : t -> addr:int -> len:int -> int
+(** Rewrite every clean line in [addr, addr+len) whose persisted bytes
+    have drifted from the cached copy (clean lines otherwise satisfy
+    persisted = volatile, so a difference is exactly at-rest rot).
+    Dirty and poisoned lines are skipped. Returns lines rewritten. *)
+
+val sum16 : t -> addr:int -> len:int -> int
+(** 16-bit content checksum over the volatile image, bypassing the poison
+    check (guard machinery must be able to hash damaged lines). Reading
+    [len] zero bytes yields a fixed nonzero value. *)
+
+val blit : t -> src:int -> dst:int -> len:int -> unit
+(** Volatile-image copy that bypasses the poison check and dirties the
+    destination — the repair path's "rewrite primary from replica". *)
+
+val note_media_repair : t -> unit
+(** Count one repaired record (see {!Stats.record_media_repair}). *)
+
+val note_quarantine : t -> unit
+val note_scrub_pass : t -> unit
 
 (** {1 Persist-ordering checker}
 

@@ -22,6 +22,14 @@ type t = {
   mutable flushes_coalesced : int;
   mutable group_commits : int;
   mutable group_commit_entries : int;
+  (* Media-fault model: reads that hit a poisoned line, repairs that
+     rewrote a damaged record from its replica, regions written off as
+     unrepairable, injected bit flips, and completed scrub passes. *)
+  mutable poison_hits : int;
+  mutable media_repairs : int;
+  mutable media_quarantines : int;
+  mutable bitrot_flips : int;
+  mutable scrub_passes : int;
   (* First [trace_limit] metadata-class flushes, as two preallocated
      parallel buffers (category tag byte + address). The former list
      prepend allocated a cons + tuple per traced flush and needed a final
@@ -50,6 +58,11 @@ let create ?(trace_limit = 1000) () =
     flushes_coalesced = 0;
     group_commits = 0;
     group_commit_entries = 0;
+    poison_hits = 0;
+    media_repairs = 0;
+    media_quarantines = 0;
+    bitrot_flips = 0;
+    scrub_passes = 0;
     trace_cats = Bytes.make (max trace_limit 1) '\000';
     trace_addrs = Array.make (max trace_limit 1) 0;
     traced = 0;
@@ -69,6 +82,11 @@ let reset t =
   t.flushes_coalesced <- 0;
   t.group_commits <- 0;
   t.group_commit_entries <- 0;
+  t.poison_hits <- 0;
+  t.media_repairs <- 0;
+  t.media_quarantines <- 0;
+  t.bitrot_flips <- 0;
+  t.scrub_passes <- 0;
   (* Zero the trace buffers too, not just the cursor: a reset instance
      must not leak the previous run's addresses through the raw buffers,
      and must be indistinguishable from a fresh instance. *)
@@ -100,12 +118,23 @@ let record_group_commit t ~entries =
   t.group_commits <- t.group_commits + 1;
   t.group_commit_entries <- t.group_commit_entries + entries
 
+let record_poison_hit t = t.poison_hits <- t.poison_hits + 1
+let record_media_repair t = t.media_repairs <- t.media_repairs + 1
+let record_quarantine t = t.media_quarantines <- t.media_quarantines + 1
+let record_bitrot t n = if n > 0 then t.bitrot_flips <- t.bitrot_flips + n
+let record_scrub_pass t = t.scrub_passes <- t.scrub_passes + 1
+
 let charge_work t work ~ns =
   match work with
   | Search -> t.t_search <- t.t_search +. ns
   | Other -> t.t_other <- t.t_other +. ns
 
 let flushes t = t.flushes
+let poison_hits t = t.poison_hits
+let media_repairs t = t.media_repairs
+let media_quarantines t = t.media_quarantines
+let bitrot_flips t = t.bitrot_flips
+let scrub_passes t = t.scrub_passes
 let fences_saved t = t.fences_saved
 let flushes_coalesced t = t.flushes_coalesced
 let group_commits t = t.group_commits
@@ -141,7 +170,8 @@ let cat_of_name = function
   | "data" -> Some Data
   | _ -> None
 
-let json_schema = "nvalloc/stats/v2"
+let json_schema = "nvalloc/stats/v3"
+let json_schema_v2 = "nvalloc/stats/v2"
 let json_schema_v1 = "nvalloc/stats/v1"
 
 let to_json t =
@@ -172,6 +202,11 @@ let to_json t =
       ("group_commits", Num (float_of_int t.group_commits));
       ("group_commit_entries", Num (float_of_int t.group_commit_entries));
       ("group_commit_size", Num (group_commit_size t));
+      ("poison_hits", Num (float_of_int t.poison_hits));
+      ("media_repairs", Num (float_of_int t.media_repairs));
+      ("media_quarantines", Num (float_of_int t.media_quarantines));
+      ("bitrot_flips", Num (float_of_int t.bitrot_flips));
+      ("scrub_passes", Num (float_of_int t.scrub_passes));
       ( "trace",
         Arr
           (List.init t.traced (fun i ->
@@ -192,17 +227,22 @@ let of_json j =
   in
   let* schema = field "schema" str j in
   let* () =
-    if schema = json_schema || schema = json_schema_v1 then Ok ()
+    if schema = json_schema || schema = json_schema_v2 || schema = json_schema_v1 then
+      Ok ()
     else Error (Printf.sprintf "Stats.of_json: unknown schema %S" schema)
   in
   let int_field name = field name (fun v -> Option.map int_of_float (num v)) j in
   (* Counters introduced by v2: a v1 document predates the batching
-     pipeline, so they read back as zero. *)
-  let opt_int_field name =
+     pipeline, so they read back as zero. Counters introduced by v3
+     (media faults) likewise default to zero for v1 and v2 documents. *)
+  let opt_int_field ~since name =
     match member name j with
-    | None when schema = json_schema_v1 -> Ok 0
+    | None when schema <> json_schema && (since = `V3 || schema = json_schema_v1) ->
+        Ok 0
     | _ -> int_field name
   in
+  let v2_int_field = opt_int_field ~since:`V2 in
+  let v3_int_field = opt_int_field ~since:`V3 in
   let num_field name = field name num j in
   let* trace_limit = int_field "trace_limit" in
   let* () =
@@ -221,10 +261,15 @@ let of_json j =
   let* read_ns = num_field "read_ns" in
   let* search_ns = num_field "search_ns" in
   let* other_ns = num_field "other_ns" in
-  let* fences_saved = opt_int_field "fences_saved" in
-  let* flushes_coalesced = opt_int_field "flushes_coalesced" in
-  let* group_commits = opt_int_field "group_commits" in
-  let* group_commit_entries = opt_int_field "group_commit_entries" in
+  let* fences_saved = v2_int_field "fences_saved" in
+  let* flushes_coalesced = v2_int_field "flushes_coalesced" in
+  let* group_commits = v2_int_field "group_commits" in
+  let* group_commit_entries = v2_int_field "group_commit_entries" in
+  let* poison_hits = v3_int_field "poison_hits" in
+  let* media_repairs = v3_int_field "media_repairs" in
+  let* media_quarantines = v3_int_field "media_quarantines" in
+  let* bitrot_flips = v3_int_field "bitrot_flips" in
+  let* scrub_passes = v3_int_field "scrub_passes" in
   let* trace = field "trace" arr j in
   let* () =
     if List.length trace <= trace_limit then Ok ()
@@ -247,6 +292,11 @@ let of_json j =
   t.flushes_coalesced <- flushes_coalesced;
   t.group_commits <- group_commits;
   t.group_commit_entries <- group_commit_entries;
+  t.poison_hits <- poison_hits;
+  t.media_repairs <- media_repairs;
+  t.media_quarantines <- media_quarantines;
+  t.bitrot_flips <- bitrot_flips;
+  t.scrub_passes <- scrub_passes;
   let rec load = function
     | [] -> Ok t
     | entry :: rest ->

@@ -53,6 +53,25 @@ val record_flush_coalesced : t -> unit
 val record_group_commit : t -> entries:int -> unit
 (** One WAL group closed, covering [entries] appends. *)
 
+(* Media-fault model (poisoned lines, bit-rot, repair and scrub). *)
+
+val record_poison_hit : t -> unit
+(** A read touched a poisoned cache line and raised [Device.Media_error]. *)
+
+val record_media_repair : t -> unit
+(** A damaged metadata record was rewritten from its replica (or its
+    replica re-synced from a healthy primary). *)
+
+val record_quarantine : t -> unit
+(** A metadata region was written off as unrepairable and withdrawn from
+    service. *)
+
+val record_bitrot : t -> int -> unit
+(** [n] bit flips were injected into the persisted image. No-op for n<=0. *)
+
+val record_scrub_pass : t -> unit
+(** One background scrub pass over the metadata regions completed. *)
+
 (* Reporting. *)
 
 val flushes : t -> int
@@ -65,6 +84,11 @@ val fences_saved : t -> int
 val flushes_coalesced : t -> int
 val group_commits : t -> int
 val group_commit_entries : t -> int
+val poison_hits : t -> int
+val media_repairs : t -> int
+val media_quarantines : t -> int
+val bitrot_flips : t -> int
+val scrub_passes : t -> int
 
 val group_commit_size : t -> float
 (** Mean appends per closed WAL group; 0 when no group ever closed. *)
@@ -87,12 +111,13 @@ val pp_summary : Format.formatter -> t -> unit
 
 val to_json : t -> Telemetry.Json.t
 (** Every counter, time and the recorded flush trace, schema
-    ["nvalloc/stats/v2"]. *)
+    ["nvalloc/stats/v3"]. *)
 
 val of_json : Telemetry.Json.t -> (t, string) result
 (** Inverse of {!to_json}: [of_json (to_json t)] reconstructs an
     observationally equal instance. Documents with the pre-batching
-    schema ["nvalloc/stats/v1"] still load; their batching counters read
+    schema ["nvalloc/stats/v1"] or the pre-media schema
+    ["nvalloc/stats/v2"] still load; counters a schema predates read
     back as zero. *)
 
 val to_json_string : t -> string

@@ -5,9 +5,12 @@
 # target), so a failure names the stage and can be re-run in isolation.
 # The fuzzer and model-checker stages sweep both persistence pipelines:
 # batched (flush coalescing + WAL group commit + async checkpointing,
-# the default config) and synchronous (--no-batch).
+# the default config) and synchronous (--no-batch), and the media stage
+# adds poisoned-line / bit-rot / scrub plans on top.
 #
 # Usage: scripts/check_all.sh
+# CHECK_FAST=1 trims the fuzz, model and media budgets (smoke coverage,
+# not the gate).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,6 +30,7 @@ stage "telemetry-off hot path (bench/hotloop.exe --check)" \
   dune exec --no-build bench/hotloop.exe -- --check
 stage "crash fuzzer (scripts/fuzz_check.sh)" sh scripts/fuzz_check.sh
 stage "model checker (scripts/model_check.sh)" sh scripts/model_check.sh
+stage "media faults (scripts/fault_media_check.sh)" sh scripts/fault_media_check.sh
 
 echo ""
 echo "all checks OK"

@@ -16,10 +16,14 @@
 #
 # Replay a failure with: nvalloc-cli fuzz [--no-batch] --plan "<line>"
 # Usage: scripts/fuzz_check.sh [seed] [runs]
+# CHECK_FAST=1 trims the budget (smoke coverage, not the gate).
 set -eu
 cd "$(dirname "$0")/.."
 seed="${1:-1}"
 runs="${2:-200}"
+if [ "${CHECK_FAST:-0}" = "1" ] && [ $# -lt 2 ]; then
+  runs=60
+fi
 cli=./_build/default/bin/nvalloc_cli.exe
 dune build bin/nvalloc_cli.exe
 

@@ -20,26 +20,34 @@
 #
 # Replay a failure with: nvalloc-cli check [--no-batch] --scenario "<line>"
 # Usage: scripts/model_check.sh [seed] [runs]
+# CHECK_FAST=1 trims the budget (smoke coverage, not the gate).
 set -eu
 cd "$(dirname "$0")/.."
 seed="${1:-1}"
 runs="${2:-2}"
+ops=2000
+crash_ops=800
+if [ "${CHECK_FAST:-0}" = "1" ]; then
+  runs=1
+  ops=800
+  crash_ops=400
+fi
 cli=./_build/default/bin/nvalloc_cli.exe
 dune build bin/nvalloc_cli.exe
 
 echo "model check: clean gate, batched pipeline (all allocators)"
-"$cli" check --seed "$seed" --runs "$runs" --ops 2000 --threads 4
+"$cli" check --seed "$seed" --runs "$runs" --ops "$ops" --threads 4
 
 echo "model check: crash scenarios, batched pipeline (NVAlloc variants)"
-"$cli" check --seed "$seed" --runs "$runs" --ops 800 --threads 2 --crash 100 \
+"$cli" check --seed "$seed" --runs "$runs" --ops "$crash_ops" --threads 2 --crash 100 \
   --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
 
 echo "model check: clean gate, synchronous pipeline (NVAlloc variants)"
-"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops 2000 --threads 4 \
+"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops "$ops" --threads 4 \
   --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
 
 echo "model check: crash scenarios, synchronous pipeline (NVAlloc variants)"
-"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops 800 --threads 2 --crash 100 \
+"$cli" check --no-batch --seed "$seed" --runs "$runs" --ops "$crash_ops" --threads 2 --crash 100 \
   --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
 
 echo "model check: mutation smoke (--broken must be caught)"

@@ -19,6 +19,7 @@ let () =
       ("crash-sweep", Test_crash_sweep.suite);
       ("internal-collection", Test_internal_collection.suite);
       ("fault", Test_fault.suite);
+      ("media", Test_media.suite);
       ("fptree", Test_fptree.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
