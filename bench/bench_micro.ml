@@ -100,6 +100,32 @@ let bench_wal_grouped =
          if Nvalloc_core.Wal.open_group wal >= 8 then
            Nvalloc_core.Wal.flush_group wal clock))
 
+(* The address-ordered extent index at depth: populate hundreds of live
+   large objects (with alternating frees so the reclaimed-by-size tree is
+   non-trivial too), then time one large pair. Each round trip pays
+   best-fit lookups, address-tree insert/remove, and neighbour
+   coalescing at a realistic tree height — the path PR 8 moved off
+   linear Dlist walks. *)
+let bench_extent_lookup =
+  let dev = Pmem.Device.create ~size:(512 * mib) () in
+  let clock = Sim.Clock.create () in
+  let t = Nvalloc_core.Nvalloc.create ~config:nvalloc_smallish_config dev clock in
+  let th = Nvalloc_core.Nvalloc.thread t clock in
+  let live = 512 in
+  for i = 0 to live - 1 do
+    ignore
+      (Nvalloc_core.Nvalloc.malloc_to t th ~size:20480
+         ~dest:(Nvalloc_core.Nvalloc.root_addr t i))
+  done;
+  for i = 0 to (live / 2) - 1 do
+    Nvalloc_core.Nvalloc.free_from t th ~dest:(Nvalloc_core.Nvalloc.root_addr t (i * 2))
+  done;
+  let dest = Nvalloc_core.Nvalloc.root_addr t live in
+  Test.make ~name:"extent lookup pair (64KB, 256 live)"
+    (Staged.stage (fun () ->
+         ignore (Nvalloc_core.Nvalloc.malloc_to t th ~size:65536 ~dest);
+         Nvalloc_core.Nvalloc.free_from t th ~dest))
+
 let bench_device_flush =
   let dev = Pmem.Device.create ~size:(16 * mib) () in
   let clock = Sim.Clock.create () in
@@ -120,6 +146,7 @@ let microbenches () =
       bench_baseline_pair ~name:"Makalu small pair (64B)" ~knobs:Baselines.Knobs.makalu
         ~size:64;
       bench_rbtree;
+      bench_extent_lookup;
       bench_booklog;
       bench_wal;
       bench_wal_grouped;

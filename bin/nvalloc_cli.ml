@@ -189,19 +189,21 @@ let trace_cmd =
 
 let stats_cmd =
   let doc =
-    "Run a DBMStest probe with the persist-ordering checker enabled and print \
-     the device's flush statistics alongside the checker's counters (commits \
-     checked, dependencies tracked, violations recorded)."
+    "Run a DBMStest probe (large objects) and a small-object Larson probe \
+     with the persist-ordering checker enabled and print the device's flush \
+     statistics alongside the metadata-overhead figures (metadata bytes per \
+     live object, header flush lines per allocation) and the checker's \
+     counters (commits checked, dependencies tracked, violations recorded)."
   in
   let alloc =
     Arg.(value & pos 0 string "NVAlloc-LOG" & info [] ~docv:"ALLOCATOR")
   in
   let json =
     let doc =
-      "Print the device's flush statistics as JSON (schema nvalloc/stats/v3: \
-       v2 plus the media-fault counters poison_hits, media_repairs, \
-       media_quarantines, bitrot_flips, scrub_passes; v1 and v2 documents \
-       still parse, counters their schema predates default to 0)."
+      "Print the device's flush statistics as JSON (schema nvalloc/stats/v4: \
+       v3 plus the metadata-layout counters extents_coalesced, \
+       extent_tree_lookups, header_flush_lines; v1-v3 documents still \
+       parse, counters their schema predates default to 0)."
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
@@ -213,10 +215,48 @@ let stats_cmd =
     in
     let dev = inst.Alloc_api.Instance.dev in
     Pmem.Device.set_check_mode dev true;
-    let _ = Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) () in
+    (* Count allocations through a shim so the metadata-overhead figures
+       below can be normalised per alloc. *)
+    let allocs = ref 0 in
+    let counting =
+      {
+        inst with
+        Alloc_api.Instance.malloc =
+          (fun ~tid ~size ~dest ->
+            incr allocs;
+            inst.Alloc_api.Instance.malloc ~tid ~size ~dest);
+      }
+    in
+    (* DBMStest covers the large-object path; the Larson probe exercises
+       slabs so the per-object metadata figures below are non-trivial
+       (DBMStest's 32 KB-512 KB objects never touch a slab). *)
+    let _ = Workloads.Dbmstest.run counting ~params:(Harness.Sizes.dbmstest 4) () in
+    let _ = Workloads.Larson.run counting ~params:(Harness.Sizes.larson_small 4) () in
     if json then print_endline (Pmem.Stats.to_json_string (Pmem.Device.stats dev))
     else begin
       Format.printf "%a@." Pmem.Stats.pp_summary (Pmem.Device.stats dev);
+      (match inst.Alloc_api.Instance.metadata_bytes with
+      | None -> ()
+      | Some metadata_bytes ->
+          let live = ref 0 in
+          Option.iter
+            (fun iter -> iter (fun ~addr:_ ~size:_ -> incr live))
+            inst.Alloc_api.Instance.iter_live;
+          let meta = metadata_bytes () in
+          let header_lines =
+            Pmem.Stats.header_flush_lines (Pmem.Device.stats dev)
+          in
+          Printf.printf "metadata overhead:\n";
+          Printf.printf "  metadata bytes        %d\n" meta;
+          Printf.printf "  live objects          %d\n" !live;
+          if !live > 0 then
+            Printf.printf "  metadata bytes/object %.1f\n"
+              (float_of_int meta /. float_of_int !live);
+          Printf.printf "  header flush lines    %d\n" header_lines;
+          Printf.printf "  allocations           %d\n" !allocs;
+          if !allocs > 0 then
+            Printf.printf "  header flushes/alloc  %.3f\n"
+              (float_of_int header_lines /. float_of_int !allocs));
       Printf.printf "persist-ordering checker:\n";
       Printf.printf "  commits checked       %d\n" (Pmem.Device.ordering_commits_checked dev);
       Printf.printf "  dependencies tracked  %d\n" (Pmem.Device.ordering_deps_tracked dev);
@@ -494,6 +534,14 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "broken-record" ] ~doc)
   in
+  let broken_header =
+    let doc =
+      "Demo mode: mis-decode the packed slab header's size-class field on \
+       every read on the NVAlloc instances, to show the deep integrity walk \
+       catching a metadata-layout bug."
+    in
+    Arg.(value & flag & info [ "broken-header" ] ~doc)
+  in
   let scenario =
     let doc =
       "Replay one scenario (a line previously printed by the checker) instead \
@@ -501,13 +549,14 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"LINE" ~doc)
   in
-  let run seed runs ops threads crash allocators batch broken broken_record scenario =
+  let run seed runs ops threads crash allocators batch broken broken_record broken_header
+      scenario =
     match scenario with
     | Some line -> (
         match Check.History.of_string line with
         | Error e -> failwith ("bad --scenario: " ^ e)
         | Ok sc -> (
-            match Check.Runner.run ~batch ~broken ~broken_record sc with
+            match Check.Runner.run ~batch ~broken ~broken_record ~broken_header sc with
             | Ok () -> Printf.printf "ok: %s\n" (Check.History.to_string sc)
             | Error reason ->
                 Printf.printf "FAIL: %s\n  reason: %s\n" (Check.History.to_string sc) reason;
@@ -521,8 +570,8 @@ let check_cmd =
         List.iter
           (fun alloc ->
             match
-              Check.Runner.check ~batch ~broken ~broken_record ~alloc ~seed ~runs ~ops ~threads
-                ?crash ()
+              Check.Runner.check ~batch ~broken ~broken_record ~broken_header ~alloc ~seed ~runs
+                ~ops ~threads ?crash ()
             with
             | None ->
                 Printf.printf "ok: %-12s %d scenario(s), ops=%d threads=%d seed=%d%s\n" alloc
@@ -542,7 +591,7 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ seed $ runs $ ops $ threads $ crash $ allocators $ batch_flag $ broken
-      $ broken_record $ scenario)
+      $ broken_record $ broken_header $ scenario)
 
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in

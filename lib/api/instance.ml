@@ -12,6 +12,7 @@ type t = {
   mapped_bytes : unit -> int;
   peak_bytes : unit -> int;
   reset_peak : unit -> unit;
+  metadata_bytes : (unit -> int) option;
   supports_large : bool;
   slab_histogram : (float list -> int array) option;
   shutdown : unit -> unit;
@@ -23,7 +24,8 @@ type t = {
 }
 
 let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_interleave = false)
-    ?(broken_wal = false) ?(broken_record = false) ?(broken_scrub = false) () =
+    ?(broken_wal = false) ?(broken_record = false) ?(broken_scrub = false)
+    ?(broken_header = false) () =
   let lat = if eadr then Pmem.Latency.eadr else Pmem.Latency.default in
   let dev = Pmem.Device.create ~lat ~size:dev_size () in
   let clocks = Array.init threads (fun _ -> Sim.Clock.create ()) in
@@ -41,6 +43,11 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
     else config
   in
   let config = { config with Config.arenas = min config.Config.arenas (max 1 threads) } in
+  (* Mutation-test knob (global, so set unconditionally: each construction
+     resets whatever the previous harness left behind): mis-decode one
+     packed-header field on every read, to demonstrate the integrity
+     walkers catch a header-layout bug. *)
+  Slab.unsafe_set_broken_header broken_header;
   let t = Nvalloc.create ~config dev clocks.(0) in
   (* Mutation-test knob: deliberately break the WAL append flush so the
      checker/oracle can demonstrate the bug is caught (never set outside
@@ -79,6 +86,7 @@ let of_nvalloc ?name ~config ~threads ~dev_size ?(eadr = false) ?(eadr_keep_inte
     mapped_bytes = (fun () -> Nvalloc.mapped_bytes t);
     peak_bytes = (fun () -> Nvalloc.peak_mapped_bytes t);
     reset_peak = (fun () -> Nvalloc.reset_peak t);
+    metadata_bytes = Some (fun () -> Nvalloc.metadata_bytes t);
     supports_large = true;
     slab_histogram = Some (fun buckets -> Nvalloc.slab_utilization_histogram t ~buckets);
     shutdown = (fun () -> Nvalloc.exit_ t clocks.(0));

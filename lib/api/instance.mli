@@ -29,6 +29,9 @@ type t = {
   mapped_bytes : unit -> int;
   peak_bytes : unit -> int;
   reset_peak : unit -> unit;
+  metadata_bytes : (unit -> int) option;
+      (** bytes of per-object heap metadata currently resident
+          ([Nvalloc.metadata_bytes]); [None] for baselines *)
   supports_large : bool;
       (** Ralloc's open-source build mishandles large objects (paper
           section 6.2); experiments exclude such allocators. *)
@@ -72,6 +75,7 @@ val of_nvalloc :
   ?broken_wal:bool ->
   ?broken_record:bool ->
   ?broken_scrub:bool ->
+  ?broken_header:bool ->
   unit ->
   t
 (** Build an NVAlloc instance (LOG or GC per the config). On eADR the
@@ -93,4 +97,9 @@ val of_nvalloc :
     [broken_scrub] seeds the media-scrub mutation
     ([Nvalloc.unsafe_set_broken_scrub]): scrub passes bless damaged
     primaries instead of repairing them from replicas, for mutation
-    tests of the crash/media oracle. *)
+    tests of the crash/media oracle.
+
+    [broken_header] seeds the packed-header mutation
+    ([Slab.unsafe_set_broken_header]): every header read mis-decodes the
+    size-class field (lowest bit flipped), for mutation tests of
+    [Nvalloc.integrity_walk] and the model checker's deep walk. *)

@@ -378,6 +378,7 @@ let instance ~knobs ~threads ~dev_size ?(eadr = false) ?(root_slots = 1 lsl 20) 
     mapped_bytes = (fun () -> Pmem.Dax.mapped_bytes dax);
     peak_bytes = (fun () -> Pmem.Dax.peak_mapped_bytes dax);
     reset_peak = (fun () -> Pmem.Dax.reset_peak dax);
+    metadata_bytes = None;
     supports_large = knobs.Knobs.supports_large;
     slab_histogram = None;
     shutdown = (fun () -> Pmem.Device.flush_all dev clocks.(0) Pmem.Stats.Meta);

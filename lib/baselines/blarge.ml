@@ -100,7 +100,7 @@ let map_region t clock ~total =
 let unmap_region t clock base =
   Sim.Lock.with_lock t.region_lock clock (fun () ->
       let total = Hashtbl.find t.regions base in
-      Pmem.Dax.munmap t.dax clock ~addr:base ~size:total;
+      Pmem.Dax.munmap t.dax clock ~addr:base ~size:total ();
       Hashtbl.remove t.regions base)
 
 (* Makalu/BDW writes a GC block header at the start of every heap block

@@ -30,14 +30,14 @@ let nv_config base ~threads =
     tcache_capacity = 8;
   }
 
-let build ~batch ~broken ~broken_record (sc : History.t) =
+let build ~batch ~broken ~broken_record ~broken_header (sc : History.t) =
   match nv_base sc.History.alloc with
   | Some base ->
       let config = nv_config base ~threads:sc.History.threads in
       let config = if batch then config else Config.sync config in
       let inst =
         Alloc_api.Instance.of_nvalloc ~config ~threads:sc.History.threads ~dev_size
-          ~broken_wal:broken ~broken_record ()
+          ~broken_wal:broken ~broken_record ~broken_header ()
       in
       (* The persist-ordering checker turns protocol bugs into verdicts
          even on crash-free runs (a crash point is not required to catch
@@ -56,10 +56,11 @@ let build ~batch ~broken ~broken_record (sc : History.t) =
 
 let mib = 1024 * 1024
 
-let run ?(batch = true) ?(broken = false) ?(broken_record = false) (sc : History.t) =
+let run ?(batch = true) ?(broken = false) ?(broken_record = false) ?(broken_header = false)
+    (sc : History.t) =
   if sc.History.ops < 1 then invalid_arg "Check.Runner.run: ops must be >= 1";
   if sc.History.threads < 1 then invalid_arg "Check.Runner.run: threads must be >= 1";
-  let inst, nvcfg = build ~batch ~broken ~broken_record sc in
+  let inst, nvcfg = build ~batch ~broken ~broken_record ~broken_header sc in
   let dev = inst.Alloc_api.Instance.dev in
   Workloads.Driver.require_slots inst History.slots_per_thread;
   let streams = History.generate sc ~large_ok:inst.Alloc_api.Instance.supports_large in
@@ -203,9 +204,11 @@ type counterexample = { original : History.t; shrunk : History.t; reason : strin
 
 let max_shrink_rounds = 64
 
-let shrink ?batch ?broken ?broken_record sc ~reason =
+let shrink ?batch ?broken ?broken_record ?broken_header sc ~reason =
   let fails c =
-    match run ?batch ?broken ?broken_record c with Error e -> Some e | Ok () -> None
+    match run ?batch ?broken ?broken_record ?broken_header c with
+    | Error e -> Some e
+    | Ok () -> None
   in
   let rec go sc reason rounds =
     if rounds = 0 then (sc, reason)
@@ -220,15 +223,16 @@ let shrink ?batch ?broken ?broken_record sc ~reason =
   in
   go sc reason max_shrink_rounds
 
-let check ?batch ?broken ?broken_record ~alloc ~seed ~runs ~ops ~threads ?crash () =
+let check ?batch ?broken ?broken_record ?broken_header ~alloc ~seed ~runs ~ops ~threads ?crash
+    () =
   let rec loop i =
     if i >= runs then None
     else
       let sc = { History.alloc; seed = seed + i; ops; threads; crash } in
-      match run ?batch ?broken ?broken_record sc with
+      match run ?batch ?broken ?broken_record ?broken_header sc with
       | Ok () -> loop (i + 1)
       | Error reason ->
-          let shrunk, reason = shrink ?batch ?broken ?broken_record sc ~reason in
+          let shrunk, reason = shrink ?batch ?broken ?broken_record ?broken_header sc ~reason in
           Some { original = sc; shrunk; reason }
   in
   loop 0

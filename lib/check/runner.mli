@@ -27,19 +27,22 @@ val allocator_names : string list
     then the baselines. *)
 
 val run :
-  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> History.t -> (unit, string) result
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_header:bool ->
+  History.t -> (unit, string) result
 (** Execute one scenario; [Error reason] names the first violated
     invariant. [batch] (default true) keeps the config's batched
     persistence pipeline; [false] forces the synchronous pipeline
     ([Config.sync]). [broken] re-introduces the PR 2 WAL ordering bug on
     NVAlloc instances, [broken_record] makes WAL group commits "forget"
-    their commit record (mutation smokes; no-ops for baselines). Raises
-    [Invalid_argument] on an unknown allocator name. *)
+    their commit record, [broken_header] mis-decodes the packed slab
+    header's class field on every read (mutation smokes; no-ops for
+    baselines). Raises [Invalid_argument] on an unknown allocator
+    name. *)
 
 type counterexample = { original : History.t; shrunk : History.t; reason : string }
 
 val shrink :
-  ?batch:bool -> ?broken:bool -> ?broken_record:bool ->
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_header:bool ->
   History.t -> reason:string -> History.t * string
 (** Greedy bounded-round minimisation of a failing scenario. *)
 
@@ -47,6 +50,7 @@ val check :
   ?batch:bool ->
   ?broken:bool ->
   ?broken_record:bool ->
+  ?broken_header:bool ->
   alloc:string ->
   seed:int ->
   runs:int ->

@@ -142,6 +142,7 @@ let large t = t.large
 let heap t = t.heap
 let is_log t = t.config.Config.consistency = Config.Log_based
 let is_ic t = t.config.Config.consistency = Config.Internal_collection
+let is_gc t = t.config.Config.consistency = Config.Gc_based
 
 (* Whether small-allocator metadata (bits, index entries) is flushed:
    LOG and IC persist it eagerly; GC rebuilds it post-crash. *)
@@ -150,10 +151,16 @@ let register_tcaches t tcaches = t.thread_tcaches <- tcaches :: t.thread_tcaches
 
 (* --- slab plumbing ------------------------------------------------------- *)
 
+(* Freelist membership is tracked by node presence, not inferred from the
+   free count: a WAL checkpoint can fire from inside [refill_tcache] (the
+   Refill append hits the high-water mark) and drain a tcache block back
+   into the very slab being refilled, while that slab sits at
+   [free_count = 0] but is still linked — the refill loop unlinks it only
+   after its inner loop ends. *)
 let freelist_add t s =
-  assert (s.Slab.freelist_node = None);
-  s.Slab.freelist_node <-
-    Some (Support.Dlist.push_back t.freelists.(s.Slab.layout.Slab.class_idx) s)
+  if s.Slab.freelist_node = None then
+    s.Slab.freelist_node <-
+      Some (Support.Dlist.push_back t.freelists.(s.Slab.layout.Slab.class_idx) s)
 
 let freelist_remove t s =
   match s.Slab.freelist_node with
@@ -185,8 +192,17 @@ let replicate_meta t = t.config.Config.media_replication
    when replication is on. Every header-mutating protocol step funnels
    through here so a poisoned or rotten header line stays repairable. *)
 let commit_slab_header ?deps t clock addr =
+  (* Refresh the advisory free hint here — and only here — so the header
+     line is dirtied once per protocol step, never per alloc/free. *)
+  (match Hashtbl.find_opt t.all_slabs addr with
+  | Some s -> Slab.Header.write_free_hint t.dev addr s.Slab.free_count
+  | None -> ());
   let r = Slab.guard_record addr in
   Guard.refresh t.dev r;
+  (* The packed-word payoff, asserted: the commit unit (word + checksum)
+     sits in a single cache line at the line-aligned slab base. *)
+  assert (addr land (Pmem.Cacheline.size - 1) = 0);
+  Pmem.Device.note_header_flush_line t.dev;
   Pstruct.commit t.dev clock Pmem.Stats.Meta ?deps (Slab.header_commit_span addr);
   if replicate_meta t then Guard.write_replica t.dev clock r
 
@@ -275,9 +291,9 @@ let transform_slab t clock s target_class =
   let new_layout = t.layouts.(target_class) in
   let live = live_old_blocks t s in
   let nlive = List.length live in
-  (* Step 1: preserve the old class identity. *)
+  (* Step 1: preserve the old class identity (the old data offset is
+     derived from the class at recovery, not stored). *)
   Header.write_old_class dev addr old_layout.class_idx;
-  Header.write_old_data_off dev addr old_layout.data_off;
   Header.write_flag dev addr 1;
   commit_slab_header t clock addr;
   (* Step 2: record the live old blocks in the index table. *)
@@ -294,9 +310,8 @@ let transform_slab t clock s target_class =
      dependency. *)
   commit_slab_header t clock addr
     ~deps:(if nlive > 0 then [ ("index:record", index_span) ] else []);
-  (* Step 3: install the new class: header fields and rebuilt bitmap. *)
+  (* Step 3: install the new class: header field and rebuilt bitmap. *)
   Header.write_class dev addr target_class;
-  Header.write_data_off dev addr new_layout.data_off;
   (* With no surviving old blocks the morph completes right here, so
      retire the old-class identity the way release_old_block would at
      cnt_slab = 0 (same header commit line; index_count is already 0). *)
@@ -325,10 +340,8 @@ let transform_slab t clock s target_class =
       ~len:(new_layout.bitmap_lines * Pmem.Cacheline.size)
   in
   Pstruct.flush_span dev clock Pmem.Stats.Meta bitmap_span;
-  Header.write_flag dev addr 0;
-  (* Flag 0 asserts the new class's bitmap is in place. *)
-  commit_slab_header t clock addr ~deps:[ ("bitmap:rebuilt", bitmap_span) ];
-  (* Volatile state. *)
+  (* Volatile state first, so the flag-0 commit records an in-range free
+     hint for the new layout. *)
   let morph =
     {
       old_class = old_layout.class_idx;
@@ -340,12 +353,10 @@ let transform_slab t clock s target_class =
     }
   in
   s.morph <- (if nlive > 0 then Some morph else None);
-  let rec free_blocks j acc =
-    if j < 0 then acc
-    else free_blocks (j - 1) (if cnt_block.(j) = 0 then j :: acc else acc)
-  in
-  s.free_stack <- free_blocks (new_layout.nblocks - 1) [];
-  s.free_count <- List.length s.free_stack;
+  Slab.recompute_free dev s;
+  Header.write_flag dev addr 0;
+  (* Flag 0 asserts the new class's bitmap is in place. *)
+  commit_slab_header t clock addr ~deps:[ ("bitmap:rebuilt", bitmap_span) ];
   match t.telem with
   | None -> ()
   | Some e ->
@@ -387,6 +398,16 @@ let try_morph t clock target_class =
    internal-collection variant tcache-resident blocks were never marked, so
    there is no bit to clear. *)
 let return_block t clock s b =
+  if is_gc t && Slab.free_mem s b then
+    (* GC resurrection aliasing: a pre-crash free whose root-clear never
+       persisted is revived by the conservative mark even though its space
+       was already reused and republished — the post-crash caller then
+       frees the same slot through both publications. Makalu's free is a
+       mark and inherently idempotent, so absorb the duplicate. The other
+       variants keep the hard double-free assert: their frees are logged
+       (LOG) or eagerly unmarked (IC), so a duplicate there is a bug. *)
+    Pmem.Device.dram_op t.dev clock
+  else begin
   if not (is_ic t) then begin
     Bitmap.clear t.dev s.Slab.bitmap b;
     if is_log t then begin
@@ -402,9 +423,9 @@ let return_block t clock s b =
     end
   end;
   if s.Slab.free_count = 0 then freelist_add t s;
-  s.Slab.free_count <- s.Slab.free_count + 1;
-  s.Slab.free_stack <- b :: s.Slab.free_stack;
+  Slab.free_put s b;
   maybe_destroy_empty t clock s
+  end
 
 (* Release of a block_before: resolved against the index table, bypassing
    the tcache (section 5.2, "Block release"). *)
@@ -427,9 +448,14 @@ let release_old_block t clock s (m : Slab.morph) old_b =
         Pstruct.flush_span t.dev clock Pmem.Stats.Meta sp;
         cleared := ("bitmap:unpin", sp) :: !cleared
       end;
-      if s.Slab.free_count = 0 then freelist_add t s;
-      s.Slab.free_count <- s.Slab.free_count + 1;
-      s.Slab.free_stack <- j :: s.Slab.free_stack
+      (* The pinned slot may already sit in the free set after a crash in
+         the GC variant: resurrection aliasing (see return_block) can mark
+         both an old block and the new-grid block it pins, and the new
+         block's free lands first. *)
+      if not (is_gc t && Slab.free_mem s j) then begin
+        if s.Slab.free_count = 0 then freelist_add t s;
+        Slab.free_put s j
+      end
     end
   done;
   Slab.write_index_entry t.dev s.Slab.addr slot
@@ -598,13 +624,29 @@ let refill_tcache t clock tc class_idx =
     lru_touch t s;
     let continue_slab = ref true in
     while (not (Tcache.is_full tc)) && !continue_slab do
-      match s.Slab.free_stack with
-      | [] ->
+      (* Slot selection. On the dominant path — no morph in progress,
+         bits marked at refill — the persistent bitmap itself is scanned
+         with the word-level {!Bitmap.find_first_zero} (section 5.1): a
+         clear bit is exactly an available block, so the volatile free
+         set is only a cross-checked mirror. Morphing slabs (clear but
+         pinned bits) and the internal-collection variant (clear bits for
+         tcache residents) allocate from the volatile set instead. *)
+      let b_opt =
+        if (not (is_ic t)) && s.Slab.morph = None then (
+          match Bitmap.find_first_zero t.dev s.Slab.bitmap with
+          | Some b ->
+              Slab.free_claim s b;
+              Some b
+          | None ->
+              assert (s.Slab.free_count = 0);
+              None)
+        else Slab.free_take_first s
+      in
+      match b_opt with
+      | None ->
           freelist_remove t s;
           continue_slab := false
-      | b :: rest ->
-          s.Slab.free_stack <- rest;
-          s.Slab.free_count <- s.Slab.free_count - 1;
+      | Some b ->
           if is_ic t then
             (* Internal collection: the bit is set only when the block is
                handed to the user, so the bitmap enumerates exactly the
@@ -726,8 +768,6 @@ let recover_return_block t clock s b = return_block t clock s b
 let recover_rebuild_slab t clock s ~live =
   let open Slab in
   let layout = s.layout in
-  let stack = ref [] in
-  let count = ref 0 in
   let released = ref 0 in
   for b = layout.nblocks - 1 downto 0 do
     let pinned = not (usable s b) in
@@ -735,14 +775,9 @@ let recover_rebuild_slab t clock s ~live =
     let had = Bitmap.get t.dev s.bitmap b in
     if had && (not want) then incr released;
     if had <> want then
-      if want then Bitmap.set t.dev s.bitmap b else Bitmap.clear t.dev s.bitmap b;
-    if not want then begin
-      stack := b :: !stack;
-      incr count
-    end
+      if want then Bitmap.set t.dev s.bitmap b else Bitmap.clear t.dev s.bitmap b
   done;
-  s.free_stack <- !stack;
-  s.free_count <- !count;
+  Slab.recompute_free t.dev s;
   flush_meta t clock ~addr:(bitmap_addr s)
     ~len:(layout.bitmap_lines * Pmem.Cacheline.size);
   (match s.freelist_node with

@@ -76,3 +76,76 @@ let iter_set dev t f =
   for b = 0 to t.nbits - 1 do
     if get dev t b then f b
   done
+
+(* Word-level scans (section 5.1): the bitmap bytes are little-endian, so
+   bit [p] of an 8-byte word read at byte offset [o] is the same bit as
+   byte [o + p/8], mask [1 lsl (p mod 8)] — in-line bit index [o*8 + p].
+   Full words compare equal to all-ones and are skipped in one step. *)
+
+let words_per_line = Pmem.Cacheline.size / 8
+
+let read_word dev t ~line ~word =
+  Pmem.Device.read_int64 dev (t.base + (line * Pmem.Cacheline.size) + (word * 8))
+
+(* Bit indices >= [valid] within the line do not map to any block; read
+   them as ones so the scan never reports them. [lo] is the in-line bit
+   index of the word's bit 0. *)
+let mask_invalid w ~lo ~valid =
+  if valid >= lo + 64 then w
+  else if valid <= lo then Int64.minus_one
+  else Int64.logor w (Int64.shift_left Int64.minus_one (valid - lo))
+
+let first_zero_bit w =
+  if Int64.equal w Int64.minus_one then None
+  else begin
+    let j = ref 0 in
+    while Int64.logand (Int64.shift_right_logical w !j) 1L <> 0L do
+      incr j
+    done;
+    Some !j
+  end
+
+let find_first_zero dev t =
+  match t.mapping with
+  | Sequential ->
+      (* Global word [w] covers blocks [w*64, w*64+64). *)
+      let nwords = (t.nbits + 63) / 64 in
+      let rec scan w =
+        if w >= nwords then None
+        else
+          let raw = read_word dev t ~line:(w / words_per_line) ~word:(w mod words_per_line) in
+          let lo = w mod words_per_line * 64 in
+          let valid_in_line = t.nbits - (w / words_per_line * bits_per_line) in
+          match first_zero_bit (mask_invalid raw ~lo ~valid:valid_in_line) with
+          | Some j -> Some ((w * 64) + j)
+          | None -> scan (w + 1)
+      in
+      scan 0
+  | Interleaved _ ->
+      (* Block [b] maps to (line [b mod lines], in-line index [b / lines]),
+         so block order is index-major: the smallest free block overall is
+         the smallest (index, line) pair over each line's first zero. *)
+      let best = ref max_int in
+      for line = 0 to t.lines - 1 do
+        if line < t.nbits then begin
+          let valid = (t.nbits - line + t.lines - 1) / t.lines in
+          let rec scan w =
+            if w * 64 < valid then
+              let raw = read_word dev t ~line ~word:w in
+              match first_zero_bit (mask_invalid raw ~lo:(w * 64) ~valid) with
+              | Some j ->
+                  let b = (((w * 64) + j) * t.lines) + line in
+                  if b < !best then best := b
+              | None -> scan (w + 1)
+          in
+          scan 0
+        end
+      done;
+      if !best = max_int then None else Some !best
+
+let set_first dev t =
+  match find_first_zero dev t with
+  | None -> None
+  | Some b ->
+      set dev t b;
+      Some b

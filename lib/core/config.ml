@@ -70,6 +70,11 @@ let media_floor t =
 let validate ?dev_size t =
   let reject fmt = Printf.ksprintf invalid_arg fmt in
   if t.arenas < 1 then reject "Config.arenas: need at least one arena (got %d)" t.arenas;
+  if t.arenas > 64 then
+    reject
+      "Config.arenas: the packed slab header's arena field is 6 bits, at most 64 arenas \
+       (got %d)"
+      t.arenas;
   if t.root_slots < 1 then
     reject "Config.root_slots: need at least one root slot (got %d)" t.root_slots;
   if t.wal_entries < 2 then

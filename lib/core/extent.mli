@@ -1,21 +1,29 @@
 (** Large allocator: extents and virtual extent headers (sections 2.2, 4.3).
 
     One instance lives in every arena. Extents (4 KB-multiple byte ranges
-    carved out of 4 MB mapped regions) are described by volatile VEHs kept
-    on three lists:
+    carved out of 4 MB mapped regions) are described by volatile VEHs in
+    one of three states:
 
     - {e activated}: allocated extents;
     - {e reclaimed}: free extents whose physical memory is still mapped;
     - {e retained}: free extents whose physical pages were released
       (decommitted) but whose address range is still reserved.
 
-    Allocation best-fits the reclaimed list, then the retained list
-    (faulting pages back in), then maps a new region. An address-ordered
-    red-black tree (the paper's "R-tree") supports splitting and
-    coalescing; a (size, addr)-ordered tree gives best-fit in O(log n).
-    A decay pass driven by the smootherstep curve (50 ms ticks) moves
-    idle reclaimed extents to retained and releases fully-retained
-    regions back to the OS.
+    Every index is a balanced tree: the address-ordered extent tree (the
+    paper's "R-tree") answers the floor/ceiling probes that splitting and
+    neighbour coalescing need in O(log n); (size, addr)-ordered trees give
+    best-fit; (free_time, addr)-ordered trees give oldest-first decay
+    without list walks; the mapped regions themselves live in an
+    address-ordered tree of {e page descriptors}, each counting its
+    activated extents so a page whose last live extent dies is detected in
+    O(1) and the whole region released back to the OS at the next decay
+    tick — reclaimed space coalesces across slab boundaries instead of
+    pinning a region per dead slab. A decay pass driven by the
+    smootherstep curve (50 ms ticks) moves idle reclaimed extents to
+    retained and releases fully-retained regions.
+
+    Tree searches and merges feed the device counters
+    [extent_tree_lookups] and [extents_coalesced].
 
     Persistent bookkeeping is pluggable ({!mode}): {e in-place} header
     slots at the head of each region (the design whose random small
@@ -34,10 +42,19 @@ type veh = {
   mutable state : state;
   mutable kind : Booklog.kind;
   mutable log_ref : int;  (** bookkeeping-log entry, -1 when none *)
-  mutable node : veh Support.Dlist.node option;  (** current list membership *)
   mutable free_time : float;
   region : int;  (** base address of the owning mapped region *)
 }
+
+type pagedesc = {
+  base : int;  (** region base address *)
+  total : int;  (** mapped bytes, header area included *)
+  page_data_off : int;  (** first data byte (in-place header area) *)
+  dedicated : bool;  (** mapped for one huge object *)
+  mutable activated_count : int;  (** live extents on this page *)
+}
+(** Descriptor of one mapped region ("huge page"), kept in an
+    address-ordered tree. *)
 
 type t
 
@@ -77,6 +94,14 @@ val booklog : t -> Booklog.t option
 val activated_bytes : t -> int
 val reclaimed_bytes : t -> int
 val retained_bytes : t -> int
+
+val page_of_addr : t -> int -> pagedesc option
+(** Floor lookup: the mapped region containing the address, if any. *)
+
+val iter_pages : t -> (pagedesc -> unit) -> unit
+(** In increasing base-address order. *)
+
+val page_count : t -> int
 
 val restore_region : t -> base:int -> total:int -> unit
 (** Recovery hook: re-register a mapped region read back from the

@@ -532,6 +532,21 @@ let iter_allocated t f =
 let allocated_small_blocks t =
   Array.fold_left (fun acc a -> acc + Arena.live_small_blocks a) 0 t.arenas
 
+let metadata_bytes t =
+  (* Per-object heap metadata resident right now: everything below each
+     slab's block 0 (packed header line, bitmaps, morph index table)
+     plus the in-place VEH slot area at the head of each mapped region.
+     Fixed-size arena structures (WAL, bookkeeping log) are excluded —
+     they do not grow with the number of live objects. *)
+  let total = ref 0 in
+  iter_slabs t (fun s -> total := !total + s.Slab.layout.Slab.data_off);
+  Array.iter
+    (fun a ->
+      Extent.iter_pages (Arena.large a) (fun pd ->
+          total := !total + pd.Extent.page_data_off))
+    t.arenas;
+  !total
+
 let slab_utilization_histogram t ~buckets =
   let bounds = Array.of_list buckets in
   let counts = Array.make (Array.length bounds) 0 in
@@ -569,29 +584,29 @@ let walk_slab t ~quiesced s =
   if s.Slab.dying then failf "slab %#x: dying slab still enumerated" sid;
   if s.Slab.free_count < 0 || s.Slab.free_count > l.Slab.nblocks then
     failf "slab %#x: free_count %d outside [0, %d]" sid s.Slab.free_count l.Slab.nblocks;
-  if List.length s.Slab.free_stack <> s.Slab.free_count then
-    failf "slab %#x: free-stack length %d <> free_count %d" sid
-      (List.length s.Slab.free_stack)
-      s.Slab.free_count;
-  let seen = Hashtbl.create 64 in
-  List.iter
-    (fun b ->
-      if b < 0 || b >= l.Slab.nblocks then failf "slab %#x: free-stack block %d out of range" sid b;
-      if Hashtbl.mem seen b then failf "slab %#x: block %d twice in the free stack" sid b;
-      Hashtbl.add seen b ();
+  let free_seen = ref 0 in
+  Slab.iter_free s (fun b ->
+      incr free_seen;
       if Bitmap.get t.dev s.Slab.bitmap b then
         failf "slab %#x: free block %d has its bitmap bit set" sid b;
-      if not (Slab.usable s b) then failf "slab %#x: free-stack block %d is not usable" sid b)
-    s.Slab.free_stack;
-  (* Persistent header vs. volatile layout. *)
+      if not (Slab.usable s b) then failf "slab %#x: free block %d is not usable" sid b);
+  if !free_seen <> s.Slab.free_count then
+    failf "slab %#x: free-set size %d <> free_count %d" sid !free_seen s.Slab.free_count;
+  (* Persistent packed header vs. volatile layout. *)
+  if not (Slab.is_slab_header t.dev sid) then failf "slab %#x: bad header magic" sid;
   if Slab.Header.read_class t.dev sid <> l.Slab.class_idx then
     failf "slab %#x: persisted class %d <> volatile class %d" sid
       (Slab.Header.read_class t.dev sid)
       l.Slab.class_idx;
-  if Slab.Header.read_data_off t.dev sid <> l.Slab.data_off then
-    failf "slab %#x: persisted data_off %d <> volatile %d" sid
-      (Slab.Header.read_data_off t.dev sid)
-      l.Slab.data_off;
+  if Slab.Header.read_arena t.dev sid <> s.Slab.arena then
+    failf "slab %#x: persisted arena %d <> volatile arena %d" sid
+      (Slab.Header.read_arena t.dev sid)
+      s.Slab.arena;
+  (* The free hint is advisory (refreshed only at header commits) but must
+     stay in the packed field's valid range for the current layout. *)
+  let hint = Slab.Header.read_free_hint t.dev sid in
+  if hint > l.Slab.nblocks then
+    failf "slab %#x: persisted free hint %d exceeds nblocks %d" sid hint l.Slab.nblocks;
   let flag = Slab.Header.read_flag t.dev sid in
   if flag <> 0 then failf "slab %#x: morph flag %d left nonzero at rest" sid flag;
   (* Tcache accounting: only the internal-collection variant tracks
@@ -623,10 +638,6 @@ let walk_slab t ~quiesced s =
         failf "slab %#x: persisted old_class %d <> volatile %d" sid
           (Slab.Header.read_old_class t.dev sid)
           m.Slab.old_class;
-      if Slab.Header.read_old_data_off t.dev sid <> m.Slab.old_data_off then
-        failf "slab %#x: persisted old_data_off %d <> volatile %d" sid
-          (Slab.Header.read_old_data_off t.dev sid)
-          m.Slab.old_data_off;
       let icount = Slab.Header.read_index_count t.dev sid in
       let by_slot = Hashtbl.create 16 in
       Hashtbl.iter

@@ -116,6 +116,13 @@ val stats : t -> Pmem.Stats.t
 val allocated_small_blocks : t -> int
 (** Blocks marked allocated across all slabs (tcache-resident included). *)
 
+val metadata_bytes : t -> int
+(** Bytes of per-object heap metadata currently resident: each live
+    slab's header area (packed header line, bitmaps, morph index table —
+    everything below [Slab.data_off]) plus the in-place VEH slot tables
+    at the head of mapped regions. Fixed-size arena structures (WAL,
+    bookkeeping log) are excluded: they do not scale with live objects. *)
+
 type owner_info = { base : int; size : int; is_slab : bool }
 
 val owner_of_addr : t -> int -> owner_info option

@@ -2,7 +2,7 @@ let slab_bytes = 65536
 let index_capacity = 512
 let magic = 0x51AB
 let fixed_header = 64
-let no_class = 0xFFFF
+let no_class = 0xFF
 
 type layout = {
   class_idx : int;
@@ -18,7 +18,7 @@ let align64 n = (n + 63) land lnot 63
 (* The index table sits at a fixed offset before the bitmap so that a
    morph's step-2 index writes can never clobber the old bitmap, which the
    crash-undo path may still need while the flag is 1. The header's guard
-   replica (a mirrored copy of the fixed fields plus checksum, see
+   replica (a mirrored copy of the packed word plus checksum, see
    {!Guard}) gets its own cache line between the index table and the
    bitmap: damage to the header line and to its replica are independent
    faults. *)
@@ -46,7 +46,7 @@ type t = {
   mutable layout : layout;
   mutable bitmap : Bitmap.t;
   mutable free_count : int;
-  mutable free_stack : int list;
+  mutable avail : int array;
   mutable tcached : int; (* blocks popped to tcaches while unmarked (IC variant) *)
   mutable freelist_node : t Support.Dlist.node option;
   mutable lru_node : t Support.Dlist.node option;
@@ -64,23 +64,66 @@ and morph = {
   old_live : (int, int) Hashtbl.t;
 }
 
-(* Persistent header layout (see the .mli layout comment). *)
+(* --- packed persistent header --------------------------------------------
+
+   Every header field lives in one 64-bit word (see the .mli bit diagram):
+
+     0..15  magic        16..23 size class    24..25 morph flag
+     26..33 old class    34..43 index count   44..49 arena
+     50..62 free hint    63     always 0
+
+   so a header commit dirties a single cache line, an aligned 8-byte
+   store is crash-atomic under the torn-store model, and bit 63 staying
+   zero makes the word a lossless OCaml int. [free hint] is advisory
+   (refreshed only inside header commits, recomputed by recovery). *)
+
 module Hdr = struct
   let l = Pstruct.layout "slab.header"
-  let magic = Pstruct.u16 l "magic" ~off:0
-  let class_ = Pstruct.u16 l "class" ~off:2
-  let data = Pstruct.u16 l "data_off" ~off:4
-  let flag = Pstruct.u8 l "flag" ~off:6
-  let old_class = Pstruct.u16 l "old_class" ~off:8
-  let old_data = Pstruct.u16 l "old_data_off" ~off:10
-  let index_count = Pstruct.u16 l "index_count" ~off:12
-  let cksum = Pstruct.u16 l "cksum" ~off:14
+  let word = Pstruct.i64 l "packed" ~off:0
+  let cksum = Pstruct.u16 l "cksum" ~off:8
   let () = Pstruct.seal l ~size:fixed_header
 end
 
-(* Guarded bytes: every fixed field above, checksum excluded. *)
-let guarded_len = 14
-let _ = Hdr.cksum
+let shift_magic = 0
+and shift_class = 16
+and shift_flag = 24
+and shift_old_class = 26
+and shift_index_count = 34
+and shift_arena = 44
+and shift_free_hint = 50
+
+let mask_magic = 0xFFFF
+and mask_class = 0xFF
+and mask_flag = 0x3
+and mask_old_class = 0xFF
+and mask_index_count = 0x3FF
+and mask_arena = 0x3F
+and mask_free_hint = 0x1FFF
+
+let () = assert (Size_class.count < no_class)
+
+let get_bits w ~shift ~mask = (w lsr shift) land mask
+
+let set_bits w ~shift ~mask v =
+  assert (v land lnot mask = 0);
+  w land lnot (mask lsl shift) lor (v lsl shift)
+
+let read_word dev addr = Int64.to_int (Pstruct.get dev ~base:addr Hdr.word)
+let write_word dev addr w = Pstruct.set dev ~base:addr Hdr.word (Int64.of_int w)
+
+(* Mutation-test knob (--broken-header): mis-decode the class field by
+   flipping its lowest bit, as a mispacked shift would. Read-side only, so
+   the persistent image stays intact and the defect is purely a decoder
+   bug for the walkers to catch. *)
+let broken_header = ref false
+let unsafe_set_broken_header v = broken_header := v
+
+let word_class w =
+  let c = get_bits w ~shift:shift_class ~mask:mask_class in
+  if !broken_header then c lxor 1 else c
+
+(* Guarded bytes: the packed word; checksum at offset 8. *)
+let guarded_len = 8
 
 let guard_record addr =
   {
@@ -91,6 +134,8 @@ let guard_record addr =
     r_ck = addr + replica_off + guarded_len;
     cat = Pmem.Stats.Meta;
   }
+
+let _ = Hdr.cksum
 
 (* The index table: packed u16 entries at a fixed offset. *)
 module Index = struct
@@ -107,56 +152,131 @@ let write_index_entry dev addr i v = Pstruct.set_elt dev ~base:(addr + index_off
 let index_entry_span addr i = Pstruct.elt_span ~base:(addr + index_off) Index.entries i
 
 (* The span the morph protocol commits when it flushes "the header": the
-   fixed fields' first line. *)
+   packed word and its checksum, well inside the slab's first line. *)
 let header_commit_span addr = Pstruct.span_of ~addr ~len:16
+
+let read_class dev addr = word_class (read_word dev addr)
+let is_slab_header dev addr = get_bits (read_word dev addr) ~shift:shift_magic ~mask:mask_magic = magic
+
+module Header = struct
+  let rmw dev addr ~shift ~mask v = write_word dev addr (set_bits (read_word dev addr) ~shift ~mask v)
+  let read_class = read_class
+  let write_class dev addr v = rmw dev addr ~shift:shift_class ~mask:mask_class v
+  let read_flag dev addr = get_bits (read_word dev addr) ~shift:shift_flag ~mask:mask_flag
+  let write_flag dev addr v = rmw dev addr ~shift:shift_flag ~mask:mask_flag v
+  let read_old_class dev addr = get_bits (read_word dev addr) ~shift:shift_old_class ~mask:mask_old_class
+  let write_old_class dev addr v = rmw dev addr ~shift:shift_old_class ~mask:mask_old_class v
+  let read_index_count dev addr =
+    get_bits (read_word dev addr) ~shift:shift_index_count ~mask:mask_index_count
+  let write_index_count dev addr v = rmw dev addr ~shift:shift_index_count ~mask:mask_index_count v
+  let read_arena dev addr = get_bits (read_word dev addr) ~shift:shift_arena ~mask:mask_arena
+  let write_arena dev addr v = rmw dev addr ~shift:shift_arena ~mask:mask_arena v
+  let read_free_hint dev addr =
+    get_bits (read_word dev addr) ~shift:shift_free_hint ~mask:mask_free_hint
+  let write_free_hint dev addr v = rmw dev addr ~shift:shift_free_hint ~mask:mask_free_hint v
+  let no_class = no_class
+end
+
+(* --- volatile free-block bitset ------------------------------------------
+
+   One bit per block, 1 = available to hand out. Replaces the old free
+   stack: membership is O(1), duplicates are impossible by construction,
+   and first-fit is a word scan — the same shape as the persistent
+   bitmap's {!Bitmap.find_first_zero}, with which it agrees bit-for-bit on
+   non-morphing slabs outside the internal-collection variant. *)
+
+let avail_bits = 32
+
+let avail_words n = (n + avail_bits - 1) / avail_bits
+
+let free_mem t b = t.avail.(b / avail_bits) land (1 lsl (b mod avail_bits)) <> 0
+
+let free_put t b =
+  assert (not (free_mem t b));
+  t.avail.(b / avail_bits) <- t.avail.(b / avail_bits) lor (1 lsl (b mod avail_bits));
+  t.free_count <- t.free_count + 1
+
+let free_claim t b =
+  assert (free_mem t b);
+  t.avail.(b / avail_bits) <- t.avail.(b / avail_bits) land lnot (1 lsl (b mod avail_bits));
+  t.free_count <- t.free_count - 1
+
+let free_take_first t =
+  let n = Array.length t.avail in
+  let rec scan i =
+    if i >= n then None
+    else if t.avail.(i) = 0 then scan (i + 1)
+    else begin
+      let w = t.avail.(i) in
+      let j = ref 0 in
+      while w land (1 lsl !j) = 0 do
+        incr j
+      done;
+      let b = (i * avail_bits) + !j in
+      free_claim t b;
+      Some b
+    end
+  in
+  scan 0
+
+let iter_free t f =
+  for b = 0 to t.layout.nblocks - 1 do
+    if free_mem t b then f b
+  done
+
+let usable t b =
+  match t.morph with
+  | None -> true
+  | Some m -> m.cnt_block.(b) = 0
+
+(* Recompute the free set from the persistent bitmap and the morph pins.
+   A pinned block's bit is normally set, but a crash inside an old-block
+   release can leave it already cleared (bits are cleared before the
+   index-entry commit); such a block must stay out of the free set — the
+   release will add it when it re-runs and the pin drops. *)
+let recompute_free dev t =
+  t.avail <- Array.make (avail_words t.layout.nblocks) 0;
+  t.free_count <- 0;
+  for b = 0 to t.layout.nblocks - 1 do
+    if (not (Bitmap.get dev t.bitmap b)) && usable t b then free_put t b
+  done
 
 let format dev ~addr ~arena ~mapping layout =
   assert (addr mod 4096 = 0);
-  Pstruct.set dev ~base:addr Hdr.magic magic;
-  Pstruct.set dev ~base:addr Hdr.class_ layout.class_idx;
-  Pstruct.set dev ~base:addr Hdr.data layout.data_off;
-  Pstruct.set dev ~base:addr Hdr.flag 0;
-  Pstruct.set dev ~base:addr Hdr.old_class no_class;
-  Pstruct.set dev ~base:addr Hdr.old_data 0;
-  Pstruct.set dev ~base:addr Hdr.index_count 0;
+  assert (arena land lnot mask_arena = 0);
+  assert (layout.nblocks land lnot mask_free_hint = 0);
+  let w = magic in
+  let w = set_bits w ~shift:shift_class ~mask:mask_class layout.class_idx in
+  let w = set_bits w ~shift:shift_old_class ~mask:mask_old_class no_class in
+  let w = set_bits w ~shift:shift_arena ~mask:mask_arena arena in
+  let w = set_bits w ~shift:shift_free_hint ~mask:mask_free_hint layout.nblocks in
+  write_word dev addr w;
   Guard.refresh dev (guard_record addr);
   Pmem.Device.fill dev (addr + bitmap_off) (layout.bitmap_lines * Pmem.Cacheline.size) '\000';
   let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
   assert (bitmap.Bitmap.lines = layout.bitmap_lines);
-  let rec stack i acc = if i < 0 then acc else stack (i - 1) (i :: acc) in
-  {
-    addr;
-    arena;
-    layout;
-    bitmap;
-    free_count = layout.nblocks;
-    free_stack = stack (layout.nblocks - 1) [];
-    tcached = 0;
-    freelist_node = None;
-    lru_node = None;
-    morph = None;
-    dying = false;
-    quarantined = false;
-  }
+  let avail = Array.make (avail_words layout.nblocks) 0 in
+  let t =
+    {
+      addr;
+      arena;
+      layout;
+      bitmap;
+      free_count = 0;
+      avail;
+      tcached = 0;
+      freelist_node = None;
+      lru_node = None;
+      morph = None;
+      dying = false;
+      quarantined = false;
+    }
+  in
+  for b = 0 to layout.nblocks - 1 do
+    free_put t b
+  done;
+  t
 
-let read_class dev addr = Pstruct.get dev ~base:addr Hdr.class_
-let is_slab_header dev addr = Pstruct.get dev ~base:addr Hdr.magic = magic
-
-module Header = struct
-  let read_class = read_class
-  let write_class dev addr v = Pstruct.set dev ~base:addr Hdr.class_ v
-  let read_data_off dev addr = Pstruct.get dev ~base:addr Hdr.data
-  let write_data_off dev addr v = Pstruct.set dev ~base:addr Hdr.data v
-  let read_flag dev addr = Pstruct.get dev ~base:addr Hdr.flag
-  let write_flag dev addr v = Pstruct.set dev ~base:addr Hdr.flag v
-  let read_old_class dev addr = Pstruct.get dev ~base:addr Hdr.old_class
-  let write_old_class dev addr v = Pstruct.set dev ~base:addr Hdr.old_class v
-  let read_old_data_off dev addr = Pstruct.get dev ~base:addr Hdr.old_data
-  let write_old_data_off dev addr v = Pstruct.set dev ~base:addr Hdr.old_data v
-  let read_index_count dev addr = Pstruct.get dev ~base:addr Hdr.index_count
-  let write_index_count dev addr v = Pstruct.set dev ~base:addr Hdr.index_count v
-  let no_class = no_class
-end
 let block_addr t b = t.addr + t.layout.data_off + (b * t.layout.block_size)
 
 let block_index t addr =
@@ -171,11 +291,6 @@ let contains_new_block t addr =
   off >= 0
   && off mod t.layout.block_size = 0
   && off / t.layout.block_size < t.layout.nblocks
-
-let usable t b =
-  match t.morph with
-  | None -> true
-  | Some m -> m.cnt_block.(b) = 0
 
 let occupancy_ratio t =
   let total = t.layout.nblocks in
@@ -209,7 +324,15 @@ let overlapping_new_blocks t m old_b =
 let rebuild_vslab dev ~addr ~arena ~mapping =
   let class_idx = Header.read_class dev addr in
   let layout = layout_of_class ~class_idx ~mapping in
-  assert (layout.data_off = Header.read_data_off dev addr);
+  (* The persisted arena index may disagree with the caller's placement
+     (older images, or recovery rebalancing slabs round-robin); the caller
+     wins and the word is rewritten so the persistent image matches. The
+     word is crash-atomic, so a crash before this persists just means the
+     next recovery repeats the fix. *)
+  if Header.read_arena dev addr <> arena then begin
+    Header.write_arena dev addr (arena land mask_arena);
+    Guard.refresh dev (guard_record addr)
+  end;
   let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:layout.nblocks ~mapping in
   let s =
     {
@@ -218,7 +341,7 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
       layout;
       bitmap;
       free_count = 0;
-      free_stack = [];
+      avail = Array.make (avail_words layout.nblocks) 0;
       tcached = 0;
       freelist_node = None;
       lru_node = None;
@@ -239,7 +362,7 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
       {
         old_class;
         old_block_size = old_layout.block_size;
-        old_data_off = Header.read_old_data_off dev addr;
+        old_data_off = old_layout.data_off;
         cnt_slab = 0;
         cnt_block;
         old_live;
@@ -258,29 +381,18 @@ let rebuild_vslab dev ~addr ~arena ~mapping =
     done;
     if m.cnt_slab > 0 then s.morph <- Some m
   end;
-  (* Free blocks: clear bit and not morph-pinned. A pinned block's bit is
-     normally set, but a crash inside an old-block release can leave it
-     already cleared (bits are cleared before the index-entry commit);
-     such a block must stay out of the free stack — the release will push
-     it when it re-runs and the pin drops. *)
-  let stack = ref [] in
-  for b = layout.nblocks - 1 downto 0 do
-    if (not (Bitmap.get dev bitmap b)) && usable s b then stack := b :: !stack
-  done;
-  s.free_stack <- !stack;
-  s.free_count <- List.length !stack;
+  recompute_free dev s;
   s
 
 let undo_morph dev ~addr ~mapping =
   let flag = Header.read_flag dev addr in
   assert (flag = 1 || flag = 2);
   if flag = 2 then begin
-    (* The new class fields and bitmap may be partially written: restore
+    (* The new class field and bitmap may be partially written: restore
        the old class and rebuild its bitmap from the index table. *)
     let old_class = Header.read_old_class dev addr in
     let old_layout = layout_of_class ~class_idx:old_class ~mapping in
     Header.write_class dev addr old_class;
-    Header.write_data_off dev addr old_layout.data_off;
     let bitmap = Bitmap.make ~base:(addr + bitmap_off) ~nbits:old_layout.nblocks ~mapping in
     Pmem.Device.fill dev (addr + bitmap_off) (Bitmap.bytes bitmap) '\000';
     let index_count = Header.read_index_count dev addr in
@@ -290,9 +402,11 @@ let undo_morph dev ~addr ~mapping =
     done
   end;
   Header.write_old_class dev addr no_class;
-  Header.write_old_data_off dev addr 0;
   Header.write_index_count dev addr 0;
   Header.write_flag dev addr 0;
+  (* The stale hint may exceed the restored class's block count; zero is
+     always in range and recovery recomputes the real free set anyway. *)
+  Header.write_free_hint dev addr 0;
   Guard.refresh dev (guard_record addr)
 
 let recover dev ~addr ~arena ~mapping =

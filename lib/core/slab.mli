@@ -2,29 +2,47 @@
 
     Each slab has a {e persistent header} — everything needed to rebuild
     state after a crash — and a {e volatile} descriptor ([t], the paper's
-    vslab) for fast free-block search. The persistent header holds:
+    vslab) for fast free-block search.
 
-    - [size_class], [data_offset] and the block bitmap (one bit per block,
-      mapped sequentially or interleaved, see {!Bitmap});
-    - the morphing fields [flag], [old_size_class], [old_data_offset] and
-      the [index_table] recording the live blocks of the previous size
-      class while the slab hosts two classes at once (section 5.2).
+    The persistent header is one {e packed 64-bit word} (plus its
+    checksum), so that every header commit dirties exactly one cache
+    line and every header update is a single 8-byte store — crash-atomic
+    under the torn-store model, no torn multi-field headers to repair:
+
+    {v
+    bit 0              16      24    26         34          44     50         63
+        +--------------+-------+-----+----------+-----------+------+----------+-+
+        | magic 0x51AB | class | flg | old_class| index_cnt | arena| free_hint|0|
+        |    16 bits   |   8   |  2  |    8     |    10     |  6   |    13    | |
+        +--------------+-------+-----+----------+-----------+------+----------+-+
+    v}
+
+    - [class] is the size-class index; [data_offset] is {e derived} from
+      it via {!layout_of_class} and no longer stored.
+    - [flg]/[old_class]/[index_cnt] are the morphing fields (section
+      5.2); the index table records the live blocks of the previous size
+      class while the slab hosts two classes at once. [old_class] =
+      [0xFF] ([Header.no_class]) when the slab is not morphing.
+    - [arena] is the owning arena index (recovery placement).
+    - [free_hint] is an {e advisory} free-block count, refreshed only
+      inside header commits and recomputed by recovery — never read on
+      the hot path, so no extra header dirtying per alloc/free.
+    - bit 63 stays zero, making the word a lossless OCaml int.
 
     Persistent layout of a slab (offsets from the slab base):
     {v
-    0     magic:u16  size_class:u16  data_offset:u16  flag:u8  pad:u8
-    8     old_size_class:u16  old_data_offset:u16  index_count:u16  cksum:u16
+    0     packed header word (8 B)   cksum:u16 (offset 8)
     64    index_table     (512 entries * 2 B, fixed position)
-    1088  guard replica   (mirrored copy of bytes 0..15, one cache line)
+    1088  guard replica   (mirrored copy of bytes 0..9, one cache line)
     1152  bitmap          (bitmap_lines * 64 B, cache-line aligned)
     data_offset  blocks
     v}
 
-    [cksum] guards bytes 0..13 of the header ({!Guard}): it is refreshed
-    inside every header commit (same cache line, so it persists for
-    free), and — when [Config.media_replication] is on — mirrored
-    together with the fields into the guard-replica line so a poisoned
-    or rotten header can be repaired instead of losing the slab.
+    [cksum] guards the packed word ({!Guard}): it is refreshed inside
+    every header commit (same cache line, so it persists for free), and —
+    when [Config.media_replication] is on — mirrored together with the
+    word into the guard-replica line so a poisoned or rotten header can
+    be repaired instead of losing the slab.
 
     The index table sits at a fixed offset {e before} the bitmap so that a
     morph's step-2 index writes can never clobber the old bitmap, which
@@ -65,7 +83,11 @@ type t = {
   mutable layout : layout;
   mutable bitmap : Bitmap.t;
   mutable free_count : int;
-  mutable free_stack : int list;  (** volatile cache of free block indices *)
+  mutable avail : int array;
+      (** volatile free-block bitset (1 = available), kept via
+          {!free_put}/{!free_claim}; agrees bit-for-bit with the
+          complement of the persistent bitmap on non-morphing slabs
+          outside the internal-collection variant *)
   mutable tcached : int;
       (** blocks sitting in tcaches while unmarked in the bitmap
           (internal-collection variant); such a slab must not morph *)
@@ -98,7 +120,7 @@ val format :
     computed with the same [mapping]. *)
 
 val header_addr : t -> int
-(** Address of the first header line (fixed fields). *)
+(** Address of the header line (the packed word). *)
 
 val bitmap_addr : t -> int
 val index_entry_addr : t -> int -> int
@@ -114,11 +136,11 @@ val index_entry_span : int -> int -> Pstruct.span
     (flush target / commit dependency). *)
 
 val header_commit_span : int -> Pstruct.span
-(** The fixed header fields the morph protocol commits as one unit (the
-    first 16 bytes of the slab). *)
+(** The header unit the morph protocol commits: the packed word plus its
+    checksum (the first 16 bytes of the slab — always one cache line). *)
 
 val guard_record : int -> Guard.record
-(** The header's guard record (checksum at offset 14, replica line at
+(** The header's guard record (checksum at offset 8, replica line at
     offset 1088) for the slab based at the given address. Every header
     write site refreshes the checksum before committing; replication and
     repair are driven by [Arena]/[Nvalloc]. *)
@@ -129,24 +151,32 @@ val read_class : Pmem.Device.t -> int -> int
 val is_slab_header : Pmem.Device.t -> int -> bool
 (** Magic check, used by recovery when scanning extents. *)
 
+val unsafe_set_broken_header : bool -> unit
+(** Mutation-test knob: make the packed-word {e decoder} flip the lowest
+    bit of the class field (as a mispacked shift would), so every header
+    read disagrees with the volatile layout. Caught by
+    [Nvalloc.integrity_walk] and the lib/check runner; never set outside
+    a test harness. Global — construction paths reset it. *)
+
 (** Raw persistent-header field access by slab base address, for the
-    morphing state machine and recovery (which has no vslab yet). Writers
-    touch the volatile image only; callers flush. *)
+    morphing state machine and recovery (which has no vslab yet). Each
+    write is a read-modify-write of the packed word in the volatile
+    image only; callers flush. *)
 module Header : sig
   val read_class : Pmem.Device.t -> int -> int
   val write_class : Pmem.Device.t -> int -> int -> unit
-  val read_data_off : Pmem.Device.t -> int -> int
-  val write_data_off : Pmem.Device.t -> int -> int -> unit
   val read_flag : Pmem.Device.t -> int -> int
   val write_flag : Pmem.Device.t -> int -> int -> unit
   val read_old_class : Pmem.Device.t -> int -> int
   (** [no_class] when the slab is not (and was not) morphing. *)
 
   val write_old_class : Pmem.Device.t -> int -> int -> unit
-  val read_old_data_off : Pmem.Device.t -> int -> int
-  val write_old_data_off : Pmem.Device.t -> int -> int -> unit
   val read_index_count : Pmem.Device.t -> int -> int
   val write_index_count : Pmem.Device.t -> int -> int -> unit
+  val read_arena : Pmem.Device.t -> int -> int
+  val write_arena : Pmem.Device.t -> int -> int -> unit
+  val read_free_hint : Pmem.Device.t -> int -> int
+  val write_free_hint : Pmem.Device.t -> int -> int -> unit
   val no_class : int
 end
 
@@ -166,6 +196,32 @@ val usable : t -> int -> bool
 val occupancy_ratio : t -> float
 (** Allocated blocks / total blocks (the paper's Ratio_occupy). Counts
     morph-pinned blocks as allocated. *)
+
+(** {1 Volatile free set} *)
+
+val free_mem : t -> int -> bool
+(** Block [b] is in the free set. *)
+
+val free_put : t -> int -> unit
+(** Add block [b] to the free set (asserts it is absent);
+    increments [free_count]. *)
+
+val free_claim : t -> int -> unit
+(** Remove block [b] from the free set (asserts it is present);
+    decrements [free_count]. *)
+
+val free_take_first : t -> int option
+(** Claim and return the lowest-index free block (word-scan first-fit),
+    [None] when the free set is empty. *)
+
+val iter_free : t -> (int -> unit) -> unit
+(** Apply to every free block index, ascending. *)
+
+val recompute_free : Pmem.Device.t -> t -> unit
+(** Rebuild the free set (and [free_count]) from the persistent bitmap
+    and the morph pins: free = bit clear and {!usable}. Allocates a fresh
+    bitset sized to the current layout — call after a morph swaps the
+    layout or after recovery rebuilds the bitmap. *)
 
 (** {1 Morphing support} *)
 
@@ -187,8 +243,9 @@ val recover : Pmem.Device.t -> addr:int -> arena:int -> mapping:Bitmap.mapping -
 (** Rebuild a vslab from its persistent header (section 4.4). If the
     header's flag shows a morph was torn by a crash, the transformation is
     undone first: flag 1 resets the copied old-class fields; flag 2
-    additionally restores the class fields and rebuilds the old bitmap
+    additionally restores the class field and rebuilds the old bitmap
     from the index table. Returns [(vslab, undone)]; when [undone] the
     caller must flush the whole header+bitmap area. Morphing state
     (old_live, cnt_slab, cnt_block) is reconstructed from the index
-    table for slabs still hosting two classes. *)
+    table for slabs still hosting two classes, with the old data offset
+    re-derived from [old_class] via {!layout_of_class}. *)

@@ -37,12 +37,14 @@ let mmap t clock ~size =
   if t.mapped > t.peak then t.peak <- t.mapped;
   addr
 
-let munmap t clock ~addr ~size =
+let munmap t clock ?(decommitted = 0) ~addr ~size () =
   let size = round_up size in
   if addr mod page_size <> 0 then
     invalid_arg (Printf.sprintf "Pmem.Dax.munmap: unaligned addr %d (page size %d)" addr page_size);
   Device.charge_work t.dev clock Stats.Other ~ns:munmap_ns;
-  t.mapped <- t.mapped - size;
+  (* [decommitted] bytes of the range already left the mapped count at
+     decommit time; subtracting them again would double-count. *)
+  t.mapped <- t.mapped - (size - round_up decommitted);
   (* Insert in address order and coalesce with neighbours. *)
   let rec insert = function
     | [] -> [ { addr; size } ]

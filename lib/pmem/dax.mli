@@ -33,9 +33,11 @@ val mmap : t -> Sim.Clock.t -> size:int -> int
     models the kernel VMA allocator closely enough for this purpose.
     Raises [Out_of_memory] if the device is exhausted. *)
 
-val munmap : t -> Sim.Clock.t -> addr:int -> size:int -> unit
+val munmap : t -> Sim.Clock.t -> ?decommitted:int -> addr:int -> size:int -> unit -> unit
 (** Return a region. Adjacent free regions coalesce. An [addr] that is
-    not page-aligned raises [Invalid_argument]. *)
+    not page-aligned raises [Invalid_argument]. [decommitted] bytes of
+    the range already left the mapped count via {!decommit} and are not
+    subtracted again. *)
 
 val mapped_bytes : t -> int
 val peak_mapped_bytes : t -> int

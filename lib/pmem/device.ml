@@ -765,6 +765,9 @@ let blit t ~src ~dst ~len =
 let note_media_repair t = Stats.record_media_repair t.stats
 let note_quarantine t = Stats.record_quarantine t.stats
 let note_scrub_pass t = Stats.record_scrub_pass t.stats
+let note_extent_coalesced t = Stats.record_extent_coalesced t.stats
+let note_extent_lookup t = Stats.record_extent_lookup t.stats
+let note_header_flush_line t = Stats.record_header_flush_line t.stats
 
 (* --- persist-ordering checker ----------------------------------------- *)
 

@@ -245,6 +245,15 @@ val note_media_repair : t -> unit
 val note_quarantine : t -> unit
 val note_scrub_pass : t -> unit
 
+val note_extent_coalesced : t -> unit
+(** Count one extent merge (see {!Stats.record_extent_coalesced}). *)
+
+val note_extent_lookup : t -> unit
+(** Count one extent-index tree search. *)
+
+val note_header_flush_line : t -> unit
+(** Count one cache line dirtied by a slab-header commit. *)
+
 (** {1 Persist-ordering checker}
 
     In check mode the device validates declared persist-ordering

@@ -30,6 +30,13 @@ type t = {
   mutable media_quarantines : int;
   mutable bitrot_flips : int;
   mutable scrub_passes : int;
+  (* Metadata-layout counters (packed headers + extent trees): extents
+     merged by coalescing, balanced-tree searches in the extent index,
+     and cache lines dirtied by slab-header commits (one per commit with
+     the packed header — the paper's "fewer dirty metadata lines"). *)
+  mutable extents_coalesced : int;
+  mutable extent_tree_lookups : int;
+  mutable header_flush_lines : int;
   (* First [trace_limit] metadata-class flushes, as two preallocated
      parallel buffers (category tag byte + address). The former list
      prepend allocated a cons + tuple per traced flush and needed a final
@@ -63,6 +70,9 @@ let create ?(trace_limit = 1000) () =
     media_quarantines = 0;
     bitrot_flips = 0;
     scrub_passes = 0;
+    extents_coalesced = 0;
+    extent_tree_lookups = 0;
+    header_flush_lines = 0;
     trace_cats = Bytes.make (max trace_limit 1) '\000';
     trace_addrs = Array.make (max trace_limit 1) 0;
     traced = 0;
@@ -87,6 +97,9 @@ let reset t =
   t.media_quarantines <- 0;
   t.bitrot_flips <- 0;
   t.scrub_passes <- 0;
+  t.extents_coalesced <- 0;
+  t.extent_tree_lookups <- 0;
+  t.header_flush_lines <- 0;
   (* Zero the trace buffers too, not just the cursor: a reset instance
      must not leak the previous run's addresses through the raw buffers,
      and must be indistinguishable from a fresh instance. *)
@@ -123,6 +136,9 @@ let record_media_repair t = t.media_repairs <- t.media_repairs + 1
 let record_quarantine t = t.media_quarantines <- t.media_quarantines + 1
 let record_bitrot t n = if n > 0 then t.bitrot_flips <- t.bitrot_flips + n
 let record_scrub_pass t = t.scrub_passes <- t.scrub_passes + 1
+let record_extent_coalesced t = t.extents_coalesced <- t.extents_coalesced + 1
+let record_extent_lookup t = t.extent_tree_lookups <- t.extent_tree_lookups + 1
+let record_header_flush_line t = t.header_flush_lines <- t.header_flush_lines + 1
 
 let charge_work t work ~ns =
   match work with
@@ -135,6 +151,9 @@ let media_repairs t = t.media_repairs
 let media_quarantines t = t.media_quarantines
 let bitrot_flips t = t.bitrot_flips
 let scrub_passes t = t.scrub_passes
+let extents_coalesced t = t.extents_coalesced
+let extent_tree_lookups t = t.extent_tree_lookups
+let header_flush_lines t = t.header_flush_lines
 let fences_saved t = t.fences_saved
 let flushes_coalesced t = t.flushes_coalesced
 let group_commits t = t.group_commits
@@ -170,7 +189,8 @@ let cat_of_name = function
   | "data" -> Some Data
   | _ -> None
 
-let json_schema = "nvalloc/stats/v3"
+let json_schema = "nvalloc/stats/v4"
+let json_schema_v3 = "nvalloc/stats/v3"
 let json_schema_v2 = "nvalloc/stats/v2"
 let json_schema_v1 = "nvalloc/stats/v1"
 
@@ -207,6 +227,9 @@ let to_json t =
       ("media_quarantines", Num (float_of_int t.media_quarantines));
       ("bitrot_flips", Num (float_of_int t.bitrot_flips));
       ("scrub_passes", Num (float_of_int t.scrub_passes));
+      ("extents_coalesced", Num (float_of_int t.extents_coalesced));
+      ("extent_tree_lookups", Num (float_of_int t.extent_tree_lookups));
+      ("header_flush_lines", Num (float_of_int t.header_flush_lines));
       ( "trace",
         Arr
           (List.init t.traced (fun i ->
@@ -226,23 +249,27 @@ let of_json j =
     | None -> Error (Printf.sprintf "Stats.of_json: missing or ill-typed field %S" name)
   in
   let* schema = field "schema" str j in
-  let* () =
-    if schema = json_schema || schema = json_schema_v2 || schema = json_schema_v1 then
-      Ok ()
+  let* schema_rank =
+    if schema = json_schema then Ok 4
+    else if schema = json_schema_v3 then Ok 3
+    else if schema = json_schema_v2 then Ok 2
+    else if schema = json_schema_v1 then Ok 1
     else Error (Printf.sprintf "Stats.of_json: unknown schema %S" schema)
   in
   let int_field name = field name (fun v -> Option.map int_of_float (num v)) j in
-  (* Counters introduced by v2: a v1 document predates the batching
-     pipeline, so they read back as zero. Counters introduced by v3
-     (media faults) likewise default to zero for v1 and v2 documents. *)
+  (* Counters read back as zero from documents older than the schema
+     revision that introduced them: v2 added the batching pipeline, v3
+     the media-fault model, v4 the metadata-layout counters. Documents at
+     or after the introducing revision must carry the field. *)
   let opt_int_field ~since name =
+    let since_rank = match since with `V2 -> 2 | `V3 -> 3 | `V4 -> 4 in
     match member name j with
-    | None when schema <> json_schema && (since = `V3 || schema = json_schema_v1) ->
-        Ok 0
+    | None when schema_rank < since_rank -> Ok 0
     | _ -> int_field name
   in
   let v2_int_field = opt_int_field ~since:`V2 in
   let v3_int_field = opt_int_field ~since:`V3 in
+  let v4_int_field = opt_int_field ~since:`V4 in
   let num_field name = field name num j in
   let* trace_limit = int_field "trace_limit" in
   let* () =
@@ -270,6 +297,9 @@ let of_json j =
   let* media_quarantines = v3_int_field "media_quarantines" in
   let* bitrot_flips = v3_int_field "bitrot_flips" in
   let* scrub_passes = v3_int_field "scrub_passes" in
+  let* extents_coalesced = v4_int_field "extents_coalesced" in
+  let* extent_tree_lookups = v4_int_field "extent_tree_lookups" in
+  let* header_flush_lines = v4_int_field "header_flush_lines" in
   let* trace = field "trace" arr j in
   let* () =
     if List.length trace <= trace_limit then Ok ()
@@ -297,6 +327,9 @@ let of_json j =
   t.media_quarantines <- media_quarantines;
   t.bitrot_flips <- bitrot_flips;
   t.scrub_passes <- scrub_passes;
+  t.extents_coalesced <- extents_coalesced;
+  t.extent_tree_lookups <- extent_tree_lookups;
+  t.header_flush_lines <- header_flush_lines;
   let rec load = function
     | [] -> Ok t
     | entry :: rest ->
@@ -321,8 +354,10 @@ let of_json_string s =
 let pp_summary ppf t =
   Format.fprintf ppf
     "flushes=%d reflush=%d (%.1f%%) seq=%d rand=%d meta=%.0fns wal=%.0fns log=%.0fns \
-     data=%.0fns saved_fences=%d coalesced=%d group_commits=%d (avg %.1f)"
+     data=%.0fns saved_fences=%d coalesced=%d group_commits=%d (avg %.1f) \
+     header_lines=%d ext_coalesced=%d ext_lookups=%d"
     t.flushes t.reflushes
     (100.0 *. reflush_ratio t)
     t.sequentials t.randoms t.cat_ns.(0) t.cat_ns.(1) t.cat_ns.(2) t.cat_ns.(3)
     t.fences_saved t.flushes_coalesced t.group_commits (group_commit_size t)
+    t.header_flush_lines t.extents_coalesced t.extent_tree_lookups

@@ -72,6 +72,18 @@ val record_bitrot : t -> int -> unit
 val record_scrub_pass : t -> unit
 (** One background scrub pass over the metadata regions completed. *)
 
+(* Metadata layout (packed headers + extent trees). *)
+
+val record_extent_coalesced : t -> unit
+(** Two adjacent free extents were merged into one. *)
+
+val record_extent_lookup : t -> unit
+(** One balanced-tree search in the extent index (floor/ceiling/best-fit). *)
+
+val record_header_flush_line : t -> unit
+(** One cache line dirtied by a slab-header commit (exactly one per
+    commit with the packed header word). *)
+
 (* Reporting. *)
 
 val flushes : t -> int
@@ -89,6 +101,9 @@ val media_repairs : t -> int
 val media_quarantines : t -> int
 val bitrot_flips : t -> int
 val scrub_passes : t -> int
+val extents_coalesced : t -> int
+val extent_tree_lookups : t -> int
+val header_flush_lines : t -> int
 
 val group_commit_size : t -> float
 (** Mean appends per closed WAL group; 0 when no group ever closed. *)
@@ -111,14 +126,14 @@ val pp_summary : Format.formatter -> t -> unit
 
 val to_json : t -> Telemetry.Json.t
 (** Every counter, time and the recorded flush trace, schema
-    ["nvalloc/stats/v3"]. *)
+    ["nvalloc/stats/v4"]. *)
 
 val of_json : Telemetry.Json.t -> (t, string) result
 (** Inverse of {!to_json}: [of_json (to_json t)] reconstructs an
-    observationally equal instance. Documents with the pre-batching
-    schema ["nvalloc/stats/v1"] or the pre-media schema
-    ["nvalloc/stats/v2"] still load; counters a schema predates read
-    back as zero. *)
+    observationally equal instance. Documents with the earlier schemas
+    ["nvalloc/stats/v1"] (pre-batching), ["nvalloc/stats/v2"]
+    (pre-media) or ["nvalloc/stats/v3"] (pre-metadata-layout) still
+    load; counters a schema predates read back as zero. *)
 
 val to_json_string : t -> string
 val of_json_string : string -> (t, string) result

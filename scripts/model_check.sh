@@ -12,11 +12,13 @@
 #    with flush coalescing / group commit / async checkpointing forced
 #    off, so both pipelines stay independently green.
 # 3. Mutation smoke: the budget with the PR 2 refill WAL-before-bitmap
-#    ordering bug re-introduced (--broken) must FAIL, and the batched
+#    ordering bug re-introduced (--broken) must FAIL, the batched
 #    pipeline's "forgotten commit record" mutation (--broken-record:
 #    group effects persist while the group's entries never do) must
-#    FAIL — if either seeded bug survives the checker, this script
-#    exits non-zero.
+#    FAIL, and the packed-header mis-decode (--broken-header: every
+#    header read flips the size-class field's lowest bit) must FAIL —
+#    if any seeded bug survives the checker, this script exits
+#    non-zero.
 #
 # Replay a failure with: nvalloc-cli check [--no-batch] --scenario "<line>"
 # Usage: scripts/model_check.sh [seed] [runs]
@@ -27,10 +29,14 @@ seed="${1:-1}"
 runs="${2:-2}"
 ops=2000
 crash_ops=800
+mut_runs=8
+mut_ops=1000
 if [ "${CHECK_FAST:-0}" = "1" ]; then
   runs=1
   ops=800
   crash_ops=400
+  mut_runs=4
+  mut_ops=500
 fi
 cli=./_build/default/bin/nvalloc_cli.exe
 dune build bin/nvalloc_cli.exe
@@ -51,7 +57,7 @@ echo "model check: crash scenarios, synchronous pipeline (NVAlloc variants)"
   --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
 
 echo "model check: mutation smoke (--broken must be caught)"
-if "$cli" check --seed "$seed" --runs 8 --ops 1000 --threads 2 \
+if "$cli" check --seed "$seed" --runs "$mut_runs" --ops "$mut_ops" --threads 2 \
   --broken --allocators NVAlloc-LOG >/dev/null 2>&1; then
   echo "FAIL: the seeded WAL ordering bug was NOT caught" >&2
   exit 1
@@ -59,9 +65,17 @@ fi
 echo "mutation caught, as it must be"
 
 echo "model check: mutation smoke (--broken-record must be caught)"
-if "$cli" check --seed "$seed" --runs 8 --ops 1000 --threads 2 --crash 200 \
+if "$cli" check --seed "$seed" --runs "$mut_runs" --ops "$mut_ops" --threads 2 --crash 200 \
   --broken-record --allocators NVAlloc-LOG >/dev/null 2>&1; then
   echo "FAIL: the forgotten-commit-record mutation was NOT caught" >&2
+  exit 1
+fi
+echo "mutation caught, as it must be"
+
+echo "model check: mutation smoke (--broken-header must be caught)"
+if "$cli" check --seed "$seed" --runs "$mut_runs" --ops "$mut_ops" --threads 2 \
+  --broken-header --allocators NVAlloc-LOG >/dev/null 2>&1; then
+  echo "FAIL: the packed-header mis-decode was NOT caught" >&2
   exit 1
 fi
 echo "mutation caught, as it must be"

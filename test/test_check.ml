@@ -165,6 +165,31 @@ let test_mutation_group_commit () =
         [ 50; 200; 600 ])
     seeds
 
+(* Third mutation: the packed slab header mis-decodes its size-class
+   field on every read. The deep integrity walk compares the persisted
+   class against the volatile layout, so crash-free scenarios catch it. *)
+let test_mutation_broken_header () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let scenario seed =
+    { Check.History.alloc = "NVAlloc-LOG"; seed; ops = 1000; threads = 2; crash = None }
+  in
+  let failing =
+    List.filter
+      (fun seed ->
+        match Check.Runner.run ~broken_header:true (scenario seed) with
+        | Error _ -> true
+        | Ok () -> false)
+      seeds
+  in
+  Alcotest.(check bool) "packed-header mis-decode caught within 8 seeds" true (failing <> []);
+  (* The same scenarios are clean without the mutation. *)
+  List.iter
+    (fun seed ->
+      match Check.Runner.run (scenario seed) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "clean run failed (seed %d): %s" seed e)
+    seeds
+
 let test_checker_deterministic () =
   (* Same seed: identical verdict, and an identical shrunk repro line. *)
   let go () =
@@ -255,6 +280,8 @@ let suite =
     Alcotest.test_case "mutation teeth" `Slow test_mutation_teeth;
     Alcotest.test_case "mutation teeth: forgotten commit record" `Slow
       test_mutation_group_commit;
+    Alcotest.test_case "mutation teeth: packed-header mis-decode" `Slow
+      test_mutation_broken_header;
     Alcotest.test_case "checker determinism" `Slow test_checker_deterministic;
     Alcotest.test_case "uniform unpublished-free error" `Quick test_uniform_free_error;
     Alcotest.test_case "driver validation" `Quick test_driver_validation;

@@ -14,8 +14,8 @@ let test_unaligned_unmap_rejected () =
     (Invalid_argument
        (Printf.sprintf "Pmem.Dax.munmap: unaligned addr %d (page size %d)" (base + 5)
           Pmem.Dax.page_size))
-    (fun () -> Pmem.Dax.munmap dax clock ~addr:(base + 5) ~size:(4 * mib));
-  Pmem.Dax.munmap dax clock ~addr:base ~size:(4 * mib)
+    (fun () -> Pmem.Dax.munmap dax clock ~addr:(base + 5) ~size:(4 * mib) ());
+  Pmem.Dax.munmap dax clock ~addr:base ~size:(4 * mib) ()
 
 (* Mapping n 4 MB regions, unmapping them all, and mapping again must
    recycle the same address space: first-fit over a fully coalesced free
@@ -32,7 +32,7 @@ let prop_recycle =
       if Pmem.Dax.mapped_bytes dax <> n * 4 * mib then
         QCheck.Test.fail_report "mapped_bytes after mmaps";
       List.iter
-        (fun addr -> Pmem.Dax.munmap dax clock ~addr ~size:(4 * mib))
+        (fun addr -> Pmem.Dax.munmap dax clock ~addr ~size:(4 * mib) ())
         (if reverse then List.rev bases else bases);
       if Pmem.Dax.mapped_bytes dax <> 0 then
         QCheck.Test.fail_report "mapped_bytes not zero after unmapping everything";
@@ -65,7 +65,7 @@ let prop_accounting =
           else begin
             match !live with
             | (addr, size) :: rest ->
-                Pmem.Dax.munmap dax clock ~addr ~size;
+                Pmem.Dax.munmap dax clock ~addr ~size ();
                 live := rest
             | [] -> ()
           end;

@@ -212,7 +212,7 @@ let test_dax_mmap () =
   let b = Pmem.Dax.mmap dax clock ~size:4096 in
   Alcotest.(check bool) "distinct regions" true (b >= a + 8192 || a >= b + 4096);
   Alcotest.(check int) "mapped" 12288 (Pmem.Dax.mapped_bytes dax);
-  Pmem.Dax.munmap dax clock ~addr:a ~size:8192;
+  Pmem.Dax.munmap dax clock ~addr:a ~size:8192 ();
   Alcotest.(check int) "after munmap" 4096 (Pmem.Dax.mapped_bytes dax);
   Alcotest.(check int) "peak" 12288 (Pmem.Dax.peak_mapped_bytes dax);
   (* Coalescing: the freed range is reusable. *)

@@ -125,6 +125,103 @@ let test_decay_releases_memory () =
     (Pmem.Dax.mapped_bytes (Heap.dax heap) < mapped_full
     || Extent.retained_bytes large > 0)
 
+let test_empty_page_release () =
+  (* Page-descriptor grouping: when a region's last live extent dies and
+     the frees coalesce back into one whole-page reclaimed extent, the
+     next decay tick unmaps the region outright — without waiting for
+     the retain window. *)
+  let config_decay = 1e6 (* 1 ms *) in
+  let dev = Pmem.Device.create ~size:(256 * mib) () in
+  let clock = Sim.Clock.create () in
+  let config =
+    {
+      Config.log_default with
+      Config.arenas = 1;
+      root_slots = 1024;
+      decay_interval_ns = config_decay;
+      decay_window_ns = 100.0 *. config_decay;
+    }
+  in
+  let heap = Heap.init dev config in
+  let large =
+    Extent.create heap
+      ~mode:
+        (Extent.Logged
+           (Booklog.create dev ~base:(Heap.booklog_base heap ~arena:0) ~chunks:256
+              ~interleave:true))
+      ~region_lock:(Sim.Lock.create ())
+      ~on_new_extent:(fun _ -> ())
+      ~on_drop_extent:(fun _ -> ())
+  in
+  let before = Pmem.Dax.mapped_bytes (Heap.dax heap) in
+  (* Eight 512 KiB extents carve up exactly one 4 MiB region. *)
+  let vs =
+    List.init 8 (fun _ -> Extent.malloc large clock ~size:(512 * 1024) ~kind:Booklog.Extent)
+  in
+  Alcotest.(check int) "one region mapped" 1 (Extent.page_count large);
+  (match Extent.page_of_addr large (List.hd vs).Extent.addr with
+  | None -> Alcotest.fail "page descriptor missing"
+  | Some pd ->
+      Alcotest.(check int) "descriptor counts live extents" 8 pd.Extent.activated_count;
+      Alcotest.(check bool) "not dedicated" false pd.Extent.dedicated);
+  List.iter (fun v -> Extent.free large clock v) vs;
+  (* Tick just past the decay interval: the retain window (100 ms) is
+     nowhere near over, yet the fully-free page goes back to the OS. *)
+  Sim.Clock.charge clock (2.0 *. config_decay);
+  Extent.decay_tick large clock;
+  Alcotest.(check int) "empty region unmapped" before
+    (Pmem.Dax.mapped_bytes (Heap.dax heap));
+  Alcotest.(check int) "page descriptor dropped" 0 (Extent.page_count large);
+  Alcotest.(check int) "no reclaimed bytes left" 0 (Extent.reclaimed_bytes large)
+
+let test_partial_page_stays_mapped () =
+  (* The release is gated on the descriptor's live count and the extent
+     spanning the whole data area: one surviving extent pins the region. *)
+  let config_decay = 1e6 in
+  let dev = Pmem.Device.create ~size:(256 * mib) () in
+  let clock = Sim.Clock.create () in
+  let config =
+    {
+      Config.log_default with
+      Config.arenas = 1;
+      root_slots = 1024;
+      decay_interval_ns = config_decay;
+      decay_window_ns = 100.0 *. config_decay;
+    }
+  in
+  let heap = Heap.init dev config in
+  let large =
+    Extent.create heap
+      ~mode:
+        (Extent.Logged
+           (Booklog.create dev ~base:(Heap.booklog_base heap ~arena:0) ~chunks:256
+              ~interleave:true))
+      ~region_lock:(Sim.Lock.create ())
+      ~on_new_extent:(fun _ -> ())
+      ~on_drop_extent:(fun _ -> ())
+  in
+  let vs =
+    List.init 8 (fun _ -> Extent.malloc large clock ~size:(512 * 1024) ~kind:Booklog.Extent)
+  in
+  let survivor, rest =
+    match vs with v :: rest -> (v, rest) | [] -> assert false
+  in
+  List.iter (fun v -> Extent.free large clock v) rest;
+  Sim.Clock.charge clock (2.0 *. config_decay);
+  Extent.decay_tick large clock;
+  Alcotest.(check int) "region still mapped" 1 (Extent.page_count large);
+  (match Extent.page_of_addr large survivor.Extent.addr with
+  | None -> Alcotest.fail "page descriptor missing"
+  | Some pd -> Alcotest.(check int) "one live extent" 1 pd.Extent.activated_count);
+  (* Freeing the survivor leaves the page split between a reclaimed head
+     and a retained tail (coalescing is per-state); once the full decay
+     window passes, the head decommits, coalesces with the tail into one
+     spanning retained extent, and the page releases in the same tick. *)
+  Extent.free large clock survivor;
+  Sim.Clock.charge clock (300.0 *. config_decay);
+  Extent.decay_tick large clock;
+  Alcotest.(check int) "now released" 0 (Extent.page_count large)
+
 let prop_no_overlap_model =
   (* Random alloc/free sequences never hand out overlapping live extents
      and never lose bytes (model-based). *)
@@ -168,5 +265,7 @@ let suite =
     Alcotest.test_case "split and coalesce" `Quick test_split_and_coalesce;
     Alcotest.test_case "huge allocations get own regions" `Quick test_huge_path;
     Alcotest.test_case "decay releases idle memory" `Quick test_decay_releases_memory;
+    Alcotest.test_case "empty page released whole" `Quick test_empty_page_release;
+    Alcotest.test_case "partial page stays mapped" `Quick test_partial_page_stays_mapped;
     QCheck_alcotest.to_alcotest prop_no_overlap_model;
   ]

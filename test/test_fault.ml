@@ -103,6 +103,7 @@ let test_config_validation () =
   Config.validate Config.gc_default;
   Config.validate Config.ic_default;
   rejects "zero arenas" "arenas" { d with Config.arenas = 0 };
+  rejects "too many arenas for the 6-bit header field" "arenas" { d with Config.arenas = 65 };
   rejects "zero root slots" "root_slots" { d with Config.root_slots = 0 };
   rejects "one WAL entry" "wal_entries" { d with Config.wal_entries = 1 };
   rejects "unframed WAL size" "wal_entries" { d with Config.wal_entries = 100 };

@@ -229,11 +229,28 @@ let test_stats_v3_compat () =
     {|,"poison_hits":2,"media_repairs":4,"media_quarantines":1,
       "bitrot_flips":6,"scrub_passes":3|}
   in
-  match Pmem.Stats.of_json_string (doc "nvalloc/stats/v3" (batching ^ media)) with
+  (match Pmem.Stats.of_json_string (doc "nvalloc/stats/v3" (batching ^ media)) with
   | Error e -> Alcotest.fail ("complete v3 document rejected: " ^ e)
   | Ok st ->
       Alcotest.(check int) "v3: media_repairs load" 4 (Pmem.Stats.media_repairs st);
-      Alcotest.(check int) "v3: quarantines load" 1 (Pmem.Stats.media_quarantines st)
+      Alcotest.(check int) "v3: quarantines load" 1 (Pmem.Stats.media_quarantines st);
+      (* v3 predates the metadata-layout counters: they read back zero. *)
+      Alcotest.(check int) "v3: extents_coalesced 0" 0 (Pmem.Stats.extents_coalesced st);
+      Alcotest.(check int) "v3: header_flush_lines 0" 0 (Pmem.Stats.header_flush_lines st));
+  (* A v4 document missing the metadata-layout counters is truncated. *)
+  (match Pmem.Stats.of_json_string (doc "nvalloc/stats/v4" (batching ^ media)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v4 document without metadata-layout counters accepted");
+  let layout =
+    {|,"extents_coalesced":9,"extent_tree_lookups":120,"header_flush_lines":33|}
+  in
+  match Pmem.Stats.of_json_string (doc "nvalloc/stats/v4" (batching ^ media ^ layout)) with
+  | Error e -> Alcotest.fail ("complete v4 document rejected: " ^ e)
+  | Ok st ->
+      Alcotest.(check int) "v4: extents_coalesced load" 9 (Pmem.Stats.extents_coalesced st);
+      Alcotest.(check int) "v4: extent_tree_lookups load" 120
+        (Pmem.Stats.extent_tree_lookups st);
+      Alcotest.(check int) "v4: header_flush_lines load" 33 (Pmem.Stats.header_flush_lines st)
 
 (* --- allocator: demand repair, quarantine, degradation -------------------- *)
 

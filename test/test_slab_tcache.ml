@@ -67,8 +67,8 @@ let test_format_and_recover () =
   let s', undone = Slab.recover dev ~addr:65536 ~arena:0 ~mapping in
   Alcotest.(check bool) "no undo needed" false undone;
   Alcotest.(check int) "free count reflects bits" (layout.Slab.nblocks - 2) s'.Slab.free_count;
-  Alcotest.(check bool) "stack excludes set bits" true
-    (not (List.mem 0 s'.Slab.free_stack) && not (List.mem 5 s'.Slab.free_stack))
+  Alcotest.(check bool) "free set excludes set bits" true
+    ((not (Slab.free_mem s' 0)) && not (Slab.free_mem s' 5))
 
 let prop_index_entry_roundtrip =
   let open QCheck in
