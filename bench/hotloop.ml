@@ -2,9 +2,12 @@
    device write+flush path into phases so a regression in one layer is
    attributable without a profiler (`dune exec bench/hotloop.exe`).
 
-   `--check` runs only the telemetry-disabled device write+flush loop
-   and compares it against the committed BENCH_micro.json envelope: the
-   guard that adding the telemetry layer kept the disabled path free. *)
+   `--check` runs the device write+flush loop three ways — telemetry
+   disabled, sink attached with attribution off, and attribution
+   enabled with an open root frame — and compares each against the
+   committed BENCH_micro.json envelope: the guard that adding the
+   telemetry and attribution layers kept the disabled path free and
+   the enabled paths bounded. *)
 
 let mib = 1024 * 1024
 
@@ -30,6 +33,15 @@ let time name iters f =
    Bench_micro.run_check, so one noisy round cannot fail the gate. *)
 let check_envelope = 4.0
 
+(* The enabled paths are allowed to cost more than the disabled one —
+   recording a span and a histogram observation per flush (attached),
+   plus a blame-tree charge into the open frame (attribution) — but
+   that cost must stay bounded: these envelopes catch an accidental
+   O(depth) walk or per-charge allocation creeping into the charge
+   path, not percent-level drift. *)
+let attached_envelope = 10.0
+let attribution_envelope = 15.0
+
 let run_check () =
   let baseline_path = "BENCH_micro.json" in
   let base =
@@ -43,29 +55,46 @@ let run_check () =
         exit 2
   in
   let n = 2_000_000 in
-  let dev = Pmem.Device.create ~size:(16 * mib) () in
-  let clock = Sim.Clock.create () in
-  assert (Pmem.Device.telemetry dev = None);
-  let round () =
-    measure n (fun () ->
-        for i = 0 to n - 1 do
-          let addr = i * 64 mod (8 * mib) in
-          Pmem.Device.write_int64 dev addr 42L;
-          Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr ~len:8
-        done)
+  let failed = ref false in
+  let gate name envelope dev clock =
+    let round () =
+      measure n (fun () ->
+          for i = 0 to n - 1 do
+            let addr = i * 64 mod (8 * mib) in
+            Pmem.Device.write_int64 dev addr 42L;
+            Pmem.Device.flush dev clock Pmem.Stats.Meta ~addr ~len:8
+          done)
+    in
+    let best = ref (round ()) in
+    for _ = 2 to 3 do
+      let ns = round () in
+      if ns < !best then best := ns
+    done;
+    let limit = base_ns *. envelope in
+    Printf.printf "%s write+flush: %.1f ns/iter (baseline %.1f, limit %.1f)\n" name !best
+      base_ns limit;
+    if !best > limit then begin
+      Printf.printf "FAIL: %s hot path exceeds its baseline envelope\n" name;
+      failed := true
+    end
   in
-  let best = ref (round ()) in
-  for _ = 2 to 3 do
-    let ns = round () in
-    if ns < !best then best := ns
-  done;
-  let limit = base_ns *. check_envelope in
-  Printf.printf "telemetry-off write+flush: %.1f ns/iter (baseline %.1f, limit %.1f)\n" !best
-    base_ns limit;
-  if !best > limit then begin
-    Printf.printf "FAIL: disabled-telemetry hot path exceeds the baseline envelope\n";
-    exit 1
-  end;
+  let dev = Pmem.Device.create ~size:(16 * mib) () in
+  assert (Pmem.Device.telemetry dev = None);
+  gate "telemetry-off" check_envelope dev (Sim.Clock.create ());
+  let dev_t = Pmem.Device.create ~size:(16 * mib) () in
+  let clock_t = Sim.Clock.create () in
+  Pmem.Device.set_telemetry dev_t (Some (Telemetry.create ()));
+  gate "telemetry-attached" attached_envelope dev_t clock_t;
+  let dev_a = Pmem.Device.create ~size:(16 * mib) () in
+  let clock_a = Sim.Clock.create () in
+  let sink_a = Telemetry.create () in
+  Pmem.Device.set_telemetry dev_a (Some sink_a);
+  let attr = Telemetry.enable_attribution sink_a in
+  (* An open root frame so every flush charge lands in the blame tree,
+     like a flush under malloc does. *)
+  Telemetry.Attr.enter_root_named attr ~tid:(Sim.Clock.id clock_a) ~name:"bench" ~ts:0.0;
+  gate "attribution-on" attribution_envelope dev_a clock_a;
+  if !failed then exit 1;
   Printf.printf "hotloop check OK\n"
 
 let () =

@@ -152,7 +152,8 @@ let trace_cmd =
     let doc = "Also write latency-histogram percentiles as CSV to $(docv)." in
     Arg.(value & opt (some string) None & info [ "hist" ] ~docv:"PATH" ~doc)
   in
-  let run workload alloc threads seed out hist =
+  let run workload alloc threads seed out hist batch =
+    with_batching batch @@ fun () ->
     let kind = allocator_kind alloc in
     Telemetry.request_capture ();
     let inst =
@@ -185,7 +186,127 @@ let trace_cmd =
     (match out with Some path -> write_file path json | None -> print_string json);
     Option.iter (fun path -> write_file path (Telemetry.hist_csv sink)) hist
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ workload $ alloc $ threads $ seed $ out $ hist)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ workload $ alloc $ threads $ seed $ out $ hist $ batch_flag)
+
+let slo_cmd =
+  let doc =
+    "Run one workload with blame-tree attribution and SLO monitoring \
+     enabled, then report per-op latency percentiles (p50/p99/p999, merged \
+     across threads), error-budget burn rates against the Config-declared \
+     SLO targets, and the per-component latency attribution (fence waits, \
+     flushes, WAL group commit, slab refills, extent lookups, lock waits). \
+     The report is byte-identical across runs with the same seed. \
+     Workloads: threadtest, prodcon, shbench, larson, larson-large, \
+     dbmstest."
+  in
+  let workload = Arg.(value & pos 0 string "larson" & info [] ~docv:"WORKLOAD") in
+  let alloc =
+    let doc = "Allocator to attribute (see $(b,flushes) for the list)." in
+    Arg.(value & opt string "NVAlloc-LOG" & info [ "allocator" ] ~docv:"ALLOCATOR" ~doc)
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed.")
+  in
+  let json =
+    let doc = "Print the report as JSON (schema nvalloc/slo/v1) instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out =
+    let doc = "Write the report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PATH" ~doc)
+  in
+  let folded =
+    let doc =
+      "Also write the blame tree as folded stacks (flamegraph.pl collapsed \
+       format, one 'path;to;leaf self-ns' line per node) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"PATH" ~doc)
+  in
+  let prom =
+    let doc = "Also write Prometheus text exposition to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"PATH" ~doc)
+  in
+  let window_ns =
+    let doc = "SLO window width in simulated nanoseconds." in
+    Arg.(value & opt float 1_000_000.0 & info [ "window-ns" ] ~docv:"NS" ~doc)
+  in
+  let check =
+    let doc =
+      "Gate the report against the baseline JSON at $(docv) \
+       (Harness.Slo_report.check); exit 1 listing every failed gate."
+    in
+    Arg.(value & opt (some string) None & info [ "check" ] ~docv:"BASELINE" ~doc)
+  in
+  let run workload alloc threads seed json out folded prom window_ns check batch =
+    with_batching batch @@ fun () ->
+    let kind = allocator_kind alloc in
+    Telemetry.request_capture ();
+    let inst =
+      Fun.protect ~finally:Telemetry.cancel_capture (fun () ->
+          Harness.Factory.make ~dev_size:(512 * 1024 * 1024) ~threads kind)
+    in
+    let sink =
+      match Telemetry.registered () with
+      | [ (_, sink) ] -> sink
+      | _ -> failwith "expected exactly one captured telemetry sink"
+    in
+    Telemetry.reset_registered ();
+    let attr = Telemetry.enable_attribution sink in
+    Telemetry.Attr.set_slo attr ~window_ns
+      ~targets:Nvalloc_core.Config.log_default.Nvalloc_core.Config.slo_targets;
+    let result =
+      match workload with
+      | "threadtest" -> Workloads.Threadtest.run inst ~params:(Harness.Sizes.threadtest threads) ()
+      | "prodcon" -> Workloads.Prodcon.run inst ~params:(Harness.Sizes.prodcon threads) ()
+      | "shbench" -> Workloads.Shbench.run inst ~params:(Harness.Sizes.shbench threads) ~seed ()
+      | "larson" -> Workloads.Larson.run inst ~params:(Harness.Sizes.larson_small threads) ~seed ()
+      | "larson-large" ->
+          Workloads.Larson.run inst ~params:(Harness.Sizes.larson_large threads) ~seed ()
+      | "dbmstest" -> Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest threads) ~seed ()
+      | w -> failwith ("unknown workload " ^ w)
+    in
+    let meta =
+      {
+        Harness.Slo_report.workload;
+        allocator = result.Workloads.Driver.allocator;
+        threads;
+        seed;
+        batching = batch;
+        makespan_ns = result.Workloads.Driver.makespan_ns;
+        total_ops = result.Workloads.Driver.total_ops;
+      }
+    in
+    let report = Harness.Slo_report.build ~meta attr in
+    let rendered =
+      if json then Telemetry.Json.to_string report ^ "\n"
+      else Harness.Slo_report.render report
+    in
+    (match out with Some path -> write_file path rendered | None -> print_string rendered);
+    Option.iter (fun path -> write_file path (Telemetry.Attr.folded attr)) folded;
+    Option.iter (fun path -> write_file path (Telemetry.prometheus sink)) prom;
+    match check with
+    | None -> ()
+    | Some path ->
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        let baseline =
+          match Telemetry.Json.parse contents with
+          | Ok j -> j
+          | Error e -> failwith (Printf.sprintf "cannot parse baseline %s: %s" path e)
+        in
+        (match Harness.Slo_report.check ~baseline ~current:report with
+        | Ok () -> Printf.eprintf "slo check: OK against %s\n" path
+        | Error failures ->
+            List.iter (fun f -> Printf.eprintf "slo check FAIL: %s\n" f) failures;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "slo" ~doc)
+    Term.(
+      const run $ workload $ alloc $ threads $ seed $ json $ out $ folded $ prom $ window_ns
+      $ check $ batch_flag)
 
 let stats_cmd =
   let doc =
@@ -604,6 +725,7 @@ let () =
             run_cmd;
             all_cmd;
             trace_cmd;
+            slo_cmd;
             flushes_cmd;
             stats_cmd;
             bench_cmd;

@@ -84,7 +84,9 @@ let build heap ~index ~region_lock ~booklog ~wal ~on_slab_created ~on_slab_destr
 
 let set_telemetry t sink =
   match sink with
-  | None -> t.telem <- None
+  | None ->
+      t.telem <- None;
+      Sim.Lock.set_wait_hook t.lock None
   | Some s ->
       t.telem <-
         Some
@@ -101,7 +103,40 @@ let set_telemetry t sink =
             th_morph = Telemetry.histogram s "morph";
             th_checkpoint = Telemetry.histogram s "wal:checkpoint";
             th_wal_append = Telemetry.histogram s "wal:append";
-          }
+          };
+      (* Latency attribution: contended acquires of the arena lock charge
+         a [lock_wait] leaf into the waiting thread's open frame. The hook
+         observes the stall without touching clocks. *)
+      let lock_wait = Telemetry.intern s "lock_wait" in
+      Sim.Lock.set_wait_hook t.lock
+        (Some
+           (fun clock ns ->
+             match Telemetry.attribution s with
+             | None -> ()
+             | Some a ->
+                 Telemetry.Attr.charge a ~tid:(Sim.Clock.id clock) ~name:lock_wait ~ns))
+
+(* Open/close an interior blame frame on the calling thread's stack when
+   the attached sink has attribution enabled; no-ops otherwise. [pick]
+   selects the pre-interned frame name (constant closures, no per-call
+   allocation). Never touches simulated clocks. *)
+let aframe_enter t clock pick =
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a ->
+          Telemetry.Attr.enter a ~tid:(Sim.Clock.id clock) ~name:(pick e)
+            ~ts:(Sim.Clock.now clock))
+
+let aframe_leave t clock =
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock) ~ts:(Sim.Clock.now clock))
 
 let create heap ~index ~region_lock ~on_slab_created ~on_slab_destroyed ~on_extent_created
     ~on_extent_dropped =
@@ -284,6 +319,7 @@ let transform_slab t clock s target_class =
      cannot roll those frees back after a record that presumed them. *)
   Wal.flush_group t.wal clock;
   let t0 = Sim.Clock.now clock in
+  aframe_enter t clock (fun e -> e.tn_morph);
   let open Slab in
   let dev = t.dev in
   let addr = s.addr in
@@ -357,6 +393,7 @@ let transform_slab t clock s target_class =
   Header.write_flag dev addr 0;
   (* Flag 0 asserts the new class's bitmap is in place. *)
   commit_slab_header t clock addr ~deps:[ ("bitmap:rebuilt", bitmap_span) ];
+  aframe_leave t clock;
   match t.telem with
   | None -> ()
   | Some e ->
@@ -525,15 +562,22 @@ let drain_all_tcaches t clock =
 (* Caller holds [t.lock]. *)
 let checkpoint_locked t clock =
   let t0 = Sim.Clock.now clock in
+  aframe_enter t clock (fun e -> e.tn_checkpoint);
   drain_all_tcaches t clock;
   Wal.checkpoint t.wal clock;
+  aframe_leave t clock;
   match t.telem with
   | None -> ()
   | Some e ->
       let now = Sim.Clock.now clock in
       Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_checkpoint ~ts:t0
         ~dur:(now -. t0);
-      Telemetry.Histogram.observe e.th_checkpoint (now -. t0)
+      Telemetry.Histogram.observe e.th_checkpoint (now -. t0);
+      (* Checkpoints stall whoever pays for them (an allocating thread
+         inline, or the maintenance daemon): annotate the SLO timeline. *)
+      (match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.note_event a ~ts:t0 ~name:"wal:checkpoint")
 
 let checkpoint_if_needed t clock =
   if Wal.near_full t.wal then
@@ -574,6 +618,7 @@ let log_op t clock kind ~addr ~dest =
   if wanted then begin
     checkpoint_if_needed t clock;
     let t0 = Sim.Clock.now clock in
+    aframe_enter t clock (fun e -> e.tn_wal_append);
     (* Slot reservation is a CAS, not a lock. *)
     Pmem.Device.dram_op t.dev clock;
     let span = Wal.append_span t.wal clock kind ~addr ~dest in
@@ -583,6 +628,7 @@ let log_op t clock kind ~addr ~dest =
     (match kind with
     | Wal.Large_alloc | Wal.Large_free -> Wal.flush_group t.wal clock
     | Wal.Alloc | Wal.Free | Wal.Refill -> ());
+    aframe_leave t clock;
     (match t.telem with
     | None -> ()
     | Some e ->
@@ -619,6 +665,7 @@ let take_slab_with_space t clock class_idx =
 
 let refill_tcache t clock tc class_idx =
   let t0 = Sim.Clock.now clock in
+  aframe_enter t clock (fun e -> e.tn_refill);
   (while not (Tcache.is_full tc) do
     let s = take_slab_with_space t clock class_idx in
     lru_touch t s;
@@ -678,6 +725,7 @@ let refill_tcache t clock tc class_idx =
     done;
     if s.Slab.free_count = 0 then freelist_remove t s
   done);
+  aframe_leave t clock;
   match t.telem with
   | None -> ()
   | Some e ->

@@ -25,6 +25,11 @@ type t = {
   media_scrub : bool;
   media_scrub_interval_ns : float;
   media_max_repair : int;
+  (* Declared SLO targets for latency attribution: (op class, target ns,
+     goal fraction of ops expected within target). The error budget is
+     1 - goal; the burn rate reported by [nvalloc-cli slo] is the
+     violating fraction divided by that budget. *)
+  slo_targets : (string * float * float) list;
 }
 
 let log_default =
@@ -53,6 +58,11 @@ let log_default =
     media_scrub = false;
     media_scrub_interval_ns = 1_000_000.0;
     media_max_repair = 3;
+    (* Calibrated against the batched Larson run in EXPERIMENTS.md "SLO
+       attribution": p99 sits comfortably inside these with batching on;
+       forcing the sync pipeline burns through the budgets. *)
+    slo_targets =
+      [ ("malloc:small", 8192.0, 0.99); ("malloc:large", 65536.0, 0.99); ("free", 4096.0, 0.99) ];
   }
 
 let gc_default = { log_default with consistency = Gc_based }
@@ -112,6 +122,17 @@ let validate ?dev_size t =
       "Config.media_max_repair: need at least one repair attempt before quarantine (got \
        %d)"
       t.media_max_repair;
+  List.iter
+    (fun (op, target_ns, goal) ->
+      if op = "" then reject "Config.slo_targets: op class name cannot be empty";
+      if not (target_ns > 0.0) then
+        reject "Config.slo_targets: %s needs a positive target (got %g ns)" op target_ns;
+      if not (goal > 0.0 && goal < 1.0) then
+        reject
+          "Config.slo_targets: %s goal must be within (0, 1) — goal 1 leaves no error \
+           budget to burn (got %g)"
+          op goal)
+    t.slo_targets;
   if t.media_scrub && not (t.media_scrub_interval_ns > 0.0) then
     reject "Config.media_scrub_interval_ns: scrubbing needs a positive interval (got %g)"
       t.media_scrub_interval_ns;

@@ -81,6 +81,15 @@ type t = {
       (** Bounded-retry policy: repair attempts per damaged record before
           it is quarantined (capacity withdrawn, allocation continues
           degraded). Default 3. *)
+  slo_targets : (string * float * float) list;
+      (** Declared SLO targets for latency attribution, as
+          [(op class, target ns, goal)]: [goal] is the fraction of ops
+          expected within the target (must be inside (0, 1)), so the
+          error budget is [1 - goal] and [nvalloc-cli slo] reports the
+          burn rate as violating-fraction / budget. Op classes are the
+          attribution root frames ([malloc:small], [malloc:large],
+          [free], [recovery]). Purely observational: the allocator never
+          reads these. *)
 }
 
 val validate : ?dev_size:int -> t -> unit

@@ -96,13 +96,24 @@ let reclaimed_bytes t = t.reclaimed_bytes
 let retained_bytes t = t.retained_bytes
 let data_off t = match t.mode with In_place -> header_bytes | Logged _ -> 0
 
-(* Charge a DRAM tree search of [n] elements and count it. *)
+(* Charge a DRAM tree search of [n] elements and count it. With blame
+   attribution on, the search steps land under an [extent:lookup] frame
+   so tree-walk cost separates from the surrounding malloc/free. *)
 let charge_search t clock n =
   Pmem.Device.note_extent_lookup t.dev;
   let steps = 1 + (if n <= 1 then 0 else int_of_float (Float.log2 (float_of_int n))) in
+  let attr = Pmem.Device.attribution t.dev in
+  (match attr with
+  | None -> ()
+  | Some a ->
+      Telemetry.Attr.enter_named a ~tid:(Sim.Clock.id clock) ~name:"extent:lookup"
+        ~ts:(Sim.Clock.now clock));
   for _ = 1 to steps do
     Pmem.Device.search_step t.dev clock
-  done
+  done;
+  match attr with
+  | None -> ()
+  | Some a -> Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock) ~ts:(Sim.Clock.now clock)
 
 (* A tree probe that costs no simulated time (neighbour peeks inside an
    operation already charged) still counts toward the lookup telemetry. *)

@@ -42,6 +42,9 @@ and ntelem = {
   tsink : Telemetry.t;
   tn_alloc : int;
   tn_free : int;
+  tn_op_small : int; (* attribution root frames *)
+  tn_op_large : int;
+  tn_op_free : int;
   ta_size : int;
   ta_addr : int;
   th_alloc : Telemetry.Histogram.t;
@@ -171,7 +174,10 @@ let set_telemetry t sink =
   Pmem.Device.set_telemetry t.dev sink;
   Array.iter (fun a -> Arena.set_telemetry a sink) t.arenas;
   match sink with
-  | None -> t.telem <- None
+  | None ->
+      t.telem <- None;
+      Sim.Lock.set_wait_hook t.owner_lock None;
+      Sim.Lock.set_wait_hook t.region_lock None
   | Some s ->
       t.telem <-
         Some
@@ -179,11 +185,49 @@ let set_telemetry t sink =
             tsink = s;
             tn_alloc = Telemetry.intern s "alloc";
             tn_free = Telemetry.intern s "free";
+            tn_op_small = Telemetry.intern s "malloc:small";
+            tn_op_large = Telemetry.intern s "malloc:large";
+            tn_op_free = Telemetry.intern s "free";
             ta_size = Telemetry.intern s "size";
             ta_addr = Telemetry.intern s "addr";
             th_alloc = Telemetry.histogram s "alloc";
             th_free = Telemetry.histogram s "free";
-          }
+          };
+      (* Contended owner/region-lock acquires charge [lock_wait] leaves
+         into the waiting thread's open frame (the arena locks hook
+         themselves in Arena.set_telemetry). *)
+      let lock_wait = Telemetry.intern s "lock_wait" in
+      let hook =
+        Some
+          (fun clock ns ->
+            match Telemetry.attribution s with
+            | None -> ()
+            | Some a ->
+                Telemetry.Attr.charge a ~tid:(Sim.Clock.id clock) ~name:lock_wait ~ns)
+      in
+      Sim.Lock.set_wait_hook t.owner_lock hook;
+      Sim.Lock.set_wait_hook t.region_lock hook
+
+(* Open/close the per-operation root frame of the blame tree. Entering a
+   root resets the thread's stack (a faulted op may have left frames
+   open); leaving one records the op completion into the per-thread
+   latency histograms and SLO windows. No-ops without attribution. *)
+let aroot_enter t clock pick t0 =
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a ->
+          Telemetry.Attr.enter_root a ~tid:(Sim.Clock.id clock) ~name:(pick e) ~ts:t0)
+
+let aroot_leave t clock =
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock) ~ts:(Sim.Clock.now clock))
 
 let telemetry t = Option.map (fun e -> e.tsink) t.telem
 let root_addr t i = Heap.root_addr t.heap i
@@ -244,7 +288,11 @@ let media_span t clock name t0 =
   | None -> ()
   | Some s ->
       Telemetry.span_named s ~tid:(Sim.Clock.id clock) ~name ~ts:t0
-        ~dur:(Sim.Clock.now clock -. t0)
+        ~dur:(Sim.Clock.now clock -. t0);
+      (* Media degradations annotate the SLO timeline. *)
+      (match Telemetry.attribution s with
+      | None -> ()
+      | Some a -> Telemetry.Attr.note_event a ~ts:t0 ~name)
 
 let quarantine_runtime t clock s =
   let t0 = Sim.Clock.now clock in
@@ -305,12 +353,23 @@ let handle_poison t clock =
         | None -> ()
         | Some (r, slab) ->
             let t0 = Sim.Clock.now clock in
+            let attr = Pmem.Device.attribution t.dev in
+            (match attr with
+            | None -> ()
+            | Some a ->
+                Telemetry.Attr.enter_named a ~tid:(Sim.Clock.id clock)
+                  ~name:"guard:verify" ~ts:t0);
             let status = ref Guard.Lost in
             let attempts = ref 0 in
             while !attempts < t.config.Config.media_max_repair && !status = Guard.Lost do
               incr attempts;
               status := Guard.verify_repair t.dev clock r
             done;
+            (match attr with
+            | None -> ()
+            | Some a ->
+                Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock)
+                  ~ts:(Sim.Clock.now clock));
             (match !status with
             | Guard.Clean | Guard.Repaired -> media_span t clock "media:repair" t0
             | Guard.Lost -> (
@@ -358,6 +417,7 @@ let malloc_to t th ~size ~dest =
   let addr, deps, via =
     match Size_class.of_size size with
     | Some class_idx ->
+        aroot_enter t clock (fun e -> e.tn_op_small) t0;
         let arena = t.arenas.(th.arena) in
         let _slab, addr = Arena.alloc_small arena clock ~tcaches:th.tcaches ~class_idx in
         let wal_span = Arena.log_op arena clock Wal.Alloc ~addr ~dest in
@@ -366,6 +426,7 @@ let malloc_to t th ~size ~dest =
         let via = if wal_span = None then None else Some (Arena.wal arena) in
         (addr, Arena.wal_dep Wal.Alloc wal_span, via)
     | None ->
+        aroot_enter t clock (fun e -> e.tn_op_large) t0;
         let arena = t.arenas.(th.arena) in
         let veh = Arena.malloc_large arena clock ~size in
         let wal_span = Arena.log_op arena clock Wal.Large_alloc ~addr:veh.Extent.addr ~dest in
@@ -373,6 +434,7 @@ let malloc_to t th ~size ~dest =
         (veh.Extent.addr, Arena.wal_dep Wal.Large_alloc wal_span, None)
   in
   publish ~deps ?via t clock ~dest ~addr;
+  aroot_leave t clock;
   (match t.telem with
   | None -> ()
   | Some e ->
@@ -397,6 +459,9 @@ let free_from t th ~dest =
   let t0 = Sim.Clock.now clock in
   let addr = read_ptr t ~dest in
   if addr <= 0 then invalid_arg err_free_unpublished;
+  (* One root frame for both small and large frees: the owner is unknown
+     until the lookup, which itself belongs inside the frame. *)
+  aroot_enter t clock (fun e -> e.tn_op_free) t0;
   if media_on t && in_quarantine t addr then begin
     (* Graceful degradation: the block's home metadata is written off —
        its capacity already left the heap, so the free is swallowed and
@@ -433,6 +498,7 @@ let free_from t th ~dest =
     in
     publish ~deps ?via t clock ~dest ~addr:0
   end;
+  aroot_leave t clock;
   match t.telem with
   | None -> ()
   | Some e ->
@@ -977,6 +1043,14 @@ let recover ?(config = Config.log_default) dev clock =
      [phase] charges nothing; without a sink it is the identity. *)
   let tsink = Pmem.Device.telemetry dev in
   let t_start = Sim.Clock.now clock in
+  (* Blame attribution: recovery is its own root op class — its WAL
+     replay reads, guard repairs and metadata flushes attribute under
+     [recovery] instead of polluting malloc/free. *)
+  (match Pmem.Device.attribution dev with
+  | None -> ()
+  | Some a ->
+      Telemetry.Attr.enter_root_named a ~tid:(Sim.Clock.id clock) ~name:"recovery"
+        ~ts:t_start);
   let phase name f =
     match tsink with
     | None -> f ()
@@ -1548,6 +1622,9 @@ let recover ?(config = Config.log_default) dev clock =
      the heap already sane, with nothing left to replay. *)
   phase "recovery:seal" (fun () -> Array.iter (fun wal -> Wal.seal wal clock) wals);
   Heap.set_state heap clock Heap.Running;
+  (match Pmem.Device.attribution dev with
+  | None -> ()
+  | Some a -> Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock) ~ts:(Sim.Clock.now clock));
   (match tsink with
   | None -> ()
   | Some s ->

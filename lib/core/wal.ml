@@ -270,6 +270,14 @@ let append_span t clock kind ~addr ~dest =
    effects, so no pointer dangles); a crash after B replays it. *)
 let flush_group t clock =
   if t.group_n > 0 && (t.gcount > 0 || t.geffects <> []) then begin
+    (* Blame attribution: the whole three-phase close is one interior
+       frame, so its flushes and fences separate from the op that
+       happened to trip the group boundary. *)
+    (match Pmem.Device.attribution t.dev with
+    | None -> ()
+    | Some a ->
+        Telemetry.Attr.enter_named a ~tid:(Sim.Clock.id clock) ~name:"wal:group_commit"
+          ~ts:(Sim.Clock.now clock));
     if t.skip_record then
       (* Broken-protocol hook: the commit record forgets its contract.
          Phase A is dropped — the group's entries leave the pending
@@ -315,7 +323,10 @@ let flush_group t clock =
         Pmem.Device.fence t.dev clock);
     t.gcount <- 0;
     t.gspans <- [];
-    t.geffects <- []
+    t.geffects <- [];
+    match Pmem.Device.attribution t.dev with
+    | None -> ()
+    | Some a -> Telemetry.Attr.leave a ~tid:(Sim.Clock.id clock) ~ts:(Sim.Clock.now clock)
   end
 
 (* A metadata commit ordered after a grouped entry: queue it for the

@@ -1,0 +1,48 @@
+(** SLO attribution reports: build the [nvalloc/slo/v1] JSON document
+    from a blame-tree attribution handle after a workload run, render it
+    for humans, and gate a current report against a committed baseline.
+
+    Reports are pure derivations of attribution state — building one
+    does no simulated work, and the output is byte-deterministic for a
+    given seed (sorted paths, merged per-thread histograms). *)
+
+val schema : string
+(** ["nvalloc/slo/v1"]. *)
+
+type meta = {
+  workload : string;
+  allocator : string;
+  threads : int;
+  seed : int;
+  batching : bool;  (** false when the run forced the sync pipeline *)
+  makespan_ns : float;
+  total_ops : int;
+}
+
+val burn_rate : violations:int -> count:int -> goal:float -> float
+(** Fraction of the error budget [1 - goal] consumed by the violating
+    fraction of ops; 1.0 means the budget is exactly spent, above 1.0
+    the SLO is broken. 0 when [count] is 0. *)
+
+val build : meta:meta -> Telemetry.Attr.t -> Telemetry.Json.t
+(** The full report: per-op merged percentiles with SLO target,
+    violation count, burn rate and worst window; component totals
+    (leaf self-time aggregated by component name) with shares; the
+    per-path blame tree; and the degradation-event timeline. *)
+
+val render : Telemetry.Json.t -> string
+(** Human-readable rendering of a report built by {!build} (or parsed
+    back from disk — it only reads JSON fields). *)
+
+val check :
+  baseline:Telemetry.Json.t ->
+  current:Telemetry.Json.t ->
+  (unit, string list) result
+(** Regression gate. Fails when run identity (workload, allocator,
+    threads, seed — but deliberately not batching, so a forced-sync run
+    gates against the batched baseline) differs, when a component's
+    share of attributed time regresses past both an absolute and a
+    relative slack, when a dominant component appears that the baseline
+    never saw, when an op class p99 grows by more than a factor that
+    exceeds the histogram bucket quantisation, or when a declared SLO's
+    burn rate crosses 1.0 that the baseline kept within budget. *)

@@ -89,6 +89,9 @@ and temit = {
   tn_fence : int;
   tn_wpq : int;
   tn_group : int;
+  tn_pm_read : int; (* attribution leaf components *)
+  tn_search : int;
+  tn_dram : int;
   ta_addr : int; (* arg-key ids *)
   ta_dist : int;
   th_flush : Telemetry.Histogram.t array; (* per-category flush latency *)
@@ -145,6 +148,9 @@ let set_telemetry t sink =
             tn_fence = Telemetry.intern s "fence";
             tn_wpq = Telemetry.intern s "wpq_depth";
             tn_group = Telemetry.intern s "group_commit";
+            tn_pm_read = Telemetry.intern s "pm_read";
+            tn_search = Telemetry.intern s "search";
+            tn_dram = Telemetry.intern s "dram";
             ta_addr = Telemetry.intern s "addr";
             ta_dist = Telemetry.intern s "dist";
             th_flush = Array.map (Telemetry.histogram s) flush_span_names;
@@ -155,6 +161,11 @@ let set_telemetry t sink =
           }
 
 let telemetry t = Option.map (fun e -> e.tsink) t.telem
+
+(* Blame-tree handle of the attached sink, if attribution was enabled on
+   it — upper layers (WAL, extent, guard) open frames through this. *)
+let attribution t =
+  match t.telem with None -> None | Some e -> Telemetry.attribution e.tsink
 
 let reset_stats t =
   Stats.reset t.stats;
@@ -436,6 +447,11 @@ let[@inline] flush_line t clock cat line =
       Telemetry.span2 e.tsink ~tid ~name ~ts:now ~dur:(finish -. now) ~k1:e.ta_addr
         ~v1:(float_of_int addr) ~k2 ~v2;
       Telemetry.Histogram.observe e.th_flush.(idx) (finish -. now);
+      (* Blame attribution: the flush's device occupancy is a leaf charge
+         under whatever frame the thread has open. *)
+      (match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.charge a ~tid ~name ~ns:(finish -. now));
       e.tflush_seq <- e.tflush_seq + 1;
       if e.tflush_seq mod wpq_sample_period = 0 then begin
         let depth = Xpbuffer.occupancy t.wpq ~now:finish in
@@ -451,9 +467,13 @@ let[@inline] charge_fence t clock =
   match t.telem with
   | None -> ()
   | Some e ->
-      Telemetry.span e.tsink ~tid:(Sim.Clock.id clock) ~name:e.tn_fence
+      let tid = Sim.Clock.id clock in
+      Telemetry.span e.tsink ~tid ~name:e.tn_fence
         ~ts:(Sim.Clock.now clock -. fence_ns) ~dur:fence_ns;
-      Telemetry.Histogram.observe e.th_fence fence_ns
+      Telemetry.Histogram.observe e.th_fence fence_ns;
+      (match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.charge a ~tid ~name:e.tn_fence ~ns:fence_ns)
 
 let sync_flush t clock cat ~addr ~len =
   if len > 0 then begin
@@ -567,11 +587,27 @@ let note_group_commit t clock ~entries =
 let charge_pm_read t clock ~lines =
   let ns = float_of_int lines *. t.lat.Latency.pm_read_line_ns in
   Sim.Clock.charge clock ns;
-  Stats.record_read t.stats ~ns
+  Stats.record_read t.stats ~ns;
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a -> Telemetry.Attr.charge a ~tid:(Sim.Clock.id clock) ~name:e.tn_pm_read ~ns)
 
 let charge_work t clock work ~ns =
   Sim.Clock.charge clock ns;
-  Stats.charge_work t.stats work ~ns
+  Stats.charge_work t.stats work ~ns;
+  match t.telem with
+  | None -> ()
+  | Some e -> (
+      match Telemetry.attribution e.tsink with
+      | None -> ()
+      | Some a ->
+          let name =
+            match work with Stats.Search -> e.tn_search | _ -> e.tn_dram
+          in
+          Telemetry.Attr.charge a ~tid:(Sim.Clock.id clock) ~name ~ns)
 
 let dram_op t clock = charge_work t clock Stats.Other ~ns:t.lat.Latency.dram_ns
 let search_step t clock = charge_work t clock Stats.Search ~ns:t.lat.Latency.search_ns

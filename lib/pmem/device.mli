@@ -61,6 +61,14 @@ val is_eadr : t -> bool
 val set_telemetry : t -> Telemetry.t option -> unit
 val telemetry : t -> Telemetry.t option
 
+val attribution : t -> Telemetry.Attr.t option
+(** Blame-tree handle of the attached sink, when
+    [Telemetry.enable_attribution] was called on it. With attribution on,
+    flushes/reflushes, fences, PM reads and DRAM/search work additionally
+    charge leaf components into the calling thread's open frame; upper
+    layers use this handle to open interior frames (WAL group commit,
+    extent lookup, guard verify). Charges never touch simulated clocks. *)
+
 val reset_stats : t -> unit
 (** {!Stats.reset} plus the classification state behind the counters:
     per-thread reflush windows and sequentiality rings restart cold, as

@@ -2,13 +2,23 @@ type t = {
   mutable free_at : float;
   acquire_ns : float;
   mutable contended : int;
+  (* Observation hook for latency attribution: called with the stall
+     duration on contended acquires, before the wait. Must not touch the
+     clock — the wait itself is charged identically with or without it. *)
+  mutable on_wait : (Clock.t -> float -> unit) option;
 }
 
-let create ?(acquire_ns = 20.0) () = { free_at = 0.0; acquire_ns; contended = 0 }
+let create ?(acquire_ns = 20.0) () =
+  { free_at = 0.0; acquire_ns; contended = 0; on_wait = None }
+
+let set_wait_hook t hook = t.on_wait <- hook
 
 let acquire t clock =
   if t.free_at > Clock.now clock then begin
     t.contended <- t.contended + 1;
+    (match t.on_wait with
+    | None -> ()
+    | Some f -> f clock (t.free_at -. Clock.now clock));
     Clock.wait_until clock t.free_at
   end;
   Clock.charge clock t.acquire_ns;

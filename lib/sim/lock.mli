@@ -26,3 +26,10 @@ val with_lock : t -> Clock.t -> (unit -> 'a) -> 'a
 
 val contention_count : t -> int
 (** Number of acquisitions that had to wait. *)
+
+val set_wait_hook : t -> (Clock.t -> float -> unit) option -> unit
+(** Observation hook called with the stall duration on every contended
+    acquire, before the stall. Used by latency attribution to charge
+    lock-wait components; the hook must not touch simulated clocks (the
+    stall is charged identically either way). [None] (the default)
+    restores the unobserved path. *)

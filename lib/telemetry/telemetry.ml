@@ -127,7 +127,11 @@ module Json = struct
                  | 'f' -> Buffer.add_char b '\012'
                  | 'u' ->
                      if !pos + 4 >= n then fail "truncated \\u escape";
-                     let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                     let code =
+                       match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                       | Some c -> c
+                       | None -> fail "bad \\u escape"
+                     in
                      (* Our own emitters only escape control bytes; decode
                         the Latin-1 range and reject the rest. *)
                      if code > 0xFF then fail "unsupported \\u escape"
@@ -283,6 +287,26 @@ module Histogram = struct
   let min_value t = if t.n = 0 then 0.0 else t.vmin
   let max_value t = if t.n = 0 then 0.0 else t.vmax
 
+  (* Merging histograms is exact: buckets are fixed power-of-two ranges,
+     so the merge of the bucket arrays observes the same distribution as
+     replaying every value into one histogram. Used to aggregate
+     per-thread latency histograms before percentile reporting. *)
+  let merge ~name hists =
+    let m = create name in
+    List.iter
+      (fun h ->
+        for i = 0 to nbuckets - 1 do
+          m.buckets.(i) <- m.buckets.(i) + h.buckets.(i)
+        done;
+        m.n <- m.n + h.n;
+        m.sum <- m.sum +. h.sum;
+        if h.n > 0 then begin
+          if h.vmin < m.vmin then m.vmin <- h.vmin;
+          if h.vmax > m.vmax then m.vmax <- h.vmax
+        end)
+      hists;
+    m
+
   (* Percentile from the log buckets: the upper bound of the bucket the
      rank lands in, clamped to the observed range — exact at the tails,
      within a factor of two elsewhere (that is the resolution the
@@ -337,7 +361,50 @@ type t = {
   mutable ring_tids : int list; (* creation order, for deterministic export *)
   hists : (string, Histogram.t) Hashtbl.t;
   mutable hist_names : string list;
+  mutable attr : attr option; (* blame-tree attribution, off by default *)
 }
+
+(* Blame-tree attribution state. Nodes live in growable parallel arrays;
+   node 0 is a synthetic root whose children are the per-operation root
+   frames (malloc:small, free, recovery, ...). Each emitting thread keeps
+   a frame stack; leaf charges (fence, flush, pm_read, lock_wait, ...)
+   accumulate into the node keyed by (innermost frame, component name).
+   When a frame is left, the wall time not accounted to children or leaf
+   charges becomes the frame node's self time (clamped at zero: batched
+   flushes charge device-pipeline occupancy that can outlast the frame).
+   Root-frame completions additionally feed per-(thread, op) latency
+   histograms and the SLO windows. *)
+and attr = {
+  owner : t;
+  mutable a_parent : int array; (* node -> parent node *)
+  mutable a_name : int array; (* node -> interned component name *)
+  mutable a_self : float array; (* node -> attributed self ns *)
+  mutable a_count : int array; (* node -> charges + frame completions *)
+  mutable a_nodes : int;
+  a_edges : (int * int, int) Hashtbl.t; (* (parent, name) -> node *)
+  a_stacks : (int, frames) Hashtbl.t; (* tid -> frame stack *)
+  mutable a_last_tid : int; (* one-entry stack cache *)
+  mutable a_last_stack : frames option;
+  a_ops : (int * int, Histogram.t) Hashtbl.t; (* (tid, op name) -> latency *)
+  mutable a_op_ids : int list; (* distinct op name ids, creation order *)
+  (* SLO monitoring (set_slo): fixed-width simulated-time windows. *)
+  mutable a_window_ns : float; (* 0 = SLO monitoring off *)
+  mutable a_targets : (string * float * float) list; (* (op, target_ns, goal) *)
+  a_target_ids : (int, float * float) Hashtbl.t; (* op name -> (target, goal) *)
+  a_windows : (int * int, window) Hashtbl.t; (* (op name, window idx) *)
+  mutable a_events : (float * string) list; (* degradations, newest first *)
+  mutable a_nevents : int;
+}
+
+and frames = {
+  mutable f_depth : int;
+  mutable f_node : int array; (* frame -> blame-tree node *)
+  mutable f_name : int array; (* frame -> interned name *)
+  mutable f_ts : float array; (* frame -> entry timestamp *)
+  mutable f_acc : float array; (* frame -> ns accounted to children/leaves *)
+}
+
+and window = { w_hist : Histogram.t; mutable w_viol : int }
 
 let default_ring_capacity = 65536
 
@@ -359,6 +426,7 @@ let create ?(ring_capacity = default_ring_capacity) () =
     ring_tids = [];
     hists = Hashtbl.create 16;
     hist_names = [];
+    attr = None;
   }
 
 let ring_capacity t = t.cap
@@ -446,6 +514,257 @@ let histogram t name =
       h
 
 let observe t name v = Histogram.observe (histogram t name) v
+
+(* --- blame-tree attribution + SLO windows -------------------------------- *)
+
+module Attr = struct
+  type nonrec t = attr
+
+  let max_events = 1024
+
+  let node_of a ~parent ~name =
+    match Hashtbl.find_opt a.a_edges (parent, name) with
+    | Some id -> id
+    | None ->
+        if a.a_nodes = Array.length a.a_parent then begin
+          let n = a.a_nodes in
+          let grow_i src = Array.append src (Array.make n 0) in
+          let grow_f src = Array.append src (Array.make n 0.0) in
+          a.a_parent <- grow_i a.a_parent;
+          a.a_name <- grow_i a.a_name;
+          a.a_count <- grow_i a.a_count;
+          a.a_self <- grow_f a.a_self
+        end;
+        let id = a.a_nodes in
+        a.a_parent.(id) <- parent;
+        a.a_name.(id) <- name;
+        a.a_self.(id) <- 0.0;
+        a.a_count.(id) <- 0;
+        a.a_nodes <- id + 1;
+        Hashtbl.replace a.a_edges (parent, name) id;
+        id
+
+  let stack_of a tid =
+    match a.a_last_stack with
+    | Some st when a.a_last_tid = tid -> st
+    | _ ->
+        let st =
+          match Hashtbl.find_opt a.a_stacks tid with
+          | Some st -> st
+          | None ->
+              let st =
+                {
+                  f_depth = 0;
+                  f_node = Array.make 16 0;
+                  f_name = Array.make 16 0;
+                  f_ts = Array.make 16 0.0;
+                  f_acc = Array.make 16 0.0;
+                }
+              in
+              Hashtbl.replace a.a_stacks tid st;
+              st
+        in
+        a.a_last_tid <- tid;
+        a.a_last_stack <- Some st;
+        st
+
+  (* SLO bookkeeping on a completed root operation: the op's end-of-life
+     timestamp picks the fixed-width simulated-time window it lands in. *)
+  let complete_op a ~tid ~op ~ts ~dur =
+    let h =
+      match Hashtbl.find_opt a.a_ops (tid, op) with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create (name_of a.owner op) in
+          Hashtbl.replace a.a_ops (tid, op) h;
+          if not (List.mem op a.a_op_ids) then a.a_op_ids <- op :: a.a_op_ids;
+          h
+    in
+    Histogram.observe h dur;
+    if a.a_window_ns > 0.0 then begin
+      let idx = int_of_float (ts /. a.a_window_ns) in
+      let w =
+        match Hashtbl.find_opt a.a_windows (op, idx) with
+        | Some w -> w
+        | None ->
+            let w = { w_hist = Histogram.create (name_of a.owner op); w_viol = 0 } in
+            Hashtbl.replace a.a_windows (op, idx) w;
+            w
+      in
+      Histogram.observe w.w_hist dur;
+      match Hashtbl.find_opt a.a_target_ids op with
+      | Some (target_ns, _) when dur > target_ns -> w.w_viol <- w.w_viol + 1
+      | _ -> ()
+    end
+
+  let enter a ~tid ~name ~ts =
+    let st = stack_of a tid in
+    let d = st.f_depth in
+    if d = Array.length st.f_node then begin
+      let grow_i src = Array.append src (Array.make d 0) in
+      let grow_f src = Array.append src (Array.make d 0.0) in
+      st.f_node <- grow_i st.f_node;
+      st.f_name <- grow_i st.f_name;
+      st.f_ts <- grow_f st.f_ts;
+      st.f_acc <- grow_f st.f_acc
+    end;
+    let parent = if d = 0 then 0 else st.f_node.(d - 1) in
+    st.f_node.(d) <- node_of a ~parent ~name;
+    st.f_name.(d) <- name;
+    st.f_ts.(d) <- ts;
+    st.f_acc.(d) <- 0.0;
+    st.f_depth <- d + 1
+
+  (* Root frames also reset the stack: an operation aborted by a fault
+     can leave frames open, and the next op must not inherit them. *)
+  let enter_root a ~tid ~name ~ts =
+    (stack_of a tid).f_depth <- 0;
+    enter a ~tid ~name ~ts
+
+  let charge a ~tid ~name ~ns =
+    let st = stack_of a tid in
+    let d = st.f_depth in
+    let parent = if d = 0 then 0 else st.f_node.(d - 1) in
+    let node = node_of a ~parent ~name in
+    a.a_self.(node) <- a.a_self.(node) +. ns;
+    a.a_count.(node) <- a.a_count.(node) + 1;
+    if d > 0 then st.f_acc.(d - 1) <- st.f_acc.(d - 1) +. ns
+
+  let leave a ~tid ~ts =
+    let st = stack_of a tid in
+    if st.f_depth > 0 then begin
+      let d = st.f_depth - 1 in
+      st.f_depth <- d;
+      let node = st.f_node.(d) in
+      let dur = Float.max 0.0 (ts -. st.f_ts.(d)) in
+      let self = Float.max 0.0 (dur -. st.f_acc.(d)) in
+      a.a_self.(node) <- a.a_self.(node) +. self;
+      a.a_count.(node) <- a.a_count.(node) + 1;
+      if d > 0 then st.f_acc.(d - 1) <- st.f_acc.(d - 1) +. dur
+      else complete_op a ~tid ~op:st.f_name.(d) ~ts ~dur
+    end
+
+  let enter_named a ~tid ~name ~ts = enter a ~tid ~name:(intern a.owner name) ~ts
+
+  let enter_root_named a ~tid ~name ~ts =
+    enter_root a ~tid ~name:(intern a.owner name) ~ts
+
+  let charge_named a ~tid ~name ~ns = charge a ~tid ~name:(intern a.owner name) ~ns
+  let depth a ~tid = (stack_of a tid).f_depth
+
+  (* --- SLO configuration and queries --- *)
+
+  let set_slo a ~window_ns ~targets =
+    if not (window_ns > 0.0) then
+      invalid_arg
+        (Printf.sprintf "Telemetry.Attr.set_slo: window_ns must be positive (got %g)"
+           window_ns);
+    a.a_window_ns <- window_ns;
+    a.a_targets <- targets;
+    Hashtbl.reset a.a_target_ids;
+    List.iter
+      (fun (op, target_ns, goal) ->
+        Hashtbl.replace a.a_target_ids (intern a.owner op) (target_ns, goal))
+      targets
+
+  let slo_window_ns a = a.a_window_ns
+  let slo_targets a = a.a_targets
+
+  let note_event a ~ts ~name =
+    if a.a_nevents < max_events then begin
+      a.a_events <- (ts, name) :: a.a_events;
+      a.a_nevents <- a.a_nevents + 1
+    end
+
+  let events a = List.rev a.a_events
+  let op_names a = List.sort compare (List.map (name_of a.owner) a.a_op_ids)
+
+  let op_id a op =
+    List.find_opt (fun id -> name_of a.owner id = op) a.a_op_ids
+
+  (* Per-thread histograms of one op class, ascending tid order. *)
+  let op_thread_histograms a op =
+    match op_id a op with
+    | None -> []
+    | Some id ->
+        Hashtbl.fold
+          (fun (tid, o) h acc -> if o = id then (tid, h) :: acc else acc)
+          a.a_ops []
+        |> List.sort (fun (t1, _) (t2, _) -> compare t1 t2)
+        |> List.map snd
+
+  let op_histogram a op = Histogram.merge ~name:op (op_thread_histograms a op)
+
+  let windows a ~op =
+    match op_id a op with
+    | None -> []
+    | Some id ->
+        Hashtbl.fold
+          (fun (o, idx) w acc -> if o = id then (idx, w.w_hist, w.w_viol) :: acc else acc)
+          a.a_windows []
+        |> List.sort (fun (i1, _, _) (i2, _, _) -> compare i1 i2)
+
+  let violations a ~op = List.fold_left (fun acc (_, _, v) -> acc + v) 0 (windows a ~op)
+
+  let path_of a node =
+    let rec go acc node =
+      if node = 0 then acc else go (name_of a.owner a.a_name.(node) :: acc) a.a_parent.(node)
+    in
+    go [] node
+
+  (* Blame-tree nodes as (path-from-root, self ns, count), sorted by path
+     for deterministic output. The synthetic root is omitted. *)
+  let nodes a =
+    let acc = ref [] in
+    for node = 1 to a.a_nodes - 1 do
+      acc := (path_of a node, a.a_self.(node), a.a_count.(node)) :: !acc
+    done;
+    List.sort (fun (p1, _, _) (p2, _, _) -> compare p1 p2) !acc
+
+  (* Folded-stack (flamegraph collapsed) export: one "a;b;c value" line
+     per node with a non-zero rounded self time. *)
+  let folded a =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (path, self, _) ->
+        let v = Float.round self in
+        if v > 0.0 then
+          Buffer.add_string b
+            (Printf.sprintf "%s %.0f\n" (String.concat ";" path) v))
+      (nodes a);
+    Buffer.contents b
+end
+
+let enable_attribution t =
+  match t.attr with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          owner = t;
+          a_parent = Array.make 64 0;
+          a_name = Array.make 64 0;
+          a_self = Array.make 64 0.0;
+          a_count = Array.make 64 0;
+          a_nodes = 1 (* node 0: synthetic root *);
+          a_edges = Hashtbl.create 64;
+          a_stacks = Hashtbl.create 16;
+          a_last_tid = min_int;
+          a_last_stack = None;
+          a_ops = Hashtbl.create 16;
+          a_op_ids = [];
+          a_window_ns = 0.0;
+          a_targets = [];
+          a_target_ids = Hashtbl.create 8;
+          a_windows = Hashtbl.create 64;
+          a_events = [];
+          a_nevents = 0;
+        }
+      in
+      t.attr <- Some a;
+      a
+
+let attribution t = t.attr
 
 let events_recorded t =
   Hashtbl.fold (fun _ r acc -> acc + r.r_total) t.rings 0
@@ -564,6 +883,106 @@ let hist_csv t =
            (Histogram.percentile h 0.99) (Histogram.max_value h) (Histogram.mean h)
            (Histogram.total h)))
     names;
+  Buffer.contents b
+
+(* Prometheus text exposition of everything the sink holds: event-ring
+   counters, every named histogram (cumulative le buckets at the
+   power-of-two upper bounds), and — when attribution is enabled — the
+   merged per-op latency histograms, blame-tree self-time counters and
+   SLO violation counts. Names are labels (hist=/op=/path=) rather than
+   sanitised metric names so distinct sink names can never collide.
+   Output is deterministically ordered (sorted names/paths). *)
+let prometheus t =
+  let b = Buffer.create 4096 in
+  let label k v =
+    Buffer.add_string b "{";
+    Buffer.add_string b k;
+    Buffer.add_string b "=\"";
+    Json.escape b v;
+    Buffer.add_string b "\"}"
+  in
+  let header name kind = Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind) in
+  let add_hist ~metric ~label_key ~label_value h =
+    let buckets = h.Histogram.buckets in
+    let top = ref (-1) in
+    Array.iteri (fun i c -> if c > 0 then top := i) buckets;
+    let cum = ref 0 in
+    for i = 0 to !top do
+      cum := !cum + buckets.(i);
+      Buffer.add_string b metric;
+      Buffer.add_string b "_bucket{";
+      Buffer.add_string b label_key;
+      Buffer.add_string b "=\"";
+      Json.escape b label_value;
+      Buffer.add_string b
+        (Printf.sprintf "\",le=\"%.0f\"} %d\n" (Float.pow 2.0 (float_of_int i)) !cum)
+    done;
+    Buffer.add_string b metric;
+    Buffer.add_string b "_bucket{";
+    Buffer.add_string b label_key;
+    Buffer.add_string b "=\"";
+    Json.escape b label_value;
+    Buffer.add_string b (Printf.sprintf "\",le=\"+Inf\"} %d\n" (Histogram.count h));
+    Buffer.add_string b metric;
+    Buffer.add_string b "_sum";
+    label label_key label_value;
+    Buffer.add_string b (Printf.sprintf " %.3f\n" (Histogram.total h));
+    Buffer.add_string b metric;
+    Buffer.add_string b "_count";
+    label label_key label_value;
+    Buffer.add_string b (Printf.sprintf " %d\n" (Histogram.count h))
+  in
+  header "nvalloc_events_recorded_total" "counter";
+  Buffer.add_string b (Printf.sprintf "nvalloc_events_recorded_total %d\n" (events_recorded t));
+  header "nvalloc_events_dropped_total" "counter";
+  Buffer.add_string b (Printf.sprintf "nvalloc_events_dropped_total %d\n" (events_dropped t));
+  let names = List.sort compare t.hist_names in
+  if names <> [] then header "nvalloc_hist" "histogram";
+  List.iter
+    (fun name ->
+      add_hist ~metric:"nvalloc_hist" ~label_key:"hist" ~label_value:name
+        (Hashtbl.find t.hists name))
+    names;
+  (match t.attr with
+  | None -> ()
+  | Some a ->
+      let ops = Attr.op_names a in
+      if ops <> [] then header "nvalloc_op_latency" "histogram";
+      List.iter
+        (fun op ->
+          add_hist ~metric:"nvalloc_op_latency" ~label_key:"op" ~label_value:op
+            (Attr.op_histogram a op))
+        ops;
+      let nodes = Attr.nodes a in
+      if nodes <> [] then begin
+        header "nvalloc_blame_self_ns_total" "counter";
+        List.iter
+          (fun (path, self, _) ->
+            Buffer.add_string b "nvalloc_blame_self_ns_total";
+            label "path" (String.concat ";" path);
+            Buffer.add_string b (Printf.sprintf " %.3f\n" self))
+          nodes;
+        header "nvalloc_blame_count_total" "counter";
+        List.iter
+          (fun (path, _, count) ->
+            Buffer.add_string b "nvalloc_blame_count_total";
+            label "path" (String.concat ";" path);
+            Buffer.add_string b (Printf.sprintf " %d\n" count))
+          nodes
+      end;
+      if Attr.slo_window_ns a > 0.0 then begin
+        header "nvalloc_slo_violations_total" "counter";
+        List.iter
+          (fun op ->
+            Buffer.add_string b "nvalloc_slo_violations_total";
+            label "op" op;
+            Buffer.add_string b (Printf.sprintf " %d\n" (Attr.violations a ~op)))
+          ops
+      end;
+      header "nvalloc_degradation_events_total" "counter";
+      Buffer.add_string b
+        (Printf.sprintf "nvalloc_degradation_events_total %d\n"
+           (List.length (Attr.events a))));
   Buffer.contents b
 
 (* Last [n] events across every ring, merged by timestamp (ties: ring

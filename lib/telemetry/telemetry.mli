@@ -58,6 +58,12 @@ module Histogram : sig
   val percentile : t -> float -> float
   (** [percentile t 0.99] — upper bound of the bucket the rank lands in,
       clamped to the observed min/max. 0 when empty. *)
+
+  val merge : name:string -> t list -> t
+  (** Sum bucket counts/count/total and combine min/max. Exact: the
+      buckets are fixed power-of-two ranges, so merging per-thread
+      histograms is indistinguishable from observing every value into
+      one histogram. *)
 end
 
 type t
@@ -114,6 +120,110 @@ val histogram : t -> string -> Histogram.t
 
 val observe : t -> string -> float -> unit
 
+(** {2 Blame-tree attribution and SLO monitoring}
+
+    Per-operation latency attribution: each [malloc]/[free]/recovery op
+    opens a root frame, layers it crosses open nested frames (refill,
+    morph, WAL append/group-commit, extent lookup, ...), and leaf
+    components (fence, flush/reflush, pm_read, lock_wait) charge
+    simulated nanoseconds into the innermost frame. The result is a
+    blame tree — component self-times keyed by call path — plus
+    per-(thread, op) latency histograms and fixed-width simulated-time
+    SLO windows with violation counts against [Config]-declared targets.
+
+    Attribution is opt-in per sink ({!enable_attribution}); emitters
+    consult {!attribution} (a field read) on their already
+    telemetry-enabled paths only, so the disabled cost stays one option
+    check per site and charges never touch simulated clocks. *)
+module Attr : sig
+  type t
+
+  (** {3 Recording} *)
+
+  val enter : t -> tid:int -> name:int -> ts:float -> unit
+  (** Push a nested frame (name interned in the owning sink). *)
+
+  val enter_root : t -> tid:int -> name:int -> ts:float -> unit
+  (** Push an operation root frame, first resetting the thread's stack
+      (an op aborted by a fault may have left frames open). *)
+
+  val leave : t -> tid:int -> ts:float -> unit
+  (** Pop the innermost frame: wall time minus child/leaf charges
+      becomes the frame node's self time (clamped at 0 — batched
+      flushes charge pipeline occupancy that can outlast the frame).
+      Popping a root frame records the op completion into the
+      per-thread latency histogram and the SLO window containing [ts].
+      No-op on an empty stack. *)
+
+  val charge : t -> tid:int -> name:int -> ns:float -> unit
+  (** Attribute [ns] of a leaf component under the innermost frame. *)
+
+  val enter_named : t -> tid:int -> name:string -> ts:float -> unit
+  val enter_root_named : t -> tid:int -> name:string -> ts:float -> unit
+  val charge_named : t -> tid:int -> name:string -> ns:float -> unit
+
+  val depth : t -> tid:int -> int
+  (** Current frame-stack depth of [tid] (0 = no op in flight). *)
+
+  (** {3 SLO monitoring} *)
+
+  val set_slo : t -> window_ns:float -> targets:(string * float * float) list -> unit
+  (** Enable windowed monitoring: op completions land in fixed-width
+      simulated-time windows of [window_ns]; each [(op, target_ns,
+      goal)] target counts completions slower than [target_ns] as
+      violations ([goal] is the intended fraction of ops within target;
+      the error budget is [1 - goal]). Raises [Invalid_argument] if
+      [window_ns <= 0]. *)
+
+  val slo_window_ns : t -> float
+  (** 0 when SLO monitoring is off. *)
+
+  val slo_targets : t -> (string * float * float) list
+
+  val note_event : t -> ts:float -> name:string -> unit
+  (** Record a degradation event (quarantine, media repair, checkpoint
+      stall) for timeline annotation. Capped; excess events dropped. *)
+
+  (** {3 Queries and exporters} *)
+
+  val events : t -> (float * string) list
+  (** Recorded degradation events, oldest first. *)
+
+  val op_names : t -> string list
+  (** Distinct completed root-op names, sorted. *)
+
+  val op_histogram : t -> string -> Histogram.t
+  (** Latency histogram of one op class, merged across threads with
+      {!Histogram.merge}. Empty histogram for unknown ops. *)
+
+  val op_thread_histograms : t -> string -> Histogram.t list
+  (** The unmerged per-thread histograms, ascending tid order. *)
+
+  val windows : t -> op:string -> (int * Histogram.t * int) list
+  (** SLO windows of one op class as [(window index, latencies,
+      violations)], ascending index; a window's simulated-time range is
+      [[idx * window_ns, (idx+1) * window_ns)]. Empty windows are never
+      materialised. *)
+
+  val violations : t -> op:string -> int
+
+  val nodes : t -> (string list * float * int) list
+  (** Blame-tree nodes as [(path from root, self ns, count)], sorted by
+      path. Self times are attributed pipeline occupancy: their sum can
+      exceed the sum of op wall times under batching. *)
+
+  val folded : t -> string
+  (** Folded-stack (flamegraph collapsed) export: one
+      ["a;b;c <self-ns>"] line per node with non-zero rounded self
+      time, sorted by path. *)
+end
+
+val enable_attribution : t -> Attr.t
+(** Find-or-create the sink's attribution state. Safe to call before or
+    after emitters attach: they re-read {!attribution} per emission. *)
+
+val attribution : t -> Attr.t option
+
 val events_recorded : t -> int
 val events_dropped : t -> int
 
@@ -129,6 +239,13 @@ val chrome_json : t -> string
 val hist_csv : t -> string
 (** One row per histogram, sorted by name:
     [histogram,count,min_ns,p50_ns,p90_ns,p99_ns,max_ns,mean_ns,total_ns]. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition of every counter and histogram the sink
+    holds (cumulative [le] buckets at the power-of-two upper bounds),
+    plus — when attribution is enabled — merged per-op latency
+    histograms, blame-tree self-time counters ([path] label) and SLO
+    violation counts. Deterministically ordered. *)
 
 val tail_events : t -> n:int -> string list
 (** Last [n] events across all rings merged by timestamp, rendered one

@@ -1,0 +1,55 @@
+#!/bin/sh
+# SLO attribution gate, three parts:
+#   1. determinism — two same-seed `nvalloc-cli slo --json` runs must be
+#      byte-identical (attribution must not perturb nor depend on host
+#      state);
+#   2. regression — the current report must pass
+#      Harness.Slo_report.check against the committed baseline
+#      SLO_larson.json (component p99 shares, op p99s, burn rates);
+#   3. sensitivity — the gate itself is tested by a seeded regression:
+#      forcing the synchronous pipeline (--no-batch) inflates the fence
+#      and per-line flush shares and MUST fail the check. A gate that
+#      cannot catch the regression it was built for is not a gate.
+# Usage: scripts/slo_check.sh [workload] [threads] [seed]
+# CHECK_FAST=1 skips the sensitivity run (smoke coverage, not the gate).
+# Re-record the baseline after intentional pipeline changes with:
+#   nvalloc-cli slo larson --json --out SLO_larson.json
+set -eu
+cd "$(dirname "$0")/.."
+workload="${1:-larson}"
+threads="${2:-4}"
+seed="${3:-42}"
+baseline="SLO_larson.json"
+dune build bin/nvalloc_cli.exe
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cli=./_build/default/bin/nvalloc_cli.exe
+
+"$cli" slo "$workload" --threads "$threads" --seed "$seed" --json \
+  --out "$tmp/a.json" 2>/dev/null
+"$cli" slo "$workload" --threads "$threads" --seed "$seed" --json \
+  --out "$tmp/b.json" 2>/dev/null
+if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
+  echo "SLO report differs between two same-seed runs:" >&2
+  cmp "$tmp/a.json" "$tmp/b.json" >&2 || true
+  exit 1
+fi
+echo "slo determinism OK ($workload, $threads threads, seed $seed)"
+
+"$cli" slo "$workload" --threads "$threads" --seed "$seed" --json \
+  --out /dev/null --check "$baseline"
+
+if [ "${CHECK_FAST:-0}" != "1" ]; then
+  if "$cli" slo "$workload" --no-batch --threads "$threads" --seed "$seed" \
+    --json --out /dev/null --check "$baseline" 2>"$tmp/sync.err"; then
+    echo "seeded regression NOT caught: --no-batch passed the SLO gate" >&2
+    exit 1
+  fi
+  if ! grep -q "component fence share regressed" "$tmp/sync.err"; then
+    echo "seeded regression failed the gate, but not on the fence share:" >&2
+    cat "$tmp/sync.err" >&2
+    exit 1
+  fi
+  echo "slo gate sensitivity OK (--no-batch trips the fence-share gate)"
+fi
+echo "slo check OK"

@@ -2,7 +2,10 @@
 # Trace-determinism gate: two same-seed `nvalloc-cli trace` runs must
 # emit byte-identical Chrome trace-event JSON (simulated timestamps,
 # normalised thread ids — nothing host-dependent may leak into the
-# export). Usage: scripts/trace_check.sh [workload] [threads] [seed]
+# export). Checked for both persistence pipelines: --batch (default)
+# and --no-batch, since the batched path has its own scheduling state
+# (coalescing windows, group commit) that must stay deterministic too.
+# Usage: scripts/trace_check.sh [workload] [threads] [seed]
 set -eu
 cd "$(dirname "$0")/.."
 workload="${1:-larson}"
@@ -12,18 +15,22 @@ dune build bin/nvalloc_cli.exe
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cli=./_build/default/bin/nvalloc_cli.exe
-"$cli" trace "$workload" --threads "$threads" --seed "$seed" --out "$tmp/a.json" 2>/dev/null
-"$cli" trace "$workload" --threads "$threads" --seed "$seed" --out "$tmp/b.json" 2>/dev/null
-if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
-  echo "trace JSON differs between two same-seed runs:" >&2
-  cmp "$tmp/a.json" "$tmp/b.json" >&2 || true
-  exit 1
-fi
-# The export must be non-trivial: a regression that silently records
-# nothing would still be "deterministic".
-size="$(wc -c <"$tmp/a.json")"
-if [ "$size" -lt 10000 ]; then
-  echo "trace JSON suspiciously small ($size bytes)" >&2
-  exit 1
-fi
-echo "trace check OK ($workload, $threads threads, seed $seed, $size bytes)"
+for mode in --batch --no-batch; do
+  "$cli" trace "$workload" "$mode" --threads "$threads" --seed "$seed" \
+    --out "$tmp/a.json" 2>/dev/null
+  "$cli" trace "$workload" "$mode" --threads "$threads" --seed "$seed" \
+    --out "$tmp/b.json" 2>/dev/null
+  if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
+    echo "trace JSON differs between two same-seed runs ($mode):" >&2
+    cmp "$tmp/a.json" "$tmp/b.json" >&2 || true
+    exit 1
+  fi
+  # The export must be non-trivial: a regression that silently records
+  # nothing would still be "deterministic".
+  size="$(wc -c <"$tmp/a.json")"
+  if [ "$size" -lt 10000 ]; then
+    echo "trace JSON suspiciously small ($size bytes, $mode)" >&2
+    exit 1
+  fi
+  echo "trace check OK ($workload, $threads threads, seed $seed, $mode, $size bytes)"
+done
