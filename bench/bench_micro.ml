@@ -218,6 +218,47 @@ let makespan_probes () =
         Workloads.Dbmstest.run inst ~params:(Harness.Sizes.dbmstest 4) ());
   ]
 
+(* --- host-parallel throughput probes -------------------------------------- *)
+
+(* Host wall-time of the domain-parallel backend: a fixed check sweep at
+   one domain vs the host's recommended count, plus one differential
+   history run. Host time is noisy and machine-dependent by nature, so
+   these live in their own [host_par] section that the regression gate
+   never reads ([run_check] parses only [micro_ns_per_run]); the
+   conditional speedup gate lives in scripts/par_check.sh. Every probe
+   doubles as a correctness assertion: a counterexample or differential
+   failure aborts the baseline write. *)
+let host_par_probes () =
+  let sweep_ns domains =
+    let pool = Par.Pool.create ~domains in
+    let t0 = Par.Host.now_ns () in
+    (match
+       Par.Sweep.check_sweep pool ~alloc:"NVAlloc-LOG" ~seed:1 ~runs:8 ~ops:600 ~threads:2 ()
+     with
+    | None -> ()
+    | Some cex ->
+        failwith ("host_par probe counterexample: " ^ cex.Check.Runner.reason));
+    Par.Host.now_ns () -. t0
+  in
+  let nd = max 2 (Domain.recommended_domain_count ()) in
+  let d1_ns = sweep_ns 1 in
+  let dn_ns = sweep_ns nd in
+  let history_ns =
+    let sc =
+      { Check.History.alloc = "NVAlloc-LOG"; seed = 1; ops = 1000; threads = 4; crash = None }
+    in
+    match Par.Runner.run_history (Par.Pool.create ~domains:nd) sc with
+    | Ok r -> r.Par.Runner.host_ns
+    | Error e -> failwith ("host_par probe differential failure: " ^ e)
+  in
+  [
+    ("domains", float_of_int nd);
+    ("check_sweep_8x600_1d_ns", d1_ns);
+    ("check_sweep_8x600_nd_ns", dn_ns);
+    ("sweep_speedup_x", if dn_ns > 0.0 then d1_ns /. dn_ns else 0.0);
+    ("par_history_1000op_4t_nd_ns", history_ns);
+  ]
+
 (* --- JSON baseline -------------------------------------------------------- *)
 
 let schema = "nvalloc/bench-micro/v1"
@@ -246,26 +287,33 @@ let json_section b name fmt entries =
     entries;
   Buffer.add_string b "  }"
 
-let json_string ~micro ~makespans =
+let json_string ?host_par ~micro ~makespans () =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
   Buffer.add_string b
-    "  \"note\": \"micro_ns_per_run is host time (noisy); simulated_makespan_ns is deterministic simulated time\",\n";
+    "  \"note\": \"micro_ns_per_run is host time (noisy); simulated_makespan_ns is deterministic simulated time; host_par is host time of the domain backend (informational, never gated)\",\n";
   json_section b "micro_ns_per_run" "%.1f" micro;
   Buffer.add_string b ",\n";
   json_section b "simulated_makespan_ns" "%.3f" makespans;
+  (match host_par with
+  | None -> ()
+  | Some entries ->
+      Buffer.add_string b ",\n";
+      json_section b "host_par" "%.1f" entries);
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
 let write_json ~path ~estimates =
   print_endline "running simulated makespan probes...";
   let makespans = makespan_probes () in
+  print_endline "running host-parallel probes...";
+  let host_par = host_par_probes () in
   let oc = open_out path in
-  output_string oc (json_string ~micro:estimates ~makespans);
+  output_string oc (json_string ~host_par ~micro:estimates ~makespans ());
   close_out oc;
-  Printf.printf "wrote %s (%d microbenches, %d makespan probes)\n%!" path
-    (List.length estimates) (List.length makespans)
+  Printf.printf "wrote %s (%d microbenches, %d makespan probes, %d host_par probes)\n%!" path
+    (List.length estimates) (List.length makespans) (List.length host_par)
 
 (* --- minimal reader for our own baseline format --------------------------- *)
 

@@ -533,8 +533,17 @@ let fuzz_cmd =
       Printf.printf "  device media counters: %s\n" !media_line
     end
   in
+  let domains =
+    let doc =
+      "Fan the plans out over $(docv) OCaml domains (each plan on its own \
+       fresh device). Sampling switches to pure per-index RNG splitting, so \
+       the output is byte-identical for every $(docv) — including 1 — but \
+       differs from the sequential sampler's plans at the same seed."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
   let run seed runs variant plan batch broken broken_record broken_scrub media poison_n
-      bitrot_n scrub check_order tail =
+      bitrot_n scrub check_order tail domains =
     let variant =
       match variant with
       | "any" -> None
@@ -576,10 +585,18 @@ let fuzz_cmd =
                 dump_tail ~batch ~broken ~broken_record ~broken_scrub ~check_order ~tail p;
                 exit 1))
     | None -> (
-        match
-          Fault.Fuzz.fuzz ~batch ~broken ~broken_record ~broken_scrub ~check_order ?variant
-            ~media ~adjust ~seed ~runs ()
-        with
+        let outcome =
+          match domains with
+          | None ->
+              Fault.Fuzz.fuzz ~batch ~broken ~broken_record ~broken_scrub ~check_order
+                ?variant ~media ~adjust ~seed ~runs ()
+          | Some d ->
+              Par.Sweep.fuzz_sweep ~batch ~broken ~broken_record ~broken_scrub ~check_order
+                ?variant ~media ~adjust
+                (Par.Pool.create ~domains:d)
+                ~seed ~runs ()
+        in
+        match outcome with
         | None -> Printf.printf "ok: %d plans, no counterexamples (seed %d)\n" runs seed
         | Some cex ->
             Format.printf "counterexample (shrunk): %s@.  reason: %s@.  original: %s@."
@@ -594,7 +611,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seed $ runs $ variant $ plan $ batch_flag $ broken $ broken_record
-      $ broken_scrub $ media $ poison_n $ bitrot_n $ scrub $ check_order $ tail)
+      $ broken_scrub $ media $ poison_n $ bitrot_n $ scrub $ check_order $ tail $ domains)
 
 let check_cmd =
   let doc =
@@ -670,8 +687,16 @@ let check_cmd =
     in
     Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"LINE" ~doc)
   in
+  let domains =
+    let doc =
+      "Fan the scenarios out over $(docv) OCaml domains (each seed on its own \
+       fresh device, still on the simulated scheduler). The verdict is \
+       byte-identical to the sequential checker's for every $(docv)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
   let run seed runs ops threads crash allocators batch broken broken_record broken_header
-      scenario =
+      scenario domains =
     match scenario with
     | Some line -> (
         match Check.History.of_string line with
@@ -690,10 +715,17 @@ let check_cmd =
         let failed = ref false in
         List.iter
           (fun alloc ->
-            match
-              Check.Runner.check ~batch ~broken ~broken_record ~broken_header ~alloc ~seed ~runs
-                ~ops ~threads ?crash ()
-            with
+            let outcome =
+              match domains with
+              | None ->
+                  Check.Runner.check ~batch ~broken ~broken_record ~broken_header ~alloc ~seed
+                    ~runs ~ops ~threads ?crash ()
+              | Some d ->
+                  Par.Sweep.check_sweep ~batch ~broken ~broken_record ~broken_header
+                    (Par.Pool.create ~domains:d)
+                    ~alloc ~seed ~runs ~ops ~threads ?crash ()
+            in
+            match outcome with
             | None ->
                 Printf.printf "ok: %-12s %d scenario(s), ops=%d threads=%d seed=%d%s\n" alloc
                   runs ops threads seed
@@ -712,7 +744,120 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ seed $ runs $ ops $ threads $ crash $ allocators $ batch_flag $ broken
-      $ broken_record $ broken_header $ scenario)
+      $ broken_record $ broken_header $ scenario $ domains)
+
+let par_cmd =
+  let doc =
+    "Run the domain-parallel differential gate: execute model-checker \
+     histories on the real-parallelism backend (OCaml domains, one big lock \
+     per instance, OS-chosen interleavings) with the full lockstep model \
+     validation, then re-run each scenario on the simulated scheduler and \
+     cross-check the interleaving-invariant aggregates. Per-scenario verdict \
+     lines are deterministic (host times appear only in the summary). On \
+     failure the scenario is shrunk through the differential predicate and \
+     printed as a replayable one-liner. Exits non-zero on a failure."
+  in
+  let domains =
+    let doc = "Domains driving each scenario's threads (default: the host's recommended count)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"History-generation RNG seed.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 10
+      & info [ "runs" ] ~docv:"N" ~doc:"Scenarios per allocator (seeds SEED..SEED+N-1).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 2000
+      & info [ "ops" ] ~docv:"N" ~doc:"Total operations per scenario, across all threads.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"History threads per scenario.")
+  in
+  let crash =
+    let doc =
+      "Also arm a crash after $(docv) flushed lines on every scenario and run \
+       the post-crash oracle on both backends (NVAlloc variants only)."
+    in
+    Arg.(value & opt (some int) None & info [ "crash" ] ~docv:"N" ~doc)
+  in
+  let allocators =
+    let doc = "Comma-separated allocator names, or $(b,all)." in
+    Arg.(value & opt string "all" & info [ "allocators" ] ~docv:"NAMES" ~doc)
+  in
+  let broken =
+    let doc = "Demo mode: the refill WAL-ordering mutation (the gate must fail)." in
+    Arg.(value & flag & info [ "broken" ] ~doc)
+  in
+  let broken_record =
+    let doc = "Demo mode: the forgotten-commit-record mutation (with --crash)." in
+    Arg.(value & flag & info [ "broken-record" ] ~doc)
+  in
+  let broken_header =
+    let doc = "Demo mode: the packed-header mis-decode mutation (the gate must fail)." in
+    Arg.(value & flag & info [ "broken-header" ] ~doc)
+  in
+  let run domains seed runs ops threads crash allocators batch broken broken_record
+      broken_header =
+    let domains =
+      match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+    in
+    let pool = Par.Pool.create ~domains in
+    let names =
+      if allocators = "all" then Check.Runner.allocator_names
+      else String.split_on_char ',' allocators |> List.map String.trim
+    in
+    let failed = ref false in
+    let scenarios = ref 0 in
+    let total_executed = ref 0 in
+    let total_host_ns = ref 0.0 in
+    let total_waits = ref 0 in
+    List.iter
+      (fun alloc ->
+        for i = 0 to runs - 1 do
+          let sc = { Check.History.alloc; seed = seed + i; ops; threads; crash } in
+          match
+            Par.Runner.run_history ~batch ~broken ~broken_record ~broken_header pool sc
+          with
+          | Ok r ->
+              incr scenarios;
+              total_executed := !total_executed + r.Par.Runner.executed;
+              total_host_ns := !total_host_ns +. r.Par.Runner.host_ns;
+              total_waits := !total_waits + r.Par.Runner.lock_waits;
+              Printf.printf "ok: %s\n" (Check.History.to_string sc)
+          | Error reason ->
+              failed := true;
+              incr scenarios;
+              let shrunk, reason =
+                Par.Runner.shrink ~batch ~broken ~broken_record ~broken_header pool sc
+                  ~reason
+              in
+              Printf.printf "FAIL: %s\n  reason: %s\n  original: %s\n"
+                (Check.History.to_string shrunk)
+                reason
+                (Check.History.to_string sc)
+        done)
+      names;
+    (* Host time is the one authoritative duration in par mode; it is
+       also nondeterministic, so it stays out of the per-scenario lines
+       the differential scripts diff. *)
+    Printf.printf
+      "par summary: %d scenario(s), domains=%d, executed=%d ops, host=%.1f ms, %.2f Mops/s \
+       (host), lock_waits=%d\n"
+      !scenarios domains !total_executed (!total_host_ns /. 1e6)
+      (if !total_host_ns > 0.0 then float_of_int !total_executed /. (!total_host_ns /. 1e9) /. 1e6
+       else 0.0)
+      !total_waits;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "par" ~doc)
+    Term.(
+      const run $ domains $ seed $ runs $ ops $ threads $ crash $ allocators $ batch_flag
+      $ broken $ broken_record $ broken_header)
 
 let () =
   let doc = "NVAlloc (ASPLOS'22) reproduction driver" in
@@ -731,4 +876,5 @@ let () =
             bench_cmd;
             fuzz_cmd;
             check_cmd;
+            par_cmd;
           ]))

@@ -54,10 +54,21 @@ let build ~batch ~broken ~broken_record ~broken_header (sc : History.t) =
             None )
       | None -> invalid_arg ("Check.Runner: unknown allocator " ^ sc.History.alloc))
 
+(* The domain-parallel runner (lib/par) drives the exact same instances
+   the sim-mode checker builds — same shrunken config, same mutation
+   knobs, same persist-ordering check mode — so its differential
+   verdicts are about the execution backend, never about configuration
+   drift. *)
+let instance_of ?(batch = true) ?(broken = false) ?(broken_record = false)
+    ?(broken_header = false) sc =
+  build ~batch ~broken ~broken_record ~broken_header sc
+
 let mib = 1024 * 1024
 
-let run ?(batch = true) ?(broken = false) ?(broken_record = false) ?(broken_header = false)
-    (sc : History.t) =
+type sim_report = { makespan_ns : float; executed : int }
+
+let run_report ?(batch = true) ?(broken = false) ?(broken_record = false)
+    ?(broken_header = false) (sc : History.t) =
   if sc.History.ops < 1 then invalid_arg "Check.Runner.run: ops must be >= 1";
   if sc.History.threads < 1 then invalid_arg "Check.Runner.run: threads must be >= 1";
   let inst, nvcfg = build ~batch ~broken ~broken_record ~broken_header sc in
@@ -133,6 +144,15 @@ let run ?(batch = true) ?(broken = false) ?(broken_record = false) ?(broken_head
       `Completed
     with Pmem.Device.Injected_crash -> `Crashed
   in
+  (* Largest worker clock — for completed runs this is exactly the
+     Driver result's makespan; for crashed runs it is the simulated
+     time reached when the countdown fired. *)
+  let makespan () =
+    Array.fold_left
+      (fun m c -> Float.max m (Sim.Clock.now c))
+      0.0 inst.Alloc_api.Instance.clocks
+  in
+  let report () = { makespan_ns = makespan (); executed = !executed } in
   match (sc.History.crash, nvcfg) with
   | Some n, Some config ->
       (* Crash mode: arm the flush countdown, then hand the crashed image
@@ -148,7 +168,8 @@ let run ?(batch = true) ?(broken = false) ?(broken_record = false) ?(broken_head
               Pmem.Device.crash dev
           | `Crashed -> ());
           let clock = Sim.Clock.create () in
-          Result.map (fun (_ : Nvalloc.recovery_report) -> ())
+          Result.map
+            (fun (_ : Nvalloc.recovery_report) -> report ())
             (Fault.Oracle.check ~config dev clock))
   | _ ->
       (* Crash-free (baselines ignore the crash point: their recovery is
@@ -197,8 +218,13 @@ let run ?(batch = true) ?(broken = false) ?(broken_record = false) ?(broken_head
       in
       (* Deep persistent-image walk, ending in the quiescing WAL check. *)
       (match inst.Alloc_api.Instance.integrity with
-      | None -> Ok ()
-      | Some walk -> Result.map (fun (_ : string) -> ()) (walk ()))
+      | None -> Ok (report ())
+      | Some walk -> Result.map (fun (_ : string) -> report ()) (walk ()))
+
+let run ?batch ?broken ?broken_record ?broken_header sc =
+  Result.map
+    (fun (_ : sim_report) -> ())
+    (run_report ?batch ?broken ?broken_record ?broken_header sc)
 
 type counterexample = { original : History.t; shrunk : History.t; reason : string }
 

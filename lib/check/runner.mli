@@ -26,6 +26,28 @@ val allocator_names : string list
 (** Every allocator the checker can drive: the NVAlloc variants first,
     then the baselines. *)
 
+val instance_of :
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_header:bool ->
+  History.t -> Alloc_api.Instance.t * Nvalloc_core.Config.t option
+(** Build the allocator instance a scenario runs against — the shrunken
+    checkpoint-happy config, persist-ordering check mode on for NVAlloc
+    variants, mutation knobs applied ([None] config = baseline). The
+    domain-parallel runner ([Par.Runner]) drives the very same
+    instances, so differential verdicts compare execution backends, not
+    configurations. *)
+
+type sim_report = {
+  makespan_ns : float;  (** largest simulated worker clock after the run *)
+  executed : int;  (** operations stepped (no-ops included) *)
+}
+
+val run_report :
+  ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_header:bool ->
+  History.t -> (sim_report, string) result
+(** Like {!run}, additionally reporting the sim-mode makespan and
+    executed-op count — the interleaving-invariant aggregates the
+    domain-parallel backend cross-checks against. *)
+
 val run :
   ?batch:bool -> ?broken:bool -> ?broken_record:bool -> ?broken_header:bool ->
   History.t -> (unit, string) result

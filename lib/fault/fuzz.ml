@@ -58,6 +58,11 @@ let run_plan ?(batch = true) ?(broken = false) ?(broken_record = false)
   let dev = Pmem.Device.create ~size:(64 * 1024 * 1024) () in
   Pmem.Device.set_check_mode dev check_order;
   let clock = Sim.Clock.create () in
+  (* The packed-header mutation knob is process-global (the harness's
+     Instance.of_nvalloc pins it on every construction); pin it here too
+     so a mutation run elsewhere in the process can never leak into a
+     fuzz plan's fresh stack. *)
+  Slab.unsafe_set_broken_header false;
   let t = Nvalloc.create ~config dev clock in
   (* Attaching a sink records the full timeline — workload flushes, the
      crash, recovery phases — without touching simulated behaviour; the

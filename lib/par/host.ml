@@ -1,0 +1,15 @@
+(* Monotonic clamp over gettimeofday. The high-water mark is kept as an
+   integer nanosecond count: [int] CAS is lock-free and 63 bits of ns
+   overflows in ~146 years, while a boxed [float Atomic.t] CAS compares
+   by physical equality and can livelock on equal readings. *)
+let high_water = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else clamp ()
+  in
+  float_of_int (clamp ())

@@ -1,0 +1,12 @@
+(** Host wall-clock time for the domain-parallel backend.
+
+    Everything else in the repo measures {e simulated} nanoseconds; the
+    domain backend is the one place host time is authoritative (its
+    simulated clocks still advance under the big lock, but their
+    interleaving is the OS scheduler's, so par-mode makespans are not
+    comparable to sim-mode ones — see DESIGN.md "Execution backends"). *)
+
+val now_ns : unit -> float
+(** Host time in nanoseconds, monotone non-decreasing across all
+    domains: raw [gettimeofday] readings are clamped so a caller never
+    observes time moving backwards (NTP steps, coarse clocks). *)

@@ -1,0 +1,13 @@
+type t = { m : Mutex.t; contended : int Atomic.t }
+
+let create () = { m = Mutex.create (); contended = Atomic.make 0 }
+
+let acquire t =
+  if not (Mutex.try_lock t.m) then begin
+    Atomic.incr t.contended;
+    Mutex.lock t.m
+  end
+
+let release t = Mutex.unlock t.m
+let with_lock t f = acquire t; Fun.protect ~finally:(fun () -> release t) f
+let contention_count t = Atomic.get t.contended

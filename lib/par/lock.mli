@@ -1,0 +1,26 @@
+(** Real mutex with the {!Sim.Lock} observation surface.
+
+    The simulated lock is a timestamp and its [with_lock] assumes the
+    body never raises; this one wraps a stdlib [Mutex.t] for actual
+    domains and must tolerate exceptions — par-mode critical sections
+    execute allocator operations that can raise
+    [Pmem.Device.Injected_crash] on armed crash countdowns. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Counts a contention event when the uncontended [try_lock] fails
+    before blocking, mirroring [Sim.Lock.contention_count]'s "had to
+    wait" semantics. *)
+
+val release : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Brackets [f] with {!acquire}/{!release}; the lock is released even
+    when [f] raises (unlike [Sim.Lock.with_lock], which forbids
+    raising). *)
+
+val contention_count : t -> int
+(** Number of acquisitions that had to wait, totalled across domains. *)

@@ -1,0 +1,35 @@
+type t = { domains : int }
+
+let create ~domains =
+  if domains < 1 then
+    invalid_arg (Printf.sprintf "Par.Pool.create: domains must be >= 1 (got %d)" domains);
+  { domains }
+
+let domains t = t.domains
+
+let run t ~n f =
+  if n < 0 then invalid_arg "Par.Pool.run: n must be >= 0";
+  let k = min t.domains n in
+  if k <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (try results.(i) <- Some (f i)
+         with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let spawned = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

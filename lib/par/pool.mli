@@ -1,0 +1,24 @@
+(** Fixed-width domain pool with deterministic result ordering.
+
+    [run] distributes indexed tasks over at most [domains] OCaml domains
+    and returns results {e by task index}, never by completion order —
+    the anchor that makes seed-sweep output byte-identical for any
+    [--domains] value. A pool holds no OS resources between runs
+    (domains are spawned per [run] and joined before it returns), so
+    creating one is free and it never needs tearing down. *)
+
+type t
+
+val create : domains:int -> t
+(** Raises [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+
+val run : t -> n:int -> (int -> 'a) -> 'a array
+(** [run t ~n f] evaluates [f 0 .. f (n-1)], each exactly once, on
+    [min domains n] domains pulling indices from a shared counter;
+    result [i] is [f i]'s value regardless of which domain ran it.
+    With one domain (or one task) the calls run inline in index order —
+    the degenerate case sequential runs compare against. A raising task
+    does not abort the others; after all domains join, the exception of
+    the {e lowest} failing index is re-raised with its backtrace. *)

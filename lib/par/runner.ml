@@ -1,0 +1,183 @@
+(* Same cadences as the sim scheduler path (Workloads.Driver): heap
+   snapshots every 1024 executed steps, maintenance-daemon polls folded
+   in every 128 steps on a dedicated clock. *)
+let snapshot_period = 1024
+let maintenance_period = 128
+
+let exec ?stats pool (inst : Alloc_api.Instance.t) ~ops_of ~step_of =
+  let n = inst.Alloc_api.Instance.threads in
+  let telem = Pmem.Device.telemetry inst.Alloc_api.Instance.dev in
+  let steps = Array.init n (fun tid -> step_of ~tid) in
+  let lock = Lock.create () in
+  let stop = Atomic.make false in
+  let crashed = Atomic.make false in
+  (* Written under the big lock only. *)
+  let executed = ref 0 in
+  let dclock = Sim.Clock.create () in
+  let k = min (Pool.domains pool) n in
+  let t0 = Host.now_ns () in
+  let drive d =
+    (* Domain [d] owns history threads {tid | tid mod k = d} and
+       round-robins them; every step — allocator call, model update,
+       telemetry — happens inside the big critical section because the
+       simulated substrate is not domain-safe. The value of the
+       exercise is the serialisation order: the OS, not the min-clock
+       rule, decides which domain enters next. *)
+    let mine = Array.of_list (List.filter (fun tid -> tid mod k = d) (List.init n Fun.id)) in
+    let live = Array.map (fun _ -> true) mine in
+    let remaining = ref (Array.length mine) in
+    let turn = ref 0 in
+    while !remaining > 0 && not (Atomic.get stop) do
+      let j = !turn mod Array.length mine in
+      incr turn;
+      if live.(j) then begin
+        let tid = mine.(j) in
+        let alive =
+          Lock.with_lock lock (fun () ->
+              if Atomic.get stop then false
+              else
+                match steps.(tid) () with
+                | alive ->
+                    incr executed;
+                    (match inst.Alloc_api.Instance.maintenance with
+                    | Some tick when !executed mod maintenance_period = 0 ->
+                        ignore (tick dclock : bool)
+                    | _ -> ());
+                    (match telem with
+                    | Some _ when !executed mod snapshot_period = 0 ->
+                        inst.Alloc_api.Instance.snapshot
+                          (Sim.Clock.now inst.Alloc_api.Instance.clocks.(tid))
+                    | _ -> ());
+                    alive
+                | exception Pmem.Device.Injected_crash ->
+                    (* Set [stop] while still holding the lock: no other
+                       domain may step a crashed device. *)
+                    Atomic.set stop true;
+                    Atomic.set crashed true;
+                    false)
+        in
+        if not alive then begin
+          live.(j) <- false;
+          decr remaining
+        end
+      end
+    done;
+    (* One span per domain on the reserved domain-tid band — the sink is
+       not domain-safe, so emit under the big lock. *)
+    match telem with
+    | Some sink ->
+        Lock.with_lock lock (fun () ->
+            Telemetry.span_named sink
+              ~tid:(Telemetry.domain_tid (Domain.self () :> int))
+              ~name:"par-drive" ~ts:0.0 ~dur:(Host.now_ns () -. t0))
+    | None -> ()
+  in
+  ignore (Pool.run pool ~n:k drive : unit array);
+  (match stats with
+  | Some f -> f ~steps:!executed ~lock_waits:(Lock.contention_count lock) ~domains:k
+  | None -> ());
+  if Atomic.get crashed then raise Pmem.Device.Injected_crash;
+  let makespan =
+    Array.fold_left
+      (fun m c -> Float.max m (Sim.Clock.now c))
+      0.0 inst.Alloc_api.Instance.clocks
+  in
+  (match telem with Some _ -> inst.Alloc_api.Instance.snapshot makespan | None -> ());
+  let total_ops = ref 0 in
+  for tid = 0 to n - 1 do
+    total_ops := !total_ops + ops_of ~tid
+  done;
+  {
+    Workloads.Driver.allocator = inst.Alloc_api.Instance.name;
+    threads = n;
+    total_ops = !total_ops;
+    makespan_ns = makespan;
+    mops =
+      (if makespan > 0.0 then float_of_int !total_ops /. (makespan /. 1e9) /. 1e6 else 0.0);
+    peak_bytes = inst.Alloc_api.Instance.peak_bytes ();
+  }
+
+let with_backend backend f =
+  Workloads.Driver.set_parallel_backend (Some backend);
+  Fun.protect ~finally:(fun () -> Workloads.Driver.set_parallel_backend None) f
+
+let workload pool f =
+  with_backend (exec pool) (fun () ->
+      let t0 = Host.now_ns () in
+      let r = f () in
+      (r, Host.now_ns () -. t0))
+
+type report = {
+  scenario : Check.History.t;
+  domains : int;
+  executed : int;
+  host_ns : float;
+  par_makespan_ns : float;
+  sim_makespan_ns : float;
+  lock_waits : int;
+}
+
+let run_history ?batch ?broken ?broken_record ?broken_header pool (sc : Check.History.t) =
+  let lock_waits = ref 0 in
+  let stats ~steps:_ ~lock_waits:w ~domains:_ = lock_waits := w in
+  let t0 = Host.now_ns () in
+  let par =
+    with_backend (exec ~stats pool) (fun () ->
+        Check.Runner.run_report ?batch ?broken ?broken_record ?broken_header sc)
+  in
+  let host_ns = Host.now_ns () -. t0 in
+  match par with
+  | Error e -> Error (Printf.sprintf "domain backend (%d domains): %s" (Pool.domains pool) e)
+  | Ok pr -> (
+      (* Sim cross-run: the identical scenario on the deterministic
+         scheduler must also pass every invariant... *)
+      match Check.Runner.run_report ?batch ?broken ?broken_record ?broken_header sc with
+      | Error e -> Error (Printf.sprintf "sim backend (par run passed): %s" e)
+      | Ok sr ->
+          (* ...and on crash-free scenarios both backends must execute
+             the identical op count (no-op steps included, so the count
+             is interleaving-invariant; a crash countdown fires at an
+             interleaving-dependent op, exempting crash scenarios). *)
+          if sc.Check.History.crash = None && pr.Check.Runner.executed <> sr.Check.Runner.executed
+          then
+            Error
+              (Printf.sprintf "executed-op divergence: domain backend %d vs sim %d"
+                 pr.Check.Runner.executed sr.Check.Runner.executed)
+          else
+            Ok
+              {
+                scenario = sc;
+                domains = Pool.domains pool;
+                executed = pr.Check.Runner.executed;
+                host_ns;
+                par_makespan_ns = pr.Check.Runner.makespan_ns;
+                sim_makespan_ns = sr.Check.Runner.makespan_ns;
+                lock_waits = !lock_waits;
+              })
+
+(* Greedy shrinking against the differential predicate, the
+   Check.Runner.shrink shape. Each probe costs two full runs (par +
+   sim), so the round bound is tighter than the sequential checker's
+   64. The predicate is flaky by nature — a scenario may fail only
+   under some interleavings — so greedy first-still-failing descent is
+   the right tool: whatever it lands on did fail. *)
+let max_shrink_rounds = 16
+
+let shrink ?batch ?broken ?broken_record ?broken_header pool sc ~reason =
+  let fails c =
+    match run_history ?batch ?broken ?broken_record ?broken_header pool c with
+    | Error e -> Some e
+    | Ok _ -> None
+  in
+  let rec go sc reason rounds =
+    if rounds = 0 then (sc, reason)
+    else
+      match
+        List.find_map
+          (fun c -> Option.map (fun r -> (c, r)) (fails c))
+          (Check.History.shrink_candidates sc)
+      with
+      | Some (smaller, reason') -> go smaller reason' (rounds - 1)
+      | None -> (sc, reason)
+  in
+  go sc reason max_shrink_rounds

@@ -1,0 +1,88 @@
+(** Domain-parallel execution backend and the differential harness
+    over it.
+
+    The backend drives the {e same} per-thread step closures every
+    workload and the model checker hand to [Workloads.Driver.run], but
+    on OCaml domains instead of the min-clock scheduler: history thread
+    [tid] is owned by domain [tid mod k], each step executes under one
+    big real mutex per run (the simulated device and allocator are not
+    domain-safe), and the OS decides which domain's step runs next. Op
+    granularity real interleaving is exactly the differential-testing
+    value: the serialisation the big lock produces is one the simulated
+    scheduler would never pick.
+
+    Simulated clocks still advance inside the critical sections, so a
+    par run's simulated makespan reflects an OS-chosen interleaving —
+    never compare it to a sim-mode makespan; host time is the
+    authoritative duration in par mode (see DESIGN.md "Execution
+    backends"). *)
+
+val exec :
+  ?stats:(steps:int -> lock_waits:int -> domains:int -> unit) ->
+  Pool.t ->
+  Workloads.Driver.backend
+(** The backend itself: drive an instance's step closures on the pool's
+    domains. Maintenance ticks and telemetry heap snapshots keep their
+    sim-mode cadences (every 128 / 1024 executed steps, under the
+    lock). An [Injected_crash] raised by any step stops every domain at
+    its next step and is re-raised to the caller after the join, so
+    crash-countdown harnesses behave as in sim mode. [stats] (called
+    once, after the join, before any crash re-raise) observes executed
+    steps, big-lock contention and the domain count actually used. *)
+
+val workload : Pool.t -> (unit -> 'a) -> 'a * float
+(** [workload pool f] installs {!exec} as the driver's parallel backend
+    for the duration of [f] (uninstalling on any exit) and returns
+    [f ()] with the host nanoseconds it took. Every
+    [Workloads.Driver.run] inside [f] — any registered workload —
+    executes on domains. Do not nest, and do not wrap seed sweeps in it
+    ({!Sweep} tasks must run on the sim scheduler). *)
+
+type report = {
+  scenario : Check.History.t;
+  domains : int;  (** pool width *)
+  executed : int;  (** ops stepped by the par run (no-ops included) *)
+  host_ns : float;  (** host wall time of the par run *)
+  par_makespan_ns : float;
+      (** largest simulated clock after the par run; interleaving-
+          dependent, reported for scale only *)
+  sim_makespan_ns : float;  (** the sim cross-run's (deterministic) makespan *)
+  lock_waits : int;  (** contended big-lock acquisitions in the par run *)
+}
+
+val run_history :
+  ?batch:bool ->
+  ?broken:bool ->
+  ?broken_record:bool ->
+  ?broken_header:bool ->
+  Pool.t ->
+  Check.History.t ->
+  (report, string) result
+(** Differentially check one history scenario across both backends.
+
+    The par run is literally [Check.Runner.run_report] with {!exec}
+    installed: same instance construction ([Check.Runner.instance_of]),
+    same lockstep model validation, destination-publication checks,
+    byte bounds, persist-ordering gate, [iter_live] cross-check, deep
+    [integrity_walk] (or [Fault.Oracle.check] on crash scenarios). Then
+    the same scenario runs again on the simulated scheduler and the
+    interleaving-invariant aggregates are cross-checked: both runs must
+    pass every invariant, and on crash-free scenarios both must have
+    executed the identical op count (final live {e sets} are
+    interleaving-dependent under cross-thread frees and deliberately
+    not compared). [Error] names the backend that failed and why. *)
+
+val shrink :
+  ?batch:bool ->
+  ?broken:bool ->
+  ?broken_record:bool ->
+  ?broken_header:bool ->
+  Pool.t ->
+  Check.History.t ->
+  reason:string ->
+  Check.History.t * string
+(** Greedy bounded-round minimisation of a scenario that failed
+    {!run_history}, re-probing candidates through the full differential
+    predicate. Par-mode failures can be interleaving-dependent, so the
+    result is a scenario that {e did} fail, not one guaranteed to fail
+    every time. *)

@@ -5,11 +5,15 @@
 type state = { mutable now : float }
 type t = { st : state; id : int }
 
-let counter = ref 0
+(* Atomic: the domain-parallel backend (lib/par) builds instances — and
+   therefore clocks — from several domains at once (one allocator stack
+   per swept seed); ids must stay unique across them. Within one
+   instance clocks are still created sequentially, so the relative
+   creation order that telemetry's tid normalisation relies on is
+   unchanged. *)
+let counter = Atomic.make 0
 
-let create () =
-  incr counter;
-  { st = { now = 0.0 }; id = !counter }
+let create () = { st = { now = 0.0 }; id = Atomic.fetch_and_add counter 1 + 1 }
 
 let now t = t.st.now
 let id t = t.id

@@ -13,6 +13,15 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the current state. *)
 
+val split : t -> int -> t
+(** [split t i] derives child generator [i] as a pure function of [t]'s
+    current state and [i] ([t] is not advanced): the same parent state
+    yields the same child stream regardless of how many other children
+    are split off, in which order, or on which domain. The
+    domain-parallel seed sweeps ([lib/par]) use this so per-task
+    randomness is reproducible for any [--domains] count. [i] must be
+    non-negative. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit value. *)
 

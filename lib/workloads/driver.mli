@@ -11,6 +11,17 @@ type result = {
   peak_bytes : int;  (** peak mapped persistent memory during the run *)
 }
 
+type backend =
+  Alloc_api.Instance.t -> ops_of:(tid:int -> int) -> step_of:(tid:int -> unit -> bool) -> result
+
+val set_parallel_backend : backend option -> unit
+(** Execution-backend seam: with a backend installed, {!run} delegates
+    the whole drive (after the threads guard and peak reset) to it
+    instead of the simulated scheduler. [Par.Runner.workload] installs
+    the domain-pool backend scoped around one workload call; nothing
+    else should touch this. The sim scheduler remains the default and
+    the only deterministic backend. *)
+
 val run :
   Alloc_api.Instance.t -> ops_of:(tid:int -> int) -> step_of:(tid:int -> unit -> bool) -> result
 (** [step_of ~tid] builds thread [tid]'s step closure ([false] = done);

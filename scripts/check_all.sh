@@ -32,6 +32,7 @@ stage "telemetry-off hot path (bench/hotloop.exe --check)" \
 stage "crash fuzzer (scripts/fuzz_check.sh)" sh scripts/fuzz_check.sh
 stage "model checker (scripts/model_check.sh)" sh scripts/model_check.sh
 stage "media faults (scripts/fault_media_check.sh)" sh scripts/fault_media_check.sh
+stage "domain-parallel differential gate (scripts/par_check.sh)" sh scripts/par_check.sh
 
 echo ""
 echo "all checks OK"

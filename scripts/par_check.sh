@@ -1,0 +1,124 @@
+#!/bin/sh
+# Domain-parallel differential gate: the real-parallelism backend (OCaml
+# domains, one big lock per instance, OS-chosen interleavings) against
+# the simulated scheduler on shared model-checker histories.
+#
+# 1. Differential gate, batched pipeline: >= 50 histories across the
+#    three NVAlloc variants plus two baselines, each run on the domain
+#    backend with full lockstep model validation (publication checks,
+#    byte bounds, persist-ordering gate, iter_live cross-check, deep
+#    integrity walk / post-crash oracle), then re-run on the simulated
+#    scheduler and cross-checked on interleaving-invariant aggregates.
+# 2. The same for crash scenarios and the synchronous pipeline.
+# 3. Seed-sweep determinism: `check --domains 1` and `check --domains 4`
+#    must print byte-identical output (ditto `fuzz --domains`), the
+#    guarantee that lets parallel sweeps replace sequential ones.
+# 4. Mutation teeth: the packed-header mis-decode (--broken-header) must
+#    FAIL under the domain backend too.
+# 5. Wall-time speedup of a parallel seed sweep vs one domain — measured
+#    always, ENFORCED (> 1.5x) only on hosts with >= 4 cores (a 1-core
+#    host can only lose from domain switching; the number is still
+#    printed so EXPERIMENTS.md stays honest).
+#
+# Replay a failure with: nvalloc-cli par --allocators <name> --seed ...
+# Usage: scripts/par_check.sh [seed]
+# CHECK_FAST=1 trims the budget (smoke coverage, not the gate).
+set -eu
+cd "$(dirname "$0")/.."
+seed="${1:-1}"
+clean_runs=12
+base_runs=6
+crash_runs=2
+sync_runs=4
+ops=1500
+crash_ops=800
+mut_ops=600
+sweep_runs=12
+sweep_ops=800
+if [ "${CHECK_FAST:-0}" = "1" ]; then
+  clean_runs=3
+  base_runs=2
+  crash_runs=1
+  sync_runs=1
+  ops=600
+  crash_ops=400
+  mut_ops=400
+  sweep_runs=4
+  sweep_ops=400
+fi
+cli=./_build/default/bin/nvalloc_cli.exe
+dune build bin/nvalloc_cli.exe
+
+cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+echo "par gate: differential, batched pipeline (NVAlloc variants, ${clean_runs} histories each)"
+"$cli" par --seed "$seed" --runs "$clean_runs" --ops "$ops" --threads 4 \
+  --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
+
+echo "par gate: differential, batched pipeline (baselines, ${base_runs} histories each)"
+"$cli" par --seed "$seed" --runs "$base_runs" --ops "$ops" --threads 4 \
+  --allocators PMDK,Makalu
+
+echo "par gate: crash scenarios (NVAlloc variants, ${crash_runs} histories each)"
+"$cli" par --seed "$seed" --runs "$crash_runs" --ops "$crash_ops" --threads 2 --crash 100 \
+  --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
+
+echo "par gate: differential, synchronous pipeline (NVAlloc variants, ${sync_runs} histories each)"
+"$cli" par --no-batch --seed "$seed" --runs "$sync_runs" --ops "$ops" --threads 4 \
+  --allocators NVAlloc-LOG,NVAlloc-GC,NVAlloc-IC
+
+echo "par gate: seed-sweep determinism (check --domains 1 vs 4)"
+"$cli" check --seed "$seed" --runs "$sweep_runs" --ops "$sweep_ops" --threads 2 \
+  --allocators NVAlloc-LOG --domains 1 >/tmp/par_check_d1.$$
+"$cli" check --seed "$seed" --runs "$sweep_runs" --ops "$sweep_ops" --threads 2 \
+  --allocators NVAlloc-LOG --domains 4 >/tmp/par_check_d4.$$
+if ! cmp -s /tmp/par_check_d1.$$ /tmp/par_check_d4.$$; then
+  echo "FAIL: check sweep output differs between --domains 1 and --domains 4" >&2
+  diff /tmp/par_check_d1.$$ /tmp/par_check_d4.$$ >&2 || true
+  rm -f /tmp/par_check_d1.$$ /tmp/par_check_d4.$$
+  exit 1
+fi
+echo "byte-identical, as it must be"
+
+echo "par gate: seed-sweep determinism (fuzz --domains 1 vs 4)"
+"$cli" fuzz --seed "$seed" --runs "$sweep_runs" --domains 1 >/tmp/par_check_d1.$$
+"$cli" fuzz --seed "$seed" --runs "$sweep_runs" --domains 4 >/tmp/par_check_d4.$$
+if ! cmp -s /tmp/par_check_d1.$$ /tmp/par_check_d4.$$; then
+  echo "FAIL: fuzz sweep output differs between --domains 1 and --domains 4" >&2
+  diff /tmp/par_check_d1.$$ /tmp/par_check_d4.$$ >&2 || true
+  rm -f /tmp/par_check_d1.$$ /tmp/par_check_d4.$$
+  exit 1
+fi
+rm -f /tmp/par_check_d1.$$ /tmp/par_check_d4.$$
+echo "byte-identical, as it must be"
+
+echo "par gate: mutation smoke (--broken-header must be caught on the domain backend)"
+if "$cli" par --seed "$seed" --runs 2 --ops "$mut_ops" --threads 2 \
+  --broken-header --allocators NVAlloc-LOG >/dev/null 2>&1; then
+  echo "FAIL: the packed-header mis-decode was NOT caught by the domain backend" >&2
+  exit 1
+fi
+echo "mutation caught, as it must be"
+
+echo "par gate: wall-time speedup of a parallel seed sweep (host has ${cores} core(s))"
+t0=$(date +%s%N)
+"$cli" check --seed "$seed" --runs "$sweep_runs" --ops "$sweep_ops" --threads 2 \
+  --allocators NVAlloc-LOG --domains 1 >/dev/null
+t1=$(date +%s%N)
+"$cli" check --seed "$seed" --runs "$sweep_runs" --ops "$sweep_ops" --threads 2 \
+  --allocators NVAlloc-LOG --domains "$cores" >/dev/null
+t2=$(date +%s%N)
+seq_ms=$(( (t1 - t0) / 1000000 ))
+par_ms=$(( (t2 - t1) / 1000000 ))
+speedup=$(awk "BEGIN { if ($par_ms > 0) printf \"%.2f\", $seq_ms / $par_ms; else print 0 }")
+echo "sweep: 1 domain ${seq_ms} ms, ${cores} domain(s) ${par_ms} ms, speedup ${speedup}x"
+if [ "$cores" -ge 4 ]; then
+  ok=$(awk "BEGIN { print ($speedup > 1.5) ? 1 : 0 }")
+  if [ "$ok" != "1" ]; then
+    echo "FAIL: speedup ${speedup}x <= 1.5x on a ${cores}-core host" >&2
+    exit 1
+  fi
+  echo "speedup gate passed (> 1.5x)"
+else
+  echo "speedup gate skipped (needs >= 4 cores; measured number is informational)"
+fi

@@ -24,6 +24,8 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("check", Test_check.suite);
+      ("guard", Test_guard.suite);
+      ("par", Test_par.suite);
       ("telemetry", Test_telemetry.suite);
       ("harness", Test_harness.suite);
     ]

@@ -1,0 +1,179 @@
+(* Domain-parallel backend: pool semantics (index-ordered results,
+   exception propagation), pure RNG splitting, the real-mutex lock,
+   the differential history runner (clean pass, mutation teeth, crash
+   scenarios) and the seed-sweep determinism guarantee — identical
+   aggregated verdicts for any domain count. *)
+
+let test_pool_result_order () =
+  let pool = Par.Pool.create ~domains:4 in
+  let results = Par.Pool.run pool ~n:23 (fun i -> i * i) in
+  Alcotest.(check (array int))
+    "results land by index, not completion order"
+    (Array.init 23 (fun i -> i * i))
+    results;
+  (* Degenerate widths still cover every index. *)
+  let seq = Par.Pool.run (Par.Pool.create ~domains:1) ~n:5 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "one domain runs inline" [| 1; 2; 3; 4; 5 |] seq;
+  Alcotest.(check (array int)) "zero tasks" [||] (Par.Pool.run pool ~n:0 (fun i -> i))
+
+exception Task_failed of int
+
+let test_pool_error_propagation () =
+  let pool = Par.Pool.create ~domains:3 in
+  (* The lowest failing index wins, and the other tasks still ran. *)
+  let ran = Array.make 12 false in
+  (match
+     Par.Pool.run pool ~n:12 (fun i ->
+         ran.(i) <- true;
+         if i = 7 || i = 4 then raise (Task_failed i))
+   with
+  | exception Task_failed i -> Alcotest.(check int) "lowest failing index" 4 i
+  | _ -> Alcotest.fail "expected Task_failed");
+  Alcotest.(check bool) "non-failing tasks completed" true (Array.for_all Fun.id ran);
+  match Par.Pool.create ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains=0 accepted"
+
+let test_rng_split_pure_and_deterministic () =
+  let root = Sim.Rng.create 42 in
+  let a = Array.init 8 (fun i -> Sim.Rng.int (Sim.Rng.split root i) 1_000_000) in
+  (* Splitting never advances the root, and child i is a function of
+     (seed, i) alone — so re-splitting, in any order, reproduces the
+     same children. *)
+  let b = Array.init 8 (fun i -> Sim.Rng.int (Sim.Rng.split root (7 - i)) 1_000_000) in
+  Array.iteri (fun i v -> Alcotest.(check int) (Printf.sprintf "child %d" i) v b.(7 - i)) a;
+  let after = Sim.Rng.int root 1_000_000 in
+  let fresh = Sim.Rng.int (Sim.Rng.create 42) 1_000_000 in
+  Alcotest.(check int) "root stream unperturbed by splitting" fresh after;
+  let distinct = List.sort_uniq compare (Array.to_list a) in
+  Alcotest.(check int) "children are distinct streams" 8 (List.length distinct)
+
+let test_lock_contention_counting () =
+  let lock = Par.Lock.create () in
+  Par.Lock.with_lock lock (fun () -> ());
+  Alcotest.(check int) "uncontended" 0 (Par.Lock.contention_count lock);
+  (* Exception safety: the lock is free again after a raising body. *)
+  (try Par.Lock.with_lock lock (fun () -> failwith "boom") with Failure _ -> ());
+  Par.Lock.with_lock lock (fun () -> ());
+  (* Two domains hammering one lock must make progress and typically
+     collide; the counter only ever grows. *)
+  let n = ref 0 in
+  ignore
+    (Par.Pool.run (Par.Pool.create ~domains:2) ~n:2 (fun _ ->
+         for _ = 1 to 2000 do
+           Par.Lock.with_lock lock (fun () -> incr n)
+         done)
+      : unit array);
+  Alcotest.(check int) "critical sections all ran" 4000 !n;
+  Alcotest.(check bool) "counter non-negative" true (Par.Lock.contention_count lock >= 0)
+
+(* One differential run per NVAlloc variant, on one and two domains: the
+   par run must pass the full model validation and agree with the sim
+   cross-run on executed ops. *)
+let test_run_history_differential () =
+  List.iter
+    (fun alloc ->
+      List.iter
+        (fun domains ->
+          let pool = Par.Pool.create ~domains in
+          let sc = { Check.History.alloc; seed = 3; ops = 400; threads = 3; crash = None } in
+          match Par.Runner.run_history pool sc with
+          | Error e -> Alcotest.failf "%s (%d domains): %s" alloc domains e
+          | Ok r ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s executed everything" alloc)
+                400 r.Par.Runner.executed)
+        [ 1; 2 ])
+    [ "NVAlloc-LOG"; "NVAlloc-GC"; "NVAlloc-IC" ]
+
+let test_run_history_crash_scenario () =
+  let pool = Par.Pool.create ~domains:2 in
+  let sc =
+    { Check.History.alloc = "NVAlloc-LOG"; seed = 1; ops = 500; threads = 2; crash = Some 120 }
+  in
+  match Par.Runner.run_history pool sc with
+  | Error e -> Alcotest.failf "crash scenario: %s" e
+  | Ok r ->
+      Alcotest.(check bool)
+        "crash fired before the workload finished" true
+        (r.Par.Runner.executed < 500)
+
+let test_run_history_mutation_teeth () =
+  let pool = Par.Pool.create ~domains:2 in
+  let sc =
+    { Check.History.alloc = "NVAlloc-IC"; seed = 1; ops = 400; threads = 2; crash = None }
+  in
+  match Par.Runner.run_history ~broken_header:true pool sc with
+  | Ok _ -> Alcotest.fail "the packed-header mis-decode survived the domain backend"
+  | Error e ->
+      Alcotest.(check bool)
+        "verdict names the domain backend" true
+        (String.length e >= 14 && String.sub e 0 14 = "domain backend")
+
+(* Satellite: seed-sweep determinism. The aggregated verdict — passes
+   and the (shrunk) counterexample alike — must be identical for any
+   domain count, on both the clean path and a failing (mutated) one. *)
+let verdict_of = function
+  | None -> "ok"
+  | Some { Check.Runner.original; shrunk; reason } ->
+      Printf.sprintf "cex original=%s shrunk=%s reason=%s"
+        (Check.History.to_string original)
+        (Check.History.to_string shrunk)
+        reason
+
+let test_check_sweep_determinism () =
+  let sweep ?broken_header domains =
+    verdict_of
+      (Par.Sweep.check_sweep ?broken_header
+         (Par.Pool.create ~domains)
+         ~alloc:"NVAlloc-LOG" ~seed:5 ~runs:6 ~ops:300 ~threads:2 ())
+  in
+  let clean1 = sweep 1 in
+  Alcotest.(check string) "clean sweep passes" "ok" clean1;
+  Alcotest.(check string) "clean verdict, 1 vs 3 domains" clean1 (sweep 3);
+  Alcotest.(check string) "clean verdict, 1 vs 4 domains" clean1 (sweep 4);
+  let broken1 = sweep ~broken_header:true 1 in
+  Alcotest.(check bool)
+    "mutated sweep fails" true
+    (String.length broken1 > 3 && String.sub broken1 0 3 = "cex");
+  Alcotest.(check string) "counterexample, 1 vs 3 domains" broken1 (sweep ~broken_header:true 3)
+
+let fuzz_verdict_of = function
+  | None -> "ok"
+  | Some { Fault.Fuzz.original; shrunk; reason } ->
+      Printf.sprintf "cex original=%s shrunk=%s reason=%s"
+        (Fault.Plan.to_string original) (Fault.Plan.to_string shrunk) reason
+
+let test_fuzz_sweep_determinism () =
+  let sweep ?broken domains =
+    fuzz_verdict_of
+      (Par.Sweep.fuzz_sweep ?broken (Par.Pool.create ~domains) ~seed:9 ~runs:4 ())
+  in
+  let clean1 = sweep 1 in
+  Alcotest.(check string) "clean fuzz sweep passes" "ok" clean1;
+  Alcotest.(check string) "clean verdict, 1 vs 3 domains" clean1 (sweep 3);
+  let broken1 = sweep ~broken:true 1 in
+  Alcotest.(check bool)
+    "mutated fuzz sweep fails" true
+    (String.length broken1 > 3 && String.sub broken1 0 3 = "cex");
+  Alcotest.(check string) "counterexample, 1 vs 3 domains" broken1 (sweep ~broken:true 3)
+
+let suite =
+  [
+    Alcotest.test_case "pool returns results by index" `Quick test_pool_result_order;
+    Alcotest.test_case "pool re-raises the lowest failing index" `Quick
+      test_pool_error_propagation;
+    Alcotest.test_case "rng split is pure and order-independent" `Quick
+      test_rng_split_pure_and_deterministic;
+    Alcotest.test_case "real lock: exception safety and contention" `Quick
+      test_lock_contention_counting;
+    Alcotest.test_case "differential history run (LOG/GC/IC, 1 and 2 domains)" `Slow
+      test_run_history_differential;
+    Alcotest.test_case "differential crash scenario" `Quick test_run_history_crash_scenario;
+    Alcotest.test_case "mutation teeth on the domain backend" `Quick
+      test_run_history_mutation_teeth;
+    Alcotest.test_case "check-sweep verdicts identical for any domain count" `Slow
+      test_check_sweep_determinism;
+    Alcotest.test_case "fuzz-sweep verdicts identical for any domain count" `Slow
+      test_fuzz_sweep_determinism;
+  ]

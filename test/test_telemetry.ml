@@ -281,6 +281,64 @@ let test_trace_validity () =
          (fun line -> String.length line >= 6 && String.sub line 0 6 = "alloc,")
          (String.split_on_char '\n' csv))
 
+(* Satellite: the reserved domain-tid band. Lifting [Domain.self ()]
+   ids must never collide with sim-clock tids (which start at 1 and
+   grow by creation) nor with the snapshot pseudo-tid, and the exported
+   labels must come from the position within the band — raw domain ids
+   are process-global spawn counters, so labelling by them would break
+   byte-identical same-seed traces. *)
+let test_domain_tid_namespace () =
+  Alcotest.(check int) "band base" Telemetry.domain_tid_base (Telemetry.domain_tid 0);
+  Alcotest.(check bool) "band is above any plausible clock id" true
+    (Telemetry.domain_tid_base > 1 lsl 40);
+  Alcotest.(check bool) "band is below the snapshot tid" true
+    (Telemetry.domain_tid 1_000_000 < Telemetry.snapshot_tid);
+  Alcotest.(check bool) "member" true (Telemetry.is_domain_tid (Telemetry.domain_tid 7));
+  Alcotest.(check bool) "clock tids are not domain tids" false (Telemetry.is_domain_tid 3);
+  Alcotest.(check bool) "snapshot tid is not a domain tid" false
+    (Telemetry.is_domain_tid Telemetry.snapshot_tid);
+  match Telemetry.domain_tid (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative domain id accepted"
+
+let thread_labels json =
+  match J.parse json with
+  | Error e -> Alcotest.fail ("trace JSON does not parse: " ^ e)
+  | Ok j ->
+      let events = Option.value ~default:[] (Option.bind (J.member "traceEvents" j) J.arr) in
+      List.filter_map
+        (fun ev ->
+          match Option.bind (J.member "ph" ev) J.str with
+          | Some "M" ->
+              Option.bind (J.member "args" ev) (fun a ->
+                  Option.bind (J.member "name" a) J.str)
+          | _ -> None)
+        events
+
+let test_domain_tracks_in_export () =
+  (* Two sinks, same shape, different raw domain ids (as two runs of a
+     pool would produce): labels are positional and the exports are
+     byte-identical. Domain tracks sort after sim-thread tracks and
+     before the "heap" track. *)
+  let mk_sink d1 d2 =
+    let sink = Telemetry.create () in
+    Telemetry.span_named sink ~tid:1 ~name:"run" ~ts:0.0 ~dur:5.0;
+    Telemetry.span_named sink ~tid:2 ~name:"run" ~ts:1.0 ~dur:5.0;
+    Telemetry.span_named sink ~tid:(Telemetry.domain_tid d1) ~name:"par-drive" ~ts:0.0
+      ~dur:100.0;
+    Telemetry.span_named sink ~tid:(Telemetry.domain_tid d2) ~name:"par-drive" ~ts:0.0
+      ~dur:90.0;
+    Telemetry.counter_named sink ~tid:Telemetry.snapshot_tid ~name:"live" ~ts:2.0 ~value:1.0;
+    sink
+  in
+  let j1 = Telemetry.chrome_json (mk_sink 3 9) in
+  let j2 = Telemetry.chrome_json (mk_sink 4 11) in
+  Alcotest.(check string) "positional labels make exports byte-identical" j1 j2;
+  Alcotest.(check (list string))
+    "track order: sim threads, then domains, then heap"
+    [ "thread-0"; "thread-1"; "domain-0"; "domain-1"; "heap" ]
+    (thread_labels j1)
+
 let test_zero_perturbation () =
   (* Attaching a sink must not change simulated results: same makespan
      with telemetry on and off. *)
@@ -671,6 +729,10 @@ let suite =
     Alcotest.test_case "name interning" `Quick test_interning;
     Alcotest.test_case "same-seed trace is byte-identical" `Quick test_trace_determinism;
     Alcotest.test_case "trace JSON is well-formed" `Quick test_trace_validity;
+    Alcotest.test_case "domain-tid band: no collisions, validated" `Quick
+      test_domain_tid_namespace;
+    Alcotest.test_case "domain tracks: positional labels, stable export" `Quick
+      test_domain_tracks_in_export;
     Alcotest.test_case "telemetry does not perturb simulation" `Quick test_zero_perturbation;
     Alcotest.test_case "fuzz plan replay with sink" `Quick test_fuzz_plan_telemetry;
     Alcotest.test_case "attr: blame tree exact attribution" `Quick test_attr_blame_tree;
